@@ -1,0 +1,115 @@
+// Command ecinfo inspects an erasure-code configuration without encoding
+// anything: the generator matrix, its bitmatrix density, the XOR-program
+// cost before and after common-subexpression elimination, the kernel
+// schedule that would run, and the lowered loop IR — the introspection §8
+// of the paper plans ("investigate the learning-based tuning ... and reason
+// about the optimizations it performs on the generated code").
+//
+// Usage:
+//
+//	ecinfo -k 10 -r 4                      # summary
+//	ecinfo -k 10 -r 4 -matrix              # print the coding matrix
+//	ecinfo -k 10 -r 4 -ir                  # print the lowered loop IR
+//	ecinfo -k 10 -r 4 -construction cauchy-best
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gemmec/internal/autotune"
+	"gemmec/internal/bitmatrix"
+	"gemmec/internal/core"
+	"gemmec/internal/gf"
+	"gemmec/internal/matrix"
+	"gemmec/internal/uezato"
+)
+
+func main() {
+	var (
+		k     = flag.Int("k", 10, "data units")
+		r     = flag.Int("r", 4, "parity units")
+		w     = flag.Int("w", 8, "field word size")
+		unit  = flag.Int("unit", 128<<10, "unit size in bytes")
+		cons  = flag.String("construction", "cauchy-good", "cauchy | cauchy-good | cauchy-best | vandermonde")
+		showM = flag.Bool("matrix", false, "print the coding matrix")
+		showI = flag.Bool("ir", false, "print the lowered loop IR of the encode kernel")
+		showB = flag.Bool("bitmatrix", false, "print the generator bitmatrix")
+	)
+	flag.Parse()
+
+	f, err := gf.NewField(uint(*w))
+	if err != nil {
+		fatal(err)
+	}
+	var coding *matrix.Matrix
+	var construction core.Construction
+	switch *cons {
+	case "cauchy":
+		coding, err = matrix.Cauchy(f, *r, *k)
+		construction = core.ConstructionCauchy
+	case "cauchy-good":
+		coding, err = matrix.CauchyGood(f, *r, *k)
+		construction = core.ConstructionCauchyGood
+	case "cauchy-best":
+		coding, err = bitmatrix.CauchyBest(f, *r, *k, 64)
+		construction = core.ConstructionCauchyBest
+	case "vandermonde":
+		var gen *matrix.Matrix
+		gen, err = matrix.VandermondeRS(f, *k, *r)
+		if err == nil {
+			coding, err = matrix.CodingRows(gen, *k)
+		}
+		construction = core.ConstructionVandermonde
+	default:
+		fatal(fmt.Errorf("unknown construction %q", *cons))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	bm := bitmatrix.FromGF(coding)
+	prog := uezato.FromBitMatrix(bm)
+	naive := prog.XORCount()
+	prog.EliminateCommonSubexpressions()
+
+	eng, err := core.New(*k, *r, *unit, core.Options{W: *w, Construction: construction})
+	if err != nil {
+		fatal(err)
+	}
+	l := eng.Layout()
+	space, err := autotune.NewSpace(l.ParityPlanes(), l.DataPlanes(), l.PlaneSize/8)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("code:        (%d+%d, %d) over GF(2^%d), %s construction\n", *k, *r, *k, *w, *cons)
+	fmt.Printf("storage:     overhead %.3fx, tolerates any %d lost units\n", float64(*k+*r)/float64(*k), *r)
+	fmt.Printf("stripe:      %d x %d B units; planes %d B; GEMM %dx%dx%d words\n",
+		*k+*r, *unit, l.PlaneSize, l.ParityPlanes(), l.DataPlanes(), l.PlaneSize/8)
+	fmt.Printf("bitmatrix:   %dx%d, %d ones (density %.1f%%)\n",
+		bm.Rows(), bm.Cols(), bm.Ones(), 100*float64(bm.Ones())/float64(bm.Rows()*bm.Cols()))
+	fmt.Printf("xor program: %d XORs naive, %d after CSE (%.1f%% saved) [uezato-baseline view]\n",
+		naive, prog.XORCount(), 100*float64(naive-prog.XORCount())/float64(naive))
+	fmt.Printf("schedule:    %v (space of %d schedules)\n", eng.Params(), space.Size())
+
+	if *showM {
+		fmt.Printf("\ncoding matrix (%dx%d over GF(2^%d)):\n%s", coding.Rows(), coding.Cols(), *w, coding.String())
+	}
+	if *showB {
+		fmt.Printf("\ngenerator bitmatrix (%dx%d):\n%s", bm.Rows(), bm.Cols(), bm.String())
+	}
+	if *showI {
+		ir, err := eng.LoweredIR()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nlowered encode kernel IR:\n%s", ir)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ecinfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+package gemmec_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+
+	"gemmec"
+)
+
+// The package-level example: declare a code, encode a stripe, lose the
+// maximum tolerated number of units, reconstruct.
+func Example() {
+	code, err := gemmec.New(4, 2, gemmec.WithUnitSize(1024))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	data := make([]byte, code.DataSize())
+	copy(data, []byte("the stripe holds k units of application data"))
+	parity := make([]byte, code.ParitySize())
+	if err := code.Encode(data, parity); err != nil {
+		log.Fatal(err)
+	}
+
+	// Scatter into shards and lose two of them.
+	unit := code.UnitSize()
+	shards := make([][]byte, 6)
+	for i := 0; i < 4; i++ {
+		shards[i] = append([]byte(nil), data[i*unit:(i+1)*unit]...)
+	}
+	for i := 0; i < 2; i++ {
+		shards[4+i] = append([]byte(nil), parity[i*unit:(i+1)*unit]...)
+	}
+	shards[0], shards[5] = nil, nil
+
+	if err := code.Reconstruct(shards); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(shards[0][:33]))
+	// Output: the stripe holds k units of appli
+}
+
+// ExampleCode_UpdateParity shows the small-write path: one block changes,
+// parity is patched without re-reading the other k-1 blocks.
+func ExampleCode_UpdateParity() {
+	code, err := gemmec.New(4, 2, gemmec.WithUnitSize(1024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := make([]byte, code.DataSize())
+	parity := make([]byte, code.ParitySize())
+	if err := code.Encode(data, parity); err != nil {
+		log.Fatal(err)
+	}
+
+	oldBlock := append([]byte(nil), data[1024:2048]...)
+	newBlock := bytes.Repeat([]byte{0xAB}, 1024)
+	if err := code.UpdateParity(parity, 1, oldBlock, newBlock); err != nil {
+		log.Fatal(err)
+	}
+	copy(data[1024:2048], newBlock)
+
+	ok, err := code.Verify(data, parity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("parity consistent after incremental update:", ok)
+	// Output: parity consistent after incremental update: true
+}
+
+// ExampleCode_EncodeStream erasure-codes a stream into shard streams and
+// reads it back with two shard streams missing.
+func ExampleCode_EncodeStream() {
+	code, err := gemmec.New(3, 2, gemmec.WithUnitSize(512))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	payload := bytes.Repeat([]byte("gemmec "), 500) // not a stripe multiple
+	sinks := make([]*bytes.Buffer, 5)
+	writers := make([]io.Writer, 5)
+	for i := range sinks {
+		sinks[i] = &bytes.Buffer{}
+		writers[i] = sinks[i]
+	}
+	n, err := code.EncodeStream(bytes.NewReader(payload), writers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	readers := make([]io.Reader, 5)
+	for i := range sinks {
+		readers[i] = bytes.NewReader(sinks[i].Bytes())
+	}
+	readers[0], readers[4] = nil, nil // two storage nodes offline
+
+	var out bytes.Buffer
+	if err := code.DecodeStream(readers, &out, n); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bytes.Equal(out.Bytes(), payload))
+	// Output: true
+}

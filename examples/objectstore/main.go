@@ -1,0 +1,87 @@
+// Objectstore demonstrates an erasure-coded object store on the simulated
+// cluster substrate (internal/cluster): objects are striped across nine
+// nodes with a (6+3, 6) code, nodes fail, reads degrade transparently to
+// on-the-fly reconstruction, and replaced nodes are rebuilt with the repair
+// traffic accounted — the deployment pattern of Azure/HDFS-style
+// erasure-coded storage that §2 of the paper cites as the motivation for
+// fast encoding.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gemmec/internal/cluster"
+)
+
+func main() {
+	const (
+		nodes    = 9
+		k, r     = 6, 3
+		unitSize = 64 << 10
+	)
+	c, err := cluster.New(nodes, k, r, unitSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+
+	// Ingest objects of assorted sizes.
+	objects := map[string][]byte{}
+	for i, size := range []int{100, unitSize * k, unitSize*k*2 + 777, 3 << 20} {
+		name := fmt.Sprintf("obj-%d", i)
+		data := make([]byte, size)
+		rng.Read(data)
+		objects[name] = data
+		if err := c.Put(name, data); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("put %s: %d bytes\n", name, size)
+	}
+
+	// Fail r nodes — the worst any stripe tolerates.
+	for _, id := range []int{1, 4, 7} {
+		if err := c.FailNode(id); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node %d failed\n", id)
+	}
+
+	// Degraded reads must still return correct data.
+	for name, want := range objects {
+		got, degraded, err := c.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			log.Fatalf("object %s corrupted after node failures", name)
+		}
+		fmt.Printf("get %s: ok (degraded=%v)\n", name, degraded)
+	}
+
+	// Replace and rebuild each failed node, accounting repair traffic.
+	for _, id := range []int{1, 4, 7} {
+		if err := c.ReplaceNode(id); err != nil {
+			log.Fatal(err)
+		}
+		st, err := c.Rebuild(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node %d rebuilt: %d shards, read %.1f MB from peers, wrote %.1f MB\n",
+			id, st.ShardsRebuilt, float64(st.BytesRead)/1e6, float64(st.BytesWritten)/1e6)
+	}
+
+	// Cluster-wide scrub: every stripe's parity must verify.
+	nStripes, err := c.Scrub()
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, degraded, err := c.Get("obj-3")
+	if err != nil || degraded || !bytes.Equal(got, objects["obj-3"]) {
+		log.Fatal("reads not clean after rebuild")
+	}
+	fmt.Printf("cluster healthy: %d stripes scrubbed clean, reads no longer degraded\n", nStripes)
+}

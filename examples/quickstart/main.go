@@ -1,0 +1,62 @@
+// Quickstart: encode a stripe, lose the maximum tolerated number of units,
+// reconstruct, and confirm the data survived. This is the 60-second tour of
+// the public API.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gemmec"
+)
+
+func main() {
+	// A (10+4, 10) Reed-Solomon code: tolerates any 4 lost units with only
+	// 1.4x storage overhead. Units default to 128 KiB.
+	code, err := gemmec.New(10, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("code: k=%d r=%d unit=%d bytes\n", code.K(), code.R(), code.UnitSize())
+	fmt.Printf("kernel schedule: %+v\n", code.Schedule())
+
+	// Fill a contiguous data stripe (k units back to back).
+	data := make([]byte, code.DataSize())
+	rand.New(rand.NewSource(1)).Read(data)
+
+	// Encode the r parity units.
+	parity := make([]byte, code.ParitySize())
+	if err := code.Encode(data, parity); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encoded %d data bytes -> %d parity bytes\n", len(data), len(parity))
+
+	// Scatter the stripe into per-unit shards, as a storage cluster would.
+	unit := code.UnitSize()
+	shards := make([][]byte, code.K()+code.R())
+	for i := 0; i < code.K(); i++ {
+		shards[i] = append([]byte(nil), data[i*unit:(i+1)*unit]...)
+	}
+	for i := 0; i < code.R(); i++ {
+		shards[code.K()+i] = append([]byte(nil), parity[i*unit:(i+1)*unit]...)
+	}
+
+	// Catastrophe: four nodes die, including two data nodes.
+	for _, dead := range []int{0, 5, 11, 13} {
+		shards[dead] = nil
+		fmt.Printf("lost unit %d\n", dead)
+	}
+
+	// Reconstruct them all.
+	if err := code.Reconstruct(shards); err != nil {
+		log.Fatal(err)
+	}
+	for _, i := range []int{0, 5} {
+		if !bytes.Equal(shards[i], data[i*unit:(i+1)*unit]) {
+			log.Fatalf("unit %d reconstructed incorrectly", i)
+		}
+	}
+	fmt.Println("all lost units reconstructed correctly")
+}

@@ -1,0 +1,122 @@
+// Tensorexpr renders the paper's Listing 3 in this repository's te DSL:
+// a GEMM and a bitmatrix erasure code declared side by side, differing only
+// in the reducer (sum -> xor) and the inner operator (* -> &). It then
+// schedules the erasure code the way the autotuner would, prints the
+// lowered loop IR before and after (the paper's §8 "reason about the
+// optimizations" plan), and executes both paths to show the compiled
+// kernel agrees with the interpreter.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gemmec/internal/te"
+)
+
+func main() {
+	const m, k, n = 16, 64, 512 // parity planes x data planes x words
+
+	// ---- Listing 3, lines 5-7: GEMM ----
+	ga, gb, gc := te.GEMMComputeDecl(m, k, n)
+	fmt.Println("GEMM declaration:")
+	fmt.Printf("  C = compute((%d,%d), lambda i,j: sum(A[i,k] * B[k,j], axis=k))\n\n", m, n)
+
+	// ---- Listing 3, lines 9-12: bitmatrix erasure code ----
+	a, b, c := te.ECComputeDecl(m, k, n)
+	fmt.Println("Bitmatrix erasure code declaration (only the reducer and operator change):")
+	fmt.Printf("  xor = comm_reducer(lambda i,j: i ^ j)\n")
+	fmt.Printf("  C = compute((%d,%d), lambda i,j: xor(A[i,k] & B[k,j], axis=k))\n\n", m, n)
+
+	// Naive schedule: exactly the loop nest of Listing 2.
+	naive := te.CreateSchedule(c)
+	axes := naive.Leaf()
+	if err := naive.Vectorize(axes[1]); err != nil {
+		log.Fatal(err)
+	}
+	mod, err := te.Lower(naive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Lowered IR, naive schedule:")
+	fmt.Println(mod.Print())
+
+	// Optimized schedule: tile the word axis, fuse the reduction 4 wide —
+	// the optimizations §4.2 lists (vectorization, loop reordering, cache
+	// blocking) that the erasure code inherits from the GEMM machinery.
+	a2, b2, c2 := te.ECComputeDecl(m, k, n)
+	sched := te.CreateSchedule(c2)
+	ax := sched.Leaf()
+	i, j, rk := ax[0], ax[1], ax[2]
+	jo, ji, err := sched.Split(j, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sched.Vectorize(ji); err != nil {
+		log.Fatal(err)
+	}
+	if _, ki, err := sched.Split(rk, 4); err != nil {
+		log.Fatal(err)
+	} else if err := sched.Unroll(ki); err != nil {
+		log.Fatal(err)
+	}
+	if err := sched.Reorder(jo, i); err != nil {
+		log.Fatal(err)
+	}
+	mod2, err := te.Lower(sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Lowered IR, optimized schedule (tiled, reduction-unrolled, tiles outer):")
+	fmt.Println(mod2.Print())
+
+	// Execute: interpreter on the naive module, compiled kernel on the
+	// optimized schedule; results must agree bit for bit.
+	rng := rand.New(rand.NewSource(1))
+	aBuf := te.NewBuffer(a)
+	if err := te.PackMask(aBuf, m, k, func(i, j int) bool { return rng.Intn(2) == 1 }); err != nil {
+		log.Fatal(err)
+	}
+	bBuf := te.NewBuffer(b)
+	rng.Read(bBuf)
+
+	cInterp := te.NewBuffer(c)
+	if err := te.Interpret(mod, te.Bindings{a: aBuf, b: bBuf, c: cInterp}); err != nil {
+		log.Fatal(err)
+	}
+
+	kern, err := te.Build(sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cKern := te.NewBuffer(c2)
+	if err := kern.Exec(te.Bindings{a2: aBuf, b2: bBuf, c2: cKern}); err != nil {
+		log.Fatal(err)
+	}
+	for e := 0; e < m*n; e++ {
+		if cInterp.Word(e) != cKern.Word(e) {
+			log.Fatalf("interpreter and kernel disagree at element %d", e)
+		}
+	}
+	fmt.Printf("interpreter and compiled kernel agree on all %d output words\n", m*n)
+	fmt.Printf("compiled kernel config: %v\n", kern.Config())
+
+	// And the GEMM still runs through the same interpreter.
+	gmod, err := te.Lower(te.CreateSchedule(gc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gaB, gbB := te.NewBuffer(ga), te.NewBuffer(gb)
+	for e := 0; e < m*k; e++ {
+		gaB.SetWord(e, uint64(rng.Intn(100)))
+	}
+	for e := 0; e < k*n; e++ {
+		gbB.SetWord(e, uint64(rng.Intn(100)))
+	}
+	gcB := te.NewBuffer(gc)
+	if err := te.Interpret(gmod, te.Bindings{ga: gaB, gb: gbB, gc: gcB}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GEMM executed through the same machinery; C[0,0] = %d\n", gcB.Word(0))
+}

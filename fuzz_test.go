@@ -1,0 +1,112 @@
+package gemmec_test
+
+import (
+	"bytes"
+	"testing"
+
+	"gemmec"
+)
+
+// FuzzEncodeReconstruct drives random data, geometry selectors and erasure
+// masks through a full encode -> erase -> reconstruct -> verify cycle. Run
+// with `go test -fuzz FuzzEncodeReconstruct` for open-ended fuzzing; under
+// plain `go test` the seed corpus below runs as regression tests.
+func FuzzEncodeReconstruct(f *testing.F) {
+	f.Add([]byte("seed data"), uint8(0), uint16(0b000011))
+	f.Add([]byte{}, uint8(1), uint16(0b100001))
+	f.Add(bytes.Repeat([]byte{0xFF}, 300), uint8(2), uint16(0b010100))
+	f.Add([]byte("x"), uint8(3), uint16(0xFFFF))
+
+	geometries := []struct{ k, r, unit int }{
+		{3, 2, 512},
+		{4, 2, 1024},
+		{5, 3, 512},
+		{2, 2, 576},
+	}
+	codes := make([]*gemmec.Code, len(geometries))
+	for i, g := range geometries {
+		var err error
+		codes[i], err = gemmec.New(g.k, g.r, gemmec.WithUnitSize(g.unit))
+		if err != nil {
+			f.Fatal(err)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, geomSel uint8, eraseMask uint16) {
+		code := codes[int(geomSel)%len(codes)]
+		k, r, unit := code.K(), code.R(), code.UnitSize()
+
+		stripe := make([]byte, code.DataSize())
+		copy(stripe, data)
+		parity := make([]byte, code.ParitySize())
+		if err := code.Encode(stripe, parity); err != nil {
+			t.Fatal(err)
+		}
+
+		shards := make([][]byte, k+r)
+		for i := 0; i < k; i++ {
+			shards[i] = append([]byte(nil), stripe[i*unit:(i+1)*unit]...)
+		}
+		for i := 0; i < r; i++ {
+			shards[k+i] = append([]byte(nil), parity[i*unit:(i+1)*unit]...)
+		}
+		orig := make([][]byte, len(shards))
+		copy(orig, shards)
+
+		// Erase at most r shards chosen by the mask.
+		erased := 0
+		for i := 0; i < k+r && erased < r; i++ {
+			if eraseMask>>uint(i)&1 == 1 {
+				shards[i] = nil
+				erased++
+			}
+		}
+		if err := code.Reconstruct(shards); err != nil {
+			t.Fatalf("reconstruct (mask %b): %v", eraseMask, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("shard %d wrong after reconstruct", i)
+			}
+		}
+	})
+}
+
+// FuzzUpdateParity checks that incremental updates agree with re-encoding
+// for arbitrary block contents.
+func FuzzUpdateParity(f *testing.F) {
+	f.Add([]byte("old"), []byte("new"), uint8(0))
+	f.Add([]byte{}, bytes.Repeat([]byte{7}, 100), uint8(2))
+
+	code, err := gemmec.New(3, 2, gemmec.WithUnitSize(512))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, oldSeed, newSeed []byte, blockSel uint8) {
+		u := int(blockSel) % code.K()
+		unit := code.UnitSize()
+
+		stripe := make([]byte, code.DataSize())
+		copy(stripe[u*unit:(u+1)*unit], oldSeed)
+		parity := make([]byte, code.ParitySize())
+		if err := code.Encode(stripe, parity); err != nil {
+			t.Fatal(err)
+		}
+
+		oldBlock := append([]byte(nil), stripe[u*unit:(u+1)*unit]...)
+		newBlock := make([]byte, unit)
+		copy(newBlock, newSeed)
+		if err := code.UpdateParity(parity, u, oldBlock, newBlock); err != nil {
+			t.Fatal(err)
+		}
+		copy(stripe[u*unit:], newBlock)
+
+		ok, err := code.Verify(stripe, parity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("incremental parity inconsistent with re-encode")
+		}
+	})
+}

@@ -1,0 +1,290 @@
+package gemmec
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newSmall(t *testing.T, k, r int, opts ...Option) *Code {
+	t.Helper()
+	opts = append([]Option{WithUnitSize(4096)}, opts...)
+	c, err := New(k, r, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEncodeReconstructRoundTrip(t *testing.T) {
+	c := newSmall(t, 6, 3)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, c.DataSize())
+	rng.Read(data)
+	parity := make([]byte, c.ParitySize())
+	if err := c.Encode(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Verify(data, parity)
+	if err != nil || !ok {
+		t.Fatalf("verify failed ok=%v err=%v", ok, err)
+	}
+
+	unit := c.UnitSize()
+	shards := make([][]byte, c.K()+c.R())
+	for i := 0; i < c.K(); i++ {
+		shards[i] = append([]byte(nil), data[i*unit:(i+1)*unit]...)
+	}
+	for i := 0; i < c.R(); i++ {
+		shards[c.K()+i] = append([]byte(nil), parity[i*unit:(i+1)*unit]...)
+	}
+	orig := make([][]byte, len(shards))
+	copy(orig, shards)
+
+	// Lose the maximum tolerated number of shards.
+	lost := []int{0, 4, 7}
+	for _, i := range lost {
+		shards[i] = nil
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], orig[i]) {
+			t.Fatalf("shard %d wrong after reconstruct", i)
+		}
+	}
+
+	// Corruption must fail verification.
+	parity[3] ^= 0xFF
+	ok, err = c.Verify(data, parity)
+	if err != nil || ok {
+		t.Fatal("corrupted parity verified")
+	}
+}
+
+func TestEncodeShardsMatchesContiguous(t *testing.T) {
+	c := newSmall(t, 5, 2)
+	rng := rand.New(rand.NewSource(2))
+	unit := c.UnitSize()
+	data := make([]byte, c.DataSize())
+	rng.Read(data)
+
+	parity := make([]byte, c.ParitySize())
+	if err := c.Encode(data, parity); err != nil {
+		t.Fatal(err)
+	}
+
+	shards := make([][]byte, c.K()+c.R())
+	for i := range shards {
+		shards[i] = make([]byte, unit)
+		if i < c.K() {
+			copy(shards[i], data[i*unit:])
+		}
+	}
+	if err := c.EncodeShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.R(); i++ {
+		if !bytes.Equal(shards[c.K()+i], parity[i*unit:(i+1)*unit]) {
+			t.Fatalf("sharded parity %d mismatch", i)
+		}
+	}
+	// Repeated calls reuse scratch without corruption.
+	if err := c.EncodeShards(shards); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.EncodeShards(shards[:3]); err == nil {
+		t.Error("wrong shard count accepted")
+	}
+	shards[1] = shards[1][:10]
+	if err := c.EncodeShards(shards); err == nil {
+		t.Error("short shard accepted")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	for name, opt := range map[string]Option{
+		"unit0":     WithUnitSize(0),
+		"badcons":   WithConstruction("nope"),
+		"trials0":   WithAutotune(0),
+		"cache\"\"": WithTuningCache(""),
+		"workers0":  WithWorkers(0),
+	} {
+		if _, err := New(4, 2, opt); err == nil {
+			t.Errorf("option %s accepted", name)
+		}
+	}
+	if _, err := New(4, 2, WithUnitSize(4096), WithWordSize(7)); err == nil {
+		t.Error("unsupported w accepted (unit not multiple of 8w)")
+	}
+	if _, err := New(300, 2, WithUnitSize(4096)); err == nil {
+		t.Error("k+r beyond field accepted")
+	}
+}
+
+func TestWordSizes(t *testing.T) {
+	for _, w := range []int{4, 8, 16} {
+		c, err := New(4, 2, WithWordSize(w), WithUnitSize(8*w*16))
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if c.W() != w {
+			t.Errorf("W()=%d want %d", c.W(), w)
+		}
+		data := make([]byte, c.DataSize())
+		rand.New(rand.NewSource(int64(w))).Read(data)
+		parity := make([]byte, c.ParitySize())
+		if err := c.Encode(data, parity); err != nil {
+			t.Fatal(err)
+		}
+		shards := make([][]byte, 6)
+		unit := c.UnitSize()
+		for i := 0; i < 4; i++ {
+			shards[i] = data[i*unit : (i+1)*unit]
+		}
+		shards[4] = nil
+		shards[5] = parity[unit:]
+		// Lost data unit 4? shards[4] is parity0 slot: we lose parity 0 and
+		// keep the rest; reconstruct and compare.
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(shards[4], parity[:unit]) {
+			t.Errorf("w=%d: parity reconstruction wrong", w)
+		}
+	}
+}
+
+func TestScheduleRoundTripAndPinning(t *testing.T) {
+	// unit=4096, w=8 -> planes of 512 bytes = 64 words; 256-byte tiles divide.
+	s := Schedule{BlockBytes: 256, Fanin: 4, TilesOuter: true, Workers: 1}
+	c := newSmall(t, 8, 2, WithSchedule(s))
+	got := c.Schedule()
+	if got.BlockBytes != 256 || got.Fanin != 4 || !got.TilesOuter || got.Parallel != "" {
+		t.Errorf("schedule round trip gave %+v", got)
+	}
+	if _, err := New(8, 2, WithUnitSize(4096), WithSchedule(Schedule{BlockBytes: 9, Fanin: 1, Workers: 1})); err == nil {
+		t.Error("unaligned block bytes accepted")
+	}
+	if _, err := New(8, 2, WithUnitSize(4096), WithSchedule(Schedule{BlockBytes: 1024, Fanin: 1, Parallel: "weird", Workers: 2})); err == nil {
+		t.Error("bad parallel axis accepted")
+	}
+	if _, err := New(8, 2, WithUnitSize(4096), WithSchedule(Schedule{BlockBytes: 1000, Fanin: 3, Workers: 1})); err == nil {
+		t.Error("illegal schedule accepted")
+	}
+}
+
+func TestAutotuneWithCacheFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.json")
+	c1, err := New(4, 2, WithUnitSize(4096), WithAutotune(5), WithTuningCache(path), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(4, 2, WithUnitSize(4096), WithAutotune(5), WithTuningCache(path), WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Schedule() != c2.Schedule() {
+		t.Error("second construction did not reuse cached schedule")
+	}
+}
+
+func TestLoweredIRPublic(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	ir, err := c.LoweredIR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ir, "vectorize") {
+		t.Errorf("IR missing vectorize:\n%s", ir)
+	}
+}
+
+func TestStripeBufferIntegration(t *testing.T) {
+	c := newSmall(t, 3, 2)
+	sb, err := c.NewStripeBuffer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	chunks := make([][]byte, 3)
+	for i := range chunks {
+		chunks[i] = make([]byte, c.UnitSize())
+		rng.Read(chunks[i])
+	}
+	// Chunks arrive out of order, as from concurrent writers.
+	for _, i := range []int{2, 0, 1} {
+		if err := sb.Put(i, chunks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := sb.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity := make([]byte, c.ParitySize())
+	if err := c.Encode(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against direct assembly.
+	direct := bytes.Join(chunks, nil)
+	p2 := make([]byte, c.ParitySize())
+	if err := c.Encode(direct, p2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parity, p2) {
+		t.Error("stripe-assembled encode differs")
+	}
+
+	pool, err := c.NewStripePool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Put(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateParityPublic(t *testing.T) {
+	c := newSmall(t, 5, 2)
+	rng := rand.New(rand.NewSource(6))
+	data := make([]byte, c.DataSize())
+	rng.Read(data)
+	parity := make([]byte, c.ParitySize())
+	if err := c.Encode(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	unit := c.UnitSize()
+	oldUnit := append([]byte(nil), data[2*unit:3*unit]...)
+	newUnit := make([]byte, unit)
+	rng.Read(newUnit)
+	if err := c.UpdateParity(parity, 2, oldUnit, newUnit); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[2*unit:], newUnit)
+	ok, err := c.Verify(data, parity)
+	if err != nil || !ok {
+		t.Fatalf("parity stale after UpdateParity (ok=%v err=%v)", ok, err)
+	}
+	if err := c.UpdateParity(parity, 9, oldUnit, newUnit); err == nil {
+		t.Error("out-of-range unit accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := newSmall(t, 6, 3)
+	if c.K() != 6 || c.R() != 3 || c.UnitSize() != 4096 {
+		t.Error("accessors wrong")
+	}
+	if c.DataSize() != 6*4096 || c.ParitySize() != 3*4096 {
+		t.Error("sizes wrong")
+	}
+}

@@ -1,0 +1,3 @@
+module gemmec
+
+go 1.22

@@ -1,0 +1,125 @@
+package gemmec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestGridRoundTrip sweeps a grid of geometries and constructions through
+// encode -> erase-r -> reconstruct -> verify, the public API's blanket
+// soundness test.
+func TestGridRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, cons := range []string{"cauchy-good", "cauchy", "cauchy-best", "vandermonde"} {
+		for _, kr := range [][2]int{{2, 1}, {3, 2}, {5, 2}, {6, 3}, {10, 4}} {
+			k, r := kr[0], kr[1]
+			c, err := New(k, r, WithUnitSize(1024), WithConstruction(cons))
+			if err != nil {
+				t.Fatalf("%s k=%d r=%d: %v", cons, k, r, err)
+			}
+			data := make([]byte, c.DataSize())
+			rng.Read(data)
+			parity := make([]byte, c.ParitySize())
+			if err := c.Encode(data, parity); err != nil {
+				t.Fatal(err)
+			}
+			ok, err := c.Verify(data, parity)
+			if err != nil || !ok {
+				t.Fatalf("%s k=%d r=%d: verify failed", cons, k, r)
+			}
+
+			unit := c.UnitSize()
+			shards := make([][]byte, k+r)
+			for i := 0; i < k; i++ {
+				shards[i] = append([]byte(nil), data[i*unit:(i+1)*unit]...)
+			}
+			for i := 0; i < r; i++ {
+				shards[k+i] = append([]byte(nil), parity[i*unit:(i+1)*unit]...)
+			}
+			orig := make([][]byte, len(shards))
+			copy(orig, shards)
+			// Erase r random shards.
+			for _, i := range rng.Perm(k + r)[:r] {
+				shards[i] = nil
+			}
+			if err := c.Reconstruct(shards); err != nil {
+				t.Fatalf("%s k=%d r=%d: %v", cons, k, r, err)
+			}
+			for i := range shards {
+				if !bytes.Equal(shards[i], orig[i]) {
+					t.Fatalf("%s k=%d r=%d: shard %d wrong", cons, k, r, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWithWorkersSerialMachine: requesting workers on a serial schedule is
+// harmless (the engine stays correct; parallelism engages only when the
+// schedule asks for it).
+func TestWithWorkersSerialMachine(t *testing.T) {
+	c, err := New(4, 2, WithUnitSize(2048), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, c.DataSize())
+	rand.New(rand.NewSource(5)).Read(data)
+	parity := make([]byte, c.ParitySize())
+	if err := c.Encode(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Verify(data, parity)
+	if err != nil || !ok {
+		t.Fatal("verify failed with workers override")
+	}
+}
+
+// TestConcurrentCodeUse drives one Code from several goroutines; run under
+// -race to validate the documented concurrency contract of the public API.
+func TestConcurrentCodeUse(t *testing.T) {
+	c, err := New(4, 2, WithUnitSize(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			rng := rand.New(rand.NewSource(int64(g)))
+			data := make([]byte, c.DataSize())
+			rng.Read(data)
+			parity := make([]byte, c.ParitySize())
+			for iter := 0; iter < 5; iter++ {
+				if err := c.Encode(data, parity); err != nil {
+					done <- err
+					return
+				}
+				shards := make([][]byte, 6)
+				unit := c.UnitSize()
+				for i := 0; i < 4; i++ {
+					shards[i] = data[i*unit : (i+1)*unit]
+				}
+				shards[4] = nil
+				shards[5] = parity[unit:]
+				if err := c.Reconstruct(shards); err != nil {
+					done <- err
+					return
+				}
+				if !bytes.Equal(shards[4], parity[:unit]) {
+					done <- errMismatch{}
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type errMismatch struct{}
+
+func (errMismatch) Error() string { return "reconstructed parity mismatch" }

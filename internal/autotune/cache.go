@@ -1,0 +1,130 @@
+package autotune
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Record is a persisted tuning result for one problem configuration,
+// the analogue of one line of a TVM tuning log. M, K and N record the
+// GEMM shape the schedule was tuned for, so near-miss lookups can transfer
+// schedules across neighboring shapes.
+type Record struct {
+	M       int           `json:"m,omitempty"`
+	K       int           `json:"k,omitempty"`
+	N       int           `json:"n,omitempty"`
+	Params  Params        `json:"params"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Trials  int           `json:"trials"`
+}
+
+// Cache is a JSON-backed store of tuned schedules keyed by problem
+// configuration and machine, so a storage system tunes once and reuses the
+// schedule on every start — exactly how TVM tuning logs are deployed.
+type Cache struct {
+	mu      sync.Mutex
+	records map[string]Record
+}
+
+// NewCache returns an empty in-memory cache.
+func NewCache() *Cache {
+	return &Cache{records: map[string]Record{}}
+}
+
+// Key builds the lookup key for a problem shape. It includes GOARCH and the
+// core count because a tuned schedule is machine-specific.
+func Key(m, k, n, workersAvail int) string {
+	return fmt.Sprintf("%s/cpus=%d/m=%d/k=%d/n=%d", runtime.GOARCH, workersAvail, m, k, n)
+}
+
+// Get looks up a record.
+func (c *Cache) Get(key string) (Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.records[key]
+	return r, ok
+}
+
+// Put stores a record.
+func (c *Cache) Put(key string, r Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.records[key] = r
+}
+
+// NearestShape returns the record whose tuned GEMM shape (M, K) matches and
+// whose N is closest to the requested one — the transfer source when no
+// exact record exists. Records without shape metadata are skipped.
+func (c *Cache) NearestShape(m, k, n int) (Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best Record
+	bestDiff := -1
+	for _, r := range c.records {
+		if r.M != m || r.K != k || r.N <= 0 {
+			continue
+		}
+		d := r.N - n
+		if d < 0 {
+			d = -d
+		}
+		if bestDiff < 0 || d < bestDiff {
+			best, bestDiff = r, d
+		}
+	}
+	return best, bestDiff >= 0
+}
+
+// Len returns the number of records.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
+
+// Save writes the cache to path as JSON, atomically via a temp file rename.
+func (c *Cache) Save(path string) error {
+	c.mu.Lock()
+	data, err := json.MarshalIndent(c.records, "", "  ")
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("autotune: marshal cache: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("autotune: write cache: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("autotune: rename cache: %w", err)
+	}
+	return nil
+}
+
+// LoadCache reads a cache file. A missing file yields an empty cache; a
+// corrupt file yields an error (never a panic) so callers can fall back to
+// re-tuning.
+func LoadCache(path string) (*Cache, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return NewCache(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("autotune: read cache: %w", err)
+	}
+	records := map[string]Record{}
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("autotune: corrupt cache %s: %w", path, err)
+	}
+	for key, r := range records {
+		if r.Params.BlockWords <= 0 || r.Params.Fanin <= 0 || r.Params.Workers <= 0 {
+			return nil, fmt.Errorf("autotune: corrupt cache entry %q", key)
+		}
+	}
+	return &Cache{records: records}, nil
+}

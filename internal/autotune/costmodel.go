@@ -1,0 +1,120 @@
+package autotune
+
+import (
+	"math"
+
+	"gemmec/internal/te"
+)
+
+// CostModel is an online-trained linear regressor over hand-crafted
+// loop-nest features, predicting log(seconds) for a schedule. It plays the
+// role of Ansor's learned cost model: cheap to evaluate over thousands of
+// candidates, trained continuously from the measurements the tuner makes.
+// Features are standardized online (running mean/variance) so stochastic
+// gradient descent is stable without tuning.
+type CostModel struct {
+	w    []float64
+	n    int       // observations
+	mean []float64 // running feature means
+	m2   []float64 // running sum of squared deviations (Welford)
+	lr   float64
+}
+
+// NumFeatures is the dimensionality of Featurize's output.
+const NumFeatures = 9
+
+// NewCostModel returns an untrained model.
+func NewCostModel() *CostModel {
+	return &CostModel{
+		w:    make([]float64, NumFeatures+1), // +1 bias
+		mean: make([]float64, NumFeatures),
+		m2:   make([]float64, NumFeatures),
+		lr:   0.05,
+	}
+}
+
+// Featurize maps a schedule point on an M x K x N problem to model
+// features capturing the memory-hierarchy and loop-overhead effects the
+// schedule knobs trade off.
+func Featurize(p Params, m, k, n int) []float64 {
+	blockBytes := float64(p.BlockWords * 8)
+	// Working set per tile pass: destination tile + fanin source tiles.
+	working := blockBytes * float64(p.Fanin+1)
+	// Passes over each destination tile: one per reduction group.
+	passes := math.Ceil(float64(k) / 2 / float64(p.Fanin)) // ~K/2 expected ones
+	blocks := float64(n) / float64(p.BlockWords)
+
+	f := make([]float64, NumFeatures)
+	f[0] = math.Log2(blockBytes)
+	f[1] = working / (32 << 10)  // L1 pressure
+	f[2] = working / (1 << 20)   // L2 pressure
+	f[3] = passes                // store traffic multiplier
+	f[4] = math.Log2(blocks + 1) // tile-loop overhead
+	f[5] = float64(p.Workers)    // parallel speedup potential
+	f[6] = b2f(p.RowsOuter)      // traversal order
+	f[7] = b2f(p.Parallel != te.ParallelNone)
+	f[8] = b2f(p.Staged) // cache_write accumulator staging
+	return f
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Observations returns the number of training examples seen.
+func (c *CostModel) Observations() int { return c.n }
+
+// normalize standardizes a feature vector with the running statistics.
+func (c *CostModel) normalize(f []float64) []float64 {
+	out := make([]float64, len(f))
+	for i, v := range f {
+		sd := 1.0
+		if c.n > 1 {
+			sd = math.Sqrt(c.m2[i]/float64(c.n-1)) + 1e-9
+		}
+		out[i] = (v - c.mean[i]) / sd
+	}
+	return out
+}
+
+// Predict returns the predicted log(seconds) for a feature vector. With no
+// training data it returns 0 for everything (uninformative but harmless:
+// the tuner then behaves like random search).
+func (c *CostModel) Predict(f []float64) float64 {
+	x := c.normalize(f)
+	y := c.w[len(c.w)-1]
+	for i, v := range x {
+		y += c.w[i] * v
+	}
+	return y
+}
+
+// Update performs one SGD step toward the observed target (log seconds),
+// after updating the running normalization statistics.
+func (c *CostModel) Update(f []float64, target float64) {
+	c.n++
+	for i, v := range f {
+		delta := v - c.mean[i]
+		c.mean[i] += delta / float64(c.n)
+		c.m2[i] += delta * (v - c.mean[i])
+	}
+	x := c.normalize(f)
+	pred := c.w[len(c.w)-1]
+	for i, v := range x {
+		pred += c.w[i] * v
+	}
+	grad := pred - target
+	// Clip to keep a bad early sample from destabilizing the weights.
+	if grad > 5 {
+		grad = 5
+	} else if grad < -5 {
+		grad = -5
+	}
+	for i, v := range x {
+		c.w[i] -= c.lr * grad * v
+	}
+	c.w[len(c.w)-1] -= c.lr * grad
+}

@@ -1,0 +1,319 @@
+package autotune
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"gemmec/internal/te"
+)
+
+// Strategy selects the search algorithm.
+type Strategy int
+
+const (
+	// StrategyRandom measures uniformly sampled points.
+	StrategyRandom Strategy = iota
+	// StrategyEvolutionary keeps a population of the best measured points,
+	// proposes mutations plus random restarts, ranks proposals with the
+	// learned cost model, and measures only the most promising — the shape
+	// of Ansor's evolutionary search (§6.1's Autoscheduler).
+	StrategyEvolutionary
+	// StrategyGrid measures every point of the space in order.
+	StrategyGrid
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRandom:
+		return "random"
+	case StrategyEvolutionary:
+		return "evolutionary"
+	case StrategyGrid:
+		return "grid"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Trial records one measured schedule.
+type Trial struct {
+	Params  Params        `json:"params"`
+	Elapsed time.Duration `json:"elapsed"`
+	// BestSoFar is the best (lowest) elapsed seen up to and including this
+	// trial, for the E-TUNE convergence curve.
+	BestSoFar time.Duration `json:"best_so_far"`
+}
+
+// Result is the outcome of a tuning run.
+type Result struct {
+	Best     Params
+	BestTime time.Duration
+	History  []Trial
+}
+
+// WriteLog streams the full trial history as JSON lines — the analogue of a
+// TVM tuning log, which records every measured schedule rather than only
+// the winner so later analyses (and cost-model training) can replay it.
+func (r *Result) WriteLog(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, t := range r.History {
+		if err := enc.Encode(t); err != nil {
+			return fmt.Errorf("autotune: write log: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadLog parses a JSON-lines tuning log back into trial history and
+// recomputes the best entry.
+func ReadLog(rd io.Reader) (*Result, error) {
+	dec := json.NewDecoder(rd)
+	res := &Result{BestTime: time.Duration(math.MaxInt64)}
+	for {
+		var t Trial
+		if err := dec.Decode(&t); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("autotune: read log: %w", err)
+		}
+		res.History = append(res.History, t)
+		if t.Elapsed > 0 && t.Elapsed < res.BestTime {
+			res.BestTime = t.Elapsed
+			res.Best = t.Params
+		}
+	}
+	if len(res.History) == 0 {
+		return nil, errors.New("autotune: empty tuning log")
+	}
+	return res, nil
+}
+
+// GBps converts a per-call duration into encode throughput given the bytes
+// encoded per call.
+func GBps(bytes int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e9
+}
+
+// Tuner searches the schedule space for one problem instance. The mask
+// (generator selection lists) is part of the instance: real tuning runs use
+// the actual code's bitmatrix, so measured times reflect its XOR density.
+type Tuner struct {
+	M, K, N int
+	space   Space
+	mask    func(i, j int) bool
+	rng     *rand.Rand
+
+	// Measurement controls.
+	Warmup  int
+	Repeats int
+
+	// Evolutionary controls.
+	Population  int
+	Mutations   int
+	RandomFrac  float64
+	model       *CostModel
+	measureHook func(p Params, d time.Duration) // tests observe measurements
+}
+
+// NewTuner builds a tuner for an M x K x N problem whose generator bit
+// (i, j) is given by mask.
+func NewTuner(m, k, n int, mask func(i, j int) bool, seed int64) (*Tuner, error) {
+	space, err := NewSpace(m, k, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Tuner{
+		M: m, K: k, N: n,
+		space:      space,
+		mask:       mask,
+		rng:        rand.New(rand.NewSource(seed)),
+		Warmup:     1,
+		Repeats:    3,
+		Population: 8,
+		Mutations:  4,
+		RandomFrac: 0.2,
+		model:      NewCostModel(),
+	}, nil
+}
+
+// Space returns the tuner's search space.
+func (t *Tuner) Space() Space { return t.space }
+
+// measure compiles and times one parameter point, returning the minimum of
+// Repeats runs after Warmup runs (minimum-of-N is the standard
+// noise-robust estimator for microbenchmarks).
+func (t *Tuner) measure(p Params) (time.Duration, error) {
+	comp, err := Compile(t.M, t.K, t.N, p)
+	if err != nil {
+		return 0, err
+	}
+	aBuf := te.NewBuffer(comp.A)
+	if err := te.PackMask(aBuf, t.M, t.K, t.mask); err != nil {
+		return 0, err
+	}
+	bBuf := te.NewBuffer(comp.B)
+	t.rng.Read(bBuf)
+	bind := te.Bindings{comp.A: aBuf, comp.B: bBuf, comp.C: te.NewBuffer(comp.C)}
+
+	for w := 0; w < t.Warmup; w++ {
+		if err := comp.Kernel.Exec(bind); err != nil {
+			return 0, err
+		}
+	}
+	best := time.Duration(math.MaxInt64)
+	for r := 0; r < t.Repeats; r++ {
+		start := time.Now()
+		if err := comp.Kernel.Exec(bind); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	if t.measureHook != nil {
+		t.measureHook(p, best)
+	}
+	return best, nil
+}
+
+// Tune runs up to trials measurements with the given strategy and returns
+// the best point found plus the full history.
+func (t *Tuner) Tune(strategy Strategy, trials int) (*Result, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("autotune: trials must be positive")
+	}
+	res := &Result{BestTime: time.Duration(math.MaxInt64)}
+	seen := map[Params]bool{}
+
+	record := func(p Params, d time.Duration) {
+		if d < res.BestTime {
+			res.BestTime = d
+			res.Best = p
+		}
+		res.History = append(res.History, Trial{Params: p, Elapsed: d, BestSoFar: res.BestTime})
+	}
+
+	measureNew := func(p Params) error {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		d, err := t.measure(p)
+		if err != nil {
+			return err
+		}
+		record(p, d)
+		t.model.Update(Featurize(p, t.M, t.K, t.N), math.Log(d.Seconds()))
+		return nil
+	}
+
+	switch strategy {
+	case StrategyGrid:
+		for _, p := range t.space.All() {
+			if len(res.History) >= trials {
+				break
+			}
+			if err := measureNew(p); err != nil {
+				return nil, err
+			}
+		}
+	case StrategyRandom:
+		// Always include the default point so the curve starts from the
+		// naive schedule.
+		if err := measureNew(t.space.Default()); err != nil {
+			return nil, err
+		}
+		for attempts := 0; len(res.History) < trials && attempts < trials*20; attempts++ {
+			if err := measureNew(t.space.Random(t.rng)); err != nil {
+				return nil, err
+			}
+		}
+	case StrategyEvolutionary:
+		if err := measureNew(t.space.Default()); err != nil {
+			return nil, err
+		}
+		// Seed with random points.
+		for len(res.History) < min(t.Population, trials) {
+			if err := measureNew(t.space.Random(t.rng)); err != nil {
+				return nil, err
+			}
+		}
+		for len(res.History) < trials {
+			// Propose candidates: mutations of the population's elite plus
+			// fresh random points.
+			elite := topK(res.History, t.Population)
+			var cands []Params
+			for _, e := range elite {
+				for m := 0; m < t.Mutations; m++ {
+					cands = append(cands, t.space.Mutate(t.rng, e.Params))
+				}
+			}
+			nRandom := int(float64(len(cands)+1) * t.RandomFrac)
+			for i := 0; i < nRandom+1; i++ {
+				cands = append(cands, t.space.Random(t.rng))
+			}
+			// Rank by predicted cost and measure the most promising unseen one.
+			best, ok := t.bestPredicted(cands, seen)
+			if !ok {
+				best = t.space.Random(t.rng)
+				if seen[best] {
+					break // space exhausted
+				}
+			}
+			if err := measureNew(best); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("autotune: unknown strategy %d", strategy)
+	}
+	if len(res.History) == 0 {
+		return nil, fmt.Errorf("autotune: no trials executed")
+	}
+	return res, nil
+}
+
+func (t *Tuner) bestPredicted(cands []Params, seen map[Params]bool) (Params, bool) {
+	bestScore := math.Inf(1)
+	var best Params
+	found := false
+	for _, p := range cands {
+		if seen[p] || !t.space.Contains(p) {
+			continue
+		}
+		score := t.model.Predict(Featurize(p, t.M, t.K, t.N))
+		if score < bestScore {
+			bestScore, best, found = score, p, true
+		}
+	}
+	return best, found
+}
+
+func topK(hist []Trial, k int) []Trial {
+	sorted := append([]Trial(nil), hist...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1].Elapsed > sorted[j].Elapsed; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	return sorted
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

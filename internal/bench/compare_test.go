@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCompareInterleavesAndTakesMin(t *testing.T) {
+	calls := map[string]int{}
+	ms, err := Compare(20*time.Millisecond, []Alt{
+		{Name: "fast", Bytes: 100, F: func() error { calls["fast"]++; return nil }},
+		{Name: "slow", Bytes: 100, F: func() error {
+			calls["slow"]++
+			time.Sleep(500 * time.Microsecond)
+			return nil
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("%d measurements", len(ms))
+	}
+	// Round-robin: call counts equal (plus one warmup each).
+	if calls["fast"] != calls["slow"] {
+		t.Errorf("calls fast=%d slow=%d, want equal", calls["fast"], calls["slow"])
+	}
+	if calls["fast"] < 2 {
+		t.Error("too few rounds")
+	}
+	if ms[0].Name != "fast" || ms[1].Name != "slow" {
+		t.Error("order not preserved")
+	}
+	if ms[0].Elapsed >= ms[1].Elapsed {
+		t.Errorf("fast (%v) not faster than slow (%v)", ms[0].Elapsed, ms[1].Elapsed)
+	}
+	if ms[1].Elapsed < 400*time.Microsecond {
+		t.Errorf("slow min %v below its floor", ms[1].Elapsed)
+	}
+	if ms[0].Ops != 1 || ms[0].Bytes != 100 {
+		t.Error("measurement metadata wrong")
+	}
+}
+
+func TestCompareErrorPropagation(t *testing.T) {
+	// Warmup failure.
+	if _, err := Compare(time.Millisecond, []Alt{
+		{Name: "bad", Bytes: 1, F: func() error { return errTest }},
+	}); err == nil {
+		t.Error("warmup error swallowed")
+	}
+	// Failure after warmup.
+	n := 0
+	if _, err := Compare(10*time.Millisecond, []Alt{
+		{Name: "flaky", Bytes: 1, F: func() error {
+			n++
+			if n > 1 {
+				return errTest
+			}
+			return nil
+		}},
+	}); err == nil {
+		t.Error("mid-run error swallowed")
+	}
+}

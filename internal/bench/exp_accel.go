@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"gemmec/internal/device"
+	"gemmec/internal/uezato"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "accel",
+		Paper: "§3 (accelerator-native applications need accelerator-native EC)",
+		Title: "Encoding where the data lives: device-native vs copy-to-host round trip",
+		Run:   runAccel,
+	})
+}
+
+// runAccel reproduces the paper's §3 argument quantitatively: when the data
+// to be encoded is generated on an accelerator (ML training state, §3's
+// checkpointing example), a portable ML-library coder encodes in place,
+// while a host-only custom library forces a D2H copy of the stripe, a host
+// encode, and an H2D copy of the parities. The simulated device link runs
+// at a configurable fraction of memcpy bandwidth (4x slowdown here, the
+// rough HBM:PCIe ratio).
+func runAccel(w io.Writer, cfg Config) error {
+	k, r := 10, 4
+	eng, err := newEngine(k, r, cfg)
+	if err != nil {
+		return err
+	}
+	uz, err := uezato.New(k, r, 8)
+	if err != nil {
+		return err
+	}
+
+	t := NewTable("Accelerator-resident encoding (k=10, r=4, w=8; device link at 1/4 memcpy bandwidth)",
+		"path", "time/op", "vs native", "transferred/op")
+	for _, slowdown := range []int{4} {
+		dev, err := device.New("sim0", slowdown)
+		if err != nil {
+			return err
+		}
+		coder := device.NewCoder(dev, eng)
+		dData, err := dev.Alloc(k * cfg.UnitSize)
+		if err != nil {
+			return err
+		}
+		copy(dData.Data(), RandomBytes(cfg.Seed, k*cfg.UnitSize))
+		dParity, err := dev.Alloc(r * cfg.UnitSize)
+		if err != nil {
+			return err
+		}
+		var hostData, hostParity []byte
+
+		alts := []Alt{
+			{Name: "device-native (gemmec on device)", Bytes: k * cfg.UnitSize, F: func() error {
+				return coder.EncodeOnDevice(dData, dParity)
+			}},
+			{Name: "via host (gemmec on host + transfers)", Bytes: k * cfg.UnitSize, F: func() error {
+				var err error
+				hostData, hostParity, err = coder.EncodeViaHost(dData, dParity, eng.Encode, hostData, hostParity)
+				return err
+			}},
+			{Name: "via host (uezato on host + transfers)", Bytes: k * cfg.UnitSize, F: func() error {
+				var err error
+				hostData, hostParity, err = coder.EncodeViaHost(dData, dParity, func(d, p []byte) error {
+					return uz.EncodeStripe(d, p, cfg.UnitSize)
+				}, hostData, hostParity)
+				return err
+			}},
+		}
+		ms, err := Compare(3*cfg.MinTime, alts)
+		if err != nil {
+			return err
+		}
+		native := ms[0].PerOp().Seconds()
+		perOpBytes := []int64{0, int64((k + r) * cfg.UnitSize), int64((k + r) * cfg.UnitSize)}
+		for i, m := range ms {
+			t.AddF(m.Name, m.PerOp().String(),
+				fmt.Sprintf("%.2fx", m.PerOp().Seconds()/native), byteSize(int(perOpBytes[i])))
+		}
+	}
+	t.Note("the device-native path is possible because the kernel comes from a portable declaration (§4.1); host-only libraries pay the transfers")
+	return t.Fprint(w)
+}

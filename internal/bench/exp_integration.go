@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gemmec/internal/jerasure"
+	"gemmec/internal/uezato"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "memcpy",
+		Paper: "§5 in-text (copies add up to 84% overhead)",
+		Title: "Cost of gathering scattered units into the contiguous stripe a GEMM kernel needs",
+		Run:   runMemcpy,
+	})
+	register(Experiment{
+		ID:    "block",
+		Paper: "§6.1 in-text (2 KB blocking factor typically best)",
+		Title: "Uezato baseline: encode throughput vs cache-blocking factor",
+		Run:   runBlockSweep,
+	})
+	register(Experiment{
+		ID:    "loc",
+		Paper: "§6 highlights (~40 lines of code in TVM)",
+		Title: "Development effort: lines of tensor-expression code declaring the erasure code",
+		Run:   runLOC,
+	})
+}
+
+func runMemcpy(w io.Writer, cfg Config) error {
+	k, r := 10, 4
+	eng, err := newEngine(k, r, cfg)
+	if err != nil {
+		return err
+	}
+	// Scattered units, as a Jerasure-style caller would hold them.
+	units := make([][]byte, k)
+	for i := range units {
+		units[i] = RandomBytes(cfg.Seed+int64(i), cfg.UnitSize)
+	}
+	contig := make([]byte, k*cfg.UnitSize)
+	for i, u := range units {
+		copy(contig[i*cfg.UnitSize:], u)
+	}
+	parity := make([]byte, r*cfg.UnitSize)
+	bytesPerOp := k * cfg.UnitSize
+
+	// Jerasure operates on the pointers directly - no gather needed.
+	jz, err := jerasure.New(k, r, 8)
+	if err != nil {
+		return err
+	}
+	jparity := make([][]byte, r)
+	for i := range jparity {
+		jparity[i] = make([]byte, cfg.UnitSize)
+	}
+	var scratch []byte
+	// Interleaved min-based comparison: the contiguous and gather paths are
+	// close, and sequential measurement lets cache warming invert the order.
+	ms, err := Compare(3*cfg.MinTime, []Alt{
+		{Name: "gemmec-contiguous", Bytes: bytesPerOp, F: func() error {
+			return eng.Encode(contig, parity)
+		}},
+		{Name: "gemmec-copy-first", Bytes: bytesPerOp, F: func() error {
+			var err error
+			scratch, err = eng.EncodeUnits(units, parity, scratch)
+			return err
+		}},
+		{Name: "jerasure-pointers", Bytes: bytesPerOp, F: func() error {
+			return jz.Encode(units, jparity)
+		}},
+		{Name: "gather-only", Bytes: bytesPerOp, F: func() error {
+			if cap(scratch) < bytesPerOp {
+				scratch = make([]byte, bytesPerOp)
+			}
+			scratch = scratch[:bytesPerOp]
+			for u, d := range units {
+				copy(scratch[u*cfg.UnitSize:], d)
+			}
+			return nil
+		}},
+	})
+	if err != nil {
+		return err
+	}
+	mContig, mCopy, mJerasure, mGather := ms[0], ms[1], ms[2], ms[3]
+
+	overhead := (mCopy.PerOp().Seconds() - mContig.PerOp().Seconds()) / mContig.PerOp().Seconds() * 100
+	t := NewTable("Memcpy overhead of the GEMM integration path (k=10, r=4, w=8)",
+		"path", "GB/s", "time/op", "overhead-vs-contiguous")
+	t.AddF("gemmec contiguous stripe", mContig.GBps(), mContig.PerOp().String(), "-")
+	t.AddF("gemmec gather-then-encode", mCopy.GBps(), mCopy.PerOp().String(), percentStr(overhead))
+	t.AddF("gather (memcpy) alone", mGather.GBps(), mGather.PerOp().String(),
+		percentStr(mGather.PerOp().Seconds()/mContig.PerOp().Seconds()*100))
+	t.AddF("jerasure pointer API (no gather)", mJerasure.GBps(), mJerasure.PerOp().String(), "-")
+	t.Note("paper: gathering scattered pointers costs up to 84%% extra; §5's fix is assembling stripes contiguously as chunks arrive (see internal/stripe)")
+	t.Note("relative copy cost scales with encode speed: the paper's AVX encoder runs near memcpy bandwidth, so its copies hurt proportionally more")
+	return t.Fprint(w)
+}
+
+func percentStr(v float64) string {
+	if v < 0 {
+		v = 0
+	}
+	return fmt.Sprintf("%.1f%%", v)
+}
+
+func runBlockSweep(w io.Writer, cfg Config) error {
+	k, r := 10, 4
+	data := RandomBytes(cfg.Seed, k*cfg.UnitSize)
+	parity := make([]byte, r*cfg.UnitSize)
+	bytesPerOp := k * cfg.UnitSize
+
+	t := NewTable("Uezato blocking-factor sweep (k=10, r=4, w=8)", "block", "GB/s", "time/op")
+	bestBlock, bestGBps := 0, 0.0
+	for _, block := range []int{512, 1024, 2048, 4096, 8192, 16384, 65536} {
+		uz, err := uezato.New(k, r, 8, uezato.WithBlockBytes(block))
+		if err != nil {
+			return err
+		}
+		m, err := Measure("uezato", bytesPerOp, cfg.MinTime, func() error {
+			return uz.EncodeStripe(data, parity, cfg.UnitSize)
+		})
+		if err != nil {
+			return err
+		}
+		if m.GBps() > bestGBps {
+			bestGBps, bestBlock = m.GBps(), block
+		}
+		t.AddF(byteSize(block), m.GBps(), m.PerOp().String())
+	}
+	t.Note("best blocking factor here: %s (paper typically found 2 KB best on its Xeon D)", byteSize(bestBlock))
+	return t.Fprint(w)
+}
+
+func byteSize(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// ecDeclaration is the complete gemmec-side declaration of a bitmatrix
+// erasure code, mirroring te.ECComputeDecl line for line — the artifact the
+// paper's "tens of lines of code" claim is about (their TVM prototype was
+// ~40 lines including tuning glue).
+const ecDeclaration = `A := te.Placeholder("A", te.BitMask, m, k)
+B := te.Placeholder("B", te.Word64, k, n)
+rk := te.ReduceAxis("k", k)
+C := te.Compute("C", []int{m, n}, te.Word64, func(iv []*te.IterVar) te.Expr {
+    return te.XorReducer.Reduce(te.And(A.At(te.V(iv[0]), te.V(rk)), B.At(te.V(rk), te.V(iv[1]))), rk)
+})
+s := te.CreateSchedule(C)
+// ... autotune or apply a schedule, then:
+kernel, err := te.Build(s)`
+
+func runLOC(w io.Writer, _ Config) error {
+	lines := strings.Count(strings.TrimSpace(ecDeclaration), "\n") + 1
+	t := NewTable("Development effort (E-LOC)", "artifact", "lines")
+	t.AddF("tensor-expression declaration of the erasure code (below)", lines)
+	t.AddF("paper's TVM prototype, total including tuning glue", "~40")
+	t.Note("declaration follows verbatim:")
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, ecDeclaration+"\n\n")
+	return err
+}

@@ -1,0 +1,266 @@
+package bitmatrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gemmec/internal/gf"
+	"gemmec/internal/matrix"
+)
+
+var f8 = gf.MustField(8)
+
+func randBitMatrix(rng *rand.Rand, rows, cols int) *BitMatrix {
+	b := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Intn(2) == 1 {
+				b.Set(i, j, true)
+			}
+		}
+	}
+	return b
+}
+
+func TestSetAtOnes(t *testing.T) {
+	b := New(3, 70) // spans two words per row
+	b.Set(0, 0, true)
+	b.Set(1, 63, true)
+	b.Set(1, 64, true)
+	b.Set(2, 69, true)
+	if !b.At(0, 0) || !b.At(1, 63) || !b.At(1, 64) || !b.At(2, 69) {
+		t.Fatal("At/Set roundtrip failed across word boundaries")
+	}
+	if b.Ones() != 4 {
+		t.Fatalf("Ones=%d want 4", b.Ones())
+	}
+	b.Set(1, 63, false)
+	if b.At(1, 63) || b.Ones() != 3 {
+		t.Fatal("clearing a bit failed")
+	}
+	got := b.RowOnes(1)
+	if len(got) != 1 || got[0] != 64 {
+		t.Fatalf("RowOnes=%v want [64]", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out of range should panic")
+			}
+		}()
+		b.At(0, 70)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid shape should panic")
+			}
+		}()
+		New(0, 5)
+	}()
+}
+
+func TestCloneEqualString(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := randBitMatrix(rng, 5, 9)
+	c := b.Clone()
+	if !b.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(0, 0, !c.At(0, 0))
+	if b.Equal(c) {
+		t.Fatal("Equal missed a difference")
+	}
+	if b.Equal(New(5, 8)) {
+		t.Fatal("Equal missed shape difference")
+	}
+	if len(b.String()) != 5*10 {
+		t.Fatalf("String length %d", len(b.String()))
+	}
+}
+
+func TestElementMatrixActsAsMultiplication(t *testing.T) {
+	// For every e, v in GF(2^16) sampled: ElementMatrix(e) * bits(v) = bits(e*v).
+	for _, w := range []uint{4, 8, 16} {
+		f := gf.MustField(w)
+		prop := func(e16, v16 uint16) bool {
+			e := uint32(e16) & f.Mask()
+			v := uint32(v16) & f.Mask()
+			m := ElementMatrix(f, e)
+			var got uint32
+			for i := 0; i < int(w); i++ {
+				bit := uint32(0)
+				for j := 0; j < int(w); j++ {
+					if m.At(i, j) && v>>uint(j)&1 == 1 {
+						bit ^= 1
+					}
+				}
+				got |= bit << uint(i)
+			}
+			return got == f.Mul(e, v)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("w=%d: %v", w, err)
+		}
+	}
+}
+
+func TestElementMatrixHomomorphism(t *testing.T) {
+	// ElementMatrix(a*b) == ElementMatrix(a) * ElementMatrix(b).
+	f := f8
+	prop := func(a, b uint8) bool {
+		ma := ElementMatrix(f, uint32(a))
+		mb := ElementMatrix(f, uint32(b))
+		prod, err := ma.Mul(mb)
+		if err != nil {
+			return false
+		}
+		return prod.Equal(ElementMatrix(f, f.Mul(uint32(a), uint32(b))))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Identity element maps to identity matrix.
+	if !ElementMatrix(f, 1).Equal(IdentityBits(8)) {
+		t.Error("ElementMatrix(1) != I")
+	}
+	if ElementMatrix(f, 0).Ones() != 0 {
+		t.Error("ElementMatrix(0) should be zero")
+	}
+}
+
+func TestFromGFStructure(t *testing.T) {
+	m, err := matrix.FromRows(f8, [][]uint32{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := FromGF(m)
+	if bm.Rows() != 16 || bm.Cols() != 16 {
+		t.Fatalf("shape %dx%d", bm.Rows(), bm.Cols())
+	}
+	// Block (i, j) must equal ElementMatrix(m[i][j]).
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			blk := ElementMatrix(f8, m.At(i, j))
+			for bi := 0; bi < 8; bi++ {
+				for bj := 0; bj < 8; bj++ {
+					if bm.At(i*8+bi, j*8+bj) != blk.At(bi, bj) {
+						t.Fatalf("block (%d,%d) bit (%d,%d) mismatch", i, j, bi, bj)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInvertCommutesWithFromGF(t *testing.T) {
+	// FromGF(M)^-1 == FromGF(M^-1): bitmatrix conversion is a ring
+	// homomorphism, so inversion commutes with it.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(3)
+		m := matrix.New(f8, n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, rng.Uint32()&0xff)
+			}
+		}
+		mInv, err := m.Invert()
+		if errors.Is(err, matrix.ErrSingular) {
+			if _, err2 := FromGF(m).Invert(); !errors.Is(err2, matrix.ErrSingular) {
+				t.Fatal("GF-singular matrix must be bit-singular too")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		bmInv, err := FromGF(m).Invert()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bmInv.Equal(FromGF(mInv)) {
+			t.Fatal("inversion does not commute with bitmatrix conversion")
+		}
+	}
+}
+
+func TestElementOnes(t *testing.T) {
+	for _, w := range []uint{4, 8} {
+		f := gf.MustField(w)
+		for e := uint32(0); e < f.Size(); e++ {
+			if got, want := ElementOnes(f, e), ElementMatrix(f, e).Ones(); got != want {
+				t.Fatalf("w=%d e=%d: ElementOnes=%d, matrix says %d", w, e, got, want)
+			}
+		}
+	}
+}
+
+func TestCauchyBestBeatsCauchyGood(t *testing.T) {
+	for _, cfg := range []struct{ k, r int }{{6, 3}, {8, 4}, {10, 4}} {
+		f := gf.MustField(8)
+		best, err := CauchyBest(f, cfg.r, cfg.k, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		good, err := matrix.CauchyGood(f, cfg.r, cfg.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bOnes := FromGF(best).Ones()
+		gOnes := FromGF(good).Ones()
+		if bOnes > gOnes {
+			t.Errorf("k=%d r=%d: CauchyBest ones %d > CauchyGood ones %d", cfg.k, cfg.r, bOnes, gOnes)
+		}
+		t.Logf("k=%d r=%d: best=%d good=%d (%.1f%% fewer)", cfg.k, cfg.r, bOnes, gOnes, 100*float64(gOnes-bOnes)/float64(gOnes))
+		// The searched matrix must still be MDS.
+		if cfg.k+cfg.r <= 10 {
+			ok, err := matrix.IsMDS(best)
+			if err != nil || !ok {
+				t.Fatalf("k=%d r=%d: CauchyBest not MDS (ok=%v err=%v)", cfg.k, cfg.r, ok, err)
+			}
+		}
+	}
+	// Tiny fields where too few candidates exist must error.
+	f4 := gf.MustField(4)
+	if _, err := CauchyBest(f4, 8, 10, 99); err == nil {
+		t.Error("oversized code accepted")
+	}
+}
+
+func TestBitMatrixMulInvert(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	id := IdentityBits(16)
+	for trial := 0; trial < 20; trial++ {
+		b := randBitMatrix(rng, 16, 16)
+		inv, err := b.Invert()
+		if errors.Is(err, matrix.ErrSingular) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Mul(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Equal(id) {
+			t.Fatal("b * b^-1 != I")
+		}
+	}
+	if _, err := New(2, 3).Invert(); err == nil {
+		t.Error("non-square invert should fail")
+	}
+	if _, err := New(2, 3).Mul(New(2, 3)); err == nil {
+		t.Error("mismatched mul should fail")
+	}
+	// Singular: duplicate rows.
+	s := New(2, 2)
+	s.Set(0, 0, true)
+	s.Set(1, 0, true)
+	if _, err := s.Invert(); !errors.Is(err, matrix.ErrSingular) {
+		t.Error("singular bitmatrix not detected")
+	}
+}

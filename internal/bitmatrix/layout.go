@@ -1,0 +1,161 @@
+package bitmatrix
+
+import (
+	"fmt"
+)
+
+// Layout describes how the units of a (k, r, w) bitmatrix code map onto
+// byte buffers. Each unit of UnitSize bytes is split into w equal packets
+// ("planes"); plane j of the data operand (j in [0, k*w)) is packet (j mod w)
+// of unit (j div w). The GEMM's column dimension d is the plane size in
+// bytes, which optimized kernels process as uint64 words — the paper's
+// vectorization axis.
+type Layout struct {
+	K         int // data units
+	R         int // parity units
+	W         int // field word size / packets per unit
+	UnitSize  int // bytes per unit
+	PlaneSize int // UnitSize / W
+}
+
+// NewLayout validates the geometry and returns the layout. UnitSize must be
+// a positive multiple of 8*w so that every plane is a whole number of
+// uint64 words; this matches the alignment real XOR-based libraries require
+// and keeps every kernel free of byte tails on the hot path.
+func NewLayout(k, r, w, unitSize int) (Layout, error) {
+	if k <= 0 || r <= 0 {
+		return Layout{}, fmt.Errorf("bitmatrix: invalid k=%d r=%d", k, r)
+	}
+	if w <= 0 || w > 32 {
+		return Layout{}, fmt.Errorf("bitmatrix: invalid w=%d", w)
+	}
+	if unitSize <= 0 || unitSize%(8*w) != 0 {
+		return Layout{}, fmt.Errorf("bitmatrix: unit size %d must be a positive multiple of 8*w=%d", unitSize, 8*w)
+	}
+	return Layout{K: k, R: r, W: w, UnitSize: unitSize, PlaneSize: unitSize / w}, nil
+}
+
+// DataLen returns the required length of the contiguous data buffer.
+func (l Layout) DataLen() int { return l.K * l.UnitSize }
+
+// ParityLen returns the required length of the contiguous parity buffer.
+func (l Layout) ParityLen() int { return l.R * l.UnitSize }
+
+// DataPlanes returns the number of planes in the data operand, k*w.
+func (l Layout) DataPlanes() int { return l.K * l.W }
+
+// ParityPlanes returns the number of planes in the parity operand, r*w.
+func (l Layout) ParityPlanes() int { return l.R * l.W }
+
+// CheckData validates a contiguous data buffer's length.
+func (l Layout) CheckData(data []byte) error {
+	if len(data) != l.DataLen() {
+		return fmt.Errorf("bitmatrix: data length %d, want k*unit = %d", len(data), l.DataLen())
+	}
+	return nil
+}
+
+// CheckParity validates a contiguous parity buffer's length.
+func (l Layout) CheckParity(parity []byte) error {
+	if len(parity) != l.ParityLen() {
+		return fmt.Errorf("bitmatrix: parity length %d, want r*unit = %d", len(parity), l.ParityLen())
+	}
+	return nil
+}
+
+// Plane returns plane j of a contiguous multi-unit buffer. The buffer may
+// be the data operand (k units) or the parity operand (r units); j indexes
+// unit-major, packet-minor.
+func (l Layout) Plane(buf []byte, j int) []byte {
+	unit := j / l.W
+	packet := j % l.W
+	off := unit*l.UnitSize + packet*l.PlaneSize
+	return buf[off : off+l.PlaneSize]
+}
+
+// Planes slices a contiguous buffer holding units*W planes into the
+// per-plane subslices, unit-major.
+func (l Layout) Planes(buf []byte, units int) [][]byte {
+	out := make([][]byte, units*l.W)
+	for j := range out {
+		out[j] = l.Plane(buf, j)
+	}
+	return out
+}
+
+// UnitPlanes slices a single unit's buffer into its w packet planes.
+func (l Layout) UnitPlanes(unit []byte) [][]byte {
+	if len(unit) != l.UnitSize {
+		panic(fmt.Sprintf("bitmatrix: unit length %d, want %d", len(unit), l.UnitSize))
+	}
+	out := make([][]byte, l.W)
+	for p := 0; p < l.W; p++ {
+		out[p] = unit[p*l.PlaneSize : (p+1)*l.PlaneSize]
+	}
+	return out
+}
+
+// EncodeReference encodes parity from data using the bitmatrix bm
+// (ParityPlanes x DataPlanes) with the plainest possible loop nest: for
+// every parity plane, XOR in every data plane whose generator bit is set,
+// one byte at a time. It is the oracle every optimized encoder is verified
+// against, deliberately mirroring Listing 2 of the paper with no
+// optimization at all.
+func EncodeReference(bm *BitMatrix, l Layout, data, parity []byte) error {
+	if bm.Rows() != l.ParityPlanes() || bm.Cols() != l.DataPlanes() {
+		return fmt.Errorf("bitmatrix: generator is %dx%d, layout wants %dx%d",
+			bm.Rows(), bm.Cols(), l.ParityPlanes(), l.DataPlanes())
+	}
+	if err := l.CheckData(data); err != nil {
+		return err
+	}
+	if err := l.CheckParity(parity); err != nil {
+		return err
+	}
+	for i := 0; i < bm.Rows(); i++ {
+		out := l.Plane(parity, i)
+		for b := range out {
+			out[b] = 0
+		}
+		for j := 0; j < bm.Cols(); j++ {
+			if !bm.At(i, j) {
+				continue
+			}
+			in := l.Plane(data, j)
+			for b := range out {
+				out[b] ^= in[b]
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyReference computes out = bm * in over the plane layout, where in
+// holds inUnits*W planes and out holds outUnits*W planes, without requiring
+// the operands to be the layout's data/parity shapes. Decode paths use it
+// to apply reconstruction bitmatrices. Plane sizes are taken from l.
+func ApplyReference(bm *BitMatrix, l Layout, in []byte, inUnits int, out []byte, outUnits int) error {
+	if bm.Rows() != outUnits*l.W || bm.Cols() != inUnits*l.W {
+		return fmt.Errorf("bitmatrix: matrix is %dx%d, want %dx%d",
+			bm.Rows(), bm.Cols(), outUnits*l.W, inUnits*l.W)
+	}
+	if len(in) != inUnits*l.UnitSize {
+		return fmt.Errorf("bitmatrix: input length %d, want %d", len(in), inUnits*l.UnitSize)
+	}
+	if len(out) != outUnits*l.UnitSize {
+		return fmt.Errorf("bitmatrix: output length %d, want %d", len(out), outUnits*l.UnitSize)
+	}
+	for i := 0; i < bm.Rows(); i++ {
+		dst := l.Plane(out, i)
+		for b := range dst {
+			dst[b] = 0
+		}
+		for _, j := range bm.RowOnes(i) {
+			src := l.Plane(in, j)
+			for b := range dst {
+				dst[b] ^= src[b]
+			}
+		}
+	}
+	return nil
+}

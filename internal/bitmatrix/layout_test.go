@@ -1,0 +1,226 @@
+package bitmatrix
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gemmec/internal/gf"
+	"gemmec/internal/matrix"
+)
+
+func TestNewLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(4, 2, 8, 1024); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+	for _, bad := range []struct {
+		k, r, w, unit int
+	}{
+		{0, 2, 8, 1024},
+		{4, 0, 8, 1024},
+		{4, 2, 0, 1024},
+		{4, 2, 33, 1024},
+		{4, 2, 8, 0},
+		{4, 2, 8, 100},  // not a multiple of 8*w
+		{4, 2, 8, 1028}, // not a multiple of 64
+	} {
+		if _, err := NewLayout(bad.k, bad.r, bad.w, bad.unit); err == nil {
+			t.Errorf("layout %+v should be rejected", bad)
+		}
+	}
+}
+
+func TestLayoutGeometry(t *testing.T) {
+	l, err := NewLayout(4, 2, 8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.PlaneSize != 128 {
+		t.Errorf("PlaneSize=%d want 128", l.PlaneSize)
+	}
+	if l.DataLen() != 4096 || l.ParityLen() != 2048 {
+		t.Error("buffer lengths wrong")
+	}
+	if l.DataPlanes() != 32 || l.ParityPlanes() != 16 {
+		t.Error("plane counts wrong")
+	}
+
+	data := make([]byte, l.DataLen())
+	for i := range data {
+		data[i] = byte(i / 128) // each plane gets a distinct fill byte
+	}
+	// Plane 9 = unit 1, packet 1 = bytes [1*1024+128, +128) = fill 9.
+	p := l.Plane(data, 9)
+	if len(p) != 128 || p[0] != 9 || p[127] != 9 {
+		t.Errorf("Plane(9) wrong: len=%d first=%d", len(p), p[0])
+	}
+	planes := l.Planes(data, 4)
+	if len(planes) != 32 || planes[31][0] != 31 {
+		t.Error("Planes slicing wrong")
+	}
+	up := l.UnitPlanes(data[1024:2048])
+	if len(up) != 8 || up[0][0] != 8 || up[7][0] != 15 {
+		t.Error("UnitPlanes slicing wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong unit length should panic")
+			}
+		}()
+		l.UnitPlanes(data[:100])
+	}()
+}
+
+func TestCheckBuffers(t *testing.T) {
+	l, _ := NewLayout(2, 1, 4, 64)
+	if err := l.CheckData(make([]byte, 128)); err != nil {
+		t.Error(err)
+	}
+	if err := l.CheckData(make([]byte, 127)); err == nil {
+		t.Error("short data accepted")
+	}
+	if err := l.CheckParity(make([]byte, 64)); err != nil {
+		t.Error(err)
+	}
+	if err := l.CheckParity(make([]byte, 65)); err == nil {
+		t.Error("long parity accepted")
+	}
+}
+
+// TestEncodeReferenceMatchesFieldRS is the anchor correctness test of the
+// whole repository: bitmatrix encoding over planes must produce exactly the
+// same parity bytes as byte-wise Reed-Solomon over GF(2^w) — the
+// equivalence the paper's entire premise rests on.
+func TestEncodeReferenceMatchesFieldRS(t *testing.T) {
+	for _, w := range []uint{4, 8} {
+		f := gf.MustField(w)
+		k, r := 4, 2
+		unit := 8 * int(w) * 2 // two words per plane
+		l, err := NewLayout(k, r, int(w), unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coding, err := matrix.Cauchy(f, r, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm := FromGF(coding)
+
+		rng := rand.New(rand.NewSource(int64(w)))
+		data := make([]byte, l.DataLen())
+		rng.Read(data)
+
+		parity := make([]byte, l.ParityLen())
+		if err := EncodeReference(bm, l, data, parity); err != nil {
+			t.Fatal(err)
+		}
+
+		// Field-level oracle. The bitmatrix layout encodes "columns" that are
+		// w-bit symbols gathered across planes: symbol s of unit u has bit p
+		// at byte s of plane p... but bits within a byte are independent GF(2)
+		// lanes. Check bit-by-bit: for every byte position b and bit t, the
+		// symbol of unit u is the w-bit word formed from bit t of byte b of
+		// each of u's planes, and parities must be the field combination.
+		for b := 0; b < l.PlaneSize; b++ {
+			for tbit := 0; tbit < 8; tbit++ {
+				syms := make([]uint32, k)
+				for u := 0; u < k; u++ {
+					var v uint32
+					for p := 0; p < int(w); p++ {
+						bit := data[u*l.UnitSize+p*l.PlaneSize+b] >> uint(tbit) & 1
+						v |= uint32(bit) << uint(p)
+					}
+					syms[u] = v
+				}
+				want, err := coding.MulVec(syms)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for ri := 0; ri < r; ri++ {
+					var got uint32
+					for p := 0; p < int(w); p++ {
+						bit := parity[ri*l.UnitSize+p*l.PlaneSize+b] >> uint(tbit) & 1
+						got |= uint32(bit) << uint(p)
+					}
+					if got != want[ri] {
+						t.Fatalf("w=%d byte %d bit %d parity %d: got %#x want %#x", w, b, tbit, ri, got, want[ri])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeReferenceErrors(t *testing.T) {
+	l, _ := NewLayout(2, 1, 4, 64)
+	coding, _ := matrix.Cauchy(gf.MustField(4), 1, 2)
+	bm := FromGF(coding)
+	data := make([]byte, l.DataLen())
+	parity := make([]byte, l.ParityLen())
+	if err := EncodeReference(bm, l, data[:10], parity); err == nil {
+		t.Error("short data accepted")
+	}
+	if err := EncodeReference(bm, l, data, parity[:10]); err == nil {
+		t.Error("short parity accepted")
+	}
+	if err := EncodeReference(IdentityBits(3), l, data, parity); err == nil {
+		t.Error("wrong matrix shape accepted")
+	}
+}
+
+func TestApplyReferenceRoundTrip(t *testing.T) {
+	// Encode with the full systematic generator, erase units, reconstruct
+	// with the inverted bitmatrix, and compare.
+	f := gf.MustField(8)
+	k, r := 5, 3
+	l, err := NewLayout(k, r, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coding, _ := matrix.Cauchy(f, r, k)
+	gen, _ := matrix.SystematicGenerator(coding)
+
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, l.DataLen())
+	rng.Read(data)
+	parity := make([]byte, l.ParityLen())
+	if err := EncodeReference(FromGF(coding), l, data, parity); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose data units 0 and 3 and parity 1; survivors: data 1,2,4, parity 0, 2.
+	survivors := []int{1, 2, 4, k + 0, k + 2}
+	dm, err := matrix.DecodeMatrix(gen, k, survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surv := make([]byte, k*l.UnitSize)
+	for i, s := range survivors {
+		var src []byte
+		if s < k {
+			src = data[s*l.UnitSize : (s+1)*l.UnitSize]
+		} else {
+			src = parity[(s-k)*l.UnitSize : (s-k+1)*l.UnitSize]
+		}
+		copy(surv[i*l.UnitSize:], src)
+	}
+	rec := make([]byte, k*l.UnitSize)
+	if err := ApplyReference(FromGF(dm), l, surv, k, rec, k); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec, data) {
+		t.Fatal("reference decode did not reconstruct the data")
+	}
+
+	// Error paths.
+	if err := ApplyReference(FromGF(dm), l, surv[:10], k, rec, k); err == nil {
+		t.Error("short input accepted")
+	}
+	if err := ApplyReference(FromGF(dm), l, surv, k, rec[:10], k); err == nil {
+		t.Error("short output accepted")
+	}
+	if err := ApplyReference(FromGF(dm), l, surv, k, rec, k+1); err == nil {
+		t.Error("wrong unit count accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"gemmec"
+	"gemmec/internal/lrc"
+)
+
+// StripeCoder abstracts the erasure code a Cluster stripes objects with, so
+// the same placement/repair machinery runs Reed-Solomon and Local
+// Reconstruction Codes alike (the §8 systems-integration story for both
+// code families).
+type StripeCoder interface {
+	// DataUnits is the number of data units per stripe (k).
+	DataUnits() int
+	// ParityUnits is the number of parity units per stripe.
+	ParityUnits() int
+	// UnitSize is the unit size in bytes.
+	UnitSize() int
+	// EncodeStripe computes the parity stripe from the contiguous data
+	// stripe.
+	EncodeStripe(data, parity []byte) error
+	// ReconstructUnits rebuilds nil entries of units (length
+	// DataUnits+ParityUnits) in place. With dataOnly, lost parity units may
+	// be left nil.
+	ReconstructUnits(units [][]byte, dataOnly bool) error
+	// RepairReads returns the unit indices sufficient to repair unit idx
+	// when only idx is lost — the minimal-fetch plan Rebuild tries first.
+	RepairReads(idx int) []int
+	// RepairUnit rebuilds units[idx] given that at least the RepairReads
+	// units are present; other entries may be nil and are left untouched
+	// (or rebuilt incidentally, which callers must tolerate).
+	RepairUnit(units [][]byte, idx int) error
+}
+
+// rsCoder adapts gemmec.Code to StripeCoder.
+type rsCoder struct{ c *gemmec.Code }
+
+// NewRSCoder wraps a gemmec code as a cluster StripeCoder.
+func NewRSCoder(c *gemmec.Code) StripeCoder { return rsCoder{c} }
+
+func (a rsCoder) DataUnits() int   { return a.c.K() }
+func (a rsCoder) ParityUnits() int { return a.c.R() }
+func (a rsCoder) UnitSize() int    { return a.c.UnitSize() }
+
+func (a rsCoder) EncodeStripe(data, parity []byte) error { return a.c.Encode(data, parity) }
+
+func (a rsCoder) ReconstructUnits(units [][]byte, dataOnly bool) error {
+	if dataOnly {
+		return a.c.ReconstructData(units)
+	}
+	return a.c.Reconstruct(units)
+}
+
+func (a rsCoder) RepairUnit(units [][]byte, idx int) error {
+	// Any k survivors determine everything; the generic decoder rebuilds
+	// every nil entry, which includes idx.
+	return a.c.Reconstruct(units)
+}
+
+// RepairReads for Reed-Solomon: any k other units suffice; propose the
+// lowest-indexed k, which Rebuild falls back from if some are unavailable.
+func (a rsCoder) RepairReads(idx int) []int {
+	var reads []int
+	for u := 0; u < a.c.K()+a.c.R() && len(reads) < a.c.K(); u++ {
+		if u != idx {
+			reads = append(reads, u)
+		}
+	}
+	return reads
+}
+
+// lrcCoder adapts lrc.Coder to StripeCoder.
+type lrcCoder struct{ c *lrc.Coder }
+
+// NewLRCCoder wraps an LRC as a cluster StripeCoder: single-failure repairs
+// read only the failed unit's local group.
+func NewLRCCoder(c *lrc.Coder) StripeCoder { return lrcCoder{c} }
+
+func (a lrcCoder) DataUnits() int   { return a.c.K() }
+func (a lrcCoder) ParityUnits() int { return a.c.L() + a.c.G() }
+func (a lrcCoder) UnitSize() int    { return a.c.UnitSize() }
+
+func (a lrcCoder) EncodeStripe(data, parity []byte) error { return a.c.Encode(data, parity) }
+
+func (a lrcCoder) ReconstructUnits(units [][]byte, dataOnly bool) error {
+	// The LRC decoder rebuilds everything it can; dataOnly has no cheaper
+	// path, which is fine — locals are XORs.
+	return a.c.Reconstruct(units)
+}
+
+func (a lrcCoder) RepairUnit(units [][]byte, idx int) error {
+	return a.c.RepairSingle(units, idx)
+}
+
+func (a lrcCoder) RepairReads(idx int) []int {
+	plan, err := a.c.PlanRepair(idx)
+	if err != nil {
+		return nil
+	}
+	return plan.Reads
+}

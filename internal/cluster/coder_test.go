@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gemmec/internal/lrc"
+)
+
+// TestLRCClusterLocalRepairTraffic: an LRC-backed cluster's node rebuild
+// reads fewer bytes than the RS-backed cluster for the same data — the
+// deployment payoff of local reconstruction codes, measured through the
+// same cluster machinery.
+func TestLRCClusterLocalRepairTraffic(t *testing.T) {
+	const (
+		nodes = 18
+		k     = 12
+		unit  = 4096
+	)
+	lc, err := lrc.New(k, 2, 2, unit) // 12 data + 2 local + 2 global = 16 units
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrcCluster, err := NewWithCoder(nodes, NewLRCCoder(lc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsCluster, err := New(nodes, k, 4, unit) // same 4 parity units
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := make([]byte, 3*k*unit)
+	rand.New(rand.NewSource(1)).Read(data)
+	for _, c := range []*Cluster{lrcCluster, rsCluster} {
+		if err := c.Put("obj", data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rebuildAndVerify := func(c *Cluster, victim int) RebuildStats {
+		t.Helper()
+		if err := c.FailNode(victim); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ReplaceNode(victim); err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Rebuild(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, degraded, err := c.Get("obj")
+		if err != nil || degraded {
+			t.Fatalf("post-rebuild read: degraded=%v err=%v", degraded, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("content wrong after rebuild")
+		}
+		return st
+	}
+
+	stLRC := rebuildAndVerify(lrcCluster, 0)
+	stRS := rebuildAndVerify(rsCluster, 0)
+	if stLRC.ShardsRebuilt == 0 || stRS.ShardsRebuilt == 0 {
+		t.Fatal("victim held no shards")
+	}
+	// Per-shard read amplification: LRC's local repair reads its group
+	// (k/l + parity = 7 units at most) vs RS's k = 12 units.
+	ampLRC := float64(stLRC.BytesRead) / float64(stLRC.BytesWritten)
+	ampRS := float64(stRS.BytesRead) / float64(stRS.BytesWritten)
+	if ampLRC >= ampRS {
+		t.Errorf("LRC repair amplification %.1f not below RS %.1f", ampLRC, ampRS)
+	}
+	t.Logf("repair read amplification: LRC %.1fx vs RS %.1fx", ampLRC, ampRS)
+}
+
+// TestLRCClusterDegradedRead: LRC-backed cluster serves degraded reads.
+func TestLRCClusterDegradedRead(t *testing.T) {
+	lc, err := lrc.New(6, 2, 2, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewWithCoder(12, NewLRCCoder(lc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 6*2048+100)
+	rand.New(rand.NewSource(2)).Read(data)
+	if err := c.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	got, degraded, err := c.Get("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degraded || !bytes.Equal(got, data) {
+		t.Fatalf("degraded LRC read wrong (degraded=%v)", degraded)
+	}
+}
+
+func TestCoderAdapters(t *testing.T) {
+	lc, err := lrc.New(6, 2, 2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewLRCCoder(lc)
+	if a.DataUnits() != 6 || a.ParityUnits() != 4 || a.UnitSize() != 1024 {
+		t.Error("lrc adapter geometry wrong")
+	}
+	if got := a.RepairReads(0); len(got) != 3 {
+		t.Errorf("lrc data repair reads %v", got)
+	}
+	if got := a.RepairReads(99); got != nil {
+		t.Errorf("out-of-range repair reads %v", got)
+	}
+}

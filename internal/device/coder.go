@@ -1,0 +1,99 @@
+package device
+
+import (
+	"fmt"
+
+	"gemmec/internal/core"
+)
+
+// Coder runs a gemmec engine's kernels over device-resident buffers — the
+// "accelerator-native erasure coding" §3 of the paper argues for. Because
+// the te kernels are generated from a hardware-agnostic declaration, the
+// same engine executes on the host and on the simulated device; only the
+// buffer residency differs.
+type Coder struct {
+	dev *Device
+	eng *core.Engine
+}
+
+// NewCoder attaches an engine to a device.
+func NewCoder(dev *Device, eng *core.Engine) *Coder {
+	return &Coder{dev: dev, eng: eng}
+}
+
+// Engine returns the underlying engine.
+func (c *Coder) Engine() *core.Engine { return c.eng }
+
+// EncodeOnDevice encodes entirely in device memory: no transfers.
+func (c *Coder) EncodeOnDevice(data, parity *Buffer) error {
+	if data.dev != c.dev || parity.dev != c.dev {
+		return fmt.Errorf("device: buffers not resident on %s", c.dev.Name())
+	}
+	return c.eng.Encode(data.Data(), parity.Data())
+}
+
+// ReconstructOnDevice rebuilds nil entries among the k+r device-resident
+// units entirely in device memory — degraded reads and repairs for
+// accelerator-native applications, with zero host traffic. Rebuilt units
+// are allocated on the device.
+func (c *Coder) ReconstructOnDevice(units []*Buffer) error {
+	eng := c.eng
+	if len(units) != eng.K()+eng.R() {
+		return fmt.Errorf("device: %d units, want k+r=%d", len(units), eng.K()+eng.R())
+	}
+	views := make([][]byte, len(units))
+	for i, u := range units {
+		if u == nil {
+			continue
+		}
+		if u.dev != c.dev {
+			return fmt.Errorf("device: unit %d not resident on %s", i, c.dev.Name())
+		}
+		views[i] = u.Data()
+	}
+	if err := eng.Reconstruct(views); err != nil {
+		return err
+	}
+	for i, u := range units {
+		if u != nil {
+			continue
+		}
+		buf, err := c.dev.Alloc(len(views[i]))
+		if err != nil {
+			return err
+		}
+		copy(buf.Data(), views[i])
+		units[i] = buf
+	}
+	return nil
+}
+
+// EncodeViaHost models the workflow the paper says today's systems are
+// stuck with when only a host-only custom EC library exists: copy the data
+// stripe to the host (D2H), encode there, and copy the parities back (H2D).
+// The encode function is pluggable so baselines can be timed on the host
+// leg. Scratch host buffers are reused across calls when capacities allow.
+func (c *Coder) EncodeViaHost(data, parity *Buffer, hostEncode func(data, parity []byte) error, hostData, hostParity []byte) ([]byte, []byte, error) {
+	if data.dev != c.dev || parity.dev != c.dev {
+		return hostData, hostParity, fmt.Errorf("device: buffers not resident on %s", c.dev.Name())
+	}
+	if cap(hostData) < data.Len() {
+		hostData = make([]byte, data.Len())
+	}
+	hostData = hostData[:data.Len()]
+	if cap(hostParity) < parity.Len() {
+		hostParity = make([]byte, parity.Len())
+	}
+	hostParity = hostParity[:parity.Len()]
+
+	if err := c.dev.CopyToHost(hostData, data); err != nil {
+		return hostData, hostParity, err
+	}
+	if err := hostEncode(hostData, hostParity); err != nil {
+		return hostData, hostParity, err
+	}
+	if err := c.dev.CopyToDevice(parity, hostParity); err != nil {
+		return hostData, hostParity, err
+	}
+	return hostData, hostParity, nil
+}

@@ -1,0 +1,200 @@
+package device
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gemmec/internal/core"
+)
+
+func TestDeviceAllocAndTransfers(t *testing.T) {
+	d, err := New("gpu0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "gpu0" {
+		t.Error("name wrong")
+	}
+	if _, err := New("bad", 0); err == nil {
+		t.Error("slowdown 0 accepted")
+	}
+	if _, err := d.Alloc(0); err == nil {
+		t.Error("zero alloc accepted")
+	}
+	buf, err := d.Alloc(64)
+	if err != nil || buf.Len() != 64 {
+		t.Fatal("alloc failed")
+	}
+
+	src := make([]byte, 64)
+	rand.New(rand.NewSource(1)).Read(src)
+	if err := d.CopyToDevice(buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 64)
+	if err := d.CopyToHost(dst, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("round trip corrupted data")
+	}
+
+	st := d.Stats()
+	if st.BytesH2D != 64 || st.BytesD2H != 64 || st.AllocBytes != 64 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.TransferTime <= 0 {
+		t.Error("transfer time not accounted")
+	}
+	d.ResetStats()
+	if s := d.Stats(); s.BytesH2D != 0 || s.TransferTime != 0 {
+		t.Error("reset failed")
+	}
+
+	// Size mismatch and foreign-buffer errors.
+	if err := d.CopyToDevice(buf, src[:10]); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	other, _ := New("gpu1", 1)
+	if err := other.CopyToDevice(buf, src); err == nil {
+		t.Error("foreign buffer accepted")
+	}
+	if err := other.CopyToHost(dst, buf); err == nil {
+		t.Error("foreign buffer accepted by CopyToHost")
+	}
+}
+
+func TestEncodeOnDeviceMatchesHost(t *testing.T) {
+	k, r, unit := 6, 3, 4096
+	eng, err := core.New(k, r, unit, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := New("gpu0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coder := NewCoder(dev, eng)
+	if coder.Engine() != eng {
+		t.Error("Engine accessor wrong")
+	}
+
+	// "Generate" data on the device (as a training job would).
+	dData, err := dev.Alloc(k * unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rand.New(rand.NewSource(2)).Read(dData.Data())
+	dParity, err := dev.Alloc(r * unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Native path.
+	if err := coder.EncodeOnDevice(dData, dParity); err != nil {
+		t.Fatal(err)
+	}
+	native := append([]byte(nil), dParity.Data()...)
+	if dev.Stats().BytesH2D != 0 || dev.Stats().BytesD2H != 0 {
+		t.Error("native path transferred bytes")
+	}
+
+	// Host path must produce identical parity and account transfers.
+	clear(dParity.Data())
+	_, _, err = coder.EncodeViaHost(dData, dParity, eng.Encode, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dParity.Data(), native) {
+		t.Fatal("host path parity differs")
+	}
+	st := dev.Stats()
+	if st.BytesD2H != int64(k*unit) || st.BytesH2D != int64(r*unit) {
+		t.Errorf("transfer accounting %+v", st)
+	}
+
+	// Foreign buffers rejected.
+	other, _ := New("gpu1", 1)
+	foreign, _ := other.Alloc(k * unit)
+	if err := coder.EncodeOnDevice(foreign, dParity); err == nil {
+		t.Error("foreign data buffer accepted")
+	}
+	if _, _, err := coder.EncodeViaHost(foreign, dParity, eng.Encode, nil, nil); err == nil {
+		t.Error("foreign buffer accepted by EncodeViaHost")
+	}
+}
+
+func TestReconstructOnDevice(t *testing.T) {
+	k, r, unit := 5, 2, 2048
+	eng, err := core.New(k, r, unit, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := New("gpu0", 1)
+	coder := NewCoder(dev, eng)
+
+	dData, _ := dev.Alloc(k * unit)
+	rand.New(rand.NewSource(3)).Read(dData.Data())
+	dParity, _ := dev.Alloc(r * unit)
+	if err := coder.EncodeOnDevice(dData, dParity); err != nil {
+		t.Fatal(err)
+	}
+
+	units := make([]*Buffer, k+r)
+	for i := 0; i < k; i++ {
+		u, _ := dev.Alloc(unit)
+		copy(u.Data(), dData.Data()[i*unit:(i+1)*unit])
+		units[i] = u
+	}
+	for i := 0; i < r; i++ {
+		u, _ := dev.Alloc(unit)
+		copy(u.Data(), dParity.Data()[i*unit:(i+1)*unit])
+		units[k+i] = u
+	}
+	want0 := append([]byte(nil), units[0].Data()...)
+	units[0], units[k] = nil, nil
+	dev.ResetStats()
+	if err := coder.ReconstructOnDevice(units); err != nil {
+		t.Fatal(err)
+	}
+	if units[0] == nil || !bytes.Equal(units[0].Data(), want0) {
+		t.Fatal("device reconstruction wrong")
+	}
+	if st := dev.Stats(); st.BytesH2D != 0 || st.BytesD2H != 0 {
+		t.Error("device reconstruction crossed the host link")
+	}
+	// Validation.
+	if err := coder.ReconstructOnDevice(units[:3]); err == nil {
+		t.Error("wrong unit count accepted")
+	}
+	other, _ := New("gpu1", 1)
+	foreign, _ := other.Alloc(unit)
+	units[1] = foreign
+	if err := coder.ReconstructOnDevice(units); err == nil {
+		t.Error("foreign unit accepted")
+	}
+}
+
+func TestEncodeViaHostScratchReuse(t *testing.T) {
+	k, r, unit := 4, 2, 1024
+	eng, err := core.New(k, r, unit, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := New("gpu0", 1)
+	coder := NewCoder(dev, eng)
+	dData, _ := dev.Alloc(k * unit)
+	dParity, _ := dev.Alloc(r * unit)
+	hd, hp, err := coder.EncodeViaHost(dData, dParity, eng.Encode, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd2, hp2, err := coder.EncodeViaHost(dData, dParity, eng.Encode, hd, hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &hd2[0] != &hd[0] || &hp2[0] != &hp[0] {
+		t.Error("scratch buffers reallocated")
+	}
+}

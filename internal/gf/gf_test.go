@@ -1,0 +1,312 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allW lists every supported word size; several tests iterate all of them.
+func allW() []uint {
+	ws := make([]uint, 0, MaxW)
+	for w := uint(1); w <= MaxW; w++ {
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+func TestNewFieldRange(t *testing.T) {
+	if _, err := NewField(0); err == nil {
+		t.Error("NewField(0) should fail")
+	}
+	if _, err := NewField(MaxW + 1); err == nil {
+		t.Errorf("NewField(%d) should fail", MaxW+1)
+	}
+	for _, w := range allW() {
+		f, err := NewField(w)
+		if err != nil {
+			t.Fatalf("NewField(%d): %v", w, err)
+		}
+		if f.W() != w {
+			t.Errorf("w=%d: W()=%d", w, f.W())
+		}
+		if f.Size() != 1<<w {
+			t.Errorf("w=%d: Size()=%d", w, f.Size())
+		}
+		if f.Mask() != (1<<w)-1 {
+			t.Errorf("w=%d: Mask()=%#x", w, f.Mask())
+		}
+	}
+}
+
+func TestDefaultPolysPrimitive(t *testing.T) {
+	// buildTables verifies primitivity as a side effect; also check
+	// irreducibility independently for small w where trial division is cheap.
+	for _, w := range allW() {
+		p := DefaultPrimitivePoly(w)
+		if PolyDegree(p) != int(w) {
+			t.Errorf("w=%d: poly %#x has degree %d", w, p, PolyDegree(p))
+		}
+		if w <= 12 && !IsIrreducible(p) {
+			t.Errorf("w=%d: poly %#x is reducible", w, p)
+		}
+	}
+}
+
+func TestNonPrimitivePolyRejected(t *testing.T) {
+	// x^8 + x^4 + x^3 + x + 1 (0x11b, the AES polynomial) is irreducible but
+	// NOT primitive: alpha=2 has order 51, so table construction must fail.
+	if _, err := newFieldPoly(8, 0x11b); err == nil {
+		t.Fatal("expected 0x11b to be rejected as non-primitive")
+	}
+	// A reducible polynomial must also fail.
+	if _, err := newFieldPoly(8, 0x100); err == nil {
+		t.Fatal("expected reducible polynomial to be rejected")
+	}
+}
+
+func TestMulMatchesSlowOracle(t *testing.T) {
+	for _, w := range []uint{1, 2, 4, 8, 12, 16} {
+		f := MustField(w)
+		rng := rand.New(rand.NewSource(int64(w)))
+		n := 2000
+		if f.Size() <= 256 {
+			// Exhaustive for small fields.
+			for a := uint32(0); a < f.Size(); a++ {
+				for b := uint32(0); b < f.Size(); b++ {
+					if got, want := f.Mul(a, b), f.MulSlow(a, b); got != want {
+						t.Fatalf("w=%d: Mul(%d,%d)=%d want %d", w, a, b, got, want)
+					}
+				}
+			}
+			continue
+		}
+		for i := 0; i < n; i++ {
+			a := rng.Uint32() & f.Mask()
+			b := rng.Uint32() & f.Mask()
+			if got, want := f.Mul(a, b), f.MulSlow(a, b); got != want {
+				t.Fatalf("w=%d: Mul(%d,%d)=%d want %d", w, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	for _, w := range []uint{4, 8, 16} {
+		f := MustField(w)
+		mask := f.Mask()
+
+		commutative := func(a, b uint32) bool {
+			a, b = a&mask, b&mask
+			return f.Mul(a, b) == f.Mul(b, a) && f.Add(a, b) == f.Add(b, a)
+		}
+		associative := func(a, b, c uint32) bool {
+			a, b, c = a&mask, b&mask, c&mask
+			return f.Mul(f.Mul(a, b), c) == f.Mul(a, f.Mul(b, c)) &&
+				f.Add(f.Add(a, b), c) == f.Add(a, f.Add(b, c))
+		}
+		distributive := func(a, b, c uint32) bool {
+			a, b, c = a&mask, b&mask, c&mask
+			return f.Mul(a, f.Add(b, c)) == f.Add(f.Mul(a, b), f.Mul(a, c))
+		}
+		identity := func(a uint32) bool {
+			a &= mask
+			return f.Mul(a, 1) == a && f.Add(a, 0) == a && f.Mul(a, 0) == 0
+		}
+		inverse := func(a uint32) bool {
+			a &= mask
+			if a == 0 {
+				return true
+			}
+			return f.Mul(a, f.Inv(a)) == 1
+		}
+		charTwo := func(a uint32) bool {
+			a &= mask
+			return f.Add(a, a) == 0
+		}
+		for name, prop := range map[string]any{
+			"commutative":  commutative,
+			"associative":  associative,
+			"distributive": distributive,
+			"identity":     identity,
+			"inverse":      inverse,
+			"charTwo":      charTwo,
+		} {
+			if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+				t.Errorf("w=%d: axiom %s failed: %v", w, name, err)
+			}
+		}
+	}
+}
+
+func TestDivExpLog(t *testing.T) {
+	for _, w := range []uint{4, 8, 16} {
+		f := MustField(w)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 1000; i++ {
+			a := rng.Uint32() & f.Mask()
+			b := rng.Uint32()&f.Mask() | 1 // nonzero-ish
+			if b == 0 {
+				b = 1
+			}
+			q := f.Div(a, b)
+			if f.Mul(q, b) != a {
+				t.Fatalf("w=%d: Div(%d,%d)=%d but %d*%d=%d", w, a, b, q, q, b, f.Mul(q, b))
+			}
+		}
+		// Exp/Log consistency over all nonzero elements of a small field.
+		if w == 4 || w == 8 {
+			for e := uint32(1); e < f.Size(); e++ {
+				if f.Alpha(int(f.Log(e))) != e {
+					t.Fatalf("w=%d: Alpha(Log(%d)) != %d", w, e, e)
+				}
+			}
+		}
+		// Exp laws.
+		g := f.Alpha(1)
+		if f.Exp(g, 0) != 1 {
+			t.Errorf("w=%d: g^0 != 1", w)
+		}
+		if f.Exp(g, int(f.Size())-1) != 1 {
+			t.Errorf("w=%d: g^(size-1) != 1 (Fermat)", w)
+		}
+		if f.Exp(g, -1) != f.Inv(g) {
+			t.Errorf("w=%d: g^-1 != Inv(g)", w)
+		}
+		if f.Exp(0, 0) != 1 || f.Exp(0, 5) != 0 {
+			t.Errorf("w=%d: zero-base exp conventions broken", w)
+		}
+	}
+}
+
+// euclidInv computes the inverse via the extended Euclidean algorithm over
+// GF(2) polynomials — an oracle fully independent of the log/exp tables.
+func euclidInv(a, prim uint32) uint32 {
+	// Invariants: r0 = t0*a (mod prim), r1 = t1*a (mod prim).
+	r0, r1 := prim, a
+	var t0, t1 uint32 = 0, 1
+	for r1 != 1 {
+		d := PolyDegree(r0) - PolyDegree(r1)
+		if d < 0 {
+			r0, r1 = r1, r0
+			t0, t1 = t1, t0
+			continue
+		}
+		r0 ^= r1 << uint(d)
+		t0 ^= t1 << uint(d)
+	}
+	return PolyMod(t1, prim)
+}
+
+func TestInvMatchesEuclidOracle(t *testing.T) {
+	for _, w := range []uint{4, 8} {
+		f := MustField(w)
+		for a := uint32(1); a < f.Size(); a++ {
+			want := euclidInv(a, f.Poly())
+			if got := f.Inv(a); got != want {
+				t.Fatalf("w=%d: Inv(%d)=%d, Euclid says %d", w, a, got, want)
+			}
+		}
+	}
+	// Spot checks for w=16 (exhaustive is slow).
+	f := MustField(16)
+	rng := rand.New(rand.NewSource(16))
+	for i := 0; i < 500; i++ {
+		a := rng.Uint32()&f.Mask() | 1
+		if f.Inv(a) != euclidInv(a, f.Poly()) {
+			t.Fatalf("w=16: Inv(%d) mismatch", a)
+		}
+	}
+}
+
+func TestAlphaGeneratesField(t *testing.T) {
+	for _, w := range []uint{2, 4, 8} {
+		f := MustField(w)
+		seen := make(map[uint32]bool)
+		for i := 0; i < int(f.Size())-1; i++ {
+			e := f.Alpha(i)
+			if seen[e] {
+				t.Fatalf("w=%d: alpha^%d=%d repeats", w, i, e)
+			}
+			seen[e] = true
+		}
+		if len(seen) != int(f.Size())-1 {
+			t.Fatalf("w=%d: generator order %d != %d", w, len(seen), f.Size()-1)
+		}
+	}
+}
+
+func TestInvDivZeroPanics(t *testing.T) {
+	f := MustField(8)
+	for name, fn := range map[string]func(){
+		"Inv(0)":   func() { f.Inv(0) },
+		"Div(1,0)": func() { f.Div(1, 0) },
+		"Log(0)":   func() { f.Log(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	f := MustField(8)
+	a := []uint32{1, 2, 3, 0}
+	b := []uint32{5, 0, 7, 9}
+	want := f.Mul(1, 5) ^ f.Mul(3, 7)
+	if got := f.DotProduct(a, b); got != want {
+		t.Errorf("DotProduct=%d want %d", got, want)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched dot product lengths should panic")
+			}
+		}()
+		f.DotProduct(a, b[:2])
+	}()
+}
+
+func TestPolyEval(t *testing.T) {
+	f := MustField(8)
+	// p(x) = 3 + 2x + x^2 at x=5: 3 ^ 2*5 ^ 5*5
+	coef := []uint32{3, 2, 1}
+	want := uint32(3) ^ f.Mul(2, 5) ^ f.Mul(5, 5)
+	if got := f.PolyEval(coef, 5); got != want {
+		t.Errorf("PolyEval=%d want %d", got, want)
+	}
+	if f.PolyEval(nil, 9) != 0 {
+		t.Error("empty polynomial should evaluate to 0")
+	}
+}
+
+func TestPolyHelpers(t *testing.T) {
+	if PolyDegree(0) != -1 {
+		t.Error("degree of zero polynomial should be -1")
+	}
+	if PolyDegree(1) != 0 || PolyDegree(0x11d) != 8 {
+		t.Error("PolyDegree wrong")
+	}
+	if PolyMod(0x11d, 0x11d) != 0 {
+		t.Error("p mod p should be 0")
+	}
+	// (x+1)(x+1) = x^2+1 mod anything big enough
+	if PolyMulMod(0x3, 0x3, 0x100) != 0x5 {
+		t.Errorf("(x+1)^2 = %#x want 0x5", PolyMulMod(0x3, 0x3, 0x100))
+	}
+	// x^2 is reducible, x^2+x+1 is irreducible.
+	if IsIrreducible(0x4) {
+		t.Error("x^2 should be reducible")
+	}
+	if !IsIrreducible(0x7) {
+		t.Error("x^2+x+1 should be irreducible")
+	}
+	if IsIrreducible(1) {
+		t.Error("constant polynomial is not irreducible")
+	}
+}

@@ -1,0 +1,117 @@
+package gf
+
+// defaultPoly lists the default primitive polynomial for each word size.
+// These are the same polynomials used by Jerasure and ISA-L, so generator
+// matrices built here are interoperable with data encoded by those
+// libraries. Index 0 is unused.
+var defaultPoly = [MaxW + 1]uint32{
+	0,
+	0x3,     // w=1:  x + 1
+	0x7,     // w=2:  x^2 + x + 1
+	0xb,     // w=3:  x^3 + x + 1
+	0x13,    // w=4:  x^4 + x + 1
+	0x25,    // w=5:  x^5 + x^2 + 1
+	0x43,    // w=6:  x^6 + x + 1
+	0x89,    // w=7:  x^7 + x^3 + 1
+	0x11d,   // w=8:  x^8 + x^4 + x^3 + x^2 + 1
+	0x211,   // w=9:  x^9 + x^4 + 1
+	0x409,   // w=10: x^10 + x^3 + 1
+	0x805,   // w=11: x^11 + x^2 + 1
+	0x1053,  // w=12: x^12 + x^6 + x^4 + x + 1
+	0x201b,  // w=13: x^13 + x^4 + x^3 + x + 1
+	0x4443,  // w=14: x^14 + x^10 + x^6 + x + 1
+	0x8003,  // w=15: x^15 + x + 1
+	0x1100b, // w=16: x^16 + x^12 + x^3 + x + 1
+}
+
+// DefaultPrimitivePoly returns the default primitive polynomial for GF(2^w),
+// including the leading x^w term. It panics if w is out of range; callers
+// that take w from user input should validate through NewField instead.
+func DefaultPrimitivePoly(w uint) uint32 {
+	if w < 1 || w > MaxW {
+		panic("gf: word size out of range")
+	}
+	return defaultPoly[w]
+}
+
+// PolyDegree returns the degree of the polynomial p over GF(2), i.e. the
+// position of its highest set bit. The zero polynomial has degree -1.
+func PolyDegree(p uint32) int {
+	d := -1
+	for p != 0 {
+		p >>= 1
+		d++
+	}
+	return d
+}
+
+// PolyMod reduces polynomial a modulo polynomial m over GF(2).
+func PolyMod(a, m uint32) uint32 {
+	dm := PolyDegree(m)
+	if dm < 0 {
+		panic("gf: modulo by zero polynomial")
+	}
+	for {
+		da := PolyDegree(a)
+		if da < dm {
+			return a
+		}
+		a ^= m << uint(da-dm)
+	}
+}
+
+// PolyMulMod multiplies polynomials a and b over GF(2) and reduces the
+// product modulo m. It operates on 64-bit intermediates and therefore
+// supports deg(a), deg(b) < 32.
+func PolyMulMod(a, b, m uint32) uint32 {
+	var p uint64
+	x := uint64(a)
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= x
+		}
+		b >>= 1
+		x <<= 1
+	}
+	// Reduce the 64-bit product.
+	dm := PolyDegree(m)
+	if dm < 0 {
+		panic("gf: modulo by zero polynomial")
+	}
+	for d := polyDegree64(p); d >= dm; d = polyDegree64(p) {
+		p ^= uint64(m) << uint(d-dm)
+	}
+	return uint32(p)
+}
+
+func polyDegree64(p uint64) int {
+	d := -1
+	for p != 0 {
+		p >>= 1
+		d++
+	}
+	return d
+}
+
+// IsIrreducible reports whether the polynomial p of degree w is irreducible
+// over GF(2), by trial division by all polynomials of degree up to w/2.
+// It is exponential in w and intended for tests and table validation only.
+func IsIrreducible(p uint32) bool {
+	w := PolyDegree(p)
+	if w <= 0 {
+		return false
+	}
+	for d := 1; d <= w/2; d++ {
+		for q := uint32(1 << d); q < uint32(2<<d); q++ {
+			if polyDivides(q, p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// polyDivides reports whether q divides p over GF(2).
+func polyDivides(q, p uint32) bool {
+	return PolyMod(p, q) == 0
+}

@@ -1,0 +1,193 @@
+package gf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file provides bulk ("region") operations over GF(2^8): multiplying
+// every byte of a buffer by a scalar and accumulating into a destination.
+// These are the primitives a full-field (non-bitmatrix) Reed-Solomon
+// implementation such as ISA-L is built from. Word-sized XOR helpers used by
+// all the XOR-based coders also live here.
+
+// MulTable is the 256-entry product table for one scalar c over GF(2^8):
+// MulTable[b] = c*b. ISA-L's vectorized kernels hold the same content as two
+// 16-entry nibble tables for PSHUFB; the split form is in NibbleTable.
+type MulTable [256]uint8
+
+// MulTable8 returns the region-multiplication table for scalar c over
+// GF(2^8). The field must have w == 8.
+func (f *Field) MulTable8(c uint8) *MulTable {
+	if f.w != 8 {
+		panic(fmt.Sprintf("gf: MulTable8 requires w=8 field, have w=%d", f.w))
+	}
+	var t MulTable
+	for b := 0; b < 256; b++ {
+		t[b] = uint8(f.Mul(uint32(c), uint32(b)))
+	}
+	return &t
+}
+
+// NibbleTable is the split-table form of a scalar multiplication over
+// GF(2^8): c*b = Lo[b&0xf] ^ Hi[b>>4]. This is exactly the table layout
+// Intel ISA-L feeds to PSHUFB; our isal-style kernels consume it to stay
+// structurally faithful to that library.
+type NibbleTable struct {
+	Lo [16]uint8
+	Hi [16]uint8
+}
+
+// NibbleTable8 returns the split-nibble multiplication tables for scalar c
+// over GF(2^8). The field must have w == 8.
+func (f *Field) NibbleTable8(c uint8) NibbleTable {
+	if f.w != 8 {
+		panic(fmt.Sprintf("gf: NibbleTable8 requires w=8 field, have w=%d", f.w))
+	}
+	var t NibbleTable
+	for n := 0; n < 16; n++ {
+		t.Lo[n] = uint8(f.Mul(uint32(c), uint32(n)))
+		t.Hi[n] = uint8(f.Mul(uint32(c), uint32(n)<<4))
+	}
+	return t
+}
+
+// Mul applies the nibble tables to one byte.
+func (t NibbleTable) Mul(b uint8) uint8 {
+	return t.Lo[b&0xf] ^ t.Hi[b>>4]
+}
+
+// MulRegion sets dst[i] = c * src[i] for every byte, using a product table.
+// dst and src must have the same length.
+func MulRegion(t *MulTable, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: MulRegion length mismatch")
+	}
+	for i, b := range src {
+		dst[i] = t[b]
+	}
+}
+
+// MulAddRegion sets dst[i] ^= c * src[i] for every byte.
+// dst and src must have the same length.
+func MulAddRegion(t *MulTable, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: MulAddRegion length mismatch")
+	}
+	for i, b := range src {
+		dst[i] ^= t[b]
+	}
+}
+
+// XorRegion sets dst[i] ^= src[i] for every byte, processing eight bytes per
+// step through uint64 words. dst and src must have the same length.
+func XorRegion(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: XorRegion length mismatch")
+	}
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		v := binary.LittleEndian.Uint64(dst[i:]) ^ binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// XorRegion2 sets dst[i] ^= a[i] ^ b[i], reading two sources per pass over
+// the destination. Multi-source XOR halves the store traffic relative to two
+// XorRegion calls; the reduction-grouping schedule in the te codegen lowers
+// to these kernels.
+func XorRegion2(dst, a, b []byte) {
+	if len(dst) != len(a) || len(dst) != len(b) {
+		panic("gf: XorRegion2 length mismatch")
+	}
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		v := binary.LittleEndian.Uint64(dst[i:]) ^
+			binary.LittleEndian.Uint64(a[i:]) ^
+			binary.LittleEndian.Uint64(b[i:])
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= a[i] ^ b[i]
+	}
+}
+
+// XorRegion4 sets dst[i] ^= a[i] ^ b[i] ^ c[i] ^ d[i] in a single pass.
+func XorRegion4(dst, a, b, c, d []byte) {
+	if len(dst) != len(a) || len(dst) != len(b) || len(dst) != len(c) || len(dst) != len(d) {
+		panic("gf: XorRegion4 length mismatch")
+	}
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		v := binary.LittleEndian.Uint64(dst[i:]) ^
+			binary.LittleEndian.Uint64(a[i:]) ^
+			binary.LittleEndian.Uint64(b[i:]) ^
+			binary.LittleEndian.Uint64(c[i:]) ^
+			binary.LittleEndian.Uint64(d[i:])
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= a[i] ^ b[i] ^ c[i] ^ d[i]
+	}
+}
+
+// XorRegion8 sets dst[i] ^= XOR of eight sources in a single pass over the
+// destination. Eight-way fusion is the widest reduction group the te
+// codegen's schedules use.
+func XorRegion8(dst []byte, srcs *[8][]byte) {
+	n := len(dst)
+	for _, s := range srcs {
+		if len(s) != n {
+			panic("gf: XorRegion8 length mismatch")
+		}
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		v := binary.LittleEndian.Uint64(dst[i:])
+		v ^= binary.LittleEndian.Uint64(srcs[0][i:])
+		v ^= binary.LittleEndian.Uint64(srcs[1][i:])
+		v ^= binary.LittleEndian.Uint64(srcs[2][i:])
+		v ^= binary.LittleEndian.Uint64(srcs[3][i:])
+		v ^= binary.LittleEndian.Uint64(srcs[4][i:])
+		v ^= binary.LittleEndian.Uint64(srcs[5][i:])
+		v ^= binary.LittleEndian.Uint64(srcs[6][i:])
+		v ^= binary.LittleEndian.Uint64(srcs[7][i:])
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= srcs[0][i] ^ srcs[1][i] ^ srcs[2][i] ^ srcs[3][i] ^
+			srcs[4][i] ^ srcs[5][i] ^ srcs[6][i] ^ srcs[7][i]
+	}
+}
+
+// XorRegions sets dst[i] ^= xor of srcs[j][i] over all sources, dispatching
+// to the widest fused kernel available and falling back pairwise. All
+// sources must have the destination's length.
+func XorRegions(dst []byte, srcs ...[]byte) {
+	i := 0
+	for ; i+4 <= len(srcs); i += 4 {
+		XorRegion4(dst, srcs[i], srcs[i+1], srcs[i+2], srcs[i+3])
+	}
+	for ; i+2 <= len(srcs); i += 2 {
+		XorRegion2(dst, srcs[i], srcs[i+1])
+	}
+	for ; i < len(srcs); i++ {
+		XorRegion(dst, srcs[i])
+	}
+}
+
+// CopyRegion copies src into dst; both must have the same length. It exists
+// so coder code reads uniformly (CopyRegion/XorRegion pairs) and so the
+// memcpy-overhead experiment has a single accounting point.
+func CopyRegion(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: CopyRegion length mismatch")
+	}
+	copy(dst, src)
+}

@@ -1,0 +1,209 @@
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestMulTable8(t *testing.T) {
+	f := MustField(8)
+	for _, c := range []uint8{0, 1, 2, 0x53, 0xff} {
+		tbl := f.MulTable8(c)
+		for b := 0; b < 256; b++ {
+			if uint32(tbl[b]) != f.Mul(uint32(c), uint32(b)) {
+				t.Fatalf("c=%d b=%d: table %d want %d", c, b, tbl[b], f.Mul(uint32(c), uint32(b)))
+			}
+		}
+	}
+}
+
+func TestNibbleTable8MatchesMul(t *testing.T) {
+	f := MustField(8)
+	prop := func(c, b uint8) bool {
+		nt := f.NibbleTable8(c)
+		return uint32(nt.Mul(b)) == f.Mul(uint32(c), uint32(b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTablesRequireW8(t *testing.T) {
+	f := MustField(4)
+	for name, fn := range map[string]func(){
+		"MulTable8":    func() { f.MulTable8(3) },
+		"NibbleTable8": func() { f.NibbleTable8(3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on w=4 field should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMulRegionAndMulAddRegion(t *testing.T) {
+	f := MustField(8)
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 1000} {
+		src := randBytes(rng, n)
+		c := uint8(rng.Intn(256))
+		tbl := f.MulTable8(c)
+
+		dst := make([]byte, n)
+		MulRegion(tbl, dst, src)
+		for i := range src {
+			if uint32(dst[i]) != f.Mul(uint32(c), uint32(src[i])) {
+				t.Fatalf("n=%d i=%d MulRegion wrong", n, i)
+			}
+		}
+
+		acc := randBytes(rng, n)
+		want := make([]byte, n)
+		for i := range acc {
+			want[i] = acc[i] ^ dst[i]
+		}
+		MulAddRegion(tbl, acc, src)
+		if !bytes.Equal(acc, want) {
+			t.Fatalf("n=%d MulAddRegion wrong", n)
+		}
+	}
+}
+
+func TestXorRegionVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 5, 8, 15, 16, 17, 8192} {
+		a := randBytes(rng, n)
+		b := randBytes(rng, n)
+		c := randBytes(rng, n)
+		d := randBytes(rng, n)
+		base := randBytes(rng, n)
+
+		want := make([]byte, n)
+		for i := 0; i < n; i++ {
+			want[i] = base[i] ^ a[i]
+		}
+		got := append([]byte(nil), base...)
+		XorRegion(got, a)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d XorRegion wrong", n)
+		}
+
+		for i := 0; i < n; i++ {
+			want[i] = base[i] ^ a[i] ^ b[i]
+		}
+		got = append([]byte(nil), base...)
+		XorRegion2(got, a, b)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d XorRegion2 wrong", n)
+		}
+
+		for i := 0; i < n; i++ {
+			want[i] = base[i] ^ a[i] ^ b[i] ^ c[i] ^ d[i]
+		}
+		got = append([]byte(nil), base...)
+		XorRegion4(got, a, b, c, d)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d XorRegion4 wrong", n)
+		}
+	}
+}
+
+func TestXorRegionsFusion(t *testing.T) {
+	// XorRegions must equal sequential XorRegion for any source count,
+	// exercising the 4-wide, 2-wide and single-source tails.
+	rng := rand.New(rand.NewSource(3))
+	n := 129
+	for numSrc := 0; numSrc <= 11; numSrc++ {
+		srcs := make([][]byte, numSrc)
+		for i := range srcs {
+			srcs[i] = randBytes(rng, n)
+		}
+		base := randBytes(rng, n)
+		want := append([]byte(nil), base...)
+		for _, s := range srcs {
+			XorRegion(want, s)
+		}
+		got := append([]byte(nil), base...)
+		XorRegions(got, srcs...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("numSrc=%d XorRegions != sequential", numSrc)
+		}
+	}
+}
+
+func TestRegionLengthMismatchPanics(t *testing.T) {
+	f := MustField(8)
+	tbl := f.MulTable8(2)
+	a, b := make([]byte, 8), make([]byte, 9)
+	for name, fn := range map[string]func(){
+		"XorRegion":    func() { XorRegion(a, b) },
+		"XorRegion2":   func() { XorRegion2(a, a, b) },
+		"XorRegion4":   func() { XorRegion4(a, a, a, a, b) },
+		"MulRegion":    func() { MulRegion(tbl, a, b) },
+		"MulAddRegion": func() { MulAddRegion(tbl, a, b) },
+		"CopyRegion":   func() { CopyRegion(a, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCopyRegion(t *testing.T) {
+	src := []byte{1, 2, 3}
+	dst := make([]byte, 3)
+	CopyRegion(dst, src)
+	if !bytes.Equal(dst, src) {
+		t.Error("CopyRegion did not copy")
+	}
+}
+
+func BenchmarkXorRegion(b *testing.B) {
+	dst := make([]byte, 128<<10)
+	src := make([]byte, 128<<10)
+	b.SetBytes(int64(len(dst)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XorRegion(dst, src)
+	}
+}
+
+func BenchmarkXorRegion4(b *testing.B) {
+	n := 128 << 10
+	dst := make([]byte, n)
+	srcs := [][]byte{make([]byte, n), make([]byte, n), make([]byte, n), make([]byte, n)}
+	b.SetBytes(int64(4 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XorRegion4(dst, srcs[0], srcs[1], srcs[2], srcs[3])
+	}
+}
+
+func BenchmarkMulAddRegion(b *testing.B) {
+	f := MustField(8)
+	tbl := f.MulTable8(0x53)
+	dst := make([]byte, 128<<10)
+	src := make([]byte, 128<<10)
+	b.SetBytes(int64(len(dst)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddRegion(tbl, dst, src)
+	}
+}

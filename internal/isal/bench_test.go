@@ -1,0 +1,53 @@
+package isal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEncodeStripe(b *testing.B) {
+	c, err := New(10, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unit := 128 << 10
+	data := make([]byte, 10*unit)
+	rand.New(rand.NewSource(1)).Read(data)
+	parity := make([]byte, 4*unit)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.EncodeStripe(data, parity, unit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructOne(b *testing.B) {
+	c, err := New(10, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unit := 128 << 10
+	shards := make([][]byte, 14)
+	rng := rand.New(rand.NewSource(2))
+	for i := range shards {
+		shards[i] = make([]byte, unit)
+		if i < 10 {
+			rng.Read(shards[i])
+		}
+	}
+	if err := c.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(unit))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := make([][]byte, 14)
+		copy(work, shards)
+		work[0] = nil
+		if err := c.Reconstruct(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

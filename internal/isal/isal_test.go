@@ -1,0 +1,235 @@
+package isal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gemmec/internal/gf"
+	"gemmec/internal/matrix"
+	"gemmec/internal/rs"
+)
+
+func TestEncodeMatchesRSOracle(t *testing.T) {
+	// Pin both coders to the same Cauchy matrix; parities must be
+	// byte-identical.
+	for _, kr := range [][2]int{{4, 2}, {8, 3}, {10, 4}, {3, 5}} {
+		k, r := kr[0], kr[1]
+		oracle, err := rs.New(k, r, rs.ConstructionCauchy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewWithCoding(oracle.CodingMatrix())
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := 5000 // crosses a strip boundary
+		a := oracle.AllocShards(size)
+		b := oracle.AllocShards(size)
+		rng := rand.New(rand.NewSource(int64(k*100 + r)))
+		for i := 0; i < k; i++ {
+			rng.Read(a[i])
+			copy(b[i], a[i])
+		}
+		if err := oracle.Encode(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Encode(b); err != nil {
+			t.Fatal(err)
+		}
+		for i := k; i < k+r; i++ {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("k=%d r=%d: parity %d differs from oracle", k, r, i-k)
+			}
+		}
+	}
+}
+
+func TestDefaultConstructionRoundTrip(t *testing.T) {
+	k, r := 6, 3
+	c, err := New(k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != k || c.R() != r {
+		t.Fatal("K/R wrong")
+	}
+	size := 1024
+	shards := make([][]byte, k+r)
+	rng := rand.New(rand.NewSource(7))
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		if i < k {
+			rng.Read(shards[i])
+		}
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	orig := make([][]byte, len(shards))
+	for i := range shards {
+		orig[i] = append([]byte(nil), shards[i]...)
+	}
+
+	// Random erasure patterns up to r losses.
+	for trial := 0; trial < 40; trial++ {
+		work := make([][]byte, len(shards))
+		perm := rng.Perm(k + r)
+		nLost := 1 + rng.Intn(r)
+		lostSet := map[int]bool{}
+		for _, i := range perm[:nLost] {
+			lostSet[i] = true
+		}
+		for i := range shards {
+			if !lostSet[i] {
+				work[i] = append([]byte(nil), orig[i]...)
+			}
+		}
+		if err := c.Reconstruct(work); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range work {
+			if !bytes.Equal(work[i], orig[i]) {
+				t.Fatalf("trial %d: shard %d wrong", trial, i)
+			}
+		}
+	}
+}
+
+func TestEncodeStripeMatchesSharded(t *testing.T) {
+	k := 5
+	// r=4 exercises dotProd4 exactly; other values cover the 2-wide and
+	// 1-wide tails.
+	for _, rr := range []int{1, 2, 3, 4, 5, 7} {
+		c, err := New(k, rr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unit := 2048
+		rng := rand.New(rand.NewSource(int64(rr)))
+		data := make([]byte, k*unit)
+		rng.Read(data)
+
+		parity := make([]byte, rr*unit)
+		if err := c.EncodeStripe(data, parity, unit); err != nil {
+			t.Fatal(err)
+		}
+
+		shards := make([][]byte, k+rr)
+		for i := 0; i < k; i++ {
+			shards[i] = data[i*unit : (i+1)*unit]
+		}
+		for i := 0; i < rr; i++ {
+			shards[k+i] = make([]byte, unit)
+		}
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rr; i++ {
+			if !bytes.Equal(parity[i*unit:(i+1)*unit], shards[k+i]) {
+				t.Fatalf("r=%d: stripe parity %d mismatch", rr, i)
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c, _ := New(3, 2)
+	if err := c.Encode(make([][]byte, 4)); err == nil {
+		t.Error("wrong count accepted")
+	}
+	shards := [][]byte{make([]byte, 8), make([]byte, 8), make([]byte, 4), make([]byte, 8), make([]byte, 8)}
+	if err := c.Encode(shards); err == nil {
+		t.Error("mismatched sizes accepted")
+	}
+	shards[2] = nil
+	if err := c.Encode(shards); err == nil {
+		t.Error("nil data shard accepted by Encode")
+	}
+	if err := c.EncodeStripe(make([]byte, 10), make([]byte, 10), 8); err == nil {
+		t.Error("bad stripe geometry accepted")
+	}
+	all := make([][]byte, 5)
+	if err := c.Reconstruct(all); err == nil {
+		t.Error("all-nil reconstruct accepted")
+	}
+	lost := [][]byte{nil, nil, nil, make([]byte, 8), make([]byte, 8)}
+	if err := c.Reconstruct(lost); err == nil {
+		t.Error("too many erasures accepted")
+	}
+	f4 := gf.MustField(4)
+	m4, _ := matrix.Cauchy(f4, 2, 3)
+	if _, err := NewWithCoding(m4); err == nil {
+		t.Error("w=4 coding matrix accepted")
+	}
+}
+
+func TestEncodeUpdateMatchesEncode(t *testing.T) {
+	for _, r := range []int{1, 2, 3, 4, 5} {
+		k := 6
+		c, err := New(k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := 5000
+		rng := rand.New(rand.NewSource(int64(r)))
+		shards := make([][]byte, k+r)
+		for i := range shards {
+			shards[i] = make([]byte, size)
+			if i < k {
+				rng.Read(shards[i])
+			}
+		}
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+
+		// Streaming arrival in random order.
+		parity := make([][]byte, r)
+		for i := range parity {
+			parity[i] = make([]byte, size)
+		}
+		for _, i := range rng.Perm(k) {
+			if err := c.EncodeUpdate(i, shards[i], parity); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < r; i++ {
+			if !bytes.Equal(parity[i], shards[k+i]) {
+				t.Fatalf("r=%d: streaming parity %d differs from batch encode", r, i)
+			}
+		}
+	}
+}
+
+func TestEncodeUpdateValidation(t *testing.T) {
+	c, _ := New(3, 2)
+	shard := make([]byte, 64)
+	parity := [][]byte{make([]byte, 64), make([]byte, 64)}
+	if err := c.EncodeUpdate(-1, shard, parity); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := c.EncodeUpdate(3, shard, parity); err == nil {
+		t.Error("index out of range accepted")
+	}
+	if err := c.EncodeUpdate(0, shard, parity[:1]); err == nil {
+		t.Error("wrong parity count accepted")
+	}
+	if err := c.EncodeUpdate(0, shard, [][]byte{make([]byte, 64), make([]byte, 32)}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if err := c.EncodeUpdate(0, nil, [][]byte{{}, {}}); err == nil {
+		t.Error("empty shard accepted")
+	}
+}
+
+func TestReconstructNoErasures(t *testing.T) {
+	c, _ := New(3, 2)
+	shards := make([][]byte, 5)
+	for i := range shards {
+		shards[i] = make([]byte, 16)
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package jerasure
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEncode(b *testing.B) {
+	c, err := New(10, 4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unit := 128 << 10
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]byte, 10)
+	for i := range data {
+		data[i] = make([]byte, unit)
+		rng.Read(data[i])
+	}
+	parity := make([][]byte, 4)
+	for i := range parity {
+		parity[i] = make([]byte, unit)
+	}
+	b.SetBytes(int64(10 * unit))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(data, parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeCopyFirst(b *testing.B) {
+	c, err := New(10, 4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unit := 128 << 10
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]byte, 10)
+	for i := range data {
+		data[i] = make([]byte, unit)
+		rng.Read(data[i])
+	}
+	parity := make([][]byte, 4)
+	for i := range parity {
+		parity[i] = make([]byte, unit)
+	}
+	var scratch []byte
+	b.SetBytes(int64(10 * unit))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		scratch, err = c.EncodeCopyFirst(data, parity, scratch)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

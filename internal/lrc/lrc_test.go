@@ -1,0 +1,296 @@
+package lrc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gemmec/internal/gf"
+)
+
+func newLRC(t *testing.T, k, l, g int) *Coder {
+	t.Helper()
+	c, err := New(k, l, g, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func encodedShards(t *testing.T, c *Coder, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	shards := make([][]byte, c.N())
+	for i := range shards {
+		shards[i] = make([]byte, c.UnitSize())
+		if i < c.K() {
+			rng.Read(shards[i])
+		}
+	}
+	if err := c.EncodeShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	return shards
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range [][3]int{{0, 1, 1}, {6, 0, 2}, {6, 2, 0}, {7, 2, 2}, {200, 2, 100}} {
+		if _, err := New(bad[0], bad[1], bad[2], 1024); err == nil {
+			t.Errorf("params %v accepted", bad)
+		}
+	}
+	if _, err := New(6, 2, 2, 100); err == nil {
+		t.Error("bad unit size accepted")
+	}
+	c := newLRC(t, 6, 2, 2)
+	if c.K() != 6 || c.L() != 2 || c.G() != 2 || c.N() != 10 || c.UnitSize() != 1024 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestLocalParityIsGroupXOR(t *testing.T) {
+	c := newLRC(t, 6, 2, 2)
+	shards := encodedShards(t, c, 1)
+	for gi := 0; gi < 2; gi++ {
+		want := make([]byte, c.UnitSize())
+		members, err := c.GroupMembers(gi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range members {
+			gf.XorRegion(want, shards[m])
+		}
+		if !bytes.Equal(shards[c.K()+gi], want) {
+			t.Fatalf("local parity %d is not its group's XOR", gi)
+		}
+	}
+	if _, err := c.GroupMembers(5); err == nil {
+		t.Error("group out of range accepted")
+	}
+	if g, err := c.Group(4); err != nil || g != 1 {
+		t.Errorf("Group(4)=%d,%v", g, err)
+	}
+	if _, err := c.Group(6); err == nil {
+		t.Error("Group out of range accepted")
+	}
+}
+
+func TestEncodeMatchesFieldOracle(t *testing.T) {
+	// Global parity row ri must equal sum coding[l+ri][ci]*data[ci] bytewise
+	// under the bitmatrix layout's symbol interpretation; verify through an
+	// independent byte-level recomputation via RepairSingle's global path.
+	c := newLRC(t, 4, 2, 2)
+	shards := encodedShards(t, c, 2)
+	for ri := 0; ri < c.G(); ri++ {
+		idx := c.K() + c.L() + ri
+		saved := shards[idx]
+		shards[idx] = nil
+		if err := c.RepairSingle(shards, idx); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(shards[idx], saved) {
+			t.Fatalf("global parity %d: GEMM and field paths disagree", ri)
+		}
+	}
+}
+
+func TestPlanRepairCosts(t *testing.T) {
+	c := newLRC(t, 12, 3, 3) // groups of 4
+	// Data unit: 3 group peers + local parity = 4 reads (vs k=12 for RS).
+	plan, err := c.PlanRepair(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Local || len(plan.Reads) != 4 {
+		t.Errorf("data repair plan %+v", plan)
+	}
+	// Local parity: the 4 group members.
+	plan, err = c.PlanRepair(12 + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Local || len(plan.Reads) != 4 {
+		t.Errorf("local parity repair plan %+v", plan)
+	}
+	// Global parity: all k.
+	plan, err = c.PlanRepair(12 + 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Local || len(plan.Reads) != 12 {
+		t.Errorf("global parity repair plan %+v", plan)
+	}
+	if _, err := c.PlanRepair(99); err == nil {
+		t.Error("out of range accepted")
+	}
+}
+
+func TestRepairSingleEveryUnit(t *testing.T) {
+	c := newLRC(t, 6, 2, 2)
+	orig := encodedShards(t, c, 3)
+	for idx := 0; idx < c.N(); idx++ {
+		shards := make([][]byte, c.N())
+		for i := range shards {
+			if i != idx {
+				shards[i] = append([]byte(nil), orig[i]...)
+			}
+		}
+		if err := c.RepairSingle(shards, idx); err != nil {
+			t.Fatalf("unit %d: %v", idx, err)
+		}
+		if !bytes.Equal(shards[idx], orig[idx]) {
+			t.Fatalf("unit %d repaired wrong", idx)
+		}
+	}
+	// Repair that needs a missing unit fails.
+	shards := make([][]byte, c.N())
+	for i := range shards {
+		shards[i] = append([]byte(nil), orig[i]...)
+	}
+	shards[0], shards[1] = nil, nil // same group
+	if err := c.RepairSingle(shards, 0); !errors.Is(err, ErrUndecodable) {
+		t.Errorf("err=%v want ErrUndecodable", err)
+	}
+}
+
+func TestReconstructMultiFailure(t *testing.T) {
+	c := newLRC(t, 6, 2, 2)
+	orig := encodedShards(t, c, 4)
+
+	cases := [][]int{
+		{0},          // single data: local path
+		{0, 3},       // one per group: local path twice
+		{0, 1},       // two in one group: needs globals
+		{0, 1, 6},    // two data + their local parity: needs globals
+		{0, 1, 8},    // two data + one global
+		{6, 7},       // both local parities
+		{8, 9},       // both global parities
+		{0, 3, 8, 9}, // one per group + both globals: local repairs suffice
+	}
+	for _, lost := range cases {
+		shards := make([][]byte, c.N())
+		lostSet := map[int]bool{}
+		for _, i := range lost {
+			lostSet[i] = true
+		}
+		for i := range shards {
+			if !lostSet[i] {
+				shards[i] = append([]byte(nil), orig[i]...)
+			}
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("lost %v: %v", lost, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("lost %v: unit %d wrong", lost, i)
+			}
+		}
+	}
+}
+
+func TestReconstructUndecodable(t *testing.T) {
+	c := newLRC(t, 6, 2, 2)
+	orig := encodedShards(t, c, 5)
+	// Lose an entire group (3 data) plus its local parity plus a global:
+	// 5 losses with only 1 global + 1 foreign local to help - undecodable.
+	shards := make([][]byte, c.N())
+	lostSet := map[int]bool{0: true, 1: true, 2: true, 6: true, 8: true}
+	for i := range shards {
+		if !lostSet[i] {
+			shards[i] = append([]byte(nil), orig[i]...)
+		}
+	}
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrUndecodable) {
+		t.Errorf("err=%v want ErrUndecodable", err)
+	}
+	// No erasures: no-op.
+	complete := make([][]byte, c.N())
+	for i := range complete {
+		complete[i] = append([]byte(nil), orig[i]...)
+	}
+	if err := c.Reconstruct(complete); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reconstruct(make([][]byte, 3)); err == nil {
+		t.Error("wrong shard count accepted")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	c := newLRC(t, 6, 2, 2)
+	shards := encodedShards(t, c, 8)
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("fresh encode fails verify (ok=%v err=%v)", ok, err)
+	}
+	shards[7][9] ^= 0x80 // corrupt a local parity
+	ok, err = c.Verify(shards)
+	if err != nil || ok {
+		t.Fatal("corrupt local parity verified")
+	}
+	shards[7][9] ^= 0x80
+	shards[9][0] ^= 1 // corrupt a global parity
+	ok, err = c.Verify(shards)
+	if err != nil || ok {
+		t.Fatal("corrupt global parity verified")
+	}
+	if _, err := c.Verify(shards[:4]); err == nil {
+		t.Error("wrong shard count accepted")
+	}
+	shards[9] = shards[9][:8]
+	if _, err := c.Verify(shards); err == nil {
+		t.Error("short shard accepted")
+	}
+}
+
+func TestReconstructRandomDecodablePatterns(t *testing.T) {
+	// Property-style: random erasure patterns of size <= g+1 are always
+	// decodable for this LRC family (any g+1 erasures are information-
+	// theoretically decodable when they don't exceed per-group slack; the
+	// sizes used here stay within the code's guarantees).
+	c := newLRC(t, 8, 2, 2)
+	orig := encodedShards(t, c, 9)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 60; trial++ {
+		nLost := 1 + rng.Intn(3) // up to g+1 = 3
+		perm := rng.Perm(c.N())
+		lost := map[int]bool{}
+		for _, i := range perm[:nLost] {
+			lost[i] = true
+		}
+		shards := make([][]byte, c.N())
+		for i := range shards {
+			if !lost[i] {
+				shards[i] = append([]byte(nil), orig[i]...)
+			}
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("trial %d lost %v: %v", trial, perm[:nLost], err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("trial %d: shard %d wrong", trial, i)
+			}
+		}
+	}
+}
+
+func TestEncodeShardValidation(t *testing.T) {
+	c := newLRC(t, 4, 2, 2)
+	if err := c.EncodeShards(make([][]byte, 3)); err == nil {
+		t.Error("wrong count accepted")
+	}
+	shards := make([][]byte, c.N())
+	for i := range shards {
+		shards[i] = make([]byte, c.UnitSize())
+	}
+	shards[2] = shards[2][:10]
+	if err := c.EncodeShards(shards); err == nil {
+		t.Error("short shard accepted")
+	}
+	if err := c.Encode(make([]byte, 10), make([]byte, 10)); err == nil {
+		t.Error("bad stripe accepted")
+	}
+}

@@ -1,0 +1,278 @@
+package matrix
+
+import (
+	"fmt"
+
+	"gemmec/internal/gf"
+)
+
+// This file constructs the generator matrices erasure codes use. A
+// systematic (k+r) x k generator G has the identity in its top k rows, so
+// data units are stored verbatim; the bottom r rows are the "coding" rows
+// that produce parity units. The paper's GEMM view multiplies the r x k
+// coding block by the k x d data matrix.
+
+func checkKR(f *gf.Field, k, r int) error {
+	if k <= 0 || r <= 0 {
+		return fmt.Errorf("matrix: invalid code parameters k=%d r=%d", k, r)
+	}
+	if uint32(k+r) > f.Size() {
+		return fmt.Errorf("matrix: k+r=%d exceeds field size %d (w=%d too small)", k+r, f.Size(), f.W())
+	}
+	return nil
+}
+
+// Vandermonde returns the rows x cols Vandermonde matrix V[i][j] = i^j over
+// f, with the convention 0^0 = 1. rows must not exceed the field size.
+func Vandermonde(f *gf.Field, rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("matrix: invalid Vandermonde shape %dx%d", rows, cols)
+	}
+	if uint32(rows) > f.Size() {
+		return nil, fmt.Errorf("matrix: %d Vandermonde rows exceed field size %d", rows, f.Size())
+	}
+	m := New(f, rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, f.Exp(uint32(i), j))
+		}
+	}
+	return m, nil
+}
+
+// VandermondeRS builds a systematic (k+r) x k generator: a (k+r) x k
+// Vandermonde matrix whose top k x k block is transformed to the identity
+// by multiplying on the right with that block's inverse. Right
+// multiplication by an invertible matrix preserves the invertibility of
+// every k x k row-submatrix, so the result remains MDS. This mirrors
+// ISA-L's gf_gen_rs_matrix-plus-systematic-transform construction.
+func VandermondeRS(f *gf.Field, k, r int) (*Matrix, error) {
+	if err := checkKR(f, k, r); err != nil {
+		return nil, err
+	}
+	v, err := Vandermonde(f, k+r, k)
+	if err != nil {
+		return nil, err
+	}
+	topIdx := make([]int, k)
+	for i := range topIdx {
+		topIdx[i] = i
+	}
+	top, err := v.SelectRows(topIdx)
+	if err != nil {
+		return nil, err
+	}
+	topInv, err := top.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("matrix: Vandermonde top block not invertible: %w", err)
+	}
+	return v.Mul(topInv)
+}
+
+// Cauchy returns the r x k Cauchy matrix C[i][j] = 1 / (x_i + y_j) where
+// x_i = i + k and y_j = j, the standard choice for Cauchy Reed-Solomon
+// codes. Every square submatrix of a Cauchy matrix is invertible, so the
+// systematic generator [I; C] is MDS by construction — the property the
+// bitmatrix conversion in Blömer et al. relies on.
+func Cauchy(f *gf.Field, r, k int) (*Matrix, error) {
+	if err := checkKR(f, k, r); err != nil {
+		return nil, err
+	}
+	m := New(f, r, k)
+	for i := 0; i < r; i++ {
+		xi := uint32(i+k) & f.Mask()
+		for j := 0; j < k; j++ {
+			yj := uint32(j) & f.Mask()
+			m.Set(i, j, f.Inv(xi^yj))
+		}
+	}
+	return m, nil
+}
+
+// CauchyGood returns a Cauchy coding matrix whose first row and first
+// column are normalized to ones (by scaling rows and columns, which
+// preserves the Cauchy/MDS property). Jerasure calls this
+// "cauchy_good_general_coding_matrix": normalization reduces the number of
+// ones in the derived bitmatrix and thus the XOR count of bitmatrix codes —
+// one of the "algorithmic optimizations" in §2.1 of the paper.
+func CauchyGood(f *gf.Field, r, k int) (*Matrix, error) {
+	m, err := Cauchy(f, r, k)
+	if err != nil {
+		return nil, err
+	}
+	// Scale each column j so row 0 becomes all ones.
+	for j := 0; j < k; j++ {
+		inv := f.Inv(m.At(0, j))
+		for i := 0; i < r; i++ {
+			m.Set(i, j, f.Mul(m.At(i, j), inv))
+		}
+	}
+	// Scale each row i > 0 so column 0 becomes ones.
+	for i := 1; i < r; i++ {
+		inv := f.Inv(m.At(i, 0))
+		for j := 0; j < k; j++ {
+			m.Set(i, j, f.Mul(m.At(i, j), inv))
+		}
+	}
+	return m, nil
+}
+
+// CauchyBest searches for a Cauchy coding matrix whose bitmatrix expansion
+// has as few ones as possible — the generator-search optimization §2.1 of
+// the paper cites (Jerasure's cauchy_best_* matrices). Y is fixed to
+// {0..k-1}; the r X-coordinates are chosen from up to maxCand candidates:
+// for each candidate first row, the remaining rows are picked greedily to
+// minimize the normalized bitmatrix weight, and the best overall matrix
+// wins. The default X-set {k..k+r-1} is always among the candidates, so the
+// result never has more ones than CauchyGood. onesOf reports the bitmatrix
+// weight of an element and is injected to avoid a dependency cycle with the
+// bitmatrix package (pass the ElementMatrix ones counter).
+func CauchyBest(f *gf.Field, r, k, maxCand int, onesOf func(f *gf.Field, e uint32) int) (*Matrix, error) {
+	if err := checkKR(f, k, r); err != nil {
+		return nil, err
+	}
+	if maxCand < r {
+		maxCand = r
+	}
+	// Candidate x values: anything outside Y = {0..k-1}.
+	var cands []uint32
+	for x := uint32(k); x < f.Size() && len(cands) < maxCand; x++ {
+		cands = append(cands, x)
+	}
+	if len(cands) < r {
+		return nil, fmt.Errorf("matrix: field too small for %d coding rows", r)
+	}
+
+	// normalizedRowCost computes the bitmatrix weight of row x after
+	// CauchyGood normalization given the column scales from row x0.
+	rowVal := func(x uint32, j int) uint32 { return f.Inv(x ^ uint32(j)) }
+	rowCost := func(x, x0 uint32) int {
+		// Column scale from x0: each column j is divided by rowVal(x0, j).
+		// Then the row is divided by its (already scaled) column-0 entry.
+		c0 := f.Div(rowVal(x, 0), rowVal(x0, 0))
+		cost := 0
+		for j := 0; j < k; j++ {
+			v := f.Div(rowVal(x, j), rowVal(x0, j))
+			v = f.Div(v, c0)
+			cost += onesOf(f, v)
+		}
+		return cost
+	}
+
+	bestTotal := -1
+	var bestX []uint32
+	// Try each candidate as the first row; greedily fill the rest.
+	firstCands := cands
+	if len(firstCands) > 16 {
+		firstCands = firstCands[:16] // bound the outer loop
+	}
+	for _, x0 := range firstCands {
+		total := k * int(f.W()) // row 0 normalizes to identity blocks
+		used := map[uint32]bool{x0: true}
+		xs := []uint32{x0}
+		for len(xs) < r {
+			bestC, bestXv := -1, uint32(0)
+			for _, x := range cands {
+				if used[x] {
+					continue
+				}
+				c := rowCost(x, x0)
+				if bestC < 0 || c < bestC {
+					bestC, bestXv = c, x
+				}
+			}
+			used[bestXv] = true
+			xs = append(xs, bestXv)
+			total += bestC
+		}
+		if bestTotal < 0 || total < bestTotal {
+			bestTotal, bestX = total, xs
+		}
+	}
+
+	// Materialize the normalized matrix for the winning X-set.
+	m := New(f, r, k)
+	x0 := bestX[0]
+	for i, x := range bestX {
+		c0 := f.Div(rowVal(x, 0), rowVal(x0, 0))
+		for j := 0; j < k; j++ {
+			v := f.Div(rowVal(x, j), rowVal(x0, j))
+			m.Set(i, j, f.Div(v, c0))
+		}
+	}
+	return m, nil
+}
+
+// SystematicGenerator returns the full (k+r) x k generator [I; coding] for
+// an r x k coding matrix.
+func SystematicGenerator(coding *Matrix) (*Matrix, error) {
+	k := coding.Cols()
+	return Identity(coding.Field(), k).VStack(coding)
+}
+
+// CodingRows extracts the bottom r rows (the coding block) of a systematic
+// (k+r) x k generator.
+func CodingRows(gen *Matrix, k int) (*Matrix, error) {
+	if gen.Rows() <= k {
+		return nil, fmt.Errorf("matrix: generator has %d rows, need more than k=%d", gen.Rows(), k)
+	}
+	idx := make([]int, gen.Rows()-k)
+	for i := range idx {
+		idx[i] = k + i
+	}
+	return gen.SelectRows(idx)
+}
+
+// IsMDS verifies that the systematic generator [I; coding] is maximum
+// distance separable by checking that every k x k submatrix built from k
+// distinct generator rows is invertible. The check enumerates all C(k+r, k)
+// row subsets and is meant for tests and construction-time validation with
+// small k+r.
+func IsMDS(coding *Matrix) (bool, error) {
+	gen, err := SystematicGenerator(coding)
+	if err != nil {
+		return false, err
+	}
+	k := coding.Cols()
+	n := gen.Rows()
+	subset := make([]int, k)
+	var rec func(start, depth int) (bool, error)
+	rec = func(start, depth int) (bool, error) {
+		if depth == k {
+			sub, err := gen.SelectRows(subset)
+			if err != nil {
+				return false, err
+			}
+			if sub.Rank() != k {
+				return false, nil
+			}
+			return true, nil
+		}
+		for i := start; i <= n-(k-depth); i++ {
+			subset[depth] = i
+			ok, err := rec(i+1, depth+1)
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		return true, nil
+	}
+	return rec(0, 0)
+}
+
+// DecodeMatrix computes the k x k matrix that reconstructs the original k
+// data units from the k surviving units listed in survivors (indices into
+// the n = k+r unit space, data units first). Multiplying it by the survivor
+// vector yields the data vector. Returns ErrSingular when the survivors
+// cannot determine the data, which for an MDS code means len(survivors) < k
+// selected incorrectly by the caller.
+func DecodeMatrix(gen *Matrix, k int, survivors []int) (*Matrix, error) {
+	if len(survivors) != k {
+		return nil, fmt.Errorf("matrix: need exactly k=%d survivors, have %d", k, len(survivors))
+	}
+	sub, err := gen.SelectRows(survivors)
+	if err != nil {
+		return nil, err
+	}
+	return sub.Invert()
+}

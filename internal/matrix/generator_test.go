@@ -1,0 +1,198 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+
+	"gemmec/internal/gf"
+)
+
+func TestVandermonde(t *testing.T) {
+	v, err := Vandermonde(f8, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row i is [1, i, i^2].
+	for i := 0; i < 4; i++ {
+		if v.At(i, 0) != 1 {
+			t.Errorf("row %d col 0 = %d want 1", i, v.At(i, 0))
+		}
+		if v.At(i, 1) != uint32(i) {
+			t.Errorf("row %d col 1 = %d want %d", i, v.At(i, 1), i)
+		}
+		if v.At(i, 2) != f8.Mul(uint32(i), uint32(i)) {
+			t.Errorf("row %d col 2 wrong", i)
+		}
+	}
+	if _, err := Vandermonde(f8, 300, 3); err == nil {
+		t.Error("too many rows for field should fail")
+	}
+	if _, err := Vandermonde(f8, 0, 3); err == nil {
+		t.Error("zero rows should fail")
+	}
+}
+
+func TestVandermondeRSSystematicAndMDS(t *testing.T) {
+	for _, kr := range [][2]int{{4, 2}, {8, 3}, {10, 4}, {6, 2}} {
+		k, r := kr[0], kr[1]
+		g, err := VandermondeRS(f8, k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Rows() != k+r || g.Cols() != k {
+			t.Fatalf("k=%d r=%d: shape %dx%d", k, r, g.Rows(), g.Cols())
+		}
+		// Top block must be the identity (systematic).
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				want := uint32(0)
+				if i == j {
+					want = 1
+				}
+				if g.At(i, j) != want {
+					t.Fatalf("k=%d r=%d: top block not identity at (%d,%d)", k, r, i, j)
+				}
+			}
+		}
+		if k+r <= 10 {
+			coding, err := CodingRows(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := IsMDS(coding)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("k=%d r=%d: VandermondeRS generator is not MDS", k, r)
+			}
+		}
+	}
+}
+
+func TestCauchyMDS(t *testing.T) {
+	for _, w := range []uint{4, 8} {
+		f := gf.MustField(w)
+		for _, kr := range [][2]int{{4, 2}, {6, 3}, {7, 3}} {
+			k, r := kr[0], kr[1]
+			c, err := Cauchy(f, r, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := IsMDS(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("w=%d k=%d r=%d: Cauchy matrix not MDS", w, k, r)
+			}
+		}
+	}
+	// k+r exceeding field size must be rejected.
+	f4 := gf.MustField(4)
+	if _, err := Cauchy(f4, 8, 10); err == nil {
+		t.Error("k+r > 2^w should fail")
+	}
+	if _, err := Cauchy(f8, 0, 4); err == nil {
+		t.Error("r=0 should fail")
+	}
+}
+
+func TestCauchyGoodNormalizedAndMDS(t *testing.T) {
+	k, r := 6, 3
+	c, err := CauchyGood(f8, r, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < k; j++ {
+		if c.At(0, j) != 1 {
+			t.Errorf("first row col %d = %d want 1", j, c.At(0, j))
+		}
+	}
+	for i := 0; i < r; i++ {
+		if c.At(i, 0) != 1 {
+			t.Errorf("first col row %d = %d want 1", i, c.At(i, 0))
+		}
+	}
+	ok, err := IsMDS(c)
+	if err != nil || !ok {
+		t.Fatalf("CauchyGood not MDS (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestIsMDSDetectsNonMDS(t *testing.T) {
+	// A coding matrix with a zero entry yields a singular submatrix when the
+	// corresponding identity rows are selected: choose coding row with zero
+	// at column j plus identity rows excluding j.
+	bad, _ := FromRows(f8, [][]uint32{{0, 1, 1}, {1, 1, 1}})
+	ok, err := IsMDS(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("matrix with zero coefficient must not be MDS")
+	}
+}
+
+func TestDecodeMatrixReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	k, r := 6, 3
+	coding, err := Cauchy(f8, r, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := SystematicGenerator(coding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]uint32, k)
+	for i := range data {
+		data[i] = rng.Uint32() & 0xff
+	}
+	units, err := gen.MulVec(data) // all k+r units
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Try several erasure patterns: lose up to r units, decode from any k.
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(k + r)
+		survivors := append([]int(nil), perm[:k]...)
+		dm, err := DecodeMatrix(gen, k, survivors)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sv := make([]uint32, k)
+		for i, s := range survivors {
+			sv[i] = units[s]
+		}
+		rec, err := dm.MulVec(sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if rec[i] != data[i] {
+				t.Fatalf("trial %d: reconstructed[%d]=%d want %d", trial, i, rec[i], data[i])
+			}
+		}
+	}
+
+	if _, err := DecodeMatrix(gen, k, []int{0, 1}); err == nil {
+		t.Error("too few survivors should fail")
+	}
+}
+
+func TestCodingRows(t *testing.T) {
+	coding, _ := Cauchy(f8, 2, 4)
+	gen, _ := SystematicGenerator(coding)
+	got, err := CodingRows(gen, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(coding) {
+		t.Error("CodingRows did not recover the coding block")
+	}
+	if _, err := CodingRows(coding, 5); err == nil {
+		t.Error("k >= rows should fail")
+	}
+}

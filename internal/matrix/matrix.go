@@ -1,0 +1,335 @@
+// Package matrix implements dense matrices over GF(2^w) and the generator
+// constructions erasure codes are built from: Vandermonde-derived systematic
+// matrices, Cauchy matrices, inversion for decoding, and MDS verification.
+//
+// Matrices are small (dimensions on the order of k+r, i.e. tens of rows), so
+// clarity wins over blocking tricks here; the performance-critical work is
+// in the bitmatrix and kernel layers above.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+
+	"gemmec/internal/gf"
+)
+
+// ErrSingular is returned when an operation requires an invertible matrix
+// but the matrix has no inverse. During decoding this indicates the
+// surviving units do not determine the lost ones (more erasures than the
+// code tolerates, or a non-MDS generator).
+var ErrSingular = errors.New("matrix: singular")
+
+// Matrix is a dense rows x cols matrix over a particular GF(2^w).
+type Matrix struct {
+	f    *gf.Field
+	rows int
+	cols int
+	e    []uint32 // row-major
+}
+
+// New returns a zero matrix of the given shape over field f.
+// It panics if either dimension is non-positive.
+func New(f *gf.Field, rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{f: f, rows: rows, cols: cols, e: make([]uint32, rows*cols)}
+}
+
+// FromRows builds a matrix from explicit row data. All rows must have equal,
+// nonzero length, and every element must be valid in the field.
+func FromRows(f *gf.Field, rows [][]uint32) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("matrix: empty row data")
+	}
+	m := New(f, len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("matrix: row %d has %d columns, want %d", i, len(r), m.cols)
+		}
+		for j, v := range r {
+			if !f.Valid(v) {
+				return nil, fmt.Errorf("matrix: element (%d,%d)=%d exceeds field mask %#x", i, j, v, f.Mask())
+			}
+			m.e[i*m.cols+j] = v
+		}
+	}
+	return m, nil
+}
+
+// Identity returns the n x n identity matrix over f.
+func Identity(f *gf.Field, n int) *Matrix {
+	m := New(f, n, n)
+	for i := 0; i < n; i++ {
+		m.e[i*n+i] = 1
+	}
+	return m
+}
+
+// Field returns the field the matrix is defined over.
+func (m *Matrix) Field() *gf.Field { return m.f }
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) uint32 {
+	m.check(i, j)
+	return m.e[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j. The value must be valid in
+// the field.
+func (m *Matrix) Set(i, j int, v uint32) {
+	m.check(i, j)
+	if !m.f.Valid(v) {
+		panic(fmt.Sprintf("matrix: value %d exceeds field mask %#x", v, m.f.Mask()))
+	}
+	m.e[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []uint32 {
+	m.check(i, 0)
+	out := make([]uint32, m.cols)
+	copy(out, m.e[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.f, m.rows, m.cols)
+	copy(c.e, m.e)
+	return c
+}
+
+// Equal reports whether two matrices have the same shape, field word size
+// and elements.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols || m.f.W() != o.f.W() {
+		return false
+	}
+	for i := range m.e {
+		if m.e[i] != o.e[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns the matrix product m * o.
+func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols)
+	}
+	p := New(m.f, m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.e[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.cols; j++ {
+				p.e[i*o.cols+j] ^= m.f.Mul(a, o.e[k*o.cols+j])
+			}
+		}
+	}
+	return p, nil
+}
+
+// MulVec returns m * v for a column vector v of length Cols.
+func (m *Matrix) MulVec(v []uint32) ([]uint32, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("matrix: vector length %d, want %d", len(v), m.cols)
+	}
+	out := make([]uint32, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.f.DotProduct(m.e[i*m.cols:(i+1)*m.cols], v)
+	}
+	return out, nil
+}
+
+// SubMatrix returns the matrix restricted to the given row and column index
+// lists (in order, duplicates allowed).
+func (m *Matrix) SubMatrix(rowIdx, colIdx []int) (*Matrix, error) {
+	if len(rowIdx) == 0 || len(colIdx) == 0 {
+		return nil, errors.New("matrix: empty submatrix selection")
+	}
+	s := New(m.f, len(rowIdx), len(colIdx))
+	for i, ri := range rowIdx {
+		if ri < 0 || ri >= m.rows {
+			return nil, fmt.Errorf("matrix: row index %d out of range", ri)
+		}
+		for j, cj := range colIdx {
+			if cj < 0 || cj >= m.cols {
+				return nil, fmt.Errorf("matrix: column index %d out of range", cj)
+			}
+			s.e[i*len(colIdx)+j] = m.e[ri*m.cols+cj]
+		}
+	}
+	return s, nil
+}
+
+// SelectRows returns the matrix consisting of the listed rows.
+func (m *Matrix) SelectRows(rowIdx []int) (*Matrix, error) {
+	cols := make([]int, m.cols)
+	for j := range cols {
+		cols[j] = j
+	}
+	return m.SubMatrix(rowIdx, cols)
+}
+
+// Augment returns [m | o], requiring equal row counts.
+func (m *Matrix) Augment(o *Matrix) (*Matrix, error) {
+	if m.rows != o.rows {
+		return nil, fmt.Errorf("matrix: cannot augment %d rows with %d rows", m.rows, o.rows)
+	}
+	a := New(m.f, m.rows, m.cols+o.cols)
+	for i := 0; i < m.rows; i++ {
+		copy(a.e[i*a.cols:], m.e[i*m.cols:(i+1)*m.cols])
+		copy(a.e[i*a.cols+m.cols:], o.e[i*o.cols:(i+1)*o.cols])
+	}
+	return a, nil
+}
+
+// VStack returns the matrix [m; o] (o's rows below m's), requiring equal
+// column counts.
+func (m *Matrix) VStack(o *Matrix) (*Matrix, error) {
+	if m.cols != o.cols {
+		return nil, fmt.Errorf("matrix: cannot stack %d cols on %d cols", o.cols, m.cols)
+	}
+	s := New(m.f, m.rows+o.rows, m.cols)
+	copy(s.e, m.e)
+	copy(s.e[m.rows*m.cols:], o.e)
+	return s, nil
+}
+
+// Invert returns the inverse of a square matrix via Gauss-Jordan
+// elimination with partial pivoting (any nonzero pivot works in a field).
+// It returns ErrSingular if no inverse exists.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: cannot invert non-square %dx%d", m.rows, m.cols)
+	}
+	n := m.rows
+	a := m.Clone()
+	inv := Identity(m.f, n)
+	f := m.f
+
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a.e[r*n+col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		// Scale pivot row to make the pivot 1.
+		p := a.e[col*n+col]
+		if p != 1 {
+			pinv := f.Inv(p)
+			a.scaleRow(col, pinv)
+			inv.scaleRow(col, pinv)
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := a.e[r*n+col]
+			if factor == 0 {
+				continue
+			}
+			a.addScaledRow(r, col, factor)
+			inv.addScaledRow(r, col, factor)
+		}
+	}
+	return inv, nil
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	ri := m.e[i*m.cols : (i+1)*m.cols]
+	rj := m.e[j*m.cols : (j+1)*m.cols]
+	for c := range ri {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+}
+
+func (m *Matrix) scaleRow(i int, c uint32) {
+	r := m.e[i*m.cols : (i+1)*m.cols]
+	for j := range r {
+		r[j] = m.f.Mul(r[j], c)
+	}
+}
+
+// addScaledRow does row[dst] ^= c * row[src].
+func (m *Matrix) addScaledRow(dst, src int, c uint32) {
+	rd := m.e[dst*m.cols : (dst+1)*m.cols]
+	rs := m.e[src*m.cols : (src+1)*m.cols]
+	for j := range rd {
+		rd[j] ^= m.f.Mul(c, rs[j])
+	}
+}
+
+// Rank returns the rank of the matrix, computed on a scratch copy by
+// Gaussian elimination.
+func (m *Matrix) Rank() int {
+	a := m.Clone()
+	n, c := a.rows, a.cols
+	rank := 0
+	for col := 0; col < c && rank < n; col++ {
+		pivot := -1
+		for r := rank; r < n; r++ {
+			if a.e[r*c+col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a.swapRows(pivot, rank)
+		pinv := a.f.Inv(a.e[rank*c+col])
+		a.scaleRow(rank, pinv)
+		for r := 0; r < n; r++ {
+			if r != rank && a.e[r*c+col] != 0 {
+				a.addScaledRow(r, rank, a.e[r*c+col])
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// String renders the matrix for debugging and golden tests.
+func (m *Matrix) String() string {
+	out := ""
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				out += " "
+			}
+			out += fmt.Sprintf("%3d", m.e[i*m.cols+j])
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gemmec/internal/gf"
+)
+
+var f8 = gf.MustField(8)
+
+func randMatrix(rng *rand.Rand, f *gf.Field, rows, cols int) *Matrix {
+	m := New(f, rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.Uint32()&f.Mask())
+		}
+	}
+	return m
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(f8, 2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Error("Set/At roundtrip failed")
+	}
+	if m.Field() != f8 {
+		t.Error("Field() wrong")
+	}
+	for _, fn := range []func(){
+		func() { New(f8, 0, 3) },
+		func() { m.At(2, 0) },
+		func() { m.At(0, 3) },
+		func() { m.Set(0, 0, 256) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows(f8, [][]uint32{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Error("FromRows content wrong")
+	}
+	if _, err := FromRows(f8, nil); err == nil {
+		t.Error("empty rows should fail")
+	}
+	if _, err := FromRows(f8, [][]uint32{{1}, {2, 3}}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if _, err := FromRows(f8, [][]uint32{{1 << 9}}); err == nil {
+		t.Error("out-of-field element should fail")
+	}
+}
+
+func TestIdentityAndMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMatrix(rng, f8, 4, 4)
+	id := Identity(f8, 4)
+	for _, pair := range [][2]*Matrix{{m, id}, {id, m}} {
+		p, err := pair[0].Mul(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Equal(m) {
+			t.Fatal("multiplication by identity changed the matrix")
+		}
+	}
+	if _, err := m.Mul(New(f8, 3, 3)); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		a := randMatrix(rng, f8, 3, 4)
+		b := randMatrix(rng, f8, 4, 5)
+		c := randMatrix(rng, f8, 5, 2)
+		ab, _ := a.Mul(b)
+		bc, _ := b.Mul(c)
+		l, _ := ab.Mul(c)
+		r, _ := a.Mul(bc)
+		if !l.Equal(r) {
+			t.Fatal("matrix multiplication not associative")
+		}
+	}
+}
+
+func TestMulVecAgainstMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randMatrix(rng, f8, 5, 7)
+	v := make([]uint32, 7)
+	for i := range v {
+		v[i] = rng.Uint32() & 0xff
+	}
+	col := New(f8, 7, 1)
+	for i, x := range v {
+		col.Set(i, 0, x)
+	}
+	want, _ := m.Mul(col)
+	got, err := m.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want.At(i, 0) {
+			t.Fatalf("MulVec[%d]=%d want %d", i, got[i], want.At(i, 0))
+		}
+	}
+	if _, err := m.MulVec(v[:3]); err == nil {
+		t.Error("wrong vector length should fail")
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, w := range []uint{4, 8, 16} {
+		f := gf.MustField(w)
+		for trial := 0; trial < 30; trial++ {
+			n := 1 + rng.Intn(8)
+			m := randMatrix(rng, f, n, n)
+			inv, err := m.Invert()
+			if errors.Is(err, ErrSingular) {
+				// Verify singularity via rank.
+				if m.Rank() == n {
+					t.Fatalf("w=%d: full-rank matrix reported singular", w)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, _ := m.Mul(inv)
+			if !p.Equal(Identity(f, n)) {
+				t.Fatalf("w=%d: m * m^-1 != I", w)
+			}
+			p2, _ := inv.Mul(m)
+			if !p2.Equal(Identity(f, n)) {
+				t.Fatalf("w=%d: m^-1 * m != I", w)
+			}
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m, _ := FromRows(f8, [][]uint32{{1, 2}, {1, 2}})
+	if _, err := m.Invert(); !errors.Is(err, ErrSingular) {
+		t.Errorf("duplicate rows: err=%v want ErrSingular", err)
+	}
+	if _, err := New(f8, 2, 3).Invert(); err == nil {
+		t.Error("non-square invert should fail")
+	}
+}
+
+func TestRank(t *testing.T) {
+	m, _ := FromRows(f8, [][]uint32{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}})
+	// Row 1 = 2 * row 0 over GF(2^8) since 2*1=2, 2*2=4, 2*3=6.
+	if got := m.Rank(); got != 2 {
+		t.Errorf("Rank=%d want 2", got)
+	}
+	if Identity(f8, 5).Rank() != 5 {
+		t.Error("identity rank wrong")
+	}
+	if New(f8, 3, 3).Rank() != 0 {
+		t.Error("zero matrix rank should be 0")
+	}
+}
+
+func TestSubMatrixSelectAugmentStack(t *testing.T) {
+	m, _ := FromRows(f8, [][]uint32{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s, err := m.SubMatrix([]int{2, 0}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0, 0) != 8 || s.At(1, 0) != 2 {
+		t.Error("SubMatrix content wrong")
+	}
+	if _, err := m.SubMatrix([]int{5}, []int{0}); err == nil {
+		t.Error("row out of range should fail")
+	}
+	if _, err := m.SubMatrix([]int{0}, []int{9}); err == nil {
+		t.Error("col out of range should fail")
+	}
+	if _, err := m.SubMatrix(nil, []int{0}); err == nil {
+		t.Error("empty selection should fail")
+	}
+
+	sel, err := m.SelectRows([]int{1})
+	if err != nil || sel.At(0, 2) != 6 {
+		t.Error("SelectRows wrong")
+	}
+
+	a, err := m.Augment(Identity(f8, 3))
+	if err != nil || a.Cols() != 6 || a.At(1, 4) != 1 || a.At(1, 0) != 4 {
+		t.Error("Augment wrong")
+	}
+	if _, err := m.Augment(Identity(f8, 2)); err == nil {
+		t.Error("augment with mismatched rows should fail")
+	}
+
+	st, err := m.VStack(Identity(f8, 3))
+	if err != nil || st.Rows() != 6 || st.At(3, 0) != 1 {
+		t.Error("VStack wrong")
+	}
+	if _, err := m.VStack(New(f8, 1, 2)); err == nil {
+		t.Error("stack with mismatched cols should fail")
+	}
+}
+
+func TestRowCloneEqualString(t *testing.T) {
+	m, _ := FromRows(f8, [][]uint32{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	r[0] = 99
+	if m.At(1, 0) != 3 {
+		t.Error("Row must return a copy")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone must be deep")
+	}
+	if m.Equal(c) {
+		t.Error("Equal should detect element difference")
+	}
+	if m.Equal(New(f8, 2, 3)) {
+		t.Error("Equal should detect shape difference")
+	}
+	if m.String() == "" {
+		t.Error("String should render something")
+	}
+}

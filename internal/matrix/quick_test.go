@@ -1,0 +1,152 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gemmec/internal/gf"
+)
+
+// Property tests over random matrices: the algebraic identities decoding
+// correctness rests on.
+
+func randSquare(rng *rand.Rand, f *gf.Field, n int) *Matrix {
+	m := New(f, n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.Uint32()&f.Mask())
+		}
+	}
+	return m
+}
+
+func TestQuickDistributivity(t *testing.T) {
+	f := gf.MustField(8)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		a := randSquare(rng, f, n)
+		b := randSquare(rng, f, n)
+		c := randSquare(rng, f, n)
+		// a*(b+c) == a*b + a*c, where + is elementwise XOR.
+		sum := New(f, n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum.Set(i, j, b.At(i, j)^c.At(i, j))
+			}
+		}
+		l, err := a.Mul(sum)
+		if err != nil {
+			return false
+		}
+		ab, _ := a.Mul(b)
+		ac, _ := a.Mul(c)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if l.At(i, j) != ab.At(i, j)^ac.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRankBounds(t *testing.T) {
+	f := gf.MustField(8)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		a := randSquare(rng, f, n)
+		b := randSquare(rng, f, n)
+		p, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		rp, ra, rb := p.Rank(), a.Rank(), b.Rank()
+		min := ra
+		if rb < min {
+			min = rb
+		}
+		return rp <= min
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInverseUnique(t *testing.T) {
+	// (A^-1)^-1 == A for invertible A.
+	f := gf.MustField(8)
+	rng := rand.New(rand.NewSource(17))
+	checked := 0
+	for trial := 0; trial < 60 && checked < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		a := randSquare(rng, f, n)
+		inv, err := a.Invert()
+		if err != nil {
+			continue
+		}
+		back, err := inv.Invert()
+		if err != nil {
+			t.Fatalf("inverse of inverse failed: %v", err)
+		}
+		if !back.Equal(a) {
+			t.Fatal("(A^-1)^-1 != A")
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no invertible samples found")
+	}
+}
+
+func TestQuickVandermondeSubmatrixInvertible(t *testing.T) {
+	// Random k-subsets of VandermondeRS rows are invertible — the MDS
+	// property sampled at larger (k, r) than IsMDS can enumerate.
+	f := gf.MustField(8)
+	k, r := 12, 6
+	gen, err := VandermondeRS(f, k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		rows := rng.Perm(k + r)[:k]
+		sub, err := gen.SelectRows(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.Rank() != k {
+			t.Fatalf("trial %d: rows %v not invertible", trial, rows)
+		}
+	}
+}
+
+func TestQuickCauchySubmatrixInvertible(t *testing.T) {
+	f := gf.MustField(8)
+	k, r := 14, 7
+	coding, err := Cauchy(f, r, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := SystematicGenerator(coding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 50; trial++ {
+		rows := rng.Perm(k + r)[:k]
+		sub, err := gen.SelectRows(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.Rank() != k {
+			t.Fatalf("trial %d: rows %v not invertible", trial, rows)
+		}
+	}
+}

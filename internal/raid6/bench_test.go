@@ -1,0 +1,58 @@
+package raid6
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEncode(b *testing.B) {
+	c, err := New(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := 128 << 10
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]byte, 10)
+	for i := range data {
+		data[i] = make([]byte, size)
+		rng.Read(data[i])
+	}
+	p := make([]byte, size)
+	q := make([]byte, size)
+	b.SetBytes(int64(10 * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(data, p, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructTwoData(b *testing.B) {
+	c, err := New(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := 128 << 10
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]byte, 10)
+	for i := range data {
+		data[i] = make([]byte, size)
+		rng.Read(data[i])
+	}
+	p := make([]byte, size)
+	q := make([]byte, size)
+	if err := c.Encode(data, p, q); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(2 * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := make([][]byte, 10)
+		copy(work, data)
+		work[2], work[7] = nil, nil
+		if err := c.Reconstruct(work, &p, &q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package raid6 implements the classic two-parity RAID-6 code over
+// GF(2^8): P is the XOR of the data disks and Q is the Vandermonde-weighted
+// sum Q = sum g^i * d_i with g the field generator. This is the code §2.1's
+// RAID-6 literature (Liberation codes, minimal-density designs) optimizes,
+// and the code the Linux md driver implements; it recovers any two lost
+// disks with closed-form algebra instead of matrix inversion.
+//
+// The package exists as a specialized, independently derived coder the
+// general machinery is cross-checked against: every recovery formula here
+// is verified in tests against re-encoding and against the generic rs
+// oracle with the same generator rows.
+package raid6
+
+import (
+	"errors"
+	"fmt"
+
+	"gemmec/internal/gf"
+)
+
+// MaxK is the largest supported data-disk count: coefficients g^i must be
+// distinct, which GF(2^8) guarantees for fewer than 255 disks.
+const MaxK = 254
+
+// ErrTooManyFailures is returned for more than two erasures.
+var ErrTooManyFailures = errors.New("raid6: more than two disks lost")
+
+// Coder is a (k+2, k) RAID-6 coder.
+type Coder struct {
+	k    int
+	f    *gf.Field
+	gpow []uint32       // g^i for i in [0, k)
+	tbls []*gf.MulTable // multiply-by-g^i region tables
+}
+
+// New builds a RAID-6 coder for k data disks.
+func New(k int) (*Coder, error) {
+	if k < 1 || k > MaxK {
+		return nil, fmt.Errorf("raid6: k=%d out of range [1,%d]", k, MaxK)
+	}
+	f := gf.MustField(8)
+	c := &Coder{k: k, f: f}
+	for i := 0; i < k; i++ {
+		gi := f.Exp(f.Alpha(1), i)
+		c.gpow = append(c.gpow, gi)
+		c.tbls = append(c.tbls, f.MulTable8(uint8(gi)))
+	}
+	return c, nil
+}
+
+// K returns the number of data disks.
+func (c *Coder) K() int { return c.k }
+
+// CoefficientRows returns the two coding rows ([1,1,...] and [1,g,g^2,...])
+// so tests can rebuild the equivalent generic generator.
+func (c *Coder) CoefficientRows() [][]uint32 {
+	p := make([]uint32, c.k)
+	q := make([]uint32, c.k)
+	for i := 0; i < c.k; i++ {
+		p[i] = 1
+		q[i] = c.gpow[i]
+	}
+	return [][]uint32{p, q}
+}
+
+func (c *Coder) checkDisks(data [][]byte, allowNil bool) (int, error) {
+	if len(data) != c.k {
+		return 0, fmt.Errorf("raid6: %d data disks, want k=%d", len(data), c.k)
+	}
+	size := -1
+	for i, d := range data {
+		if d == nil {
+			if !allowNil {
+				return 0, fmt.Errorf("raid6: disk %d is nil", i)
+			}
+			continue
+		}
+		if size == -1 {
+			size = len(d)
+		} else if len(d) != size {
+			return 0, fmt.Errorf("raid6: disk %d has %d bytes, others %d", i, len(d), size)
+		}
+	}
+	if size <= 0 {
+		return 0, errors.New("raid6: no disk data")
+	}
+	return size, nil
+}
+
+// Encode fills p and q from the k data disks. All buffers must share one
+// size.
+func (c *Coder) Encode(data [][]byte, p, q []byte) error {
+	size, err := c.checkDisks(data, false)
+	if err != nil {
+		return err
+	}
+	if len(p) != size || len(q) != size {
+		return fmt.Errorf("raid6: parity size %d/%d, want %d", len(p), len(q), size)
+	}
+	clear(p)
+	clear(q)
+	for i, d := range data {
+		gf.XorRegion(p, d)
+		gf.MulAddRegion(c.tbls[i], q, d)
+	}
+	return nil
+}
+
+// Verify recomputes P and Q and reports whether both match.
+func (c *Coder) Verify(data [][]byte, p, q []byte) (bool, error) {
+	size, err := c.checkDisks(data, false)
+	if err != nil {
+		return false, err
+	}
+	if len(p) != size || len(q) != size {
+		return false, fmt.Errorf("raid6: parity size mismatch")
+	}
+	pp := make([]byte, size)
+	qq := make([]byte, size)
+	if err := c.Encode(data, pp, qq); err != nil {
+		return false, err
+	}
+	for i := range pp {
+		if pp[i] != p[i] || qq[i] != q[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct rebuilds up to two nil entries among the k data disks and the
+// P and Q buffers (pass the parities through pointers so lost parity can be
+// rebuilt in place). Each recovery case uses the closed-form RAID-6
+// algebra rather than generic matrix inversion.
+func (c *Coder) Reconstruct(data [][]byte, p, q *[]byte) error {
+	if p == nil || q == nil {
+		return errors.New("raid6: p and q pointers must be non-nil (point them at nil slices to mark loss)")
+	}
+	var lostData []int
+	for i, d := range data {
+		if d == nil {
+			lostData = append(lostData, i)
+		}
+	}
+	lostP := *p == nil
+	lostQ := *q == nil
+	nLost := len(lostData)
+	if lostP {
+		nLost++
+	}
+	if lostQ {
+		nLost++
+	}
+	if nLost > 2 {
+		return fmt.Errorf("%w: %d", ErrTooManyFailures, nLost)
+	}
+	if nLost == 0 {
+		return nil
+	}
+	size, err := c.checkDisks(data, true)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case len(lostData) == 0:
+		// Only parity lost: re-encode the missing ones.
+		pp := make([]byte, size)
+		qq := make([]byte, size)
+		if err := c.Encode(data, pp, qq); err != nil {
+			return err
+		}
+		if lostP {
+			*p = pp
+		}
+		if lostQ {
+			*q = qq
+		}
+		return nil
+
+	case len(lostData) == 1 && !lostP:
+		// One data disk lost, P available: d_x = P xor (sum of others).
+		x := lostData[0]
+		dx := make([]byte, size)
+		gf.XorRegion(dx, *p)
+		for i, d := range data {
+			if i != x {
+				gf.XorRegion(dx, d)
+			}
+		}
+		data[x] = dx
+		if lostQ {
+			return c.Reconstruct(data, p, q)
+		}
+		return nil
+
+	case len(lostData) == 1 && lostP:
+		// One data disk and P lost: recover d_x from Q, then P.
+		// Q = sum g^i d_i  =>  d_x = (Q xor Q_partial) * g^{-x}.
+		x := lostData[0]
+		qd := make([]byte, size)
+		copy(qd, *q)
+		for i, d := range data {
+			if i != x {
+				gf.MulAddRegion(c.tbls[i], qd, d)
+			}
+		}
+		ginvx := c.f.Inv(c.gpow[x])
+		dx := make([]byte, size)
+		gf.MulAddRegion(c.f.MulTable8(uint8(ginvx)), dx, qd)
+		data[x] = dx
+		return c.Reconstruct(data, p, q) // rebuild P via the parity-only case
+
+	default:
+		// Two data disks x < y lost (P and Q both present).
+		// With Pd = P xor (partial P), Qd = Q xor (partial Q):
+		//   Pd = d_x xor d_y
+		//   Qd = g^x d_x xor g^y d_y
+		// Solving: d_x = (g^{y-x} Pd xor g^{-x} Qd) / (g^{y-x} xor 1)
+		//          d_y = Pd xor d_x
+		if lostP || lostQ {
+			return fmt.Errorf("%w: two data disks plus parity", ErrTooManyFailures)
+		}
+		x, y := lostData[0], lostData[1]
+		pd := make([]byte, size)
+		qd := make([]byte, size)
+		copy(pd, *p)
+		copy(qd, *q)
+		for i, d := range data {
+			if d == nil {
+				continue
+			}
+			gf.XorRegion(pd, d)
+			gf.MulAddRegion(c.tbls[i], qd, d)
+		}
+		gyx := c.f.Div(c.gpow[y], c.gpow[x]) // g^{y-x}
+		den := c.f.Inv(gyx ^ 1)
+		a := c.f.Mul(gyx, den)                // coefficient of Pd
+		b := c.f.Mul(c.f.Inv(c.gpow[x]), den) // coefficient of Qd
+		dx := make([]byte, size)
+		gf.MulAddRegion(c.f.MulTable8(uint8(a)), dx, pd)
+		gf.MulAddRegion(c.f.MulTable8(uint8(b)), dx, qd)
+		dy := make([]byte, size)
+		copy(dy, pd)
+		gf.XorRegion(dy, dx)
+		data[x], data[y] = dx, dy
+		return nil
+	}
+}

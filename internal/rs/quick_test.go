@@ -1,0 +1,116 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestEncodeLinearityQuick property-checks the linearity the incremental
+// update feature depends on: encode(a xor b) = encode(a) xor encode(b).
+func TestEncodeLinearityQuick(t *testing.T) {
+	c, err := New(4, 3, ConstructionCauchy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := 24
+	prop := func(seedA, seedB int64) bool {
+		rngA := rand.New(rand.NewSource(seedA))
+		rngB := rand.New(rand.NewSource(seedB))
+		a := c.AllocShards(size)
+		b := c.AllocShards(size)
+		x := c.AllocShards(size)
+		for i := 0; i < 4; i++ {
+			rngA.Read(a[i])
+			rngB.Read(b[i])
+			for j := 0; j < size; j++ {
+				x[i][j] = a[i][j] ^ b[i][j]
+			}
+		}
+		for _, s := range [][][]byte{a, b, x} {
+			if err := c.Encode(s); err != nil {
+				return false
+			}
+		}
+		for p := 4; p < 7; p++ {
+			for j := 0; j < size; j++ {
+				if x[p][j] != a[p][j]^b[p][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSystematicQuick: data shards pass through encoding untouched, for
+// random contents — the property "systematic" names.
+func TestSystematicQuick(t *testing.T) {
+	c, err := New(5, 2, ConstructionVandermonde)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shards := c.AllocShards(32)
+		before := make([][]byte, 5)
+		for i := 0; i < 5; i++ {
+			rng.Read(shards[i])
+			before[i] = append([]byte(nil), shards[i]...)
+		}
+		if err := c.Encode(shards); err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			if !bytes.Equal(shards[i], before[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScalarMultipleQuick: scaling all data by a constant scales parities
+// by the same constant (GF-linearity in the other argument).
+func TestScalarMultipleQuick(t *testing.T) {
+	c, err := New(3, 2, ConstructionCauchy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.CodingMatrix().Field()
+	prop := func(seed int64, scalar uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := c.AllocShards(16)
+		b := c.AllocShards(16)
+		for i := 0; i < 3; i++ {
+			rng.Read(a[i])
+			for j := range a[i] {
+				b[i][j] = byte(f.Mul(uint32(scalar), uint32(a[i][j])))
+			}
+		}
+		if err := c.Encode(a); err != nil {
+			return false
+		}
+		if err := c.Encode(b); err != nil {
+			return false
+		}
+		for p := 3; p < 5; p++ {
+			for j := range a[p] {
+				if b[p][j] != byte(f.Mul(uint32(scalar), uint32(a[p][j]))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package rs implements a deliberately simple, byte-at-a-time Reed-Solomon
+// coder over GF(2^8). It exists as the repository's correctness oracle: the
+// optimized coders (the gemmec engine, the isal-, uezato- and
+// jerasure-style baselines) are all property-tested against this package,
+// and this package is itself tested against first-principles field
+// arithmetic. Nothing here is optimized, on purpose.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"gemmec/internal/gf"
+	"gemmec/internal/matrix"
+)
+
+// Construction selects how the coding matrix is built.
+type Construction int
+
+const (
+	// ConstructionCauchy uses a Cauchy coding matrix (default; matches the
+	// bitmatrix coders so parities are byte-identical across libraries).
+	ConstructionCauchy Construction = iota
+	// ConstructionCauchyGood uses Jerasure's normalized Cauchy matrix with
+	// fewer ones in its bitmatrix expansion.
+	ConstructionCauchyGood
+	// ConstructionVandermonde uses the systematic Vandermonde generator
+	// (ISA-L's construction).
+	ConstructionVandermonde
+)
+
+// ErrTooFewShards is returned when fewer than k shards survive.
+var ErrTooFewShards = errors.New("rs: fewer than k shards available")
+
+// ErrShardSize is returned when shards have inconsistent or zero sizes.
+var ErrShardSize = errors.New("rs: shard size mismatch")
+
+// Coder is a systematic (k+r, k) Reed-Solomon coder over GF(2^8).
+type Coder struct {
+	k, r   int
+	f      *gf.Field
+	coding *matrix.Matrix // r x k
+	gen    *matrix.Matrix // (k+r) x k systematic generator
+}
+
+// New builds a coder for k data and r parity shards using the given
+// construction.
+func New(k, r int, c Construction) (*Coder, error) {
+	f := gf.MustField(8)
+	var coding *matrix.Matrix
+	var err error
+	switch c {
+	case ConstructionCauchy:
+		coding, err = matrix.Cauchy(f, r, k)
+	case ConstructionCauchyGood:
+		coding, err = matrix.CauchyGood(f, r, k)
+	case ConstructionVandermonde:
+		var gen *matrix.Matrix
+		gen, err = matrix.VandermondeRS(f, k, r)
+		if err == nil {
+			coding, err = matrix.CodingRows(gen, k)
+		}
+	default:
+		return nil, fmt.Errorf("rs: unknown construction %d", c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	gen, err := matrix.SystematicGenerator(coding)
+	if err != nil {
+		return nil, err
+	}
+	return &Coder{k: k, r: r, f: f, coding: coding, gen: gen}, nil
+}
+
+// K returns the number of data shards.
+func (c *Coder) K() int { return c.k }
+
+// R returns the number of parity shards.
+func (c *Coder) R() int { return c.r }
+
+// CodingMatrix returns a copy of the r x k coding matrix, so other coders
+// can be built over the identical generator for byte-level equivalence
+// testing.
+func (c *Coder) CodingMatrix() *matrix.Matrix { return c.coding.Clone() }
+
+// Generator returns a copy of the full (k+r) x k systematic generator.
+func (c *Coder) Generator() *matrix.Matrix { return c.gen.Clone() }
+
+func (c *Coder) checkShards(shards [][]byte, allowNil bool) (int, error) {
+	if len(shards) != c.k+c.r {
+		return 0, fmt.Errorf("rs: have %d shards, want k+r=%d", len(shards), c.k+c.r)
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return 0, fmt.Errorf("rs: shard %d is nil", i)
+			}
+			continue
+		}
+		if len(s) == 0 {
+			return 0, fmt.Errorf("rs: shard %d is empty: %w", i, ErrShardSize)
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("rs: shard %d has %d bytes, others have %d: %w", i, len(s), size, ErrShardSize)
+		}
+	}
+	if size == -1 {
+		return 0, fmt.Errorf("rs: all shards nil: %w", ErrShardSize)
+	}
+	return size, nil
+}
+
+// Encode fills the r parity shards (shards[k:]) from the k data shards
+// (shards[:k]). All k+r shards must be allocated with equal sizes.
+func (c *Coder) Encode(shards [][]byte) error {
+	size, err := c.checkShards(shards, false)
+	if err != nil {
+		return err
+	}
+	for ri := 0; ri < c.r; ri++ {
+		out := shards[c.k+ri]
+		for b := 0; b < size; b++ {
+			var acc uint32
+			for ki := 0; ki < c.k; ki++ {
+				acc ^= c.f.Mul(c.coding.At(ri, ki), uint32(shards[ki][b]))
+			}
+			out[b] = byte(acc)
+		}
+	}
+	return nil
+}
+
+// Verify recomputes the parity shards and reports whether they match.
+func (c *Coder) Verify(shards [][]byte) (bool, error) {
+	size, err := c.checkShards(shards, false)
+	if err != nil {
+		return false, err
+	}
+	for ri := 0; ri < c.r; ri++ {
+		for b := 0; b < size; b++ {
+			var acc uint32
+			for ki := 0; ki < c.k; ki++ {
+				acc ^= c.f.Mul(c.coding.At(ri, ki), uint32(shards[ki][b]))
+			}
+			if byte(acc) != shards[c.k+ri][b] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct rebuilds every nil shard in place. Non-nil shards are taken
+// as intact. At least k shards must be non-nil. Reconstructed shards are
+// freshly allocated.
+func (c *Coder) Reconstruct(shards [][]byte) error {
+	size, err := c.checkShards(shards, true)
+	if err != nil {
+		return err
+	}
+	var survivors []int
+	var lost []int
+	for i, s := range shards {
+		if s != nil {
+			survivors = append(survivors, i)
+		} else {
+			lost = append(lost, i)
+		}
+	}
+	if len(lost) == 0 {
+		return nil
+	}
+	if len(survivors) < c.k {
+		return fmt.Errorf("rs: %d survivors for k=%d: %w", len(survivors), c.k, ErrTooFewShards)
+	}
+	survivors = survivors[:c.k]
+
+	dm, err := matrix.DecodeMatrix(c.gen, c.k, survivors)
+	if err != nil {
+		return fmt.Errorf("rs: decode matrix: %w", err)
+	}
+	// Rows that regenerate the lost shards directly: lostRow = genRow(lost) * dm.
+	lostRows, err := c.gen.SelectRows(lost)
+	if err != nil {
+		return err
+	}
+	rec, err := lostRows.Mul(dm)
+	if err != nil {
+		return err
+	}
+	for li, shard := range lost {
+		out := make([]byte, size)
+		for b := 0; b < size; b++ {
+			var acc uint32
+			for si, s := range survivors {
+				acc ^= c.f.Mul(rec.At(li, si), uint32(shards[s][b]))
+			}
+			out[b] = byte(acc)
+		}
+		shards[shard] = out
+	}
+	return nil
+}
+
+// AllocShards returns k+r zeroed shards of the given size, a convenience
+// for tests and examples.
+func (c *Coder) AllocShards(size int) [][]byte {
+	shards := make([][]byte, c.k+c.r)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+	}
+	return shards
+}

@@ -1,0 +1,205 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gemmec/internal/gf"
+)
+
+func fillRand(rng *rand.Rand, shards [][]byte, k int) {
+	for i := 0; i < k; i++ {
+		rng.Read(shards[i])
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 2, ConstructionCauchy); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(200, 100, ConstructionCauchy); err == nil {
+		t.Error("k+r > 256 accepted")
+	}
+	if _, err := New(4, 2, Construction(99)); err == nil {
+		t.Error("unknown construction accepted")
+	}
+	c, err := New(10, 4, ConstructionCauchy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 10 || c.R() != 4 {
+		t.Error("K/R wrong")
+	}
+}
+
+func TestEncodeMatchesFieldArithmetic(t *testing.T) {
+	// First-principles check: parity byte = sum coding[ri][ki] * data[ki][b].
+	f := gf.MustField(8)
+	for _, cons := range []Construction{ConstructionCauchy, ConstructionCauchyGood, ConstructionVandermonde} {
+		c, err := New(4, 2, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := c.AllocShards(64)
+		rng := rand.New(rand.NewSource(int64(cons)))
+		fillRand(rng, shards, 4)
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		coding := c.CodingMatrix()
+		for ri := 0; ri < 2; ri++ {
+			for b := 0; b < 64; b++ {
+				var want uint32
+				for ki := 0; ki < 4; ki++ {
+					want ^= f.Mul(coding.At(ri, ki), uint32(shards[ki][b]))
+				}
+				if shards[4+ri][b] != byte(want) {
+					t.Fatalf("cons=%d parity[%d][%d] mismatch", cons, ri, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripAllErasurePatterns(t *testing.T) {
+	// For a small code, exhaustively erase every subset of size <= r and
+	// verify reconstruction.
+	k, r := 4, 2
+	c, err := New(k, r, ConstructionCauchy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	orig := c.AllocShards(96)
+	fillRand(rng, orig, k)
+	if err := c.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+
+	n := k + r
+	for mask := 0; mask < 1<<n; mask++ {
+		erased := 0
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				erased++
+			}
+		}
+		if erased > r {
+			continue
+		}
+		shards := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 0 {
+				shards[i] = append([]byte(nil), orig[i]...)
+			}
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("mask %06b: %v", mask, err)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("mask %06b: shard %d wrong after reconstruct", mask, i)
+			}
+		}
+	}
+}
+
+func TestReconstructTooManyErasures(t *testing.T) {
+	k, r := 4, 2
+	c, _ := New(k, r, ConstructionCauchy)
+	shards := c.AllocShards(32)
+	rng := rand.New(rand.NewSource(1))
+	fillRand(rng, shards, k)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[1], shards[2] = nil, nil, nil
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Errorf("err=%v want ErrTooFewShards", err)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	c, _ := New(5, 3, ConstructionVandermonde)
+	shards := c.AllocShards(40)
+	rng := rand.New(rand.NewSource(2))
+	fillRand(rng, shards, 5)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("fresh encode should verify (ok=%v err=%v)", ok, err)
+	}
+	shards[6][7] ^= 1
+	ok, err = c.Verify(shards)
+	if err != nil || ok {
+		t.Fatalf("corruption should fail verification (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	c, _ := New(3, 2, ConstructionCauchy)
+	if err := c.Encode(make([][]byte, 4)); err == nil {
+		t.Error("wrong shard count accepted")
+	}
+	shards := c.AllocShards(16)
+	shards[1] = shards[1][:8]
+	if err := c.Encode(shards); !errors.Is(err, ErrShardSize) {
+		t.Errorf("mismatched sizes: err=%v", err)
+	}
+	shards = c.AllocShards(16)
+	shards[2] = nil
+	if err := c.Encode(shards); err == nil {
+		t.Error("nil shard accepted by Encode")
+	}
+	shards = c.AllocShards(16)
+	shards[0] = []byte{}
+	if err := c.Encode(shards); !errors.Is(err, ErrShardSize) {
+		t.Errorf("empty shard: err=%v", err)
+	}
+	all := make([][]byte, 5)
+	if err := c.Reconstruct(all); !errors.Is(err, ErrShardSize) {
+		t.Errorf("all-nil: err=%v", err)
+	}
+}
+
+func TestReconstructNoOpWhenComplete(t *testing.T) {
+	c, _ := New(3, 2, ConstructionCauchy)
+	shards := c.AllocShards(16)
+	rng := rand.New(rand.NewSource(3))
+	fillRand(rng, shards, 3)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([][]byte, len(shards))
+	for i := range shards {
+		snapshot[i] = append([]byte(nil), shards[i]...)
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], snapshot[i]) {
+			t.Fatal("Reconstruct with no erasures modified shards")
+		}
+	}
+}
+
+func TestConstructionsDiffer(t *testing.T) {
+	// Vandermonde and Cauchy coding matrices should generally differ, so the
+	// constructions are actually distinct code paths.
+	a, _ := New(4, 2, ConstructionCauchy)
+	b, _ := New(4, 2, ConstructionVandermonde)
+	if a.CodingMatrix().Equal(b.CodingMatrix()) {
+		t.Error("expected different coding matrices")
+	}
+	// But generator copies must be defensive.
+	g := a.Generator()
+	g.Set(0, 0, 99)
+	if a.Generator().At(0, 0) == 99 {
+		t.Error("Generator() must return a copy")
+	}
+}

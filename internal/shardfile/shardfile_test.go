@@ -1,0 +1,278 @@
+package shardfile
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const (
+	tk    = 4
+	tr    = 2
+	tunit = 4096
+)
+
+func writeTestFile(t *testing.T, size int) (string, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	raw := make([]byte, size)
+	rand.New(rand.NewSource(int64(size))).Read(raw)
+	m, err := Write(dir, raw, tk, tr, tunit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, raw
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, size := range []int{0, 1, tunit - 1, tk * tunit, tk*tunit*3 + 17} {
+		dir, raw := writeTestFile(t, size)
+		got, rebuilt, err := Read(dir)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if len(rebuilt) != 0 {
+			t.Errorf("size %d: unexpected reconstruction %v", size, rebuilt)
+		}
+		if !bytes.Equal(got, raw) {
+			t.Fatalf("size %d: content mismatch", size)
+		}
+	}
+}
+
+func TestRepairAfterLosses(t *testing.T) {
+	dir, raw := writeTestFile(t, tk*tunit*2+100)
+	// Delete r shards (the max tolerated).
+	for _, i := range []int{1, 4} {
+		if err := os.Remove(ShardPath(dir, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuilt, err := Repair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt) != 2 || rebuilt[0] != 1 || rebuilt[1] != 4 {
+		t.Fatalf("rebuilt=%v", rebuilt)
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Read(dir)
+	if err != nil || !bytes.Equal(got, raw) {
+		t.Fatal("content wrong after repair")
+	}
+	// Second repair is a no-op.
+	rebuilt, err = Repair(dir)
+	if err != nil || rebuilt != nil {
+		t.Fatalf("no-op repair: %v %v", rebuilt, err)
+	}
+}
+
+func TestRepairTooManyLosses(t *testing.T) {
+	dir, _ := writeTestFile(t, tk*tunit)
+	for _, i := range []int{0, 1, 2} { // r+1 losses
+		if err := os.Remove(ShardPath(dir, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Repair(dir); err == nil {
+		t.Error("unrecoverable loss accepted")
+	}
+}
+
+func TestReadDegradedWithoutRepair(t *testing.T) {
+	dir, raw := writeTestFile(t, tk*tunit+5)
+	if err := os.Remove(ShardPath(dir, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, rebuilt, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt) != 1 || rebuilt[0] != 0 {
+		t.Errorf("rebuilt=%v", rebuilt)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("degraded read wrong")
+	}
+	// Read must not have re-written the shard file.
+	if _, err := os.Stat(ShardPath(dir, 0)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("degraded read wrote the shard back")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	dir, _ := writeTestFile(t, tk*tunit)
+	if err := Verify(dir); err != nil {
+		t.Fatal(err)
+	}
+	p := ShardPath(dir, 2)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[7] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(dir); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err=%v want ErrCorrupt", err)
+	}
+	// Missing shard: verify refuses.
+	if err := os.Remove(ShardPath(dir, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(dir); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Errorf("missing shard err=%v", err)
+	}
+}
+
+func TestTruncatedShardTreatedAsMissing(t *testing.T) {
+	dir, raw := writeTestFile(t, tk*tunit)
+	p := ShardPath(dir, 1)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missing, err := LoadShards(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || missing[0] != 1 {
+		t.Fatalf("missing=%v", missing)
+	}
+	got, _, err := Read(dir)
+	if err != nil || !bytes.Equal(got, raw) {
+		t.Fatal("read with truncated shard failed")
+	}
+}
+
+func TestScrubHealsCorruption(t *testing.T) {
+	dir, raw := writeTestFile(t, tk*tunit*2)
+	// Corrupt one shard in place (no size change) and delete another —
+	// scrub must heal both.
+	p := ShardPath(dir, 2)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[tunit+5] ^= 0xA5
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(ShardPath(dir, 5)); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := Scrub(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(healed) != 2 || healed[0] != 2 || healed[1] != 5 {
+		t.Fatalf("healed=%v", healed)
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, rebuilt, err := Read(dir)
+	if err != nil || len(rebuilt) != 0 || !bytes.Equal(got, raw) {
+		t.Fatal("content wrong after scrub")
+	}
+	// Clean set scrubs nothing.
+	healed, err = Scrub(dir)
+	if err != nil || healed != nil {
+		t.Fatalf("clean scrub: %v %v", healed, err)
+	}
+}
+
+func TestScrubTooMuchRot(t *testing.T) {
+	dir, _ := writeTestFile(t, tk*tunit)
+	for _, i := range []int{0, 1, 2} { // r+1 corruptions
+		p := ShardPath(dir, i)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] ^= 1
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Scrub(dir); err == nil {
+		t.Error("unrecoverable rot accepted")
+	}
+}
+
+func TestManifestChecksums(t *testing.T) {
+	dir, _ := writeTestFile(t, tk*tunit)
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Checksums) != tk+tr {
+		t.Fatalf("checksums=%d want %d", len(m.Checksums), tk+tr)
+	}
+	for i, sum := range m.Checksums {
+		data, err := os.ReadFile(ShardPath(dir, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shardSum(data) != sum {
+			t.Errorf("shard %d checksum mismatch on clean set", i)
+		}
+	}
+	bad := m
+	bad.Checksums = m.Checksums[:2]
+	if err := bad.Validate(); err == nil {
+		t.Error("wrong checksum count accepted")
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	for _, bad := range []Manifest{
+		{},
+		{K: 4, R: 2, UnitSize: 0, Stripes: 1},
+		{K: 4, R: 2, UnitSize: 64, Stripes: 1, FileSize: -1},
+		{K: 4, R: 2, UnitSize: 64, Stripes: 1, FileSize: 10 << 20},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("manifest %+v accepted", bad)
+		}
+	}
+	dir := t.TempDir()
+	if _, err := LoadManifest(dir); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+	if _, _, err := LoadShards(dir, Manifest{}); err == nil {
+		t.Error("invalid manifest accepted by LoadShards")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, []byte("x"), 0, 2, tunit); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Write(dir, []byte("x"), 4, 2, 100); err == nil {
+		t.Error("bad unit size accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package stripe
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBufferLifecycle(t *testing.T) {
+	b, err := NewBuffer(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.K() != 3 || b.UnitSize() != 16 {
+		t.Error("accessors wrong")
+	}
+	if b.Complete() {
+		t.Error("fresh buffer reports complete")
+	}
+	if _, err := b.Bytes(); err == nil {
+		t.Error("incomplete Bytes accepted")
+	}
+	if got := b.Missing(); len(got) != 3 {
+		t.Errorf("Missing=%v", got)
+	}
+
+	chunk := func(fill byte) []byte {
+		c := make([]byte, 16)
+		for i := range c {
+			c[i] = fill
+		}
+		return c
+	}
+	if err := b.Put(1, chunk(0xBB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(1, chunk(0xBB)); err == nil {
+		t.Error("double fill accepted")
+	}
+	if err := b.Put(3, chunk(1)); err == nil {
+		t.Error("out of range accepted")
+	}
+	if err := b.Put(0, chunk(1)[:5]); err == nil {
+		t.Error("short chunk accepted")
+	}
+	if err := b.Put(0, chunk(0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(2, chunk(0xCC)); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Complete() || b.Missing() != nil {
+		t.Error("buffer should be complete")
+	}
+	data, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 0xAA || data[16] != 0xBB || data[32] != 0xCC {
+		t.Error("unit ordering wrong in contiguous buffer")
+	}
+	u, err := b.Unit(1)
+	if err != nil || !bytes.Equal(u, chunk(0xBB)) {
+		t.Error("Unit(1) wrong")
+	}
+	if _, err := b.Unit(9); err == nil {
+		t.Error("Unit out of range accepted")
+	}
+
+	b.Reset()
+	if b.Complete() {
+		t.Error("reset buffer reports complete")
+	}
+	if err := b.Put(1, chunk(2)); err != nil {
+		t.Error("reset slot not reusable")
+	}
+}
+
+func TestNewBufferValidation(t *testing.T) {
+	if _, err := NewBuffer(0, 16); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewBuffer(3, 0); err == nil {
+		t.Error("unit=0 accepted")
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	p, err := NewPool(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.Put(0, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 != b1 {
+		t.Error("pool did not reuse the released buffer")
+	}
+	if b2.Complete() || len(b2.Missing()) != 2 {
+		t.Error("reused buffer was not reset")
+	}
+	if p.Allocated() != 1 {
+		t.Errorf("Allocated=%d want 1", p.Allocated())
+	}
+	if _, err := p.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Allocated() != 2 {
+		t.Errorf("Allocated=%d want 2", p.Allocated())
+	}
+
+	foreign, _ := NewBuffer(3, 8)
+	if err := p.Put(foreign); err == nil {
+		t.Error("foreign buffer accepted")
+	}
+	if _, err := NewPool(0, 8); err == nil {
+		t.Error("invalid pool accepted")
+	}
+}

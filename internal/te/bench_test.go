@@ -1,0 +1,98 @@
+package te
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSetup builds a k=10/r=4/w=8-shaped problem over 16 KiB planes.
+func benchSetup(b *testing.B, params func(s *Schedule, i, j, rk *IterVar) error) (*Kernel, Bindings) {
+	b.Helper()
+	m, k, n := 32, 80, 2048
+	a, bt, c := ECComputeDecl(m, k, n)
+	s := CreateSchedule(c)
+	axes := s.Leaf()
+	if err := params(s, axes[0], axes[1], axes[2]); err != nil {
+		b.Fatal(err)
+	}
+	kern, err := Build(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	aBuf := NewBuffer(a)
+	if err := PackMask(aBuf, m, k, func(i, j int) bool { return rng.Intn(2) == 1 }); err != nil {
+		b.Fatal(err)
+	}
+	bBuf := NewBuffer(bt)
+	rng.Read(bBuf)
+	return kern, Bindings{a: aBuf, bt: bBuf, c: NewBuffer(c)}
+}
+
+func BenchmarkKernelNaive(b *testing.B) {
+	kern, bind := benchSetup(b, func(s *Schedule, i, j, rk *IterVar) error {
+		return s.Vectorize(j)
+	})
+	b.SetBytes(80 * 2048 * 8)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if err := kern.Exec(bind); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelTuned(b *testing.B) {
+	kern, bind := benchSetup(b, func(s *Schedule, i, j, rk *IterVar) error {
+		jo, ji, err := s.Split(j, 256)
+		if err != nil {
+			return err
+		}
+		if err := s.Vectorize(ji); err != nil {
+			return err
+		}
+		if _, ki, err := s.Split(rk, 8); err != nil {
+			return err
+		} else if err := s.Unroll(ki); err != nil {
+			return err
+		}
+		return s.Reorder(jo, i)
+	})
+	b.SetBytes(80 * 2048 * 8)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if err := kern.Exec(bind); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreter shows the cost of the semantic reference relative to
+// compiled kernels (expect ~3 orders of magnitude on a small shape).
+func BenchmarkInterpreter(b *testing.B) {
+	m, k, n := 8, 16, 64
+	a, bt, c := ECComputeDecl(m, k, n)
+	s := CreateSchedule(c)
+	if err := s.Vectorize(s.Leaf()[1]); err != nil {
+		b.Fatal(err)
+	}
+	mod, err := Lower(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	aBuf := NewBuffer(a)
+	if err := PackMask(aBuf, m, k, func(i, j int) bool { return rng.Intn(2) == 1 }); err != nil {
+		b.Fatal(err)
+	}
+	bBuf := NewBuffer(bt)
+	rng.Read(bBuf)
+	bind := Bindings{a: aBuf, bt: bBuf, c: NewBuffer(c)}
+	b.SetBytes(int64(k * n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Interpret(mod, bind); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

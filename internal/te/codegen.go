@@ -1,0 +1,278 @@
+package te
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+)
+
+// ErrUnsupported is returned by Build when the scheduled computation does
+// not match a pattern the code generator knows how to specialize. Callers
+// fall back to the interpreter, just as TVM falls back to unoptimized
+// codegen for operators outside its tuned templates.
+var ErrUnsupported = errors.New("te: computation not supported by code generator")
+
+// ParallelAxis says which loop the kernel parallelizes across goroutines.
+type ParallelAxis int
+
+const (
+	// ParallelNone runs serially.
+	ParallelNone ParallelAxis = iota
+	// ParallelRows parallelizes across output rows.
+	ParallelRows
+	// ParallelBlocks parallelizes across word-axis tiles.
+	ParallelBlocks
+)
+
+func (p ParallelAxis) String() string {
+	switch p {
+	case ParallelNone:
+		return "none"
+	case ParallelRows:
+		return "rows"
+	case ParallelBlocks:
+		return "blocks"
+	default:
+		return fmt.Sprintf("parallel(%d)", int(p))
+	}
+}
+
+// KernelConfig is the specialization the code generator extracted from a
+// schedule. It is exactly the optimization vocabulary of §4.2's loop-nest
+// discussion: cache tiling of the word axis, reduction-group fusion
+// (unrolling), loop order, and multicore parallelism.
+type KernelConfig struct {
+	M, K, N    int // rows, reduction extent, words per row
+	BlockWords int // word-axis tile per pass
+	Fanin      int // XOR sources fused per pass (1, 2, 4 or 8)
+	Workers    int // goroutines when Parallel != ParallelNone
+	RowsOuter  bool
+	Parallel   ParallelAxis
+	// Staged accumulates each tile in a worker-local buffer (cache_write)
+	// and writes it back once, instead of accumulating in the destination.
+	Staged bool
+}
+
+func (c KernelConfig) String() string {
+	staged := ""
+	if c.Staged {
+		staged = " staged"
+	}
+	return fmt.Sprintf("block=%dw fanin=%d order=%s parallel=%s x%d%s",
+		c.BlockWords, c.Fanin, map[bool]string{true: "rows-outer", false: "blocks-outer"}[c.RowsOuter],
+		c.Parallel, c.Workers, staged)
+}
+
+// Kernel is a compiled executor for a scheduled GF(2) GEMM.
+type Kernel struct {
+	cfg     KernelConfig
+	a, b, c *Tensor
+
+	// PrebindMask cache: selection lists for a fixed generator buffer.
+	preMask *byte
+	preLen  int
+	preRows [][]int
+}
+
+// Config returns the extracted specialization.
+func (k *Kernel) Config() KernelConfig { return k.cfg }
+
+// ECComputeDecl declares the bitmatrix erasure code of the paper's
+// Listing 3 lines 9-12: A is the (M x K) generator bitmask, B the (K x N)
+// data planes in words, and the result C[i,j] = xor_k(A[i,k] & B[k,j]).
+// It returns the three tensors; schedule C and Build the schedule to get a
+// kernel.
+func ECComputeDecl(m, k, n int) (a, b, c *Tensor) {
+	a = Placeholder("A", BitMask, m, k)
+	b = Placeholder("B", Word64, k, n)
+	rk := ReduceAxis("k", k)
+	c = Compute("C", []int{m, n}, Word64, func(iv []*IterVar) Expr {
+		return XorReducer.Reduce(And(a.At(V(iv[0]), V(rk)), b.At(V(rk), V(iv[1]))), rk)
+	})
+	return a, b, c
+}
+
+// GEMMComputeDecl declares the plain GEMM of Listing 3 lines 5-7 over
+// uint64 words: C[i,j] = sum_k(A[i,k] * B[k,j]). The code generator does
+// not specialize it (use the interpreter); it exists so examples and tests
+// can demonstrate that the EC declaration differs from GEMM only in the
+// reducer and the inner operator — the paper's central observation.
+func GEMMComputeDecl(m, k, n int) (a, b, c *Tensor) {
+	a = Placeholder("A", Word64, m, k)
+	b = Placeholder("B", Word64, k, n)
+	rk := ReduceAxis("k", k)
+	c = Compute("C", []int{m, n}, Word64, func(iv []*IterVar) Expr {
+		return SumReducer.Reduce(Mul(a.At(V(iv[0]), V(rk)), b.At(V(rk), V(iv[1]))), rk)
+	})
+	return a, b, c
+}
+
+// matchEC verifies the compute op is the xor/and GEMM pattern and returns
+// the operand tensors and the reduction axis.
+func matchEC(op *ComputeOp) (a, b *Tensor, rk *IterVar, err error) {
+	if len(op.Axes) != 2 {
+		return nil, nil, nil, fmt.Errorf("%w: want 2 spatial axes, have %d", ErrUnsupported, len(op.Axes))
+	}
+	red, ok := op.Body.(*ReduceExpr)
+	if !ok || red.Reducer != XorReducer {
+		return nil, nil, nil, fmt.Errorf("%w: body is not an xor reduction", ErrUnsupported)
+	}
+	bin, ok := red.Body.(*BinExpr)
+	if !ok || bin.Op != OpAnd {
+		return nil, nil, nil, fmt.Errorf("%w: reduction body is not an AND", ErrUnsupported)
+	}
+	i, j, k := op.Axes[0], op.Axes[1], red.Axis
+
+	classify := func(e Expr) (*Tensor, bool, error) {
+		ld, ok := e.(*LoadExpr)
+		if !ok || len(ld.Idx) != 2 {
+			return nil, false, fmt.Errorf("%w: AND operand is not a 2-d load", ErrUnsupported)
+		}
+		v0, ok0 := ld.Idx[0].(*VarExpr)
+		v1, ok1 := ld.Idx[1].(*VarExpr)
+		if !ok0 || !ok1 {
+			return nil, false, fmt.Errorf("%w: load indices must be plain variables", ErrUnsupported)
+		}
+		switch {
+		case v0.IV == i && v1.IV == k:
+			return ld.T, true, nil // generator-side load A[i,k]
+		case v0.IV == k && v1.IV == j:
+			return ld.T, false, nil // data-side load B[k,j]
+		default:
+			return nil, false, fmt.Errorf("%w: load index pattern not recognized", ErrUnsupported)
+		}
+	}
+	tL, isGenL, err := classify(bin.L)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tR, isGenR, err := classify(bin.R)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if isGenL == isGenR {
+		return nil, nil, nil, fmt.Errorf("%w: need one generator and one data operand", ErrUnsupported)
+	}
+	if isGenL {
+		a, b = tL, tR
+	} else {
+		a, b = tR, tL
+	}
+	if a.DType != BitMask {
+		return nil, nil, nil, fmt.Errorf("%w: generator operand must be bitmask, is %s", ErrUnsupported, a.DType)
+	}
+	if b.DType != Word64 {
+		return nil, nil, nil, fmt.Errorf("%w: data operand must be word64, is %s", ErrUnsupported, b.DType)
+	}
+	return a, b, k, nil
+}
+
+// Build specializes the scheduled computation into an executable kernel,
+// mirroring tvm.build. The schedule's loop structure determines the
+// kernel's configuration:
+//
+//   - the innermost leaf must be a Vectorized axis derived from the output
+//     column axis j; if j was split, the inner part's extent is the
+//     word-tile (cache blocking) size, otherwise the whole row is one tile;
+//   - splitting the reduction axis k and Unrolling the inner part fuses
+//     that many XOR sources per pass (reduction grouping);
+//   - a Parallel annotation on a row-derived or column-outer-derived axis
+//     selects multicore execution across rows or tiles;
+//   - the relative order of the row axis and the column-outer axis picks
+//     the serial traversal order.
+func Build(s *Schedule) (*Kernel, error) {
+	a, b, rk, err := matchEC(s.op)
+	if err != nil {
+		return nil, err
+	}
+	i, j := s.op.Axes[0], s.op.Axes[1]
+	m, kExt, n := s.op.Out.Shape[0], rk.Extent, s.op.Out.Shape[1]
+
+	cfg := KernelConfig{M: m, K: kExt, N: n, BlockWords: n, Fanin: 1, Workers: 1, RowsOuter: true, Parallel: ParallelNone}
+
+	// Classify leaves by their root axis.
+	var jLeaves, kLeaves, iLeaves []*IterVar
+	for _, l := range s.leaf {
+		switch s.rootOf(l) {
+		case i:
+			iLeaves = append(iLeaves, l)
+		case j:
+			jLeaves = append(jLeaves, l)
+		case rk:
+			kLeaves = append(kLeaves, l)
+		default:
+			return nil, fmt.Errorf("%w: leaf %s has unknown root", ErrUnsupported, l.Name)
+		}
+	}
+
+	// Word axis: the innermost spatial leaf must be vectorized and j-derived.
+	var last *IterVar
+	for _, l := range s.leaf {
+		if l.Kind == Spatial {
+			last = l
+		}
+	}
+	if last == nil || s.rootOf(last) != j || s.kinds[last] != Vectorized {
+		return nil, fmt.Errorf("%w: innermost spatial axis must be the vectorized word axis", ErrUnsupported)
+	}
+	switch len(jLeaves) {
+	case 1:
+		cfg.BlockWords = n
+	case 2:
+		cfg.BlockWords = jLeaves[1].Extent
+	default:
+		return nil, fmt.Errorf("%w: column axis split more than once", ErrUnsupported)
+	}
+
+	// Reduction grouping.
+	switch len(kLeaves) {
+	case 1:
+		cfg.Fanin = 1
+	case 2:
+		if s.kinds[kLeaves[1]] == Unrolled {
+			f := kLeaves[1].Extent
+			if f != 2 && f != 4 && f != 8 {
+				return nil, fmt.Errorf("%w: reduction group %d not in {2,4,8}", ErrUnsupported, f)
+			}
+			cfg.Fanin = f
+		}
+	default:
+		return nil, fmt.Errorf("%w: reduction axis split more than once", ErrUnsupported)
+	}
+
+	// Parallelism.
+	for _, l := range s.leaf {
+		if s.kinds[l] != ParallelFor {
+			continue
+		}
+		if cfg.Parallel != ParallelNone {
+			return nil, fmt.Errorf("%w: multiple parallel axes", ErrUnsupported)
+		}
+		switch {
+		case s.rootOf(l) == i:
+			cfg.Parallel = ParallelRows
+		case s.rootOf(l) == j && len(jLeaves) == 2 && l == jLeaves[0]:
+			cfg.Parallel = ParallelBlocks
+		default:
+			return nil, fmt.Errorf("%w: parallel axis must be rows or the outer column tile", ErrUnsupported)
+		}
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Traversal order: position of the first i leaf vs first j leaf.
+	if len(iLeaves) > 0 && len(jLeaves) > 0 {
+		cfg.RowsOuter = s.leafIndex(iLeaves[0]) < s.leafIndex(jLeaves[0])
+	}
+	cfg.Staged = s.staged
+
+	return &Kernel{cfg: cfg, a: a, b: b, c: s.op.Out}, nil
+}
+
+// SetWorkers overrides the goroutine count used when the kernel's schedule
+// requested parallelism. It returns the kernel for chaining.
+func (k *Kernel) SetWorkers(n int) *Kernel {
+	if n > 0 {
+		k.cfg.Workers = n
+	}
+	return k
+}

@@ -1,0 +1,214 @@
+package te
+
+import (
+	"errors"
+	"testing"
+)
+
+// These tests pin down the Build grammar: which schedules the EC template
+// accepts and exactly why others are rejected, so autotuner changes cannot
+// silently drift outside the compiled space.
+
+func ecSchedule(t *testing.T, m, k, n int) (*Schedule, []*IterVar) {
+	t.Helper()
+	_, _, c := ECComputeDecl(m, k, n)
+	s := CreateSchedule(c)
+	return s, s.Leaf()
+}
+
+func wantUnsupported(t *testing.T, err error, label string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: expected rejection", label)
+	}
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("%s: err=%v, want ErrUnsupported", label, err)
+	}
+}
+
+func TestBuildRejectsDoubleColumnSplit(t *testing.T) {
+	s, ax := ecSchedule(t, 4, 8, 64)
+	_, ji, err := s.Split(ax[1], 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, jii, err := s.Split(ji, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Vectorize(jii); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(s)
+	wantUnsupported(t, err, "double column split")
+}
+
+func TestBuildRejectsDoubleReductionSplit(t *testing.T) {
+	s, ax := ecSchedule(t, 4, 16, 64)
+	if err := s.Vectorize(ax[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, ki, err := s.Split(ax[2], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Split(ki, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(s)
+	wantUnsupported(t, err, "double reduction split")
+}
+
+func TestBuildRejectsOddFanin(t *testing.T) {
+	s, ax := ecSchedule(t, 4, 12, 64)
+	if err := s.Vectorize(ax[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, ki, err := s.Split(ax[2], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unroll(ki); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(s)
+	wantUnsupported(t, err, "fanin 3")
+}
+
+func TestBuildSplitWithoutUnrollIsFaninOne(t *testing.T) {
+	s, ax := ecSchedule(t, 4, 16, 64)
+	if err := s.Vectorize(ax[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Split(ax[2], 4); err != nil {
+		t.Fatal(err)
+	}
+	kern, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kern.Config().Fanin != 1 {
+		t.Errorf("fanin=%d want 1 for un-unrolled split", kern.Config().Fanin)
+	}
+}
+
+func TestBuildRejectsMultipleParallelAxes(t *testing.T) {
+	s, ax := ecSchedule(t, 4, 8, 64)
+	jo, ji, err := s.Split(ax[1], 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Vectorize(ji); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Parallel(ax[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Parallel(jo); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(s)
+	wantUnsupported(t, err, "two parallel axes")
+}
+
+func TestBuildRejectsParallelInnerColumn(t *testing.T) {
+	s, ax := ecSchedule(t, 4, 8, 64)
+	_, ji, err := s.Split(ax[1], 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Vectorize(ji); err != nil {
+		t.Fatal(err)
+	}
+	// Annotating the vectorized inner axis as parallel conflicts at the
+	// schedule level already.
+	if err := s.Parallel(ji); err == nil {
+		t.Fatal("conflicting annotation accepted")
+	}
+}
+
+func TestBuildRejectsUnvectorizedWordAxis(t *testing.T) {
+	s, ax := ecSchedule(t, 4, 8, 64)
+	_, _, err := s.Split(ax[1], 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(s)
+	wantUnsupported(t, err, "no vectorize annotation")
+}
+
+func TestBuildRejectsWrongDTypes(t *testing.T) {
+	// Generator declared as Word64 instead of BitMask.
+	a := Placeholder("A", Word64, 4, 8)
+	b := Placeholder("B", Word64, 8, 64)
+	rk := ReduceAxis("k", 8)
+	c := Compute("C", []int{4, 64}, Word64, func(iv []*IterVar) Expr {
+		return XorReducer.Reduce(And(a.At(V(iv[0]), V(rk)), b.At(V(rk), V(iv[1]))), rk)
+	})
+	s := CreateSchedule(c)
+	if err := s.Vectorize(s.Leaf()[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Build(s)
+	wantUnsupported(t, err, "word64 generator")
+
+	// Data declared as BitMask.
+	a2 := Placeholder("A", BitMask, 4, 8)
+	b2 := Placeholder("B", BitMask, 8, 64)
+	c2 := Compute("C", []int{4, 64}, Word64, func(iv []*IterVar) Expr {
+		rk2 := ReduceAxis("k", 8)
+		return XorReducer.Reduce(And(a2.At(V(iv[0]), V(rk2)), b2.At(V(rk2), V(iv[1]))), rk2)
+	})
+	s2 := CreateSchedule(c2)
+	if err := s2.Vectorize(s2.Leaf()[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(s2)
+	wantUnsupported(t, err, "bitmask data")
+}
+
+func TestBuildRejectsWrongIndexPattern(t *testing.T) {
+	// B indexed [j, k] instead of [k, j] — a transposed data operand.
+	a := Placeholder("A", BitMask, 4, 8)
+	b := Placeholder("B", Word64, 64, 8)
+	rk := ReduceAxis("k", 8)
+	c := Compute("C", []int{4, 64}, Word64, func(iv []*IterVar) Expr {
+		return XorReducer.Reduce(And(a.At(V(iv[0]), V(rk)), b.At(V(iv[1]), V(rk))), rk)
+	})
+	s := CreateSchedule(c)
+	if err := s.Vectorize(s.Leaf()[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Build(s)
+	wantUnsupported(t, err, "transposed B")
+}
+
+func TestBuildRejectsNonReduction(t *testing.T) {
+	// Elementwise xor without a reduction.
+	a := Placeholder("A", Word64, 4, 64)
+	b := Placeholder("B", Word64, 4, 64)
+	c := Compute("C", []int{4, 64}, Word64, func(iv []*IterVar) Expr {
+		return Xor(a.At(V(iv[0]), V(iv[1])), b.At(V(iv[0]), V(iv[1])))
+	})
+	s := CreateSchedule(c)
+	if err := s.Vectorize(s.Leaf()[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Build(s)
+	wantUnsupported(t, err, "elementwise op")
+
+	// But it lowers and interprets fine.
+	mod, err := Lower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := Bindings{a: NewBuffer(a), b: NewBuffer(b), c: NewBuffer(c)}
+	bind[a].SetWord(7, 0xF0)
+	bind[b].SetWord(7, 0x0F)
+	if err := Interpret(mod, bind); err != nil {
+		t.Fatal(err)
+	}
+	if bind[c].Word(7) != 0xFF {
+		t.Error("elementwise xor interpreted wrong")
+	}
+}

@@ -1,0 +1,250 @@
+// Package te is a miniature tensor-expression compiler modeled on Apache
+// TVM's te API, standing in for TVM itself (which has no Go equivalent; see
+// DESIGN.md's substitution table). It provides:
+//
+//   - a declaration language — Placeholder, ReduceAxis, Compute, and
+//     commutative reducers — in which Listing 3 of the paper (GEMM and
+//     bitmatrix erasure coding) transliterates almost symbol for symbol;
+//   - schedules: Split, Reorder, Unroll, Vectorize, Parallel, applied to a
+//     compute stage exactly as TVM schedules are;
+//   - lowering to an explicit loop IR with a printer;
+//   - a reference interpreter that executes the lowered IR directly; and
+//   - a specializing code generator (Build) that recognizes the GF(2)
+//     GEMM pattern and instantiates word-parallel Go kernels whose tiling,
+//     reduction grouping and parallelism come from the schedule.
+//
+// The interpreter defines the semantics; the code generator is
+// property-tested against it across random schedules.
+package te
+
+import "fmt"
+
+// DType is the element type of a tensor.
+type DType int
+
+const (
+	// Word64 elements are little-endian uint64 words. For erasure coding a
+	// word is 64 GF(2) lanes — the package's stand-in for a SIMD vector.
+	Word64 DType = iota
+	// BitMask elements are uint64 words constrained to 0 or ^0. A generator
+	// bit b is stored as its broadcast mask so that `mask & data` performs
+	// the select of Listing 2 lanewise.
+	BitMask
+)
+
+func (d DType) String() string {
+	switch d {
+	case Word64:
+		return "word64"
+	case BitMask:
+		return "bitmask"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}
+
+// ElemBytes returns the in-memory size of one element.
+func (d DType) ElemBytes() int { return 8 }
+
+// IterKind distinguishes spatial axes from reduction axes.
+type IterKind int
+
+const (
+	// Spatial axes index the output tensor.
+	Spatial IterKind = iota
+	// Reduction axes are folded by a CommReducer.
+	Reduction
+)
+
+// IterVar is a loop variable with a static extent. Pointer identity is the
+// variable's identity throughout scheduling and lowering.
+type IterVar struct {
+	Name   string
+	Extent int
+	Kind   IterKind
+}
+
+// ReduceAxis declares a reduction axis of the given extent, mirroring
+// tvm.te.reduce_axis.
+func ReduceAxis(name string, extent int) *IterVar {
+	if extent <= 0 {
+		panic(fmt.Sprintf("te: reduce axis %q has extent %d", name, extent))
+	}
+	return &IterVar{Name: name, Extent: extent, Kind: Reduction}
+}
+
+// BinOp enumerates the binary operators the DSL supports.
+type BinOp int
+
+const (
+	// OpAnd is bitwise AND (the bitmatrix code's "multiplication").
+	OpAnd BinOp = iota
+	// OpXor is bitwise XOR (the bitmatrix code's "addition").
+	OpXor
+	// OpMul is integer multiplication (GEMM's multiplication).
+	OpMul
+	// OpAdd is integer addition (GEMM's summation).
+	OpAdd
+)
+
+func (o BinOp) String() string {
+	switch o {
+	case OpAnd:
+		return "&"
+	case OpXor:
+		return "^"
+	case OpMul:
+		return "*"
+	case OpAdd:
+		return "+"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// apply evaluates the operator on concrete words.
+func (o BinOp) apply(a, b uint64) uint64 {
+	switch o {
+	case OpAnd:
+		return a & b
+	case OpXor:
+		return a ^ b
+	case OpMul:
+		return a * b
+	case OpAdd:
+		return a + b
+	default:
+		panic("te: unknown operator")
+	}
+}
+
+// Expr is a scalar expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// VarExpr references an iteration variable.
+type VarExpr struct{ IV *IterVar }
+
+func (*VarExpr) exprNode()        {}
+func (e *VarExpr) String() string { return e.IV.Name }
+
+// ConstExpr is a literal word.
+type ConstExpr struct{ V uint64 }
+
+func (*ConstExpr) exprNode()        {}
+func (e *ConstExpr) String() string { return fmt.Sprintf("%d", e.V) }
+
+// AddExpr is an integer-affine helper used for index reconstruction after
+// splits: V = A*Scale + B.
+type AffineExpr struct {
+	A     Expr
+	Scale int
+	B     Expr
+}
+
+func (*AffineExpr) exprNode() {}
+func (e *AffineExpr) String() string {
+	return fmt.Sprintf("(%s*%d + %s)", e.A.String(), e.Scale, e.B.String())
+}
+
+// DivExpr is integer division by a constant, used to reconstruct the outer
+// part of a fused axis: outer = fused / innerExtent.
+type DivExpr struct {
+	A   Expr
+	Div int
+}
+
+func (*DivExpr) exprNode()        {}
+func (e *DivExpr) String() string { return fmt.Sprintf("(%s / %d)", e.A.String(), e.Div) }
+
+// ModExpr is integer remainder by a constant, used to reconstruct the inner
+// part of a fused axis: inner = fused %% innerExtent.
+type ModExpr struct {
+	A   Expr
+	Mod int
+}
+
+func (*ModExpr) exprNode()        {}
+func (e *ModExpr) String() string { return fmt.Sprintf("(%s %% %d)", e.A.String(), e.Mod) }
+
+// LoadExpr reads tensor T at the given (possibly affine) indices.
+type LoadExpr struct {
+	T   *Tensor
+	Idx []Expr
+}
+
+func (*LoadExpr) exprNode() {}
+func (e *LoadExpr) String() string {
+	s := e.T.Name + "["
+	for i, ix := range e.Idx {
+		if i > 0 {
+			s += ", "
+		}
+		s += ix.String()
+	}
+	return s + "]"
+}
+
+// BinExpr applies Op to L and R.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (*BinExpr) exprNode() {}
+func (e *BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L.String(), e.Op, e.R.String())
+}
+
+// ReduceExpr folds Body over Axis with Reducer.
+type ReduceExpr struct {
+	Reducer *CommReducer
+	Body    Expr
+	Axis    *IterVar
+}
+
+func (*ReduceExpr) exprNode() {}
+func (e *ReduceExpr) String() string {
+	return fmt.Sprintf("%s(%s, axis=%s)", e.Reducer.Name, e.Body.String(), e.Axis.Name)
+}
+
+// CommReducer is a commutative, associative reduction with an identity
+// element, mirroring tvm.te.comm_reducer.
+type CommReducer struct {
+	Name     string
+	Op       BinOp
+	Identity uint64
+}
+
+// XorReducer is the bitmatrix code's reducer: identity 0, combiner XOR.
+// This is line 10 of the paper's Listing 3.
+var XorReducer = &CommReducer{Name: "xor", Op: OpXor, Identity: 0}
+
+// SumReducer is GEMM's reducer: identity 0, combiner +.
+var SumReducer = &CommReducer{Name: "sum", Op: OpAdd, Identity: 0}
+
+// Reduce builds a reduction of body over axis, mirroring the call shape of
+// tvm's sum(...)/comm_reducer(...) application.
+func (r *CommReducer) Reduce(body Expr, axis *IterVar) Expr {
+	if axis.Kind != Reduction {
+		panic(fmt.Sprintf("te: %s is not a reduction axis", axis.Name))
+	}
+	return &ReduceExpr{Reducer: r, Body: body, Axis: axis}
+}
+
+// And builds a bitwise-AND node.
+func And(l, r Expr) Expr { return &BinExpr{Op: OpAnd, L: l, R: r} }
+
+// Xor builds a bitwise-XOR node.
+func Xor(l, r Expr) Expr { return &BinExpr{Op: OpXor, L: l, R: r} }
+
+// Mul builds a multiplication node.
+func Mul(l, r Expr) Expr { return &BinExpr{Op: OpMul, L: l, R: r} }
+
+// Add builds an addition node.
+func Add(l, r Expr) Expr { return &BinExpr{Op: OpAdd, L: l, R: r} }
+
+// V wraps an IterVar as an expression.
+func V(iv *IterVar) Expr { return &VarExpr{IV: iv} }

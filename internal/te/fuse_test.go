@@ -1,0 +1,133 @@
+package te
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFuseSpatialAxes(t *testing.T) {
+	m, k, n := 4, 5, 8
+	a, b, c := ECComputeDecl(m, k, n)
+	s := CreateSchedule(c)
+	axes := s.Leaf()
+	i, j := axes[0], axes[1]
+	f, err := s.Fuse(i, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Extent != m*n || f.Kind != Spatial {
+		t.Fatalf("fused axis extent=%d kind=%v", f.Extent, f.Kind)
+	}
+	leaf := s.Leaf()
+	if len(leaf) != 2 || leaf[0] != f {
+		t.Fatalf("leaf after fuse: %v", leaf)
+	}
+	mod, err := Lower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mod.Print()
+	if !strings.Contains(out, "/ 8") || !strings.Contains(out, "% 8") {
+		t.Errorf("fused IR missing div/mod reconstruction:\n%s", out)
+	}
+	rng := rand.New(rand.NewSource(1))
+	bind, abits, bw := makeECBindings(rng, a, b, c, m, k, n)
+	if err := Interpret(mod, bind); err != nil {
+		t.Fatal(err)
+	}
+	checkC(t, "fused", bind, c, naiveEC(abits, bw, m, k, n))
+
+	// Fused schedules are not specialized by the code generator.
+	if _, err := Build(s); err == nil {
+		t.Error("Build should reject fused schedules")
+	}
+}
+
+func TestFuseThenSplit(t *testing.T) {
+	// The TVM idiom: fuse two axes, then split the fused axis for
+	// parallel+vector structure. Semantics must be preserved.
+	m, k, n := 6, 3, 4
+	a, b, c := ECComputeDecl(m, k, n)
+	s := CreateSchedule(c)
+	axes := s.Leaf()
+	f, err := s.Fuse(axes[0], axes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, fi, err := s.Split(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unroll(fi); err != nil {
+		t.Fatal(err)
+	}
+	_ = fo
+	mod, err := Lower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	bind, abits, bw := makeECBindings(rng, a, b, c, m, k, n)
+	if err := Interpret(mod, bind); err != nil {
+		t.Fatalf("%v\n%s", err, mod.Print())
+	}
+	checkC(t, "fuse-then-split", bind, c, naiveEC(abits, bw, m, k, n))
+}
+
+func TestFuseSplitAxes(t *testing.T) {
+	// Split j, then fuse i with jo — mixing derived axes.
+	m, k, n := 4, 3, 12
+	a, b, c := ECComputeDecl(m, k, n)
+	s := CreateSchedule(c)
+	axes := s.Leaf()
+	i, j := axes[0], axes[1]
+	jo, ji, err := s.Split(j, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ji
+	if _, err := s.Fuse(i, jo); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Lower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	bind, abits, bw := makeECBindings(rng, a, b, c, m, k, n)
+	if err := Interpret(mod, bind); err != nil {
+		t.Fatalf("%v\n%s", err, mod.Print())
+	}
+	checkC(t, "fuse-of-split", bind, c, naiveEC(abits, bw, m, k, n))
+}
+
+func TestFuseReductionWithSpatialRejected(t *testing.T) {
+	_, _, c := ECComputeDecl(4, 4, 4)
+	s := CreateSchedule(c)
+	axes := s.Leaf() // i, j, k
+	if _, err := s.Fuse(axes[1], axes[2]); err == nil {
+		t.Error("fusing spatial with reduction accepted")
+	}
+	// Non-adjacent.
+	if _, err := s.Fuse(axes[0], axes[2]); err == nil {
+		t.Error("fusing non-adjacent axes accepted")
+	}
+	// Non-leaf.
+	if _, err := s.Fuse(&IterVar{Name: "x", Extent: 2}, axes[0]); err == nil {
+		t.Error("fusing non-leaf accepted")
+	}
+	// Wrong order (inner before outer).
+	if _, err := s.Fuse(axes[1], axes[0]); err == nil {
+		t.Error("fusing reversed adjacency accepted")
+	}
+}
+
+func TestDivModExprStrings(t *testing.T) {
+	iv := &IterVar{Name: "f", Extent: 8}
+	d := &DivExpr{A: V(iv), Div: 4}
+	m := &ModExpr{A: V(iv), Mod: 4}
+	if d.String() != "(f / 4)" || m.String() != "(f % 4)" {
+		t.Errorf("strings: %s, %s", d.String(), m.String())
+	}
+}

@@ -1,0 +1,207 @@
+package te
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file adds a second code-generation template: the ordinary integer
+// GEMM of the paper's Listing 3 lines 5-7 (sum of products over uint64
+// words). It exists to demonstrate that the compiler machinery is not
+// special-cased to erasure coding — the same schedules (tiling, traversal
+// order, parallelism) drive both templates, which is the substance of the
+// paper's §4.2 argument that EC piggybacks on GEMM infrastructure.
+
+// GEMMKernel is a compiled executor for a scheduled word GEMM.
+type GEMMKernel struct {
+	cfg     KernelConfig
+	a, b, c *Tensor
+}
+
+// Config returns the extracted specialization.
+func (k *GEMMKernel) Config() KernelConfig { return k.cfg }
+
+// SetWorkers overrides the goroutine count for parallel schedules.
+func (k *GEMMKernel) SetWorkers(n int) *GEMMKernel {
+	if n > 0 {
+		k.cfg.Workers = n
+	}
+	return k
+}
+
+// matchGEMM verifies the compute op is the sum/mul GEMM pattern.
+func matchGEMM(op *ComputeOp) (a, b *Tensor, rk *IterVar, err error) {
+	if len(op.Axes) != 2 {
+		return nil, nil, nil, fmt.Errorf("%w: want 2 spatial axes", ErrUnsupported)
+	}
+	red, ok := op.Body.(*ReduceExpr)
+	if !ok || red.Reducer != SumReducer {
+		return nil, nil, nil, fmt.Errorf("%w: body is not a sum reduction", ErrUnsupported)
+	}
+	bin, ok := red.Body.(*BinExpr)
+	if !ok || bin.Op != OpMul {
+		return nil, nil, nil, fmt.Errorf("%w: reduction body is not a product", ErrUnsupported)
+	}
+	i, j, k := op.Axes[0], op.Axes[1], red.Axis
+	classify := func(e Expr) (*Tensor, bool, error) {
+		ld, ok := e.(*LoadExpr)
+		if !ok || len(ld.Idx) != 2 {
+			return nil, false, fmt.Errorf("%w: operand is not a 2-d load", ErrUnsupported)
+		}
+		v0, ok0 := ld.Idx[0].(*VarExpr)
+		v1, ok1 := ld.Idx[1].(*VarExpr)
+		if !ok0 || !ok1 {
+			return nil, false, fmt.Errorf("%w: load indices must be variables", ErrUnsupported)
+		}
+		switch {
+		case v0.IV == i && v1.IV == k:
+			return ld.T, true, nil
+		case v0.IV == k && v1.IV == j:
+			return ld.T, false, nil
+		default:
+			return nil, false, fmt.Errorf("%w: index pattern not recognized", ErrUnsupported)
+		}
+	}
+	tL, leftIsA, err := classify(bin.L)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tR, rightIsA, err := classify(bin.R)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if leftIsA == rightIsA {
+		return nil, nil, nil, fmt.Errorf("%w: need one A-side and one B-side operand", ErrUnsupported)
+	}
+	if leftIsA {
+		a, b = tL, tR
+	} else {
+		a, b = tR, tL
+	}
+	if a.DType != Word64 || b.DType != Word64 {
+		return nil, nil, nil, fmt.Errorf("%w: GEMM operands must be word64", ErrUnsupported)
+	}
+	return a, b, k, nil
+}
+
+// BuildGEMM specializes a scheduled integer GEMM. The schedule grammar is
+// the same as Build's, except reduction grouping (fanin) is ignored — the
+// scalar accumulator already keeps the product chain in registers.
+func BuildGEMM(s *Schedule) (*GEMMKernel, error) {
+	a, b, rk := (*Tensor)(nil), (*Tensor)(nil), (*IterVar)(nil)
+	var err error
+	a, b, rk, err = matchGEMM(s.op)
+	if err != nil {
+		return nil, err
+	}
+	i, j := s.op.Axes[0], s.op.Axes[1]
+	m, kExt, n := s.op.Out.Shape[0], rk.Extent, s.op.Out.Shape[1]
+	cfg := KernelConfig{M: m, K: kExt, N: n, BlockWords: n, Fanin: 1, Workers: 1, RowsOuter: true}
+
+	var jLeaves, iLeaves []*IterVar
+	for _, l := range s.leaf {
+		switch s.rootOf(l) {
+		case i:
+			iLeaves = append(iLeaves, l)
+		case j:
+			jLeaves = append(jLeaves, l)
+		case rk:
+		default:
+			return nil, fmt.Errorf("%w: leaf %s has unknown root", ErrUnsupported, l.Name)
+		}
+	}
+	var last *IterVar
+	for _, l := range s.leaf {
+		if l.Kind == Spatial {
+			last = l
+		}
+	}
+	if last == nil || s.rootOf(last) != j || s.kinds[last] != Vectorized {
+		return nil, fmt.Errorf("%w: innermost spatial axis must be the vectorized column axis", ErrUnsupported)
+	}
+	switch len(jLeaves) {
+	case 1:
+	case 2:
+		cfg.BlockWords = jLeaves[1].Extent
+	default:
+		return nil, fmt.Errorf("%w: column axis split more than once", ErrUnsupported)
+	}
+	for _, l := range s.leaf {
+		if s.kinds[l] != ParallelFor {
+			continue
+		}
+		if s.rootOf(l) == i {
+			cfg.Parallel = ParallelRows
+		} else if s.rootOf(l) == j && len(jLeaves) == 2 && l == jLeaves[0] {
+			cfg.Parallel = ParallelBlocks
+		} else {
+			return nil, fmt.Errorf("%w: parallel axis must be rows or the outer column tile", ErrUnsupported)
+		}
+	}
+	if len(iLeaves) > 0 && len(jLeaves) > 0 {
+		cfg.RowsOuter = s.leafIndex(iLeaves[0]) < s.leafIndex(jLeaves[0])
+	}
+	return &GEMMKernel{cfg: cfg, a: a, b: b, c: s.op.Out}, nil
+}
+
+// Exec runs the GEMM over the bound buffers.
+func (k *GEMMKernel) Exec(bind Bindings) error {
+	if err := bind.check(k.a, k.b, k.c); err != nil {
+		return err
+	}
+	aBuf, bBuf, cBuf := bind[k.a], bind[k.b], bind[k.c]
+	cfg := k.cfg
+	nBlocks := (cfg.N + cfg.BlockWords - 1) / cfg.BlockWords
+
+	tile := func(row, blk int) {
+		lo := blk * cfg.BlockWords
+		hi := lo + cfg.BlockWords
+		if hi > cfg.N {
+			hi = cfg.N
+		}
+		cRow := cBuf[row*cfg.N*8:]
+		for j := lo; j < hi; j++ {
+			binary.LittleEndian.PutUint64(cRow[j*8:], 0)
+		}
+		for kk := 0; kk < cfg.K; kk++ {
+			av := aBuf.Word(row*cfg.K + kk)
+			if av == 0 {
+				continue
+			}
+			bRow := bBuf[kk*cfg.N*8:]
+			for j := lo; j < hi; j++ {
+				cv := binary.LittleEndian.Uint64(cRow[j*8:])
+				bv := binary.LittleEndian.Uint64(bRow[j*8:])
+				binary.LittleEndian.PutUint64(cRow[j*8:], cv+av*bv)
+			}
+		}
+	}
+	runRange := func(lo, hi int, overRows bool) {
+		if overRows {
+			for row := lo; row < hi; row++ {
+				for blk := 0; blk < nBlocks; blk++ {
+					tile(row, blk)
+				}
+			}
+		} else {
+			for blk := lo; blk < hi; blk++ {
+				for row := 0; row < cfg.M; row++ {
+					tile(row, blk)
+				}
+			}
+		}
+	}
+	switch cfg.Parallel {
+	case ParallelRows:
+		parallelRanges(cfg.M, cfg.Workers, func(lo, hi int) { runRange(lo, hi, true) })
+	case ParallelBlocks:
+		parallelRanges(nBlocks, cfg.Workers, func(lo, hi int) { runRange(lo, hi, false) })
+	default:
+		if cfg.RowsOuter {
+			runRange(0, cfg.M, true)
+		} else {
+			runRange(0, nBlocks, false)
+		}
+	}
+	return nil
+}

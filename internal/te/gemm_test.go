@@ -1,0 +1,148 @@
+package te
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func gemmOracle(aw, bw []uint64, m, k, n int) []uint64 {
+	c := make([]uint64, m*n)
+	for i := 0; i < m; i++ {
+		for kk := 0; kk < k; kk++ {
+			for j := 0; j < n; j++ {
+				c[i*n+j] += aw[i*k+kk] * bw[kk*n+j]
+			}
+		}
+	}
+	return c
+}
+
+func gemmBindings(rng *rand.Rand, a, b, c *Tensor, m, k, n int) (Bindings, []uint64, []uint64) {
+	aw := make([]uint64, m*k)
+	bw := make([]uint64, k*n)
+	for i := range aw {
+		aw[i] = uint64(rng.Intn(1 << 20))
+	}
+	for i := range bw {
+		bw[i] = uint64(rng.Intn(1 << 20))
+	}
+	ab, bb := NewBuffer(a), NewBuffer(b)
+	for i, w := range aw {
+		ab.SetWord(i, w)
+	}
+	for i, w := range bw {
+		bb.SetWord(i, w)
+	}
+	return Bindings{a: ab, b: bb, c: NewBuffer(c)}, aw, bw
+}
+
+func TestGEMMKernelMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 4*(1+rng.Intn(6))
+		a, b, c := GEMMComputeDecl(m, k, n)
+		s := CreateSchedule(c)
+		axes := s.Leaf()
+		i, j := axes[0], axes[1]
+
+		var jo *IterVar
+		word := j
+		if rng.Intn(2) == 1 {
+			divs := divisorsOf(n)
+			var err error
+			var ji *IterVar
+			jo, ji, err = s.Split(j, divs[rng.Intn(len(divs))])
+			if err != nil {
+				t.Fatal(err)
+			}
+			word = ji
+		}
+		if err := s.Vectorize(word); err != nil {
+			t.Fatal(err)
+		}
+		if jo != nil && rng.Intn(2) == 1 {
+			if err := s.Reorder(jo, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			if err := s.Parallel(i); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if jo != nil {
+				if err := s.Parallel(jo); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		kern, err := BuildGEMM(s)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		kern.SetWorkers(1 + rng.Intn(4))
+		bind, aw, bw := gemmBindings(rng, a, b, c, m, k, n)
+		if err := kern.Exec(bind); err != nil {
+			t.Fatal(err)
+		}
+		want := gemmOracle(aw, bw, m, k, n)
+		cb := bind[c]
+		for e, w := range want {
+			if cb.Word(e) != w {
+				t.Fatalf("trial %d (%s): C[%d]=%d want %d", trial, kern.Config(), e, cb.Word(e), w)
+			}
+		}
+
+		// The interpreter must agree too.
+		mod, err := Lower(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bind2 := Bindings{a: bind[a], b: bind[b], c: NewBuffer(c)}
+		if err := Interpret(mod, bind2); err != nil {
+			t.Fatal(err)
+		}
+		for e, w := range want {
+			if bind2[c].Word(e) != w {
+				t.Fatalf("trial %d: interpreter C[%d] wrong", trial, e)
+			}
+		}
+	}
+}
+
+func TestBuildGEMMRejections(t *testing.T) {
+	// EC pattern is not a GEMM.
+	_, _, c := ECComputeDecl(4, 4, 8)
+	s := CreateSchedule(c)
+	axes := s.Leaf()
+	if err := s.Vectorize(axes[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildGEMM(s); err == nil {
+		t.Error("BuildGEMM accepted the EC pattern")
+	}
+	// GEMM without vectorized column axis.
+	_, _, g := GEMMComputeDecl(4, 4, 8)
+	s2 := CreateSchedule(g)
+	if _, err := BuildGEMM(s2); err == nil {
+		t.Error("BuildGEMM accepted unvectorized schedule")
+	}
+	// Build (EC template) must reject the GEMM pattern symmetrically.
+	_, _, g3 := GEMMComputeDecl(4, 4, 8)
+	s3 := CreateSchedule(g3)
+	if err := s3.Vectorize(s3.Leaf()[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(s3); err == nil {
+		t.Error("Build accepted the GEMM pattern")
+	}
+	k, err := BuildGEMM(s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Config().String() == "" {
+		t.Error("config string empty")
+	}
+}

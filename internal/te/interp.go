@@ -1,0 +1,145 @@
+package te
+
+import (
+	"fmt"
+)
+
+// Interpret executes a lowered module directly over the bound buffers. It
+// is the semantic reference for the code generator: slow (a tree walk per
+// element) but transparently faithful to the IR. All loop annotations are
+// executed serially — annotations are performance hints, never semantics.
+func Interpret(m *Module, b Bindings) error {
+	tensors := append([]*Tensor{m.Out}, m.Inputs...)
+	if err := b.check(tensors...); err != nil {
+		return err
+	}
+	env := map[*IterVar]int{}
+	return execStmt(m.Body, env, b)
+}
+
+func execStmt(s Stmt, env map[*IterVar]int, b Bindings) error {
+	switch x := s.(type) {
+	case *ForStmt:
+		for v := 0; v < x.IV.Extent; v++ {
+			env[x.IV] = v
+			if err := execStmt(x.Body, env, b); err != nil {
+				return err
+			}
+		}
+		delete(env, x.IV)
+		return nil
+	case SeqStmt:
+		for _, c := range x {
+			if err := execStmt(c, env, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *StoreStmt:
+		flat, err := flatIndex(x.T, x.Idx, env)
+		if err != nil {
+			return err
+		}
+		v, err := evalValue(x.Val, env, b)
+		if err != nil {
+			return err
+		}
+		b[x.T].SetWord(flat, v)
+		return nil
+	default:
+		return fmt.Errorf("te: interpreter hit unknown statement %T", s)
+	}
+}
+
+// evalIndex evaluates an index expression to an int.
+func evalIndex(e Expr, env map[*IterVar]int) (int, error) {
+	switch x := e.(type) {
+	case *VarExpr:
+		v, ok := env[x.IV]
+		if !ok {
+			return 0, fmt.Errorf("te: variable %s unbound", x.IV.Name)
+		}
+		return v, nil
+	case *ConstExpr:
+		return int(x.V), nil
+	case *AffineExpr:
+		a, err := evalIndex(x.A, env)
+		if err != nil {
+			return 0, err
+		}
+		bv, err := evalIndex(x.B, env)
+		if err != nil {
+			return 0, err
+		}
+		return a*x.Scale + bv, nil
+	case *DivExpr:
+		a, err := evalIndex(x.A, env)
+		if err != nil {
+			return 0, err
+		}
+		return a / x.Div, nil
+	case *ModExpr:
+		a, err := evalIndex(x.A, env)
+		if err != nil {
+			return 0, err
+		}
+		return a % x.Mod, nil
+	default:
+		return 0, fmt.Errorf("te: expression %T is not an index", e)
+	}
+}
+
+// flatIndex resolves a multi-dimensional tensor access to a row-major
+// element offset, bounds-checked.
+func flatIndex(t *Tensor, idx []Expr, env map[*IterVar]int) (int, error) {
+	if len(idx) != len(t.Shape) {
+		return 0, fmt.Errorf("te: tensor %q accessed with %d indices", t.Name, len(idx))
+	}
+	flat := 0
+	for d, e := range idx {
+		v, err := evalIndex(e, env)
+		if err != nil {
+			return 0, err
+		}
+		if v < 0 || v >= t.Shape[d] {
+			return 0, fmt.Errorf("te: tensor %q index %d out of bounds [0,%d)", t.Name, v, t.Shape[d])
+		}
+		flat = flat*t.Shape[d] + v
+	}
+	return flat, nil
+}
+
+// evalValue evaluates a value expression to a word.
+func evalValue(e Expr, env map[*IterVar]int, b Bindings) (uint64, error) {
+	switch x := e.(type) {
+	case *ConstExpr:
+		return x.V, nil
+	case *VarExpr, *AffineExpr, *DivExpr, *ModExpr:
+		v, err := evalIndex(x, env)
+		return uint64(v), err
+	case *LoadExpr:
+		buf, ok := b[x.T]
+		if !ok {
+			return 0, fmt.Errorf("te: tensor %q not bound", x.T.Name)
+		}
+		flat, err := flatIndex(x.T, x.Idx, env)
+		if err != nil {
+			return 0, err
+		}
+		return buf.Word(flat), nil
+	case *BinExpr:
+		l, err := evalValue(x.L, env, b)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalValue(x.R, env, b)
+		if err != nil {
+			return 0, err
+		}
+		return x.Op.apply(l, r), nil
+	case *ReduceExpr:
+		return 0, fmt.Errorf("te: reduce expression must be lowered before interpretation")
+	default:
+		return 0, fmt.Errorf("te: unknown value expression %T", e)
+	}
+}

@@ -1,0 +1,103 @@
+package te
+
+import (
+	"strings"
+	"testing"
+)
+
+// Error-path coverage for the interpreter: every malformed program must
+// yield an error, never a panic or silent wrong answer.
+
+func TestInterpreterErrorPaths(t *testing.T) {
+	a := Placeholder("A", Word64, 2, 2)
+	c := Compute("C", []int{2, 2}, Word64, func(iv []*IterVar) Expr {
+		return a.At(V(iv[0]), V(iv[1]))
+	})
+	s := CreateSchedule(c)
+	mod, err := Lower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unbound tensor.
+	if err := Interpret(mod, Bindings{a: NewBuffer(a)}); err == nil {
+		t.Error("missing output binding accepted")
+	}
+	// Wrong-size buffer.
+	if err := Interpret(mod, Bindings{a: NewBuffer(a), c: make(Buffer, 8)}); err == nil {
+		t.Error("wrong-size binding accepted")
+	}
+	// Healthy run for contrast.
+	bind := Bindings{a: NewBuffer(a), c: NewBuffer(c)}
+	bind[a].SetWord(3, 42)
+	if err := Interpret(mod, bind); err != nil {
+		t.Fatal(err)
+	}
+	if bind[c].Word(3) != 42 {
+		t.Error("identity compute wrong")
+	}
+}
+
+func TestInterpreterOutOfBoundsIndex(t *testing.T) {
+	// Hand-build IR that indexes out of bounds; the interpreter must catch
+	// it with a descriptive error instead of panicking.
+	a := Placeholder("A", Word64, 2, 2)
+	iv := &IterVar{Name: "i", Extent: 4, Kind: Spatial} // extent exceeds dim
+	c := Placeholder("C", Word64, 4)
+	body := &ForStmt{IV: iv, Body: &StoreStmt{
+		T:   c,
+		Idx: []Expr{V(iv)},
+		Val: a.At(V(iv), &ConstExpr{V: 0}), // A[i, 0] with i up to 3: OOB at 2
+	}}
+	mod := &Module{Out: c, Inputs: []*Tensor{a}, Body: body}
+	err := Interpret(mod, Bindings{a: NewBuffer(a), c: NewBuffer(c)})
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("err=%v, want out-of-bounds", err)
+	}
+}
+
+func TestInterpreterUnboundVariable(t *testing.T) {
+	a := Placeholder("A", Word64, 2)
+	c := Placeholder("C", Word64, 2)
+	ghost := &IterVar{Name: "ghost", Extent: 2}
+	mod := &Module{Out: c, Inputs: []*Tensor{a}, Body: &StoreStmt{
+		T:   c,
+		Idx: []Expr{V(ghost)}, // never introduced by a loop
+		Val: &ConstExpr{V: 1},
+	}}
+	err := Interpret(mod, Bindings{a: NewBuffer(a), c: NewBuffer(c)})
+	if err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Fatalf("err=%v, want unbound-variable", err)
+	}
+}
+
+func TestInterpreterWrongArity(t *testing.T) {
+	a := Placeholder("A", Word64, 2, 2)
+	c := Placeholder("C", Word64, 2)
+	iv := &IterVar{Name: "i", Extent: 2, Kind: Spatial}
+	mod := &Module{Out: c, Inputs: []*Tensor{a}, Body: &ForStmt{IV: iv, Body: &StoreStmt{
+		T:   c,
+		Idx: []Expr{V(iv)},
+		Val: &LoadExpr{T: a, Idx: []Expr{V(iv)}}, // 1 index for a 2-d tensor
+	}}}
+	if err := Interpret(mod, Bindings{a: NewBuffer(a), c: NewBuffer(c)}); err == nil {
+		t.Error("wrong load arity accepted")
+	}
+}
+
+func TestInterpreterReduceNotLowered(t *testing.T) {
+	// A raw ReduceExpr in value position must be rejected (lowering is
+	// required to peel it).
+	a := Placeholder("A", Word64, 2)
+	c := Placeholder("C", Word64, 2)
+	rk := ReduceAxis("k", 2)
+	iv := &IterVar{Name: "i", Extent: 2, Kind: Spatial}
+	mod := &Module{Out: c, Inputs: []*Tensor{a}, Body: &ForStmt{IV: iv, Body: &StoreStmt{
+		T:   c,
+		Idx: []Expr{V(iv)},
+		Val: SumReducer.Reduce(a.At(V(rk)), rk),
+	}}}
+	if err := Interpret(mod, Bindings{a: NewBuffer(a), c: NewBuffer(c)}); err == nil {
+		t.Error("unlowered reduce accepted")
+	}
+}

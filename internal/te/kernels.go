@@ -1,0 +1,225 @@
+package te
+
+import (
+	"fmt"
+	"sync"
+
+	"gemmec/internal/gf"
+)
+
+// This file is the execution engine behind Build: word-parallel, cache
+// tiled, reduction-grouped GF(2) GEMM. It is what TVM's generated LLVM
+// would be on a real platform; the specialization parameters all come from
+// the schedule via KernelConfig.
+
+// PrebindMask precomputes the generator selection lists for a mask buffer
+// that will be passed unchanged on every Exec (the common case: a coder's
+// generator is fixed at construction). Exec recognizes the prebound buffer
+// by identity and skips re-deriving the lists, making steady-state encoding
+// allocation-free. Call before sharing the kernel across goroutines.
+func (k *Kernel) PrebindMask(a Buffer) error {
+	if len(a) != k.a.Bytes() {
+		return fmt.Errorf("te: mask buffer %d bytes, want %d", len(a), k.a.Bytes())
+	}
+	rows, err := maskRows(a, k.cfg.M, k.cfg.K)
+	if err != nil {
+		return err
+	}
+	k.preMask = &a[0]
+	k.preLen = len(a)
+	k.preRows = rows
+	return nil
+}
+
+// Exec runs the kernel over the bound buffers. A (M x K bitmask words) is
+// read to a selection list per row; B (K x N words) and C (M x N words) are
+// processed as byte regions through the fused XOR kernels. BitMask words
+// must be 0 or ^0; anything else is rejected.
+func (k *Kernel) Exec(bind Bindings) error {
+	if err := bind.check(k.a, k.b, k.c); err != nil {
+		return err
+	}
+	return k.ExecBufs(bind[k.a], bind[k.b], bind[k.c])
+}
+
+// ExecBufs is Exec without the Bindings map: the operand buffers are passed
+// positionally (generator mask, data, output). Hot paths that run one
+// kernel per stripe use it to keep steady-state encoding allocation-light.
+func (k *Kernel) ExecBufs(aBuf, bBuf, cBuf Buffer) error {
+	if len(aBuf) != k.a.Bytes() || len(bBuf) != k.b.Bytes() || len(cBuf) != k.c.Bytes() {
+		return fmt.Errorf("te: buffer sizes %d/%d/%d, want %d/%d/%d",
+			len(aBuf), len(bBuf), len(cBuf), k.a.Bytes(), k.b.Bytes(), k.c.Bytes())
+	}
+	cfg := k.cfg
+
+	var rowOnes [][]int
+	if k.preRows != nil && len(aBuf) == k.preLen && &aBuf[0] == k.preMask {
+		rowOnes = k.preRows
+	} else {
+		var err error
+		rowOnes, err = maskRows(aBuf, cfg.M, cfg.K)
+		if err != nil {
+			return err
+		}
+	}
+
+	nBlocks := (cfg.N + cfg.BlockWords - 1) / cfg.BlockWords
+	rowBytes := cfg.N * 8
+
+	// processTile computes C[row, blk*BlockWords : ...] from its sources.
+	// With Staged (cache_write), the tile accumulates in the worker-local
+	// scratch and is written back once.
+	processTile := func(row, blk int, srcs [][]byte, scratch []byte) {
+		off := blk * cfg.BlockWords * 8
+		end := off + cfg.BlockWords*8
+		if end > rowBytes {
+			end = rowBytes
+		}
+		dst := cBuf[row*rowBytes+off : row*rowBytes+end]
+		ones := rowOnes[row]
+		if len(ones) == 0 {
+			clear(dst)
+			return
+		}
+		srcs = srcs[:0]
+		for _, kk := range ones {
+			srcs = append(srcs, bBuf[kk*rowBytes+off:kk*rowBytes+end])
+		}
+		acc := dst
+		if scratch != nil {
+			acc = scratch[:end-off]
+		}
+		gf.CopyRegion(acc, srcs[0])
+		xorGrouped(acc, srcs[1:], cfg.Fanin)
+		if scratch != nil {
+			gf.CopyRegion(dst, acc)
+		}
+	}
+
+	runRange := func(lo, hi int, overRows bool) {
+		srcs := make([][]byte, 0, cfg.K)
+		var scratch []byte
+		if cfg.Staged {
+			scratch = make([]byte, cfg.BlockWords*8)
+		}
+		if overRows {
+			for row := lo; row < hi; row++ {
+				for blk := 0; blk < nBlocks; blk++ {
+					processTile(row, blk, srcs, scratch)
+				}
+			}
+		} else {
+			for blk := lo; blk < hi; blk++ {
+				for row := 0; row < cfg.M; row++ {
+					processTile(row, blk, srcs, scratch)
+				}
+			}
+		}
+	}
+
+	workers := cfg.Workers
+	switch cfg.Parallel {
+	case ParallelRows:
+		parallelRanges(cfg.M, workers, func(lo, hi int) { runRange(lo, hi, true) })
+	case ParallelBlocks:
+		parallelRanges(nBlocks, workers, func(lo, hi int) { runRange(lo, hi, false) })
+	default:
+		if cfg.RowsOuter {
+			runRange(0, cfg.M, true)
+		} else {
+			runRange(0, nBlocks, false)
+		}
+	}
+	return nil
+}
+
+// maskRows converts an M x K bitmask buffer into per-row selection lists,
+// validating the 0-or-all-ones invariant of BitMask tensors.
+func maskRows(a Buffer, m, k int) ([][]int, error) {
+	rows := make([][]int, m)
+	for i := 0; i < m; i++ {
+		var ones []int
+		for j := 0; j < k; j++ {
+			switch a.Word(i*k + j) {
+			case 0:
+			case ^uint64(0):
+				ones = append(ones, j)
+			default:
+				return nil, fmt.Errorf("te: bitmask word (%d,%d) is %#x, want 0 or ^0", i, j, a.Word(i*k+j))
+			}
+		}
+		rows[i] = ones
+	}
+	return rows, nil
+}
+
+// xorGrouped XORs the sources into dst in passes of at most fanin sources,
+// dispatching to the widest fused kernel for each pass.
+func xorGrouped(dst []byte, srcs [][]byte, fanin int) {
+	for len(srcs) > 0 {
+		n := fanin
+		if n > len(srcs) {
+			n = len(srcs)
+		}
+		switch {
+		case n >= 8:
+			var g [8][]byte
+			copy(g[:], srcs[:8])
+			gf.XorRegion8(dst, &g)
+			srcs = srcs[8:]
+		case n >= 4:
+			gf.XorRegion4(dst, srcs[0], srcs[1], srcs[2], srcs[3])
+			srcs = srcs[4:]
+		case n >= 2:
+			gf.XorRegion2(dst, srcs[0], srcs[1])
+			srcs = srcs[2:]
+		default:
+			gf.XorRegion(dst, srcs[0])
+			srcs = srcs[1:]
+		}
+	}
+}
+
+// parallelRanges splits [0, n) into near-equal contiguous ranges across
+// workers goroutines and waits for completion.
+func parallelRanges(n, workers int, f func(lo, hi int)) {
+	if workers <= 1 || n <= 1 {
+		f(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// PackMask writes the M x K bit matrix rows (as boolean set-lists or a
+// predicate) into a BitMask buffer: bit set -> ^0, clear -> 0.
+func PackMask(buf Buffer, m, k int, bit func(i, j int) bool) error {
+	if len(buf) != m*k*8 {
+		return fmt.Errorf("te: mask buffer %d bytes, want %d", len(buf), m*k*8)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			v := uint64(0)
+			if bit(i, j) {
+				v = ^uint64(0)
+			}
+			buf.SetWord(i*k+j, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package te
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stmt is a node of the lowered loop IR.
+type Stmt interface {
+	stmtNode()
+}
+
+// ForStmt is a counted loop from 0 to IV.Extent-1.
+type ForStmt struct {
+	IV   *IterVar
+	Kind ForKind
+	Body Stmt
+}
+
+func (*ForStmt) stmtNode() {}
+
+// SeqStmt executes its children in order.
+type SeqStmt []Stmt
+
+func (SeqStmt) stmtNode() {}
+
+// StoreStmt writes Val to tensor T at the given indices.
+type StoreStmt struct {
+	T   *Tensor
+	Idx []Expr
+	Val Expr
+}
+
+func (*StoreStmt) stmtNode() {}
+
+// Module is a lowered program: an initialization nest (zeroing/identity
+// for reductions) followed by the main computation nest.
+type Module struct {
+	Out    *Tensor
+	Inputs []*Tensor
+	Body   Stmt
+}
+
+// Lower turns a schedule into loop IR, mirroring tvm.lower: an init nest
+// over the spatial leaves storing the reducer identity, then the full nest
+// storing the accumulated value. Non-reduction computes lower to a single
+// nest. The transformation is valid for any leaf order because commutative
+// reduction allows spatial and reduction loops to interleave freely once
+// initialization happens first.
+func Lower(s *Schedule) (*Module, error) {
+	op := s.op
+	red := findReduce(op.Body)
+
+	// Map each original axis to its reconstruction expression and build the
+	// substituted store indices and value expression.
+	subst := func(e Expr) Expr { return substExpr(e, s) }
+	storeIdx := make([]Expr, len(op.Axes))
+	for d, ax := range op.Axes {
+		storeIdx[d] = subst(V(ax))
+	}
+
+	var body Stmt
+	if red == nil {
+		body = s.buildNest(s.leaf, &StoreStmt{T: op.Out, Idx: storeIdx, Val: subst(op.Body)})
+	} else {
+		// Init nest over spatial leaves only.
+		var spatialLeaves []*IterVar
+		for _, l := range s.leaf {
+			if l.Kind == Spatial {
+				spatialLeaves = append(spatialLeaves, l)
+			}
+		}
+		initStore := &StoreStmt{T: op.Out, Idx: storeIdx, Val: &ConstExpr{V: red.Reducer.Identity}}
+		initNest := s.buildNest(spatialLeaves, initStore)
+
+		acc := &BinExpr{
+			Op: red.Reducer.Op,
+			L:  op.Out.At(storeIdx...),
+			R:  subst(red.Body),
+		}
+		update := &StoreStmt{T: op.Out, Idx: storeIdx, Val: acc}
+		body = SeqStmt{initNest, s.buildNest(s.leaf, update)}
+	}
+
+	return &Module{Out: op.Out, Inputs: op.Out.Inputs(), Body: body}, nil
+}
+
+// buildNest wraps stmt in loops for the given axes, outermost first.
+func (s *Schedule) buildNest(axes []*IterVar, stmt Stmt) Stmt {
+	for i := len(axes) - 1; i >= 0; i-- {
+		stmt = &ForStmt{IV: axes[i], Kind: s.kinds[axes[i]], Body: stmt}
+	}
+	return stmt
+}
+
+// substExpr rewrites references to split or fused axes into index
+// expressions over leaf variables. ReduceExpr nodes must have been peeled
+// before calling.
+func substExpr(e Expr, s *Schedule) Expr {
+	switch x := e.(type) {
+	case *VarExpr:
+		return s.resolve(x.IV)
+	case *ConstExpr:
+		return x
+	case *AffineExpr:
+		return &AffineExpr{A: substExpr(x.A, s), Scale: x.Scale, B: substExpr(x.B, s)}
+	case *DivExpr:
+		return &DivExpr{A: substExpr(x.A, s), Div: x.Div}
+	case *ModExpr:
+		return &ModExpr{A: substExpr(x.A, s), Mod: x.Mod}
+	case *LoadExpr:
+		idx := make([]Expr, len(x.Idx))
+		for i, ix := range x.Idx {
+			idx[i] = substExpr(ix, s)
+		}
+		return &LoadExpr{T: x.T, Idx: idx}
+	case *BinExpr:
+		return &BinExpr{Op: x.Op, L: substExpr(x.L, s), R: substExpr(x.R, s)}
+	case *ReduceExpr:
+		panic("te: reduce expression must be peeled before substitution")
+	default:
+		panic(fmt.Sprintf("te: unknown expression %T", e))
+	}
+}
+
+// Print renders the lowered IR as indented pseudo-code, the equivalent of
+// tvm.lower(..., simple_mode=True) that the paper's §8 plans to use to
+// inspect discovered optimizations.
+func (m *Module) Print() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// compute %s%v\n", m.Out.Name, m.Out.Shape)
+	printStmt(&b, m.Body, 0)
+	return b.String()
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch x := s.(type) {
+	case *ForStmt:
+		ann := ""
+		if x.Kind != Serial {
+			ann = " // " + x.Kind.String()
+		}
+		fmt.Fprintf(b, "%sfor %s in 0..%d {%s\n", ind, x.IV.Name, x.IV.Extent, ann)
+		printStmt(b, x.Body, depth+1)
+		fmt.Fprintf(b, "%s}\n", ind)
+	case SeqStmt:
+		for _, c := range x {
+			printStmt(b, c, depth)
+		}
+	case *StoreStmt:
+		idx := make([]string, len(x.Idx))
+		for i, e := range x.Idx {
+			idx[i] = e.String()
+		}
+		fmt.Fprintf(b, "%s%s[%s] = %s\n", ind, x.T.Name, strings.Join(idx, ", "), x.Val.String())
+	default:
+		fmt.Fprintf(b, "%s<unknown stmt %T>\n", ind, s)
+	}
+}

@@ -1,0 +1,107 @@
+package te
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// buildParallel returns a kernel with the requested parallel axis and
+// worker count, over a split column axis.
+func buildParallel(t *testing.T, m, k, n, block, workers int, axis ParallelAxis) (*Kernel, *Tensor, *Tensor, *Tensor) {
+	t.Helper()
+	a, b, c := ECComputeDecl(m, k, n)
+	s := CreateSchedule(c)
+	axes := s.Leaf()
+	i, j := axes[0], axes[1]
+	jo, ji, err := s.Split(j, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Vectorize(ji); err != nil {
+		t.Fatal(err)
+	}
+	switch axis {
+	case ParallelRows:
+		if err := s.Parallel(i); err != nil {
+			t.Fatal(err)
+		}
+	case ParallelBlocks:
+		if err := s.Parallel(jo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kern, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern.SetWorkers(workers)
+	return kern, a, b, c
+}
+
+// TestParallelKernelsMatchSerial exercises the goroutine pool with more
+// workers than this machine has cores; run with -race to check the range
+// partitioning.
+func TestParallelKernelsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, axis := range []ParallelAxis{ParallelRows, ParallelBlocks} {
+		for _, workers := range []int{2, 3, 8, 64} {
+			m, k, n := 7, 9, 64
+			kern, a, b, c := buildParallel(t, m, k, n, 16, workers, axis)
+			bind, abits, bw := makeECBindings(rng, a, b, c, m, k, n)
+			if err := kern.Exec(bind); err != nil {
+				t.Fatalf("axis=%v workers=%d: %v", axis, workers, err)
+			}
+			checkC(t, kern.Config().String(), bind, c, naiveEC(abits, bw, m, k, n))
+		}
+	}
+}
+
+// TestParallelMoreWorkersThanWork covers the clamp when workers exceed the
+// number of rows/blocks.
+func TestParallelMoreWorkersThanWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, k, n := 2, 3, 32 // 2 rows, 2 blocks of 16
+	for _, axis := range []ParallelAxis{ParallelRows, ParallelBlocks} {
+		kern, a, b, c := buildParallel(t, m, k, n, 16, 16, axis)
+		bind, abits, bw := makeECBindings(rng, a, b, c, m, k, n)
+		if err := kern.Exec(bind); err != nil {
+			t.Fatal(err)
+		}
+		checkC(t, "clamped", bind, c, naiveEC(abits, bw, m, k, n))
+	}
+}
+
+// TestKernelConcurrentExec runs one kernel from many goroutines with
+// disjoint output buffers — the concurrency contract engines rely on.
+func TestKernelConcurrentExec(t *testing.T) {
+	m, k, n := 8, 16, 128
+	kern, a, b, c := buildParallel(t, m, k, n, 32, 4, ParallelRows)
+	rng := rand.New(rand.NewSource(3))
+	bind0, abits, bw := makeECBindings(rng, a, b, c, m, k, n)
+	want := naiveEC(abits, bw, m, k, n)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	outs := make([]Buffer, 8)
+	for g := 0; g < 8; g++ {
+		outs[g] = NewBuffer(c)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			bind := Bindings{a: bind0[a], b: bind0[b], c: outs[g]}
+			errs[g] = kern.Exec(bind)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 8; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		for e, w := range want {
+			if outs[g].Word(e) != w {
+				t.Fatalf("goroutine %d: element %d wrong", g, e)
+			}
+		}
+	}
+}

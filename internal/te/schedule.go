@@ -1,0 +1,341 @@
+package te
+
+import (
+	"fmt"
+)
+
+// ForKind annotates how a loop should be realized, mirroring TVM's loop
+// annotations. The interpreter treats all kinds identically (annotations
+// never change semantics); the code generator maps them onto kernel
+// structure.
+type ForKind int
+
+const (
+	// Serial is an ordinary loop.
+	Serial ForKind = iota
+	// Unrolled requests unrolling; on the reduction axis the code generator
+	// realizes it as multi-source XOR fusion.
+	Unrolled
+	// Vectorized requests lane-parallel execution; the innermost vectorized
+	// axis becomes the uint64-word axis in generated kernels.
+	Vectorized
+	// ParallelFor requests multicore execution of the loop's iterations.
+	ParallelFor
+)
+
+func (k ForKind) String() string {
+	switch k {
+	case Serial:
+		return "serial"
+	case Unrolled:
+		return "unroll"
+	case Vectorized:
+		return "vectorize"
+	case ParallelFor:
+		return "parallel"
+	default:
+		return fmt.Sprintf("forkind(%d)", int(k))
+	}
+}
+
+// Schedule is a set of loop transformations over one compute stage,
+// mirroring tvm.te.create_schedule for a single-op graph. A schedule owns
+// the loop order (leaf axes), the split tree and per-axis annotations.
+type Schedule struct {
+	out    *Tensor
+	op     *ComputeOp
+	leaf   []*IterVar               // current loop order, outermost first
+	kinds  map[*IterVar]ForKind     // annotation per leaf
+	split  map[*IterVar][2]*IterVar // split var -> (outer, inner)
+	factor map[*IterVar]int         // split var -> inner factor
+	parent map[*IterVar]*IterVar    // leaf/derived var -> var it was split from
+	fused  map[*IterVar]Expr        // fused-away var -> expression over the fused var
+	staged bool                     // cache_write: accumulate tiles in a local buffer
+}
+
+// CreateSchedule starts a schedule for a computed tensor. The initial loop
+// order is the spatial axes followed by the reduction axis, all serial —
+// exactly the naive loop nest of Listings 1 and 2.
+func CreateSchedule(t *Tensor) *Schedule {
+	if t.Op == nil {
+		panic(fmt.Sprintf("te: cannot schedule placeholder %q", t.Name))
+	}
+	s := &Schedule{
+		out:    t,
+		op:     t.Op,
+		kinds:  map[*IterVar]ForKind{},
+		split:  map[*IterVar][2]*IterVar{},
+		factor: map[*IterVar]int{},
+		parent: map[*IterVar]*IterVar{},
+		fused:  map[*IterVar]Expr{},
+	}
+	s.leaf = append(s.leaf, t.Op.Axes...)
+	if r := findReduce(t.Op.Body); r != nil {
+		s.leaf = append(s.leaf, r.Axis)
+	}
+	return s
+}
+
+// findReduce returns the single top-level reduction in the body, if any.
+func findReduce(e Expr) *ReduceExpr {
+	if r, ok := e.(*ReduceExpr); ok {
+		return r
+	}
+	return nil
+}
+
+// Output returns the tensor being scheduled.
+func (s *Schedule) Output() *Tensor { return s.out }
+
+// Leaf returns the current loop order, outermost first.
+func (s *Schedule) Leaf() []*IterVar {
+	return append([]*IterVar(nil), s.leaf...)
+}
+
+// Kind returns the annotation of a leaf axis.
+func (s *Schedule) Kind(iv *IterVar) ForKind { return s.kinds[iv] }
+
+func (s *Schedule) leafIndex(iv *IterVar) int {
+	for i, v := range s.leaf {
+		if v == iv {
+			return i
+		}
+	}
+	return -1
+}
+
+// Split divides leaf axis iv into an (outer, inner) pair with the given
+// inner factor, which must evenly divide the axis extent (shapes are static
+// so this is checked immediately). Mirrors tvm Schedule[op].split.
+func (s *Schedule) Split(iv *IterVar, factor int) (outer, inner *IterVar, err error) {
+	pos := s.leafIndex(iv)
+	if pos < 0 {
+		return nil, nil, fmt.Errorf("te: %s is not a leaf axis", iv.Name)
+	}
+	if factor <= 0 || iv.Extent%factor != 0 {
+		return nil, nil, fmt.Errorf("te: factor %d does not divide extent %d of %s", factor, iv.Extent, iv.Name)
+	}
+	outer = &IterVar{Name: iv.Name + ".o", Extent: iv.Extent / factor, Kind: iv.Kind}
+	inner = &IterVar{Name: iv.Name + ".i", Extent: factor, Kind: iv.Kind}
+	s.split[iv] = [2]*IterVar{outer, inner}
+	s.factor[iv] = factor
+	s.parent[outer] = iv
+	s.parent[inner] = iv
+	nl := make([]*IterVar, 0, len(s.leaf)+1)
+	nl = append(nl, s.leaf[:pos]...)
+	nl = append(nl, outer, inner)
+	nl = append(nl, s.leaf[pos+1:]...)
+	s.leaf = nl
+	delete(s.kinds, iv)
+	return outer, inner, nil
+}
+
+// Fuse merges two adjacent leaf axes (outer immediately followed by inner)
+// into a single axis of extent outer.Extent * inner.Extent, mirroring tvm
+// Schedule[op].fuse. Both axes must have the same iteration kind. The fused
+// axis supports all annotations; the code generator does not specialize
+// fused schedules (interpretation still works), matching how TVM falls back
+// for layouts its templates do not cover.
+func (s *Schedule) Fuse(outer, inner *IterVar) (*IterVar, error) {
+	po := s.leafIndex(outer)
+	pi := s.leafIndex(inner)
+	if po < 0 || pi < 0 {
+		return nil, fmt.Errorf("te: fuse operands must be leaf axes")
+	}
+	if pi != po+1 {
+		return nil, fmt.Errorf("te: fuse requires adjacent axes (%s at %d, %s at %d)", outer.Name, po, inner.Name, pi)
+	}
+	if outer.Kind != inner.Kind {
+		return nil, fmt.Errorf("te: cannot fuse %s axis %s with %s axis %s",
+			kindName(outer.Kind), outer.Name, kindName(inner.Kind), inner.Name)
+	}
+	f := &IterVar{
+		Name:   outer.Name + "." + inner.Name + ".fused",
+		Extent: outer.Extent * inner.Extent,
+		Kind:   outer.Kind,
+	}
+	s.fused[outer] = &DivExpr{A: V(f), Div: inner.Extent}
+	s.fused[inner] = &ModExpr{A: V(f), Mod: inner.Extent}
+	nl := make([]*IterVar, 0, len(s.leaf)-1)
+	nl = append(nl, s.leaf[:po]...)
+	nl = append(nl, f)
+	nl = append(nl, s.leaf[pi+1:]...)
+	s.leaf = nl
+	delete(s.kinds, outer)
+	delete(s.kinds, inner)
+	return f, nil
+}
+
+func kindName(k IterKind) string {
+	if k == Reduction {
+		return "reduction"
+	}
+	return "spatial"
+}
+
+// Tile is the common split-split-reorder idiom over two spatial axes,
+// mirroring tvm Schedule[op].tile.
+func (s *Schedule) Tile(x, y *IterVar, fx, fy int) (xo, yo, xi, yi *IterVar, err error) {
+	xo, xi, err = s.Split(x, fx)
+	if err != nil {
+		return
+	}
+	yo, yi, err = s.Split(y, fy)
+	if err != nil {
+		return
+	}
+	err = s.Reorder(xo, yo, xi, yi)
+	return
+}
+
+// Reorder rearranges the listed leaf axes into the given order, keeping
+// them in the positions the listed set currently occupies (TVM's partial
+// reorder semantics). Every listed axis must be a distinct current leaf.
+func (s *Schedule) Reorder(order ...*IterVar) error {
+	if len(order) == 0 {
+		return nil
+	}
+	seen := map[*IterVar]bool{}
+	positions := make([]int, 0, len(order))
+	for _, iv := range order {
+		if seen[iv] {
+			return fmt.Errorf("te: axis %s listed twice in reorder", iv.Name)
+		}
+		seen[iv] = true
+		pos := s.leafIndex(iv)
+		if pos < 0 {
+			return fmt.Errorf("te: %s is not a leaf axis", iv.Name)
+		}
+		positions = append(positions, pos)
+	}
+	// Sort the occupied positions, then place the requested order into them.
+	for i := 1; i < len(positions); i++ {
+		for j := i; j > 0 && positions[j-1] > positions[j]; j-- {
+			positions[j-1], positions[j] = positions[j], positions[j-1]
+		}
+	}
+	for n, iv := range order {
+		s.leaf[positions[n]] = iv
+	}
+	return nil
+}
+
+func (s *Schedule) annotate(iv *IterVar, k ForKind) error {
+	if s.leafIndex(iv) < 0 {
+		return fmt.Errorf("te: %s is not a leaf axis", iv.Name)
+	}
+	if cur, ok := s.kinds[iv]; ok && cur != k {
+		return fmt.Errorf("te: %s already annotated %s", iv.Name, cur)
+	}
+	s.kinds[iv] = k
+	return nil
+}
+
+// Unroll requests unrolling of a leaf axis.
+func (s *Schedule) Unroll(iv *IterVar) error { return s.annotate(iv, Unrolled) }
+
+// CacheWrite requests that each output tile be accumulated in a compiler-
+// managed local buffer and written back once, mirroring tvm's
+// s.cache_write(C, "local"). Semantics are unchanged (the interpreter
+// ignores it); generated kernels keep the accumulator cache-resident
+// instead of re-reading the destination on every reduction pass, which
+// pays off when the destination tile does not stay in cache between passes.
+func (s *Schedule) CacheWrite() {
+	s.staged = true
+}
+
+// Staged reports whether CacheWrite was applied.
+func (s *Schedule) Staged() bool { return s.staged }
+
+// Vectorize requests lane-parallel execution of a leaf axis. The axis must
+// be spatial and innermost among the spatial leaves (reduction axes may sit
+// inside it), matching TVM's requirement that vectorized stores be
+// contiguous while reductions accumulate lanewise.
+func (s *Schedule) Vectorize(iv *IterVar) error {
+	if iv.Kind != Spatial {
+		return fmt.Errorf("te: cannot vectorize reduction axis %s", iv.Name)
+	}
+	pos := s.leafIndex(iv)
+	if pos < 0 {
+		return fmt.Errorf("te: %s is not a leaf axis", iv.Name)
+	}
+	for _, l := range s.leaf[pos+1:] {
+		if l.Kind == Spatial {
+			return fmt.Errorf("te: vectorized axis %s must be the innermost spatial axis (found %s inside)", iv.Name, l.Name)
+		}
+	}
+	return s.annotate(iv, Vectorized)
+}
+
+// Parallel requests multicore execution of a leaf axis. Only spatial axes
+// may run in parallel (parallel reduction would race on the accumulator).
+func (s *Schedule) Parallel(iv *IterVar) error {
+	if iv.Kind != Spatial {
+		return fmt.Errorf("te: cannot parallelize reduction axis %s", iv.Name)
+	}
+	return s.annotate(iv, ParallelFor)
+}
+
+// String renders the schedule as its loop order with annotations, e.g.
+// "j.o[8] -> i[32] -> k.o[10] -> k.i[8]:unroll -> j.i[256]:vectorize".
+func (s *Schedule) String() string {
+	out := ""
+	for n, l := range s.leaf {
+		if n > 0 {
+			out += " -> "
+		}
+		out += fmt.Sprintf("%s[%d]", l.Name, l.Extent)
+		if k, ok := s.kinds[l]; ok && k != Serial {
+			out += ":" + k.String()
+		}
+	}
+	return out
+}
+
+// rootOf follows the parent chain to the original compute/reduce axis a
+// leaf was derived from.
+func (s *Schedule) rootOf(iv *IterVar) *IterVar {
+	for {
+		p, ok := s.parent[iv]
+		if !ok {
+			return iv
+		}
+		iv = p
+	}
+}
+
+// resolve returns the expression reconstructing a variable purely in terms
+// of current leaf variables, expanding through any chain of splits and
+// fusions applied after the variable was created.
+func (s *Schedule) resolve(v *IterVar) Expr {
+	if e, ok := s.fused[v]; ok {
+		return s.resolveExpr(e)
+	}
+	if pair, ok := s.split[v]; ok {
+		return &AffineExpr{A: s.resolve(pair[0]), Scale: s.factor[v], B: s.resolve(pair[1])}
+	}
+	return V(v)
+}
+
+// resolveExpr expands every variable reference inside e via resolve.
+func (s *Schedule) resolveExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *VarExpr:
+		if _, split := s.split[x.IV]; !split {
+			if _, fz := s.fused[x.IV]; !fz {
+				return x
+			}
+		}
+		return s.resolve(x.IV)
+	case *ConstExpr:
+		return x
+	case *AffineExpr:
+		return &AffineExpr{A: s.resolveExpr(x.A), Scale: x.Scale, B: s.resolveExpr(x.B)}
+	case *DivExpr:
+		return &DivExpr{A: s.resolveExpr(x.A), Div: x.Div}
+	case *ModExpr:
+		return &ModExpr{A: s.resolveExpr(x.A), Mod: x.Mod}
+	default:
+		panic(fmt.Sprintf("te: cannot resolve expression %T", e))
+	}
+}

@@ -1,0 +1,571 @@
+package te
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// naiveEC computes the xor/and GEMM directly, as the semantics oracle.
+func naiveEC(a []bool, b []uint64, m, k, n int) []uint64 {
+	c := make([]uint64, m*n)
+	for i := 0; i < m; i++ {
+		for kk := 0; kk < k; kk++ {
+			if !a[i*k+kk] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c[i*n+j] ^= b[kk*n+j]
+			}
+		}
+	}
+	return c
+}
+
+func makeECBindings(rng *rand.Rand, a, b, c *Tensor, m, k, n int) (Bindings, []bool, []uint64) {
+	abits := make([]bool, m*k)
+	for i := range abits {
+		abits[i] = rng.Intn(2) == 1
+	}
+	bw := make([]uint64, k*n)
+	for i := range bw {
+		bw[i] = rng.Uint64()
+	}
+	ab := NewBuffer(a)
+	if err := PackMask(ab, m, k, func(i, j int) bool { return abits[i*k+j] }); err != nil {
+		panic(err)
+	}
+	bb := NewBuffer(b)
+	for i, w := range bw {
+		bb.SetWord(i, w)
+	}
+	return Bindings{a: ab, b: bb, c: NewBuffer(c)}, abits, bw
+}
+
+func checkC(t *testing.T, label string, bind Bindings, c *Tensor, want []uint64) {
+	t.Helper()
+	cb := bind[c]
+	for i, w := range want {
+		if cb.Word(i) != w {
+			t.Fatalf("%s: C[%d]=%#x want %#x", label, i, cb.Word(i), w)
+		}
+	}
+}
+
+func TestNaiveScheduleInterpretsCorrectly(t *testing.T) {
+	m, k, n := 5, 7, 9
+	a, b, c := ECComputeDecl(m, k, n)
+	s := CreateSchedule(c)
+	mod, err := Lower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	bind, abits, bw := makeECBindings(rng, a, b, c, m, k, n)
+	if err := Interpret(mod, bind); err != nil {
+		t.Fatal(err)
+	}
+	checkC(t, "naive", bind, c, naiveEC(abits, bw, m, k, n))
+}
+
+func TestGEMMInterpreted(t *testing.T) {
+	m, k, n := 3, 4, 5
+	a, b, c := GEMMComputeDecl(m, k, n)
+	s := CreateSchedule(c)
+	mod, err := Lower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	aw := make([]uint64, m*k)
+	bw := make([]uint64, k*n)
+	for i := range aw {
+		aw[i] = uint64(rng.Intn(1000))
+	}
+	for i := range bw {
+		bw[i] = uint64(rng.Intn(1000))
+	}
+	ab, bb := NewBuffer(a), NewBuffer(b)
+	for i, w := range aw {
+		ab.SetWord(i, w)
+	}
+	for i, w := range bw {
+		bb.SetWord(i, w)
+	}
+	bind := Bindings{a: ab, b: bb, c: NewBuffer(c)}
+	if err := Interpret(mod, bind); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var want uint64
+			for kk := 0; kk < k; kk++ {
+				want += aw[i*k+kk] * bw[kk*n+j]
+			}
+			if got := bind[c].Word(i*n + j); got != want {
+				t.Fatalf("GEMM C[%d,%d]=%d want %d", i, j, got, want)
+			}
+		}
+	}
+	// GEMM is not specialized by the codegen.
+	if _, err := Build(s); err == nil {
+		t.Error("Build should reject GEMM")
+	}
+}
+
+// applyRandomSchedule mutates the schedule with random legal primitives and
+// reports whether the result should still be Build-able.
+func applyRandomSchedule(t *testing.T, rng *rand.Rand, s *Schedule, m, k, n int) {
+	t.Helper()
+	axes := s.Leaf() // i, j, k
+	i, j, rk := axes[0], axes[1], axes[2]
+
+	var jo, ji *IterVar
+	if n%2 == 0 && rng.Intn(2) == 1 {
+		factors := divisorsOf(n)
+		f := factors[rng.Intn(len(factors))]
+		var err error
+		jo, ji, err = s.Split(j, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Vectorize(ji); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := s.Vectorize(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rng.Intn(2) == 1 {
+		for _, f := range []int{8, 4, 2} {
+			if k%f == 0 {
+				_, ki, err := s.Split(rk, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rng.Intn(2) == 1 {
+					if err := s.Unroll(ki); err != nil {
+						t.Fatal(err)
+					}
+				}
+				break
+			}
+		}
+	}
+	if jo != nil && rng.Intn(2) == 1 {
+		// Blocks-outer order.
+		if err := s.Reorder(jo, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		if err := s.Parallel(i); err != nil {
+			t.Fatal(err)
+		}
+	case 1:
+		if jo != nil {
+			if err := s.Parallel(jo); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func divisorsOf(n int) []int {
+	var d []int
+	for f := 1; f <= n; f++ {
+		if n%f == 0 {
+			d = append(d, f)
+		}
+	}
+	return d
+}
+
+// TestScheduledInterpreterMatchesNaive drives random schedules through
+// lowering and interpretation: schedules must never change results.
+func TestScheduledInterpreterMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		m, k, n := 2+rng.Intn(6), 2+rng.Intn(8), 4*(1+rng.Intn(6))
+		a, b, c := ECComputeDecl(m, k, n)
+		s := CreateSchedule(c)
+		applyRandomSchedule(t, rng, s, m, k, n)
+		mod, err := Lower(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bind, abits, bw := makeECBindings(rng, a, b, c, m, k, n)
+		if err := Interpret(mod, bind); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, mod.Print())
+		}
+		checkC(t, "scheduled", bind, c, naiveEC(abits, bw, m, k, n))
+	}
+}
+
+// TestKernelMatchesInterpreter is the codegen's core property test: for
+// random schedules the compiled kernel and the interpreter must agree.
+func TestKernelMatchesInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(12), 4*(1+rng.Intn(8))
+		a, b, c := ECComputeDecl(m, k, n)
+		s := CreateSchedule(c)
+		applyRandomSchedule(t, rng, s, m, k, n)
+
+		kern, err := Build(s)
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+		bind, abits, bw := makeECBindings(rng, a, b, c, m, k, n)
+		if err := kern.Exec(bind); err != nil {
+			t.Fatalf("trial %d: exec: %v", trial, err)
+		}
+		checkC(t, kern.Config().String(), bind, c, naiveEC(abits, bw, m, k, n))
+	}
+}
+
+func TestKernelConfigExtraction(t *testing.T) {
+	m, k, n := 16, 64, 1024
+	_, _, c := ECComputeDecl(m, k, n)
+	s := CreateSchedule(c)
+	axes := s.Leaf()
+	i, j, rk := axes[0], axes[1], axes[2]
+	jo, ji, err := s.Split(j, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Vectorize(ji); err != nil {
+		t.Fatal(err)
+	}
+	_, ki, err := s.Split(rk, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unroll(ki); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reorder(jo, i); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Parallel(jo); err != nil {
+		t.Fatal(err)
+	}
+	kern, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := kern.Config()
+	if cfg.BlockWords != 256 || cfg.Fanin != 4 || cfg.RowsOuter || cfg.Parallel != ParallelBlocks {
+		t.Fatalf("unexpected config %+v", cfg)
+	}
+	kern.SetWorkers(3)
+	if kern.Config().Workers != 3 {
+		t.Error("SetWorkers didn't apply")
+	}
+	kern.SetWorkers(0)
+	if kern.Config().Workers != 3 {
+		t.Error("SetWorkers(0) should be ignored")
+	}
+	if cfg.String() == "" {
+		t.Error("config string empty")
+	}
+}
+
+func TestBuildRejectsNonVectorized(t *testing.T) {
+	_, _, c := ECComputeDecl(4, 4, 8)
+	s := CreateSchedule(c)
+	if _, err := Build(s); err == nil {
+		t.Error("Build should require a vectorized innermost axis")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	_, _, c := ECComputeDecl(4, 6, 8)
+	s := CreateSchedule(c)
+	axes := s.Leaf()
+	i, j, rk := axes[0], axes[1], axes[2]
+
+	if _, _, err := s.Split(j, 3); err == nil {
+		t.Error("non-dividing split accepted")
+	}
+	if _, _, err := s.Split(&IterVar{Name: "x", Extent: 4}, 2); err == nil {
+		t.Error("split of non-leaf accepted")
+	}
+	if err := s.Vectorize(rk); err == nil {
+		t.Error("vectorizing reduction accepted")
+	}
+	if err := s.Vectorize(i); err == nil {
+		t.Error("vectorizing non-innermost accepted")
+	}
+	if err := s.Parallel(rk); err == nil {
+		t.Error("parallel reduction accepted")
+	}
+	if err := s.Reorder(i, i); err == nil {
+		t.Error("duplicate reorder accepted")
+	}
+	if err := s.Reorder(&IterVar{Name: "x", Extent: 4}); err == nil {
+		t.Error("reorder of non-leaf accepted")
+	}
+	if err := s.Unroll(&IterVar{Name: "x", Extent: 4}); err == nil {
+		t.Error("unroll of non-leaf accepted")
+	}
+	if err := s.Vectorize(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Parallel(j); err == nil {
+		t.Error("conflicting annotation accepted")
+	}
+	if err := s.Reorder(); err != nil {
+		t.Error("empty reorder should be a no-op")
+	}
+}
+
+func TestTile(t *testing.T) {
+	m, k, n := 8, 4, 16
+	a, b, c := ECComputeDecl(m, k, n)
+	s := CreateSchedule(c)
+	axes := s.Leaf()
+	io, jo, ii, ji, err := s.Tile(axes[0], axes[1], 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := s.Leaf()
+	// Expect order io, jo, ii, ji, k.
+	want := []*IterVar{io, jo, ii, ji, axes[2]}
+	for n, iv := range want {
+		if leaf[n] != iv {
+			t.Fatalf("leaf[%d]=%s want %s", n, leaf[n].Name, iv.Name)
+		}
+	}
+	mod, err := Lower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	bind, abits, bw := makeECBindings(rng, a, b, c, m, k, n)
+	if err := Interpret(mod, bind); err != nil {
+		t.Fatal(err)
+	}
+	checkC(t, "tiled", bind, c, naiveEC(abits, bw, m, k, n))
+}
+
+func TestPrintShowsAnnotations(t *testing.T) {
+	_, _, c := ECComputeDecl(4, 4, 16)
+	s := CreateSchedule(c)
+	axes := s.Leaf()
+	if err := s.Vectorize(axes[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Parallel(axes[0]); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Lower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mod.Print()
+	for _, want := range []string{"vectorize", "parallel", "for i in 0..4", "C[i, j]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed IR missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBindingsValidation(t *testing.T) {
+	a, b, c := ECComputeDecl(2, 2, 8)
+	s := CreateSchedule(c)
+	axes := s.Leaf()
+	if err := s.Vectorize(axes[1]); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Lower(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := Bindings{a: NewBuffer(a), b: NewBuffer(b)} // c missing
+	if err := Interpret(mod, bind); err == nil {
+		t.Error("interpreter accepted missing binding")
+	}
+	if err := kern.Exec(bind); err == nil {
+		t.Error("kernel accepted missing binding")
+	}
+	bind[c] = make(Buffer, 8) // wrong size
+	if err := kern.Exec(bind); err == nil {
+		t.Error("kernel accepted wrong-size binding")
+	}
+	// Invalid mask word.
+	bind[c] = NewBuffer(c)
+	bind[a].SetWord(0, 42)
+	if err := kern.Exec(bind); err == nil {
+		t.Error("kernel accepted invalid bitmask word")
+	}
+}
+
+func TestPackMask(t *testing.T) {
+	a := Placeholder("A", BitMask, 2, 3)
+	buf := NewBuffer(a)
+	if err := PackMask(buf, 2, 3, func(i, j int) bool { return i == j }); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Word(0) != ^uint64(0) || buf.Word(1) != 0 || buf.Word(4) != ^uint64(0) {
+		t.Error("PackMask content wrong")
+	}
+	if err := PackMask(buf[:8], 2, 3, func(i, j int) bool { return false }); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestDeclValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Placeholder("x", Word64) },
+		func() { Placeholder("x", Word64, 0) },
+		func() { Compute("x", []int{2}, Word64, func([]*IterVar) Expr { return nil }) },
+		func() { ReduceAxis("k", 0) },
+		func() { CreateSchedule(Placeholder("x", Word64, 2)) },
+		func() { Placeholder("A", Word64, 2, 2).At(V(&IterVar{Name: "i"})) },
+		func() { SumReducer.Reduce(&ConstExpr{}, &IterVar{Name: "i", Kind: Spatial}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	a, _, _ := ECComputeDecl(2, 2, 2)
+	iv := &IterVar{Name: "i", Extent: 2}
+	e := Xor(And(a.At(V(iv), &ConstExpr{V: 1}), &ConstExpr{V: 7}), Add(Mul(V(iv), V(iv)), V(iv)))
+	s := e.String()
+	for _, want := range []string{"A[i, 1]", "&", "^", "*", "+"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("expr string %q missing %q", s, want)
+		}
+	}
+	ae := &AffineExpr{A: V(iv), Scale: 4, B: &ConstExpr{V: 2}}
+	if !strings.Contains(ae.String(), "*4") {
+		t.Error("affine string wrong")
+	}
+	if Word64.String() != "word64" || BitMask.String() != "bitmask" {
+		t.Error("dtype strings wrong")
+	}
+	for _, k := range []ForKind{Serial, Unrolled, Vectorized, ParallelFor} {
+		if k.String() == "" {
+			t.Error("forkind string empty")
+		}
+	}
+}
+
+// TestStagedKernelMatchesUnstaged: cache_write is a pure performance
+// transform — staged and unstaged kernels must agree bit for bit on random
+// schedules.
+func TestStagedKernelMatchesUnstaged(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(10), 4*(1+rng.Intn(8))
+		build := func(staged bool) (*Kernel, *Tensor, *Tensor, *Tensor) {
+			a, b, c := ECComputeDecl(m, k, n)
+			s := CreateSchedule(c)
+			axes := s.Leaf()
+			j := axes[1]
+			word := j
+			if n%4 == 0 && rng.Intn(2) == 1 {
+				_, ji, err := s.Split(j, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				word = ji
+			}
+			if err := s.Vectorize(word); err != nil {
+				t.Fatal(err)
+			}
+			if staged {
+				s.CacheWrite()
+				if !s.Staged() {
+					t.Fatal("Staged() false after CacheWrite")
+				}
+			}
+			kern, err := Build(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kern.Config().Staged != staged {
+				t.Fatalf("config staged=%v want %v", kern.Config().Staged, staged)
+			}
+			return kern, a, b, c
+		}
+		// Build both over the same RNG draw sequence: consume the split coin
+		// once by cloning the rng state via a fixed decision per trial.
+		splitCoin := rng.Int63()
+		mkRng := func() *rand.Rand { return rand.New(rand.NewSource(splitCoin)) }
+		rng = mkRng()
+		k1, a1, b1, c1 := build(false)
+		rng = mkRng()
+		k2, a2, b2, c2 := build(true)
+
+		dataRng := rand.New(rand.NewSource(int64(trial)))
+		bind1, abits, bw := makeECBindings(dataRng, a1, b1, c1, m, k, n)
+		if err := k1.Exec(bind1); err != nil {
+			t.Fatal(err)
+		}
+		bind2 := Bindings{a2: bind1[a1], b2: bind1[b1], c2: NewBuffer(c2)}
+		if err := k2.Exec(bind2); err != nil {
+			t.Fatal(err)
+		}
+		want := naiveEC(abits, bw, m, k, n)
+		for e, wv := range want {
+			if bind1[c1].Word(e) != wv || bind2[c2].Word(e) != wv {
+				t.Fatalf("trial %d: staged/unstaged mismatch at %d", trial, e)
+			}
+		}
+		rng = rand.New(rand.NewSource(int64(trial) + 1000))
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	_, _, c := ECComputeDecl(4, 8, 64)
+	s := CreateSchedule(c)
+	axes := s.Leaf()
+	jo, ji, err := s.Split(axes[1], 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = jo
+	if err := s.Vectorize(ji); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Parallel(axes[0]); err != nil {
+		t.Fatal(err)
+	}
+	str := s.String()
+	for _, want := range []string{"i[4]:parallel", "j.o[4]", "j.i[16]:vectorize", "k[8]", " -> "} {
+		if !strings.Contains(str, want) {
+			t.Errorf("schedule string %q missing %q", str, want)
+		}
+	}
+}
+
+func TestInputs(t *testing.T) {
+	a, b, c := ECComputeDecl(2, 3, 4)
+	ins := c.Inputs()
+	if len(ins) != 2 {
+		t.Fatalf("Inputs=%d want 2", len(ins))
+	}
+	seen := map[*Tensor]bool{ins[0]: true, ins[1]: true}
+	if !seen[a] || !seen[b] {
+		t.Error("Inputs missing a tensor")
+	}
+	if a.Inputs() != nil {
+		t.Error("placeholder should have no inputs")
+	}
+}

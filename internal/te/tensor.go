@@ -1,0 +1,161 @@
+package te
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Tensor is a named, statically shaped operand. A tensor is either a
+// placeholder (an input bound at execution time) or the output of a
+// ComputeOp.
+type Tensor struct {
+	Name  string
+	Shape []int
+	DType DType
+	Op    *ComputeOp // nil for placeholders
+}
+
+// Placeholder declares an input tensor, mirroring tvm.te.placeholder.
+func Placeholder(name string, dtype DType, shape ...int) *Tensor {
+	checkShape(name, shape)
+	return &Tensor{Name: name, Shape: shape, DType: dtype}
+}
+
+func checkShape(name string, shape []int) {
+	if len(shape) == 0 {
+		panic(fmt.Sprintf("te: tensor %q has empty shape", name))
+	}
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("te: tensor %q has non-positive dimension %d", name, d))
+		}
+	}
+}
+
+// Elems returns the number of elements.
+func (t *Tensor) Elems() int {
+	n := 1
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Bytes returns the buffer size in bytes a binding for this tensor needs.
+func (t *Tensor) Bytes() int { return t.Elems() * t.DType.ElemBytes() }
+
+// At builds a load expression for this tensor at the given index
+// expressions, one per dimension.
+func (t *Tensor) At(idx ...Expr) Expr {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("te: tensor %q indexed with %d indices, has %d dims", t.Name, len(idx), len(t.Shape)))
+	}
+	return &LoadExpr{T: t, Idx: idx}
+}
+
+// ComputeOp defines an output tensor elementwise from an expression over
+// its spatial axes (and any reduction axes inside the expression).
+type ComputeOp struct {
+	Out  *Tensor
+	Axes []*IterVar // spatial axes, one per output dimension
+	Body Expr
+}
+
+// Compute declares a computed tensor, mirroring tvm.te.compute: shape gives
+// the output dimensions and f receives one spatial IterVar per dimension,
+// returning the element expression. This is lines 6-7 / 11-12 of the
+// paper's Listing 3.
+func Compute(name string, shape []int, dtype DType, f func(iv []*IterVar) Expr) *Tensor {
+	checkShape(name, shape)
+	axes := make([]*IterVar, len(shape))
+	axisNames := []string{"i", "j", "l", "m"}
+	for d, ext := range shape {
+		an := fmt.Sprintf("ax%d", d)
+		if d < len(axisNames) {
+			an = axisNames[d]
+		}
+		axes[d] = &IterVar{Name: an, Extent: ext, Kind: Spatial}
+	}
+	body := f(axes)
+	if body == nil {
+		panic(fmt.Sprintf("te: compute %q returned nil body", name))
+	}
+	out := &Tensor{Name: name, Shape: shape, DType: dtype}
+	out.Op = &ComputeOp{Out: out, Axes: axes, Body: body}
+	return out
+}
+
+// Buffer is an execution-time binding for a tensor: a byte slice holding
+// the tensor's elements row-major as little-endian 8-byte words. Using raw
+// bytes (rather than []uint64) lets erasure-coding callers pass data and
+// parity stripes through with zero copies — the contiguous stripe of a
+// (k, r, w) code, read as a (k*w) x planeWords row-major matrix, is exactly
+// the GEMM's B operand (see internal/core).
+type Buffer []byte
+
+// NewBuffer allocates a zeroed buffer sized for t.
+func NewBuffer(t *Tensor) Buffer { return make(Buffer, t.Bytes()) }
+
+// Word returns element e (flat index) of the buffer.
+func (b Buffer) Word(e int) uint64 {
+	return binary.LittleEndian.Uint64(b[e*8:])
+}
+
+// SetWord stores element e (flat index).
+func (b Buffer) SetWord(e int, v uint64) {
+	binary.LittleEndian.PutUint64(b[e*8:], v)
+}
+
+// Bindings maps tensors to their buffers for one execution.
+type Bindings map[*Tensor]Buffer
+
+// bind validates that every placeholder and output in the program has a
+// correctly sized buffer.
+func (bn Bindings) check(tensors ...*Tensor) error {
+	for _, t := range tensors {
+		buf, ok := bn[t]
+		if !ok {
+			return fmt.Errorf("te: tensor %q not bound", t.Name)
+		}
+		if len(buf) != t.Bytes() {
+			return fmt.Errorf("te: tensor %q bound to %d bytes, want %d", t.Name, len(buf), t.Bytes())
+		}
+	}
+	return nil
+}
+
+// collectInputs returns the placeholder tensors the expression reads.
+func collectInputs(e Expr, into map[*Tensor]bool) {
+	switch x := e.(type) {
+	case *LoadExpr:
+		if x.T.Op == nil {
+			into[x.T] = true
+		}
+		for _, ix := range x.Idx {
+			collectInputs(ix, into)
+		}
+	case *BinExpr:
+		collectInputs(x.L, into)
+		collectInputs(x.R, into)
+	case *ReduceExpr:
+		collectInputs(x.Body, into)
+	case *AffineExpr:
+		collectInputs(x.A, into)
+		collectInputs(x.B, into)
+	}
+}
+
+// Inputs returns the placeholder tensors a computed tensor depends on, in
+// unspecified order.
+func (t *Tensor) Inputs() []*Tensor {
+	if t.Op == nil {
+		return nil
+	}
+	set := map[*Tensor]bool{}
+	collectInputs(t.Op.Body, set)
+	out := make([]*Tensor, 0, len(set))
+	for in := range set {
+		out = append(out, in)
+	}
+	return out
+}

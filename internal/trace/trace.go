@@ -1,0 +1,219 @@
+// Package trace synthesizes and replays storage workloads against the
+// simulated cluster — the "measure the performance on real storage
+// workloads" leg of §8's future-work plan, at simulation scale. A workload
+// is a sequence of puts, gets, node failures and rebuilds; the replayer
+// keeps a shadow copy of every object so each read doubles as an
+// end-to-end correctness check of the erasure-coding path under churn.
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"gemmec/internal/cluster"
+)
+
+// OpKind enumerates workload operations.
+type OpKind int
+
+const (
+	// OpPut writes an object.
+	OpPut OpKind = iota
+	// OpGet reads an object back and verifies it.
+	OpGet
+	// OpFail takes a node down.
+	OpFail
+	// OpRebuild replaces a down node and rebuilds its shards.
+	OpRebuild
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpFail:
+		return "fail"
+	case OpRebuild:
+		return "rebuild"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one workload event.
+type Op struct {
+	Kind   OpKind
+	Object string
+	Size   int // for OpPut
+	Node   int // for OpFail / OpRebuild
+}
+
+// Workload is an ordered op sequence.
+type Workload struct {
+	Ops []Op
+}
+
+// SynthConfig shapes Synthesize's output.
+type SynthConfig struct {
+	// Objects is the object-name population size.
+	Objects int
+	// MinSize and MaxSize bound object sizes (log-uniformly distributed,
+	// matching the heavy-tailed size distributions of object stores).
+	MinSize, MaxSize int
+	// ReadFraction of ops are gets (default 0.7); of the rest, most are
+	// puts with occasional failure/rebuild pairs.
+	ReadFraction float64
+	// FailureEvery inserts a fail+rebuild pair roughly every N ops
+	// (0 disables failures).
+	FailureEvery int
+	// Nodes in the target cluster (for failure targeting).
+	Nodes int
+}
+
+// DefaultSynthConfig returns a read-mostly object-store mix.
+func DefaultSynthConfig(nodes int) SynthConfig {
+	return SynthConfig{
+		Objects:      16,
+		MinSize:      4 << 10,
+		MaxSize:      4 << 20,
+		ReadFraction: 0.7,
+		FailureEvery: 40,
+		Nodes:        nodes,
+	}
+}
+
+// Synthesize generates a deterministic workload of n ops. Every object is
+// put before it is first read, and failures are always repaired before the
+// next failure so the cluster never exceeds single-failure degradation
+// (multi-failure patterns are exercised directly by the cluster tests).
+func Synthesize(seed int64, n int, cfg SynthConfig) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	if cfg.Objects <= 0 {
+		cfg.Objects = 16
+	}
+	if cfg.MinSize <= 0 {
+		cfg.MinSize = 4 << 10
+	}
+	if cfg.MaxSize < cfg.MinSize {
+		cfg.MaxSize = cfg.MinSize
+	}
+	if cfg.ReadFraction <= 0 || cfg.ReadFraction >= 1 {
+		cfg.ReadFraction = 0.7
+	}
+
+	var w Workload
+	written := map[string]bool{}
+	downNode := -1
+	name := func(i int) string { return fmt.Sprintf("obj-%03d", i) }
+	sizeFor := func() int {
+		lo, hi := float64(cfg.MinSize), float64(cfg.MaxSize)
+		// log-uniform in [lo, hi]
+		u := rng.Float64()
+		return int(lo * pow(hi/lo, u))
+	}
+
+	for len(w.Ops) < n {
+		if cfg.FailureEvery > 0 && len(w.Ops) > 0 && len(w.Ops)%cfg.FailureEvery == 0 && cfg.Nodes > 0 {
+			if downNode < 0 {
+				downNode = rng.Intn(cfg.Nodes)
+				w.Ops = append(w.Ops, Op{Kind: OpFail, Node: downNode})
+			} else {
+				w.Ops = append(w.Ops, Op{Kind: OpRebuild, Node: downNode})
+				downNode = -1
+			}
+			continue
+		}
+		obj := name(rng.Intn(cfg.Objects))
+		if written[obj] && rng.Float64() < cfg.ReadFraction {
+			w.Ops = append(w.Ops, Op{Kind: OpGet, Object: obj})
+		} else {
+			w.Ops = append(w.Ops, Op{Kind: OpPut, Object: obj, Size: sizeFor()})
+			written[obj] = true
+		}
+	}
+	// Leave the cluster healthy.
+	if downNode >= 0 {
+		w.Ops = append(w.Ops, Op{Kind: OpRebuild, Node: downNode})
+	}
+	return w
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }
+
+// Stats aggregates a replay.
+type Stats struct {
+	Puts, Gets    int
+	DegradedGets  int
+	Fails         int
+	Rebuilds      int
+	BytesWritten  int64
+	BytesRead     int64
+	RepairedBytes int64
+	RepairTraffic int64
+	Elapsed       time.Duration
+}
+
+// Replay executes the workload against the cluster, verifying every read
+// against a shadow copy. It fails fast on any divergence — a replay is as
+// much a correctness harness as a performance one.
+func Replay(c *cluster.Cluster, w Workload, seed int64) (Stats, error) {
+	var st Stats
+	rng := rand.New(rand.NewSource(seed))
+	shadow := map[string][]byte{}
+	start := time.Now()
+	for i, op := range w.Ops {
+		switch op.Kind {
+		case OpPut:
+			data := make([]byte, op.Size)
+			rng.Read(data)
+			if err := c.Put(op.Object, data); err != nil {
+				return st, fmt.Errorf("trace: op %d put %s: %w", i, op.Object, err)
+			}
+			shadow[op.Object] = data
+			st.Puts++
+			st.BytesWritten += int64(op.Size)
+		case OpGet:
+			want, ok := shadow[op.Object]
+			if !ok {
+				return st, fmt.Errorf("trace: op %d reads unwritten object %s", i, op.Object)
+			}
+			got, degraded, err := c.Get(op.Object)
+			if err != nil {
+				return st, fmt.Errorf("trace: op %d get %s: %w", i, op.Object, err)
+			}
+			if !bytes.Equal(got, want) {
+				return st, fmt.Errorf("trace: op %d: object %s corrupted", i, op.Object)
+			}
+			st.Gets++
+			if degraded {
+				st.DegradedGets++
+			}
+			st.BytesRead += int64(len(got))
+		case OpFail:
+			if err := c.FailNode(op.Node); err != nil {
+				return st, fmt.Errorf("trace: op %d fail node %d: %w", i, op.Node, err)
+			}
+			st.Fails++
+		case OpRebuild:
+			if err := c.ReplaceNode(op.Node); err != nil {
+				return st, fmt.Errorf("trace: op %d replace node %d: %w", i, op.Node, err)
+			}
+			rst, err := c.Rebuild(op.Node)
+			if err != nil {
+				return st, fmt.Errorf("trace: op %d rebuild node %d: %w", i, op.Node, err)
+			}
+			st.Rebuilds++
+			st.RepairedBytes += rst.BytesWritten
+			st.RepairTraffic += rst.BytesRead
+		default:
+			return st, fmt.Errorf("trace: op %d has unknown kind %d", i, op.Kind)
+		}
+	}
+	st.Elapsed = time.Since(start)
+	return st, nil
+}

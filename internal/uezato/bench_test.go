@@ -1,0 +1,49 @@
+package uezato
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchStripe(b *testing.B, opts ...Option) (*Coder, []byte, []byte) {
+	b.Helper()
+	c, err := New(10, 4, 8, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	unit := 128 << 10
+	data := make([]byte, 10*unit)
+	rand.New(rand.NewSource(1)).Read(data)
+	return c, data, make([]byte, 4*unit)
+}
+
+func BenchmarkEncodeCSE(b *testing.B) {
+	c, data, parity := benchStripe(b)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.EncodeStripe(data, parity, 128<<10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeNoCSE(b *testing.B) {
+	c, data, parity := benchStripe(b, WithoutCSE())
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.EncodeStripe(data, parity, 128<<10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSECompile(b *testing.B) {
+	// The program-optimization cost itself (per coder construction).
+	for i := 0; i < b.N; i++ {
+		if _, err := New(10, 4, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

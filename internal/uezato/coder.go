@@ -1,0 +1,311 @@
+package uezato
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gemmec/internal/bitmatrix"
+	"gemmec/internal/gf"
+	"gemmec/internal/matrix"
+)
+
+// DefaultBlockBytes is the default cache-blocking factor. The paper sweeps
+// this parameter for the Uezato baseline and finds 2 KB typically best on
+// its Xeon D platform (§6.1).
+const DefaultBlockBytes = 2048
+
+// Coder encodes and reconstructs with an optimized XOR program executed in
+// cache-sized blocks.
+type Coder struct {
+	k, r, w    int
+	blockBytes int
+	coding     *matrix.Matrix
+	gen        *matrix.Matrix
+	prog       *Program
+	rawXORs    int // XOR count before CSE, for the optimization-report APIs
+
+	mu       sync.Mutex
+	decoders map[string]*Program // CSE-optimized programs per erasure pattern
+}
+
+// Option configures a Coder.
+type Option func(*Coder)
+
+// WithBlockBytes sets the cache-blocking factor in bytes (must be a
+// positive multiple of 8).
+func WithBlockBytes(n int) Option {
+	return func(c *Coder) { c.blockBytes = n }
+}
+
+// WithoutCSE disables common-subexpression elimination, leaving the naive
+// program. Used by the ablation experiments.
+func WithoutCSE() Option {
+	return func(c *Coder) { c.rawXORs = -1 } // sentinel consumed in build
+}
+
+// New builds a (k, r) coder over GF(2^w) with the normalized Cauchy matrix.
+func New(k, r, w int, opts ...Option) (*Coder, error) {
+	f, err := gf.NewField(uint(w))
+	if err != nil {
+		return nil, err
+	}
+	coding, err := matrix.CauchyGood(f, r, k)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithCoding(coding, opts...)
+}
+
+// NewWithCoding builds a coder over an explicit coding matrix.
+func NewWithCoding(coding *matrix.Matrix, opts ...Option) (*Coder, error) {
+	gen, err := matrix.SystematicGenerator(coding)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coder{
+		k:          coding.Cols(),
+		r:          coding.Rows(),
+		w:          int(coding.Field().W()),
+		blockBytes: DefaultBlockBytes,
+		coding:     coding.Clone(),
+		gen:        gen,
+		decoders:   map[string]*Program{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.blockBytes <= 0 || c.blockBytes%8 != 0 {
+		return nil, fmt.Errorf("uezato: block bytes %d must be a positive multiple of 8", c.blockBytes)
+	}
+	skipCSE := c.rawXORs == -1
+	c.prog = FromBitMatrix(bitmatrix.FromGF(coding))
+	c.rawXORs = c.prog.XORCount()
+	if !skipCSE {
+		c.prog.EliminateCommonSubexpressions()
+	}
+	if err := c.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// K returns the number of data units.
+func (c *Coder) K() int { return c.k }
+
+// R returns the number of parity units.
+func (c *Coder) R() int { return c.r }
+
+// W returns the field word size.
+func (c *Coder) W() int { return c.w }
+
+// BlockBytes returns the configured blocking factor.
+func (c *Coder) BlockBytes() int { return c.blockBytes }
+
+// CodingMatrix returns a copy of the r x k coding matrix.
+func (c *Coder) CodingMatrix() *matrix.Matrix { return c.coding.Clone() }
+
+// XORCounts reports the per-byte XOR operation counts before and after
+// common-subexpression elimination — the optimization's headline metric.
+func (c *Coder) XORCounts() (raw, optimized int) {
+	return c.rawXORs, c.prog.XORCount()
+}
+
+// Program returns the optimized XOR program (shared, do not mutate).
+func (c *Coder) Program() *Program { return c.prog }
+
+// execProgram runs prog block-by-block: for each block of the plane axis,
+// every temp and output is computed over just that block before moving on,
+// so temps live in a small reusable scratch arena that stays cache-resident.
+func execProgram(prog *Program, blockBytes, planeSize int, inPlanes, outPlanes [][]byte, scratch []byte) {
+	need := len(prog.Temps) * blockBytes
+	if len(scratch) < need {
+		panic(fmt.Sprintf("uezato: scratch %d < needed %d", len(scratch), need))
+	}
+	temp := func(i, n int) []byte { return scratch[i*blockBytes : i*blockBytes+n] }
+
+	for off := 0; off < planeSize; off += blockBytes {
+		n := blockBytes
+		if off+n > planeSize {
+			n = planeSize - off
+		}
+		operand := func(r Ref) []byte {
+			if r.Kind == Input {
+				return inPlanes[r.Idx][off : off+n]
+			}
+			return temp(r.Idx, n)
+		}
+		for i, t := range prog.Temps {
+			dst := temp(i, n)
+			a, b := operand(t.A), operand(t.B)
+			for x := 0; x < n; x++ {
+				dst[x] = a[x] ^ b[x]
+			}
+		}
+		for oi, out := range prog.Outputs {
+			dst := outPlanes[oi][off : off+n]
+			if len(out) == 0 {
+				clear(dst)
+				continue
+			}
+			gf.CopyRegion(dst, operand(out[0]))
+			for _, r := range out[1:] {
+				gf.XorRegion(dst, operand(r))
+			}
+		}
+	}
+}
+
+// scratchFor allocates the per-call temp arena.
+func (c *Coder) scratchFor(prog *Program) []byte {
+	return make([]byte, len(prog.Temps)*c.blockBytes)
+}
+
+// EncodeStripe encodes a contiguous data stripe into a contiguous parity
+// stripe. unitSize must be a positive multiple of 8*w.
+func (c *Coder) EncodeStripe(data, parity []byte, unitSize int) error {
+	l, err := bitmatrix.NewLayout(c.k, c.r, c.w, unitSize)
+	if err != nil {
+		return err
+	}
+	if err := l.CheckData(data); err != nil {
+		return err
+	}
+	if err := l.CheckParity(parity); err != nil {
+		return err
+	}
+	execProgram(c.prog, c.blockBytes, l.PlaneSize, l.Planes(data, c.k), l.Planes(parity, c.r), c.scratchFor(c.prog))
+	return nil
+}
+
+// Encode computes parity units from data units given as separate
+// allocations, matching the baseline APIs of the other coders.
+func (c *Coder) Encode(data, parity [][]byte) error {
+	if len(data) != c.k || len(data) == 0 {
+		return fmt.Errorf("uezato: %d data units, want k=%d", len(data), c.k)
+	}
+	unitSize := len(data[0])
+	l, err := bitmatrix.NewLayout(c.k, c.r, c.w, unitSize)
+	if err != nil {
+		return err
+	}
+	if len(parity) != c.r {
+		return fmt.Errorf("uezato: %d parity units, want r=%d", len(parity), c.r)
+	}
+	inPlanes := make([][]byte, c.k*c.w)
+	for u, d := range data {
+		if len(d) != unitSize {
+			return fmt.Errorf("uezato: data unit %d has %d bytes, want %d", u, len(d), unitSize)
+		}
+		copy(inPlanes[u*c.w:], l.UnitPlanes(d))
+	}
+	outPlanes := make([][]byte, c.r*c.w)
+	for u, p := range parity {
+		if len(p) != unitSize {
+			return fmt.Errorf("uezato: parity unit %d has %d bytes, want %d", u, len(p), unitSize)
+		}
+		copy(outPlanes[u*c.w:], l.UnitPlanes(p))
+	}
+	execProgram(c.prog, c.blockBytes, l.PlaneSize, inPlanes, outPlanes, c.scratchFor(c.prog))
+	return nil
+}
+
+// Reconstruct rebuilds every nil unit in place (k data units followed by r
+// parity units). The reconstruction program is built and CSE-optimized per
+// erasure pattern, as Uezato's library compiles decoders on demand.
+func (c *Coder) Reconstruct(units [][]byte) error {
+	if len(units) != c.k+c.r {
+		return fmt.Errorf("uezato: %d units, want k+r=%d", len(units), c.k+c.r)
+	}
+	unitSize := -1
+	var survivors, lost []int
+	for i, u := range units {
+		if u == nil {
+			lost = append(lost, i)
+			continue
+		}
+		if unitSize == -1 {
+			unitSize = len(u)
+		} else if len(u) != unitSize {
+			return fmt.Errorf("uezato: unit %d size %d, others %d", i, len(u), unitSize)
+		}
+		survivors = append(survivors, i)
+	}
+	if len(lost) == 0 {
+		return nil
+	}
+	if len(survivors) < c.k {
+		return fmt.Errorf("uezato: %d survivors for k=%d", len(survivors), c.k)
+	}
+	survivors = survivors[:c.k]
+	l, err := bitmatrix.NewLayout(c.k, c.r, c.w, unitSize)
+	if err != nil {
+		return err
+	}
+
+	prog, err := c.decodeProgram(survivors, lost)
+	if err != nil {
+		return err
+	}
+
+	inPlanes := make([][]byte, c.k*c.w)
+	for i, s := range survivors {
+		copy(inPlanes[i*c.w:], l.UnitPlanes(units[s]))
+	}
+	outPlanes := make([][]byte, len(lost)*c.w)
+	outs := make([][]byte, len(lost))
+	for i := range lost {
+		outs[i] = make([]byte, unitSize)
+		copy(outPlanes[i*c.w:], l.UnitPlanes(outs[i]))
+	}
+	execProgram(prog, c.blockBytes, l.PlaneSize, inPlanes, outPlanes, make([]byte, len(prog.Temps)*c.blockBytes))
+	for i, u := range lost {
+		units[u] = outs[i]
+	}
+	return nil
+}
+
+// decodeProgram builds (or returns the cached) CSE-optimized reconstruction
+// program for an erasure pattern. Program optimization is the expensive
+// part of this library, so steady-state repair of a recurring pattern must
+// not recompile — the same policy Uezato's library and our core engine use.
+func (c *Coder) decodeProgram(survivors, lost []int) (*Program, error) {
+	key := patternKey(survivors, lost)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.decoders[key]; ok {
+		return p, nil
+	}
+	dm, err := matrix.DecodeMatrix(c.gen, c.k, survivors)
+	if err != nil {
+		return nil, err
+	}
+	lostRows, err := c.gen.SelectRows(lost)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := lostRows.Mul(dm)
+	if err != nil {
+		return nil, err
+	}
+	prog := FromBitMatrix(bitmatrix.FromGF(rec))
+	prog.EliminateCommonSubexpressions()
+	c.decoders[key] = prog
+	return prog, nil
+}
+
+func patternKey(survivors, lost []int) string {
+	s := append([]int(nil), survivors...)
+	l := append([]int(nil), lost...)
+	sort.Ints(s)
+	sort.Ints(l)
+	var b strings.Builder
+	for _, v := range s {
+		fmt.Fprintf(&b, "s%d,", v)
+	}
+	for _, v := range l {
+		fmt.Fprintf(&b, "l%d,", v)
+	}
+	return b.String()
+}

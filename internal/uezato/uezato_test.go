@@ -1,0 +1,379 @@
+package uezato
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gemmec/internal/bitmatrix"
+	"gemmec/internal/gf"
+	"gemmec/internal/matrix"
+)
+
+func randProgramMatrix(rng *rand.Rand, rows, cols int) *bitmatrix.BitMatrix {
+	bm := bitmatrix.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Intn(2) == 1 {
+				bm.Set(i, j, true)
+			}
+		}
+	}
+	return bm
+}
+
+func progOutputsViaNaive(bm *bitmatrix.BitMatrix, planes [][]byte, planeSize int) [][]byte {
+	out := make([][]byte, bm.Rows())
+	for i := range out {
+		out[i] = make([]byte, planeSize)
+		for _, j := range bm.RowOnes(i) {
+			for b := 0; b < planeSize; b++ {
+				out[i][b] ^= planes[j][b]
+			}
+		}
+	}
+	return out
+}
+
+func TestFromBitMatrixAndXORCount(t *testing.T) {
+	bm := bitmatrix.New(2, 4)
+	bm.Set(0, 0, true)
+	bm.Set(0, 2, true)
+	bm.Set(1, 1, true)
+	p := FromBitMatrix(bm)
+	if p.NumInputs != 4 || p.NumOutputs != 2 {
+		t.Fatal("shape wrong")
+	}
+	// out0 has 2 operands (1 XOR), out1 has 1 operand (0 XORs).
+	if p.XORCount() != 1 {
+		t.Fatalf("XORCount=%d want 1", p.XORCount())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestCSEPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	planeSize := 96
+	for trial := 0; trial < 25; trial++ {
+		rows := 2 + rng.Intn(20)
+		cols := 2 + rng.Intn(40)
+		bm := randProgramMatrix(rng, rows, cols)
+		planes := make([][]byte, cols)
+		for i := range planes {
+			planes[i] = make([]byte, planeSize)
+			rng.Read(planes[i])
+		}
+		want := progOutputsViaNaive(bm, planes, planeSize)
+
+		p := FromBitMatrix(bm)
+		before := p.XORCount()
+		p.EliminateCommonSubexpressions()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid after CSE: %v", trial, err)
+		}
+		if p.XORCount() > before {
+			t.Fatalf("trial %d: CSE increased XOR count %d -> %d", trial, before, p.XORCount())
+		}
+		out := make([][]byte, rows)
+		for i := range out {
+			out[i] = make([]byte, planeSize)
+		}
+		for _, block := range []int{8, 16, 64, 1024} {
+			execProgram(p, block, planeSize, planes, out, make([]byte, len(p.Temps)*block))
+			for i := range out {
+				if !bytes.Equal(out[i], want[i]) {
+					t.Fatalf("trial %d block %d: output %d wrong", trial, block, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCSEReducesXORsOnRealCode(t *testing.T) {
+	f := gf.MustField(8)
+	coding, err := matrix.CauchyGood(f, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FromBitMatrix(bitmatrix.FromGF(coding))
+	before := p.XORCount()
+	p.EliminateCommonSubexpressions()
+	after := p.XORCount()
+	if after >= before {
+		t.Fatalf("CSE did not reduce XORs on k=10 r=4 w=8: %d -> %d", before, after)
+	}
+	t.Logf("XOR count %d -> %d (%.1f%% reduction)", before, after, 100*float64(before-after)/float64(before))
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	p := &Program{NumInputs: 2, NumOutputs: 1, Outputs: [][]Ref{{{Input, 5}}}}
+	if p.Validate() == nil {
+		t.Error("out-of-range input ref accepted")
+	}
+	p = &Program{NumInputs: 2, NumOutputs: 1, Outputs: [][]Ref{{{Temp, 0}}}}
+	if p.Validate() == nil {
+		t.Error("undefined temp ref accepted")
+	}
+	p = &Program{NumInputs: 2, NumOutputs: 1,
+		Temps:   []TempOp{{A: Ref{Temp, 0}, B: Ref{Input, 0}}},
+		Outputs: [][]Ref{{{Input, 0}}}}
+	if p.Validate() == nil {
+		t.Error("self-referencing temp accepted")
+	}
+	p = &Program{NumInputs: 1, NumOutputs: 2, Outputs: [][]Ref{{}}}
+	if p.Validate() == nil {
+		t.Error("wrong output count accepted")
+	}
+	p = &Program{NumInputs: 1, NumOutputs: 1, Outputs: [][]Ref{{{RefKind(9), 0}}}}
+	if p.Validate() == nil {
+		t.Error("unknown ref kind accepted")
+	}
+}
+
+func TestCoderMatchesReference(t *testing.T) {
+	for _, cfg := range []struct{ k, r, w int }{{8, 2, 8}, {10, 4, 8}, {4, 3, 4}} {
+		c, err := New(cfg.k, cfg.r, cfg.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unit := 8 * cfg.w * 16
+		l, _ := bitmatrix.NewLayout(cfg.k, cfg.r, cfg.w, unit)
+		rng := rand.New(rand.NewSource(int64(cfg.k + cfg.r)))
+		data := make([]byte, l.DataLen())
+		rng.Read(data)
+		parity := make([]byte, l.ParityLen())
+		if err := c.EncodeStripe(data, parity, unit); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, l.ParityLen())
+		if err := bitmatrix.EncodeReference(bitmatrix.FromGF(c.CodingMatrix()), l, data, want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(parity, want) {
+			t.Fatalf("k=%d r=%d w=%d: stripe encode mismatch", cfg.k, cfg.r, cfg.w)
+		}
+
+		// Sharded API must agree with the stripe API.
+		dunits := make([][]byte, cfg.k)
+		for i := range dunits {
+			dunits[i] = data[i*unit : (i+1)*unit]
+		}
+		punits := make([][]byte, cfg.r)
+		for i := range punits {
+			punits[i] = make([]byte, unit)
+		}
+		if err := c.Encode(dunits, punits); err != nil {
+			t.Fatal(err)
+		}
+		for i := range punits {
+			if !bytes.Equal(punits[i], want[i*unit:(i+1)*unit]) {
+				t.Fatalf("sharded parity %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestWithoutCSEStillCorrect(t *testing.T) {
+	a, err := New(6, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(6, 3, 8, WithoutCSE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawA, optA := a.XORCounts()
+	rawB, optB := b.XORCounts()
+	if rawA != rawB {
+		t.Error("raw counts should match")
+	}
+	if optA >= rawA {
+		t.Error("CSE coder should have fewer XORs than raw")
+	}
+	if optB != rawB {
+		t.Error("WithoutCSE coder should keep the raw count")
+	}
+	unit := 1024
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 6*unit)
+	rng.Read(data)
+	pa := make([]byte, 3*unit)
+	pb := make([]byte, 3*unit)
+	if err := a.EncodeStripe(data, pa, unit); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.EncodeStripe(data, pb, unit); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pa, pb) {
+		t.Error("CSE changed encode output")
+	}
+}
+
+func TestBlockingFactorsEquivalent(t *testing.T) {
+	unit := 4096
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 8*unit)
+	rng.Read(data)
+	var first []byte
+	for _, block := range []int{64, 512, 2048, 1 << 16} {
+		c, err := New(8, 3, 8, WithBlockBytes(block))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.BlockBytes() != block {
+			t.Fatal("BlockBytes accessor wrong")
+		}
+		parity := make([]byte, 3*unit)
+		if err := c.EncodeStripe(data, parity, unit); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = parity
+		} else if !bytes.Equal(first, parity) {
+			t.Fatalf("block=%d produced different parity", block)
+		}
+	}
+}
+
+func TestCoderValidation(t *testing.T) {
+	if _, err := New(4, 2, 8, WithBlockBytes(7)); err == nil {
+		t.Error("unaligned block accepted")
+	}
+	if _, err := New(4, 2, 8, WithBlockBytes(0)); err == nil {
+		t.Error("zero block accepted")
+	}
+	if _, err := New(0, 2, 8); err == nil {
+		t.Error("k=0 accepted")
+	}
+	c, _ := New(4, 2, 8)
+	if c.K() != 4 || c.R() != 2 || c.W() != 8 {
+		t.Error("accessors wrong")
+	}
+	if c.Program() == nil {
+		t.Error("Program nil")
+	}
+	if err := c.EncodeStripe(make([]byte, 10), make([]byte, 10), 64); err == nil {
+		t.Error("bad stripe accepted")
+	}
+	if err := c.Encode(make([][]byte, 3), nil); err == nil {
+		t.Error("wrong data count accepted")
+	}
+	data := [][]byte{make([]byte, 64), make([]byte, 64), make([]byte, 64), make([]byte, 32)}
+	parity := [][]byte{make([]byte, 64), make([]byte, 64)}
+	if err := c.Encode(data, parity); err == nil {
+		t.Error("ragged data accepted")
+	}
+	if err := c.Reconstruct(make([][]byte, 3)); err == nil {
+		t.Error("wrong unit count accepted")
+	}
+}
+
+func TestDecoderProgramCache(t *testing.T) {
+	k, r, w := 5, 2, 8
+	c, err := New(k, r, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := 256
+	rng := rand.New(rand.NewSource(12))
+	data := make([]byte, k*unit)
+	rng.Read(data)
+	parity := make([]byte, r*unit)
+	if err := c.EncodeStripe(data, parity, unit); err != nil {
+		t.Fatal(err)
+	}
+	run := func(lost ...int) {
+		t.Helper()
+		units := make([][]byte, k+r)
+		for i := 0; i < k; i++ {
+			units[i] = data[i*unit : (i+1)*unit]
+		}
+		for i := 0; i < r; i++ {
+			units[k+i] = parity[i*unit : (i+1)*unit]
+		}
+		for _, l := range lost {
+			units[l] = nil
+		}
+		if err := c.Reconstruct(units); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(0)
+	run(0) // same pattern: cache hit
+	if got := len(c.decoders); got != 1 {
+		t.Fatalf("decoder cache has %d entries after repeated pattern, want 1", got)
+	}
+	run(1, 3)
+	if got := len(c.decoders); got != 2 {
+		t.Fatalf("decoder cache has %d entries, want 2", got)
+	}
+}
+
+func TestReconstructAllPatterns(t *testing.T) {
+	k, r, w := 5, 3, 8
+	c, err := New(k, r, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := 256
+	rng := rand.New(rand.NewSource(6))
+	data := make([]byte, k*unit)
+	rng.Read(data)
+	parity := make([]byte, r*unit)
+	if err := c.EncodeStripe(data, parity, unit); err != nil {
+		t.Fatal(err)
+	}
+	orig := make([][]byte, k+r)
+	for i := 0; i < k; i++ {
+		orig[i] = data[i*unit : (i+1)*unit]
+	}
+	for i := 0; i < r; i++ {
+		orig[k+i] = parity[i*unit : (i+1)*unit]
+	}
+
+	for trial := 0; trial < 60; trial++ {
+		units := make([][]byte, k+r)
+		perm := rng.Perm(k + r)
+		nLost := 1 + rng.Intn(r)
+		lostSet := map[int]bool{}
+		for _, i := range perm[:nLost] {
+			lostSet[i] = true
+		}
+		for i := range units {
+			if !lostSet[i] {
+				units[i] = append([]byte(nil), orig[i]...)
+			}
+		}
+		if err := c.Reconstruct(units); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range units {
+			if !bytes.Equal(units[i], orig[i]) {
+				t.Fatalf("trial %d: unit %d wrong", trial, i)
+			}
+		}
+	}
+
+	// Too many erasures must fail.
+	units := make([][]byte, k+r)
+	for i := r + 1; i < k+r; i++ {
+		units[i] = append([]byte(nil), orig[i]...)
+	}
+	if err := c.Reconstruct(units); err == nil {
+		t.Error("too many erasures accepted")
+	}
+	// No erasures is a no-op.
+	complete := make([][]byte, k+r)
+	for i := range complete {
+		complete[i] = append([]byte(nil), orig[i]...)
+	}
+	if err := c.Reconstruct(complete); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package uezato implements a bitmatrix erasure coder in the style of
+// Uezato's SC'21 work "Accelerating XOR-Based Erasure Coding Using Program
+// Optimization Techniques", the stronger of the two custom-library
+// baselines the paper compares TVM-EC against.
+//
+// The idea: treat bitmatrix encoding as a straight-line XOR program
+// (each parity plane = XOR of a set of data planes), then apply classic
+// compiler optimizations — common-subexpression elimination across the
+// parity expressions to shrink the XOR count, plus cache blocking of the
+// program's execution so intermediate values stay resident in L1/L2. The
+// paper sweeps this library's blocking factor and reports 2 KB as the
+// usual optimum (§6.1), a sweep reproduced by experiment E-BLOCK.
+package uezato
+
+import (
+	"fmt"
+	"sort"
+
+	"gemmec/internal/bitmatrix"
+)
+
+// RefKind distinguishes the operand spaces of an XOR program.
+type RefKind uint8
+
+const (
+	// Input refers to a data plane (index in [0, NumInputs)).
+	Input RefKind = iota
+	// Temp refers to an intermediate plane produced by a TempOp.
+	Temp
+)
+
+// Ref names one operand plane of the program.
+type Ref struct {
+	Kind RefKind
+	Idx  int
+}
+
+func (r Ref) String() string {
+	if r.Kind == Input {
+		return fmt.Sprintf("in%d", r.Idx)
+	}
+	return fmt.Sprintf("t%d", r.Idx)
+}
+
+// TempOp defines intermediate plane i as A ^ B. Temps are defined in order;
+// a temp may reference inputs and previously defined temps only.
+type TempOp struct {
+	A, B Ref
+}
+
+// Program is a straight-line XOR program computing NumOutputs parity planes
+// from NumInputs data planes through NumTemps intermediates.
+type Program struct {
+	NumInputs  int
+	NumOutputs int
+	Temps      []TempOp
+	// Outputs[i] lists the operands whose XOR is parity plane i.
+	Outputs [][]Ref
+}
+
+// FromBitMatrix builds the unoptimized program: each output is the XOR of
+// the input planes whose generator bit is set.
+func FromBitMatrix(bm *bitmatrix.BitMatrix) *Program {
+	p := &Program{
+		NumInputs:  bm.Cols(),
+		NumOutputs: bm.Rows(),
+		Outputs:    make([][]Ref, bm.Rows()),
+	}
+	for i := 0; i < bm.Rows(); i++ {
+		ones := bm.RowOnes(i)
+		refs := make([]Ref, len(ones))
+		for n, j := range ones {
+			refs[n] = Ref{Input, j}
+		}
+		p.Outputs[i] = refs
+	}
+	return p
+}
+
+// XORCount returns the number of plane-XOR operations the program performs:
+// one per temp, plus len(set)-1 per non-empty output (the first operand is
+// a copy, not an XOR). This is the quantity CSE minimizes.
+func (p *Program) XORCount() int {
+	n := len(p.Temps)
+	for _, out := range p.Outputs {
+		if len(out) > 1 {
+			n += len(out) - 1
+		}
+	}
+	return n
+}
+
+// Validate checks referential integrity: temps reference only inputs and
+// earlier temps; outputs reference only inputs and defined temps.
+func (p *Program) Validate() error {
+	checkRef := func(r Ref, before int) error {
+		switch r.Kind {
+		case Input:
+			if r.Idx < 0 || r.Idx >= p.NumInputs {
+				return fmt.Errorf("uezato: input ref %d out of range %d", r.Idx, p.NumInputs)
+			}
+		case Temp:
+			if r.Idx < 0 || r.Idx >= before {
+				return fmt.Errorf("uezato: temp ref %d not defined yet (have %d)", r.Idx, before)
+			}
+		default:
+			return fmt.Errorf("uezato: unknown ref kind %d", r.Kind)
+		}
+		return nil
+	}
+	for i, t := range p.Temps {
+		if err := checkRef(t.A, i); err != nil {
+			return err
+		}
+		if err := checkRef(t.B, i); err != nil {
+			return err
+		}
+	}
+	if len(p.Outputs) != p.NumOutputs {
+		return fmt.Errorf("uezato: %d output sets, want %d", len(p.Outputs), p.NumOutputs)
+	}
+	for _, out := range p.Outputs {
+		for _, r := range out {
+			if err := checkRef(r, len(p.Temps)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// refID flattens a Ref into a single integer key for pair counting.
+func (p *Program) refID(r Ref) int {
+	if r.Kind == Input {
+		return r.Idx
+	}
+	return p.NumInputs + r.Idx
+}
+
+func (p *Program) idRef(id int) Ref {
+	if id < p.NumInputs {
+		return Ref{Input, id}
+	}
+	return Ref{Temp, id - p.NumInputs}
+}
+
+// EliminateCommonSubexpressions repeatedly finds the operand pair that
+// co-occurs in the most output expressions, hoists it into a temp, and
+// rewrites the expressions, until no pair occurs twice. Each rewrite of a
+// pair occurring in c >= 2 expressions trades c XORs for 1, so the XOR
+// count strictly decreases. This is the matching-based scheduling family
+// Uezato builds on (cf. Plank's "Uber-CSHR" and Luo et al.).
+func (p *Program) EliminateCommonSubexpressions() {
+	for {
+		bestA, bestB, bestCount := -1, -1, 1
+		// Count co-occurrences of every unordered pair.
+		counts := make(map[[2]int]int)
+		for _, out := range p.Outputs {
+			ids := make([]int, len(out))
+			for n, r := range out {
+				ids[n] = p.refID(r)
+			}
+			sort.Ints(ids)
+			for x := 0; x < len(ids); x++ {
+				for y := x + 1; y < len(ids); y++ {
+					key := [2]int{ids[x], ids[y]}
+					counts[key]++
+					if counts[key] > bestCount {
+						bestCount = counts[key]
+						bestA, bestB = key[0], key[1]
+					}
+				}
+			}
+		}
+		if bestA < 0 {
+			return
+		}
+		// Define temp = a ^ b and rewrite every expression containing both.
+		tempIdx := len(p.Temps)
+		p.Temps = append(p.Temps, TempOp{A: p.idRef(bestA), B: p.idRef(bestB)})
+		tref := Ref{Temp, tempIdx}
+		for oi, out := range p.Outputs {
+			hasA, hasB := false, false
+			for _, r := range out {
+				id := p.refID(r)
+				if id == bestA {
+					hasA = true
+				}
+				if id == bestB {
+					hasB = true
+				}
+			}
+			if !hasA || !hasB {
+				continue
+			}
+			rewritten := out[:0]
+			for _, r := range out {
+				id := p.refID(r)
+				if id == bestA || id == bestB {
+					continue
+				}
+				rewritten = append(rewritten, r)
+			}
+			p.Outputs[oi] = append(rewritten, tref)
+		}
+	}
+}
+
+// String renders the program, one definition per line, for debugging and
+// the E-LOC experiment's development-effort accounting.
+func (p *Program) String() string {
+	s := ""
+	for i, t := range p.Temps {
+		s += fmt.Sprintf("t%d = %s ^ %s\n", i, t.A, t.B)
+	}
+	for i, out := range p.Outputs {
+		s += fmt.Sprintf("out%d =", i)
+		for n, r := range out {
+			if n > 0 {
+				s += " ^"
+			}
+			s += " " + r.String()
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+package gemmec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming interface: encode an arbitrary-length stream into k+r shard
+// streams and read it back, reconstructing from parity when data shard
+// streams are missing. Stripes are assembled in a reusable contiguous
+// buffer (§5's integration pattern), so the kernel always sees zero-copy
+// operands.
+
+// ErrShardStreams is returned for malformed shard stream slices.
+var ErrShardStreams = errors.New("gemmec: bad shard streams")
+
+// EncodeStream reads src until EOF, erasure-codes it stripe by stripe, and
+// writes unit i of every stripe to shards[i]. shards must hold exactly k+r
+// writers, none nil. The final stripe is zero-padded; callers must record
+// the true length (the returned byte count) to trim on decode.
+func (c *Code) EncodeStream(src io.Reader, shards []io.Writer) (int64, error) {
+	k, r := c.K(), c.R()
+	if len(shards) != k+r {
+		return 0, fmt.Errorf("%w: have %d writers, want k+r=%d", ErrShardStreams, len(shards), k+r)
+	}
+	for i, w := range shards {
+		if w == nil {
+			return 0, fmt.Errorf("%w: writer %d is nil", ErrShardStreams, i)
+		}
+	}
+	unit := c.UnitSize()
+	data := make([]byte, c.DataSize())
+	parity := make([]byte, c.ParitySize())
+
+	var total int64
+	for {
+		n, err := io.ReadFull(src, data)
+		total += int64(n)
+		if errors.Is(err, io.EOF) {
+			break // clean end on a stripe boundary
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			clear(data[n:])
+			err = nil
+		}
+		if err != nil {
+			return total, fmt.Errorf("gemmec: read source: %w", err)
+		}
+		if err := c.Encode(data, parity); err != nil {
+			return total, err
+		}
+		for i := 0; i < k; i++ {
+			if _, err := shards[i].Write(data[i*unit : (i+1)*unit]); err != nil {
+				return total, fmt.Errorf("gemmec: write shard %d: %w", i, err)
+			}
+		}
+		for i := 0; i < r; i++ {
+			if _, err := shards[k+i].Write(parity[i*unit : (i+1)*unit]); err != nil {
+				return total, fmt.Errorf("gemmec: write shard %d: %w", k+i, err)
+			}
+		}
+		if n < len(data) {
+			break // padded final stripe consumed the EOF
+		}
+	}
+	return total, nil
+}
+
+// DecodeStream reads shard streams and writes the original data to dst,
+// stopping after size bytes (the length EncodeStream returned). shards must
+// hold k+r readers; nil entries mark lost shards. At least k readers must
+// be non-nil. Lost data shards are reconstructed stripe by stripe from the
+// surviving streams.
+func (c *Code) DecodeStream(shards []io.Reader, dst io.Writer, size int64) error {
+	k, r := c.K(), c.R()
+	if len(shards) != k+r {
+		return fmt.Errorf("%w: have %d readers, want k+r=%d", ErrShardStreams, len(shards), k+r)
+	}
+	present := 0
+	for _, rd := range shards {
+		if rd != nil {
+			present++
+		}
+	}
+	if present < k {
+		return fmt.Errorf("%w: only %d of %d shard streams present (need k=%d)", ErrShardStreams, present, k+r, k)
+	}
+	if size < 0 {
+		return fmt.Errorf("gemmec: negative stream size %d", size)
+	}
+	unit := c.UnitSize()
+	stripeBytes := int64(c.DataSize())
+	units := make([][]byte, k+r)
+	buf := make([]byte, (k+r)*unit)
+	for i := range units {
+		units[i] = buf[i*unit : (i+1)*unit]
+	}
+
+	remaining := size
+	for remaining > 0 {
+		work := make([][]byte, k+r)
+		anyLost := false
+		for i, rd := range shards {
+			if rd == nil {
+				anyLost = true
+				continue
+			}
+			if _, err := io.ReadFull(rd, units[i]); err != nil {
+				return fmt.Errorf("gemmec: read shard %d: %w", i, err)
+			}
+			work[i] = units[i]
+		}
+		if anyLost {
+			if err := c.ReconstructData(work); err != nil {
+				return err
+			}
+		}
+		n := stripeBytes
+		if remaining < n {
+			n = remaining
+		}
+		// Emit the data units of this stripe, trimming the final one.
+		emitted := int64(0)
+		for i := 0; i < k && emitted < n; i++ {
+			take := int64(unit)
+			if emitted+take > n {
+				take = n - emitted
+			}
+			if _, err := dst.Write(work[i][:take]); err != nil {
+				return fmt.Errorf("gemmec: write output: %w", err)
+			}
+			emitted += take
+		}
+		remaining -= n
+	}
+	return nil
+}

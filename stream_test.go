@@ -1,0 +1,179 @@
+package gemmec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/iotest"
+)
+
+func streamRoundTrip(t *testing.T, c *Code, size int, lose []int) {
+	t.Helper()
+	src := make([]byte, size)
+	rand.New(rand.NewSource(int64(size))).Read(src)
+
+	sinks := make([]*bytes.Buffer, c.K()+c.R())
+	writers := make([]io.Writer, len(sinks))
+	for i := range sinks {
+		sinks[i] = &bytes.Buffer{}
+		writers[i] = sinks[i]
+	}
+	n, err := c.EncodeStream(bytes.NewReader(src), writers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(size) {
+		t.Fatalf("EncodeStream consumed %d, want %d", n, size)
+	}
+	// Every shard stream has the same length: stripes * unit.
+	want := sinks[0].Len()
+	for i, s := range sinks {
+		if s.Len() != want {
+			t.Fatalf("shard %d has %d bytes, shard 0 has %d", i, s.Len(), want)
+		}
+	}
+
+	readers := make([]io.Reader, len(sinks))
+	for i := range sinks {
+		readers[i] = bytes.NewReader(sinks[i].Bytes())
+	}
+	for _, i := range lose {
+		readers[i] = nil
+	}
+	var out bytes.Buffer
+	if err := c.DecodeStream(readers, &out, n); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), src) {
+		t.Fatalf("size=%d lose=%v: decoded stream differs", size, lose)
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	stripe := c.DataSize()
+	for _, size := range []int{0, 1, c.UnitSize(), stripe - 1, stripe, stripe + 1, 3*stripe + 1234} {
+		streamRoundTrip(t, c, size, nil)
+	}
+}
+
+func TestStreamDegradedDecode(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	size := 2*c.DataSize() + 999
+	for _, lose := range [][]int{{0}, {3}, {4}, {0, 5}, {1, 2}} {
+		streamRoundTrip(t, c, size, lose)
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	var out bytes.Buffer
+
+	if _, err := c.EncodeStream(bytes.NewReader(nil), make([]io.Writer, 3)); !errors.Is(err, ErrShardStreams) {
+		t.Error("wrong writer count accepted")
+	}
+	ws := make([]io.Writer, 6)
+	for i := 0; i < 5; i++ {
+		ws[i] = &bytes.Buffer{}
+	}
+	if _, err := c.EncodeStream(bytes.NewReader(nil), ws); !errors.Is(err, ErrShardStreams) {
+		t.Error("nil writer accepted")
+	}
+
+	if err := c.DecodeStream(make([]io.Reader, 3), &out, 0); !errors.Is(err, ErrShardStreams) {
+		t.Error("wrong reader count accepted")
+	}
+	rs := make([]io.Reader, 6)
+	rs[0] = bytes.NewReader(nil)
+	if err := c.DecodeStream(rs, &out, 10); !errors.Is(err, ErrShardStreams) {
+		t.Error("too few readers accepted")
+	}
+	full := make([]io.Reader, 6)
+	for i := range full {
+		full[i] = bytes.NewReader(nil)
+	}
+	if err := c.DecodeStream(full, &out, -1); err == nil {
+		t.Error("negative size accepted")
+	}
+	// Truncated shard stream: decode must fail, not hang or corrupt.
+	if err := c.DecodeStream(full, &out, 10); err == nil {
+		t.Error("truncated shard streams accepted")
+	}
+}
+
+// TestStreamOneByteReaders drives EncodeStream and DecodeStream through
+// io.Reader implementations that return one byte at a time (testing/iotest),
+// catching any short-read assumptions in the stripe assembly loops.
+func TestStreamOneByteReaders(t *testing.T) {
+	c := newSmall(t, 3, 2)
+	size := c.DataSize() + 77
+	src := make([]byte, size)
+	rand.New(rand.NewSource(8)).Read(src)
+
+	sinks := make([]*bytes.Buffer, 5)
+	writers := make([]io.Writer, 5)
+	for i := range sinks {
+		sinks[i] = &bytes.Buffer{}
+		writers[i] = sinks[i]
+	}
+	n, err := c.EncodeStream(iotest.OneByteReader(bytes.NewReader(src)), writers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(size) {
+		t.Fatalf("consumed %d want %d", n, size)
+	}
+	readers := make([]io.Reader, 5)
+	for i := range sinks {
+		readers[i] = iotest.OneByteReader(bytes.NewReader(sinks[i].Bytes()))
+	}
+	readers[1] = nil // and a loss on top
+	var out bytes.Buffer
+	if err := c.DecodeStream(readers, &out, n); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), src) {
+		t.Fatal("one-byte-reader round trip corrupted data")
+	}
+}
+
+// TestStreamSourceError: a failing source mid-stream surfaces the error.
+func TestStreamSourceError(t *testing.T) {
+	c := newSmall(t, 3, 2)
+	ws := make([]io.Writer, 5)
+	for i := range ws {
+		ws[i] = &bytes.Buffer{}
+	}
+	src := io.MultiReader(
+		bytes.NewReader(make([]byte, c.DataSize())), // one clean stripe
+		iotest.ErrReader(errors.New("disk error")),
+	)
+	if _, err := c.EncodeStream(src, ws); err == nil {
+		t.Error("source error swallowed")
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.after--
+	return len(p), nil
+}
+
+func TestStreamWriterFailurePropagates(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	src := make([]byte, c.DataSize())
+	ws := make([]io.Writer, 6)
+	for i := range ws {
+		ws[i] = &bytes.Buffer{}
+	}
+	ws[3] = &failWriter{after: 0}
+	if _, err := c.EncodeStream(bytes.NewReader(src), ws); err == nil {
+		t.Error("writer failure swallowed")
+	}
+}
