@@ -1,0 +1,25 @@
+# gemmec build/test entry points. Everything is plain `go` underneath;
+# `make ci` is the full gate the repository must pass.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+ci: build vet race

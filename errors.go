@@ -1,0 +1,35 @@
+package gemmec
+
+import (
+	"errors"
+
+	"gemmec/internal/core"
+)
+
+// The public error taxonomy. Every validation failure in the sharded and
+// streaming APIs wraps one of these sentinels, so callers classify failures
+// with errors.Is instead of matching message strings:
+//
+//	if errors.Is(err, gemmec.ErrTooFewShards) { ... unrecoverable loss ... }
+//
+// The sentinels are shared with internal/core (the engine returns the same
+// values), so classification works no matter which layer produced the
+// error.
+var (
+	// ErrShardStreams is returned by EncodeStream and DecodeStream for
+	// malformed shard stream slices: wrong length, nil writers, or too few
+	// non-nil readers (the latter also matches ErrTooFewShards).
+	ErrShardStreams = errors.New("gemmec: bad shard streams")
+
+	// ErrShardCount reports a shard slice of the wrong length for the
+	// code's geometry (want k, or k+r, depending on the call).
+	ErrShardCount = core.ErrShardCount
+
+	// ErrShardSize reports a shard buffer whose length does not match the
+	// code's unit size.
+	ErrShardSize = core.ErrShardSize
+
+	// ErrTooFewShards reports that fewer than k shards survive, so the
+	// stripe (or stream) cannot be reconstructed.
+	ErrTooFewShards = core.ErrTooFewShards
+)

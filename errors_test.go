@@ -1,0 +1,81 @@
+package gemmec_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"gemmec"
+)
+
+// TestErrorTaxonomy: every validation failure across the sharded and
+// streaming APIs must classify with errors.Is against the public
+// sentinels, regardless of which layer (public wrapper or internal/core
+// engine) produced it.
+func TestErrorTaxonomy(t *testing.T) {
+	c, err := gemmec.New(4, 2, gemmec.WithUnitSize(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, r, unit := c.K(), c.R(), c.UnitSize()
+
+	goodShards := func() [][]byte {
+		s := make([][]byte, k+r)
+		for i := range s {
+			s[i] = make([]byte, unit)
+		}
+		return s
+	}
+
+	// ErrShardCount: wrong slice lengths, from EncodeShards (public
+	// validation) and Reconstruct (core engine validation).
+	if err := c.EncodeShards(make([][]byte, k)); !errors.Is(err, gemmec.ErrShardCount) {
+		t.Errorf("EncodeShards short slice: got %v, want ErrShardCount", err)
+	}
+	if err := c.Reconstruct(make([][]byte, k)); !errors.Is(err, gemmec.ErrShardCount) {
+		t.Errorf("Reconstruct short slice: got %v, want ErrShardCount", err)
+	}
+
+	// ErrShardSize: a shard of the wrong length.
+	bad := goodShards()
+	bad[1] = bad[1][:unit-1]
+	if err := c.EncodeShards(bad); !errors.Is(err, gemmec.ErrShardSize) {
+		t.Errorf("EncodeShards bad size: got %v, want ErrShardSize", err)
+	}
+	bad = goodShards()
+	bad[k] = make([]byte, unit+8)
+	if err := c.Reconstruct(bad); !errors.Is(err, gemmec.ErrShardSize) {
+		t.Errorf("Reconstruct bad size: got %v, want ErrShardSize", err)
+	}
+	if err := c.Encode(make([]byte, 1), make([]byte, c.ParitySize())); !errors.Is(err, gemmec.ErrShardSize) {
+		t.Errorf("Encode bad data size: got %v, want ErrShardSize", err)
+	}
+
+	// ErrTooFewShards: more than r losses.
+	lost := goodShards()
+	for i := 0; i <= r; i++ {
+		lost[i] = nil
+	}
+	if err := c.Reconstruct(lost); !errors.Is(err, gemmec.ErrTooFewShards) {
+		t.Errorf("Reconstruct r+1 losses: got %v, want ErrTooFewShards", err)
+	}
+
+	// ErrShardStreams: malformed stream slices; too few present readers
+	// must match both ErrShardStreams and ErrTooFewShards.
+	if _, err := c.EncodeStream(bytes.NewReader(nil), make([]io.Writer, k)); !errors.Is(err, gemmec.ErrShardStreams) {
+		t.Errorf("EncodeStream short writers: got %v, want ErrShardStreams", err)
+	}
+	readers := make([]io.Reader, k+r)
+	readers[0] = bytes.NewReader(nil) // k-1 short of quorum
+	var out bytes.Buffer
+	err = c.DecodeStream(readers, &out, 10)
+	if !errors.Is(err, gemmec.ErrShardStreams) || !errors.Is(err, gemmec.ErrTooFewShards) {
+		t.Errorf("DecodeStream too few readers: got %v, want ErrShardStreams and ErrTooFewShards", err)
+	}
+
+	// Sentinels are distinct: a count error is not a size error.
+	if err := c.EncodeShards(make([][]byte, k)); errors.Is(err, gemmec.ErrShardSize) {
+		t.Error("ErrShardCount failure also matched ErrShardSize")
+	}
+}

@@ -2,6 +2,7 @@ package gemmec_test
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"gemmec"
@@ -68,6 +69,61 @@ func FuzzEncodeReconstruct(f *testing.F) {
 			if !bytes.Equal(shards[i], orig[i]) {
 				t.Fatalf("shard %d wrong after reconstruct", i)
 			}
+		}
+	})
+}
+
+// FuzzStreamRoundTrip drives EncodeStream -> lose shards -> DecodeStream
+// through the pipelined engine at fuzzer-chosen payload lengths (including
+// the zero-padded final stripe), erasure masks and worker counts, and
+// requires the decoded stream to match the source exactly.
+func FuzzStreamRoundTrip(f *testing.F) {
+	code, err := gemmec.New(3, 2, gemmec.WithUnitSize(512))
+	if err != nil {
+		f.Fatal(err)
+	}
+	stripe := code.DataSize()
+	f.Add([]byte{}, uint8(0), uint8(1))                                    // empty stream, serial
+	f.Add([]byte("short"), uint8(0b00001), uint8(2))                       // sub-stripe tail, one loss
+	f.Add(bytes.Repeat([]byte{0xAB}, stripe), uint8(0b10010), uint8(4))    // exact stripe, two losses
+	f.Add(bytes.Repeat([]byte{7}, 3*stripe+129), uint8(0b00100), uint8(3)) // padded final stripe
+	f.Add(bytes.Repeat([]byte{1}, 2*stripe-1), uint8(0b11000), uint8(8))   // one byte short of full
+
+	f.Fuzz(func(t *testing.T, data []byte, eraseMask, workers uint8) {
+		k, r := code.K(), code.R()
+		w := 1 + int(workers)%8
+
+		writers := make([]io.Writer, k+r)
+		sinks := make([]*bytes.Buffer, k+r)
+		for i := range writers {
+			sinks[i] = &bytes.Buffer{}
+			writers[i] = sinks[i]
+		}
+		n, err := code.EncodeStream(bytes.NewReader(data), writers, gemmec.WithStreamWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(len(data)) {
+			t.Fatalf("consumed %d bytes, want %d", n, len(data))
+		}
+
+		readers := make([]io.Reader, k+r)
+		for i := range readers {
+			readers[i] = bytes.NewReader(sinks[i].Bytes())
+		}
+		erased := 0
+		for i := 0; i < k+r && erased < r; i++ {
+			if eraseMask>>uint(i)&1 == 1 {
+				readers[i] = nil
+				erased++
+			}
+		}
+		var out bytes.Buffer
+		if err := code.DecodeStream(readers, &out, n, gemmec.WithStreamWorkers(w)); err != nil {
+			t.Fatalf("decode (mask %b, workers %d): %v", eraseMask, w, err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("round trip corrupted %d bytes (mask %b, workers %d)", len(data), eraseMask, w)
 		}
 	})
 }

@@ -297,11 +297,11 @@ func (c *Code) Verify(data, parity []byte) (bool, error) { return c.eng.Verify(d
 func (c *Code) EncodeShards(shards [][]byte) error {
 	k, r, unit := c.K(), c.R(), c.UnitSize()
 	if len(shards) != k+r {
-		return fmt.Errorf("gemmec: %d shards, want k+r=%d", len(shards), k+r)
+		return fmt.Errorf("%w: %d shards, want k+r=%d", ErrShardCount, len(shards), k+r)
 	}
 	for i, s := range shards {
 		if len(s) != unit {
-			return fmt.Errorf("gemmec: shard %d has %d bytes, want %d", i, len(s), unit)
+			return fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(s), unit)
 		}
 	}
 	buf := c.getScratch()

@@ -2,6 +2,8 @@ package bitmatrix
 
 import (
 	"fmt"
+
+	"gemmec/internal/ecerr"
 )
 
 // Layout describes how the units of a (k, r, w) bitmatrix code map onto
@@ -47,18 +49,20 @@ func (l Layout) DataPlanes() int { return l.K * l.W }
 // ParityPlanes returns the number of planes in the parity operand, r*w.
 func (l Layout) ParityPlanes() int { return l.R * l.W }
 
-// CheckData validates a contiguous data buffer's length.
+// CheckData validates a contiguous data buffer's length. Failures wrap
+// ecerr.ErrShardSize so they classify through the public taxonomy.
 func (l Layout) CheckData(data []byte) error {
 	if len(data) != l.DataLen() {
-		return fmt.Errorf("bitmatrix: data length %d, want k*unit = %d", len(data), l.DataLen())
+		return fmt.Errorf("%w: data length %d, want k*unit = %d", ecerr.ErrShardSize, len(data), l.DataLen())
 	}
 	return nil
 }
 
-// CheckParity validates a contiguous parity buffer's length.
+// CheckParity validates a contiguous parity buffer's length. Failures wrap
+// ecerr.ErrShardSize so they classify through the public taxonomy.
 func (l Layout) CheckParity(parity []byte) error {
 	if len(parity) != l.ParityLen() {
-		return fmt.Errorf("bitmatrix: parity length %d, want r*unit = %d", len(parity), l.ParityLen())
+		return fmt.Errorf("%w: parity length %d, want r*unit = %d", ecerr.ErrShardSize, len(parity), l.ParityLen())
 	}
 	return nil
 }

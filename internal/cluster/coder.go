@@ -32,11 +32,13 @@ type StripeCoder interface {
 	RepairUnit(units [][]byte, idx int) error
 }
 
-// rsCoder adapts gemmec.Code to StripeCoder.
-type rsCoder struct{ c *gemmec.Code }
+// rsCoder adapts any gemmec.Codec to StripeCoder.
+type rsCoder struct{ c gemmec.Codec }
 
-// NewRSCoder wraps a gemmec code as a cluster StripeCoder.
-func NewRSCoder(c *gemmec.Code) StripeCoder { return rsCoder{c} }
+// NewRSCoder wraps a Reed-Solomon-shaped codec as a cluster StripeCoder.
+// It accepts the gemmec.Codec interface rather than the concrete *Code, so
+// the cluster machinery also runs over alternative coder implementations.
+func NewRSCoder(c gemmec.Codec) StripeCoder { return rsCoder{c} }
 
 func (a rsCoder) DataUnits() int   { return a.c.K() }
 func (a rsCoder) ParityUnits() int { return a.c.R() }

@@ -345,7 +345,7 @@ func (e *Engine) Encode(data, parity []byte) error {
 // The scratch stripe is returned for reuse; pass nil on first call.
 func (e *Engine) EncodeUnits(data [][]byte, parity []byte, scratch []byte) ([]byte, error) {
 	if len(data) != e.k {
-		return scratch, fmt.Errorf("core: %d data units, want k=%d", len(data), e.k)
+		return scratch, fmt.Errorf("%w: %d data units, want k=%d", ErrShardCount, len(data), e.k)
 	}
 	need := e.layout.DataLen()
 	if cap(scratch) < need {
@@ -354,7 +354,7 @@ func (e *Engine) EncodeUnits(data [][]byte, parity []byte, scratch []byte) ([]by
 	scratch = scratch[:need]
 	for u, d := range data {
 		if len(d) != e.unitSize {
-			return scratch, fmt.Errorf("core: data unit %d has %d bytes, want %d", u, len(d), e.unitSize)
+			return scratch, fmt.Errorf("%w: data unit %d has %d bytes, want %d", ErrShardSize, u, len(d), e.unitSize)
 		}
 		gf.CopyRegion(scratch[u*e.unitSize:(u+1)*e.unitSize], d)
 	}
@@ -399,7 +399,7 @@ func (e *Engine) ReconstructData(units [][]byte) error {
 
 func (e *Engine) reconstruct(units [][]byte, dataOnly bool) error {
 	if len(units) != e.k+e.r {
-		return fmt.Errorf("core: %d units, want k+r=%d", len(units), e.k+e.r)
+		return fmt.Errorf("%w: %d units, want k+r=%d", ErrShardCount, len(units), e.k+e.r)
 	}
 	var survivors, lost []int
 	for i, u := range units {
@@ -410,7 +410,7 @@ func (e *Engine) reconstruct(units [][]byte, dataOnly bool) error {
 			continue
 		}
 		if len(u) != e.unitSize {
-			return fmt.Errorf("core: unit %d has %d bytes, want %d", i, len(u), e.unitSize)
+			return fmt.Errorf("%w: unit %d has %d bytes, want %d", ErrShardSize, i, len(u), e.unitSize)
 		}
 		survivors = append(survivors, i)
 	}
@@ -418,7 +418,7 @@ func (e *Engine) reconstruct(units [][]byte, dataOnly bool) error {
 		return nil
 	}
 	if len(survivors) < e.k {
-		return fmt.Errorf("core: %d survivors for k=%d", len(survivors), e.k)
+		return fmt.Errorf("%w: %d survivors for k=%d", ErrTooFewShards, len(survivors), e.k)
 	}
 	survivors = survivors[:e.k]
 

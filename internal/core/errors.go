@@ -1,0 +1,22 @@
+package core
+
+import "gemmec/internal/ecerr"
+
+// Sentinel errors shared by the engine's validation paths. They live in
+// internal/ecerr (the dependency-graph leaf, so internal/bitmatrix can
+// wrap the same values in its buffer checks) and are re-exported by the
+// public gemmec package (gemmec.ErrShardCount and friends), so callers at
+// any layer classify failures with errors.Is instead of string matching.
+var (
+	// ErrShardCount reports a shard/unit slice of the wrong length for the
+	// code's geometry (want k, or k+r, depending on the call).
+	ErrShardCount = ecerr.ErrShardCount
+
+	// ErrShardSize reports a shard/unit buffer whose length does not match
+	// the code's unit size.
+	ErrShardSize = ecerr.ErrShardSize
+
+	// ErrTooFewShards reports that fewer than k shards survive, so the
+	// stripe cannot be reconstructed.
+	ErrTooFewShards = ecerr.ErrTooFewShards
+)

@@ -74,7 +74,7 @@ func (e *Engine) UpdateParity(parity []byte, u int, oldUnit, newUnit []byte) err
 		return fmt.Errorf("core: unit %d out of range [0,%d)", u, e.k)
 	}
 	if len(oldUnit) != e.unitSize || len(newUnit) != e.unitSize {
-		return fmt.Errorf("core: update units must be %d bytes (old=%d new=%d)", e.unitSize, len(oldUnit), len(newUnit))
+		return fmt.Errorf("%w: update units must be %d bytes (old=%d new=%d)", ErrShardSize, e.unitSize, len(oldUnit), len(newUnit))
 	}
 	up, err := e.updaterFor(u)
 	if err != nil {
@@ -106,7 +106,7 @@ func (e *Engine) AccumulateParity(parity []byte, u int, unit []byte) error {
 		return fmt.Errorf("core: unit %d out of range [0,%d)", u, e.k)
 	}
 	if len(unit) != e.unitSize {
-		return fmt.Errorf("core: unit has %d bytes, want %d", len(unit), e.unitSize)
+		return fmt.Errorf("%w: unit has %d bytes, want %d", ErrShardSize, len(unit), e.unitSize)
 	}
 	up, err := e.updaterFor(u)
 	if err != nil {

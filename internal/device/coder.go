@@ -2,27 +2,37 @@ package device
 
 import (
 	"fmt"
-
-	"gemmec/internal/core"
 )
 
-// Coder runs a gemmec engine's kernels over device-resident buffers — the
+// Codec is the coder subset the device layer drives. Both *core.Engine and
+// the public *gemmec.Code satisfy it, so the same device workflows run over
+// either layer (or over a test double) without depending on a concrete
+// type.
+type Codec interface {
+	K() int
+	R() int
+	UnitSize() int
+	Encode(data, parity []byte) error
+	Reconstruct(units [][]byte) error
+}
+
+// Coder runs a gemmec codec's kernels over device-resident buffers — the
 // "accelerator-native erasure coding" §3 of the paper argues for. Because
 // the te kernels are generated from a hardware-agnostic declaration, the
 // same engine executes on the host and on the simulated device; only the
 // buffer residency differs.
 type Coder struct {
 	dev *Device
-	eng *core.Engine
+	eng Codec
 }
 
-// NewCoder attaches an engine to a device.
-func NewCoder(dev *Device, eng *core.Engine) *Coder {
+// NewCoder attaches a codec to a device.
+func NewCoder(dev *Device, eng Codec) *Coder {
 	return &Coder{dev: dev, eng: eng}
 }
 
-// Engine returns the underlying engine.
-func (c *Coder) Engine() *core.Engine { return c.eng }
+// Engine returns the underlying codec.
+func (c *Coder) Engine() Codec { return c.eng }
 
 // EncodeOnDevice encodes entirely in device memory: no transfers.
 func (c *Coder) EncodeOnDevice(data, parity *Buffer) error {

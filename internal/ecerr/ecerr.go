@@ -1,0 +1,23 @@
+// Package ecerr defines the sentinel errors of gemmec's public error
+// taxonomy. It sits at the bottom of the dependency graph (no imports), so
+// every layer — bitmatrix buffer validation, the core engine, the public
+// API — wraps the same values and errors.Is classification works no matter
+// which layer rejected the call. The public gemmec package re-exports
+// these as gemmec.ErrShardCount and friends.
+package ecerr
+
+import "errors"
+
+var (
+	// ErrShardCount reports a shard/unit slice of the wrong length for the
+	// code's geometry (want k, or k+r, depending on the call).
+	ErrShardCount = errors.New("gemmec: wrong shard count")
+
+	// ErrShardSize reports a shard/unit buffer whose length does not match
+	// the code's unit size.
+	ErrShardSize = errors.New("gemmec: wrong shard size")
+
+	// ErrTooFewShards reports that fewer than k shards survive, so the
+	// stripe cannot be reconstructed.
+	ErrTooFewShards = errors.New("gemmec: too few shards to reconstruct")
+)

@@ -1,0 +1,607 @@
+// Package pipeline is the concurrent streaming engine behind the public
+// EncodeStream/DecodeStream API. The paper's §5 argument is that an EC
+// library wins or loses on integration: the compiled kernel is only as
+// fast as the path that feeds it contiguous stripes. A serial stream loop
+// leaves the kernel idle behind I/O on multicore, so this package overlaps
+// three stages over a bounded ring of stripe buffers drawn from a
+// stripe.Pool:
+//
+//	reader  — fills the data half of a free ring slot from src
+//	workers — run the compiled kernel on up to Workers stripes at once
+//	writer  — scatters finished stripes to the k+r shard writers,
+//	          strictly in stripe order (sequence-numbered reordering)
+//
+// Decode runs the same ring in reverse: the reader gathers k+r shard
+// units per stripe (nil readers mark losses), workers reconstruct missing
+// data units, and the in-order writer emits the data stripe to dst.
+//
+// Backpressure falls out of the ring: at most Depth stripes are in flight,
+// so every channel send below is non-blocking by construction (each
+// channel's capacity is Depth) and the only blocking points are ring
+// acquisition, source reads, kernel runs and sink writes — exactly the
+// quantities Stats reports.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"gemmec/internal/stripe"
+)
+
+// Codec is the coding subset the pipeline drives. The public *gemmec.Code
+// satisfies it.
+type Codec interface {
+	K() int
+	R() int
+	UnitSize() int
+	Encode(data, parity []byte) error
+	ReconstructData(units [][]byte) error
+}
+
+// Config sizes one pipeline run.
+type Config struct {
+	// Workers is the number of concurrent kernel goroutines; 1 selects a
+	// fully serial loop with no goroutines at all (the baseline path).
+	Workers int
+	// Depth is the ring size: the maximum number of stripes in flight.
+	Depth int
+	// Pool supplies the ring's stripe buffers. Its geometry must be
+	// (k+r) x UnitSize — one buffer holds a full stripe, data then parity.
+	// When nil, a private pool is created for the run. Sharing one pool
+	// across streams of the same code keeps steady-state streaming
+	// allocation-free.
+	Pool *stripe.Pool
+}
+
+// Stats reports what one pipeline run did and where it waited. The stall
+// times attribute the bottleneck: a stream dominated by ReadStall or
+// WriteStall is I/O-bound; one dominated by EncodeStall is compute-bound
+// and benefits from more workers.
+type Stats struct {
+	// Stripes is the number of full stripes pushed through the kernel.
+	Stripes int64
+	// BytesIn is the number of payload bytes consumed from the source
+	// (encode) or emitted to dst (decode, where it equals BytesOut).
+	BytesIn int64
+	// BytesOut is the number of bytes written to the sink side: shard
+	// writers for encode, dst for decode.
+	BytesOut int64
+	// Workers and Depth echo the effective pipeline shape.
+	Workers int
+	Depth   int
+	// ReadStall is time blocked reading the input side (src for encode,
+	// shard readers for decode) — input I/O bound.
+	ReadStall time.Duration
+	// EncodeStall is time the in-order writer waited for the next stripe
+	// to come out of the kernel stage (on the serial path: kernel time
+	// itself) — compute bound.
+	EncodeStall time.Duration
+	// WriteStall is time blocked writing the output side — output I/O
+	// bound.
+	WriteStall time.Duration
+	// Elapsed is the wall time of the whole run.
+	Elapsed time.Duration
+}
+
+// slot is one ring entry: a pooled stripe buffer plus the per-slot unit
+// pointer table decode workers hand to ReconstructData.
+type slot struct {
+	buf  *stripe.Buffer
+	work [][]byte
+}
+
+type job struct {
+	seq int64
+	s   *slot
+	n   int // payload bytes this stripe carries
+}
+
+// norm validates cfg against the codec geometry and fills defaults.
+func norm(c Codec, cfg Config) (Config, error) {
+	if cfg.Workers < 1 {
+		return cfg, fmt.Errorf("pipeline: workers must be >= 1, have %d", cfg.Workers)
+	}
+	if cfg.Depth < 1 {
+		return cfg, fmt.Errorf("pipeline: depth must be >= 1, have %d", cfg.Depth)
+	}
+	if cfg.Depth < cfg.Workers {
+		cfg.Depth = cfg.Workers
+	}
+	total, unit := c.K()+c.R(), c.UnitSize()
+	if cfg.Pool == nil {
+		p, err := stripe.NewPool(total, unit)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Pool = p
+	} else if cfg.Pool.K() != total || cfg.Pool.UnitSize() != unit {
+		return cfg, fmt.Errorf("pipeline: pool geometry %dx%d, want (k+r)x unit = %dx%d",
+			cfg.Pool.K(), cfg.Pool.UnitSize(), total, unit)
+	}
+	return cfg, nil
+}
+
+// ring draws Depth slots from the pool. release returns them.
+func ring(c Codec, cfg Config) ([]*slot, func(), error) {
+	slots := make([]*slot, cfg.Depth)
+	for i := range slots {
+		b, err := cfg.Pool.Get()
+		if err != nil {
+			for _, s := range slots[:i] {
+				cfg.Pool.Put(s.buf) //nolint:errcheck // geometry matches by construction
+			}
+			return nil, nil, err
+		}
+		slots[i] = &slot{buf: b, work: make([][]byte, c.K()+c.R())}
+	}
+	release := func() {
+		for _, s := range slots {
+			cfg.Pool.Put(s.buf) //nolint:errcheck // geometry matches by construction
+		}
+	}
+	return slots, release, nil
+}
+
+// failer latches the first error and broadcasts cancellation.
+type failer struct {
+	once sync.Once
+	err  error
+	done chan struct{}
+}
+
+func newFailer() *failer { return &failer{done: make(chan struct{})} }
+
+func (f *failer) fail(err error) {
+	f.once.Do(func() {
+		f.err = err
+		close(f.done)
+	})
+}
+
+func (f *failer) failed() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Encode streams src through the codec into the k+r shard writers and
+// returns the payload byte count. The caller must have validated shards
+// (length k+r, no nils); this is rechecked cheaply here because the bench
+// harness calls the package directly.
+func Encode(c Codec, src io.Reader, shards []io.Writer, cfg Config) (int64, Stats, error) {
+	var st Stats
+	cfg, err := norm(c, cfg)
+	if err != nil {
+		return 0, st, err
+	}
+	if len(shards) != c.K()+c.R() {
+		return 0, st, fmt.Errorf("pipeline: %d shard writers, want k+r=%d", len(shards), c.K()+c.R())
+	}
+	st.Workers, st.Depth = cfg.Workers, cfg.Depth
+	start := time.Now()
+	var total int64
+	if cfg.Workers == 1 {
+		total, err = encodeSerial(c, src, shards, cfg, &st)
+	} else {
+		total, err = encodePipelined(c, src, shards, cfg, &st)
+	}
+	st.Elapsed = time.Since(start)
+	return total, st, err
+}
+
+func encodeSerial(c Codec, src io.Reader, shards []io.Writer, cfg Config, st *Stats) (int64, error) {
+	k, r, unit := c.K(), c.R(), c.UnitSize()
+	buf, err := cfg.Pool.Get()
+	if err != nil {
+		return 0, err
+	}
+	defer cfg.Pool.Put(buf) //nolint:errcheck // geometry matches by construction
+	raw := buf.Raw()
+	data, parity := raw[:k*unit], raw[k*unit:(k+r)*unit]
+
+	var total int64
+	for {
+		t0 := time.Now()
+		n, err := io.ReadFull(src, data)
+		st.ReadStall += time.Since(t0)
+		total += int64(n)
+		if errors.Is(err, io.EOF) {
+			break // clean end on a stripe boundary
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			clear(data[n:])
+			err = nil
+		}
+		if err != nil {
+			return total, fmt.Errorf("gemmec: read source: %w", err)
+		}
+		t1 := time.Now()
+		if err := c.Encode(data, parity); err != nil {
+			return total, err
+		}
+		st.EncodeStall += time.Since(t1)
+		t2 := time.Now()
+		werr := writeStripe(shards, raw, k, r, unit)
+		st.WriteStall += time.Since(t2)
+		if werr != nil {
+			return total, werr
+		}
+		st.Stripes++
+		st.BytesOut += int64((k + r) * unit)
+		if n < len(data) {
+			break // padded final stripe consumed the EOF
+		}
+	}
+	st.BytesIn = total
+	return total, nil
+}
+
+func encodePipelined(c Codec, src io.Reader, shards []io.Writer, cfg Config, st *Stats) (int64, error) {
+	k, r, unit := c.K(), c.R(), c.UnitSize()
+	stripeBytes := k * unit
+	slots, release, err := ring(c, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+
+	free := make(chan *slot, cfg.Depth)
+	for _, s := range slots {
+		free <- s
+	}
+	jobs := make(chan job, cfg.Depth)
+	results := make(chan job, cfg.Depth)
+	f := newFailer()
+
+	// Reader: sequential by nature (src is a stream); owns total/readStall
+	// until the final wait establishes happens-before.
+	var total int64
+	var readStall time.Duration
+	var wgRead sync.WaitGroup
+	wgRead.Add(1)
+	go func() {
+		defer wgRead.Done()
+		defer close(jobs)
+		for seq := int64(0); ; seq++ {
+			var s *slot
+			select {
+			case s = <-free:
+			case <-f.done:
+				return
+			}
+			data := s.buf.Raw()[:stripeBytes]
+			t0 := time.Now()
+			n, err := io.ReadFull(src, data)
+			readStall += time.Since(t0)
+			total += int64(n)
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				clear(data[n:])
+				err = nil
+			}
+			if err != nil {
+				f.fail(fmt.Errorf("gemmec: read source: %w", err))
+				return
+			}
+			jobs <- job{seq: seq, s: s, n: n}
+			if n < stripeBytes {
+				return
+			}
+		}
+	}()
+
+	// Encoder workers: the kernel stage, cfg.Workers stripes concurrently.
+	var wgEnc sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wgEnc.Add(1)
+		go func() {
+			defer wgEnc.Done()
+			for j := range jobs {
+				if f.failed() {
+					continue // drain without encoding
+				}
+				raw := j.s.buf.Raw()
+				if err := c.Encode(raw[:stripeBytes], raw[stripeBytes:(k+r)*unit]); err != nil {
+					f.fail(err)
+					continue
+				}
+				results <- j
+			}
+		}()
+	}
+	go func() {
+		wgEnc.Wait()
+		close(results)
+	}()
+
+	// In-order writer (this goroutine): reorder by sequence number so shard
+	// output is byte-identical to the serial path regardless of worker
+	// completion order.
+	pending := map[int64]job{}
+	var next int64
+	for {
+		t0 := time.Now()
+		j, ok := <-results
+		st.EncodeStall += time.Since(t0)
+		if !ok {
+			break
+		}
+		pending[j.seq] = j
+		for {
+			jj, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if !f.failed() {
+				t1 := time.Now()
+				werr := writeStripe(shards, jj.s.buf.Raw(), k, r, unit)
+				st.WriteStall += time.Since(t1)
+				if werr != nil {
+					f.fail(werr)
+				} else {
+					st.Stripes++
+					st.BytesOut += int64((k + r) * unit)
+				}
+			}
+			free <- jj.s // cap == Depth: never blocks
+		}
+	}
+	wgRead.Wait()
+	st.ReadStall = readStall
+	st.BytesIn = total
+	return total, f.err
+}
+
+// writeStripe scatters the k data units and r parity units of one raw
+// stripe buffer to the shard writers.
+func writeStripe(shards []io.Writer, raw []byte, k, r, unit int) error {
+	for i := 0; i < k+r; i++ {
+		if _, err := shards[i].Write(raw[i*unit : (i+1)*unit]); err != nil {
+			return fmt.Errorf("gemmec: write shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Decode streams the shard readers through the codec into dst, emitting
+// exactly size payload bytes. nil readers mark lost shards; lost data
+// shards are reconstructed. The caller validates reader count and survivor
+// count; geometry is rechecked here.
+func Decode(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg Config) (Stats, error) {
+	var st Stats
+	cfg, err := norm(c, cfg)
+	if err != nil {
+		return st, err
+	}
+	if len(shards) != c.K()+c.R() {
+		return st, fmt.Errorf("pipeline: %d shard readers, want k+r=%d", len(shards), c.K()+c.R())
+	}
+	if size < 0 {
+		return st, fmt.Errorf("pipeline: negative stream size %d", size)
+	}
+	st.Workers, st.Depth = cfg.Workers, cfg.Depth
+	start := time.Now()
+	if cfg.Workers == 1 {
+		err = decodeSerial(c, shards, dst, size, cfg, &st)
+	} else {
+		err = decodePipelined(c, shards, dst, size, cfg, &st)
+	}
+	st.Elapsed = time.Since(start)
+	return st, err
+}
+
+// lostData reports whether any *data* shard reader is nil — only then is
+// per-stripe reconstruction needed (lost parity is irrelevant to decode).
+func lostData(shards []io.Reader, k int) bool {
+	for i := 0; i < k; i++ {
+		if shards[i] == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// fillSlot reads one stripe's worth of units from the shard readers into
+// the slot, rebuilding its work table (nil for lost shards).
+func fillSlot(shards []io.Reader, s *slot, unit int, st *time.Duration) error {
+	raw := s.buf.Raw()
+	for i, rd := range shards {
+		if rd == nil {
+			s.work[i] = nil
+			continue
+		}
+		u := raw[i*unit : (i+1)*unit]
+		t0 := time.Now()
+		_, err := io.ReadFull(rd, u)
+		*st += time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("gemmec: read shard %d: %w", i, err)
+		}
+		s.work[i] = u
+	}
+	return nil
+}
+
+// emitStripe writes the data units of one decoded stripe to dst, trimming
+// the final stripe to the remaining payload length.
+func emitStripe(dst io.Writer, work [][]byte, k, unit int, n int64) error {
+	emitted := int64(0)
+	for i := 0; i < k && emitted < n; i++ {
+		take := int64(unit)
+		if emitted+take > n {
+			take = n - emitted
+		}
+		if _, err := dst.Write(work[i][:take]); err != nil {
+			return fmt.Errorf("gemmec: write output: %w", err)
+		}
+		emitted += take
+	}
+	return nil
+}
+
+func decodeSerial(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg Config, st *Stats) error {
+	k, r, unit := c.K(), c.R(), c.UnitSize()
+	stripeBytes := int64(k * unit)
+	buf, err := cfg.Pool.Get()
+	if err != nil {
+		return err
+	}
+	defer cfg.Pool.Put(buf) //nolint:errcheck // geometry matches by construction
+	s := &slot{buf: buf, work: make([][]byte, k+r)}
+	rebuild := lostData(shards, k)
+
+	remaining := size
+	for remaining > 0 {
+		if err := fillSlot(shards, s, unit, &st.ReadStall); err != nil {
+			return err
+		}
+		if rebuild {
+			t0 := time.Now()
+			if err := c.ReconstructData(s.work); err != nil {
+				return err
+			}
+			st.EncodeStall += time.Since(t0)
+		}
+		n := stripeBytes
+		if remaining < n {
+			n = remaining
+		}
+		t1 := time.Now()
+		werr := emitStripe(dst, s.work, k, unit, n)
+		st.WriteStall += time.Since(t1)
+		if werr != nil {
+			return werr
+		}
+		st.Stripes++
+		st.BytesOut += n
+		remaining -= n
+	}
+	st.BytesIn = st.BytesOut
+	return nil
+}
+
+func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg Config, st *Stats) error {
+	k, _, unit := c.K(), c.R(), c.UnitSize()
+	stripeBytes := int64(k * unit)
+	if size == 0 {
+		return nil
+	}
+	stripes := (size + stripeBytes - 1) / stripeBytes
+	rebuild := lostData(shards, k)
+	slots, release, err := ring(c, cfg)
+	if err != nil {
+		return err
+	}
+	defer release()
+
+	free := make(chan *slot, cfg.Depth)
+	for _, s := range slots {
+		free <- s
+	}
+	jobs := make(chan job, cfg.Depth)
+	results := make(chan job, cfg.Depth)
+	f := newFailer()
+
+	// Reader: gathers k+r units per stripe (sequential: shard readers are
+	// streams and must be consumed in stripe order).
+	var readStall time.Duration
+	var wgRead sync.WaitGroup
+	wgRead.Add(1)
+	go func() {
+		defer wgRead.Done()
+		defer close(jobs)
+		remaining := size
+		for seq := int64(0); seq < stripes; seq++ {
+			var s *slot
+			select {
+			case s = <-free:
+			case <-f.done:
+				return
+			}
+			if err := fillSlot(shards, s, unit, &readStall); err != nil {
+				f.fail(err)
+				return
+			}
+			n := stripeBytes
+			if remaining < n {
+				n = remaining
+			}
+			remaining -= n
+			jobs <- job{seq: seq, s: s, n: int(n)}
+		}
+	}()
+
+	// Reconstruction workers: only stripes with lost data shards pay the
+	// kernel; surviving-stripe jobs pass straight through.
+	var wgDec sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wgDec.Add(1)
+		go func() {
+			defer wgDec.Done()
+			for j := range jobs {
+				if f.failed() {
+					continue
+				}
+				if rebuild {
+					if err := c.ReconstructData(j.s.work); err != nil {
+						f.fail(err)
+						continue
+					}
+				}
+				results <- j
+			}
+		}()
+	}
+	go func() {
+		wgDec.Wait()
+		close(results)
+	}()
+
+	// In-order writer.
+	pending := map[int64]job{}
+	var next int64
+	for {
+		t0 := time.Now()
+		j, ok := <-results
+		st.EncodeStall += time.Since(t0)
+		if !ok {
+			break
+		}
+		pending[j.seq] = j
+		for {
+			jj, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if !f.failed() {
+				t1 := time.Now()
+				werr := emitStripe(dst, jj.s.work, k, unit, int64(jj.n))
+				st.WriteStall += time.Since(t1)
+				if werr != nil {
+					f.fail(werr)
+				} else {
+					st.Stripes++
+					st.BytesOut += int64(jj.n)
+				}
+			}
+			free <- jj.s
+		}
+	}
+	wgRead.Wait()
+	st.ReadStall = readStall
+	st.BytesIn = st.BytesOut
+	return f.err
+}

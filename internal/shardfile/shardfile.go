@@ -109,11 +109,16 @@ func Write(dir string, raw []byte, k, r, unitSize int) (Manifest, error) {
 		}
 		m.Checksums[i] = shardSum(sd)
 	}
+	return m, SaveManifest(dir, m)
+}
+
+// SaveManifest writes the manifest next to the shards.
+func SaveManifest(dir string, m Manifest) error {
 	mj, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
-		return m, err
+		return err
 	}
-	return m, os.WriteFile(filepath.Join(dir, ManifestName), mj, 0o644)
+	return os.WriteFile(filepath.Join(dir, ManifestName), mj, 0o644)
 }
 
 // LoadManifest reads and validates dir's manifest.

@@ -1,0 +1,121 @@
+package shardfile
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+
+	"gemmec"
+)
+
+// Streaming shard-set I/O: the same on-disk layout as Write/Read, produced
+// and consumed through the pipelined EncodeStream/DecodeStream API instead
+// of buffering the whole file in memory. This is the eccli -stream-workers
+// path.
+
+const streamBufSize = 1 << 20
+
+// WriteStream encodes src (size bytes long) into a k+r shard set under
+// dir, streaming stripes through workers concurrent kernel runs, and
+// writes the manifest. Shard checksums are computed on the fly. Existing
+// shard files are overwritten.
+func WriteStream(dir string, src io.Reader, size int64, k, r, unitSize, workers int) (Manifest, gemmec.StreamStats, error) {
+	var st gemmec.StreamStats
+	m := Manifest{K: k, R: r, UnitSize: unitSize, FileSize: size}
+	code, err := gemmec.New(k, r, gemmec.WithUnitSize(unitSize))
+	if err != nil {
+		return m, st, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return m, st, err
+	}
+	files := make([]*os.File, k+r)
+	bufs := make([]*bufio.Writer, k+r)
+	sums := make([]hash.Hash, k+r)
+	writers := make([]io.Writer, k+r)
+	defer func() {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+	for i := range writers {
+		f, err := os.Create(ShardPath(dir, i))
+		if err != nil {
+			return m, st, err
+		}
+		files[i] = f
+		bufs[i] = bufio.NewWriterSize(f, streamBufSize)
+		sums[i] = sha256.New()
+		writers[i] = io.MultiWriter(bufs[i], sums[i])
+	}
+
+	// An empty file still gets one (all-zero) stripe, matching Write's
+	// at-least-one-stripe invariant, so append a zero stripe to the source
+	// when it is empty.
+	if size == 0 {
+		src = bytes.NewReader(make([]byte, code.DataSize()))
+	}
+	n, err := code.EncodeStream(bufio.NewReaderSize(src, streamBufSize), writers,
+		gemmec.WithStreamWorkers(workers), gemmec.WithStreamStats(&st))
+	if err != nil {
+		return m, st, err
+	}
+	if size != 0 && n != size {
+		return m, st, fmt.Errorf("shardfile: source is %d bytes, expected %d", n, size)
+	}
+	m.Stripes = int(st.Stripes)
+	m.Checksums = make([]string, k+r)
+	for i := range files {
+		if err := bufs[i].Flush(); err != nil {
+			return m, st, err
+		}
+		if err := files[i].Close(); err != nil {
+			return m, st, err
+		}
+		files[i] = nil
+		m.Checksums[i] = fmt.Sprintf("%x", sums[i].Sum(nil))
+	}
+	if err := m.Validate(); err != nil {
+		return m, st, err
+	}
+	return m, st, SaveManifest(dir, m)
+}
+
+// ReadStream decodes dir's shard set to dst, reconstructing lost data
+// shards on the fly (without rewriting the missing shard files — use
+// Repair for that). It returns the manifest, the indices of missing shard
+// files, and the pipeline stats.
+func ReadStream(dir string, dst io.Writer, workers int) (Manifest, []int, gemmec.StreamStats, error) {
+	var st gemmec.StreamStats
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return m, nil, st, err
+	}
+	code, err := m.Code()
+	if err != nil {
+		return m, nil, st, err
+	}
+	var missing []int
+	readers := make([]io.Reader, m.K+m.R)
+	for i := range readers {
+		f, err := os.Open(ShardPath(dir, i))
+		if err != nil {
+			missing = append(missing, i)
+			continue
+		}
+		defer f.Close()
+		readers[i] = bufio.NewReaderSize(f, streamBufSize)
+	}
+	out := bufio.NewWriterSize(dst, streamBufSize)
+	if err := code.DecodeStream(readers, out, m.FileSize,
+		gemmec.WithStreamWorkers(workers), gemmec.WithStreamStats(&st)); err != nil {
+		return m, missing, st, err
+	}
+	return m, missing, st, out.Flush()
+}

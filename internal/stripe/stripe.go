@@ -80,6 +80,13 @@ func (b *Buffer) Bytes() ([]byte, error) {
 	return b.buf, nil
 }
 
+// Raw returns the whole backing allocation without a completeness check.
+// It exists for owners that fill the buffer directly (the streaming
+// pipeline reads stripes straight off the wire into it) rather than
+// through Put's per-unit arrival tracking; such callers are responsible
+// for knowing which bytes are valid.
+func (b *Buffer) Raw() []byte { return b.buf }
+
 // Unit returns the slice backing unit i (filled or not).
 func (b *Buffer) Unit(i int) ([]byte, error) {
 	if i < 0 || i >= b.k {
@@ -114,6 +121,12 @@ func NewPool(k, unitSize int) (*Pool, error) {
 	}
 	return &Pool{k: k, unitSize: unitSize}, nil
 }
+
+// K returns the number of units in each buffer the pool produces.
+func (p *Pool) K() int { return p.k }
+
+// UnitSize returns the unit size of the pool's buffers in bytes.
+func (p *Pool) UnitSize() int { return p.unitSize }
 
 // Get returns a reset buffer, reusing a released one when available.
 func (p *Pool) Get() (*Buffer, error) {

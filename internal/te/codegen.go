@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 )
 
 // ErrUnsupported is returned by Build when the scheduled computation does
@@ -72,6 +73,10 @@ type Kernel struct {
 	preMask *byte
 	preLen  int
 	preRows [][]int
+
+	// statePool recycles per-range execution scratch (execState) so
+	// steady-state Exec/ExecBufs calls allocate nothing.
+	statePool sync.Pool
 }
 
 // Config returns the extracted specialization.

@@ -63,74 +63,110 @@ func (k *Kernel) ExecBufs(aBuf, bBuf, cBuf Buffer) error {
 		}
 	}
 
-	nBlocks := (cfg.N + cfg.BlockWords - 1) / cfg.BlockWords
-	rowBytes := cfg.N * 8
-
-	// processTile computes C[row, blk*BlockWords : ...] from its sources.
-	// With Staged (cache_write), the tile accumulates in the worker-local
-	// scratch and is written back once.
-	processTile := func(row, blk int, srcs [][]byte, scratch []byte) {
-		off := blk * cfg.BlockWords * 8
-		end := off + cfg.BlockWords*8
-		if end > rowBytes {
-			end = rowBytes
-		}
-		dst := cBuf[row*rowBytes+off : row*rowBytes+end]
-		ones := rowOnes[row]
-		if len(ones) == 0 {
-			clear(dst)
-			return
-		}
-		srcs = srcs[:0]
-		for _, kk := range ones {
-			srcs = append(srcs, bBuf[kk*rowBytes+off:kk*rowBytes+end])
-		}
-		acc := dst
-		if scratch != nil {
-			acc = scratch[:end-off]
-		}
-		gf.CopyRegion(acc, srcs[0])
-		xorGrouped(acc, srcs[1:], cfg.Fanin)
-		if scratch != nil {
-			gf.CopyRegion(dst, acc)
-		}
-	}
-
-	runRange := func(lo, hi int, overRows bool) {
-		srcs := make([][]byte, 0, cfg.K)
-		var scratch []byte
-		if cfg.Staged {
-			scratch = make([]byte, cfg.BlockWords*8)
-		}
-		if overRows {
-			for row := lo; row < hi; row++ {
-				for blk := 0; blk < nBlocks; blk++ {
-					processTile(row, blk, srcs, scratch)
-				}
-			}
-		} else {
-			for blk := lo; blk < hi; blk++ {
-				for row := 0; row < cfg.M; row++ {
-					processTile(row, blk, srcs, scratch)
-				}
-			}
-		}
+	ar := execArgs{
+		rowOnes:  rowOnes,
+		bBuf:     bBuf,
+		cBuf:     cBuf,
+		nBlocks:  (cfg.N + cfg.BlockWords - 1) / cfg.BlockWords,
+		rowBytes: cfg.N * 8,
 	}
 
 	workers := cfg.Workers
 	switch cfg.Parallel {
 	case ParallelRows:
-		parallelRanges(cfg.M, workers, func(lo, hi int) { runRange(lo, hi, true) })
+		parallelRanges(cfg.M, workers, func(lo, hi int) { k.runRange(ar, lo, hi, true) })
 	case ParallelBlocks:
-		parallelRanges(nBlocks, workers, func(lo, hi int) { runRange(lo, hi, false) })
+		parallelRanges(ar.nBlocks, workers, func(lo, hi int) { k.runRange(ar, lo, hi, false) })
 	default:
 		if cfg.RowsOuter {
-			runRange(0, cfg.M, true)
+			k.runRange(ar, 0, cfg.M, true)
 		} else {
-			runRange(0, nBlocks, false)
+			k.runRange(ar, 0, ar.nBlocks, false)
 		}
 	}
 	return nil
+}
+
+// execArgs carries one ExecBufs call's resolved operands into the tile
+// loops. Passed by value so the serial path stays on the stack.
+type execArgs struct {
+	rowOnes  [][]int
+	bBuf     Buffer
+	cBuf     Buffer
+	nBlocks  int
+	rowBytes int
+}
+
+// execState is the mutable per-range scratch: the source-slice table and,
+// under Staged (cache_write), the tile accumulator. States are pooled on
+// the kernel so steady-state execution is allocation-free; each concurrent
+// range borrows its own, keeping the kernel goroutine-safe.
+type execState struct {
+	srcs    [][]byte
+	scratch []byte
+}
+
+func (k *Kernel) getState() *execState {
+	if v := k.statePool.Get(); v != nil {
+		return v.(*execState)
+	}
+	st := &execState{srcs: make([][]byte, 0, k.cfg.K)}
+	if k.cfg.Staged {
+		st.scratch = make([]byte, k.cfg.BlockWords*8)
+	}
+	return st
+}
+
+// runRange executes one contiguous slice of the outer loop axis (rows when
+// overRows, word-axis blocks otherwise) with pooled scratch.
+func (k *Kernel) runRange(ar execArgs, lo, hi int, overRows bool) {
+	st := k.getState()
+	if overRows {
+		for row := lo; row < hi; row++ {
+			for blk := 0; blk < ar.nBlocks; blk++ {
+				k.tile(ar, st, row, blk)
+			}
+		}
+	} else {
+		for blk := lo; blk < hi; blk++ {
+			for row := 0; row < k.cfg.M; row++ {
+				k.tile(ar, st, row, blk)
+			}
+		}
+	}
+	k.statePool.Put(st)
+}
+
+// tile computes C[row, blk*BlockWords : ...] from its sources. With Staged
+// (cache_write), the tile accumulates in st.scratch and is written back
+// once.
+func (k *Kernel) tile(ar execArgs, st *execState, row, blk int) {
+	cfg := k.cfg
+	off := blk * cfg.BlockWords * 8
+	end := off + cfg.BlockWords*8
+	if end > ar.rowBytes {
+		end = ar.rowBytes
+	}
+	dst := ar.cBuf[row*ar.rowBytes+off : row*ar.rowBytes+end]
+	ones := ar.rowOnes[row]
+	if len(ones) == 0 {
+		clear(dst)
+		return
+	}
+	srcs := st.srcs[:0]
+	for _, kk := range ones {
+		srcs = append(srcs, ar.bBuf[kk*ar.rowBytes+off:kk*ar.rowBytes+end])
+	}
+	st.srcs = srcs // persist any growth beyond the initial K capacity
+	acc := dst
+	if st.scratch != nil {
+		acc = st.scratch[:end-off]
+	}
+	gf.CopyRegion(acc, srcs[0])
+	xorGrouped(acc, srcs[1:], cfg.Fanin)
+	if st.scratch != nil {
+		gf.CopyRegion(dst, acc)
+	}
 }
 
 // maskRows converts an M x K bitmask buffer into per-row selection lists,

@@ -1,25 +1,134 @@
 package gemmec
 
 import (
-	"errors"
 	"fmt"
 	"io"
+	"runtime"
+
+	"gemmec/internal/pipeline"
+	"gemmec/internal/stripe"
 )
 
 // Streaming interface: encode an arbitrary-length stream into k+r shard
 // streams and read it back, reconstructing from parity when data shard
-// streams are missing. Stripes are assembled in a reusable contiguous
-// buffer (§5's integration pattern), so the kernel always sees zero-copy
-// operands.
+// streams are missing. Stripes flow through a pipelined engine
+// (internal/pipeline): a bounded ring of pooled stripe buffers is filled
+// by a reader stage, encoded (or reconstructed) by a configurable number
+// of concurrent kernel workers, and drained by an in-order writer, so the
+// compiled kernel (§5's integration argument) is never idle behind serial
+// I/O. Shard output is byte-identical regardless of worker count: the
+// writer reorders stripes by sequence number.
 
-// ErrShardStreams is returned for malformed shard stream slices.
-var ErrShardStreams = errors.New("gemmec: bad shard streams")
+// StreamStats reports what one stream call did and where it waited; see
+// the field docs for how to read the stall times. Request it with
+// WithStreamStats.
+type StreamStats = pipeline.Stats
+
+// streamConfig collects StreamOption state.
+type streamConfig struct {
+	workers int
+	depth   int
+	pool    *StripePool
+	stats   *StreamStats
+}
+
+// StreamOption configures EncodeStream and DecodeStream. The zero-option
+// call form uses the defaults documented on each option.
+type StreamOption func(*streamConfig) error
+
+// WithStreamWorkers sets how many stripes are encoded (or reconstructed)
+// concurrently. 1 selects the serial path (no goroutines). The default is
+// GOMAXPROCS capped at 8.
+func WithStreamWorkers(n int) StreamOption {
+	return func(c *streamConfig) error {
+		if n < 1 {
+			return fmt.Errorf("gemmec: stream workers must be >= 1, have %d", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithStreamDepth sets the pipeline depth: the maximum number of stripe
+// buffers in flight between the reader and the in-order writer. It is
+// clamped up to the worker count. The default is twice the worker count.
+func WithStreamDepth(n int) StreamOption {
+	return func(c *streamConfig) error {
+		if n < 1 {
+			return fmt.Errorf("gemmec: stream depth must be >= 1, have %d", n)
+		}
+		c.depth = n
+		return nil
+	}
+}
+
+// WithStreamPool supplies the stripe-buffer pool the pipeline draws its
+// ring from. The pool must come from NewStreamPool (geometry (k+r) x
+// UnitSize). Sharing one pool across repeated or concurrent stream calls
+// on the same code makes steady-state streaming allocation-free. By
+// default each call uses a private pool.
+func WithStreamPool(p *StripePool) StreamOption {
+	return func(c *streamConfig) error {
+		if p == nil {
+			return fmt.Errorf("gemmec: stream pool is nil")
+		}
+		c.pool = p
+		return nil
+	}
+}
+
+// WithStreamStats records the call's pipeline statistics into *dst before
+// returning (on success and on error alike).
+func WithStreamStats(dst *StreamStats) StreamOption {
+	return func(c *streamConfig) error {
+		if dst == nil {
+			return fmt.Errorf("gemmec: stream stats destination is nil")
+		}
+		c.stats = dst
+		return nil
+	}
+}
+
+// NewStreamPool returns a stripe-buffer pool sized for this code's
+// streaming pipeline: each buffer holds a full stripe, the k data units
+// followed by the r parity units. Pass it to WithStreamPool.
+func (c *Code) NewStreamPool() (*StripePool, error) {
+	return stripe.NewPool(c.K()+c.R(), c.UnitSize())
+}
+
+func (c *Code) streamConfig(opts []StreamOption) (streamConfig, error) {
+	cfg := streamConfig{}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return cfg, err
+		}
+	}
+	if cfg.workers == 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+		if cfg.workers > 8 {
+			cfg.workers = 8
+		}
+	}
+	if cfg.depth == 0 {
+		cfg.depth = 2 * cfg.workers
+	}
+	return cfg, nil
+}
+
+func (cfg streamConfig) pipeline() pipeline.Config {
+	return pipeline.Config{Workers: cfg.workers, Depth: cfg.depth, Pool: cfg.pool}
+}
 
 // EncodeStream reads src until EOF, erasure-codes it stripe by stripe, and
 // writes unit i of every stripe to shards[i]. shards must hold exactly k+r
 // writers, none nil. The final stripe is zero-padded; callers must record
 // the true length (the returned byte count) to trim on decode.
-func (c *Code) EncodeStream(src io.Reader, shards []io.Writer) (int64, error) {
+//
+// With the default options encoding is pipelined across GOMAXPROCS (up to
+// 8) kernel workers; shard output is byte-identical to the serial path.
+// Tune with WithStreamWorkers, WithStreamDepth, WithStreamPool, and
+// observe the pipeline with WithStreamStats.
+func (c *Code) EncodeStream(src io.Reader, shards []io.Writer, opts ...StreamOption) (int64, error) {
 	k, r := c.K(), c.R()
 	if len(shards) != k+r {
 		return 0, fmt.Errorf("%w: have %d writers, want k+r=%d", ErrShardStreams, len(shards), k+r)
@@ -29,42 +138,15 @@ func (c *Code) EncodeStream(src io.Reader, shards []io.Writer) (int64, error) {
 			return 0, fmt.Errorf("%w: writer %d is nil", ErrShardStreams, i)
 		}
 	}
-	unit := c.UnitSize()
-	data := make([]byte, c.DataSize())
-	parity := make([]byte, c.ParitySize())
-
-	var total int64
-	for {
-		n, err := io.ReadFull(src, data)
-		total += int64(n)
-		if errors.Is(err, io.EOF) {
-			break // clean end on a stripe boundary
-		}
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			clear(data[n:])
-			err = nil
-		}
-		if err != nil {
-			return total, fmt.Errorf("gemmec: read source: %w", err)
-		}
-		if err := c.Encode(data, parity); err != nil {
-			return total, err
-		}
-		for i := 0; i < k; i++ {
-			if _, err := shards[i].Write(data[i*unit : (i+1)*unit]); err != nil {
-				return total, fmt.Errorf("gemmec: write shard %d: %w", i, err)
-			}
-		}
-		for i := 0; i < r; i++ {
-			if _, err := shards[k+i].Write(parity[i*unit : (i+1)*unit]); err != nil {
-				return total, fmt.Errorf("gemmec: write shard %d: %w", k+i, err)
-			}
-		}
-		if n < len(data) {
-			break // padded final stripe consumed the EOF
-		}
+	cfg, err := c.streamConfig(opts)
+	if err != nil {
+		return 0, err
 	}
-	return total, nil
+	n, st, err := pipeline.Encode(c, src, shards, cfg.pipeline())
+	if cfg.stats != nil {
+		*cfg.stats = st
+	}
+	return n, err
 }
 
 // DecodeStream reads shard streams and writes the original data to dst,
@@ -72,7 +154,10 @@ func (c *Code) EncodeStream(src io.Reader, shards []io.Writer) (int64, error) {
 // hold k+r readers; nil entries mark lost shards. At least k readers must
 // be non-nil. Lost data shards are reconstructed stripe by stripe from the
 // surviving streams.
-func (c *Code) DecodeStream(shards []io.Reader, dst io.Writer, size int64) error {
+//
+// Decoding runs through the same pipeline as encoding (see EncodeStream);
+// the same StreamOptions apply.
+func (c *Code) DecodeStream(shards []io.Reader, dst io.Writer, size int64, opts ...StreamOption) error {
 	k, r := c.K(), c.R()
 	if len(shards) != k+r {
 		return fmt.Errorf("%w: have %d readers, want k+r=%d", ErrShardStreams, len(shards), k+r)
@@ -84,55 +169,19 @@ func (c *Code) DecodeStream(shards []io.Reader, dst io.Writer, size int64) error
 		}
 	}
 	if present < k {
-		return fmt.Errorf("%w: only %d of %d shard streams present (need k=%d)", ErrShardStreams, present, k+r, k)
+		return fmt.Errorf("%w: only %d of %d shard streams present (need k=%d): %w",
+			ErrShardStreams, present, k+r, k, ErrTooFewShards)
 	}
 	if size < 0 {
 		return fmt.Errorf("gemmec: negative stream size %d", size)
 	}
-	unit := c.UnitSize()
-	stripeBytes := int64(c.DataSize())
-	units := make([][]byte, k+r)
-	buf := make([]byte, (k+r)*unit)
-	for i := range units {
-		units[i] = buf[i*unit : (i+1)*unit]
+	cfg, err := c.streamConfig(opts)
+	if err != nil {
+		return err
 	}
-
-	remaining := size
-	for remaining > 0 {
-		work := make([][]byte, k+r)
-		anyLost := false
-		for i, rd := range shards {
-			if rd == nil {
-				anyLost = true
-				continue
-			}
-			if _, err := io.ReadFull(rd, units[i]); err != nil {
-				return fmt.Errorf("gemmec: read shard %d: %w", i, err)
-			}
-			work[i] = units[i]
-		}
-		if anyLost {
-			if err := c.ReconstructData(work); err != nil {
-				return err
-			}
-		}
-		n := stripeBytes
-		if remaining < n {
-			n = remaining
-		}
-		// Emit the data units of this stripe, trimming the final one.
-		emitted := int64(0)
-		for i := 0; i < k && emitted < n; i++ {
-			take := int64(unit)
-			if emitted+take > n {
-				take = n - emitted
-			}
-			if _, err := dst.Write(work[i][:take]); err != nil {
-				return fmt.Errorf("gemmec: write output: %w", err)
-			}
-			emitted += take
-		}
-		remaining -= n
+	st, err := pipeline.Decode(c, shards, dst, size, cfg.pipeline())
+	if cfg.stats != nil {
+		*cfg.stats = st
 	}
-	return nil
+	return err
 }

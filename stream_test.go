@@ -9,7 +9,7 @@ import (
 	"testing/iotest"
 )
 
-func streamRoundTrip(t *testing.T, c *Code, size int, lose []int) {
+func streamRoundTrip(t *testing.T, c *Code, size int, lose []int, opts ...StreamOption) {
 	t.Helper()
 	src := make([]byte, size)
 	rand.New(rand.NewSource(int64(size))).Read(src)
@@ -20,7 +20,7 @@ func streamRoundTrip(t *testing.T, c *Code, size int, lose []int) {
 		sinks[i] = &bytes.Buffer{}
 		writers[i] = sinks[i]
 	}
-	n, err := c.EncodeStream(bytes.NewReader(src), writers)
+	n, err := c.EncodeStream(bytes.NewReader(src), writers, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func streamRoundTrip(t *testing.T, c *Code, size int, lose []int) {
 		readers[i] = nil
 	}
 	var out bytes.Buffer
-	if err := c.DecodeStream(readers, &out, n); err != nil {
+	if err := c.DecodeStream(readers, &out, n, opts...); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), src) {
@@ -64,6 +64,223 @@ func TestStreamDegradedDecode(t *testing.T) {
 	size := 2*c.DataSize() + 999
 	for _, lose := range [][]int{{0}, {3}, {4}, {0, 5}, {1, 2}} {
 		streamRoundTrip(t, c, size, lose)
+	}
+}
+
+// TestStreamPipelinedRoundTrip re-runs the round-trip matrix through the
+// concurrent pipeline: multiple workers, a shared stripe pool, and losses.
+func TestStreamPipelinedRoundTrip(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	pool, err := c.NewStreamPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripe := c.DataSize()
+	for _, workers := range []int{2, 4} {
+		opts := []StreamOption{WithStreamWorkers(workers), WithStreamPool(pool)}
+		for _, size := range []int{0, 1, stripe - 1, stripe, 5*stripe + 1234} {
+			streamRoundTrip(t, c, size, nil, opts...)
+		}
+		streamRoundTrip(t, c, 3*stripe+77, []int{1, 4}, opts...)
+	}
+}
+
+// TestStreamOrderIdentical: pipelined encode output must be byte-identical
+// to the serial path — the in-order writer reorders completed stripes by
+// sequence number. BenchmarkEncodeStream's speedup claim depends on this.
+func TestStreamOrderIdentical(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	size := 17*c.DataSize() + 4321
+	src := make([]byte, size)
+	rand.New(rand.NewSource(42)).Read(src)
+
+	encode := func(workers int) [][]byte {
+		sinks := make([]*bytes.Buffer, 6)
+		writers := make([]io.Writer, 6)
+		for i := range sinks {
+			sinks[i] = &bytes.Buffer{}
+			writers[i] = sinks[i]
+		}
+		n, err := c.EncodeStream(bytes.NewReader(src), writers, WithStreamWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(size) {
+			t.Fatalf("workers=%d consumed %d want %d", workers, n, size)
+		}
+		out := make([][]byte, 6)
+		for i := range sinks {
+			out[i] = sinks[i].Bytes()
+		}
+		return out
+	}
+
+	serial := encode(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := encode(workers)
+		for i := range serial {
+			if !bytes.Equal(serial[i], got[i]) {
+				t.Fatalf("workers=%d: shard %d differs from serial encode", workers, i)
+			}
+		}
+	}
+}
+
+// TestStreamStats: both directions fill the caller's StreamStats with the
+// pipeline geometry and byte/stripe accounting.
+func TestStreamStats(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	size := 7*c.DataSize() + 5
+	src := make([]byte, size)
+	rand.New(rand.NewSource(11)).Read(src)
+	sinks := make([]*bytes.Buffer, 6)
+	writers := make([]io.Writer, 6)
+	for i := range sinks {
+		sinks[i] = &bytes.Buffer{}
+		writers[i] = sinks[i]
+	}
+	var st StreamStats
+	n, err := c.EncodeStream(bytes.NewReader(src), writers, WithStreamWorkers(3), WithStreamStats(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stripes != 8 || st.BytesIn != n || st.Workers != 3 || st.Depth < 3 || st.Elapsed <= 0 {
+		t.Fatalf("encode stats not populated: %+v", st)
+	}
+	if st.BytesOut != int64(8*(c.DataSize()+c.ParitySize())) {
+		t.Fatalf("encode stats BytesOut = %d", st.BytesOut)
+	}
+
+	readers := make([]io.Reader, 6)
+	for i := range sinks {
+		readers[i] = bytes.NewReader(sinks[i].Bytes())
+	}
+	readers[2] = nil
+	var dst bytes.Buffer
+	var decSt StreamStats
+	if err := c.DecodeStream(readers, &dst, n, WithStreamWorkers(2), WithStreamStats(&decSt)); err != nil {
+		t.Fatal(err)
+	}
+	if decSt.Stripes != 8 || decSt.BytesOut != n || decSt.Workers != 2 || decSt.Elapsed <= 0 {
+		t.Fatalf("decode stats not populated: %+v", decSt)
+	}
+}
+
+// TestStreamOptionValidation: invalid option values fail fast, before any
+// I/O happens.
+func TestStreamOptionValidation(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	writers := make([]io.Writer, 6)
+	for i := range writers {
+		writers[i] = io.Discard
+	}
+	if _, err := c.EncodeStream(bytes.NewReader(nil), writers, WithStreamWorkers(0)); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	if _, err := c.EncodeStream(bytes.NewReader(nil), writers, WithStreamDepth(-1)); err == nil {
+		t.Error("negative depth accepted")
+	}
+	if _, err := c.EncodeStream(bytes.NewReader(nil), writers, WithStreamPool(nil)); err == nil {
+		t.Error("nil pool accepted")
+	}
+	// A pool sized for a different geometry must be rejected.
+	other := newSmall(t, 3, 1, WithUnitSize(512))
+	pool, err := other.NewStreamPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EncodeStream(bytes.NewReader(nil), writers, WithStreamPool(pool)); err == nil {
+		t.Error("wrong-geometry pool accepted")
+	}
+}
+
+// TestStreamSteadyStateAllocs: with a shared stream pool, streaming holds
+// zero per-stripe allocations — the per-call cost is constant pipeline
+// setup, independent of how many stripes flow through. This is the probe
+// for the old bug where EncodeStream allocated data+parity every call.
+func TestStreamSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	c := newSmall(t, 4, 2)
+	pool, err := c.NewStreamPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	writers := make([]io.Writer, 6)
+	for i := range writers {
+		writers[i] = io.Discard
+	}
+	small := make([]byte, 4*c.DataSize())
+	large := make([]byte, 64*c.DataSize())
+	rd := bytes.NewReader(nil)
+	run := func(payload []byte) float64 {
+		return testing.AllocsPerRun(20, func() {
+			rd.Reset(payload)
+			if _, err := c.EncodeStream(rd, writers, WithStreamWorkers(1), WithStreamPool(pool)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	run(small) // warm the stripe pool and kernel scratch pool
+	a4, a64 := run(small), run(large)
+	if perStripe := (a64 - a4) / 60; perStripe > 0.05 {
+		t.Fatalf("steady-state streaming allocates %.2f/stripe (4 stripes: %.0f allocs, 64 stripes: %.0f)", perStripe, a4, a64)
+	}
+	if a4 > 8 {
+		t.Fatalf("per-call setup allocates %.0f, want a small constant", a4)
+	}
+}
+
+// TestStreamConcurrent: many goroutines encode and degraded-decode through
+// one Code and one shared pool at once. Run under -race this is the public
+// API's pipeline stress test.
+func TestStreamConcurrent(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	pool, err := c.NewStreamPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const streams = 6
+	errs := make(chan error, streams)
+	for g := 0; g < streams; g++ {
+		go func(g int) {
+			errs <- func() error {
+				size := (3+g)*c.DataSize() + 13*g
+				src := make([]byte, size)
+				rand.New(rand.NewSource(int64(g))).Read(src)
+				sinks := make([]*bytes.Buffer, 6)
+				writers := make([]io.Writer, 6)
+				for i := range sinks {
+					sinks[i] = &bytes.Buffer{}
+					writers[i] = sinks[i]
+				}
+				n, err := c.EncodeStream(bytes.NewReader(src), writers,
+					WithStreamWorkers(2+g%3), WithStreamPool(pool))
+				if err != nil {
+					return err
+				}
+				readers := make([]io.Reader, 6)
+				for i := range sinks {
+					readers[i] = bytes.NewReader(sinks[i].Bytes())
+				}
+				readers[g%4] = nil
+				var out bytes.Buffer
+				if err := c.DecodeStream(readers, &out, n,
+					WithStreamWorkers(2), WithStreamPool(pool)); err != nil {
+					return err
+				}
+				if !bytes.Equal(out.Bytes(), src) {
+					return errors.New("concurrent stream corrupted data")
+				}
+				return nil
+			}()
+		}(g)
+	}
+	for g := 0; g < streams; g++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
 	}
 }
 
