@@ -15,12 +15,27 @@
 // encode and decode accept -stream-workers N to stream the file through
 // the pipelined engine with N concurrent kernel workers instead of
 // buffering it in memory (and print the pipeline's stall breakdown).
+//
+// eccli is also the client for the ecserver daemon (cmd/ecserver): put
+// uploads a file as a named object and get streams it back, reporting when
+// the server had to serve a degraded read:
+//
+//	eccli put -server http://localhost:8080 -name big.bin -in big.bin
+//	eccli get -server http://localhost:8080 -name big.bin -out restored.bin
+//
+// Every failure — including a stream decode failing mid-file — exits
+// non-zero with a wrapped, classifiable error on stderr, so all commands
+// are scriptable.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strings"
 
 	"gemmec"
 	"gemmec/internal/shardfile"
@@ -42,6 +57,10 @@ func main() {
 		err = cmdScrub(os.Args[2:])
 	case "decode":
 		err = cmdDecode(os.Args[2:])
+	case "put":
+		err = cmdPut(os.Args[2:])
+	case "get":
+		err = cmdGet(os.Args[2:])
 	default:
 		usage()
 	}
@@ -52,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: eccli {encode|repair|verify|scrub|decode} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: eccli {encode|repair|verify|scrub|decode|put|get} [flags]")
 	os.Exit(2)
 }
 
@@ -193,7 +212,13 @@ func cmdDecode(args []string) error {
 		defer f.Close()
 		m, missing, st, err := shardfile.ReadStream(*dir, f, *workers)
 		if err != nil {
-			return err
+			// The output file holds a partial, useless prefix; remove it so
+			// scripts cannot mistake it for a successful decode, and wrap the
+			// cause so errors.Is classification (ErrTooFewShards,
+			// ErrCorruptShard, ...) survives to the caller.
+			f.Close()
+			os.Remove(*out)
+			return fmt.Errorf("decode: stream decode of %s failed mid-file: %w", *dir, err)
 		}
 		if err := f.Close(); err != nil {
 			return err
@@ -204,11 +229,129 @@ func cmdDecode(args []string) error {
 	}
 	data, rebuilt, err := shardfile.Read(*dir)
 	if err != nil {
-		return err
+		return fmt.Errorf("decode: %w", err)
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("decoded %d bytes to %s (reconstructed shards: %v)\n", len(data), *out, rebuilt)
+	return nil
+}
+
+// objectURL joins the server base URL and the object name.
+func objectURL(server, name string) (string, error) {
+	if server == "" {
+		return "", fmt.Errorf("-server required (e.g. http://localhost:8080)")
+	}
+	if name == "" {
+		return "", fmt.Errorf("-name required")
+	}
+	return strings.TrimSuffix(server, "/") + "/o/" + url.PathEscape(name), nil
+}
+
+// httpError turns a non-2xx response into an error carrying the server's
+// message.
+func httpError(op string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("%s: server returned %s: %s", op, resp.Status, strings.TrimSpace(string(body)))
+}
+
+func cmdPut(args []string) error {
+	fs := flag.NewFlagSet("put", flag.ExitOnError)
+	server := fs.String("server", "", "ecserver base URL")
+	name := fs.String("name", "", "object name")
+	in := fs.String("in", "", "input file (default: stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u, err := objectURL(*server, *name)
+	if err != nil {
+		return fmt.Errorf("put: %w", err)
+	}
+	var src io.Reader = os.Stdin
+	size := int64(-1)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fi, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		src, size = f, fi.Size()
+	}
+	req, err := http.NewRequest(http.MethodPut, u, src)
+	if err != nil {
+		return err
+	}
+	req.ContentLength = size
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("put: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return httpError("put", resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	fmt.Printf("put %q to %s\n", *name, *server)
+	return nil
+}
+
+func cmdGet(args []string) error {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	server := fs.String("server", "", "ecserver base URL")
+	name := fs.String("name", "", "object name")
+	out := fs.String("out", "", "output file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u, err := objectURL(*server, *name)
+	if err != nil {
+		return fmt.Errorf("get: %w", err)
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return fmt.Errorf("get: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("get", resp)
+	}
+	dst := io.Writer(os.Stdout)
+	var f *os.File
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	n, err := io.Copy(dst, resp.Body)
+	if err != nil {
+		// Mid-body failure: the server hit an unrecoverable decode (or the
+		// connection died) after the headers. Never leave a partial file
+		// behind looking like a success.
+		if f != nil {
+			f.Close()
+			os.Remove(*out)
+		}
+		return fmt.Errorf("get: stream decode of %q failed mid-file after %d bytes: %w", *name, n, err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if resp.Header.Get("X-Gemmec-Degraded") == "true" {
+		fmt.Fprintf(os.Stderr, "eccli: degraded read: server reconstructed shard(s) %s\n",
+			resp.Header.Get("X-Gemmec-Reconstructed"))
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "got %d bytes to %s\n", n, *out)
+	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"gemmec/internal/core"
+	"gemmec/internal/ecerr"
 )
 
 // The public error taxonomy. Every validation failure in the sharded and
@@ -32,4 +33,11 @@ var (
 	// ErrTooFewShards reports that fewer than k shards survive, so the
 	// stripe (or stream) cannot be reconstructed.
 	ErrTooFewShards = core.ErrTooFewShards
+
+	// ErrCorruptShard reports a shard whose bytes are present but fail
+	// integrity verification — a SHA-256 mismatch against the manifest, or
+	// a shard file of the wrong length. internal/shardfile and
+	// internal/server wrap it whenever a checksum catches silent rot, so
+	// callers can tell "disk lied" from "disk lost" with errors.Is.
+	ErrCorruptShard = ecerr.ErrCorruptShard
 )

@@ -20,4 +20,11 @@ var (
 	// ErrTooFewShards reports that fewer than k shards survive, so the
 	// stripe cannot be reconstructed.
 	ErrTooFewShards = errors.New("gemmec: too few shards to reconstruct")
+
+	// ErrCorruptShard reports a shard whose contents fail integrity
+	// verification (a checksum mismatch against its manifest, or a shard
+	// file of the wrong length). Silent corruption is distinct from a
+	// missing shard: the bytes are present but cannot be trusted, so
+	// readers treat the shard as erased and scrubbers rebuild it.
+	ErrCorruptShard = errors.New("gemmec: corrupt shard")
 )

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"encoding/json"
+
+	"gemmec"
+)
+
+// HTTP surface of the daemon. Objects live under /o/<name>:
+//
+//	PUT    /o/<name>   store the request body as <name> (streaming encode)
+//	GET    /o/<name>   stream the object back (degraded reads transparent)
+//	HEAD   /o/<name>   metadata + degradation headers, no body
+//	DELETE /o/<name>   remove the object
+//	GET    /objects    JSON catalog listing
+//	POST   /scrub      run one scrub sweep now, return the report
+//	GET    /statusz    JSON counters
+//	GET    /healthz    liveness probe
+//
+// Degraded reads are reported in response headers so clients can tell a
+// clean read from a reconstructed one without parsing the body:
+//
+//	X-Gemmec-Degraded: true
+//	X-Gemmec-Reconstructed: 0 5
+//
+// The public error taxonomy maps onto status codes: unknown object 404,
+// bad name 400, unrecoverable loss (gemmec.ErrTooFewShards, possibly
+// with gemmec.ErrCorruptShard) 503 — the object may heal after repair —
+// and anything else 500.
+
+// Logf is the logging callback the handler and scrubber accept; nil
+// silences logging.
+type Logf func(format string, args ...any)
+
+func (f Logf) printf(format string, args ...any) {
+	if f != nil {
+		f(format, args...)
+	}
+}
+
+// NewHandler serves store over HTTP.
+func NewHandler(store *Store, logf Logf) http.Handler {
+	h := &handler{store: store, logf: logf}
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /o/{name...}", h.put)
+	mux.HandleFunc("GET /o/{name...}", h.get)
+	mux.HandleFunc("DELETE /o/{name...}", h.delete)
+	mux.HandleFunc("GET /objects", h.list)
+	mux.HandleFunc("POST /scrub", h.scrub)
+	mux.HandleFunc("GET /statusz", h.statusz)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+type handler struct {
+	store *Store
+	logf  Logf
+}
+
+// errStatus maps the error taxonomy to an HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrObjectNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadObjectName):
+		return http.StatusBadRequest
+	case errors.Is(err, gemmec.ErrTooFewShards), errors.Is(err, gemmec.ErrCorruptShard):
+		// The bytes exist but cannot currently be served; repair may
+		// restore them, so signal a retryable service condition.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, gemmec.ErrShardStreams), errors.Is(err, gemmec.ErrShardCount),
+		errors.Is(err, gemmec.ErrShardSize):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (h *handler) fail(w http.ResponseWriter, r *http.Request, err error) {
+	code := errStatus(err)
+	if code >= 500 {
+		h.logf.printf("ecserver: %s %s: %v", r.Method, r.URL.Path, err)
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// putResponse is the JSON body of a successful PUT.
+type putResponse struct {
+	Name      string `json:"name"`
+	Size      int64  `json:"size"`
+	Stripes   int    `json:"stripes"`
+	K         int    `json:"k"`
+	R         int    `json:"r"`
+	Placement []int  `json:"placement"`
+}
+
+func (h *handler) put(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	meta, _, err := h.store.Put(name, r.Body, r.ContentLength)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, putResponse{
+		Name:      meta.Name,
+		Size:      meta.Manifest.FileSize,
+		Stripes:   meta.Manifest.Stripes,
+		K:         meta.Manifest.K,
+		R:         meta.Manifest.R,
+		Placement: meta.Placement,
+	})
+}
+
+func (h *handler) get(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	o, err := h.store.OpenObject(name)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	defer o.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(o.Size(), 10))
+	w.Header().Set("X-Gemmec-Degraded", strconv.FormatBool(o.Degraded()))
+	if bad := o.Unusable(); len(bad) > 0 {
+		s := ""
+		for i, b := range bad {
+			if i > 0 {
+				s += " "
+			}
+			s += strconv.Itoa(b)
+		}
+		w.Header().Set("X-Gemmec-Reconstructed", s)
+	}
+	if r.Method == http.MethodHead {
+		return
+	}
+	if _, err := o.Stream(w); err != nil {
+		// Headers are gone; all we can do is drop the connection short so
+		// the client's Content-Length check fails, and log.
+		h.logf.printf("ecserver: GET %s: decode failed mid-stream: %v", r.URL.Path, err)
+	}
+}
+
+func (h *handler) delete(w http.ResponseWriter, r *http.Request) {
+	if err := h.store.Delete(r.PathValue("name")); err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// listEntry is one row of the /objects catalog.
+type listEntry struct {
+	Name    string `json:"name"`
+	Size    int64  `json:"size"`
+	Stripes int    `json:"stripes"`
+}
+
+func (h *handler) list(w http.ResponseWriter, r *http.Request) {
+	names, err := h.store.List()
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	out := make([]listEntry, 0, len(names))
+	for _, n := range names {
+		meta, err := h.store.Stat(n)
+		if err != nil {
+			continue // deleted between List and Stat
+		}
+		out = append(out, listEntry{Name: n, Size: meta.Manifest.FileSize, Stripes: meta.Manifest.Stripes})
+	}
+	writeJSON(w, out)
+}
+
+func (h *handler) scrub(w http.ResponseWriter, r *http.Request) {
+	rep := h.store.ScrubAll()
+	if n := rep.ShardsHealed(); n > 0 {
+		h.logf.printf("ecserver: scrub healed %d shard(s) across %d object(s)", n, len(rep.Healed))
+	}
+	writeJSON(w, rep)
+}
+
+func (h *handler) statusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.store.Stats())
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Scrubber is the daemon's background repair loop: it sweeps the whole
+// catalog (verify every shard's checksum, rebuild what rotted or vanished)
+// once per interval, jittered so a fleet of daemons sharing storage does
+// not scrub in lockstep. Start it with StartScrubber; Stop drains the
+// in-flight sweep before returning, which is what lets the daemon shut
+// down without tearing shard files out from under a half-finished heal.
+type Scrubber struct {
+	store    *Store
+	interval time.Duration
+	logf     Logf
+	kick     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartScrubber launches the background scrub loop. interval must be
+// positive; each sleep is drawn uniformly from [interval/2, 3*interval/2).
+func StartScrubber(store *Store, interval time.Duration, logf Logf) *Scrubber {
+	sc := &Scrubber{
+		store:    store,
+		interval: interval,
+		logf:     logf,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go sc.loop()
+	return sc
+}
+
+// Kick requests an immediate sweep (coalesced if one is already pending).
+func (sc *Scrubber) Kick() {
+	select {
+	case sc.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Stop terminates the loop, waiting for any in-flight sweep to finish.
+// Safe to call once.
+func (sc *Scrubber) Stop() {
+	close(sc.stop)
+	<-sc.done
+}
+
+// jittered returns the next sleep: interval ±50%, uniformly.
+func (sc *Scrubber) jittered() time.Duration {
+	return sc.interval/2 + time.Duration(rand.Int63n(int64(sc.interval)))
+}
+
+func (sc *Scrubber) loop() {
+	defer close(sc.done)
+	timer := time.NewTimer(sc.jittered())
+	defer timer.Stop()
+	for {
+		select {
+		case <-sc.stop:
+			return
+		case <-sc.kick:
+		case <-timer.C:
+		}
+		rep := sc.store.ScrubAll()
+		if healed := rep.ShardsHealed(); healed > 0 {
+			sc.logf.printf("ecserver: scrub healed %d shard(s) across %d object(s)", healed, len(rep.Healed))
+		}
+		for name, msg := range rep.Errors {
+			sc.logf.printf("ecserver: scrub %q: %s", name, msg)
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(sc.jittered())
+	}
+}

@@ -1,0 +1,490 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"gemmec"
+)
+
+const (
+	tk    = 3
+	tr    = 2
+	tunit = 512
+	tnode = 6
+)
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(Config{
+		Root:     t.TempDir(),
+		Nodes:    tnode,
+		K:        tk,
+		R:        tr,
+		UnitSize: tunit,
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randBytes(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func mustPut(t *testing.T, s *Store, name string, data []byte) ObjectMeta {
+	t.Helper()
+	meta, _, err := s.Put(name, bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatalf("put %q: %v", name, err)
+	}
+	return meta
+}
+
+func mustGet(t *testing.T, s *Store, name string) ([]byte, []int) {
+	t.Helper()
+	var buf bytes.Buffer
+	_, bad, err := s.Get(name, &buf)
+	if err != nil {
+		t.Fatalf("get %q: %v", name, err)
+	}
+	return buf.Bytes(), bad
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newTestStore(t)
+	stripe := tk * tunit
+	for i, size := range []int{0, 1, tunit - 1, stripe, 3*stripe + 17} {
+		name := fmt.Sprintf("obj-%d", i)
+		data := randBytes(int64(size)+3, size)
+		meta := mustPut(t, s, name, data)
+		if meta.Manifest.FileSize != int64(size) {
+			t.Fatalf("size %d: manifest records %d", size, meta.Manifest.FileSize)
+		}
+		got, bad := mustGet(t, s, name)
+		if len(bad) != 0 {
+			t.Errorf("size %d: clean read reconstructed %v", size, bad)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: content mismatch", size)
+		}
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 5 {
+		t.Fatalf("List = %v, want 5 objects", names)
+	}
+}
+
+// Rotating placement: consecutive objects start on consecutive nodes, and
+// one object never puts two shards in the same node directory.
+func TestRotatingPlacement(t *testing.T) {
+	s := newTestStore(t)
+	starts := map[int]bool{}
+	for i := 0; i < tnode; i++ {
+		meta := mustPut(t, s, fmt.Sprintf("o%d", i), randBytes(int64(i), tunit))
+		seen := map[int]bool{}
+		for _, n := range meta.Placement {
+			if seen[n] {
+				t.Fatalf("object %d places two shards on node %d: %v", i, n, meta.Placement)
+			}
+			seen[n] = true
+		}
+		starts[meta.Placement[0]] = true
+	}
+	if len(starts) != tnode {
+		t.Errorf("placement starts cover %d of %d nodes", len(starts), tnode)
+	}
+}
+
+func TestOverwriteKeepsPlacementAndData(t *testing.T) {
+	s := newTestStore(t)
+	first := mustPut(t, s, "obj", randBytes(1, 4*tk*tunit))
+	newData := randBytes(2, 2*tk*tunit+11)
+	second := mustPut(t, s, "obj", newData)
+	if !equalInts(first.Placement, second.Placement) {
+		t.Errorf("overwrite moved object: %v -> %v", first.Placement, second.Placement)
+	}
+	got, _ := mustGet(t, s, "obj")
+	if !bytes.Equal(got, newData) {
+		t.Fatal("overwrite did not replace contents")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeleteRemovesShards(t *testing.T) {
+	s := newTestStore(t)
+	meta := mustPut(t, s, "obj", randBytes(3, tk*tunit))
+	paths := s.shardPaths(objKey("obj"), meta)
+	if err := s.Delete("obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Stat("obj"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("Stat after delete: %v", err)
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("shard %s survived delete", p)
+		}
+	}
+	if err := s.Delete("obj"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+// The core resilience story at the store level: lose a whole node
+// directory plus silent rot on another node, read back perfectly, scrub
+// heals, and a second scrub finds nothing.
+func TestDegradedReadAndScrubHeal(t *testing.T) {
+	s := newTestStore(t)
+	data := randBytes(7, 5*tk*tunit+123)
+	meta := mustPut(t, s, "obj", data)
+	paths := s.shardPaths(objKey("obj"), meta)
+
+	// Kill the node dir holding shard 0, flip a byte in shard 1.
+	if err := os.RemoveAll(s.nodeDir(meta.Placement[0])); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, paths[1])
+
+	got, bad := mustGet(t, s, "obj")
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read returned wrong bytes")
+	}
+	if len(bad) != 2 {
+		t.Fatalf("reconstructed %v, want shards 0 and 1", bad)
+	}
+
+	rep := s.ScrubAll()
+	if got := rep.Healed["obj"]; len(got) != 2 {
+		t.Fatalf("scrub healed %v, want [0 1]", got)
+	}
+	if len(rep.Errors) != 0 {
+		t.Fatalf("scrub errors: %v", rep.Errors)
+	}
+	if rep := s.ScrubAll(); !rep.Clean() {
+		t.Fatalf("second scrub not clean: %+v", rep)
+	}
+	got, bad = mustGet(t, s, "obj")
+	if len(bad) != 0 || !bytes.Equal(got, data) {
+		t.Fatalf("read after heal: reconstructed=%v", bad)
+	}
+}
+
+func TestTooManyFailures(t *testing.T) {
+	s := newTestStore(t)
+	meta := mustPut(t, s, "obj", randBytes(9, 2*tk*tunit))
+	paths := s.shardPaths(objKey("obj"), meta)
+	for i := 0; i <= tr; i++ { // r+1 losses: unrecoverable
+		if err := os.Remove(paths[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	_, _, err := s.Get("obj", &buf)
+	if !errors.Is(err, gemmec.ErrTooFewShards) {
+		t.Fatalf("error %v does not wrap ErrTooFewShards", err)
+	}
+	rep := s.ScrubAll()
+	if len(rep.Errors) != 1 {
+		t.Fatalf("scrub of unrecoverable object reported %+v", rep)
+	}
+}
+
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xa5
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The acceptance scenario, over a real HTTP round trip: PUT an object,
+// damage up to r node directories, GET byte-identical data via degraded
+// read, then scrub heals everything and reports clean afterwards.
+func TestHTTPEndToEnd(t *testing.T) {
+	s := newTestStore(t)
+	ts := httptest.NewServer(NewHandler(s, t.Logf))
+	defer ts.Close()
+	client := ts.Client()
+
+	data := randBytes(11, 4*tk*tunit+99)
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/o/e2e/demo.bin", bytes.NewReader(data))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT status %d", resp.StatusCode)
+	}
+
+	get := func() ([]byte, string) {
+		t.Helper()
+		resp, err := client.Get(ts.URL + "/o/e2e/demo.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET status %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body, resp.Header.Get("X-Gemmec-Degraded")
+	}
+
+	body, degraded := get()
+	if !bytes.Equal(body, data) || degraded != "false" {
+		t.Fatalf("clean GET: degraded=%s match=%v", degraded, bytes.Equal(body, data))
+	}
+
+	// Damage r node directories: delete one wholesale, rot a shard in
+	// another.
+	meta, err := s.Stat("e2e/demo.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := s.shardPaths(objKey("e2e/demo.bin"), meta)
+	if err := os.RemoveAll(s.nodeDir(meta.Placement[2])); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, paths[4])
+
+	body, degraded = get()
+	if !bytes.Equal(body, data) {
+		t.Fatal("degraded GET returned wrong bytes")
+	}
+	if degraded != "true" {
+		t.Fatalf("degraded GET did not set X-Gemmec-Degraded (got %q)", degraded)
+	}
+
+	// Scrub over HTTP heals both shards...
+	resp, err = client.Post(ts.URL+"/scrub", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ScrubReport
+	if err := jsonDecode(resp, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Healed["e2e/demo.bin"]; len(got) != 2 {
+		t.Fatalf("scrub healed %v, want 2 shards", got)
+	}
+	// ...and a subsequent sweep reports the catalog clean.
+	resp, err = client.Post(ts.URL+"/scrub", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second ScrubReport
+	if err := jsonDecode(resp, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Clean() {
+		t.Fatalf("post-heal scrub not clean: %+v", second)
+	}
+	if body, degraded = get(); degraded != "false" || !bytes.Equal(body, data) {
+		t.Fatalf("GET after heal: degraded=%s", degraded)
+	}
+}
+
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	return json.Unmarshal(b, v)
+}
+
+func TestHTTPStatusCodes(t *testing.T) {
+	s := newTestStore(t)
+	ts := httptest.NewServer(NewHandler(s, t.Logf))
+	defer ts.Close()
+	client := ts.Client()
+
+	status := func(method, path string, body io.Reader) int {
+		t.Helper()
+		req, _ := http.NewRequest(method, ts.URL+path, body)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := status(http.MethodGet, "/o/nope", nil); got != http.StatusNotFound {
+		t.Errorf("GET unknown = %d, want 404", got)
+	}
+	if got := status(http.MethodPut, "/o/", bytes.NewReader([]byte("x"))); got != http.StatusBadRequest {
+		t.Errorf("PUT empty name = %d, want 400", got)
+	}
+	if got := status(http.MethodDelete, "/o/nope", nil); got != http.StatusNotFound {
+		t.Errorf("DELETE unknown = %d, want 404", got)
+	}
+	if got := status(http.MethodGet, "/healthz", nil); got != http.StatusOK {
+		t.Errorf("GET /healthz = %d", got)
+	}
+	if got := status(http.MethodGet, "/statusz", nil); got != http.StatusOK {
+		t.Errorf("GET /statusz = %d", got)
+	}
+
+	// Unrecoverable object: 503, and the error text names the taxonomy.
+	meta := mustPut(t, s, "gone", randBytes(21, tk*tunit))
+	paths := s.shardPaths(objKey("gone"), meta)
+	for i := 0; i <= tr; i++ {
+		os.Remove(paths[i])
+	}
+	if got := status(http.MethodGet, "/o/gone", nil); got != http.StatusServiceUnavailable {
+		t.Errorf("GET unrecoverable = %d, want 503", got)
+	}
+
+	// HEAD reports size and degradation without a body.
+	data := randBytes(22, 2*tk*tunit)
+	mustPut(t, s, "head", data)
+	req, _ := http.NewRequest(http.MethodHead, ts.URL+"/o/head", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.ContentLength != int64(len(data)) {
+		t.Errorf("HEAD: status %d length %d, want 200 %d", resp.StatusCode, resp.ContentLength, len(data))
+	}
+}
+
+// The background scrubber must notice damage and heal it without any
+// request traffic, and Stop must drain cleanly.
+func TestBackgroundScrubberHeals(t *testing.T) {
+	s := newTestStore(t)
+	data := randBytes(31, 3*tk*tunit)
+	meta := mustPut(t, s, "obj", data)
+	paths := s.shardPaths(objKey("obj"), meta)
+	if err := os.Remove(paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, paths[3])
+
+	sc := StartScrubber(s, 5*time.Millisecond, t.Logf)
+	defer sc.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s.Stats().ShardsHealed >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scrubber did not heal within deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Shards are whole again: a clean (non-degraded) read succeeds.
+	got, bad := mustGet(t, s, "obj")
+	if len(bad) != 0 || !bytes.Equal(got, data) {
+		t.Fatalf("after background heal: reconstructed=%v", bad)
+	}
+}
+
+// Race-detector workout: concurrent puts, gets, scrubs and deletes over a
+// shared store (run under -race by the Makefile ci target).
+func TestConcurrentTraffic(t *testing.T) {
+	s := newTestStore(t)
+	payload := randBytes(41, 2*tk*tunit+13)
+	for i := 0; i < 4; i++ {
+		mustPut(t, s, fmt.Sprintf("seed-%d", i), payload)
+	}
+	sc := StartScrubber(s, time.Millisecond, nil)
+	defer sc.Stop()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("seed-%d", g)
+			for i := 0; i < 15; i++ {
+				if _, _, err := s.Put(name, bytes.NewReader(payload), int64(len(payload))); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				var buf bytes.Buffer
+				if _, _, err := s.Get(name, &buf); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				if !bytes.Equal(buf.Bytes(), payload) {
+					t.Error("content mismatch under concurrency")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if rep := s.ScrubAll(); !rep.Clean() {
+		t.Fatalf("scrub after concurrent traffic: %+v", rep)
+	}
+}
+
+// Reopening a store must see the existing catalog and keep rotating
+// placement past it.
+func TestReopen(t *testing.T) {
+	root := t.TempDir()
+	cfg := Config{Root: root, Nodes: tnode, K: tk, R: tr, UnitSize: tunit, Workers: 1}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBytes(51, tk*tunit+1)
+	mustPut(t, s, "persist", data)
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, bad := mustGet(t, s2, "persist")
+	if len(bad) != 0 || !bytes.Equal(got, data) {
+		t.Fatal("reopened store lost the object")
+	}
+	if s2.Stats().Objects != 1 {
+		t.Fatalf("reopened store sees %d objects", s2.Stats().Objects)
+	}
+}

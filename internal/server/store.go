@@ -1,0 +1,564 @@
+// Package server is the networked erasure-coded object daemon behind
+// cmd/ecserver: a stdlib-only HTTP object store that chunks uploads into
+// stripes, encodes them through the pipelined streaming engine, and spreads
+// the k+r shards of every object across N local "node" directories
+// (distinct failure domains, internal/cluster-style rotating placement).
+// Reads verify every shard against its manifest checksum and reconstruct
+// transparently when shards are missing or rotten; a background scrubber
+// walks the manifests on a jittered interval and heals damage in place.
+// It is the repository's first end-to-end serving path — §8's "integrate
+// into real storage systems" realized as a process that actually serves
+// bytes over a socket.
+package server
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gemmec"
+	"gemmec/internal/shardfile"
+)
+
+// ErrObjectNotFound is returned for unknown object names.
+var ErrObjectNotFound = errors.New("server: object not found")
+
+// ErrBadObjectName is returned for empty or over-long object names.
+var ErrBadObjectName = errors.New("server: bad object name")
+
+// maxNameLen bounds object names so the hex-encoded on-disk key plus the
+// shard suffix stays under common 255-byte filename limits.
+const maxNameLen = 100
+
+// Config sizes a store.
+type Config struct {
+	// Root is the directory holding the node directories and object
+	// metadata. Created if absent.
+	Root string
+	// Nodes is the number of node directories (failure domains). Must be
+	// at least K+R so every shard of a stripe lands in a distinct domain.
+	Nodes int
+	// K and R are the code geometry: K data shards, R parity shards.
+	K, R int
+	// UnitSize is the shard unit size in bytes per stripe (0 selects
+	// gemmec.DefaultUnitSize).
+	UnitSize int
+	// Workers is the per-request stream worker count (0 selects the
+	// pipeline default: GOMAXPROCS capped at 8).
+	Workers int
+}
+
+// Stats is a snapshot of the store's cumulative counters, served by the
+// daemon's /statusz endpoint.
+type Stats struct {
+	Objects       int   `json:"objects"`
+	Puts          int64 `json:"puts"`
+	Gets          int64 `json:"gets"`
+	DegradedGets  int64 `json:"degraded_gets"`
+	Deletes       int64 `json:"deletes"`
+	ScrubCycles   int64 `json:"scrub_cycles"`
+	ShardsHealed  int64 `json:"shards_healed"`
+	BytesIn       int64 `json:"bytes_in"`
+	BytesOut      int64 `json:"bytes_out"`
+	ScrubErrors   int64 `json:"scrub_errors"`
+	UnitSize      int   `json:"unit_size"`
+	DataShards    int   `json:"k"`
+	ParityShards  int   `json:"r"`
+	NodeDirs      int   `json:"nodes"`
+	StreamWorkers int   `json:"stream_workers"`
+}
+
+// ObjectMeta is the per-object metadata persisted under meta/: the
+// shardfile manifest (geometry, size, per-shard SHA-256) plus where each
+// shard lives.
+type ObjectMeta struct {
+	Name     string             `json:"name"`
+	Manifest shardfile.Manifest `json:"manifest"`
+	// Placement maps shard index i to the node directory holding it.
+	Placement []int `json:"placement"`
+}
+
+// Store is the on-disk erasure-coded object store the HTTP layer serves.
+// All methods are safe for concurrent use; operations on the same object
+// are serialized by a per-object lock (readers share).
+type Store struct {
+	cfg  Config
+	code *gemmec.Code
+
+	mu    sync.Mutex
+	rot   int // rotating placement offset, cluster-style
+	locks map[string]*sync.RWMutex
+
+	puts, gets, degradedGets, deletes atomic.Int64
+	scrubCycles, shardsHealed         atomic.Int64
+	scrubErrors                       atomic.Int64
+	bytesIn, bytesOut                 atomic.Int64
+}
+
+// Open opens (creating if necessary) the store rooted at cfg.Root.
+func Open(cfg Config) (*Store, error) {
+	if cfg.UnitSize == 0 {
+		cfg.UnitSize = gemmec.DefaultUnitSize
+	}
+	code, err := gemmec.New(cfg.K, cfg.R, gemmec.WithUnitSize(cfg.UnitSize))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Nodes < cfg.K+cfg.R {
+		return nil, fmt.Errorf("server: %d node dirs cannot hold k+r=%d shards in distinct failure domains",
+			cfg.Nodes, cfg.K+cfg.R)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		if cfg.Workers > 8 {
+			cfg.Workers = 8
+		}
+	}
+	s := &Store{cfg: cfg, code: code, locks: map[string]*sync.RWMutex{}}
+	if err := s.ensureDirs(); err != nil {
+		return nil, err
+	}
+	// Start the placement rotation where the existing population left off,
+	// so restarts keep spreading load instead of re-piling on node 0.
+	names, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	s.rot = len(names) % cfg.Nodes
+	return s, nil
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// ensureDirs (re)creates the node and metadata directories. Called on Open
+// and before writes/scrubs so that an operator who nukes a whole node
+// directory (the quickstart's failure drill) sees it heal back.
+func (s *Store) ensureDirs() error {
+	for i := 0; i < s.cfg.Nodes; i++ {
+		if err := os.MkdirAll(s.nodeDir(i), 0o755); err != nil {
+			return err
+		}
+	}
+	return os.MkdirAll(s.metaDir(), 0o755)
+}
+
+func (s *Store) nodeDir(i int) string {
+	return filepath.Join(s.cfg.Root, fmt.Sprintf("node_%03d", i))
+}
+
+func (s *Store) metaDir() string { return filepath.Join(s.cfg.Root, "meta") }
+
+// objKey is the filesystem-safe encoding of an object name.
+func objKey(name string) string { return hex.EncodeToString([]byte(name)) }
+
+func (s *Store) metaPath(key string) string {
+	return filepath.Join(s.metaDir(), key+".json")
+}
+
+// shardPaths lays out meta's shards: shard i of object key lives at
+// node_<placement[i]>/<key>.shard_<i>.
+func (s *Store) shardPaths(key string, meta ObjectMeta) []string {
+	paths := make([]string, len(meta.Placement))
+	for i, node := range meta.Placement {
+		paths[i] = filepath.Join(s.nodeDir(node), fmt.Sprintf("%s.shard_%03d", key, i))
+	}
+	return paths
+}
+
+func validateName(name string) error {
+	if name == "" || len(name) > maxNameLen {
+		return fmt.Errorf("%w: %q (must be 1..%d bytes)", ErrBadObjectName, name, maxNameLen)
+	}
+	return nil
+}
+
+// lockFor returns the per-object lock, creating it on first use. Locks are
+// never removed: the map grows with the number of distinct object names,
+// which is bounded by the catalog size.
+func (s *Store) lockFor(key string) *sync.RWMutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.locks[key]
+	if !ok {
+		l = &sync.RWMutex{}
+		s.locks[key] = l
+	}
+	return l
+}
+
+func (s *Store) loadMeta(key string) (ObjectMeta, error) {
+	var meta ObjectMeta
+	b, err := os.ReadFile(s.metaPath(key))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return meta, ErrObjectNotFound
+		}
+		return meta, err
+	}
+	if err := json.Unmarshal(b, &meta); err != nil {
+		return meta, fmt.Errorf("server: corrupt metadata for %s: %w", key, err)
+	}
+	if err := meta.Manifest.Validate(); err != nil {
+		return meta, err
+	}
+	if len(meta.Placement) != meta.Manifest.K+meta.Manifest.R {
+		return meta, fmt.Errorf("server: metadata for %s places %d shards, manifest wants %d",
+			key, len(meta.Placement), meta.Manifest.K+meta.Manifest.R)
+	}
+	return meta, nil
+}
+
+func (s *Store) saveMeta(key string, meta ObjectMeta) error {
+	b, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := s.metaPath(key) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.metaPath(key)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// placement picks the k+r node directories for a new object by rotating
+// round-robin (the internal/cluster policy): consecutive objects start at
+// consecutive nodes, every shard of one object lands in a distinct node.
+func (s *Store) placement() []int {
+	s.mu.Lock()
+	rot := s.rot
+	s.rot = (s.rot + 1) % s.cfg.Nodes
+	s.mu.Unlock()
+	p := make([]int, s.cfg.K+s.cfg.R)
+	for i := range p {
+		p[i] = (rot + i) % s.cfg.Nodes
+	}
+	return p
+}
+
+// Put streams src into the store as object name, erasure-coding it through
+// the pipelined engine. size is validated against the bytes read when
+// >= 0; pass -1 for unknown-length sources (chunked uploads). Overwrites
+// atomically: an object is either fully the old version or fully the new
+// one, and concurrent readers of the old version are unaffected.
+func (s *Store) Put(name string, src io.Reader, size int64) (ObjectMeta, gemmec.StreamStats, error) {
+	var st gemmec.StreamStats
+	if err := validateName(name); err != nil {
+		return ObjectMeta{}, st, err
+	}
+	key := objKey(name)
+	l := s.lockFor(key)
+	l.Lock()
+	defer l.Unlock()
+	if err := s.ensureDirs(); err != nil {
+		return ObjectMeta{}, st, err
+	}
+
+	// Reuse the existing placement on overwrite (shard files are replaced
+	// via rename); allocate a fresh rotation slot otherwise.
+	var oldPaths []string
+	meta := ObjectMeta{Name: name}
+	if old, err := s.loadMeta(key); err == nil {
+		if s.placementUsable(old.Placement) {
+			meta.Placement = old.Placement
+		} else {
+			oldPaths = s.shardPaths(key, old)
+		}
+	}
+	if meta.Placement == nil {
+		meta.Placement = s.placement()
+	}
+	paths := s.shardPaths(key, meta)
+	m, st, err := shardfile.WriteStreamPaths(paths, src, size,
+		s.cfg.K, s.cfg.R, s.cfg.UnitSize, s.cfg.Workers)
+	if err != nil {
+		return ObjectMeta{}, st, err
+	}
+	meta.Manifest = m
+	if err := s.saveMeta(key, meta); err != nil {
+		return ObjectMeta{}, st, err
+	}
+	// A geometry change relocated the object: drop the stale shards.
+	for _, p := range oldPaths {
+		os.Remove(p)
+	}
+	s.puts.Add(1)
+	s.bytesIn.Add(m.FileSize)
+	return meta, st, nil
+}
+
+// placementUsable reports whether an existing placement still fits the
+// store's geometry (same shard count, node indices in range).
+func (s *Store) placementUsable(p []int) bool {
+	if len(p) != s.cfg.K+s.cfg.R {
+		return false
+	}
+	for _, n := range p {
+		if n < 0 || n >= s.cfg.Nodes {
+			return false
+		}
+	}
+	return true
+}
+
+// Object is an opened, verified object ready to stream. Every shard has
+// already been checked against the manifest, so Degraded/Unusable are
+// known before the first payload byte — the HTTP layer turns them into
+// response headers. Close must be called exactly once.
+type Object struct {
+	Meta ObjectMeta
+
+	s      *Store
+	sr     *shardfile.StreamReader
+	unlock sync.Once
+	lock   *sync.RWMutex
+}
+
+// Size returns the object's payload size in bytes.
+func (o *Object) Size() int64 { return o.Meta.Manifest.FileSize }
+
+// Degraded reports whether serving this object requires reconstruction.
+func (o *Object) Degraded() bool { return o.sr.Degraded() }
+
+// Unusable returns the shard indices that will be reconstructed around:
+// missing, truncated, or checksum-corrupt.
+func (o *Object) Unusable() []int { return o.sr.Unusable() }
+
+// Stream writes the object's payload to dst, reconstructing unusable
+// shards on the fly. It may be called at most once.
+func (o *Object) Stream(dst io.Writer) (gemmec.StreamStats, error) {
+	st, err := o.sr.Decode(dst, o.s.cfg.Workers)
+	if err == nil {
+		o.s.bytesOut.Add(o.Meta.Manifest.FileSize)
+	}
+	return st, err
+}
+
+// Close releases the object's shard files and its read lock.
+func (o *Object) Close() error {
+	err := o.sr.Close()
+	o.unlock.Do(o.lock.RUnlock)
+	return err
+}
+
+// OpenObject opens object name for reading, verifying every shard against
+// the manifest (length + SHA-256). Missing or corrupt shards are noted for
+// degraded decoding; if too few survive, the error wraps
+// gemmec.ErrTooFewShards (and gemmec.ErrCorruptShard when checksum
+// failures contributed). The object holds a shared lock until Close, so a
+// concurrent scrub cannot rewrite shards mid-stream.
+func (s *Store) OpenObject(name string) (*Object, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	key := objKey(name)
+	l := s.lockFor(key)
+	l.RLock()
+	meta, err := s.loadMeta(key)
+	if err != nil {
+		l.RUnlock()
+		return nil, err
+	}
+	sr, err := shardfile.OpenStreamPaths(s.shardPaths(key, meta), meta.Manifest)
+	if err != nil {
+		l.RUnlock()
+		return nil, err
+	}
+	s.gets.Add(1)
+	if sr.Degraded() {
+		s.degradedGets.Add(1)
+	}
+	return &Object{Meta: meta, s: s, sr: sr, lock: l}, nil
+}
+
+// Get streams object name to dst, returning its metadata and the shard
+// indices reconstructed around (nil when the read was clean).
+func (s *Store) Get(name string, dst io.Writer) (ObjectMeta, []int, error) {
+	o, err := s.OpenObject(name)
+	if err != nil {
+		return ObjectMeta{}, nil, err
+	}
+	defer o.Close()
+	if _, err := o.Stream(dst); err != nil {
+		return o.Meta, o.Unusable(), err
+	}
+	return o.Meta, o.Unusable(), nil
+}
+
+// Stat returns object name's metadata without touching its shards.
+func (s *Store) Stat(name string) (ObjectMeta, error) {
+	if err := validateName(name); err != nil {
+		return ObjectMeta{}, err
+	}
+	key := objKey(name)
+	l := s.lockFor(key)
+	l.RLock()
+	defer l.RUnlock()
+	return s.loadMeta(key)
+}
+
+// Delete removes object name's shards and metadata.
+func (s *Store) Delete(name string) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	key := objKey(name)
+	l := s.lockFor(key)
+	l.Lock()
+	defer l.Unlock()
+	meta, err := s.loadMeta(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(s.metaPath(key)); err != nil {
+		return err
+	}
+	for _, p := range s.shardPaths(key, meta) {
+		os.Remove(p) // best effort; orphaned shards are invisible without meta
+	}
+	s.deletes.Add(1)
+	return nil
+}
+
+// List returns the stored object names, sorted.
+func (s *Store) List() ([]string, error) {
+	ents, err := os.ReadDir(s.metaDir())
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		key, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok {
+			continue
+		}
+		raw, err := hex.DecodeString(key)
+		if err != nil {
+			continue
+		}
+		names = append(names, string(raw))
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ScrubObject verifies object name's shards against the manifest checksums
+// and rebuilds any missing or corrupt shard in place (temp-file + rename),
+// returning the healed shard indices. The object is exclusively locked for
+// the duration.
+func (s *Store) ScrubObject(name string) ([]int, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	key := objKey(name)
+	l := s.lockFor(key)
+	l.Lock()
+	defer l.Unlock()
+	meta, err := s.loadMeta(key)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ensureDirs(); err != nil {
+		return nil, err
+	}
+	healed, err := shardfile.ScrubPaths(s.shardPaths(key, meta), meta.Manifest)
+	if err != nil {
+		return nil, err
+	}
+	s.shardsHealed.Add(int64(len(healed)))
+	return healed, nil
+}
+
+// ScrubReport summarizes one scrub sweep over the whole catalog.
+type ScrubReport struct {
+	// Objects is the number of objects examined.
+	Objects int `json:"objects"`
+	// Healed maps object name to the shard indices rebuilt. Objects that
+	// scrubbed clean are absent.
+	Healed map[string][]int `json:"healed,omitempty"`
+	// Errors maps object name to the scrub failure (e.g. too many shards
+	// lost to rebuild). These objects still need operator attention.
+	Errors map[string]string `json:"errors,omitempty"`
+}
+
+// ShardsHealed totals the rebuilt shards across the sweep.
+func (r ScrubReport) ShardsHealed() int {
+	n := 0
+	for _, h := range r.Healed {
+		n += len(h)
+	}
+	return n
+}
+
+// Clean reports a sweep that found nothing to heal and hit no errors.
+func (r ScrubReport) Clean() bool { return len(r.Healed) == 0 && len(r.Errors) == 0 }
+
+// ScrubAll sweeps every object in the catalog once. It never fails as a
+// whole: per-object failures are collected in the report.
+func (s *Store) ScrubAll() ScrubReport {
+	rep := ScrubReport{}
+	names, err := s.List()
+	if err != nil {
+		rep.Errors = map[string]string{"<catalog>": err.Error()}
+		s.scrubErrors.Add(1)
+		return rep
+	}
+	for _, name := range names {
+		rep.Objects++
+		healed, err := s.ScrubObject(name)
+		if err != nil {
+			if rep.Errors == nil {
+				rep.Errors = map[string]string{}
+			}
+			rep.Errors[name] = err.Error()
+			s.scrubErrors.Add(1)
+			continue
+		}
+		if len(healed) > 0 {
+			if rep.Healed == nil {
+				rep.Healed = map[string][]int{}
+			}
+			rep.Healed[name] = healed
+		}
+	}
+	s.scrubCycles.Add(1)
+	return rep
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	names, _ := s.List()
+	return Stats{
+		Objects:       len(names),
+		Puts:          s.puts.Load(),
+		Gets:          s.gets.Load(),
+		DegradedGets:  s.degradedGets.Load(),
+		Deletes:       s.deletes.Load(),
+		ScrubCycles:   s.scrubCycles.Load(),
+		ShardsHealed:  s.shardsHealed.Load(),
+		ScrubErrors:   s.scrubErrors.Load(),
+		BytesIn:       s.bytesIn.Load(),
+		BytesOut:      s.bytesOut.Load(),
+		UnitSize:      s.cfg.UnitSize,
+		DataShards:    s.cfg.K,
+		ParityShards:  s.cfg.R,
+		NodeDirs:      s.cfg.Nodes,
+		StreamWorkers: s.cfg.Workers,
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"gemmec"
+	"gemmec/internal/ecerr"
 )
 
 // ManifestName is the metadata file written next to the shards.
@@ -137,14 +138,31 @@ func LoadManifest(dir string) (Manifest, error) {
 // LoadShards reads every present shard; missing or wrong-size shard files
 // yield nil entries and are reported in missing.
 func LoadShards(dir string, m Manifest) (shards [][]byte, missing []int, err error) {
+	return loadShardsPaths(shardPaths(dir, m), m)
+}
+
+// shardPaths expands the single-directory layout into explicit per-shard
+// paths for the path-based entry points.
+func shardPaths(dir string, m Manifest) []string {
+	paths := make([]string, m.K+m.R)
+	for i := range paths {
+		paths[i] = ShardPath(dir, i)
+	}
+	return paths
+}
+
+func loadShardsPaths(paths []string, m Manifest) (shards [][]byte, missing []int, err error) {
 	if err := m.Validate(); err != nil {
 		return nil, nil, err
 	}
 	n := m.K + m.R
+	if len(paths) != n {
+		return nil, nil, fmt.Errorf("shardfile: %d shard paths for k+r=%d", len(paths), n)
+	}
 	shards = make([][]byte, n)
 	want := m.Stripes * m.UnitSize
 	for i := 0; i < n; i++ {
-		data, err := os.ReadFile(ShardPath(dir, i))
+		data, err := os.ReadFile(paths[i])
 		if err != nil || len(data) != want {
 			missing = append(missing, i)
 			continue
@@ -249,7 +267,17 @@ func Scrub(dir string) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	shards, missing, err := LoadShards(dir, m)
+	return ScrubPaths(shardPaths(dir, m), m)
+}
+
+// ScrubPaths is Scrub over an explicit shard-file path per unit (the
+// multi-node layout of internal/server, where one object's shards live in
+// different node directories). Healed shards are written via a temporary
+// file and renamed into place, so a concurrent reader never observes a
+// half-rebuilt shard. Checksum failures in the returned errors wrap
+// ecerr.ErrCorruptShard.
+func ScrubPaths(paths []string, m Manifest) ([]int, error) {
+	shards, missing, err := loadShardsPaths(paths, m)
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +317,7 @@ func Scrub(dir string) ([]int, error) {
 			}
 		}
 		if err := code.Reconstruct(units); err != nil {
-			return nil, fmt.Errorf("shardfile: stripe %d: %w", s, err)
+			return nil, fmt.Errorf("shardfile: stripe %d (%d shards unusable %v): %w", s, len(healed), healed, err)
 		}
 		for _, i := range healed {
 			rebuilt[i] = append(rebuilt[i], units[i]...)
@@ -297,9 +325,15 @@ func Scrub(dir string) ([]int, error) {
 	}
 	for _, i := range healed {
 		if m.Checksums != nil && shardSum(rebuilt[i]) != m.Checksums[i] {
-			return nil, fmt.Errorf("shardfile: rebuilt shard %d fails its checksum (manifest corrupt?)", i)
+			return nil, fmt.Errorf("shardfile: rebuilt shard %d fails its manifest checksum (manifest corrupt?): %w",
+				i, ecerr.ErrCorruptShard)
 		}
-		if err := os.WriteFile(ShardPath(dir, i), rebuilt[i], 0o644); err != nil {
+		tmp := paths[i] + ".tmp"
+		if err := os.WriteFile(tmp, rebuilt[i], 0o644); err != nil {
+			return nil, err
+		}
+		if err := os.Rename(tmp, paths[i]); err != nil {
+			os.Remove(tmp)
 			return nil, err
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"hash"
 	"io"
@@ -15,7 +16,13 @@ import (
 // Streaming shard-set I/O: the same on-disk layout as Write/Read, produced
 // and consumed through the pipelined EncodeStream/DecodeStream API instead
 // of buffering the whole file in memory. This is the eccli -stream-workers
-// path.
+// path and the read/write engine behind internal/server's object daemon.
+//
+// The path-based variants (WriteStreamPaths, OpenStreamPaths, ScrubPaths)
+// take an explicit shard-file path per unit instead of one directory, so a
+// caller can spread the k+r shards of one object across separate "node"
+// directories (distinct failure domains) while reusing this package's
+// manifest, verification and repair machinery.
 
 const streamBufSize = 1 << 20
 
@@ -24,28 +31,56 @@ const streamBufSize = 1 << 20
 // writes the manifest. Shard checksums are computed on the fly. Existing
 // shard files are overwritten.
 func WriteStream(dir string, src io.Reader, size int64, k, r, unitSize, workers int) (Manifest, gemmec.StreamStats, error) {
-	var st gemmec.StreamStats
-	m := Manifest{K: k, R: r, UnitSize: unitSize, FileSize: size}
-	code, err := gemmec.New(k, r, gemmec.WithUnitSize(unitSize))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Manifest{K: k, R: r, UnitSize: unitSize, FileSize: size}, gemmec.StreamStats{}, err
+	}
+	paths := make([]string, k+r)
+	for i := range paths {
+		paths[i] = ShardPath(dir, i)
+	}
+	m, st, err := WriteStreamPaths(paths, src, size, k, r, unitSize, workers)
 	if err != nil {
 		return m, st, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return m, st, SaveManifest(dir, m)
+}
+
+// WriteStreamPaths encodes src into k+r shard files at the given paths,
+// streaming stripes through workers concurrent kernel runs, and returns the
+// manifest describing the set (the caller persists it — SaveManifest for
+// the single-directory layout, or embedded in object metadata for a
+// multi-node layout). size is validated against the bytes actually read;
+// pass size < 0 when the source length is unknown up front (e.g. a chunked
+// HTTP upload). Each shard is written via a temporary file and renamed into
+// place on success, so concurrent readers never observe a half-written
+// shard.
+func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize, workers int) (Manifest, gemmec.StreamStats, error) {
+	var st gemmec.StreamStats
+	m := Manifest{K: k, R: r, UnitSize: unitSize, FileSize: size}
+	if len(paths) != k+r {
+		return m, st, fmt.Errorf("shardfile: %d shard paths for k+r=%d", len(paths), k+r)
+	}
+	code, err := gemmec.New(k, r, gemmec.WithUnitSize(unitSize))
+	if err != nil {
 		return m, st, err
 	}
 	files := make([]*os.File, k+r)
 	bufs := make([]*bufio.Writer, k+r)
 	sums := make([]hash.Hash, k+r)
 	writers := make([]io.Writer, k+r)
+	committed := false
 	defer func() {
 		for _, f := range files {
 			if f != nil {
 				f.Close()
+				if !committed {
+					os.Remove(f.Name())
+				}
 			}
 		}
 	}()
 	for i := range writers {
-		f, err := os.Create(ShardPath(dir, i))
+		f, err := os.Create(paths[i] + ".tmp")
 		if err != nil {
 			return m, st, err
 		}
@@ -66,10 +101,24 @@ func WriteStream(dir string, src io.Reader, size int64, k, r, unitSize, workers 
 	if err != nil {
 		return m, st, err
 	}
-	if size != 0 && n != size {
+	if size > 0 && n != size {
 		return m, st, fmt.Errorf("shardfile: source is %d bytes, expected %d", n, size)
 	}
+	if size < 0 {
+		m.FileSize = n
+	}
 	m.Stripes = int(st.Stripes)
+	if m.Stripes == 0 {
+		// Unknown-size source that turned out empty: emit the all-zero
+		// stripe now (zero data implies zero parity for a linear code).
+		zero := make([]byte, unitSize)
+		for i := range writers {
+			if _, err := writers[i].Write(zero); err != nil {
+				return m, st, err
+			}
+		}
+		m.Stripes = 1
+	}
 	m.Checksums = make([]string, k+r)
 	for i := range files {
 		if err := bufs[i].Flush(); err != nil {
@@ -78,44 +127,200 @@ func WriteStream(dir string, src io.Reader, size int64, k, r, unitSize, workers 
 		if err := files[i].Close(); err != nil {
 			return m, st, err
 		}
-		files[i] = nil
-		m.Checksums[i] = fmt.Sprintf("%x", sums[i].Sum(nil))
+		m.Checksums[i] = hex.EncodeToString(sums[i].Sum(nil))
 	}
 	if err := m.Validate(); err != nil {
 		return m, st, err
 	}
-	return m, st, SaveManifest(dir, m)
+	for i := range files {
+		if err := os.Rename(paths[i]+".tmp", paths[i]); err != nil {
+			return m, st, err
+		}
+		files[i] = nil
+	}
+	committed = true
+	return m, st, nil
 }
 
-// ReadStream decodes dir's shard set to dst, reconstructing lost data
-// shards on the fly (without rewriting the missing shard files — use
-// Repair for that). It returns the manifest, the indices of missing shard
-// files, and the pipeline stats.
+// StreamReader is a verified, opened shard set ready to decode. It is
+// produced by OpenStreamPaths: every shard file has already been checked
+// against the manifest (existence, exact length, SHA-256 when the manifest
+// records checksums), and shards that fail are treated as erased. Callers
+// can therefore inspect Unusable()/Degraded() before a single payload byte
+// is produced — internal/server uses this to set degraded-read response
+// headers ahead of the body.
+type StreamReader struct {
+	m        Manifest
+	readers  []io.Reader
+	files    []*os.File
+	unusable []int
+	corrupt  []int
+}
+
+// Manifest returns the manifest the reader was opened against.
+func (sr *StreamReader) Manifest() Manifest { return sr.m }
+
+// Unusable returns the shard indices that cannot serve reads: missing
+// files, wrong-length (truncated) files, and checksum mismatches.
+func (sr *StreamReader) Unusable() []int { return sr.unusable }
+
+// Corrupt returns the subset of Unusable whose bytes were present but
+// failed verification (truncation or checksum mismatch) — rot rather than
+// loss.
+func (sr *StreamReader) Corrupt() []int { return sr.corrupt }
+
+// Degraded reports whether decoding will need reconstruction.
+func (sr *StreamReader) Degraded() bool { return len(sr.unusable) > 0 }
+
+// Close releases the underlying shard files. It is safe to call after a
+// failed Decode and is idempotent.
+func (sr *StreamReader) Close() error {
+	var first error
+	for i, f := range sr.files {
+		if f != nil {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			sr.files[i] = nil
+		}
+	}
+	return first
+}
+
+// Decode streams the object's payload to dst through workers concurrent
+// reconstruction workers, rebuilding the unusable shards' data units on the
+// fly. It may be called at most once; Close must still be called after.
+func (sr *StreamReader) Decode(dst io.Writer, workers int) (gemmec.StreamStats, error) {
+	var st gemmec.StreamStats
+	code, err := sr.m.Code()
+	if err != nil {
+		return st, err
+	}
+	out := bufio.NewWriterSize(dst, streamBufSize)
+	if err := code.DecodeStream(sr.readers, out, sr.m.FileSize,
+		gemmec.WithStreamWorkers(workers), gemmec.WithStreamStats(&st)); err != nil {
+		return st, err
+	}
+	return st, out.Flush()
+}
+
+// OpenStreamPaths verifies and opens the shard files of one manifest,
+// reading each present shard once to check its SHA-256 (when the manifest
+// records checksums) before any decoding starts. Shards that are missing,
+// truncated, or checksum-corrupt are treated as erased; if fewer than k
+// usable shards remain the returned error wraps gemmec.ErrTooFewShards
+// (and gemmec.ErrCorruptShard when verification failures contributed), so
+// callers classify "disk lied" vs "disk lost" with errors.Is.
+func OpenStreamPaths(paths []string, m Manifest) (*StreamReader, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.K + m.R
+	if len(paths) != n {
+		return nil, fmt.Errorf("shardfile: %d shard paths for k+r=%d", len(paths), n)
+	}
+	sr := &StreamReader{
+		m:       m,
+		readers: make([]io.Reader, n),
+		files:   make([]*os.File, n),
+	}
+	want := int64(m.Stripes) * int64(m.UnitSize)
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			sr.unusable = append(sr.unusable, i)
+			continue
+		}
+		ok, wasCorrupt, err := verifyShardFile(f, want, m.Checksums, i)
+		if err != nil {
+			f.Close()
+			sr.Close()
+			return nil, err
+		}
+		if !ok {
+			f.Close()
+			sr.unusable = append(sr.unusable, i)
+			if wasCorrupt {
+				sr.corrupt = append(sr.corrupt, i)
+			}
+			continue
+		}
+		sr.files[i] = f
+		sr.readers[i] = bufio.NewReaderSize(f, streamBufSize)
+	}
+	if usable := n - len(sr.unusable); usable < m.K {
+		sr.Close()
+		if len(sr.corrupt) > 0 {
+			return nil, fmt.Errorf("shardfile: shards %v failed verification (%w); only %d of %d usable, need k=%d: %w",
+				sr.corrupt, gemmec.ErrCorruptShard, usable, n, m.K, gemmec.ErrTooFewShards)
+		}
+		return nil, fmt.Errorf("shardfile: only %d of %d shards usable (missing %v), need k=%d: %w",
+			usable, n, sr.unusable, m.K, gemmec.ErrTooFewShards)
+	}
+	return sr, nil
+}
+
+// verifyShardFile checks one opened shard file against the manifest: exact
+// expected length, and SHA-256 when sums are recorded. On success the file
+// is rewound for decoding. ok=false means the shard must be treated as
+// erased; corrupt additionally marks bytes-present-but-wrong.
+func verifyShardFile(f *os.File, want int64, sums []string, i int) (ok, corrupt bool, err error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return false, false, err
+	}
+	if fi.Size() != want {
+		return false, true, nil
+	}
+	if sums == nil {
+		return true, false, nil
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return false, false, err
+	}
+	if hex.EncodeToString(h.Sum(nil)) != sums[i] {
+		return false, true, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return false, false, err
+	}
+	return true, false, nil
+}
+
+// ReadStreamPaths decodes the shard files at paths to dst, verifying every
+// present shard against the manifest first (see OpenStreamPaths) and
+// reconstructing unusable shards' data on the fly. It returns the indices
+// of the shards it had to treat as erased and the pipeline stats.
+func ReadStreamPaths(paths []string, m Manifest, dst io.Writer, workers int) ([]int, gemmec.StreamStats, error) {
+	sr, err := OpenStreamPaths(paths, m)
+	if err != nil {
+		return nil, gemmec.StreamStats{}, err
+	}
+	defer sr.Close()
+	st, err := sr.Decode(dst, workers)
+	return sr.Unusable(), st, err
+}
+
+// ReadStream decodes dir's shard set to dst, reconstructing lost or
+// corrupt data shards on the fly (without rewriting the damaged shard
+// files — use Repair or Scrub for that). Every present shard is verified
+// against the manifest's length and SHA-256 before decoding, so silent
+// corruption is reconstructed around instead of served; when too many
+// shards are damaged the error wraps gemmec.ErrTooFewShards (and
+// gemmec.ErrCorruptShard if checksum failures contributed). It returns the
+// manifest, the indices of the shards treated as erased, and the pipeline
+// stats.
 func ReadStream(dir string, dst io.Writer, workers int) (Manifest, []int, gemmec.StreamStats, error) {
 	var st gemmec.StreamStats
 	m, err := LoadManifest(dir)
 	if err != nil {
 		return m, nil, st, err
 	}
-	code, err := m.Code()
-	if err != nil {
-		return m, nil, st, err
+	paths := make([]string, m.K+m.R)
+	for i := range paths {
+		paths[i] = ShardPath(dir, i)
 	}
-	var missing []int
-	readers := make([]io.Reader, m.K+m.R)
-	for i := range readers {
-		f, err := os.Open(ShardPath(dir, i))
-		if err != nil {
-			missing = append(missing, i)
-			continue
-		}
-		defer f.Close()
-		readers[i] = bufio.NewReaderSize(f, streamBufSize)
-	}
-	out := bufio.NewWriterSize(dst, streamBufSize)
-	if err := code.DecodeStream(readers, out, m.FileSize,
-		gemmec.WithStreamWorkers(workers), gemmec.WithStreamStats(&st)); err != nil {
-		return m, missing, st, err
-	}
-	return m, missing, st, out.Flush()
+	bad, st, err := ReadStreamPaths(paths, m, dst, workers)
+	return m, bad, st, err
 }

@@ -1,0 +1,204 @@
+package shardfile
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"testing"
+
+	"gemmec"
+)
+
+// writeStreamTestFile encodes a random payload with WriteStream and returns
+// the shard directory and the payload.
+func writeStreamTestFile(t *testing.T, size int) (string, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	raw := make([]byte, size)
+	rand.New(rand.NewSource(int64(size) + 7)).Read(raw)
+	m, _, err := WriteStream(dir, bytes.NewReader(raw), int64(size), tk, tr, tunit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, raw
+}
+
+func readStreamBack(dir string) ([]byte, []int, error) {
+	var buf bytes.Buffer
+	_, bad, _, err := ReadStream(dir, &buf, 2)
+	return buf.Bytes(), bad, err
+}
+
+func TestWriteReadStreamRoundTrip(t *testing.T) {
+	for _, size := range []int{0, 1, tunit - 1, tk * tunit, tk*tunit*3 + 17} {
+		dir, raw := writeStreamTestFile(t, size)
+		got, bad, err := readStreamBack(dir)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if len(bad) != 0 {
+			t.Errorf("size %d: unexpected unusable shards %v", size, bad)
+		}
+		if !bytes.Equal(got, raw) {
+			t.Fatalf("size %d: content mismatch", size)
+		}
+	}
+}
+
+// A truncated shard file must not be fed to the decoder as-is: ReadStream
+// treats it as erased, reconstructs around it, and reports it.
+func TestReadStreamTruncatedShard(t *testing.T) {
+	dir, raw := writeStreamTestFile(t, tk*tunit*2+100)
+	p := ShardPath(dir, 1)
+	fi, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(p, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	got, bad, err := readStreamBack(dir)
+	if err != nil {
+		t.Fatalf("degraded read after truncation: %v", err)
+	}
+	if len(bad) != 1 || bad[0] != 1 {
+		t.Fatalf("unusable = %v, want [1]", bad)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("content mismatch after reconstructing truncated shard")
+	}
+}
+
+// With more truncated shards than the code tolerates, ReadStream must fail
+// loudly (never emit garbage), and the error must classify as both
+// corruption and unrecoverable loss.
+func TestReadStreamTooManyTruncated(t *testing.T) {
+	dir, _ := writeStreamTestFile(t, tk*tunit*2+100)
+	for i := 0; i <= tr; i++ { // tr+1 failures: unrecoverable
+		if err := os.Truncate(ShardPath(dir, i), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err := readStreamBack(dir)
+	if err == nil {
+		t.Fatal("ReadStream succeeded with k-1 usable shards")
+	}
+	if !errors.Is(err, gemmec.ErrTooFewShards) {
+		t.Errorf("error %v does not wrap ErrTooFewShards", err)
+	}
+	if !errors.Is(err, gemmec.ErrCorruptShard) {
+		t.Errorf("error %v does not wrap ErrCorruptShard", err)
+	}
+}
+
+// A shard that reads short mid-decode (the manifest promises more stripes
+// than the files hold, e.g. a lying or stale manifest without checksums)
+// must surface a decode error, not silently pad.
+func TestReadStreamShortRead(t *testing.T) {
+	dir, _ := writeStreamTestFile(t, tk*tunit*2+100)
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip checksums and inflate the stripe count so the size/sum
+	// pre-verification cannot save us; the decoder itself must detect the
+	// short read.
+	m.Checksums = nil
+	m.Stripes++
+	m.FileSize = int64(m.Stripes) * int64(m.K) * int64(m.UnitSize)
+	if err := SaveManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	_, bad, err := readStreamBack(dir)
+	if err == nil {
+		t.Fatalf("ReadStream silently succeeded on short shard streams (unusable=%v)", bad)
+	}
+}
+
+// Silent bit rot: flipping a byte in one shard (file length unchanged) must
+// be caught by the manifest checksum and reconstructed around — previously
+// this decoded to garbage with no error.
+func TestReadStreamChecksumMismatchDegrades(t *testing.T) {
+	dir, raw := writeStreamTestFile(t, tk*tunit*3+17)
+	p := ShardPath(dir, 2)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/3] ^= 0xff
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, bad, err := readStreamBack(dir)
+	if err != nil {
+		t.Fatalf("degraded read after bit flip: %v", err)
+	}
+	if len(bad) != 1 || bad[0] != 2 {
+		t.Fatalf("unusable = %v, want [2]", bad)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("content mismatch after reconstructing corrupt shard")
+	}
+}
+
+// Too much silent rot to reconstruct: the error must wrap ErrCorruptShard
+// so callers can tell checksum failure from plain loss.
+func TestReadStreamChecksumMismatchUnrecoverable(t *testing.T) {
+	dir, _ := writeStreamTestFile(t, tk*tunit*2)
+	for i := 0; i <= tr; i++ {
+		p := ShardPath(dir, i)
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[0] ^= 1
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err := readStreamBack(dir)
+	if !errors.Is(err, gemmec.ErrCorruptShard) {
+		t.Fatalf("error %v does not wrap ErrCorruptShard", err)
+	}
+	if !errors.Is(err, gemmec.ErrTooFewShards) {
+		t.Fatalf("error %v does not wrap ErrTooFewShards", err)
+	}
+}
+
+// OpenStreamPaths reports degradation before any payload byte is decoded,
+// which is what lets the HTTP server set degraded-read headers up front.
+func TestOpenStreamPathsReportsBeforeDecode(t *testing.T) {
+	dir, raw := writeStreamTestFile(t, tk*tunit+5)
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(ShardPath(dir, 0)); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := OpenStreamPaths(shardPaths(dir, m), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if !sr.Degraded() {
+		t.Fatal("reader not degraded after shard loss")
+	}
+	if got := sr.Unusable(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Unusable = %v, want [0]", got)
+	}
+	if len(sr.Corrupt()) != 0 {
+		t.Fatalf("Corrupt = %v, want none (shard was removed, not rotted)", sr.Corrupt())
+	}
+	var buf bytes.Buffer
+	if _, err := sr.Decode(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("content mismatch")
+	}
+}
