@@ -91,8 +91,11 @@ func (h *handler) fail(w http.ResponseWriter, r *http.Request, err error) {
 	http.Error(w, err.Error(), code)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON sets the content type before committing status, so non-200
+// responses (the 201 PUT reply) still carry application/json.
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
@@ -115,8 +118,7 @@ func (h *handler) put(w http.ResponseWriter, r *http.Request) {
 		h.fail(w, r, err)
 		return
 	}
-	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, putResponse{
+	writeJSON(w, http.StatusCreated, putResponse{
 		Name:      meta.Name,
 		Size:      meta.Manifest.FileSize,
 		Stripes:   meta.Manifest.Stripes,
@@ -186,7 +188,7 @@ func (h *handler) list(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, listEntry{Name: n, Size: meta.Manifest.FileSize, Stripes: meta.Manifest.Stripes})
 	}
-	writeJSON(w, out)
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (h *handler) scrub(w http.ResponseWriter, r *http.Request) {
@@ -194,9 +196,9 @@ func (h *handler) scrub(w http.ResponseWriter, r *http.Request) {
 	if n := rep.ShardsHealed(); n > 0 {
 		h.logf.printf("ecserver: scrub healed %d shard(s) across %d object(s)", n, len(rep.Healed))
 	}
-	writeJSON(w, rep)
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (h *handler) statusz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, h.store.Stats())
+	writeJSON(w, http.StatusOK, h.store.Stats())
 }

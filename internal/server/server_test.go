@@ -127,6 +127,141 @@ func TestOverwriteKeepsPlacementAndData(t *testing.T) {
 	}
 }
 
+// Regression: overwriting across a geometry change used to delete freshly
+// written shards. Shard filenames were keyed by index only, so wherever the
+// stale placement agreed with the new one at the same shard index, the
+// post-commit cleanup of the old layout removed the new file. This drives
+// the exact reported scenario — old k=3,r=2 at [2 3 4 0 1] overwritten by
+// k=2,r=2 at [2 3 4 0], colliding at every new index — and demands the new
+// bytes survive, clean, with the old generation gone.
+func TestOverwriteAcrossGeometryChange(t *testing.T) {
+	root := t.TempDir()
+	s, err := Open(Config{Root: root, Nodes: 5, K: 3, R: 2, UnitSize: tunit, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "a", randBytes(1, tunit))
+	mustPut(t, s, "b", randBytes(2, tunit))
+	oldMeta := mustPut(t, s, "obj", randBytes(3, 4*3*tunit+7))
+	if !equalInts(oldMeta.Placement, []int{2, 3, 4, 0, 1}) {
+		t.Fatalf("setup: old placement %v, want [2 3 4 0 1]", oldMeta.Placement)
+	}
+
+	s2, err := Open(Config{Root: root, Nodes: 5, K: 2, R: 2, UnitSize: tunit, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range []string{"d", "e", "f", "g"} { // advance rotation to 2
+		mustPut(t, s2, n, randBytes(int64(10+i), tunit))
+	}
+	newData := randBytes(4, 3*2*tunit+19)
+	newMeta := mustPut(t, s2, "obj", newData)
+	if !equalInts(newMeta.Placement, []int{2, 3, 4, 0}) {
+		t.Fatalf("setup: new placement %v, want [2 3 4 0]", newMeta.Placement)
+	}
+	if newMeta.Gen != oldMeta.Gen+1 {
+		t.Errorf("overwrite gen %d, want %d", newMeta.Gen, oldMeta.Gen+1)
+	}
+
+	got, bad := mustGet(t, s2, "obj")
+	if !bytes.Equal(got, newData) {
+		t.Fatal("overwrite across geometry change lost the new bytes")
+	}
+	if len(bad) != 0 {
+		t.Errorf("read after overwrite reconstructed %v, want clean", bad)
+	}
+	for _, p := range s2.shardPaths(objKey("obj"), oldMeta) {
+		if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("old-generation shard %s survived the overwrite", p)
+		}
+	}
+	if rep := s2.ScrubAll(); !rep.Clean() || rep.OrphansRemoved != 0 {
+		t.Fatalf("scrub after geometry-change overwrite: %+v", rep)
+	}
+}
+
+// A crash between shard writes and the metadata commit strands a
+// never-committed generation (likewise temp files). The committed
+// generation must keep serving untouched, and the scrub sweep must reclaim
+// the strays — and only the strays.
+func TestScrubSweepsOrphanGenerations(t *testing.T) {
+	s := newTestStore(t)
+	data := randBytes(61, 3*tk*tunit+5)
+	meta := mustPut(t, s, "obj", data)
+
+	next := meta
+	next.Gen++
+	orphans := s.shardPaths(objKey("obj"), next)
+	for _, p := range orphans {
+		if err := os.WriteFile(p, []byte("stranded by a crash"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tmp := s.shardPaths(objKey("obj"), meta)[0] + ".tmp"
+	if err := os.WriteFile(tmp, []byte("stranded temp"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, bad := mustGet(t, s, "obj")
+	if !bytes.Equal(got, data) || len(bad) != 0 {
+		t.Fatalf("orphan generation disturbed the committed one: reconstructed=%v", bad)
+	}
+
+	rep := s.ScrubAll()
+	if want := len(orphans) + 1; rep.OrphansRemoved != want {
+		t.Fatalf("sweep removed %d orphans, want %d", rep.OrphansRemoved, want)
+	}
+	if len(rep.Healed) != 0 || len(rep.Errors) != 0 {
+		t.Fatalf("sweep misread orphans as damage: %+v", rep)
+	}
+	for _, p := range append(orphans, tmp) {
+		if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("orphan %s survived the sweep", p)
+		}
+	}
+	if rep := s.ScrubAll(); !rep.Clean() || rep.OrphansRemoved != 0 {
+		t.Fatalf("second sweep not clean: %+v", rep)
+	}
+	if got, bad := mustGet(t, s, "obj"); !bytes.Equal(got, data) || len(bad) != 0 {
+		t.Fatalf("read after sweep: reconstructed=%v", bad)
+	}
+}
+
+// Corrupt metadata must not be silently replaced by Put (that would orphan
+// the old shards at locations nothing records); Delete is the escape hatch
+// and must clear both the broken metadata and the shard files.
+func TestPutRefusesCorruptMetaDeleteClears(t *testing.T) {
+	s := newTestStore(t)
+	data := randBytes(71, 2*tk*tunit)
+	meta := mustPut(t, s, "obj", data)
+	paths := s.shardPaths(objKey("obj"), meta)
+	if err := os.WriteFile(s.metaPath(objKey("obj")), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err := s.Put("obj", bytes.NewReader(data), int64(len(data)))
+	if err == nil || errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("Put over corrupt metadata: err=%v, want a load failure", err)
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("refused Put touched shard %s: %v", p, err)
+		}
+	}
+
+	if err := s.Delete("obj"); err != nil {
+		t.Fatalf("Delete of corrupt-meta object: %v", err)
+	}
+	if _, err := s.Stat("obj"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("Stat after delete: %v", err)
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("shard %s survived delete of corrupt-meta object", p)
+		}
+	}
+}
+
 func equalInts(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
@@ -249,6 +384,9 @@ func TestHTTPEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("PUT status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("PUT Content-Type = %q, want application/json", ct)
 	}
 
 	get := func() ([]byte, string) {

@@ -60,21 +60,22 @@ type Config struct {
 // Stats is a snapshot of the store's cumulative counters, served by the
 // daemon's /statusz endpoint.
 type Stats struct {
-	Objects       int   `json:"objects"`
-	Puts          int64 `json:"puts"`
-	Gets          int64 `json:"gets"`
-	DegradedGets  int64 `json:"degraded_gets"`
-	Deletes       int64 `json:"deletes"`
-	ScrubCycles   int64 `json:"scrub_cycles"`
-	ShardsHealed  int64 `json:"shards_healed"`
-	BytesIn       int64 `json:"bytes_in"`
-	BytesOut      int64 `json:"bytes_out"`
-	ScrubErrors   int64 `json:"scrub_errors"`
-	UnitSize      int   `json:"unit_size"`
-	DataShards    int   `json:"k"`
-	ParityShards  int   `json:"r"`
-	NodeDirs      int   `json:"nodes"`
-	StreamWorkers int   `json:"stream_workers"`
+	Objects        int   `json:"objects"`
+	Puts           int64 `json:"puts"`
+	Gets           int64 `json:"gets"`
+	DegradedGets   int64 `json:"degraded_gets"`
+	Deletes        int64 `json:"deletes"`
+	ScrubCycles    int64 `json:"scrub_cycles"`
+	ShardsHealed   int64 `json:"shards_healed"`
+	OrphansRemoved int64 `json:"orphans_removed"`
+	BytesIn        int64 `json:"bytes_in"`
+	BytesOut       int64 `json:"bytes_out"`
+	ScrubErrors    int64 `json:"scrub_errors"`
+	UnitSize       int   `json:"unit_size"`
+	DataShards     int   `json:"k"`
+	ParityShards   int   `json:"r"`
+	NodeDirs       int   `json:"nodes"`
+	StreamWorkers  int   `json:"stream_workers"`
 }
 
 // ObjectMeta is the per-object metadata persisted under meta/: the
@@ -85,6 +86,11 @@ type ObjectMeta struct {
 	Manifest shardfile.Manifest `json:"manifest"`
 	// Placement maps shard index i to the node directory holding it.
 	Placement []int `json:"placement"`
+	// Gen is the object's write generation, embedded in shard filenames so
+	// that the shards of an overwrite never collide with the shards they
+	// replace: the metadata rename is the commit point, and until it lands
+	// the previous generation remains fully intact on disk.
+	Gen int64 `json:"gen"`
 }
 
 // Store is the on-disk erasure-coded object store the HTTP layer serves.
@@ -100,7 +106,7 @@ type Store struct {
 
 	puts, gets, degradedGets, deletes atomic.Int64
 	scrubCycles, shardsHealed         atomic.Int64
-	scrubErrors                       atomic.Int64
+	scrubErrors, orphansRemoved       atomic.Int64
 	bytesIn, bytesOut                 atomic.Int64
 }
 
@@ -166,11 +172,12 @@ func (s *Store) metaPath(key string) string {
 }
 
 // shardPaths lays out meta's shards: shard i of object key lives at
-// node_<placement[i]>/<key>.shard_<i>.
+// node_<placement[i]>/<key>.g<gen>.shard_<i>. The generation in the name
+// keeps every write's shard set at paths no other generation can occupy.
 func (s *Store) shardPaths(key string, meta ObjectMeta) []string {
 	paths := make([]string, len(meta.Placement))
 	for i, node := range meta.Placement {
-		paths[i] = filepath.Join(s.nodeDir(node), fmt.Sprintf("%s.shard_%03d", key, i))
+		paths[i] = filepath.Join(s.nodeDir(node), fmt.Sprintf("%s.g%d.shard_%03d", key, meta.Gen, i))
 	}
 	return paths
 }
@@ -252,8 +259,11 @@ func (s *Store) placement() []int {
 // Put streams src into the store as object name, erasure-coding it through
 // the pipelined engine. size is validated against the bytes read when
 // >= 0; pass -1 for unknown-length sources (chunked uploads). Overwrites
-// atomically: an object is either fully the old version or fully the new
-// one, and concurrent readers of the old version are unaffected.
+// are crash-atomic: the new generation's shards live at paths the old
+// generation cannot occupy, the metadata rename is the single commit
+// point, and the old shards are deleted only after it lands — so at every
+// instant the object is fully the old version or fully the new one, for
+// concurrent readers and across crashes alike.
 func (s *Store) Put(name string, src io.Reader, size int64) (ObjectMeta, gemmec.StreamStats, error) {
 	var st gemmec.StreamStats
 	if err := validateName(name); err != nil {
@@ -267,16 +277,26 @@ func (s *Store) Put(name string, src io.Reader, size int64) (ObjectMeta, gemmec.
 		return ObjectMeta{}, st, err
 	}
 
-	// Reuse the existing placement on overwrite (shard files are replaced
-	// via rename); allocate a fresh rotation slot otherwise.
+	// On overwrite, bump the generation and remember the old shard set for
+	// post-commit removal; reuse the placement when it still fits the
+	// geometry, and allocate a fresh rotation slot otherwise.
+	meta := ObjectMeta{Name: name, Gen: 1}
 	var oldPaths []string
-	meta := ObjectMeta{Name: name}
-	if old, err := s.loadMeta(key); err == nil {
+	old, err := s.loadMeta(key)
+	switch {
+	case err == nil:
+		meta.Gen = old.Gen + 1
+		oldPaths = s.shardPaths(key, old)
 		if s.placementUsable(old.Placement) {
 			meta.Placement = old.Placement
-		} else {
-			oldPaths = s.shardPaths(key, old)
 		}
+	case errors.Is(err, ErrObjectNotFound):
+		// Fresh object.
+	default:
+		// Corrupt or inconsistent metadata: rewriting would orphan shards
+		// at locations nothing records anymore. Refuse and let the
+		// operator clear the object first (Delete handles this state).
+		return ObjectMeta{}, st, err
 	}
 	if meta.Placement == nil {
 		meta.Placement = s.placement()
@@ -285,19 +305,27 @@ func (s *Store) Put(name string, src io.Reader, size int64) (ObjectMeta, gemmec.
 	m, st, err := shardfile.WriteStreamPaths(paths, src, size,
 		s.cfg.K, s.cfg.R, s.cfg.UnitSize, s.cfg.Workers)
 	if err != nil {
+		removeFiles(paths)
 		return ObjectMeta{}, st, err
 	}
 	meta.Manifest = m
 	if err := s.saveMeta(key, meta); err != nil {
+		removeFiles(paths)
 		return ObjectMeta{}, st, err
 	}
-	// A geometry change relocated the object: drop the stale shards.
-	for _, p := range oldPaths {
-		os.Remove(p)
-	}
+	// Committed: the previous generation's shards are garbage now. Best
+	// effort — anything a crash strands here is swept by the scrubber.
+	removeFiles(oldPaths)
 	s.puts.Add(1)
 	s.bytesIn.Add(m.FileSize)
 	return meta, st, nil
+}
+
+// removeFiles best-effort removes a shard path set.
+func removeFiles(paths []string) {
+	for _, p := range paths {
+		os.Remove(p)
+	}
 }
 
 // placementUsable reports whether an existing placement still fits the
@@ -410,7 +438,10 @@ func (s *Store) Stat(name string) (ObjectMeta, error) {
 	return s.loadMeta(key)
 }
 
-// Delete removes object name's shards and metadata.
+// Delete removes object name's shards and metadata. It also clears
+// objects whose metadata no longer parses or validates — the one state Put
+// refuses to touch — by sweeping every node directory for the key's shard
+// files, so broken objects have an exit that does not leak disk.
 func (s *Store) Delete(name string) error {
 	if err := validateName(name); err != nil {
 		return err
@@ -420,17 +451,36 @@ func (s *Store) Delete(name string) error {
 	l.Lock()
 	defer l.Unlock()
 	meta, err := s.loadMeta(key)
-	if err != nil {
+	switch {
+	case err == nil:
+		if err := os.Remove(s.metaPath(key)); err != nil {
+			return err
+		}
+		removeFiles(s.shardPaths(key, meta)) // best effort; scrub sweeps strays
+	case errors.Is(err, ErrObjectNotFound):
 		return err
-	}
-	if err := os.Remove(s.metaPath(key)); err != nil {
-		return err
-	}
-	for _, p := range s.shardPaths(key, meta) {
-		os.Remove(p) // best effort; orphaned shards are invisible without meta
+	default:
+		// Metadata too broken to locate the shards precisely: drop it and
+		// glob the key's shard files out of every node directory.
+		if rmErr := os.Remove(s.metaPath(key)); rmErr != nil {
+			return rmErr
+		}
+		s.removeKeyShards(key)
 	}
 	s.deletes.Add(1)
 	return nil
+}
+
+// removeKeyShards best-effort removes every shard file of key — any
+// generation, any node directory. The "." after the hex key cannot appear
+// inside another key, so the glob never matches a different object.
+func (s *Store) removeKeyShards(key string) {
+	for i := 0; i < s.cfg.Nodes; i++ {
+		matches, _ := filepath.Glob(filepath.Join(s.nodeDir(i), key+".g*"))
+		for _, p := range matches {
+			os.Remove(p)
+		}
+	}
 }
 
 // List returns the stored object names, sorted.
@@ -495,6 +545,10 @@ type ScrubReport struct {
 	// Errors maps object name to the scrub failure (e.g. too many shards
 	// lost to rebuild). These objects still need operator attention.
 	Errors map[string]string `json:"errors,omitempty"`
+	// OrphansRemoved counts stale shard files reclaimed by the sweep:
+	// generations superseded by a committed overwrite, shards of deleted
+	// or never-committed objects, leftover temp files.
+	OrphansRemoved int `json:"orphans_removed,omitempty"`
 }
 
 // ShardsHealed totals the rebuilt shards across the sweep.
@@ -537,28 +591,76 @@ func (s *Store) ScrubAll() ScrubReport {
 			rep.Healed[name] = healed
 		}
 	}
+	rep.OrphansRemoved = s.sweepOrphans()
 	s.scrubCycles.Add(1)
 	return rep
+}
+
+// sweepOrphans reclaims shard files no committed metadata refers to:
+// generations superseded by an overwrite, shards stranded by a crash
+// between shard writes and the metadata commit, and stale temp files. Each
+// key is examined under its write lock, so an in-flight Put's uncommitted
+// generation is never mistaken for garbage. Keys whose metadata exists but
+// fails to load are skipped entirely — their files may be the only
+// surviving copy of a repairable object.
+func (s *Store) sweepOrphans() int {
+	byKey := map[string][]string{}
+	for i := 0; i < s.cfg.Nodes; i++ {
+		ents, err := os.ReadDir(s.nodeDir(i))
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			key, rest, ok := strings.Cut(e.Name(), ".")
+			if !ok || !strings.HasPrefix(rest, "g") || !strings.Contains(rest, "shard_") {
+				continue // not one of our shard files
+			}
+			byKey[key] = append(byKey[key], filepath.Join(s.nodeDir(i), e.Name()))
+		}
+	}
+	removed := 0
+	for key, files := range byKey {
+		l := s.lockFor(key)
+		l.Lock()
+		meta, err := s.loadMeta(key)
+		if err == nil || errors.Is(err, ErrObjectNotFound) {
+			current := map[string]bool{}
+			if err == nil {
+				for _, p := range s.shardPaths(key, meta) {
+					current[p] = true
+				}
+			}
+			for _, p := range files {
+				if !current[p] && os.Remove(p) == nil {
+					removed++
+				}
+			}
+		}
+		l.Unlock()
+	}
+	s.orphansRemoved.Add(int64(removed))
+	return removed
 }
 
 // Stats snapshots the store's counters.
 func (s *Store) Stats() Stats {
 	names, _ := s.List()
 	return Stats{
-		Objects:       len(names),
-		Puts:          s.puts.Load(),
-		Gets:          s.gets.Load(),
-		DegradedGets:  s.degradedGets.Load(),
-		Deletes:       s.deletes.Load(),
-		ScrubCycles:   s.scrubCycles.Load(),
-		ShardsHealed:  s.shardsHealed.Load(),
-		ScrubErrors:   s.scrubErrors.Load(),
-		BytesIn:       s.bytesIn.Load(),
-		BytesOut:      s.bytesOut.Load(),
-		UnitSize:      s.cfg.UnitSize,
-		DataShards:    s.cfg.K,
-		ParityShards:  s.cfg.R,
-		NodeDirs:      s.cfg.Nodes,
-		StreamWorkers: s.cfg.Workers,
+		Objects:        len(names),
+		Puts:           s.puts.Load(),
+		Gets:           s.gets.Load(),
+		DegradedGets:   s.degradedGets.Load(),
+		Deletes:        s.deletes.Load(),
+		ScrubCycles:    s.scrubCycles.Load(),
+		ShardsHealed:   s.shardsHealed.Load(),
+		OrphansRemoved: s.orphansRemoved.Load(),
+		ScrubErrors:    s.scrubErrors.Load(),
+		BytesIn:        s.bytesIn.Load(),
+		BytesOut:       s.bytesOut.Load(),
+		UnitSize:       s.cfg.UnitSize,
+		DataShards:     s.cfg.K,
+		ParityShards:   s.cfg.R,
+		NodeDirs:       s.cfg.Nodes,
+		StreamWorkers:  s.cfg.Workers,
 	}
 }
