@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot bench ci
+.PHONY: all build vet test race race-hot bench bench-json ci
 
 all: build
 
@@ -28,4 +28,13 @@ race-hot:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
+# Machine-readable GET-path numbers: clean vs degraded decode GB/s and
+# time-to-first-byte across object sizes, written to BENCH_decode.json.
+# BENCH_ARGS="-quick" shrinks the size sweep for smoke runs.
+bench-json:
+	$(GO) run ./cmd/ecbench -exp decode-json -json BENCH_decode.json $(BENCH_ARGS)
+
+# The allocation guards on the streaming hot paths (TestStreamSteadyStateAllocs,
+# TestDecodeStreamSteadyStateAllocs) run as part of `test`, so `ci` gates on
+# both the encode and the verified-decode paths staying allocation-free.
 ci: build vet test race-hot

@@ -346,9 +346,19 @@ func cmdGet(args []string) error {
 			return err
 		}
 	}
-	if resp.Header.Get("X-Gemmec-Degraded") == "true" {
-		fmt.Fprintf(os.Stderr, "eccli: degraded read: server reconstructed shard(s) %s\n",
-			resp.Header.Get("X-Gemmec-Reconstructed"))
+	// The headers carry the open-time state; the trailers (available only
+	// now, after the body) carry the final truth, including shards the
+	// server demoted mid-stream while verifying units inside the decode.
+	degraded := resp.Header.Get("X-Gemmec-Degraded") == "true"
+	reconstructed := resp.Header.Get("X-Gemmec-Reconstructed")
+	if v := resp.Trailer.Get("X-Gemmec-Degraded"); v != "" {
+		degraded = v == "true"
+	}
+	if v := resp.Trailer.Get("X-Gemmec-Reconstructed"); v != "" {
+		reconstructed = v
+	}
+	if degraded {
+		fmt.Fprintf(os.Stderr, "eccli: degraded read: server reconstructed shard(s) %s\n", reconstructed)
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "got %d bytes to %s\n", n, *out)

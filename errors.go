@@ -35,9 +35,24 @@ var (
 	ErrTooFewShards = core.ErrTooFewShards
 
 	// ErrCorruptShard reports a shard whose bytes are present but fail
-	// integrity verification — a SHA-256 mismatch against the manifest, or
+	// integrity verification — a checksum mismatch against the manifest, or
 	// a shard file of the wrong length. internal/shardfile and
 	// internal/server wrap it whenever a checksum catches silent rot, so
 	// callers can tell "disk lied" from "disk lost" with errors.Is.
 	ErrCorruptShard = ecerr.ErrCorruptShard
+
+	// ErrShardDemoted reports a shard demoted to erased in the middle of a
+	// streaming decode: it passed open-time checks but a unit it served
+	// mid-stream failed verification, truncated, or errored. Demotions are
+	// survivable (the pipeline reconstructs around the shard — see
+	// StreamStats.Demoted); the sentinel appears in a returned error only
+	// when demotions leave fewer than k trusted streams, alongside
+	// ErrTooFewShards.
+	ErrShardDemoted = ecerr.ErrShardDemoted
 )
+
+// Demotion is the per-shard detail record behind ErrShardDemoted: which
+// shard was demoted, at which stripe, and why (the cause wraps
+// ErrCorruptShard for checksum mismatches and truncations). DecodeStream
+// reports them in StreamStats.Demoted.
+type Demotion = ecerr.Demotion

@@ -2,6 +2,8 @@ package gemmec_test
 
 import (
 	"bytes"
+	"fmt"
+	"hash/crc32"
 	"io"
 	"testing"
 
@@ -124,6 +126,89 @@ func FuzzStreamRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(out.Bytes(), data) {
 			t.Fatalf("round trip corrupted %d bytes (mask %b, workers %d)", len(data), eraseMask, w)
+		}
+	})
+}
+
+// unitCRCVerifier mirrors what a v2 shardfile manifest gives DecodeStream:
+// per-shard, per-stripe CRC32C of each unit.
+type unitCRCVerifier struct {
+	tab  *crc32.Table
+	sums [][]uint32
+}
+
+func (v *unitCRCVerifier) VerifyUnit(shard int, stripe int64, unit []byte) error {
+	if crc32.Checksum(unit, v.tab) != v.sums[shard][stripe] {
+		return fmt.Errorf("unit crc mismatch: %w", gemmec.ErrCorruptShard)
+	}
+	return nil
+}
+
+// FuzzVerifiedDecode flips one byte of one shard at a fuzzer-chosen offset
+// and requires the verified decode to demote exactly that shard at exactly
+// the damaged stripe while still producing byte-identical output. The seed
+// corpus pins the unit-boundary cases (offset exactly at, and one byte
+// before, a unit edge), where an off-by-one in the ring's unit windowing
+// would verify the wrong span.
+func FuzzVerifiedDecode(f *testing.F) {
+	code, err := gemmec.New(3, 2, gemmec.WithUnitSize(512))
+	if err != nil {
+		f.Fatal(err)
+	}
+	stripe := code.DataSize()
+	f.Add(bytes.Repeat([]byte{3}, 3*stripe+129), uint8(1), uint32(512), uint8(2)) // first byte of unit 1
+	f.Add(bytes.Repeat([]byte{9}, 2*stripe), uint8(0), uint32(511), uint8(1))     // last byte of unit 0
+	f.Add(bytes.Repeat([]byte{0xCC}, 4*stripe+1), uint8(4), uint32(0), uint8(4))  // parity shard, offset 0
+	f.Add([]byte("tail"), uint8(2), uint32(77), uint8(3))                         // single padded stripe
+
+	f.Fuzz(func(t *testing.T, data []byte, shardSel uint8, off uint32, workers uint8) {
+		k, r, unit := code.K(), code.R(), code.UnitSize()
+		w := 1 + int(workers)%8
+
+		writers := make([]io.Writer, k+r)
+		sinks := make([]*bytes.Buffer, k+r)
+		for i := range writers {
+			sinks[i] = &bytes.Buffer{}
+			writers[i] = sinks[i]
+		}
+		n, err := code.EncodeStream(bytes.NewReader(data), writers, gemmec.WithStreamWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := crc32.MakeTable(crc32.Castagnoli)
+		sums := make([][]uint32, k+r)
+		shards := make([][]byte, k+r)
+		for i, s := range sinks {
+			shards[i] = s.Bytes()
+			for o := 0; o+unit <= len(shards[i]); o += unit {
+				sums[i] = append(sums[i], crc32.Checksum(shards[i][o:o+unit], tab))
+			}
+		}
+
+		target := int(shardSel) % (k + r)
+		if len(shards[target]) == 0 {
+			return // empty stream: nothing to corrupt
+		}
+		at := int(off) % len(shards[target])
+		shards[target][at] ^= 0x40
+
+		readers := make([]io.Reader, k+r)
+		for i := range readers {
+			readers[i] = bytes.NewReader(shards[i])
+		}
+		var out bytes.Buffer
+		var st gemmec.StreamStats
+		err = code.DecodeStream(readers, &out, n,
+			gemmec.WithStreamWorkers(w), gemmec.WithStreamStats(&st),
+			gemmec.WithStreamVerifier(&unitCRCVerifier{tab: tab, sums: sums}))
+		if err != nil {
+			t.Fatalf("verified decode (shard %d, off %d, workers %d): %v", target, at, w, err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("output differs after demoting shard %d (off %d)", target, at)
+		}
+		if len(st.Demoted) != 1 || st.Demoted[0].Shard != target || st.Demoted[0].Stripe != int64(at/unit) {
+			t.Fatalf("Demoted = %+v, want shard %d at stripe %d", st.Demoted, target, at/unit)
 		}
 	})
 }

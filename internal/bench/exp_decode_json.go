@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gemmec/internal/shardfile"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "decode-json",
+		Paper: "§8 integration: serving reads through the verified single-pass decode",
+		Title: "GET path: clean vs demoted decode GB/s and TTFB across object sizes",
+		Run:   runDecodeJSON,
+	})
+}
+
+// decodeJSONReport is the machine-readable result the CI trend tooling
+// consumes (BENCH_decode.json).
+type decodeJSONReport struct {
+	Experiment string          `json:"experiment"`
+	K          int             `json:"k"`
+	R          int             `json:"r"`
+	UnitSize   int             `json:"unit_size"`
+	Workers    int             `json:"workers"`
+	Sizes      []decodeJSONRow `json:"sizes"`
+}
+
+type decodeJSONRow struct {
+	ObjectBytes    int64   `json:"object_bytes"`
+	CleanGBps      float64 `json:"clean_gbps"`
+	DegradedGBps   float64 `json:"degraded_gbps"`
+	CleanTTFBMs    float64 `json:"clean_ttfb_ms"`
+	DegradedTTFBMs float64 `json:"degraded_ttfb_ms"`
+}
+
+// repeatReader serves size bytes by cycling a block, so gigabyte-scale
+// objects never need gigabyte-scale buffers.
+type repeatReader struct {
+	block []byte
+	left  int64
+	off   int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.left <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > r.left {
+		p = p[:r.left]
+	}
+	n := copy(p, r.block[r.off:])
+	r.off = (r.off + n) % len(r.block)
+	r.left -= int64(n)
+	return n, nil
+}
+
+// ttfbWriter discards its input and records the instant of the first Write.
+type ttfbWriter struct {
+	start time.Time
+	first time.Duration
+	seen  bool
+}
+
+func (w *ttfbWriter) Write(p []byte) (int, error) {
+	if !w.seen {
+		w.seen = true
+		w.first = time.Since(w.start)
+	}
+	return len(p), nil
+}
+
+// runDecodeJSON measures the full on-disk GET path (open shard files,
+// verified streaming decode) at several object sizes, clean and with one
+// shard silently rotten from stripe 0 — the worst case for the mid-stream
+// demotion machinery, since every stripe reconstructs. It reports GB/s and
+// time-to-first-byte; a healthy single-pass read path keeps degraded
+// throughput within ~2x of clean and TTFB flat in object size. With
+// Config.JSONPath set the table is also written as JSON for trend tooling.
+func runDecodeJSON(w io.Writer, cfg Config) error {
+	k, r, workers := 4, 2, 4
+	sizes := cfg.DecodeSizes
+	if len(sizes) == 0 {
+		sizes = []int64{1 << 20, 64 << 20, 1 << 30}
+	}
+	block := RandomBytes(cfg.Seed, 4<<20)
+
+	rep := decodeJSONReport{Experiment: "decode-json", K: k, R: r, UnitSize: cfg.UnitSize, Workers: workers}
+	t := NewTable("E-DECODE-JSON: verified single-pass GET path (k=4, r=2; degraded = shard 0 rotten at stripe 0)",
+		"object", "clean GB/s", "degraded GB/s", "clean TTFB", "degraded TTFB")
+
+	for _, size := range sizes {
+		dir, err := os.MkdirTemp("", "gemmec-bench-decode-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		src := &repeatReader{block: block, left: size}
+		m, _, err := shardfile.WriteStream(dir, src, size, k, r, cfg.UnitSize, workers)
+		if err != nil {
+			return err
+		}
+		paths := make([]string, k+r)
+		for i := range paths {
+			paths[i] = shardfile.ShardPath(dir, i)
+		}
+
+		measure := func(name string) (Measurement, time.Duration, error) {
+			ttfb := time.Duration(1 << 62)
+			meas, err := Measure(name, int(size), cfg.MinTime, func() error {
+				sr, err := shardfile.OpenStreamPaths(paths, m)
+				if err != nil {
+					return err
+				}
+				defer sr.Close()
+				dst := &ttfbWriter{start: time.Now()}
+				if _, err := sr.Decode(dst, workers); err != nil {
+					return err
+				}
+				if dst.seen && dst.first < ttfb {
+					ttfb = dst.first
+				}
+				return nil
+			})
+			return meas, ttfb, err
+		}
+
+		clean, cleanTTFB, err := measure("clean")
+		if err != nil {
+			return err
+		}
+		// Rot shard 0 in place at stripe 0: the open stays O(1) and clean,
+		// the decode demotes at the first stripe and reconstructs the whole
+		// stream around the shard.
+		b, err := os.ReadFile(paths[0])
+		if err != nil {
+			return err
+		}
+		b[0] ^= 0xA5
+		if err := os.WriteFile(paths[0], b, 0o644); err != nil {
+			return err
+		}
+		degraded, degradedTTFB, err := measure("degraded")
+		if err != nil {
+			return err
+		}
+
+		rep.Sizes = append(rep.Sizes, decodeJSONRow{
+			ObjectBytes:    size,
+			CleanGBps:      clean.GBps(),
+			DegradedGBps:   degraded.GBps(),
+			CleanTTFBMs:    float64(cleanTTFB) / float64(time.Millisecond),
+			DegradedTTFBMs: float64(degradedTTFB) / float64(time.Millisecond),
+		})
+		t.AddF(fmtBytes(size),
+			fmt.Sprintf("%.2f", clean.GBps()),
+			fmt.Sprintf("%.2f (%.2fx)", degraded.GBps(), ratio(clean.GBps(), degraded.GBps())),
+			cleanTTFB.Round(10*time.Microsecond).String(),
+			degradedTTFB.Round(10*time.Microsecond).String())
+		os.RemoveAll(dir)
+	}
+
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	if cfg.JSONPath != "" {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}
+
+func ratio(clean, degraded float64) float64 {
+	if degraded == 0 {
+		return 0
+	}
+	return clean / degraded
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%d GiB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%d MiB", n>>20)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

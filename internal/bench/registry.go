@@ -22,6 +22,12 @@ type Config struct {
 	LatencySamples int
 	// Seed for workload data and tuning.
 	Seed int64
+	// DecodeSizes are the object sizes (bytes) the decode-json experiment
+	// sweeps; empty selects 1 MiB / 64 MiB / 1 GiB.
+	DecodeSizes []int64
+	// JSONPath, when non-empty, makes JSON-emitting experiments (decode-json)
+	// also write their results to this file.
+	JSONPath string
 }
 
 // DefaultConfig mirrors the paper's evaluation scale.
@@ -43,6 +49,7 @@ func QuickConfig() Config {
 		TuneTrials:     0,
 		LatencySamples: 50,
 		Seed:           1,
+		DecodeSizes:    []int64{1 << 20, 8 << 20, 32 << 20},
 	}
 }
 

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"strings"
@@ -83,16 +84,32 @@ type Engine struct {
 	enc  *autotune.Compiled
 	aBuf te.Buffer
 
-	mu       sync.Mutex
-	decoders map[string]*decoder
-	updaters map[int]*updater
+	mu         sync.Mutex
+	decoders   map[string]*list.Element // pattern key -> LRU element (*decoderEntry)
+	decoderLRU *list.List               // front = most recently used
+	updaters   map[int]*updater
 }
+
+// maxCachedDecoders bounds the per-engine decoder cache. Each entry pins a
+// compiled kernel plus a packed bitmatrix operand, and the number of
+// distinct erasure patterns is combinatorial in k and r, so an unbounded
+// map is a memory leak on long-lived engines that see churning failure
+// sets. 16 covers every single- and double-erasure pattern of common
+// geometries; colder patterns recompile on re-entry (LRU eviction).
+const maxCachedDecoders = 16
 
 type decoder struct {
 	comp *autotune.Compiled
 	aBuf te.Buffer
 	lost []int
 	surv []int
+}
+
+// decoderEntry is what decoderLRU elements hold: the decoder plus its key,
+// so eviction can delete the map entry.
+type decoderEntry struct {
+	key string
+	d   *decoder
 }
 
 // New builds an engine for k data units and r parity units of unitSize
@@ -145,8 +162,9 @@ func New(k, r, unitSize int, opts Options) (*Engine, error) {
 		coding:   coding,
 		gen:      gen,
 		bm:       bitmatrix.FromGF(coding),
-		decoders: map[string]*decoder{},
+		decoders: map[string]*list.Element{},
 	}
+	e.decoderLRU = list.New()
 
 	m, kDim, n := l.ParityPlanes(), l.DataPlanes(), l.PlaneSize/8
 	if err := e.resolveParams(m, kDim, n, opts); err != nil {
@@ -443,14 +461,24 @@ func (e *Engine) reconstruct(units [][]byte, dataOnly bool) error {
 }
 
 // decoderFor returns (building and caching as needed) the compiled decode
-// kernel for an erasure pattern.
+// kernel for an erasure pattern. The cache is a bounded LRU of
+// maxCachedDecoders entries, and matrix inversion + kernel compilation run
+// outside the engine lock: a miss never stalls concurrent hits on other
+// patterns (a decoding stream must not freeze because a second stream
+// just hit a novel failure set). Two goroutines missing on the same
+// pattern may both compile; the first to insert wins and the loser's
+// compile is discarded — wasted work, but bounded and lock-free.
 func (e *Engine) decoderFor(survivors, lost []int) (*decoder, error) {
 	key := patternKey(survivors, lost)
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if d, ok := e.decoders[key]; ok {
+	if el, ok := e.decoders[key]; ok {
+		e.decoderLRU.MoveToFront(el)
+		d := el.Value.(*decoderEntry).d
+		e.mu.Unlock()
 		return d, nil
 	}
+	e.mu.Unlock()
+
 	dm, err := matrix.DecodeMatrix(e.gen, e.k, survivors)
 	if err != nil {
 		return nil, err
@@ -483,11 +511,26 @@ func (e *Engine) decoderFor(survivors, lost []int) (*decoder, error) {
 		return nil, err
 	}
 	d := &decoder{comp: comp, aBuf: aBuf, lost: append([]int(nil), lost...), surv: append([]int(nil), survivors...)}
-	e.decoders[key] = d
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.decoders[key]; ok {
+		// Raced with another compile of the same pattern; keep theirs.
+		e.decoderLRU.MoveToFront(el)
+		return el.Value.(*decoderEntry).d, nil
+	}
+	e.decoders[key] = e.decoderLRU.PushFront(&decoderEntry{key: key, d: d})
+	for e.decoderLRU.Len() > maxCachedDecoders {
+		old := e.decoderLRU.Back()
+		e.decoderLRU.Remove(old)
+		delete(e.decoders, old.Value.(*decoderEntry).key)
+	}
 	return d, nil
 }
 
-// CachedDecoders returns how many erasure patterns have compiled decoders.
+// CachedDecoders returns how many erasure patterns currently have compiled
+// decoders resident (at most maxCachedDecoders; LRU-evicted patterns are
+// not counted).
 func (e *Engine) CachedDecoders() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()

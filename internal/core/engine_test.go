@@ -194,6 +194,86 @@ func TestReconstructAllPatterns(t *testing.T) {
 	}
 }
 
+// TestDecoderCacheLRUBound drives more erasure patterns through one engine
+// than the decoder cache holds: the cache must stay at its bound, evicted
+// patterns must still reconstruct correctly (recompiling on re-entry), and
+// CachedDecoders must report the resident count exactly.
+func TestDecoderCacheLRUBound(t *testing.T) {
+	k, r, unit := 5, 3, 512
+	e := mustEngine(t, k, r, unit, Options{})
+	rng := rand.New(rand.NewSource(29))
+	data := make([]byte, k*unit)
+	rng.Read(data)
+	parity := make([]byte, r*unit)
+	if err := e.Encode(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	n := k + r
+	orig := make([][]byte, n)
+	for i := 0; i < k; i++ {
+		orig[i] = data[i*unit : (i+1)*unit]
+	}
+	for i := 0; i < r; i++ {
+		orig[k+i] = parity[i*unit : (i+1)*unit]
+	}
+	run := func(mask int) {
+		t.Helper()
+		units := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 0 {
+				units[i] = append([]byte(nil), orig[i]...)
+			}
+		}
+		if err := e.Reconstruct(units); err != nil {
+			t.Fatalf("mask %08b: %v", mask, err)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(units[i], orig[i]) {
+				t.Fatalf("mask %08b: unit %d wrong after reconstruct", mask, i)
+			}
+		}
+	}
+
+	// All single and double erasures: 8 + 28 = 36 distinct patterns > 16.
+	var masks []int
+	for mask := 1; mask < 1<<n; mask++ {
+		if c := bitCount(mask); c >= 1 && c <= 2 {
+			masks = append(masks, mask)
+		}
+	}
+	for _, mask := range masks {
+		run(mask)
+		if c := e.CachedDecoders(); c > maxCachedDecoders {
+			t.Fatalf("decoder cache grew to %d, bound is %d", c, maxCachedDecoders)
+		}
+	}
+	if c := e.CachedDecoders(); c != maxCachedDecoders {
+		t.Errorf("decoder cache holds %d after %d patterns, want full bound %d",
+			c, len(masks), maxCachedDecoders)
+	}
+
+	// The first pattern was evicted long ago; it must recompile and work,
+	// and the cache must not exceed its bound doing so.
+	run(masks[0])
+	if c := e.CachedDecoders(); c != maxCachedDecoders {
+		t.Errorf("decoder cache holds %d after evicted-pattern rerun, want %d", c, maxCachedDecoders)
+	}
+
+	// A resident pattern (just inserted) must hit, not grow the cache.
+	run(masks[0])
+	if c := e.CachedDecoders(); c != maxCachedDecoders {
+		t.Errorf("decoder cache holds %d after repeat, want %d", c, maxCachedDecoders)
+	}
+}
+
+func bitCount(mask int) int {
+	c := 0
+	for ; mask != 0; mask >>= 1 {
+		c += mask & 1
+	}
+	return c
+}
+
 func TestReconstructDataOnly(t *testing.T) {
 	k, r, unit := 5, 3, 512
 	e := mustEngine(t, k, r, unit, Options{})

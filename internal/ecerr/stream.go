@@ -1,0 +1,39 @@
+package ecerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShardDemoted reports that a shard was demoted to erased in the middle
+// of a streaming decode: it passed (or skipped) open-time verification, but
+// a unit it served mid-stream failed its checksum, came up short, or
+// errored on read. Demotion is not itself fatal — the pipeline
+// reconstructs around the shard for the rest of the stream — so this
+// sentinel surfaces in two places: in the Demotion details recorded in
+// StreamStats, and wrapped into the terminal error when demotions push the
+// survivor count below k.
+var ErrShardDemoted = errors.New("gemmec: shard demoted mid-stream")
+
+// Demotion is the detail record of one mid-stream shard demotion: which
+// shard, at which stripe, and why. It wraps both ErrShardDemoted and its
+// cause (which wraps ErrCorruptShard for checksum mismatches and
+// truncations), so errors.Is classification works on the record itself.
+type Demotion struct {
+	// Shard is the demoted shard's index in [0, k+r).
+	Shard int
+	// Stripe is the stripe at which the shard stopped being trusted; units
+	// it served for earlier stripes were verified (or read cleanly) and
+	// remain good.
+	Stripe int64
+	// Cause is what disqualified the shard: a checksum mismatch, an
+	// unexpected EOF (truncation), or a read error.
+	Cause error
+}
+
+func (d Demotion) Error() string {
+	return fmt.Sprintf("gemmec: shard %d demoted at stripe %d: %v", d.Shard, d.Stripe, d.Cause)
+}
+
+// Unwrap exposes both the sentinel and the cause to errors.Is/As.
+func (d Demotion) Unwrap() []error { return []error{ErrShardDemoted, d.Cause} }

@@ -12,8 +12,12 @@
 //	          strictly in stripe order (sequence-numbered reordering)
 //
 // Decode runs the same ring in reverse: the reader gathers k+r shard
-// units per stripe (nil readers mark losses), workers reconstruct missing
-// data units, and the in-order writer emits the data stripe to dst.
+// units per stripe (nil readers mark losses), optionally verifying each
+// unit against a per-stripe checksum as it lands (Config.Verify) and
+// demoting shards that fail — checksum mismatch, truncation, read error —
+// to erased mid-stream instead of failing the read; workers reconstruct
+// missing data units, and the in-order writer emits the data stripe to
+// dst.
 //
 // Backpressure falls out of the ring: at most Depth stripes are in flight,
 // so every channel send below is non-blocking by construction (each
@@ -29,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"gemmec/internal/ecerr"
 	"gemmec/internal/stripe"
 )
 
@@ -40,6 +45,19 @@ type Codec interface {
 	UnitSize() int
 	Encode(data, parity []byte) error
 	ReconstructData(units [][]byte) error
+}
+
+// UnitVerifier checks one shard unit as it enters the decode ring.
+// VerifyUnit is called from the reader stage with the shard index, the
+// stripe sequence number and the unit bytes just read; a non-nil return
+// demotes the shard to erased from that stripe on (the error becomes the
+// demotion's cause — wrap ecerr.ErrCorruptShard for checksum mismatches so
+// errors.Is classification survives). Implementations are called from a
+// single goroutine per stream and must not retain unit. The clean path
+// must not allocate: verification runs once per unit on the decode hot
+// path.
+type UnitVerifier interface {
+	VerifyUnit(shard int, stripe int64, unit []byte) error
 }
 
 // Config sizes one pipeline run.
@@ -55,6 +73,10 @@ type Config struct {
 	// across streams of the same code keeps steady-state streaming
 	// allocation-free.
 	Pool *stripe.Pool
+	// Verify, when non-nil, checks every shard unit as the decode reader
+	// gathers it (encode ignores it). Failing units demote their shard —
+	// see Stats.Demoted — instead of failing the stream.
+	Verify UnitVerifier
 }
 
 // Stats reports what one pipeline run did and where it waited. The stall
@@ -85,6 +107,13 @@ type Stats struct {
 	WriteStall time.Duration
 	// Elapsed is the wall time of the whole run.
 	Elapsed time.Duration
+	// Demoted records the shards demoted to erased mid-stream (decode
+	// only): a shard whose unit failed verification, truncated, or errored
+	// on read is reconstructed around for all subsequent stripes instead
+	// of failing the stream. Empty on clean runs. Populated on success and
+	// on error alike, so a stream that ultimately fell below k survivors
+	// still reports every demotion that led there.
+	Demoted []ecerr.Demotion
 }
 
 // slot is one ring entry: a pooled stripe buffer plus the per-slot unit
@@ -95,9 +124,10 @@ type slot struct {
 }
 
 type job struct {
-	seq int64
-	s   *slot
-	n   int // payload bytes this stripe carries
+	seq     int64
+	s       *slot
+	n       int  // payload bytes this stripe carries
+	rebuild bool // decode: some data unit of this stripe is missing
 }
 
 // norm validates cfg against the codec geometry and fills defaults.
@@ -401,36 +431,92 @@ func Decode(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg Config) 
 	return st, err
 }
 
-// lostData reports whether any *data* shard reader is nil — only then is
-// per-stripe reconstruction needed (lost parity is irrelevant to decode).
-func lostData(shards []io.Reader, k int) bool {
-	for i := 0; i < k; i++ {
-		if shards[i] == nil {
-			return true
-		}
-	}
-	return false
+// demoter owns the decode reader stage's view of the shard streams: which
+// are still trusted, which were demoted mid-stream, and whether enough
+// survive to cover k. A shard that fails — unit checksum mismatch,
+// truncation, read error — is demoted to erased from that stripe on: its
+// units are reconstructed for the rest of the stream instead of failing
+// the read. Exactly one goroutine (the reader stage) uses a demoter, so it
+// needs no locking; the pipeline's final wgRead.Wait() establishes
+// happens-before for the demotions it records.
+type demoter struct {
+	shards  []io.Reader
+	k, unit int
+	verify  UnitVerifier
+	alive   int
+	demoted []ecerr.Demotion
 }
 
-// fillSlot reads one stripe's worth of units from the shard readers into
-// the slot, rebuilding its work table (nil for lost shards).
-func fillSlot(shards []io.Reader, s *slot, unit int, st *time.Duration) error {
+func newDemoter(shards []io.Reader, k, unit int, verify UnitVerifier) *demoter {
+	d := &demoter{shards: append([]io.Reader(nil), shards...), k: k, unit: unit, verify: verify}
+	for _, rd := range d.shards {
+		if rd != nil {
+			d.alive++
+		}
+	}
+	return d
+}
+
+// demote marks shard i erased from stripe on. It returns nil while enough
+// shards survive to keep decoding, and the terminal error — wrapping the
+// Demotion (hence ErrShardDemoted and the cause) and ErrTooFewShards —
+// once the survivor count drops below k.
+func (d *demoter) demote(i int, stripe int64, cause error) error {
+	d.shards[i] = nil
+	d.alive--
+	d.demoted = append(d.demoted, ecerr.Demotion{Shard: i, Stripe: stripe, Cause: cause})
+	if d.alive < d.k {
+		return fmt.Errorf("gemmec: only %d of %d shard streams still usable (need k=%d): %w: %w",
+			d.alive, len(d.shards), d.k, d.demoted[len(d.demoted)-1], ecerr.ErrTooFewShards)
+	}
+	return nil
+}
+
+// fillSlot reads one stripe's worth of units from the trusted shard
+// streams into the slot, verifying each unit as it lands and demoting
+// shards that fail instead of failing the stream. It reports whether the
+// stripe needs reconstruction (some data unit is missing); err is non-nil
+// only when demotions leave fewer than k usable shards.
+func (d *demoter) fillSlot(s *slot, stripe int64, stall *time.Duration) (rebuild bool, err error) {
 	raw := s.buf.Raw()
-	for i, rd := range shards {
+	for i, rd := range d.shards {
 		if rd == nil {
 			s.work[i] = nil
 			continue
 		}
-		u := raw[i*unit : (i+1)*unit]
+		u := raw[i*d.unit : (i+1)*d.unit]
 		t0 := time.Now()
-		_, err := io.ReadFull(rd, u)
-		*st += time.Since(t0)
-		if err != nil {
-			return fmt.Errorf("gemmec: read shard %d: %w", i, err)
+		_, rerr := io.ReadFull(rd, u)
+		*stall += time.Since(t0)
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
+				rerr = fmt.Errorf("gemmec: shard %d truncated at stripe %d: %w", i, stripe, ecerr.ErrCorruptShard)
+			} else {
+				rerr = fmt.Errorf("gemmec: read shard %d: %w", i, rerr)
+			}
+			s.work[i] = nil
+			if err := d.demote(i, stripe, rerr); err != nil {
+				return false, err
+			}
+			continue
+		}
+		if d.verify != nil {
+			if verr := d.verify.VerifyUnit(i, stripe, u); verr != nil {
+				s.work[i] = nil
+				if err := d.demote(i, stripe, verr); err != nil {
+					return false, err
+				}
+				continue
+			}
 		}
 		s.work[i] = u
 	}
-	return nil
+	for i := 0; i < d.k; i++ {
+		if s.work[i] == nil {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // emitStripe writes the data units of one decoded stripe to dst, trimming
@@ -459,11 +545,13 @@ func decodeSerial(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg Co
 	}
 	defer cfg.Pool.Put(buf) //nolint:errcheck // geometry matches by construction
 	s := &slot{buf: buf, work: make([][]byte, k+r)}
-	rebuild := lostData(shards, k)
+	d := newDemoter(shards, k, unit, cfg.Verify)
+	defer func() { st.Demoted = d.demoted }()
 
 	remaining := size
 	for remaining > 0 {
-		if err := fillSlot(shards, s, unit, &st.ReadStall); err != nil {
+		rebuild, err := d.fillSlot(s, st.Stripes, &st.ReadStall)
+		if err != nil {
 			return err
 		}
 		if rebuild {
@@ -498,7 +586,6 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 		return nil
 	}
 	stripes := (size + stripeBytes - 1) / stripeBytes
-	rebuild := lostData(shards, k)
 	slots, release, err := ring(c, cfg)
 	if err != nil {
 		return err
@@ -514,7 +601,11 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 	f := newFailer()
 
 	// Reader: gathers k+r units per stripe (sequential: shard readers are
-	// streams and must be consumed in stripe order).
+	// streams and must be consumed in stripe order). It owns the demoter —
+	// verification happens here, as units enter the ring, so a shard that
+	// fails its checksum mid-stream is erased for this and all later
+	// stripes while earlier (verified) stripes stand.
+	d := newDemoter(shards, k, unit, cfg.Verify)
 	var readStall time.Duration
 	var wgRead sync.WaitGroup
 	wgRead.Add(1)
@@ -529,7 +620,8 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 			case <-f.done:
 				return
 			}
-			if err := fillSlot(shards, s, unit, &readStall); err != nil {
+			rebuild, err := d.fillSlot(s, seq, &readStall)
+			if err != nil {
 				f.fail(err)
 				return
 			}
@@ -538,11 +630,11 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 				n = remaining
 			}
 			remaining -= n
-			jobs <- job{seq: seq, s: s, n: int(n)}
+			jobs <- job{seq: seq, s: s, n: int(n), rebuild: rebuild}
 		}
 	}()
 
-	// Reconstruction workers: only stripes with lost data shards pay the
+	// Reconstruction workers: only stripes with missing data units pay the
 	// kernel; surviving-stripe jobs pass straight through.
 	var wgDec sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -553,7 +645,7 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 				if f.failed() {
 					continue
 				}
-				if rebuild {
+				if j.rebuild {
 					if err := c.ReconstructData(j.s.work); err != nil {
 						f.fail(err)
 						continue
@@ -602,6 +694,7 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 	}
 	wgRead.Wait()
 	st.ReadStall = readStall
+	st.Demoted = d.demoted
 	st.BytesIn = st.BytesOut
 	return f.err
 }

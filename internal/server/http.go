@@ -28,6 +28,18 @@ import (
 //	X-Gemmec-Degraded: true
 //	X-Gemmec-Reconstructed: 0 5
 //
+// The headers carry what was known at open time (missing shards, wrong
+// lengths, v1 checksum failures). With v2 manifests verification runs
+// inside the decode itself, so a shard can also be demoted after the
+// headers are gone; GET bodies therefore stream chunked (object size in
+// X-Gemmec-Size; HEAD still reports Content-Length) and the same two
+// fields are repeated as HTTP trailers with the final post-stream truth.
+// Clients that care whether the bytes they just read needed mid-stream
+// reconstruction check the trailers; clients that only want open-time
+// state keep reading the headers. A decode that fails terminally
+// mid-body aborts the connection, so clients see a transport error
+// rather than a short body that parses as success.
+//
 // The public error taxonomy maps onto status codes: unknown object 404,
 // bad name 400, unrecoverable loss (gemmec.ErrTooFewShards, possibly
 // with gemmec.ErrCorruptShard) 503 — the object may heal after repair —
@@ -128,6 +140,18 @@ func (h *handler) put(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// shardList formats shard indices as the space-separated header value.
+func shardList(bad []int) string {
+	s := ""
+	for i, b := range bad {
+		if i > 0 {
+			s += " "
+		}
+		s += strconv.Itoa(b)
+	}
+	return s
+}
+
 func (h *handler) get(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	o, err := h.store.OpenObject(name)
@@ -137,25 +161,29 @@ func (h *handler) get(w http.ResponseWriter, r *http.Request) {
 	}
 	defer o.Close()
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.FormatInt(o.Size(), 10))
+	w.Header().Set("X-Gemmec-Size", strconv.FormatInt(o.Size(), 10))
 	w.Header().Set("X-Gemmec-Degraded", strconv.FormatBool(o.Degraded()))
 	if bad := o.Unusable(); len(bad) > 0 {
-		s := ""
-		for i, b := range bad {
-			if i > 0 {
-				s += " "
-			}
-			s += strconv.Itoa(b)
-		}
-		w.Header().Set("X-Gemmec-Reconstructed", s)
+		w.Header().Set("X-Gemmec-Reconstructed", shardList(bad))
 	}
 	if r.Method == http.MethodHead {
+		// No body to trail: Content-Length is free here, and HEAD clients
+		// expect it.
+		w.Header().Set("Content-Length", strconv.FormatInt(o.Size(), 10))
 		return
 	}
+	// The body streams chunked (no Content-Length) so the final
+	// degradation state — which may grow mid-stream as the verifying
+	// decode demotes shards — can ride the trailers.
 	if _, err := o.Stream(w); err != nil {
-		// Headers are gone; all we can do is drop the connection short so
-		// the client's Content-Length check fails, and log.
+		// Headers are gone; abort the connection so the client sees a
+		// transport error instead of a short-but-well-formed body.
 		h.logf.printf("ecserver: GET %s: decode failed mid-stream: %v", r.URL.Path, err)
+		panic(http.ErrAbortHandler)
+	}
+	w.Header().Set(http.TrailerPrefix+"X-Gemmec-Degraded", strconv.FormatBool(o.Degraded()))
+	if bad := o.Unusable(); len(bad) > 0 {
+		w.Header().Set(http.TrailerPrefix+"X-Gemmec-Reconstructed", shardList(bad))
 	}
 }
 

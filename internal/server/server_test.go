@@ -460,6 +460,121 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 }
 
+// The single-pass read path over HTTP: in-place rot is invisible at open
+// (headers say clean — no shard pre-read happened), caught by the stripe
+// checksums inside the streaming decode, reconstructed around, and
+// reported in the response trailers plus the degraded-GET counter. The
+// body must still be byte-identical.
+func TestHTTPMidStreamDemotionTrailers(t *testing.T) {
+	s := newTestStore(t)
+	ts := httptest.NewServer(NewHandler(s, t.Logf))
+	defer ts.Close()
+	client := ts.Client()
+
+	data := randBytes(21, 6*tk*tunit+31)
+	mustPut(t, s, "rot.bin", data)
+	meta, err := s.Stat("rot.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, s.shardPaths(objKey("rot.bin"), meta)[1])
+
+	resp, err := client.Get(ts.URL + "/o/rot.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Gemmec-Degraded"); got != "false" {
+		t.Fatalf("open-time degraded header = %q, want false: in-place rot must not be visible at open", got)
+	}
+	if got := resp.Header.Get("X-Gemmec-Size"); got != fmt.Sprint(len(data)) {
+		t.Errorf("X-Gemmec-Size = %q, want %d", got, len(data))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, data) {
+		t.Fatal("mid-stream demoted GET returned wrong bytes")
+	}
+	if got := resp.Trailer.Get("X-Gemmec-Degraded"); got != "true" {
+		t.Fatalf("trailer X-Gemmec-Degraded = %q, want true after mid-stream demotion", got)
+	}
+	if got := resp.Trailer.Get("X-Gemmec-Reconstructed"); got != "1" {
+		t.Fatalf("trailer X-Gemmec-Reconstructed = %q, want \"1\"", got)
+	}
+	if n := s.Stats().DegradedGets; n != 1 {
+		t.Errorf("DegradedGets = %d, want 1 (clean open + mid-stream demotion)", n)
+	}
+
+	// A clean object must report clean in headers AND trailers.
+	mustPut(t, s, "ok.bin", data)
+	resp2, err := client.Get(ts.URL + "/o/ok.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if _, err := io.Copy(io.Discard, resp2.Body); err != nil {
+		t.Fatal(err)
+	}
+	if got := resp2.Trailer.Get("X-Gemmec-Degraded"); got != "false" {
+		t.Errorf("clean GET trailer X-Gemmec-Degraded = %q, want false", got)
+	}
+	if n := s.Stats().DegradedGets; n != 1 {
+		t.Errorf("DegradedGets = %d after clean GET, want still 1", n)
+	}
+}
+
+// A shard truncated between open and decode (the open's length check
+// passed) demotes mid-stream; the GET still returns byte-identical data
+// and counts as degraded.
+func TestMidStreamTruncationDuringGet(t *testing.T) {
+	s := newTestStore(t)
+	data := randBytes(22, 8*tk*tunit+5)
+	mustPut(t, s, "trunc.bin", data)
+	meta, err := s.Stat("trunc.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := s.shardPaths(objKey("trunc.bin"), meta)
+
+	o, err := s.OpenObject("trunc.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if o.Degraded() {
+		t.Fatal("open not clean")
+	}
+	// The open's stat saw the full length; the decode's reads will not.
+	if err := os.Truncate(paths[0], int64(tunit)+9); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := o.Stream(&buf); err != nil {
+		t.Fatalf("stream with mid-GET truncation: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("content mismatch after mid-GET truncation")
+	}
+	dem := o.Demoted()
+	if len(dem) != 1 || dem[0].Shard != 0 {
+		t.Fatalf("Demoted = %+v, want shard 0", dem)
+	}
+	if !errors.Is(dem[0].Cause, gemmec.ErrCorruptShard) {
+		t.Errorf("cause %v does not wrap ErrCorruptShard", dem[0].Cause)
+	}
+	if bad := o.Unusable(); len(bad) != 1 || bad[0] != 0 {
+		t.Fatalf("post-stream Unusable = %v, want [0]", bad)
+	}
+	if n := s.Stats().DegradedGets; n != 1 {
+		t.Errorf("DegradedGets = %d, want 1", n)
+	}
+}
+
 func jsonDecode(resp *http.Response, v any) error {
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)

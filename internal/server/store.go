@@ -342,33 +342,52 @@ func (s *Store) placementUsable(p []int) bool {
 	return true
 }
 
-// Object is an opened, verified object ready to stream. Every shard has
-// already been checked against the manifest, so Degraded/Unusable are
-// known before the first payload byte — the HTTP layer turns them into
-// response headers. Close must be called exactly once.
+// Object is an opened object ready to stream. Open-time checks (shard
+// presence and length; whole-shard SHA-256 for legacy v1 manifests) have
+// already run, so Degraded/Unusable start populated before the first
+// payload byte — the HTTP layer turns them into response headers. For v2
+// manifests content verification happens inside Stream itself, per unit,
+// so a shard can additionally be demoted mid-stream; Demoted and the
+// post-Stream Unusable report those, and the HTTP layer turns them into
+// response trailers. Close must be called exactly once.
 type Object struct {
 	Meta ObjectMeta
 
-	s      *Store
-	sr     *shardfile.StreamReader
-	unlock sync.Once
-	lock   *sync.RWMutex
+	s            *Store
+	sr           *shardfile.StreamReader
+	openDegraded bool
+	unlock       sync.Once
+	lock         *sync.RWMutex
 }
 
 // Size returns the object's payload size in bytes.
 func (o *Object) Size() int64 { return o.Meta.Manifest.FileSize }
 
 // Degraded reports whether serving this object requires reconstruction.
+// After Stream it also covers shards demoted mid-decode.
 func (o *Object) Degraded() bool { return o.sr.Degraded() }
 
-// Unusable returns the shard indices that will be reconstructed around:
-// missing, truncated, or checksum-corrupt.
+// Unusable returns the shard indices reconstructed around: missing,
+// truncated, or checksum-corrupt. After Stream it includes shards demoted
+// mid-decode.
 func (o *Object) Unusable() []int { return o.sr.Unusable() }
 
+// Demoted returns the shards the decode stopped trusting mid-stream —
+// each passed open-time checks but then served a unit that failed its
+// stripe checksum, truncated, or errored. Populated by Stream.
+func (o *Object) Demoted() []gemmec.Demotion { return o.sr.Demoted() }
+
 // Stream writes the object's payload to dst, reconstructing unusable
-// shards on the fly. It may be called at most once.
+// shards on the fly and (for v2 manifests) verifying every unit's stripe
+// checksum in the same pass. It may be called at most once.
 func (o *Object) Stream(dst io.Writer) (gemmec.StreamStats, error) {
 	st, err := o.sr.Decode(dst, o.s.cfg.Workers)
+	if len(o.sr.Demoted()) > 0 && !o.openDegraded {
+		// The open looked clean but the decode had to reconstruct around a
+		// mid-stream failure: that is a degraded read, even though we only
+		// learned it after the headers went out.
+		o.s.degradedGets.Add(1)
+	}
 	if err == nil {
 		o.s.bytesOut.Add(o.Meta.Manifest.FileSize)
 	}
@@ -382,12 +401,16 @@ func (o *Object) Close() error {
 	return err
 }
 
-// OpenObject opens object name for reading, verifying every shard against
-// the manifest (length + SHA-256). Missing or corrupt shards are noted for
-// degraded decoding; if too few survive, the error wraps
-// gemmec.ErrTooFewShards (and gemmec.ErrCorruptShard when checksum
-// failures contributed). The object holds a shared lock until Close, so a
-// concurrent scrub cannot rewrite shards mid-stream.
+// OpenObject opens object name for reading. For v2 (stripe-checksummed)
+// manifests the open costs one stat per shard — no shard bytes are read
+// until Stream, which verifies each unit inside the decode pass, so the
+// first payload byte is one stripe of I/O away. Legacy v1 manifests are
+// still whole-shard SHA-256 verified here (in parallel across shards).
+// Missing or corrupt shards are noted for degraded decoding; if too few
+// survive, the error wraps gemmec.ErrTooFewShards (and
+// gemmec.ErrCorruptShard when checksum failures contributed). The object
+// holds a shared lock until Close, so a concurrent scrub cannot rewrite
+// shards mid-stream.
 func (s *Store) OpenObject(name string) (*Object, error) {
 	if err := validateName(name); err != nil {
 		return nil, err
@@ -409,7 +432,7 @@ func (s *Store) OpenObject(name string) (*Object, error) {
 	if sr.Degraded() {
 		s.degradedGets.Add(1)
 	}
-	return &Object{Meta: meta, s: s, sr: sr, lock: l}, nil
+	return &Object{Meta: meta, s: s, sr: sr, openDegraded: sr.Degraded(), lock: l}, nil
 }
 
 // Get streams object name to dst, returning its metadata and the shard

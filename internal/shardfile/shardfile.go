@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 
@@ -22,8 +23,24 @@ import (
 // ManifestName is the metadata file written next to the shards.
 const ManifestName = "manifest.json"
 
+// ManifestV2 is the current manifest format: in addition to the v1
+// whole-shard SHA-256, it records a CRC32C per UnitSize unit of every
+// shard, computed during the (single) encode pass. Stripe sums are what
+// make reads single-pass and stripe-granular: a reader verifies each unit
+// as it decodes it instead of hashing whole shards up front, and a
+// scrubber localizes rot to the stripe instead of condemning the shard.
+// v1 manifests (Version 0, stripe sums absent) remain readable and
+// scrubable forever; all writers emit v2.
+const ManifestV2 = 2
+
+// castagnoli is the CRC32C table shared by every stripe-sum computation.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // Manifest describes an encoded shard set.
 type Manifest struct {
+	// Version is the manifest format version: 0 (legacy v1, whole-shard
+	// checksums only) or ManifestV2.
+	Version  int   `json:"version,omitempty"`
 	K        int   `json:"k"`
 	R        int   `json:"r"`
 	UnitSize int   `json:"unit_size"`
@@ -33,7 +50,15 @@ type Manifest struct {
 	// tell *which* shard rotted (erasure codes alone only detect that
 	// something is inconsistent, not what).
 	Checksums []string `json:"checksums,omitempty"`
+	// StripeSums (v2) holds the CRC32C of every UnitSize unit:
+	// StripeSums[shard][stripe] covers shard bytes
+	// [stripe*UnitSize, (stripe+1)*UnitSize).
+	StripeSums [][]uint32 `json:"stripe_sums,omitempty"`
 }
+
+// StripeVerified reports whether the manifest carries per-stripe unit
+// checksums — the v2 single-pass read path.
+func (m Manifest) StripeVerified() bool { return m.Version >= ManifestV2 && m.StripeSums != nil }
 
 // Validate checks manifest sanity.
 func (m Manifest) Validate() error {
@@ -47,12 +72,35 @@ func (m Manifest) Validate() error {
 	if m.Checksums != nil && len(m.Checksums) != m.K+m.R {
 		return fmt.Errorf("shardfile: %d checksums for %d shards", len(m.Checksums), m.K+m.R)
 	}
+	if m.Version >= ManifestV2 && m.StripeSums == nil {
+		return fmt.Errorf("shardfile: v%d manifest without stripe sums", m.Version)
+	}
+	if m.StripeSums != nil {
+		if len(m.StripeSums) != m.K+m.R {
+			return fmt.Errorf("shardfile: stripe sums for %d shards, want %d", len(m.StripeSums), m.K+m.R)
+		}
+		for i, sums := range m.StripeSums {
+			if len(sums) != m.Stripes {
+				return fmt.Errorf("shardfile: shard %d has %d stripe sums for %d stripes", i, len(sums), m.Stripes)
+			}
+		}
+	}
 	return nil
 }
 
 func shardSum(data []byte) string {
 	s := sha256.Sum256(data)
 	return hex.EncodeToString(s[:])
+}
+
+// shardStripeSums computes the per-unit CRC32C column of one fully
+// assembled shard.
+func shardStripeSums(shard []byte, unitSize int) []uint32 {
+	sums := make([]uint32, len(shard)/unitSize)
+	for s := range sums {
+		sums[s] = crc32.Checksum(shard[s*unitSize:(s+1)*unitSize], castagnoli)
+	}
+	return sums
 }
 
 // ShardPath returns the path of shard i under dir.
@@ -103,12 +151,15 @@ func Write(dir string, raw []byte, k, r, unitSize int) (Manifest, error) {
 			shards[k+i] = append(shards[k+i], parity[i*unitSize:(i+1)*unitSize]...)
 		}
 	}
+	m.Version = ManifestV2
 	m.Checksums = make([]string, len(shards))
+	m.StripeSums = make([][]uint32, len(shards))
 	for i, sd := range shards {
 		if err := os.WriteFile(ShardPath(dir, i), sd, 0o644); err != nil {
 			return m, err
 		}
 		m.Checksums[i] = shardSum(sd)
+		m.StripeSums[i] = shardStripeSums(sd, unitSize)
 	}
 	return m, SaveManifest(dir, m)
 }
@@ -257,11 +308,12 @@ func Verify(dir string) error {
 	return nil
 }
 
-// Scrub detects shard corruption by checksum and heals it: any shard whose
-// SHA-256 does not match the manifest (and any missing shard) is rebuilt
-// from the surviving shards and rewritten. It returns the shard indices
-// that were healed. Manifests written before checksums were recorded scrub
-// nothing silently rotten — they fall back to Repair semantics.
+// Scrub detects shard corruption by checksum and heals it: any shard that
+// does not match the manifest (per-stripe CRC32C for v2 manifests,
+// whole-shard SHA-256 for v1, plus any missing shard) is rebuilt from the
+// surviving shards and rewritten. It returns the shard indices that were
+// healed. Manifests written before checksums were recorded scrub nothing
+// silently rotten — they fall back to Repair semantics.
 func Scrub(dir string) ([]int, error) {
 	m, err := LoadManifest(dir)
 	if err != nil {
@@ -276,10 +328,20 @@ func Scrub(dir string) ([]int, error) {
 // file and renamed into place, so a concurrent reader never observes a
 // half-rebuilt shard. Checksum failures in the returned errors wrap
 // ecerr.ErrCorruptShard.
+//
+// For v2 manifests damage is localized and healed at stripe granularity:
+// each present unit is checked against its CRC32C, only the stripes that
+// actually rotted pay reconstruction, and — because the ≤ r erasure budget
+// applies per stripe rather than per shard — a set where more than r
+// shards each carry some rot still heals as long as no single stripe lost
+// more than r units. v1 manifests keep the whole-shard SHA-256 semantics.
 func ScrubPaths(paths []string, m Manifest) ([]int, error) {
 	shards, missing, err := loadShardsPaths(paths, m)
 	if err != nil {
 		return nil, err
+	}
+	if m.StripeVerified() {
+		return scrubStripes(paths, m, shards, missing)
 	}
 	bad := map[int]bool{}
 	for _, i := range missing {
@@ -330,6 +392,90 @@ func ScrubPaths(paths []string, m Manifest) ([]int, error) {
 		}
 		tmp := paths[i] + ".tmp"
 		if err := os.WriteFile(tmp, rebuilt[i], 0o644); err != nil {
+			return nil, err
+		}
+		if err := os.Rename(tmp, paths[i]); err != nil {
+			os.Remove(tmp)
+			return nil, err
+		}
+	}
+	return healed, nil
+}
+
+// scrubStripes is the v2 scrub: locate damage per (shard, stripe) cell by
+// CRC32C, reconstruct only the damaged stripes, and rewrite only the
+// shards that carried damage (temp-file + rename, like the v1 path).
+func scrubStripes(paths []string, m Manifest, shards [][]byte, missing []int) ([]int, error) {
+	// damaged[i] is the per-stripe damage mask of shard i; nil means the
+	// shard is wholly clean. Missing shards get an all-damaged mask and a
+	// zeroed buffer to rebuild into.
+	damaged := make([][]bool, m.K+m.R)
+	touched := map[int]bool{}
+	for _, i := range missing {
+		shards[i] = make([]byte, m.Stripes*m.UnitSize)
+		damaged[i] = make([]bool, m.Stripes)
+		for s := range damaged[i] {
+			damaged[i][s] = true
+		}
+		touched[i] = true
+	}
+	for i, sd := range shards {
+		if touched[i] {
+			continue
+		}
+		for s := 0; s < m.Stripes; s++ {
+			if crc32.Checksum(sd[s*m.UnitSize:(s+1)*m.UnitSize], castagnoli) != m.StripeSums[i][s] {
+				if damaged[i] == nil {
+					damaged[i] = make([]bool, m.Stripes)
+				}
+				damaged[i][s] = true
+				touched[i] = true
+			}
+		}
+	}
+	if len(touched) == 0 {
+		return nil, nil
+	}
+	code, err := m.Code()
+	if err != nil {
+		return nil, err
+	}
+	units := make([][]byte, m.K+m.R)
+	for s := 0; s < m.Stripes; s++ {
+		stripeBad := false
+		for i := range shards {
+			if damaged[i] != nil && damaged[i][s] {
+				units[i] = nil
+				stripeBad = true
+			} else {
+				units[i] = shards[i][s*m.UnitSize : (s+1)*m.UnitSize]
+			}
+		}
+		if !stripeBad {
+			continue
+		}
+		if err := code.Reconstruct(units); err != nil {
+			return nil, fmt.Errorf("shardfile: stripe %d: %w", s, err)
+		}
+		for i := range shards {
+			if damaged[i] == nil || !damaged[i][s] {
+				continue
+			}
+			if crc32.Checksum(units[i], castagnoli) != m.StripeSums[i][s] {
+				return nil, fmt.Errorf("shardfile: rebuilt shard %d stripe %d fails its manifest checksum (manifest corrupt?): %w",
+					i, s, ecerr.ErrCorruptShard)
+			}
+			copy(shards[i][s*m.UnitSize:(s+1)*m.UnitSize], units[i])
+		}
+	}
+	var healed []int
+	for i := range touched {
+		healed = append(healed, i)
+	}
+	sortInts(healed)
+	for _, i := range healed {
+		tmp := paths[i] + ".tmp"
+		if err := os.WriteFile(tmp, shards[i], 0o644); err != nil {
 			return nil, err
 		}
 		if err := os.Rename(tmp, paths[i]); err != nil {

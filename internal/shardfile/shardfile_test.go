@@ -198,6 +198,50 @@ func TestScrubHealsCorruption(t *testing.T) {
 	}
 }
 
+// With v2 manifests the scrubber's ≤r erasure budget applies per stripe,
+// not per shard: more than r shards can be rotten as long as no single
+// stripe has more than r damaged cells. The v1 whole-shard scrub would
+// have declared this set unrecoverable.
+func TestScrubStripeGranular(t *testing.T) {
+	dir, raw := writeTestFile(t, tk*tunit*4) // 4 stripes
+	// Four rotten shards (tr+2), each damaged in a different stripe, plus
+	// one missing shard. Per-stripe damage never exceeds r=2.
+	for i := 0; i < 4; i++ {
+		p := ShardPath(dir, i)
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[i*tunit+7] ^= 0x5A
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(ShardPath(dir, 5)); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := Scrub(dir)
+	if err != nil {
+		t.Fatalf("stripe-granular scrub failed on per-stripe-recoverable rot: %v", err)
+	}
+	want := []int{0, 1, 2, 3, 5}
+	if len(healed) != len(want) {
+		t.Fatalf("healed = %v, want %v", healed, want)
+	}
+	for i := range want {
+		if healed[i] != want[i] {
+			t.Fatalf("healed = %v, want %v", healed, want)
+		}
+	}
+	if err := Verify(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, rebuilt, err := Read(dir)
+	if err != nil || len(rebuilt) != 0 || !bytes.Equal(got, raw) {
+		t.Fatalf("content wrong after stripe-granular scrub (rebuilt=%v err=%v)", rebuilt, err)
+	}
+}
+
 func TestScrubTooMuchRot(t *testing.T) {
 	dir, _ := writeTestFile(t, tk*tunit)
 	for _, i := range []int{0, 1, 2} { // r+1 corruptions

@@ -5,12 +5,16 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash"
+	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"gemmec"
+	"gemmec/internal/ecerr"
 )
 
 // Streaming shard-set I/O: the same on-disk layout as Write/Read, produced
@@ -25,6 +29,36 @@ import (
 // manifest, verification and repair machinery.
 
 const streamBufSize = 1 << 20
+
+// stripeSummer accumulates the CRC32C of each UnitSize window of one shard
+// stream, folding the v2 manifest's stripe-sum computation into the encode
+// write path — the bytes are hashed as they stream past, no extra pass.
+// The pipeline writes whole units, but the summer handles arbitrary write
+// fragmentation anyway.
+type stripeSummer struct {
+	unit int
+	n    int    // bytes into the current unit
+	crc  uint32 // running CRC of the current unit
+	sums []uint32
+}
+
+func (w *stripeSummer) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		take := w.unit - w.n
+		if take > len(p) {
+			take = len(p)
+		}
+		w.crc = crc32.Update(w.crc, castagnoli, p[:take])
+		w.n += take
+		p = p[take:]
+		if w.n == w.unit {
+			w.sums = append(w.sums, w.crc)
+			w.crc, w.n = 0, 0
+		}
+	}
+	return total, nil
+}
 
 // WriteStream encodes src (size bytes long) into a k+r shard set under
 // dir, streaming stripes through workers concurrent kernel runs, and
@@ -67,6 +101,7 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 	files := make([]*os.File, k+r)
 	bufs := make([]*bufio.Writer, k+r)
 	sums := make([]hash.Hash, k+r)
+	summers := make([]*stripeSummer, k+r)
 	writers := make([]io.Writer, k+r)
 	committed := false
 	defer func() {
@@ -87,7 +122,8 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 		files[i] = f
 		bufs[i] = bufio.NewWriterSize(f, streamBufSize)
 		sums[i] = sha256.New()
-		writers[i] = io.MultiWriter(bufs[i], sums[i])
+		summers[i] = &stripeSummer{unit: unitSize}
+		writers[i] = io.MultiWriter(bufs[i], sums[i], summers[i])
 	}
 
 	// An empty file still gets one (all-zero) stripe, matching Write's
@@ -119,7 +155,9 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 		}
 		m.Stripes = 1
 	}
+	m.Version = ManifestV2
 	m.Checksums = make([]string, k+r)
+	m.StripeSums = make([][]uint32, k+r)
 	for i := range files {
 		if err := bufs[i].Flush(); err != nil {
 			return m, st, err
@@ -128,6 +166,7 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 			return m, st, err
 		}
 		m.Checksums[i] = hex.EncodeToString(sums[i].Sum(nil))
+		m.StripeSums[i] = summers[i].sums
 	}
 	if err := m.Validate(); err != nil {
 		return m, st, err
@@ -142,26 +181,34 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 	return m, st, nil
 }
 
-// StreamReader is a verified, opened shard set ready to decode. It is
-// produced by OpenStreamPaths: every shard file has already been checked
-// against the manifest (existence, exact length, SHA-256 when the manifest
-// records checksums), and shards that fail are treated as erased. Callers
-// can therefore inspect Unusable()/Degraded() before a single payload byte
-// is produced — internal/server uses this to set degraded-read response
-// headers ahead of the body.
+// StreamReader is an opened shard set ready to decode, produced by
+// OpenStreamPaths. For v2 (stripe-checksummed) manifests the open is O(1)
+// per shard — existence and length only, no content reads — and integrity
+// checking happens inside the decode pass itself: every unit is verified
+// against its CRC32C as it enters the stripe ring, and a shard that fails
+// mid-stream is demoted to erased and reconstructed around. For legacy v1
+// manifests the open still pre-verifies whole-shard SHA-256 (in parallel,
+// one goroutine per shard).
+//
+// Unusable()/Degraded() reflect what is known at the time of the call:
+// open-time failures immediately, mid-stream demotions once Decode has
+// run — internal/server uses the former for response headers and the
+// latter for response trailers.
 type StreamReader struct {
 	m        Manifest
 	readers  []io.Reader
 	files    []*os.File
 	unusable []int
 	corrupt  []int
+	demoted  []gemmec.Demotion
 }
 
 // Manifest returns the manifest the reader was opened against.
 func (sr *StreamReader) Manifest() Manifest { return sr.m }
 
-// Unusable returns the shard indices that cannot serve reads: missing
-// files, wrong-length (truncated) files, and checksum mismatches.
+// Unusable returns the shard indices that could not serve reads: missing
+// files, wrong-length (truncated) files, checksum mismatches, and — after
+// Decode — shards demoted mid-stream.
 func (sr *StreamReader) Unusable() []int { return sr.unusable }
 
 // Corrupt returns the subset of Unusable whose bytes were present but
@@ -169,7 +216,13 @@ func (sr *StreamReader) Unusable() []int { return sr.unusable }
 // loss.
 func (sr *StreamReader) Corrupt() []int { return sr.corrupt }
 
-// Degraded reports whether decoding will need reconstruction.
+// Demoted returns the shards Decode stopped trusting mid-stream, with the
+// stripe and cause of each demotion. Empty before Decode and after clean
+// decodes.
+func (sr *StreamReader) Demoted() []gemmec.Demotion { return sr.demoted }
+
+// Degraded reports whether reconstruction is (or was) needed: open-time
+// losses immediately, mid-stream demotions once Decode has run.
 func (sr *StreamReader) Degraded() bool { return len(sr.unusable) > 0 }
 
 // Close releases the underlying shard files. It is safe to call after a
@@ -187,9 +240,31 @@ func (sr *StreamReader) Close() error {
 	return first
 }
 
+// stripeVerifier checks units against the manifest's CRC32C stripe sums
+// as the decode pipeline gathers them. The clean path allocates nothing —
+// one table-driven CRC per unit, no hashing state — which is what keeps
+// steady-state DecodeStream inside the allocation guard.
+type stripeVerifier struct{ sums [][]uint32 }
+
+func (v *stripeVerifier) VerifyUnit(shard int, stripe int64, unit []byte) error {
+	if stripe >= int64(len(v.sums[shard])) {
+		return fmt.Errorf("shardfile: shard %d stripe %d beyond manifest's %d stripes: %w",
+			shard, stripe, len(v.sums[shard]), ecerr.ErrCorruptShard)
+	}
+	if crc32.Checksum(unit, castagnoli) != v.sums[shard][stripe] {
+		return fmt.Errorf("shardfile: shard %d stripe %d fails CRC32C: %w", shard, stripe, ecerr.ErrCorruptShard)
+	}
+	return nil
+}
+
 // Decode streams the object's payload to dst through workers concurrent
-// reconstruction workers, rebuilding the unusable shards' data units on the
-// fly. It may be called at most once; Close must still be called after.
+// reconstruction workers, rebuilding the unusable shards' data units on
+// the fly. For v2 manifests every unit is verified against its stripe
+// checksum as it is read — the single pass both checks and decodes — and a
+// shard that fails mid-stream (mismatch, truncation, read error) is
+// demoted to erased and reconstructed around for the remaining stripes;
+// see Demoted. It may be called at most once; Close must still be called
+// after.
 func (sr *StreamReader) Decode(dst io.Writer, workers int) (gemmec.StreamStats, error) {
 	var st gemmec.StreamStats
 	code, err := sr.m.Code()
@@ -197,20 +272,57 @@ func (sr *StreamReader) Decode(dst io.Writer, workers int) (gemmec.StreamStats, 
 		return st, err
 	}
 	out := bufio.NewWriterSize(dst, streamBufSize)
-	if err := code.DecodeStream(sr.readers, out, sr.m.FileSize,
-		gemmec.WithStreamWorkers(workers), gemmec.WithStreamStats(&st)); err != nil {
+	opts := []gemmec.StreamOption{gemmec.WithStreamWorkers(workers), gemmec.WithStreamStats(&st)}
+	if sr.m.StripeVerified() {
+		opts = append(opts, gemmec.WithStreamVerifier(&stripeVerifier{sums: sr.m.StripeSums}))
+	}
+	err = code.DecodeStream(sr.readers, out, sr.m.FileSize, opts...)
+	sr.recordDemotions(st.Demoted)
+	if err != nil {
 		return st, err
 	}
 	return st, out.Flush()
 }
 
-// OpenStreamPaths verifies and opens the shard files of one manifest,
-// reading each present shard once to check its SHA-256 (when the manifest
-// records checksums) before any decoding starts. Shards that are missing,
-// truncated, or checksum-corrupt are treated as erased; if fewer than k
-// usable shards remain the returned error wraps gemmec.ErrTooFewShards
-// (and gemmec.ErrCorruptShard when verification failures contributed), so
-// callers classify "disk lied" vs "disk lost" with errors.Is.
+// recordDemotions folds mid-stream demotions into the reader's unusable
+// and corrupt sets, so post-decode inspection sees the final shard state.
+func (sr *StreamReader) recordDemotions(dems []gemmec.Demotion) {
+	for _, d := range dems {
+		sr.demoted = append(sr.demoted, d)
+		sr.unusable = appendShard(sr.unusable, d.Shard)
+		if errors.Is(d.Cause, ecerr.ErrCorruptShard) {
+			sr.corrupt = appendShard(sr.corrupt, d.Shard)
+		}
+	}
+}
+
+// appendShard adds i to the sorted index set if absent.
+func appendShard(set []int, i int) []int {
+	for _, v := range set {
+		if v == i {
+			return set
+		}
+	}
+	set = append(set, i)
+	sortInts(set)
+	return set
+}
+
+// OpenStreamPaths opens the shard files of one manifest. For v2
+// (stripe-checksummed) manifests the open is O(1) per shard: existence
+// and length are checked (a stat, no reads), and content verification is
+// deferred to Decode, which checks every unit's CRC32C inside the decode
+// pass itself — each shard byte is read exactly once, and the first
+// payload byte costs one stripe of I/O instead of a whole-object hashing
+// barrier. For legacy v1 manifests recording whole-shard checksums, each
+// present shard is still SHA-256-verified up front, in parallel (one
+// goroutine per shard).
+//
+// Shards that are missing, truncated, or (v1) checksum-corrupt are
+// treated as erased; if fewer than k usable shards remain the returned
+// error wraps gemmec.ErrTooFewShards (and gemmec.ErrCorruptShard when
+// verification failures contributed), so callers classify "disk lied" vs
+// "disk lost" with errors.Is.
 func OpenStreamPaths(paths []string, m Manifest) (*StreamReader, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -225,27 +337,74 @@ func OpenStreamPaths(paths []string, m Manifest) (*StreamReader, error) {
 		files:   make([]*os.File, n),
 	}
 	want := int64(m.Stripes) * int64(m.UnitSize)
+	corruptAt := make([]bool, n)
 	for i, p := range paths {
 		f, err := os.Open(p)
 		if err != nil {
-			sr.unusable = append(sr.unusable, i)
-			continue
+			continue // missing: files[i] stays nil
 		}
-		ok, wasCorrupt, err := verifyShardFile(f, want, m.Checksums, i)
+		fi, err := f.Stat()
 		if err != nil {
 			f.Close()
 			sr.Close()
 			return nil, err
 		}
-		if !ok {
+		if fi.Size() != want {
 			f.Close()
+			corruptAt[i] = true
+			continue
+		}
+		sr.files[i] = f
+	}
+
+	// Legacy v1 manifests still pay the whole-shard SHA-256 pre-read; run
+	// the shards concurrently so the open costs one shard's scan time, not
+	// k+r of them. Each goroutine owns only its slot of errs/bad.
+	if !m.StripeVerified() && m.Checksums != nil {
+		errs := make([]error, n)
+		bad := make([]bool, n)
+		var wg sync.WaitGroup
+		for i, f := range sr.files {
+			if f == nil {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, f *os.File) {
+				defer wg.Done()
+				h := sha256.New()
+				if _, err := io.Copy(h, f); err != nil {
+					errs[i] = err
+					return
+				}
+				if hex.EncodeToString(h.Sum(nil)) != m.Checksums[i] {
+					bad[i] = true
+					return
+				}
+				_, errs[i] = f.Seek(0, io.SeekStart)
+			}(i, f)
+		}
+		wg.Wait()
+		for i := range sr.files {
+			if errs[i] != nil {
+				sr.Close()
+				return nil, errs[i]
+			}
+			if bad[i] {
+				sr.files[i].Close()
+				sr.files[i] = nil
+				corruptAt[i] = true
+			}
+		}
+	}
+
+	for i, f := range sr.files {
+		if f == nil {
 			sr.unusable = append(sr.unusable, i)
-			if wasCorrupt {
+			if corruptAt[i] {
 				sr.corrupt = append(sr.corrupt, i)
 			}
 			continue
 		}
-		sr.files[i] = f
 		sr.readers[i] = bufio.NewReaderSize(f, streamBufSize)
 	}
 	if usable := n - len(sr.unusable); usable < m.K {
@@ -258,34 +417,6 @@ func OpenStreamPaths(paths []string, m Manifest) (*StreamReader, error) {
 			usable, n, sr.unusable, m.K, gemmec.ErrTooFewShards)
 	}
 	return sr, nil
-}
-
-// verifyShardFile checks one opened shard file against the manifest: exact
-// expected length, and SHA-256 when sums are recorded. On success the file
-// is rewound for decoding. ok=false means the shard must be treated as
-// erased; corrupt additionally marks bytes-present-but-wrong.
-func verifyShardFile(f *os.File, want int64, sums []string, i int) (ok, corrupt bool, err error) {
-	fi, err := f.Stat()
-	if err != nil {
-		return false, false, err
-	}
-	if fi.Size() != want {
-		return false, true, nil
-	}
-	if sums == nil {
-		return true, false, nil
-	}
-	h := sha256.New()
-	if _, err := io.Copy(h, f); err != nil {
-		return false, false, err
-	}
-	if hex.EncodeToString(h.Sum(nil)) != sums[i] {
-		return false, true, nil
-	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return false, false, err
-	}
-	return true, false, nil
 }
 
 // ReadStreamPaths decodes the shard files at paths to dst, verifying every

@@ -169,6 +169,191 @@ func TestReadStreamChecksumMismatchUnrecoverable(t *testing.T) {
 	}
 }
 
+// corruptShardByte flips one byte of a shard file in place (length
+// unchanged), defeating every check except content verification.
+func corruptShardByte(t *testing.T, dir string, shard int, off int64) {
+	t.Helper()
+	p := ShardPath(dir, shard)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[off] ^= 0xA5
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A v2 open must not read shard content: in-place corruption is invisible
+// at open time (proving the pre-verification pass is gone) and is caught
+// by the stripe checksums inside the decode itself, which demotes the
+// shard, reconstructs around it, and still returns byte-identical data.
+func TestV2OpenSkipsPreRead(t *testing.T) {
+	dir, raw := writeStreamTestFile(t, tk*tunit*3+17)
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.StripeVerified() {
+		t.Fatal("WriteStream did not emit a stripe-verified (v2) manifest")
+	}
+	corruptShardByte(t, dir, 2, int64(tunit)+13) // stripe 1 of shard 2
+	sr, err := OpenStreamPaths(shardPaths(dir, m), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if sr.Degraded() {
+		t.Fatal("v2 open saw in-place corruption: shard content was pre-read")
+	}
+	var buf bytes.Buffer
+	if _, err := sr.Decode(&buf, 2); err != nil {
+		t.Fatalf("decode with one rotten shard: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("content mismatch after mid-stream demotion")
+	}
+	dem := sr.Demoted()
+	if len(dem) != 1 || dem[0].Shard != 2 || dem[0].Stripe != 1 {
+		t.Fatalf("Demoted = %+v, want shard 2 at stripe 1", dem)
+	}
+	if !errors.Is(dem[0].Cause, gemmec.ErrCorruptShard) {
+		t.Errorf("demotion cause %v does not wrap ErrCorruptShard", dem[0].Cause)
+	}
+	if !errors.Is(dem[0], gemmec.ErrShardDemoted) {
+		t.Errorf("demotion %v does not match ErrShardDemoted", dem[0])
+	}
+	if bad := sr.Unusable(); len(bad) != 1 || bad[0] != 2 {
+		t.Fatalf("post-decode Unusable = %v, want [2]", bad)
+	}
+	if !sr.Degraded() {
+		t.Fatal("reader not degraded after demotion")
+	}
+}
+
+// A shard that passes open-time checks and is then truncated before the
+// decode reaches its tail must demote mid-stream: earlier stripes came
+// from it, later stripes reconstruct around it, output is byte-identical.
+func TestMidStreamTruncationDemotes(t *testing.T) {
+	dir, raw := writeStreamTestFile(t, tk*tunit*4+99)
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := OpenStreamPaths(shardPaths(dir, m), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if sr.Degraded() {
+		t.Fatal("open not clean")
+	}
+	// Truncate shard 1 to one stripe and a bit AFTER the open passed its
+	// length check — the decode's own reads hit the cliff at stripe 1.
+	if err := os.Truncate(ShardPath(dir, 1), int64(tunit)+100); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sr.Decode(&buf, 2); err != nil {
+		t.Fatalf("decode with mid-stream truncation: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("content mismatch after mid-stream truncation")
+	}
+	dem := sr.Demoted()
+	if len(dem) != 1 || dem[0].Shard != 1 {
+		t.Fatalf("Demoted = %+v, want shard 1", dem)
+	}
+	if !errors.Is(dem[0].Cause, gemmec.ErrCorruptShard) {
+		t.Errorf("truncation demotion cause %v does not wrap ErrCorruptShard", dem[0].Cause)
+	}
+}
+
+// More demotions than the code tolerates: the decode must fail loudly and
+// the error must classify as demotion + corruption + unrecoverable loss.
+func TestTooManyDemotionsFails(t *testing.T) {
+	dir, _ := writeStreamTestFile(t, tk*tunit*2+100)
+	for i := 0; i <= tr; i++ { // tr+1 rotten shards, all in stripe 0
+		corruptShardByte(t, dir, i, 11)
+	}
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := OpenStreamPaths(shardPaths(dir, m), m)
+	if err != nil {
+		t.Fatal(err) // open is clean: corruption is in-place
+	}
+	defer sr.Close()
+	var buf bytes.Buffer
+	_, err = sr.Decode(&buf, 2)
+	if err == nil {
+		t.Fatal("decode succeeded with fewer than k trusted shards")
+	}
+	for _, sentinel := range []error{gemmec.ErrShardDemoted, gemmec.ErrTooFewShards, gemmec.ErrCorruptShard} {
+		if !errors.Is(err, sentinel) {
+			t.Errorf("error %v does not wrap %v", err, sentinel)
+		}
+	}
+	if len(sr.Demoted()) == 0 {
+		t.Error("no demotions recorded on the failure path")
+	}
+}
+
+// Legacy v1 manifests (whole-shard SHA-256, no stripe sums) must keep
+// working forever: the open pre-verifies (in parallel), catches rot before
+// the first byte, and the decode reconstructs; scrub heals them too.
+func TestV1ManifestBackCompat(t *testing.T) {
+	dir, raw := writeStreamTestFile(t, tk*tunit*2+9)
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Version = 0
+	m.StripeSums = nil
+	if err := SaveManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	corruptShardByte(t, dir, 3, 7)
+	sr, err := OpenStreamPaths(shardPaths(dir, m), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Degraded() {
+		sr.Close()
+		t.Fatal("v1 open did not pre-verify shard content")
+	}
+	if c := sr.Corrupt(); len(c) != 1 || c[0] != 3 {
+		sr.Close()
+		t.Fatalf("Corrupt = %v, want [3]", c)
+	}
+	var buf bytes.Buffer
+	if _, err := sr.Decode(&buf, 2); err != nil {
+		sr.Close()
+		t.Fatal(err)
+	}
+	sr.Close()
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("content mismatch on v1 degraded read")
+	}
+	if len(sr.Demoted()) != 0 {
+		t.Errorf("v1 decode demoted %v; rot was handled at open", sr.Demoted())
+	}
+
+	// v1 scrub: whole-shard granularity, heals in place.
+	healed, err := ScrubPaths(shardPaths(dir, m), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(healed) != 1 || healed[0] != 3 {
+		t.Fatalf("healed = %v, want [3]", healed)
+	}
+	got, bad, err := readStreamBack(dir)
+	if err != nil || len(bad) != 0 || !bytes.Equal(got, raw) {
+		t.Fatalf("v1 set wrong after scrub: bad=%v err=%v", bad, err)
+	}
+}
+
 // OpenStreamPaths reports degradation before any payload byte is decoded,
 // which is what lets the HTTP server set degraded-read headers up front.
 func TestOpenStreamPathsReportsBeforeDecode(t *testing.T) {

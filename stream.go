@@ -21,8 +21,14 @@ import (
 
 // StreamStats reports what one stream call did and where it waited; see
 // the field docs for how to read the stall times. Request it with
-// WithStreamStats.
+// WithStreamStats. Demoted lists the shards DecodeStream stopped trusting
+// mid-stream (see WithStreamVerifier).
 type StreamStats = pipeline.Stats
+
+// UnitVerifier checks one shard unit as the decode reader gathers it; see
+// WithStreamVerifier. Returning a non-nil error demotes the shard to
+// erased from that stripe on.
+type UnitVerifier = pipeline.UnitVerifier
 
 // streamConfig collects StreamOption state.
 type streamConfig struct {
@@ -30,6 +36,7 @@ type streamConfig struct {
 	depth   int
 	pool    *StripePool
 	stats   *StreamStats
+	verify  UnitVerifier
 }
 
 // StreamOption configures EncodeStream and DecodeStream. The zero-option
@@ -89,6 +96,24 @@ func WithStreamStats(dst *StreamStats) StreamOption {
 	}
 }
 
+// WithStreamVerifier makes DecodeStream verify every shard unit against v
+// as the reader gathers it — integrity checking folded into the single
+// decode pass, instead of a separate whole-shard hashing pass up front. A
+// unit that fails is not served: its shard is demoted to erased from that
+// stripe on and reconstructed around for the rest of the stream (the
+// stream only fails, wrapping ErrShardDemoted and ErrTooFewShards, when
+// fewer than k trusted shards remain). Demotions are reported in
+// StreamStats.Demoted. EncodeStream ignores the option.
+func WithStreamVerifier(v UnitVerifier) StreamOption {
+	return func(c *streamConfig) error {
+		if v == nil {
+			return fmt.Errorf("gemmec: stream verifier is nil")
+		}
+		c.verify = v
+		return nil
+	}
+}
+
 // NewStreamPool returns a stripe-buffer pool sized for this code's
 // streaming pipeline: each buffer holds a full stripe, the k data units
 // followed by the r parity units. Pass it to WithStreamPool.
@@ -116,7 +141,7 @@ func (c *Code) streamConfig(opts []StreamOption) (streamConfig, error) {
 }
 
 func (cfg streamConfig) pipeline() pipeline.Config {
-	return pipeline.Config{Workers: cfg.workers, Depth: cfg.depth, Pool: cfg.pool}
+	return pipeline.Config{Workers: cfg.workers, Depth: cfg.depth, Pool: cfg.pool, Verify: cfg.verify}
 }
 
 // EncodeStream reads src until EOF, erasure-codes it stripe by stripe, and
@@ -154,6 +179,14 @@ func (c *Code) EncodeStream(src io.Reader, shards []io.Writer, opts ...StreamOpt
 // hold k+r readers; nil entries mark lost shards. At least k readers must
 // be non-nil. Lost data shards are reconstructed stripe by stripe from the
 // surviving streams.
+//
+// A shard stream that fails mid-decode — read error, truncation, or (with
+// WithStreamVerifier) a unit checksum mismatch — is demoted to erased from
+// that stripe on and reconstructed around, so the decode survives anything
+// an up-front verification pass would have caught, without the extra pass
+// or the whole-object latency barrier. Demotions are reported in
+// StreamStats.Demoted; the stream fails (wrapping ErrShardDemoted and
+// ErrTooFewShards) only when fewer than k trusted streams remain.
 //
 // Decoding runs through the same pipeline as encoding (see EncodeStream);
 // the same StreamOptions apply.

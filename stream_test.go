@@ -3,8 +3,11 @@ package gemmec
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/iotest"
 )
@@ -229,6 +232,238 @@ func TestStreamSteadyStateAllocs(t *testing.T) {
 	}
 	if a4 > 8 {
 		t.Fatalf("per-call setup allocates %.0f, want a small constant", a4)
+	}
+}
+
+// encodeToShards encodes src and returns the shard byte slices plus the
+// per-shard, per-stripe CRC32C sums a manifest would record.
+func encodeToShards(t *testing.T, c *Code, src []byte) ([][]byte, [][]uint32) {
+	t.Helper()
+	n := c.K() + c.R()
+	sinks := make([]*bytes.Buffer, n)
+	writers := make([]io.Writer, n)
+	for i := range sinks {
+		sinks[i] = &bytes.Buffer{}
+		writers[i] = sinks[i]
+	}
+	if _, err := c.EncodeStream(bytes.NewReader(src), writers, WithStreamWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	tab := crc32.MakeTable(crc32.Castagnoli)
+	unit := c.UnitSize()
+	shards := make([][]byte, n)
+	sums := make([][]uint32, n)
+	for i, s := range sinks {
+		shards[i] = s.Bytes()
+		for off := 0; off+unit <= len(shards[i]); off += unit {
+			sums[i] = append(sums[i], crc32.Checksum(shards[i][off:off+unit], tab))
+		}
+	}
+	return shards, sums
+}
+
+// crcVerifier is the test's stand-in for a v2 manifest: per-unit CRC32C.
+type crcVerifier struct {
+	tab  *crc32.Table
+	sums [][]uint32
+}
+
+func (v *crcVerifier) VerifyUnit(shard int, stripe int64, unit []byte) error {
+	if crc32.Checksum(unit, v.tab) != v.sums[shard][stripe] {
+		return fmt.Errorf("unit crc mismatch: %w", ErrCorruptShard)
+	}
+	return nil
+}
+
+func newCRCVerifier(sums [][]uint32) *crcVerifier {
+	return &crcVerifier{tab: crc32.MakeTable(crc32.Castagnoli), sums: sums}
+}
+
+// countingReader counts the bytes drained from an underlying reader.
+// Atomic because the pipeline's reader goroutine updates it while test
+// assertions (and the TTFB probe on the writer side) read it.
+type countingReader struct {
+	r *bytes.Reader
+	n atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// TestDecodeStreamSinglePass: a verified decode reads every shard byte
+// exactly once — verification is folded into the decode pass, not a
+// separate hashing pass over the shards.
+func TestDecodeStreamSinglePass(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	src := make([]byte, 16*c.DataSize()+123)
+	rand.New(rand.NewSource(31)).Read(src)
+	shards, sums := encodeToShards(t, c, src)
+
+	counters := make([]*countingReader, len(shards))
+	readers := make([]io.Reader, len(shards))
+	for i := range shards {
+		counters[i] = &countingReader{r: bytes.NewReader(shards[i])}
+		readers[i] = counters[i]
+	}
+	var out bytes.Buffer
+	var st StreamStats
+	err := c.DecodeStream(readers, &out, int64(len(src)),
+		WithStreamWorkers(2), WithStreamVerifier(newCRCVerifier(sums)), WithStreamStats(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), src) {
+		t.Fatal("verified decode corrupted data")
+	}
+	if len(st.Demoted) != 0 {
+		t.Fatalf("clean shards demoted: %+v", st.Demoted)
+	}
+	for i, cr := range counters {
+		if got := cr.n.Load(); got != int64(len(shards[i])) {
+			t.Errorf("shard %d: %d bytes read, want exactly one pass of %d", i, got, len(shards[i]))
+		}
+	}
+}
+
+// TestDecodeStreamTTFB: the first decoded byte reaches dst after O(stripe)
+// shard I/O, not after the whole object has been read — the property that
+// makes large-object GET latency flat in object size.
+func TestDecodeStreamTTFB(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	const stripes = 64
+	src := make([]byte, stripes*c.DataSize())
+	rand.New(rand.NewSource(32)).Read(src)
+	shards, sums := encodeToShards(t, c, src)
+
+	for _, workers := range []int{1, 2} {
+		counters := make([]*countingReader, len(shards))
+		readers := make([]io.Reader, len(shards))
+		for i := range shards {
+			counters[i] = &countingReader{r: bytes.NewReader(shards[i])}
+			readers[i] = counters[i]
+		}
+		var atFirstByte int64
+		probe := &firstWriteProbe{onFirst: func() {
+			for _, cr := range counters {
+				atFirstByte += cr.n.Load()
+			}
+		}}
+		err := c.DecodeStream(readers, probe, int64(len(src)),
+			WithStreamWorkers(workers), WithStreamDepth(2), WithStreamVerifier(newCRCVerifier(sums)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The pipeline may run ahead by its depth plus in-flight workers;
+		// anything O(a few stripes) passes, a whole-object pre-read (64
+		// stripes here) fails.
+		budget := int64(8 * len(shards) * c.UnitSize())
+		if atFirstByte == 0 || atFirstByte > budget {
+			t.Errorf("workers=%d: %d shard bytes read before first output byte, budget %d",
+				workers, atFirstByte, budget)
+		}
+	}
+}
+
+// firstWriteProbe invokes onFirst before the first Write and discards the
+// data.
+type firstWriteProbe struct {
+	onFirst func()
+	wrote   bool
+}
+
+func (p *firstWriteProbe) Write(b []byte) (int, error) {
+	if !p.wrote {
+		p.wrote = true
+		p.onFirst()
+	}
+	return len(b), nil
+}
+
+// TestStreamVerifierDemotion: a unit-level corruption caught by the
+// verifier demotes the shard mid-stream and the decode still produces
+// byte-identical output, reporting the demotion in the stats.
+func TestStreamVerifierDemotion(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	src := make([]byte, 5*c.DataSize()+7)
+	rand.New(rand.NewSource(33)).Read(src)
+	shards, sums := encodeToShards(t, c, src)
+	shards[1][2*c.UnitSize()+3] ^= 0x80 // stripe 2 of shard 1
+
+	readers := make([]io.Reader, len(shards))
+	for i := range shards {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	var out bytes.Buffer
+	var st StreamStats
+	err := c.DecodeStream(readers, &out, int64(len(src)),
+		WithStreamWorkers(2), WithStreamVerifier(newCRCVerifier(sums)), WithStreamStats(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), src) {
+		t.Fatal("output differs after mid-stream demotion")
+	}
+	if len(st.Demoted) != 1 || st.Demoted[0].Shard != 1 || st.Demoted[0].Stripe != 2 {
+		t.Fatalf("Demoted = %+v, want shard 1 at stripe 2", st.Demoted)
+	}
+	if !errors.Is(st.Demoted[0], ErrShardDemoted) {
+		t.Errorf("demotion %v does not match ErrShardDemoted", st.Demoted[0])
+	}
+	if !errors.Is(st.Demoted[0].Cause, ErrCorruptShard) {
+		t.Errorf("demotion cause %v does not wrap ErrCorruptShard", st.Demoted[0].Cause)
+	}
+}
+
+// TestDecodeStreamSteadyStateAllocs is the decode-side twin of
+// TestStreamSteadyStateAllocs: with a shared pool, steady-state verified
+// decoding (CRC per unit included) holds zero per-stripe allocations.
+func TestDecodeStreamSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	c := newSmall(t, 4, 2)
+	pool, err := c.NewStreamPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallSrc := make([]byte, 4*c.DataSize())
+	largeSrc := make([]byte, 64*c.DataSize())
+	rand.New(rand.NewSource(34)).Read(largeSrc)
+	copy(smallSrc, largeSrc)
+	smallShards, smallSums := encodeToShards(t, c, smallSrc)
+	largeShards, largeSums := encodeToShards(t, c, largeSrc)
+
+	readers := make([]io.Reader, len(largeShards))
+	raw := make([]*bytes.Reader, len(largeShards))
+	for i := range raw {
+		raw[i] = bytes.NewReader(nil)
+		readers[i] = raw[i]
+	}
+	smallV, largeV := newCRCVerifier(smallSums), newCRCVerifier(largeSums)
+	run := func(shards [][]byte, size int64, v *crcVerifier) float64 {
+		return testing.AllocsPerRun(20, func() {
+			for i := range raw {
+				raw[i].Reset(shards[i])
+			}
+			err := c.DecodeStream(readers, io.Discard, size,
+				WithStreamWorkers(1), WithStreamPool(pool), WithStreamVerifier(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	run(smallShards, int64(len(smallSrc)), smallV) // warm pools
+	a4 := run(smallShards, int64(len(smallSrc)), smallV)
+	a64 := run(largeShards, int64(len(largeSrc)), largeV)
+	if perStripe := (a64 - a4) / 60; perStripe > 0.05 {
+		t.Fatalf("steady-state verified decode allocates %.2f/stripe (4 stripes: %.0f allocs, 64 stripes: %.0f)",
+			perStripe, a4, a64)
+	}
+	if a4 > 8 {
+		t.Fatalf("per-call decode setup allocates %.0f, want a small constant", a4)
 	}
 }
 
