@@ -28,11 +28,14 @@ race-hot:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
-# Machine-readable GET-path numbers: clean vs degraded decode GB/s and
-# time-to-first-byte across object sizes, written to BENCH_decode.json.
-# BENCH_ARGS="-quick" shrinks the size sweep for smoke runs.
+# Machine-readable bench trajectory: clean vs degraded decode GB/s and
+# time-to-first-byte across object sizes (BENCH_decode.json), plus the
+# serving path's PUT/GET latency percentiles clean vs degraded through the
+# full daemon stack (BENCH_server.json). BENCH_ARGS="-quick" shrinks both
+# for smoke runs.
 bench-json:
 	$(GO) run ./cmd/ecbench -exp decode-json -json BENCH_decode.json $(BENCH_ARGS)
+	$(GO) run ./cmd/ecbench -exp server-json -json BENCH_server.json $(BENCH_ARGS)
 
 # The allocation guards on the streaming hot paths (TestStreamSteadyStateAllocs,
 # TestDecodeStreamSteadyStateAllocs) run as part of `test`, so `ci` gates on

@@ -29,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -256,11 +257,28 @@ func httpError(op string, resp *http.Response) error {
 	return fmt.Errorf("%s: server returned %s: %s", op, resp.Status, strings.TrimSpace(string(body)))
 }
 
+// putResponse mirrors the server's PUT reply; Stats carries the encode
+// pipeline's accounting for -v.
+type putResponse struct {
+	Name    string `json:"name"`
+	Size    int64  `json:"size"`
+	Stripes int    `json:"stripes"`
+	Stats   *struct {
+		Stripes     int64  `json:"stripes"`
+		ReadStall   string `json:"read_stall"`
+		EncodeStall string `json:"encode_stall"`
+		WriteStall  string `json:"write_stall"`
+		Elapsed     string `json:"elapsed"`
+		Demoted     int    `json:"demoted"`
+	} `json:"stats"`
+}
+
 func cmdPut(args []string) error {
 	fs := flag.NewFlagSet("put", flag.ExitOnError)
 	server := fs.String("server", "", "ecserver base URL")
 	name := fs.String("name", "", "object name")
 	in := fs.String("in", "", "input file (default: stdin)")
+	verbose := fs.Bool("v", false, "print the server's stream statistics to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -295,8 +313,22 @@ func cmdPut(args []string) error {
 	if resp.StatusCode != http.StatusCreated {
 		return httpError("put", resp)
 	}
+	var pr putResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil && *verbose {
+		fmt.Fprintf(os.Stderr, "eccli: cannot parse put response: %v\n", err)
+	}
 	io.Copy(io.Discard, resp.Body)
 	fmt.Printf("put %q to %s\n", *name, *server)
+	if *verbose {
+		if id := resp.Header.Get("X-Gemmec-Request-Id"); id != "" {
+			fmt.Fprintf(os.Stderr, "eccli: request id %s\n", id)
+		}
+		if st := pr.Stats; st != nil {
+			fmt.Fprintf(os.Stderr,
+				"eccli: server encode: %d stripes in %s (read stall %s, encode stall %s, write stall %s)\n",
+				st.Stripes, st.Elapsed, st.ReadStall, st.EncodeStall, st.WriteStall)
+		}
+	}
 	return nil
 }
 
@@ -305,6 +337,7 @@ func cmdGet(args []string) error {
 	server := fs.String("server", "", "ecserver base URL")
 	name := fs.String("name", "", "object name")
 	out := fs.String("out", "", "output file (default: stdout)")
+	verbose := fs.Bool("v", false, "print the stream's trailer statistics (stalls, demotions) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -360,8 +393,30 @@ func cmdGet(args []string) error {
 	if degraded {
 		fmt.Fprintf(os.Stderr, "eccli: degraded read: server reconstructed shard(s) %s\n", reconstructed)
 	}
+	if *verbose {
+		if id := resp.Header.Get("X-Gemmec-Request-Id"); id != "" {
+			fmt.Fprintf(os.Stderr, "eccli: request id %s\n", id)
+		}
+		fmt.Fprintf(os.Stderr,
+			"eccli: server decode: %s stripes (read stall %s, decode stall %s, write stall %s)\n",
+			orDash(resp.Trailer.Get("X-Gemmec-Stripes")),
+			orDash(resp.Trailer.Get("X-Gemmec-Stall-Read")),
+			orDash(resp.Trailer.Get("X-Gemmec-Stall-Encode")),
+			orDash(resp.Trailer.Get("X-Gemmec-Stall-Write")))
+		if d := resp.Trailer.Get("X-Gemmec-Demoted"); d != "" {
+			fmt.Fprintf(os.Stderr, "eccli: server demoted %s shard(s) mid-stream\n", d)
+		}
+	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "got %d bytes to %s\n", n, *out)
 	}
 	return nil
+}
+
+// orDash substitutes "-" for trailer values an older server did not send.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }

@@ -15,8 +15,16 @@
 //	curl -X POST http://localhost:8080/scrub    # or wait for the scrubber
 //
 // Endpoints: PUT/GET/HEAD/DELETE /o/<name>, GET /objects, POST /scrub,
-// GET /statusz, GET /healthz. SIGINT/SIGTERM drain in-flight requests and
-// the in-flight scrub sweep before exiting.
+// GET /statusz, GET /healthz (503 when the scrub loop is wedged),
+// GET /metricsz (Prometheus text format). SIGINT/SIGTERM drain in-flight
+// requests and the in-flight scrub sweep before exiting.
+//
+// Observability: every request gets an X-Gemmec-Request-Id and a JSON
+// access-log line on stderr (silence with -access-log=false or redirect
+// with -access-log-file); requests slower than -slow-request are called
+// out; -debug-addr starts a second listener carrying net/http/pprof —
+// kept off the data-plane address so profiling endpoints are never
+// reachable from the object port.
 package main
 
 import (
@@ -26,12 +34,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"gemmec"
+	"gemmec/internal/obs"
 	"gemmec/internal/server"
 )
 
@@ -46,6 +56,13 @@ func main() {
 	scrubEvery := flag.Duration("scrub-interval", time.Minute,
 		"target interval between background scrub sweeps, jittered +/-50% (0 disables the scrubber)")
 	drain := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	debugAddr := flag.String("debug-addr", "",
+		"listen address for the debug mux (net/http/pprof); empty disables it")
+	slowReq := flag.Duration("slow-request", time.Second,
+		"log and count requests slower than this (0 disables the check)")
+	accessLog := flag.Bool("access-log", true, "emit one JSON access-log line per request")
+	accessLogFile := flag.String("access-log-file", "",
+		"append access-log lines to this file instead of stderr")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -60,6 +77,8 @@ func main() {
 	if err != nil {
 		logger.Fatalf("ecserver: %v", err)
 	}
+	metrics := server.NewMetrics(nil)
+	store.SetMetrics(metrics)
 	logger.Printf("ecserver: serving %s on %s (k=%d r=%d unit=%d, %d node dirs)",
 		*root, *addr, *k, *r, *unit, *nodes)
 
@@ -69,7 +88,46 @@ func main() {
 		logger.Printf("ecserver: background scrubber every ~%v (jittered)", *scrubEvery)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(store, logger.Printf)}
+	opts := []server.HandlerOption{
+		server.WithMetrics(metrics),
+		server.WithSlowRequestThreshold(*slowReq),
+	}
+	if scrubber != nil {
+		opts = append(opts, server.WithScrubber(scrubber))
+	}
+	if *accessLog {
+		dst := os.Stderr
+		if *accessLogFile != "" {
+			f, err := os.OpenFile(*accessLogFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				logger.Fatalf("ecserver: %v", err)
+			}
+			defer f.Close()
+			dst = f
+		}
+		opts = append(opts, server.WithAccessLog(obs.NewLogger(dst)))
+	}
+
+	if *debugAddr != "" {
+		// pprof lives on its own mux and listener: the DefaultServeMux
+		// registrations net/http/pprof does at init are deliberately not
+		// served, so the data-plane port never exposes profiling.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/metricsz", metrics.Registry.Handler())
+		go func() {
+			logger.Printf("ecserver: debug mux (pprof, metricsz) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				logger.Printf("ecserver: debug mux: %v", err)
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(store, logger.Printf, opts...)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 

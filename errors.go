@@ -41,6 +41,13 @@ var (
 	// callers can tell "disk lied" from "disk lost" with errors.Is.
 	ErrCorruptShard = ecerr.ErrCorruptShard
 
+	// ErrShardTruncated refines ErrCorruptShard for the wrong-length failure
+	// mode: a shard file shorter than its manifest promises. Errors at
+	// truncation-detecting sites wrap both sentinels, so existing
+	// ErrCorruptShard classification keeps working while callers (and the
+	// server's demotion metrics) can separate torn writes from bit rot.
+	ErrShardTruncated = ecerr.ErrShardTruncated
+
 	// ErrShardDemoted reports a shard demoted to erased in the middle of a
 	// streaming decode: it passed open-time checks but a unit it served
 	// mid-stream failed verification, truncated, or errored. Demotions are

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gemmec/internal/server"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "server-json",
+		Paper: "§8 integration: serving-path latency, the quantity /metricsz histograms watch in production",
+		Title: "ecserver daemon: PUT/GET latency distribution (p50/p99), clean vs degraded",
+		Run:   runServerJSON,
+	})
+}
+
+// serverJSONReport is the machine-readable result emitted to
+// Config.JSONPath (BENCH_server.json) for trend tooling: the serving
+// path's latency distribution, the offline counterpart of the live
+// gemmec_http_request_duration_seconds histograms.
+type serverJSONReport struct {
+	Experiment  string  `json:"experiment"`
+	K           int     `json:"k"`
+	R           int     `json:"r"`
+	UnitSize    int     `json:"unit_size"`
+	ObjectBytes int     `json:"object_bytes"`
+	Samples     int     `json:"samples"`
+	PutP50Ms    float64 `json:"put_p50_ms"`
+	PutP99Ms    float64 `json:"put_p99_ms"`
+	GetP50Ms    float64 `json:"get_p50_ms"`
+	GetP99Ms    float64 `json:"get_p99_ms"`
+	// Degraded GETs run with one node directory destroyed: every stripe
+	// reconstructs one shard.
+	DegradedGetP50Ms float64 `json:"degraded_get_p50_ms"`
+	DegradedGetP99Ms float64 `json:"degraded_get_p99_ms"`
+}
+
+// runServerJSON measures per-request latency percentiles through the full
+// daemon stack (HTTP framing, shard files on disk, pipelined verified
+// decode): PUT, clean GET, and degraded GET with a node directory
+// destroyed. E-SERVER reports throughput; this experiment reports the
+// latency tail, because a serving path is judged by its p99, not its mean.
+// With Config.JSONPath set the result is also written as JSON.
+func runServerJSON(w io.Writer, cfg Config) error {
+	const (
+		k, r    = 4, 2
+		nodes   = k + r
+		stripes = 16
+	)
+	samples := cfg.LatencySamples
+	if samples <= 0 {
+		samples = 50
+	}
+	root, err := os.MkdirTemp("", "gemmec-bench-serverjson")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	store, err := server.Open(server.Config{
+		Root: root, Nodes: nodes, K: k, R: r, UnitSize: cfg.UnitSize,
+	})
+	if err != nil {
+		return err
+	}
+	// Metrics enabled, as in production: the latency this experiment
+	// reports includes whatever the instrumentation costs.
+	metrics := server.NewMetrics(nil)
+	store.SetMetrics(metrics)
+	ts := httptest.NewServer(server.NewHandler(store, nil, server.WithMetrics(metrics)))
+	defer ts.Close()
+	url := ts.URL + "/o/bench-object"
+
+	payload := RandomBytes(cfg.Seed, stripes*k*cfg.UnitSize)
+	put := func() error {
+		req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.ContentLength = int64(len(payload))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("put: status %s", resp.Status)
+		}
+		return nil
+	}
+	get := func() error {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			return fmt.Errorf("get: status %s", resp.Status)
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+
+	putLats, err := Latencies(samples, put)
+	if err != nil {
+		return err
+	}
+	getLats, err := Latencies(samples, get)
+	if err != nil {
+		return err
+	}
+
+	// Destroy the node directory holding shard 0: one data shard of every
+	// stripe reconstructs on each read.
+	meta, err := store.Stat("bench-object")
+	if err != nil {
+		return err
+	}
+	if err := os.RemoveAll(filepath.Join(root, fmt.Sprintf("node_%03d", meta.Placement[0]))); err != nil {
+		return err
+	}
+	degLats, err := Latencies(samples, get)
+	if err != nil {
+		return err
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	rep := serverJSONReport{
+		Experiment:       "server-json",
+		K:                k,
+		R:                r,
+		UnitSize:         cfg.UnitSize,
+		ObjectBytes:      len(payload),
+		Samples:          samples,
+		PutP50Ms:         ms(Percentile(putLats, 50)),
+		PutP99Ms:         ms(Percentile(putLats, 99)),
+		GetP50Ms:         ms(Percentile(getLats, 50)),
+		GetP99Ms:         ms(Percentile(getLats, 99)),
+		DegradedGetP50Ms: ms(Percentile(degLats, 50)),
+		DegradedGetP99Ms: ms(Percentile(degLats, 99)),
+	}
+
+	t := NewTable(fmt.Sprintf("E-SERVER-JSON: daemon request latency (k=%d, r=%d, %d B object, %d samples)",
+		k, r, len(payload), samples),
+		"operation", "p50", "p99")
+	rowf := func(name string, lats []time.Duration) {
+		t.AddF(name, Percentile(lats, 50).Round(10*time.Microsecond).String(),
+			Percentile(lats, 99).Round(10*time.Microsecond).String())
+	}
+	rowf("put (streaming encode)", putLats)
+	rowf("get (clean)", getLats)
+	rowf("get (degraded, 1 node dir down)", degLats)
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+
+	if cfg.JSONPath != "" {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}

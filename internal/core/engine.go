@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gemmec/internal/autotune"
 	"gemmec/internal/bitmatrix"
@@ -475,9 +476,11 @@ func (e *Engine) decoderFor(survivors, lost []int) (*decoder, error) {
 		e.decoderLRU.MoveToFront(el)
 		d := el.Value.(*decoderEntry).d
 		e.mu.Unlock()
+		cacheHits.Add(1)
 		return d, nil
 	}
 	e.mu.Unlock()
+	cacheMisses.Add(1)
 
 	dm, err := matrix.DecodeMatrix(e.gen, e.k, survivors)
 	if err != nil {
@@ -524,8 +527,36 @@ func (e *Engine) decoderFor(survivors, lost []int) (*decoder, error) {
 		old := e.decoderLRU.Back()
 		e.decoderLRU.Remove(old)
 		delete(e.decoders, old.Value.(*decoderEntry).key)
+		cacheEvictions.Add(1)
 	}
 	return d, nil
+}
+
+// Decoder-cache traffic counters. Package-level rather than per-Engine
+// because the serving path constructs a fresh Code (and Engine) per
+// request from each object's manifest — per-engine counters would die with
+// the request, while process-lifetime totals are what a metrics scrape
+// wants. The decoders themselves stay per-engine; only the accounting is
+// global.
+var cacheHits, cacheMisses, cacheEvictions atomic.Int64
+
+// DecoderCacheCounters is a snapshot of process-lifetime decoder-cache
+// traffic across all engines.
+type DecoderCacheCounters struct {
+	Hits, Misses, Evictions int64
+}
+
+// ReadDecoderCacheCounters returns cumulative decoder-cache hit, miss and
+// eviction counts since process start. A hit reuses a compiled
+// reconstruction kernel for an erasure pattern; a miss pays matrix
+// inversion + kernel compilation; an eviction drops the least recently
+// used pattern past the per-engine cache bound.
+func ReadDecoderCacheCounters() DecoderCacheCounters {
+	return DecoderCacheCounters{
+		Hits:      cacheHits.Load(),
+		Misses:    cacheMisses.Load(),
+		Evictions: cacheEvictions.Load(),
+	}
 }
 
 // CachedDecoders returns how many erasure patterns currently have compiled

@@ -27,4 +27,13 @@ var (
 	// missing shard: the bytes are present but cannot be trusted, so
 	// readers treat the shard as erased and scrubbers rebuild it.
 	ErrCorruptShard = errors.New("gemmec: corrupt shard")
+
+	// ErrShardTruncated refines ErrCorruptShard for the length failure mode:
+	// a shard file shorter than its manifest promises (torn write, partial
+	// recovery). Sites that detect truncation wrap both sentinels, so
+	// errors.Is(err, ErrCorruptShard) still classifies the shard as
+	// untrustworthy while errors.Is(err, ErrShardTruncated) distinguishes
+	// missing bytes from flipped bits — operationally different signals
+	// (torn writes point at the write path, bit flips at the media).
+	ErrShardTruncated = errors.New("gemmec: shard truncated")
 )

@@ -1,0 +1,35 @@
+package ecerr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// Truncation sites wrap both sentinels so legacy ErrCorruptShard
+// classification and the finer truncation class both hold.
+func TestDemotionCauseClass(t *testing.T) {
+	trunc := fmt.Errorf("shard 3 truncated: %w (%w)", ErrShardTruncated, ErrCorruptShard)
+	crc := fmt.Errorf("shard 3 fails CRC32C: %w", ErrCorruptShard)
+	ioErr := fmt.Errorf("read shard 3: %w", io.ErrUnexpectedEOF)
+
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{trunc, "truncation"},
+		{crc, "crc"},
+		{ioErr, "io"},
+		{Demotion{Shard: 3, Stripe: 7, Cause: trunc}, "truncation"},
+		{Demotion{Shard: 3, Stripe: 7, Cause: crc}, "crc"},
+	}
+	for _, c := range cases {
+		if got := DemotionCauseClass(c.err); got != c.want {
+			t.Errorf("DemotionCauseClass(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+	if !errors.Is(trunc, ErrCorruptShard) {
+		t.Error("truncation error lost ErrCorruptShard compatibility")
+	}
+}

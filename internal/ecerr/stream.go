@@ -37,3 +37,20 @@ func (d Demotion) Error() string {
 
 // Unwrap exposes both the sentinel and the cause to errors.Is/As.
 func (d Demotion) Unwrap() []error { return []error{ErrShardDemoted, d.Cause} }
+
+// DemotionCauseClass buckets a demotion cause into one of three stable
+// strings — "truncation", "crc", or "io" — used as the `cause` label on
+// demotion metrics and in access logs. Truncation is checked first because
+// truncation errors also wrap ErrCorruptShard for back-compat
+// classification; anything that is neither truncated nor corrupt is a
+// plain read error.
+func DemotionCauseClass(err error) string {
+	switch {
+	case errors.Is(err, ErrShardTruncated):
+		return "truncation"
+	case errors.Is(err, ErrCorruptShard):
+		return "crc"
+	default:
+		return "io"
+	}
+}

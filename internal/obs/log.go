@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Logger writes structured JSON log lines. Each Log call marshals one
+// object and appends it atomically (a single Write under a mutex), so
+// lines from concurrent requests never interleave. A nil *Logger is a
+// valid no-op, which keeps call sites free of conditionals.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time // overridable for tests
+}
+
+// NewLogger returns a Logger appending JSON lines to w.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w, now: time.Now}
+}
+
+// Log emits one line with a "ts" RFC3339 timestamp, an "event" tag, and
+// the given fields. Field keys that collide with "ts"/"event" are dropped.
+// Marshal errors degrade to a plain error line rather than being lost.
+func (l *Logger) Log(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	entry := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		if k != "ts" && k != "event" {
+			entry[k] = v
+		}
+	}
+	entry["ts"] = l.now().UTC().Format(time.RFC3339Nano)
+	entry["event"] = event
+	line, err := json.Marshal(entry)
+	if err != nil {
+		line = []byte(fmt.Sprintf(`{"ts":%q,"event":"log_error","error":%q}`,
+			l.now().UTC().Format(time.RFC3339Nano), err.Error()))
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	l.w.Write(line) //nolint:errcheck // logging is best-effort
+	l.mu.Unlock()
+}
+
+// reqSeq and reqBase make request IDs unique across a process lifetime:
+// the base is derived from process start time, the sequence from an
+// atomic counter, so IDs are cheap (no rand, no allocation beyond the
+// formatted string) and sortable within a process.
+var (
+	reqBase = uint64(time.Now().UnixNano())
+	reqSeq  atomic.Uint64
+)
+
+// NextRequestID returns a short unique request identifier such as
+// "18f3a2c49d-42".
+func NextRequestID() string {
+	return fmt.Sprintf("%010x-%d", reqBase&0xffffffffff, reqSeq.Add(1))
+}

@@ -1,0 +1,434 @@
+// Package obs is the daemon's observability substrate: a stdlib-only
+// metrics registry (atomic counters, gauges, and fixed-bucket power-of-two
+// histograms) with Prometheus text exposition, plus structured JSON
+// logging and request-ID generation for the serving path.
+//
+// The paper's claim — compiler-generated EC kernels matching hand-tuned
+// libraries — is an empirical one, and it only stays true under continuous
+// measurement. This package is the runtime half of that argument: the
+// bench harness (internal/bench) measures offline, obs measures the live
+// serving path (internal/server), and both report the same quantities —
+// latency, throughput, stall attribution, degradation.
+//
+// Design constraints, in order:
+//
+//  1. Zero allocations on the hot path. Counter.Add, Gauge.Set and
+//     Histogram.Observe are single atomic operations on pre-registered
+//     series; no maps, no locks, no boxing. The streaming engine's
+//     AllocsPerRun guards keep passing with metrics enabled.
+//  2. Lock-free reads under concurrent writes. A scrape renders a
+//     consistent-enough snapshot (each value is individually atomic)
+//     without pausing traffic.
+//  3. Stdlib only, like everything else in this repository.
+//
+// Histograms use power-of-two buckets: bucket i counts observations
+// v <= 2^(minExp+i), with a final +Inf bucket. Bucket selection is one
+// bits.Len64 — no search, no float math — and the recorded integer unit
+// (nanoseconds, bytes) is scaled to the exported unit (seconds) only at
+// exposition time.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct{ Name, Value string }
+
+// L builds a Label; registration helpers take them variadically.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use and allocation-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; n must be >= 0 to keep the counter monotonic.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. All methods are safe for
+// concurrent use and allocation-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// HistogramOpts sizes a histogram's power-of-two bucket ladder. Bucket i
+// has upper bound 2^(MinExp+i) in the recorded integer unit; the last
+// explicit bound is 2^MaxExp and one +Inf bucket follows. Scale converts
+// the recorded unit to the exported unit at exposition time (1e-9 exports
+// recorded nanoseconds as seconds).
+type HistogramOpts struct {
+	MinExp int
+	MaxExp int
+	Scale  float64
+}
+
+// LatencyBuckets spans ~8µs to ~17s in power-of-two steps, recorded in
+// nanoseconds and exported in seconds — wide enough for a TTFB at one end
+// and a gigabyte-object scrub at the other.
+var LatencyBuckets = HistogramOpts{MinExp: 13, MaxExp: 34, Scale: 1e-9}
+
+// SizeBuckets spans 512 B to 64 GiB in power-of-two steps, recorded and
+// exported in bytes.
+var SizeBuckets = HistogramOpts{MinExp: 9, MaxExp: 36, Scale: 1}
+
+// Histogram is a fixed-bucket distribution metric. Observe is a handful of
+// atomic adds — no locks, no allocation — so it can sit on per-request and
+// per-stream paths.
+type Histogram struct {
+	minExp  int
+	maxExp  int
+	scale   float64
+	buckets []atomic.Int64 // maxExp-minExp+2 entries; last is +Inf
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func newHistogram(o HistogramOpts) *Histogram {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.MaxExp <= o.MinExp || o.MinExp < 0 || o.MaxExp > 62 {
+		panic(fmt.Sprintf("obs: bad histogram exponents [%d, %d]", o.MinExp, o.MaxExp))
+	}
+	return &Histogram{
+		minExp:  o.MinExp,
+		maxExp:  o.MaxExp,
+		scale:   o.Scale,
+		buckets: make([]atomic.Int64, o.MaxExp-o.MinExp+2),
+	}
+}
+
+// Observe records one value in the histogram's integer unit. Negative
+// values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	// Smallest e with v <= 2^e is bits.Len64(v-1); clamp into the ladder.
+	idx := 0
+	if v > 1<<h.minExp {
+		idx = bits.Len64(uint64(v-1)) - h.minExp
+		if idx >= len(h.buckets) {
+			idx = len(h.buckets) - 1 // +Inf
+		}
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations in the recorded unit.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// kind is the Prometheus metric type of a family.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance inside a family. Exactly one of the value
+// fields is set, matching the family kind (fn may back either a counter or
+// a gauge).
+type series struct {
+	labels string // rendered `name="value",...` or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// family groups the series of one metric name with its help and type.
+type family struct {
+	name     string
+	help     string
+	kind     kind
+	opts     HistogramOpts
+	series   []*series
+	byLabels map[string]*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration takes a lock; the returned handles are
+// lock-free. Registering the same (name, labels) again returns the
+// existing handle, so packages can idempotently declare what they record.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, k kind, opts HistogramOpts) *family {
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, opts: opts, byLabels: map[string]*series{}}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, k))
+	}
+	return f
+}
+
+func (f *family) get(labels []Label) (*series, bool) {
+	key := renderLabels(labels)
+	if s, ok := f.byLabels[key]; ok {
+		return s, true
+	}
+	s := &series{labels: key}
+	f.byLabels[key] = s
+	f.series = append(f.series, s)
+	return s, false
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.family(name, help, kindCounter, HistogramOpts{}).get(labels)
+	if !ok {
+		s.c = &Counter{}
+	}
+	if s.c == nil {
+		panic(fmt.Sprintf("obs: counter %s{%s} already registered as a func", name, s.labels))
+	}
+	return s.c
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.family(name, help, kindGauge, HistogramOpts{}).get(labels)
+	if !ok {
+		s.g = &Gauge{}
+	}
+	if s.g == nil {
+		panic(fmt.Sprintf("obs: gauge %s{%s} already registered as a func", name, s.labels))
+	}
+	return s.g
+}
+
+// Histogram registers (or returns the existing) histogram series.
+func (r *Registry) Histogram(name, help string, opts HistogramOpts, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.family(name, help, kindHistogram, opts).get(labels)
+	if !ok {
+		s.h = newHistogram(opts)
+	}
+	return s.h
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the bridge for monotonic counters owned elsewhere (e.g.
+// the engine's package-level decoder-cache counters). fn must be safe for
+// concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.family(name, help, kindCounter, HistogramOpts{}).get(labels)
+	if ok {
+		panic(fmt.Sprintf("obs: counter %s{%s} registered twice", name, s.labels))
+	}
+	s.fn = fn
+}
+
+// GaugeFunc registers a gauge series computed at scrape time. fn must be
+// safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.family(name, help, kindGauge, HistogramOpts{}).get(labels)
+	if ok {
+		panic(fmt.Sprintf("obs: gauge %s{%s} registered twice", name, s.labels))
+	}
+	s.fn = fn
+}
+
+// renderLabels produces the canonical label string (sorted by name,
+// values escaped) used both as the series key and in the exposition.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4). Values are read atomically; the
+// output is a consistent-enough snapshot under concurrent traffic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch {
+	case s.h != nil:
+		return writeHistogram(w, f.name, s)
+	case s.fn != nil:
+		return writeSample(w, f.name, "", s.labels, s.fn())
+	case s.c != nil:
+		return writeSample(w, f.name, "", s.labels, float64(s.c.Value()))
+	case s.g != nil:
+		return writeSample(w, f.name, "", s.labels, float64(s.g.Value()))
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name, suffix, labels string, v float64) error {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s%s%s %s\n", name, suffix, labels, formatFloat(v))
+	return err
+}
+
+func writeHistogram(w io.Writer, name string, s *series) error {
+	h := s.h
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(h.buckets)-1 {
+			le = formatFloat(float64(int64(1)<<(h.minExp+i)) * h.scale)
+		}
+		labels := `le="` + le + `"`
+		if s.labels != "" {
+			labels = s.labels + "," + labels
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, labels, cum); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(w, name, "_sum", s.labels, float64(h.Sum())*h.scale); err != nil {
+		return err
+	}
+	return writeSample(w, name, "_count", s.labels, float64(h.Count()))
+}
+
+// Handler serves the registry in Prometheus text exposition format —
+// mount it at GET /metricsz.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
+	})
+}
+
+// RegisterGoRuntime adds process-level Go runtime gauges (goroutines, heap
+// in use, total GC cycles) to the registry. ReadMemStats briefly
+// stops-the-world, which is acceptable at scrape frequency.
+func RegisterGoRuntime(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_inuse_bytes", "Bytes of heap memory in use.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
+	r.CounterFunc("go_gc_cycles_total", "Completed garbage-collection cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+}

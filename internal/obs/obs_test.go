@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests.", L("op", "get"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Re-registering the same (name, labels) returns the same handle.
+	if again := r.Counter("test_requests_total", "Requests.", L("op", "get")); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("test_in_flight", "In flight.")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram(HistogramOpts{MinExp: 3, MaxExp: 6, Scale: 1}) // bounds 8,16,32,64,+Inf
+	for _, v := range []int64{0, 1, 8, 9, 16, 64, 65, 1 << 40, -5} {
+		h.Observe(v)
+	}
+	// Bucket i holds v <= 2^(3+i): {0,1,8,-5→0} in le=8; {9,16} in le=16;
+	// none in le=32; {64} in le=64; {65, 1<<40} in +Inf.
+	want := []int64{4, 2, 0, 1, 2}
+	for i := range h.buckets {
+		if got := h.buckets[i].Load(); got != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+	if h.Count() != 9 {
+		t.Errorf("count = %d, want 9", h.Count())
+	}
+}
+
+func TestHistogramObserveAllocs(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", LatencyBuckets, L("op", "put"))
+	c := r.Counter("test_total", "Total.")
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(123456)
+		c.Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path allocs = %v, want 0", allocs)
+	}
+}
+
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_requests_total", "Total requests.", L("op", "get"), L("code", "200"))
+	c.Add(3)
+	r.Counter("app_requests_total", "Total requests.", L("op", "put"), L("code", "201")).Inc()
+	g := r.Gauge("app_in_flight", "Requests in flight.")
+	g.Set(2)
+	h := r.Histogram("app_size_bytes", "Sizes.", HistogramOpts{MinExp: 3, MaxExp: 5, Scale: 1})
+	h.Observe(4)
+	h.Observe(20)
+	h.Observe(100)
+	r.GaugeFunc("app_objects", "Objects.", func() float64 { return 12 })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_requests_total Total requests.
+# TYPE app_requests_total counter
+app_requests_total{code="200",op="get"} 3
+app_requests_total{code="201",op="put"} 1
+# HELP app_in_flight Requests in flight.
+# TYPE app_in_flight gauge
+app_in_flight 2
+# HELP app_size_bytes Sizes.
+# TYPE app_size_bytes histogram
+app_size_bytes_bucket{le="8"} 1
+app_size_bytes_bucket{le="16"} 1
+app_size_bytes_bucket{le="32"} 2
+app_size_bytes_bucket{le="+Inf"} 3
+app_size_bytes_sum 124
+app_size_bytes_count 3
+# HELP app_objects Objects.
+# TYPE app_objects gauge
+app_objects 12
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestExpositionScale(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("app_latency_seconds", "Latency.", HistogramOpts{MinExp: 30, MaxExp: 31, Scale: 1e-9})
+	h.Observe(int64(2 * time.Second)) // 2e9 ns <= 2^31 ns
+	h.Observe(int64(1 * time.Second))
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`app_latency_seconds_bucket{le="1.073741824"} 1`,
+		`app_latency_seconds_bucket{le="2.147483648"} 2`,
+		`app_latency_seconds_bucket{le="+Inf"} 2`,
+		`app_latency_seconds_sum 3`,
+		`app_latency_seconds_count 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "Esc.", L("path", "a\"b\\c\nd")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("exposition missing %q in:\n%s", want, buf.String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "H.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metricsz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "C.", L("op", "x"))
+	h := r.Histogram("conc_seconds", "C.", LatencyBuckets)
+	g := r.Gauge("conc_gauge", "C.")
+	r.GaugeFunc("conc_fn", "C.", func() float64 { return 1 })
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(int64(j%1000) * 1000)
+				g.Set(int64(j))
+				// New series registration racing with scrapes.
+				r.Counter("conc_total", "C.", L("op", fmt.Sprintf("op%d", j%8))).Inc()
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Histogram invariants hold after the dust settles: count equals the
+	// +Inf cumulative bucket.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+	}
+	if cum != h.Count() {
+		t.Fatalf("bucket sum %d != count %d", cum, h.Count())
+	}
+}
+
+func TestMismatchedKindPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kind_total", "K.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering gauge over counter")
+		}
+	}()
+	r.Gauge("kind_total", "K.")
+}
+
+func TestLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	fixed := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	l.now = func() time.Time { return fixed }
+	l.Log("access", map[string]any{"op": "get", "status": 200, "ts": "spoofed"})
+
+	var entry map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("invalid JSON line %q: %v", buf.String(), err)
+	}
+	if entry["event"] != "access" || entry["op"] != "get" || entry["status"] != float64(200) {
+		t.Fatalf("unexpected entry: %v", entry)
+	}
+	if entry["ts"] != "2026-08-05T12:00:00Z" {
+		t.Fatalf("ts = %v (spoof should be dropped)", entry["ts"])
+	}
+
+	// nil logger is a no-op.
+	var nilLogger *Logger
+	nilLogger.Log("x", nil)
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Log("e", map[string]any{"g": n, "j": j})
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		var e map[string]any
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("interleaved/corrupt line %q: %v", line, err)
+		}
+	}
+}
+
+func TestNextRequestID(t *testing.T) {
+	a, b := NextRequestID(), NextRequestID()
+	if a == b {
+		t.Fatalf("ids not unique: %q", a)
+	}
+	if !strings.Contains(a, "-") {
+		t.Fatalf("unexpected id format %q", a)
+	}
+}

@@ -490,7 +490,7 @@ func (d *demoter) fillSlot(s *slot, stripe int64, stall *time.Duration) (rebuild
 		*stall += time.Since(t0)
 		if rerr != nil {
 			if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
-				rerr = fmt.Errorf("gemmec: shard %d truncated at stripe %d: %w", i, stripe, ecerr.ErrCorruptShard)
+				rerr = fmt.Errorf("gemmec: shard %d truncated at stripe %d: %w (%w)", i, stripe, ecerr.ErrShardTruncated, ecerr.ErrCorruptShard)
 			} else {
 				rerr = fmt.Errorf("gemmec: read shard %d: %w", i, rerr)
 			}

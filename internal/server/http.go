@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"encoding/json"
 
 	"gemmec"
+	"gemmec/internal/obs"
 )
 
 // HTTP surface of the daemon. Objects live under /o/<name>:
@@ -20,7 +22,8 @@ import (
 //	GET    /objects    JSON catalog listing
 //	POST   /scrub      run one scrub sweep now, return the report
 //	GET    /statusz    JSON counters
-//	GET    /healthz    liveness probe
+//	GET    /healthz    liveness probe (503 when the scrub loop is wedged)
+//	GET    /metricsz   Prometheus text exposition (when metrics are wired)
 //
 // Degraded reads are reported in response headers so clients can tell a
 // clean read from a reconstructed one without parsing the body:
@@ -33,12 +36,18 @@ import (
 // inside the decode itself, so a shard can also be demoted after the
 // headers are gone; GET bodies therefore stream chunked (object size in
 // X-Gemmec-Size; HEAD still reports Content-Length) and the same two
-// fields are repeated as HTTP trailers with the final post-stream truth.
-// Clients that care whether the bytes they just read needed mid-stream
-// reconstruction check the trailers; clients that only want open-time
-// state keep reading the headers. A decode that fails terminally
-// mid-body aborts the connection, so clients see a transport error
-// rather than a short body that parses as success.
+// fields are repeated as HTTP trailers with the final post-stream truth,
+// alongside the stream's pipeline accounting (X-Gemmec-Stripes and the
+// X-Gemmec-Stall-* durations) for `eccli get -v`. Clients that care
+// whether the bytes they just read needed mid-stream reconstruction check
+// the trailers; clients that only want open-time state keep reading the
+// headers. A decode that fails terminally mid-body aborts the connection,
+// so clients see a transport error rather than a short body that parses
+// as success.
+//
+// Every response carries X-Gemmec-Request-Id, which is also the "id"
+// field of the corresponding JSON access-log line — the join key between
+// a client-observed anomaly and the server's record of it.
 //
 // The public error taxonomy maps onto status codes: unknown object 404,
 // bad name 400, unrecoverable loss (gemmec.ErrTooFewShards, possibly
@@ -55,25 +64,194 @@ func (f Logf) printf(format string, args ...any) {
 	}
 }
 
+// HandlerOption configures optional handler behavior (metrics, access
+// logs, health wiring). The zero-option NewHandler is unchanged from
+// before observability existed.
+type HandlerOption func(*handler)
+
+// WithMetrics wires the metrics bundle into the request path and mounts
+// its registry at GET /metricsz.
+func WithMetrics(m *Metrics) HandlerOption {
+	return func(h *handler) { h.metrics = m }
+}
+
+// WithScrubber lets /healthz judge liveness by the scrub loop: the probe
+// fails (503) once no sweep has completed within 3× the scrub interval.
+// Without it /healthz degenerates to a bare process-up check.
+func WithScrubber(sc *Scrubber) HandlerOption {
+	return func(h *handler) { h.scrubber = sc }
+}
+
+// WithAccessLog emits one structured JSON line per request to l.
+func WithAccessLog(l *obs.Logger) HandlerOption {
+	return func(h *handler) { h.accessLog = l }
+}
+
+// WithSlowRequestThreshold logs (via Logf) and counts requests slower
+// than d. Zero disables the check.
+func WithSlowRequestThreshold(d time.Duration) HandlerOption {
+	return func(h *handler) { h.slowReq = d }
+}
+
 // NewHandler serves store over HTTP.
-func NewHandler(store *Store, logf Logf) http.Handler {
+func NewHandler(store *Store, logf Logf, opts ...HandlerOption) http.Handler {
 	h := &handler{store: store, logf: logf}
+	for _, o := range opts {
+		o(h)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("PUT /o/{name...}", h.put)
-	mux.HandleFunc("GET /o/{name...}", h.get)
-	mux.HandleFunc("DELETE /o/{name...}", h.delete)
-	mux.HandleFunc("GET /objects", h.list)
-	mux.HandleFunc("POST /scrub", h.scrub)
-	mux.HandleFunc("GET /statusz", h.statusz)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("PUT /o/{name...}", h.wrap("put", h.put))
+	mux.HandleFunc("GET /o/{name...}", h.wrap("get", h.get))
+	mux.HandleFunc("DELETE /o/{name...}", h.wrap("delete", h.delete))
+	mux.HandleFunc("GET /objects", h.wrap("list", h.list))
+	mux.HandleFunc("POST /scrub", h.wrap("scrub", h.scrub))
+	mux.HandleFunc("GET /statusz", h.wrap("status", h.statusz))
+	mux.HandleFunc("GET /healthz", h.wrap("health", h.healthz))
+	if h.metrics != nil {
+		mux.Handle("GET /metricsz", h.metrics.Registry.Handler())
+	}
 	return mux
 }
 
 type handler struct {
-	store *Store
-	logf  Logf
+	store     *Store
+	logf      Logf
+	metrics   *Metrics
+	scrubber  *Scrubber
+	accessLog *obs.Logger
+	slowReq   time.Duration
+}
+
+// instrumented wraps the ResponseWriter to observe what the handler did:
+// committed status, body bytes, time to first body byte. Handlers also
+// push facts the wrapper cannot see (object name, degradation) into it,
+// so the deferred recorder in wrap has the whole request story in one
+// place.
+type instrumented struct {
+	http.ResponseWriter
+	start     time.Time
+	status    int
+	bytes     int64
+	firstByte time.Duration // 0 until the first body write
+
+	// Set by handlers for the access log.
+	object        string
+	objectBytes   int64 // payload size (PUT: stored; GET: streamed)
+	degraded      bool
+	demoted       int
+	reconstructed int
+}
+
+func (iw *instrumented) WriteHeader(code int) {
+	if iw.status == 0 {
+		iw.status = code
+	}
+	iw.ResponseWriter.WriteHeader(code)
+}
+
+func (iw *instrumented) Write(p []byte) (int, error) {
+	if iw.status == 0 {
+		iw.status = http.StatusOK
+	}
+	if iw.firstByte == 0 {
+		iw.firstByte = time.Since(iw.start)
+	}
+	n, err := iw.ResponseWriter.Write(p)
+	iw.bytes += int64(n)
+	return n, err
+}
+
+// Flush passes through so chunked GET bodies keep streaming promptly.
+func (iw *instrumented) Flush() {
+	if f, ok := iw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// wrap is the per-request instrumentation middleware: request ID,
+// in-flight gauge, latency + TTFB histograms, request counter by
+// op/status, JSON access log, slow-request check. It recovers a
+// mid-stream abort just long enough to record the request (status 499,
+// client saw a torn connection) and then re-panics so net/http still
+// kills the connection.
+func (h *handler) wrap(op string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		o := op
+		if o == "get" && r.Method == http.MethodHead {
+			o = "head"
+		}
+		id := obs.NextRequestID()
+		w.Header().Set("X-Gemmec-Request-Id", id)
+		iw := &instrumented{ResponseWriter: w, start: time.Now()}
+		if h.metrics != nil {
+			h.metrics.inFlight.Add(1)
+		}
+		defer func() {
+			pan := recover()
+			dur := time.Since(iw.start)
+			status := iw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			if pan != nil {
+				// The handler tore the connection down mid-body; nginx's
+				// "client closed"-family code marks it in logs and metrics.
+				status = 499
+			}
+			if h.metrics != nil {
+				h.metrics.inFlight.Add(-1)
+				h.metrics.recordRequest(o, status, dur)
+				if o == "get" && iw.firstByte > 0 {
+					h.metrics.getTTFB.Observe(int64(iw.firstByte))
+				}
+				if h.slowReq > 0 && dur > h.slowReq {
+					h.metrics.slowRequests.Inc()
+				}
+			}
+			if h.slowReq > 0 && dur > h.slowReq {
+				h.logf.printf("ecserver: slow request id=%s %s %s: %v (threshold %v)",
+					id, r.Method, r.URL.Path, dur, h.slowReq)
+			}
+			if h.accessLog != nil {
+				fields := map[string]any{
+					"id":          id,
+					"op":          o,
+					"method":      r.Method,
+					"path":        r.URL.Path,
+					"status":      status,
+					"duration_ms": float64(dur) / float64(time.Millisecond),
+					"bytes":       iw.bytes,
+					"remote":      r.RemoteAddr,
+				}
+				if iw.object != "" {
+					fields["object"] = iw.object
+				}
+				if iw.objectBytes > 0 {
+					fields["object_bytes"] = iw.objectBytes
+				}
+				if iw.degraded {
+					fields["degraded"] = true
+				}
+				if iw.demoted > 0 {
+					fields["demoted"] = iw.demoted
+				}
+				if iw.reconstructed > 0 {
+					fields["reconstructed"] = iw.reconstructed
+				}
+				if iw.firstByte > 0 {
+					fields["ttfb_ms"] = float64(iw.firstByte) / float64(time.Millisecond)
+				}
+				if pan != nil {
+					fields["aborted"] = true
+				}
+				h.accessLog.Log("access", fields)
+			}
+			if pan != nil {
+				panic(pan)
+			}
+		}()
+		fn(iw, r)
+	}
 }
 
 // errStatus maps the error taxonomy to an HTTP status.
@@ -113,22 +291,49 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
 }
 
+// streamStatsJSON is the wire form of gemmec.StreamStats in the PUT reply,
+// consumed by `eccli put -v`.
+type streamStatsJSON struct {
+	Stripes     int64  `json:"stripes"`
+	ReadStall   string `json:"read_stall"`
+	EncodeStall string `json:"encode_stall"`
+	WriteStall  string `json:"write_stall"`
+	Elapsed     string `json:"elapsed"`
+	Demoted     int    `json:"demoted"`
+}
+
+func statsJSON(st gemmec.StreamStats) *streamStatsJSON {
+	return &streamStatsJSON{
+		Stripes:     st.Stripes,
+		ReadStall:   st.ReadStall.String(),
+		EncodeStall: st.EncodeStall.String(),
+		WriteStall:  st.WriteStall.String(),
+		Elapsed:     st.Elapsed.String(),
+		Demoted:     len(st.Demoted),
+	}
+}
+
 // putResponse is the JSON body of a successful PUT.
 type putResponse struct {
-	Name      string `json:"name"`
-	Size      int64  `json:"size"`
-	Stripes   int    `json:"stripes"`
-	K         int    `json:"k"`
-	R         int    `json:"r"`
-	Placement []int  `json:"placement"`
+	Name      string           `json:"name"`
+	Size      int64            `json:"size"`
+	Stripes   int              `json:"stripes"`
+	K         int              `json:"k"`
+	R         int              `json:"r"`
+	Placement []int            `json:"placement"`
+	Stats     *streamStatsJSON `json:"stats,omitempty"`
 }
 
 func (h *handler) put(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	meta, _, err := h.store.Put(name, r.Body, r.ContentLength)
+	meta, st, err := h.store.Put(name, r.Body, r.ContentLength)
 	if err != nil {
 		h.fail(w, r, err)
 		return
+	}
+	if iw, ok := w.(*instrumented); ok {
+		iw.object = meta.Name
+		iw.objectBytes = meta.Manifest.FileSize
 	}
 	writeJSON(w, http.StatusCreated, putResponse{
 		Name:      meta.Name,
@@ -137,6 +342,7 @@ func (h *handler) put(w http.ResponseWriter, r *http.Request) {
 		K:         meta.Manifest.K,
 		R:         meta.Manifest.R,
 		Placement: meta.Placement,
+		Stats:     statsJSON(st),
 	})
 }
 
@@ -175,15 +381,32 @@ func (h *handler) get(w http.ResponseWriter, r *http.Request) {
 	// The body streams chunked (no Content-Length) so the final
 	// degradation state — which may grow mid-stream as the verifying
 	// decode demotes shards — can ride the trailers.
-	if _, err := o.Stream(w); err != nil {
+	st, err := o.Stream(w)
+	if err != nil {
 		// Headers are gone; abort the connection so the client sees a
 		// transport error instead of a short-but-well-formed body.
 		h.logf.printf("ecserver: GET %s: decode failed mid-stream: %v", r.URL.Path, err)
 		panic(http.ErrAbortHandler)
 	}
+	if iw, ok := w.(*instrumented); ok {
+		iw.object = o.Meta.Name
+		iw.objectBytes = o.Size()
+		iw.degraded = o.Degraded()
+		iw.demoted = len(o.Demoted())
+		iw.reconstructed = len(o.Unusable())
+	}
 	w.Header().Set(http.TrailerPrefix+"X-Gemmec-Degraded", strconv.FormatBool(o.Degraded()))
 	if bad := o.Unusable(); len(bad) > 0 {
 		w.Header().Set(http.TrailerPrefix+"X-Gemmec-Reconstructed", shardList(bad))
+	}
+	// Stream accounting trailers: what `eccli get -v` shows an operator
+	// without access to the server's /metricsz.
+	w.Header().Set(http.TrailerPrefix+"X-Gemmec-Stripes", strconv.FormatInt(st.Stripes, 10))
+	w.Header().Set(http.TrailerPrefix+"X-Gemmec-Stall-Read", st.ReadStall.String())
+	w.Header().Set(http.TrailerPrefix+"X-Gemmec-Stall-Encode", st.EncodeStall.String())
+	w.Header().Set(http.TrailerPrefix+"X-Gemmec-Stall-Write", st.WriteStall.String())
+	if n := len(st.Demoted); n > 0 {
+		w.Header().Set(http.TrailerPrefix+"X-Gemmec-Demoted", strconv.Itoa(n))
 	}
 }
 
@@ -203,18 +426,14 @@ type listEntry struct {
 }
 
 func (h *handler) list(w http.ResponseWriter, r *http.Request) {
-	names, err := h.store.List()
+	metas, err := h.store.StatAll()
 	if err != nil {
 		h.fail(w, r, err)
 		return
 	}
-	out := make([]listEntry, 0, len(names))
-	for _, n := range names {
-		meta, err := h.store.Stat(n)
-		if err != nil {
-			continue // deleted between List and Stat
-		}
-		out = append(out, listEntry{Name: n, Size: meta.Manifest.FileSize, Stripes: meta.Manifest.Stripes})
+	out := make([]listEntry, 0, len(metas))
+	for _, meta := range metas {
+		out = append(out, listEntry{Name: meta.Name, Size: meta.Manifest.FileSize, Stripes: meta.Manifest.Stripes})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -229,4 +448,37 @@ func (h *handler) scrub(w http.ResponseWriter, r *http.Request) {
 
 func (h *handler) statusz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.store.Stats())
+}
+
+// healthResponse is the JSON body of /healthz.
+type healthResponse struct {
+	Status             string `json:"status"`
+	LastScrubCompleted string `json:"last_scrub_completed,omitempty"`
+	ScrubInterval      string `json:"scrub_interval,omitempty"`
+}
+
+// healthz reports liveness truthfully: with a scrubber wired in, the
+// probe fails once no sweep has completed within 3× the scrub interval —
+// comfortably beyond the jitter ceiling of 1.5× — because a daemon whose
+// repair loop is wedged is not healthy no matter how happily it serves
+// reads. Without a scrubber (tests, scrub-disabled deployments) it stays
+// a bare process-up 200.
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if h.scrubber == nil {
+		writeJSON(w, http.StatusOK, healthResponse{Status: "ok"})
+		return
+	}
+	last := h.scrubber.LastCompleted()
+	resp := healthResponse{
+		Status:             "ok",
+		LastScrubCompleted: last.UTC().Format(time.RFC3339Nano),
+		ScrubInterval:      h.scrubber.Interval().String(),
+	}
+	if wedge := 3 * h.scrubber.Interval(); time.Since(last) > wedge {
+		resp.Status = fmt.Sprintf("scrub wedged: no sweep completed in %v (limit %v)",
+			time.Since(last).Round(time.Millisecond), wedge)
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

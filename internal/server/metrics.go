@@ -1,0 +1,235 @@
+package server
+
+import (
+	"time"
+
+	"gemmec"
+	"gemmec/internal/core"
+	"gemmec/internal/ecerr"
+	"gemmec/internal/obs"
+)
+
+// ops is the fixed label set for per-operation request metrics. Every
+// request is attributed to exactly one of these; pre-registering the full
+// set keeps the per-request record path to handle lookups plus atomic adds.
+var ops = []string{"put", "get", "head", "delete", "list", "scrub", "status", "health", "metrics", "other"}
+
+// stages mirror pipeline.Stats stall attribution: where a streaming
+// request's wall time went when it was not doing GEMM.
+var stages = []string{"read", "encode", "write"}
+
+// demotionCauses are the DemotionCauseClass buckets.
+var demotionCauses = []string{"crc", "truncation", "io"}
+
+// Metrics is the serving path's instrumentation bundle: every counter,
+// gauge and histogram the daemon records, pre-registered against one
+// obs.Registry so recording is lock-free atomic adds. Construct with
+// NewMetrics, hand the same instance to the Store (Store.SetMetrics) and
+// the handler (WithMetrics); a nil *Metrics disables recording everywhere
+// without conditional wiring at call sites.
+type Metrics struct {
+	Registry *obs.Registry
+
+	reqDuration map[string]*obs.Histogram // by op, seconds
+	getTTFB     *obs.Histogram
+	inFlight    *obs.Gauge
+	bytesIn     *obs.Counter
+	bytesOut    *obs.Counter
+	objectBytes map[string]*obs.Histogram // by op (put/get), bytes
+
+	stall   map[[2]string]*obs.Histogram // by {op, stage}, seconds
+	stripes map[string]*obs.Counter      // by op
+
+	demotions    map[string]*obs.Counter // by cause
+	degradedGets *obs.Counter
+
+	scrubCycles  *obs.Counter
+	scrubDur     *obs.Histogram
+	scrubHealed  *obs.Counter
+	scrubOrphans *obs.Counter
+	scrubErrors  *obs.Counter
+	scrubLast    *obs.Gauge // unix seconds
+
+	slowRequests *obs.Counter
+}
+
+// NewMetrics registers the daemon's metric families on reg (a fresh
+// registry if nil) and returns the bundle. Process-wide sources — the
+// engine's decoder-cache counters, Go runtime stats — are registered here
+// too, so one /metricsz scrape carries the whole story.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &Metrics{
+		Registry:    reg,
+		reqDuration: map[string]*obs.Histogram{},
+		objectBytes: map[string]*obs.Histogram{},
+		stall:       map[[2]string]*obs.Histogram{},
+		stripes:     map[string]*obs.Counter{},
+		demotions:   map[string]*obs.Counter{},
+	}
+	for _, op := range ops {
+		m.reqDuration[op] = reg.Histogram("gemmec_http_request_duration_seconds",
+			"HTTP request latency by operation.", obs.LatencyBuckets, obs.L("op", op))
+	}
+	m.getTTFB = reg.Histogram("gemmec_http_get_ttfb_seconds",
+		"Time from GET dispatch to the first payload byte.", obs.LatencyBuckets)
+	m.inFlight = reg.Gauge("gemmec_http_requests_in_flight",
+		"HTTP requests currently being served.")
+	m.bytesIn = reg.Counter("gemmec_bytes_in_total",
+		"Object payload bytes accepted by PUT.")
+	m.bytesOut = reg.Counter("gemmec_bytes_out_total",
+		"Object payload bytes served by GET.")
+	for _, op := range []string{"put", "get"} {
+		m.objectBytes[op] = reg.Histogram("gemmec_object_bytes",
+			"Object payload size per streaming request.", obs.SizeBuckets, obs.L("op", op))
+	}
+	for _, op := range []string{"put", "get"} {
+		for _, st := range stages {
+			m.stall[[2]string{op, st}] = reg.Histogram("gemmec_pipeline_stall_seconds",
+				"Per-request pipeline stall time by stage (read/encode/write).",
+				obs.LatencyBuckets, obs.L("op", op), obs.L("stage", st))
+		}
+		m.stripes[op] = reg.Counter("gemmec_pipeline_stripes_total",
+			"Stripes encoded or decoded by the streaming pipeline.", obs.L("op", op))
+	}
+	for _, cause := range demotionCauses {
+		m.demotions[cause] = reg.Counter("gemmec_demotions_total",
+			"Mid-stream shard demotions by cause.", obs.L("cause", cause))
+	}
+	m.degradedGets = reg.Counter("gemmec_degraded_gets_total",
+		"GETs that required reconstruction (at open or mid-stream).")
+
+	m.scrubCycles = reg.Counter("gemmec_scrub_cycles_total", "Completed scrub sweeps.")
+	m.scrubDur = reg.Histogram("gemmec_scrub_cycle_duration_seconds",
+		"Wall time of one whole-catalog scrub sweep.", obs.LatencyBuckets)
+	m.scrubHealed = reg.Counter("gemmec_scrub_shards_healed_total",
+		"Shards rebuilt in place by scrub.")
+	m.scrubOrphans = reg.Counter("gemmec_scrub_orphans_removed_total",
+		"Stale shard/temp files reclaimed by scrub.")
+	m.scrubErrors = reg.Counter("gemmec_scrub_errors_total",
+		"Per-object scrub failures (objects still needing attention).")
+	m.scrubLast = reg.Gauge("gemmec_scrub_last_completed_timestamp_seconds",
+		"Unix time the last scrub sweep completed (0 until the first).")
+
+	m.slowRequests = reg.Counter("gemmec_http_slow_requests_total",
+		"Requests slower than the -slow-request threshold.")
+
+	reg.CounterFunc("gemmec_decoder_cache_hits_total",
+		"Compiled-decoder cache hits across all engines.",
+		func() float64 { return float64(core.ReadDecoderCacheCounters().Hits) })
+	reg.CounterFunc("gemmec_decoder_cache_misses_total",
+		"Compiled-decoder cache misses (matrix inversion + kernel compile paid).",
+		func() float64 { return float64(core.ReadDecoderCacheCounters().Misses) })
+	reg.CounterFunc("gemmec_decoder_cache_evictions_total",
+		"Compiled decoders dropped by per-engine LRU bounds.",
+		func() float64 { return float64(core.ReadDecoderCacheCounters().Evictions) })
+	obs.RegisterGoRuntime(reg)
+	return m
+}
+
+// RegisterStore adds scrape-time gauges backed by st (object count). Call
+// once per store.
+func (m *Metrics) RegisterStore(st *Store) {
+	if m == nil {
+		return
+	}
+	m.Registry.GaugeFunc("gemmec_objects", "Objects in the catalog.",
+		func() float64 {
+			names, _ := st.List()
+			return float64(len(names))
+		})
+}
+
+// opHistogram indexes a per-op histogram map, folding unknown ops into
+// "other" so a recording site can never miss.
+func opKey(op string) string {
+	for _, o := range ops {
+		if o == op {
+			return op
+		}
+	}
+	return "other"
+}
+
+// recordRequest records one finished HTTP request.
+func (m *Metrics) recordRequest(op string, code int, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.reqDuration[opKey(op)].Observe(int64(dur))
+	m.Registry.Counter("gemmec_http_requests_total",
+		"HTTP requests by operation and status code.",
+		obs.L("op", opKey(op)), obs.L("code", itoa3(code))).Inc()
+}
+
+// itoa3 formats the common status codes without strconv (they are the only
+// codes the handler emits; anything else falls through to a generic class).
+func itoa3(code int) string {
+	switch code {
+	case 200:
+		return "200"
+	case 201:
+		return "201"
+	case 204:
+		return "204"
+	case 400:
+		return "400"
+	case 404:
+		return "404"
+	case 499:
+		return "499"
+	case 500:
+		return "500"
+	case 503:
+		return "503"
+	default:
+		switch {
+		case code >= 200 && code < 300:
+			return "2xx"
+		case code >= 400 && code < 500:
+			return "4xx"
+		default:
+			return "5xx"
+		}
+	}
+}
+
+// recordStream folds one streaming request's pipeline stats into the
+// per-stage stall histograms and stripe counters.
+func (m *Metrics) recordStream(op string, st gemmec.StreamStats) {
+	if m == nil {
+		return
+	}
+	m.stall[[2]string{op, "read"}].Observe(int64(st.ReadStall))
+	m.stall[[2]string{op, "encode"}].Observe(int64(st.EncodeStall))
+	m.stall[[2]string{op, "write"}].Observe(int64(st.WriteStall))
+	m.stripes[op].Add(st.Stripes)
+	for _, d := range st.Demoted {
+		m.demotions[ecerr.DemotionCauseClass(d.Cause)].Inc()
+	}
+}
+
+// recordObjectBytes records one object payload's size for op ("put"/"get").
+func (m *Metrics) recordObjectBytes(op string, n int64) {
+	if m == nil {
+		return
+	}
+	if h, ok := m.objectBytes[op]; ok {
+		h.Observe(n)
+	}
+}
+
+// recordScrub folds one completed sweep into the scrub metrics.
+func (m *Metrics) recordScrub(rep ScrubReport, dur time.Duration, done time.Time) {
+	if m == nil {
+		return
+	}
+	m.scrubCycles.Inc()
+	m.scrubDur.Observe(int64(dur))
+	m.scrubHealed.Add(int64(rep.ShardsHealed()))
+	m.scrubOrphans.Add(int64(rep.OrphansRemoved))
+	m.scrubErrors.Add(int64(len(rep.Errors)))
+	m.scrubLast.Set(done.Unix())
+}

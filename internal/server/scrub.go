@@ -2,6 +2,7 @@ package server
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +19,12 @@ type Scrubber struct {
 	kick     chan struct{}
 	stop     chan struct{}
 	done     chan struct{}
+
+	// lastDone is the unix-nano time the last sweep completed, seeded with
+	// the start time so a freshly started daemon reads as live. /healthz
+	// compares it against 3× the interval — comfortably past the jitter
+	// ceiling of 1.5× — to detect a wedged loop.
+	lastDone atomic.Int64
 }
 
 // StartScrubber launches the background scrub loop. interval must be
@@ -31,9 +38,19 @@ func StartScrubber(store *Store, interval time.Duration, logf Logf) *Scrubber {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	sc.lastDone.Store(time.Now().UnixNano())
 	go sc.loop()
 	return sc
 }
+
+// LastCompleted returns when the last sweep finished (the scrubber's start
+// time until the first sweep lands).
+func (sc *Scrubber) LastCompleted() time.Time {
+	return time.Unix(0, sc.lastDone.Load())
+}
+
+// Interval returns the configured (pre-jitter) sweep interval.
+func (sc *Scrubber) Interval() time.Duration { return sc.interval }
 
 // Kick requests an immediate sweep (coalesced if one is already pending).
 func (sc *Scrubber) Kick() {
@@ -67,6 +84,7 @@ func (sc *Scrubber) loop() {
 		case <-timer.C:
 		}
 		rep := sc.store.ScrubAll()
+		sc.lastDone.Store(time.Now().UnixNano())
 		if healed := rep.ShardsHealed(); healed > 0 {
 			sc.logf.printf("ecserver: scrub healed %d shard(s) across %d object(s)", healed, len(rep.Healed))
 		}

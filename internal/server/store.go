@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gemmec"
 	"gemmec/internal/shardfile"
@@ -108,6 +109,18 @@ type Store struct {
 	scrubCycles, shardsHealed         atomic.Int64
 	scrubErrors, orphansRemoved       atomic.Int64
 	bytesIn, bytesOut                 atomic.Int64
+
+	// metrics, when set, mirrors the counters above into the /metricsz
+	// registry and adds what flat counters cannot carry (stall and size
+	// histograms, demotion causes). Nil disables recording.
+	metrics *Metrics
+}
+
+// SetMetrics attaches the observability bundle. Call before serving
+// traffic; the store does not synchronize the pointer itself.
+func (s *Store) SetMetrics(m *Metrics) {
+	s.metrics = m
+	m.RegisterStore(s)
 }
 
 // Open opens (creating if necessary) the store rooted at cfg.Root.
@@ -318,6 +331,11 @@ func (s *Store) Put(name string, src io.Reader, size int64) (ObjectMeta, gemmec.
 	removeFiles(oldPaths)
 	s.puts.Add(1)
 	s.bytesIn.Add(m.FileSize)
+	s.metrics.recordStream("put", st)
+	s.metrics.recordObjectBytes("put", m.FileSize)
+	if s.metrics != nil {
+		s.metrics.bytesIn.Add(m.FileSize)
+	}
 	return meta, st, nil
 }
 
@@ -382,14 +400,22 @@ func (o *Object) Demoted() []gemmec.Demotion { return o.sr.Demoted() }
 // checksum in the same pass. It may be called at most once.
 func (o *Object) Stream(dst io.Writer) (gemmec.StreamStats, error) {
 	st, err := o.sr.Decode(dst, o.s.cfg.Workers)
+	o.s.metrics.recordStream("get", st)
 	if len(o.sr.Demoted()) > 0 && !o.openDegraded {
 		// The open looked clean but the decode had to reconstruct around a
 		// mid-stream failure: that is a degraded read, even though we only
 		// learned it after the headers went out.
 		o.s.degradedGets.Add(1)
+		if o.s.metrics != nil {
+			o.s.metrics.degradedGets.Inc()
+		}
 	}
 	if err == nil {
 		o.s.bytesOut.Add(o.Meta.Manifest.FileSize)
+		o.s.metrics.recordObjectBytes("get", o.Meta.Manifest.FileSize)
+		if o.s.metrics != nil {
+			o.s.metrics.bytesOut.Add(o.Meta.Manifest.FileSize)
+		}
 	}
 	return st, err
 }
@@ -431,6 +457,9 @@ func (s *Store) OpenObject(name string) (*Object, error) {
 	s.gets.Add(1)
 	if sr.Degraded() {
 		s.degradedGets.Add(1)
+		if s.metrics != nil {
+			s.metrics.degradedGets.Inc()
+		}
 	}
 	return &Object{Meta: meta, s: s, sr: sr, openDegraded: sr.Degraded(), lock: l}, nil
 }
@@ -531,6 +560,42 @@ func (s *Store) List() ([]string, error) {
 	return names, nil
 }
 
+// StatAll returns the metadata of every stored object in one pass over
+// meta/ — one ReadDir plus one metadata load per object, sorted by name.
+// The /objects handler uses it instead of List-then-Stat-per-name, which
+// walked the directory and re-derived each key a second time. Objects
+// whose metadata is missing (deleted mid-walk) or fails to load are
+// skipped: a broken object should spoil scrubs, not listings.
+func (s *Store) StatAll() ([]ObjectMeta, error) {
+	ents, err := os.ReadDir(s.metaDir())
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	metas := make([]ObjectMeta, 0, len(ents))
+	for _, e := range ents {
+		key, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok {
+			continue
+		}
+		if _, err := hex.DecodeString(key); err != nil {
+			continue
+		}
+		l := s.lockFor(key)
+		l.RLock()
+		meta, err := s.loadMeta(key)
+		l.RUnlock()
+		if err != nil {
+			continue
+		}
+		metas = append(metas, meta)
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].Name < metas[j].Name })
+	return metas, nil
+}
+
 // ScrubObject verifies object name's shards against the manifest checksums
 // and rebuilds any missing or corrupt shard in place (temp-file + rename),
 // returning the healed shard indices. The object is exclusively locked for
@@ -589,11 +654,14 @@ func (r ScrubReport) Clean() bool { return len(r.Healed) == 0 && len(r.Errors) =
 // ScrubAll sweeps every object in the catalog once. It never fails as a
 // whole: per-object failures are collected in the report.
 func (s *Store) ScrubAll() ScrubReport {
+	start := time.Now()
 	rep := ScrubReport{}
 	names, err := s.List()
 	if err != nil {
 		rep.Errors = map[string]string{"<catalog>": err.Error()}
 		s.scrubErrors.Add(1)
+		done := time.Now()
+		s.metrics.recordScrub(rep, done.Sub(start), done)
 		return rep
 	}
 	for _, name := range names {
@@ -616,6 +684,8 @@ func (s *Store) ScrubAll() ScrubReport {
 	}
 	rep.OrphansRemoved = s.sweepOrphans()
 	s.scrubCycles.Add(1)
+	done := time.Now()
+	s.metrics.recordScrub(rep, done.Sub(start), done)
 	return rep
 }
 

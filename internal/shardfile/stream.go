@@ -248,8 +248,8 @@ type stripeVerifier struct{ sums [][]uint32 }
 
 func (v *stripeVerifier) VerifyUnit(shard int, stripe int64, unit []byte) error {
 	if stripe >= int64(len(v.sums[shard])) {
-		return fmt.Errorf("shardfile: shard %d stripe %d beyond manifest's %d stripes: %w",
-			shard, stripe, len(v.sums[shard]), ecerr.ErrCorruptShard)
+		return fmt.Errorf("shardfile: shard %d stripe %d beyond manifest's %d stripes: %w (%w)",
+			shard, stripe, len(v.sums[shard]), ecerr.ErrShardTruncated, ecerr.ErrCorruptShard)
 	}
 	if crc32.Checksum(unit, castagnoli) != v.sums[shard][stripe] {
 		return fmt.Errorf("shardfile: shard %d stripe %d fails CRC32C: %w", shard, stripe, ecerr.ErrCorruptShard)
