@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot bench bench-json ci
+.PHONY: all build vet test race race-hot stress-fault bench bench-json ci
 
 all: build
 
@@ -25,6 +25,14 @@ race:
 race-hot:
 	$(GO) test -race ./internal/server ./internal/pipeline
 
+# Short seeded fault/cancellation stress: the faultfs-driven tests (injected
+# errors, stalls, torn writes), the client-disconnect/timeout e2e tests and
+# the Put/Delete lock storm, run twice under -race. Fault firing is
+# deterministic per seed, so a failure here replays locally byte for byte.
+stress-fault:
+	$(GO) test -race -count=2 -run 'Fault|Stall|Torn|Cancel|Disconnect|Timeout|LockRace|MaxObjectSize|DeadContext' \
+		./internal/faultfs ./internal/shardfile ./internal/server .
+
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
@@ -40,4 +48,4 @@ bench-json:
 # The allocation guards on the streaming hot paths (TestStreamSteadyStateAllocs,
 # TestDecodeStreamSteadyStateAllocs) run as part of `test`, so `ci` gates on
 # both the encode and the verified-decode paths staying allocation-free.
-ci: build vet test race-hot
+ci: build vet test race-hot stress-fault

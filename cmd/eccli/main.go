@@ -29,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,7 +37,10 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"gemmec"
 	"gemmec/internal/shardfile"
@@ -239,6 +243,20 @@ func cmdDecode(args []string) error {
 	return nil
 }
 
+// cliContext is the lifetime of one server-talking command: Ctrl-C (or
+// SIGTERM) cancels it, and -timeout (when positive) bounds it. The
+// returned context rides the HTTP request, so canceling mid-transfer
+// tears the connection down and the server abandons the request's
+// pipeline instead of encoding for a client that left.
+func cliContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() { cancel(); stop() }
+}
+
 // objectURL joins the server base URL and the object name.
 func objectURL(server, name string) (string, error) {
 	if server == "" {
@@ -279,6 +297,7 @@ func cmdPut(args []string) error {
 	name := fs.String("name", "", "object name")
 	in := fs.String("in", "", "input file (default: stdin)")
 	verbose := fs.Bool("v", false, "print the server's stream statistics to stderr")
+	timeout := fs.Duration("timeout", 0, "abort the upload after this long (0 = no deadline; Ctrl-C always cancels)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -286,6 +305,8 @@ func cmdPut(args []string) error {
 	if err != nil {
 		return fmt.Errorf("put: %w", err)
 	}
+	ctx, cancel := cliContext(*timeout)
+	defer cancel()
 	var src io.Reader = os.Stdin
 	size := int64(-1)
 	if *in != "" {
@@ -300,7 +321,7 @@ func cmdPut(args []string) error {
 		}
 		src, size = f, fi.Size()
 	}
-	req, err := http.NewRequest(http.MethodPut, u, src)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, src)
 	if err != nil {
 		return err
 	}
@@ -338,6 +359,7 @@ func cmdGet(args []string) error {
 	name := fs.String("name", "", "object name")
 	out := fs.String("out", "", "output file (default: stdout)")
 	verbose := fs.Bool("v", false, "print the stream's trailer statistics (stalls, demotions) to stderr")
+	timeout := fs.Duration("timeout", 0, "abort the download after this long (0 = no deadline; Ctrl-C always cancels)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -345,7 +367,13 @@ func cmdGet(args []string) error {
 	if err != nil {
 		return fmt.Errorf("get: %w", err)
 	}
-	resp, err := http.Get(u)
+	ctx, cancel := cliContext(*timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return fmt.Errorf("get: %w", err)
 	}

@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -63,16 +64,29 @@ func main() {
 	accessLog := flag.Bool("access-log", true, "emit one JSON access-log line per request")
 	accessLogFile := flag.String("access-log-file", "",
 		"append access-log lines to this file instead of stderr")
+	reqTimeout := flag.Duration("request-timeout", 0,
+		"per-request deadline: cancel any request (and its encode/decode pipeline) running longer than this (0 disables)")
+	maxObject := flag.Int64("max-object-size", 0,
+		"reject PUT bodies larger than this many bytes with 413 (0 = unlimited)")
+	shardReadTimeout := flag.Duration("shard-read-timeout", 0,
+		"per-shard read deadline during GETs: a shard stalling past this is demoted and the read completes degraded (0 disables)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second,
+		"how long a connection may take to send its request headers (slowloris guard; 0 disables)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute,
+		"how long an idle keep-alive connection is held open (0 disables)")
+	writeTimeout := flag.Duration("write-timeout", 0,
+		"hard cap on writing one whole response; 0 (default) leaves large streaming GETs unbounded — prefer -request-timeout")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	store, err := server.Open(server.Config{
-		Root:     *root,
-		Nodes:    *nodes,
-		K:        *k,
-		R:        *r,
-		UnitSize: *unit,
-		Workers:  *workers,
+		Root:             *root,
+		Nodes:            *nodes,
+		K:                *k,
+		R:                *r,
+		UnitSize:         *unit,
+		Workers:          *workers,
+		ShardReadTimeout: *shardReadTimeout,
 	})
 	if err != nil {
 		logger.Fatalf("ecserver: %v", err)
@@ -91,6 +105,12 @@ func main() {
 	opts := []server.HandlerOption{
 		server.WithMetrics(metrics),
 		server.WithSlowRequestThreshold(*slowReq),
+	}
+	if *reqTimeout > 0 {
+		opts = append(opts, server.WithRequestTimeout(*reqTimeout))
+	}
+	if *maxObject > 0 {
+		opts = append(opts, server.WithMaxObjectSize(*maxObject))
 	}
 	if scrubber != nil {
 		opts = append(opts, server.WithScrubber(scrubber))
@@ -127,7 +147,24 @@ func main() {
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(store, logger.Printf, opts...)}
+	// baseCtx is the ancestor of every request context; canceling it at
+	// drain-deadline time makes still-running pipelines stop between
+	// stripes instead of racing srv.Close's connection teardown.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.NewHandler(store, logger.Printf, opts...),
+		// Slowloris guard: a connection that trickles its headers cannot
+		// pin a goroutine forever. WriteTimeout defaults to 0 because it
+		// would cap whole streaming GETs regardless of progress; the
+		// per-request deadline (-request-timeout) is the progress-aware
+		// bound.
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+		WriteTimeout:      *writeTimeout,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
@@ -141,11 +178,16 @@ func main() {
 
 	// Graceful drain: stop accepting, finish in-flight requests, then let
 	// any in-flight scrub sweep complete so no shard is left half-healed.
+	// If the drain deadline passes, cancel the base context — every
+	// in-flight request's pipeline stops between stripes and cleans up —
+	// and close whatever connections remain.
 	logger.Printf("ecserver: shutting down, draining in-flight requests (timeout %v)", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Printf("ecserver: drain incomplete: %v", err)
+		logger.Printf("ecserver: drain incomplete (%v), canceling in-flight requests", err)
+		cancelBase()
+		srv.Close()
 	}
 	if scrubber != nil {
 		scrubber.Stop()

@@ -48,6 +48,14 @@ var (
 	// server's demotion metrics) can separate torn writes from bit rot.
 	ErrShardTruncated = ecerr.ErrShardTruncated
 
+	// ErrShardStall reports a shard whose read exceeded the configured
+	// per-shard read deadline (see shardfile's stall guard): the device
+	// stopped answering, so the shard is demoted for the stream and the read
+	// completes degraded instead of hanging. It does not wrap
+	// ErrCorruptShard — a slow shard's bytes are not suspect and must not be
+	// rewritten by scrub.
+	ErrShardStall = ecerr.ErrShardStall
+
 	// ErrShardDemoted reports a shard demoted to erased in the middle of a
 	// streaming decode: it passed open-time checks but a unit it served
 	// mid-stream failed verification, truncated, or errored. Demotions are

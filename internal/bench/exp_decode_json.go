@@ -112,7 +112,7 @@ func runDecodeJSON(w io.Writer, cfg Config) error {
 		measure := func(name string) (Measurement, time.Duration, error) {
 			ttfb := time.Duration(1 << 62)
 			meas, err := Measure(name, int(size), cfg.MinTime, func() error {
-				sr, err := shardfile.OpenStreamPaths(paths, m)
+				sr, err := shardfile.OpenStreamPaths(paths, m, shardfile.Opts{})
 				if err != nil {
 					return err
 				}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"bytes"
 	"crypto/sha256"
 	"fmt"
@@ -133,11 +134,11 @@ func runServer(w io.Writer, cfg Config) error {
 		row(m)
 	}
 
-	rep := store.ScrubAll()
+	rep := store.ScrubAll(context.Background())
 	if got := rep.ShardsHealed(); got != r {
 		return fmt.Errorf("server: scrub healed %d shards, want %d", got, r)
 	}
-	if second := store.ScrubAll(); !second.Clean() {
+	if second := store.ScrubAll(context.Background()); !second.Clean() {
 		return fmt.Errorf("server: sweep after heal not clean: %+v", second)
 	}
 	if m, err = Measure(fmt.Sprintf("get (after scrub healed %d shards)", rep.ShardsHealed()),

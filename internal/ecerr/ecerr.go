@@ -36,4 +36,12 @@ var (
 	// missing bytes from flipped bits — operationally different signals
 	// (torn writes point at the write path, bit flips at the media).
 	ErrShardTruncated = errors.New("gemmec: shard truncated")
+
+	// ErrShardStall reports a shard whose read exceeded the per-shard read
+	// deadline: the bytes may be perfectly intact, but the device serving
+	// them has stopped answering in time. Deliberately NOT wrapped with
+	// ErrCorruptShard — a stalled shard must not be rewritten by scrub, only
+	// demoted for the current stream so the read completes degraded instead
+	// of hanging.
+	ErrShardStall = errors.New("gemmec: shard read stalled")
 )

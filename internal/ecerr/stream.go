@@ -38,14 +38,17 @@ func (d Demotion) Error() string {
 // Unwrap exposes both the sentinel and the cause to errors.Is/As.
 func (d Demotion) Unwrap() []error { return []error{ErrShardDemoted, d.Cause} }
 
-// DemotionCauseClass buckets a demotion cause into one of three stable
-// strings — "truncation", "crc", or "io" — used as the `cause` label on
-// demotion metrics and in access logs. Truncation is checked first because
-// truncation errors also wrap ErrCorruptShard for back-compat
-// classification; anything that is neither truncated nor corrupt is a
-// plain read error.
+// DemotionCauseClass buckets a demotion cause into one of four stable
+// strings — "stall", "truncation", "crc", or "io" — used as the `cause`
+// label on demotion metrics and in access logs. Stall is checked first (a
+// stalled read wraps neither corruption sentinel but must not be
+// misfiled as generic I/O); truncation before crc because truncation
+// errors also wrap ErrCorruptShard for back-compat classification;
+// anything left is a plain read error.
 func DemotionCauseClass(err error) string {
 	switch {
+	case errors.Is(err, ErrShardStall):
+		return "stall"
 	case errors.Is(err, ErrShardTruncated):
 		return "truncation"
 	case errors.Is(err, ErrCorruptShard):

@@ -27,6 +27,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -77,6 +78,13 @@ type Config struct {
 	// gathers it (encode ignores it). Failing units demote their shard —
 	// see Stats.Demoted — instead of failing the stream.
 	Verify UnitVerifier
+	// Ctx cancels the run: the stages observe it between stripes (the
+	// serial paths check it per iteration; the pipelined paths latch it
+	// into the failure broadcast), so a canceled stream stops encoding,
+	// stops writing, releases its ring and returns an error wrapping
+	// context.Cause within one stripe's worth of work. Nil means
+	// context.Background() — never canceled.
+	Ctx context.Context
 }
 
 // Stats reports what one pipeline run did and where it waited. The stall
@@ -130,8 +138,18 @@ type job struct {
 	rebuild bool // decode: some data unit of this stripe is missing
 }
 
+// ctxErr wraps a context's cancellation cause into the stream error the
+// caller sees; errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) both survive the wrap.
+func ctxErr(ctx context.Context) error {
+	return fmt.Errorf("gemmec: stream canceled: %w", context.Cause(ctx))
+}
+
 // norm validates cfg against the codec geometry and fills defaults.
 func norm(c Codec, cfg Config) (Config, error) {
+	if cfg.Ctx == nil {
+		cfg.Ctx = context.Background()
+	}
 	if cfg.Workers < 1 {
 		return cfg, fmt.Errorf("pipeline: workers must be >= 1, have %d", cfg.Workers)
 	}
@@ -214,6 +232,9 @@ func Encode(c Codec, src io.Reader, shards []io.Writer, cfg Config) (int64, Stat
 	if len(shards) != c.K()+c.R() {
 		return 0, st, fmt.Errorf("pipeline: %d shard writers, want k+r=%d", len(shards), c.K()+c.R())
 	}
+	if cfg.Ctx.Err() != nil {
+		return 0, st, ctxErr(cfg.Ctx)
+	}
 	st.Workers, st.Depth = cfg.Workers, cfg.Depth
 	start := time.Now()
 	var total int64
@@ -238,6 +259,9 @@ func encodeSerial(c Codec, src io.Reader, shards []io.Writer, cfg Config, st *St
 
 	var total int64
 	for {
+		if cfg.Ctx.Err() != nil {
+			return total, ctxErr(cfg.Ctx)
+		}
 		t0 := time.Now()
 		n, err := io.ReadFull(src, data)
 		st.ReadStall += time.Since(t0)
@@ -289,6 +313,11 @@ func encodePipelined(c Codec, src io.Reader, shards []io.Writer, cfg Config, st 
 	jobs := make(chan job, cfg.Depth)
 	results := make(chan job, cfg.Depth)
 	f := newFailer()
+	// Cancellation rides the existing failure broadcast: the moment the
+	// context dies, every stage sees f.done and drains. AfterFunc costs
+	// nothing on the clean path (no goroutine until cancellation).
+	stop := context.AfterFunc(cfg.Ctx, func() { f.fail(ctxErr(cfg.Ctx)) })
+	defer stop()
 
 	// Reader: sequential by nature (src is a stream); owns total/readStall
 	// until the final wait establishes happens-before.
@@ -420,6 +449,9 @@ func Decode(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg Config) 
 	if size < 0 {
 		return st, fmt.Errorf("pipeline: negative stream size %d", size)
 	}
+	if cfg.Ctx.Err() != nil {
+		return st, ctxErr(cfg.Ctx)
+	}
 	st.Workers, st.Depth = cfg.Workers, cfg.Depth
 	start := time.Now()
 	if cfg.Workers == 1 {
@@ -550,6 +582,9 @@ func decodeSerial(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg Co
 
 	remaining := size
 	for remaining > 0 {
+		if cfg.Ctx.Err() != nil {
+			return ctxErr(cfg.Ctx)
+		}
 		rebuild, err := d.fillSlot(s, st.Stripes, &st.ReadStall)
 		if err != nil {
 			return err
@@ -599,6 +634,10 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 	jobs := make(chan job, cfg.Depth)
 	results := make(chan job, cfg.Depth)
 	f := newFailer()
+	// Cancellation latches into the failure broadcast exactly as a stage
+	// error would; the ring drains and Decode returns ctxErr.
+	stop := context.AfterFunc(cfg.Ctx, func() { f.fail(ctxErr(cfg.Ctx)) })
+	defer stop()
 
 	// Reader: gathers k+r units per stripe (sequential: shard readers are
 	// streams and must be consumed in stripe order). It owns the demoter —

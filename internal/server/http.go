@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -12,6 +14,12 @@ import (
 	"gemmec"
 	"gemmec/internal/obs"
 )
+
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before we finished" — not a standard code, but the de facto one,
+// and it keeps canceled requests distinguishable from real 5xx in logs
+// and metrics.
+const statusClientClosedRequest = 499
 
 // HTTP surface of the daemon. Objects live under /o/<name>:
 //
@@ -93,6 +101,25 @@ func WithSlowRequestThreshold(d time.Duration) HandlerOption {
 	return func(h *handler) { h.slowReq = d }
 }
 
+// WithRequestTimeout bounds every request's context: a PUT or GET that
+// has not finished within d is canceled mid-pipeline (the encode/decode
+// stops between stripes, locks release, temp files are removed) and the
+// client sees 504 — or a torn connection if the body had started. Zero
+// disables the deadline; the context still dies when the client
+// disconnects or the server drains.
+func WithRequestTimeout(d time.Duration) HandlerOption {
+	return func(h *handler) { h.reqTimeout = d }
+}
+
+// WithMaxObjectSize rejects PUTs larger than n bytes with 413. Declared
+// oversize bodies (Content-Length) are refused before any shard I/O;
+// chunked bodies are cut off by http.MaxBytesReader mid-stream, which
+// aborts the encode and removes the temporary shard generation — an
+// over-limit upload never leaves partial state. Zero means unlimited.
+func WithMaxObjectSize(n int64) HandlerOption {
+	return func(h *handler) { h.maxObject = n }
+}
+
 // NewHandler serves store over HTTP.
 func NewHandler(store *Store, logf Logf, opts ...HandlerOption) http.Handler {
 	h := &handler{store: store, logf: logf}
@@ -114,12 +141,14 @@ func NewHandler(store *Store, logf Logf, opts ...HandlerOption) http.Handler {
 }
 
 type handler struct {
-	store     *Store
-	logf      Logf
-	metrics   *Metrics
-	scrubber  *Scrubber
-	accessLog *obs.Logger
-	slowReq   time.Duration
+	store      *Store
+	logf       Logf
+	metrics    *Metrics
+	scrubber   *Scrubber
+	accessLog  *obs.Logger
+	slowReq    time.Duration
+	reqTimeout time.Duration
+	maxObject  int64
 }
 
 // instrumented wraps the ResponseWriter to observe what the handler did:
@@ -180,6 +209,11 @@ func (h *handler) wrap(op string, fn http.HandlerFunc) http.HandlerFunc {
 		if o == "get" && r.Method == http.MethodHead {
 			o = "head"
 		}
+		if h.reqTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), h.reqTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		id := obs.NextRequestID()
 		w.Header().Set("X-Gemmec-Request-Id", id)
 		iw := &instrumented{ResponseWriter: w, start: time.Now()}
@@ -196,11 +230,34 @@ func (h *handler) wrap(op string, fn http.HandlerFunc) http.HandlerFunc {
 			if pan != nil {
 				// The handler tore the connection down mid-body; nginx's
 				// "client closed"-family code marks it in logs and metrics.
-				status = 499
+				status = statusClientClosedRequest
+			}
+			// A request the client didn't stay for — disconnect, deadline,
+			// drain — is counted by what killed it, whether the failure
+			// surfaced as a status code or a mid-body abort. 499 only
+			// arises from client-gone paths (context cancellation, a torn
+			// upload body, a mid-body abort), so it counts as canceled
+			// even when the context's own cancellation hasn't landed yet.
+			canceled, timedOut := false, false
+			deadlined := r.Context().Err() != nil &&
+				errors.Is(context.Cause(r.Context()), context.DeadlineExceeded)
+			switch {
+			case deadlined && (pan != nil || status == http.StatusGatewayTimeout):
+				timedOut = true
+			case pan == nil && status == statusClientClosedRequest:
+				canceled = true // surfaced 499: canceled ctx or torn upload body
+			case pan != nil && r.Context().Err() != nil:
+				canceled = true // mid-body abort with the client already gone
 			}
 			if h.metrics != nil {
 				h.metrics.inFlight.Add(-1)
 				h.metrics.recordRequest(o, status, dur)
+				if canceled {
+					h.metrics.requestsCanceled.Inc()
+				}
+				if timedOut {
+					h.metrics.requestsTimeout.Inc()
+				}
 				if o == "get" && iw.firstByte > 0 {
 					h.metrics.getTTFB.Observe(int64(iw.firstByte))
 				}
@@ -244,6 +301,12 @@ func (h *handler) wrap(op string, fn http.HandlerFunc) http.HandlerFunc {
 				if pan != nil {
 					fields["aborted"] = true
 				}
+				if canceled {
+					fields["canceled"] = true
+				}
+				if timedOut {
+					fields["timeout"] = true
+				}
 				h.accessLog.Log("access", fields)
 			}
 			if pan != nil {
@@ -256,7 +319,16 @@ func (h *handler) wrap(op string, fn http.HandlerFunc) http.HandlerFunc {
 
 // errStatus maps the error taxonomy to an HTTP status.
 func errStatus(err error) int {
+	var mbe *http.MaxBytesError
 	switch {
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, errBodyTorn):
+		// The client is almost certainly gone; the code is for our own
+		// logs and metrics, not for anyone still reading the socket.
+		return statusClientClosedRequest
 	case errors.Is(err, ErrObjectNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, ErrBadObjectName):
@@ -274,6 +346,14 @@ func errStatus(err error) int {
 }
 
 func (h *handler) fail(w http.ResponseWriter, r *http.Request, err error) {
+	// A handler error surfacing as 5xx while the request context is dead is
+	// almost always a symptom of the disconnect or deadline (the body read
+	// fails, the pipeline aborts); attribute it to the context's cause so
+	// the status, logs and cancellation counters blame the real killer. A
+	// genuine handler error under a live context is untouched.
+	if r.Context().Err() != nil && errStatus(err) >= http.StatusInternalServerError {
+		err = fmt.Errorf("server: request %w (handler error: %v)", context.Cause(r.Context()), err)
+	}
 	code := errStatus(err)
 	if code >= 500 {
 		h.logf.printf("ecserver: %s %s: %v", r.Method, r.URL.Path, err)
@@ -324,9 +404,43 @@ type putResponse struct {
 	Stats     *streamStatsJSON `json:"stats,omitempty"`
 }
 
+// errBodyTorn marks an upload body that ended mid-chunk: the client
+// vanished rather than finishing. It deliberately does NOT wrap
+// io.ErrUnexpectedEOF — the encode pipeline treats that error as a
+// legitimate short final stripe (pad and commit), which for a torn
+// chunked upload would commit a silently truncated object.
+var errBodyTorn = errors.New("server: request body torn mid-upload")
+
+// tornBodyGuard rewrites io.ErrUnexpectedEOF from the request body into
+// errBodyTorn. A well-formed chunked body terminates with io.EOF;
+// ErrUnexpectedEOF only ever means the connection died inside a chunk,
+// so the PUT must fail (and clean up) instead of padding out the stripe.
+type tornBodyGuard struct{ r io.Reader }
+
+func (g *tornBodyGuard) Read(p []byte) (int, error) {
+	n, err := g.r.Read(p)
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		err = errBodyTorn
+	}
+	return n, err
+}
+
 func (h *handler) put(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	meta, st, err := h.store.Put(name, r.Body, r.ContentLength)
+	body := io.Reader(r.Body)
+	if h.maxObject > 0 {
+		if r.ContentLength > h.maxObject {
+			// Declared oversize: refuse before touching any shard file.
+			h.fail(w, r, &http.MaxBytesError{Limit: h.maxObject})
+			return
+		}
+		// Chunked (or lying) bodies are cut off mid-stream; the resulting
+		// *http.MaxBytesError aborts the encode, which removes the
+		// temporary shard generation before Put returns.
+		body = http.MaxBytesReader(w, r.Body, h.maxObject)
+	}
+	body = &tornBodyGuard{r: body}
+	meta, st, err := h.store.Put(r.Context(), name, body, r.ContentLength)
 	if err != nil {
 		h.fail(w, r, err)
 		return
@@ -360,7 +474,7 @@ func shardList(bad []int) string {
 
 func (h *handler) get(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	o, err := h.store.OpenObject(name)
+	o, err := h.store.OpenObject(r.Context(), name)
 	if err != nil {
 		h.fail(w, r, err)
 		return
@@ -411,7 +525,7 @@ func (h *handler) get(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) delete(w http.ResponseWriter, r *http.Request) {
-	if err := h.store.Delete(r.PathValue("name")); err != nil {
+	if err := h.store.Delete(r.Context(), r.PathValue("name")); err != nil {
 		h.fail(w, r, err)
 		return
 	}
@@ -439,7 +553,7 @@ func (h *handler) list(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) scrub(w http.ResponseWriter, r *http.Request) {
-	rep := h.store.ScrubAll()
+	rep := h.store.ScrubAll(r.Context())
 	if n := rep.ShardsHealed(); n > 0 {
 		h.logf.printf("ecserver: scrub healed %d shard(s) across %d object(s)", n, len(rep.Healed))
 	}

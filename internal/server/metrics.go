@@ -19,7 +19,7 @@ var ops = []string{"put", "get", "head", "delete", "list", "scrub", "status", "h
 var stages = []string{"read", "encode", "write"}
 
 // demotionCauses are the DemotionCauseClass buckets.
-var demotionCauses = []string{"crc", "truncation", "io"}
+var demotionCauses = []string{"crc", "truncation", "stall", "io"}
 
 // Metrics is the serving path's instrumentation bundle: every counter,
 // gauge and histogram the daemon records, pre-registered against one
@@ -50,7 +50,9 @@ type Metrics struct {
 	scrubErrors  *obs.Counter
 	scrubLast    *obs.Gauge // unix seconds
 
-	slowRequests *obs.Counter
+	slowRequests     *obs.Counter
+	requestsCanceled *obs.Counter
+	requestsTimeout  *obs.Counter
 }
 
 // NewMetrics registers the daemon's metric families on reg (a fresh
@@ -115,6 +117,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 
 	m.slowRequests = reg.Counter("gemmec_http_slow_requests_total",
 		"Requests slower than the -slow-request threshold.")
+	m.requestsCanceled = reg.Counter("gemmec_http_requests_canceled_total",
+		"Requests abandoned before completion (client disconnect or server drain).")
+	m.requestsTimeout = reg.Counter("gemmec_http_requests_timeout_total",
+		"Requests killed by the -request-timeout deadline.")
 
 	reg.CounterFunc("gemmec_decoder_cache_hits_total",
 		"Compiled-decoder cache hits across all engines.",
@@ -178,12 +184,16 @@ func itoa3(code int) string {
 		return "400"
 	case 404:
 		return "404"
+	case 413:
+		return "413"
 	case 499:
 		return "499"
 	case 500:
 		return "500"
 	case 503:
 		return "503"
+	case 504:
+		return "504"
 	default:
 		switch {
 		case code >= 200 && code < 300:

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"bufio"
 	"bytes"
 	"encoding/json"
@@ -215,7 +216,7 @@ func TestMetricszMonotonic(t *testing.T) {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	s.ScrubAll()
+	s.ScrubAll(context.Background())
 
 	after := scrape(t, ts)
 	for name, v := range before {

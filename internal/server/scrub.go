@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"math/rand"
 	"sync/atomic"
 	"time"
@@ -9,9 +10,10 @@ import (
 // Scrubber is the daemon's background repair loop: it sweeps the whole
 // catalog (verify every shard's checksum, rebuild what rotted or vanished)
 // once per interval, jittered so a fleet of daemons sharing storage does
-// not scrub in lockstep. Start it with StartScrubber; Stop drains the
-// in-flight sweep before returning, which is what lets the daemon shut
-// down without tearing shard files out from under a half-finished heal.
+// not scrub in lockstep. Start it with StartScrubber; Stop cancels the
+// in-flight sweep's context and waits for it to return — safe at any
+// point, because every heal is whole-shard temp-file + rename, so a
+// canceled sweep leaves shards either untouched or fully healed.
 type Scrubber struct {
 	store    *Store
 	interval time.Duration
@@ -19,6 +21,8 @@ type Scrubber struct {
 	kick     chan struct{}
 	stop     chan struct{}
 	done     chan struct{}
+	ctx      context.Context
+	cancel   context.CancelFunc
 
 	// lastDone is the unix-nano time the last sweep completed, seeded with
 	// the start time so a freshly started daemon reads as live. /healthz
@@ -38,6 +42,7 @@ func StartScrubber(store *Store, interval time.Duration, logf Logf) *Scrubber {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	sc.ctx, sc.cancel = context.WithCancel(context.Background())
 	sc.lastDone.Store(time.Now().UnixNano())
 	go sc.loop()
 	return sc
@@ -60,10 +65,12 @@ func (sc *Scrubber) Kick() {
 	}
 }
 
-// Stop terminates the loop, waiting for any in-flight sweep to finish.
-// Safe to call once.
+// Stop terminates the loop: the in-flight sweep (if any) is canceled —
+// it stops between per-object heals, never mid-shard — and Stop returns
+// once the loop has exited. Safe to call once.
 func (sc *Scrubber) Stop() {
 	close(sc.stop)
+	sc.cancel()
 	<-sc.done
 }
 
@@ -83,7 +90,7 @@ func (sc *Scrubber) loop() {
 		case <-sc.kick:
 		case <-timer.C:
 		}
-		rep := sc.store.ScrubAll()
+		rep := sc.store.ScrubAll(sc.ctx)
 		sc.lastDone.Store(time.Now().UnixNano())
 		if healed := rep.ShardsHealed(); healed > 0 {
 			sc.logf.printf("ecserver: scrub healed %d shard(s) across %d object(s)", healed, len(rep.Healed))

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -48,7 +49,7 @@ func randBytes(seed int64, n int) []byte {
 
 func mustPut(t *testing.T, s *Store, name string, data []byte) ObjectMeta {
 	t.Helper()
-	meta, _, err := s.Put(name, bytes.NewReader(data), int64(len(data)))
+	meta, _, err := s.Put(context.Background(), name, bytes.NewReader(data), int64(len(data)))
 	if err != nil {
 		t.Fatalf("put %q: %v", name, err)
 	}
@@ -58,7 +59,7 @@ func mustPut(t *testing.T, s *Store, name string, data []byte) ObjectMeta {
 func mustGet(t *testing.T, s *Store, name string) ([]byte, []int) {
 	t.Helper()
 	var buf bytes.Buffer
-	_, bad, err := s.Get(name, &buf)
+	_, bad, err := s.Get(context.Background(), name, &buf)
 	if err != nil {
 		t.Fatalf("get %q: %v", name, err)
 	}
@@ -175,7 +176,7 @@ func TestOverwriteAcrossGeometryChange(t *testing.T) {
 			t.Errorf("old-generation shard %s survived the overwrite", p)
 		}
 	}
-	if rep := s2.ScrubAll(); !rep.Clean() || rep.OrphansRemoved != 0 {
+	if rep := s2.ScrubAll(context.Background()); !rep.Clean() || rep.OrphansRemoved != 0 {
 		t.Fatalf("scrub after geometry-change overwrite: %+v", rep)
 	}
 }
@@ -207,7 +208,7 @@ func TestScrubSweepsOrphanGenerations(t *testing.T) {
 		t.Fatalf("orphan generation disturbed the committed one: reconstructed=%v", bad)
 	}
 
-	rep := s.ScrubAll()
+	rep := s.ScrubAll(context.Background())
 	if want := len(orphans) + 1; rep.OrphansRemoved != want {
 		t.Fatalf("sweep removed %d orphans, want %d", rep.OrphansRemoved, want)
 	}
@@ -219,7 +220,7 @@ func TestScrubSweepsOrphanGenerations(t *testing.T) {
 			t.Errorf("orphan %s survived the sweep", p)
 		}
 	}
-	if rep := s.ScrubAll(); !rep.Clean() || rep.OrphansRemoved != 0 {
+	if rep := s.ScrubAll(context.Background()); !rep.Clean() || rep.OrphansRemoved != 0 {
 		t.Fatalf("second sweep not clean: %+v", rep)
 	}
 	if got, bad := mustGet(t, s, "obj"); !bytes.Equal(got, data) || len(bad) != 0 {
@@ -239,7 +240,7 @@ func TestPutRefusesCorruptMetaDeleteClears(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, _, err := s.Put("obj", bytes.NewReader(data), int64(len(data)))
+	_, _, err := s.Put(context.Background(), "obj", bytes.NewReader(data), int64(len(data)))
 	if err == nil || errors.Is(err, ErrObjectNotFound) {
 		t.Fatalf("Put over corrupt metadata: err=%v, want a load failure", err)
 	}
@@ -249,7 +250,7 @@ func TestPutRefusesCorruptMetaDeleteClears(t *testing.T) {
 		}
 	}
 
-	if err := s.Delete("obj"); err != nil {
+	if err := s.Delete(context.Background(), "obj"); err != nil {
 		t.Fatalf("Delete of corrupt-meta object: %v", err)
 	}
 	if _, err := s.Stat("obj"); !errors.Is(err, ErrObjectNotFound) {
@@ -278,7 +279,7 @@ func TestDeleteRemovesShards(t *testing.T) {
 	s := newTestStore(t)
 	meta := mustPut(t, s, "obj", randBytes(3, tk*tunit))
 	paths := s.shardPaths(objKey("obj"), meta)
-	if err := s.Delete("obj"); err != nil {
+	if err := s.Delete(context.Background(), "obj"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Stat("obj"); !errors.Is(err, ErrObjectNotFound) {
@@ -289,7 +290,7 @@ func TestDeleteRemovesShards(t *testing.T) {
 			t.Errorf("shard %s survived delete", p)
 		}
 	}
-	if err := s.Delete("obj"); !errors.Is(err, ErrObjectNotFound) {
+	if err := s.Delete(context.Background(), "obj"); !errors.Is(err, ErrObjectNotFound) {
 		t.Fatalf("double delete: %v", err)
 	}
 }
@@ -317,14 +318,14 @@ func TestDegradedReadAndScrubHeal(t *testing.T) {
 		t.Fatalf("reconstructed %v, want shards 0 and 1", bad)
 	}
 
-	rep := s.ScrubAll()
+	rep := s.ScrubAll(context.Background())
 	if got := rep.Healed["obj"]; len(got) != 2 {
 		t.Fatalf("scrub healed %v, want [0 1]", got)
 	}
 	if len(rep.Errors) != 0 {
 		t.Fatalf("scrub errors: %v", rep.Errors)
 	}
-	if rep := s.ScrubAll(); !rep.Clean() {
+	if rep := s.ScrubAll(context.Background()); !rep.Clean() {
 		t.Fatalf("second scrub not clean: %+v", rep)
 	}
 	got, bad = mustGet(t, s, "obj")
@@ -343,11 +344,11 @@ func TestTooManyFailures(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	_, _, err := s.Get("obj", &buf)
+	_, _, err := s.Get(context.Background(), "obj", &buf)
 	if !errors.Is(err, gemmec.ErrTooFewShards) {
 		t.Fatalf("error %v does not wrap ErrTooFewShards", err)
 	}
-	rep := s.ScrubAll()
+	rep := s.ScrubAll(context.Background())
 	if len(rep.Errors) != 1 {
 		t.Fatalf("scrub of unrecoverable object reported %+v", rep)
 	}
@@ -541,7 +542,7 @@ func TestMidStreamTruncationDuringGet(t *testing.T) {
 	}
 	paths := s.shardPaths(objKey("trunc.bin"), meta)
 
-	o, err := s.OpenObject("trunc.bin")
+	o, err := s.OpenObject(context.Background(), "trunc.bin")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -695,12 +696,12 @@ func TestConcurrentTraffic(t *testing.T) {
 			defer wg.Done()
 			name := fmt.Sprintf("seed-%d", g)
 			for i := 0; i < 15; i++ {
-				if _, _, err := s.Put(name, bytes.NewReader(payload), int64(len(payload))); err != nil {
+				if _, _, err := s.Put(context.Background(), name, bytes.NewReader(payload), int64(len(payload))); err != nil {
 					t.Errorf("put: %v", err)
 					return
 				}
 				var buf bytes.Buffer
-				if _, _, err := s.Get(name, &buf); err != nil {
+				if _, _, err := s.Get(context.Background(), name, &buf); err != nil {
 					t.Errorf("get: %v", err)
 					return
 				}
@@ -712,7 +713,7 @@ func TestConcurrentTraffic(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	if rep := s.ScrubAll(); !rep.Clean() {
+	if rep := s.ScrubAll(context.Background()); !rep.Clean() {
 		t.Fatalf("scrub after concurrent traffic: %+v", rep)
 	}
 }

@@ -12,6 +12,7 @@
 package server
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -28,6 +29,7 @@ import (
 
 	"gemmec"
 	"gemmec/internal/shardfile"
+	"gemmec/internal/vfs"
 )
 
 // ErrObjectNotFound is returned for unknown object names.
@@ -56,6 +58,15 @@ type Config struct {
 	// Workers is the per-request stream worker count (0 selects the
 	// pipeline default: GOMAXPROCS capped at 8).
 	Workers int
+	// FS is the filesystem shard I/O goes through. Nil means the real
+	// one; tests substitute internal/faultfs to inject read/write errors,
+	// torn writes, latency and stalls under the full serving path.
+	FS vfs.FS
+	// ShardReadTimeout, when positive, bounds each underlying shard read
+	// during GETs: a shard whose read stalls past the deadline is demoted
+	// (cause "stall") and the object is served degraded instead of the
+	// request hanging on a dead disk. Zero disables the guard.
+	ShardReadTimeout time.Duration
 }
 
 // Stats is a snapshot of the store's cumulative counters, served by the
@@ -202,9 +213,11 @@ func validateName(name string) error {
 	return nil
 }
 
-// lockFor returns the per-object lock, creating it on first use. Locks are
-// never removed: the map grows with the number of distinct object names,
-// which is bounded by the catalog size.
+// lockFor returns the per-object lock, creating it on first use. Deleting
+// an object drops its entry (see dropLock), so the map tracks the live
+// catalog instead of growing with every name ever stored; callers must
+// therefore acquire through lockExclusive/lockShared, which revalidate
+// that the mutex they blocked on is still the key's current one.
 func (s *Store) lockFor(key string) *sync.RWMutex {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -214,6 +227,66 @@ func (s *Store) lockFor(key string) *sync.RWMutex {
 		s.locks[key] = l
 	}
 	return l
+}
+
+// lockExclusive write-locks key's per-object lock. Because Delete removes
+// lock entries, a goroutine can block on a mutex that is retired by the
+// time it acquires it (a later Put created a fresh one); acquiring without
+// revalidating would let two writers hold "the" object lock at once. The
+// loop re-checks map identity after every acquisition and retries on the
+// replacement, so exactly one current lock exists per key.
+func (s *Store) lockExclusive(key string) *sync.RWMutex {
+	for {
+		l := s.lockFor(key)
+		l.Lock()
+		s.mu.Lock()
+		cur := s.locks[key]
+		s.mu.Unlock()
+		if cur == l {
+			return l
+		}
+		l.Unlock()
+	}
+}
+
+// lockShared is lockExclusive for readers.
+func (s *Store) lockShared(key string) *sync.RWMutex {
+	for {
+		l := s.lockFor(key)
+		l.RLock()
+		s.mu.Lock()
+		cur := s.locks[key]
+		s.mu.Unlock()
+		if cur == l {
+			return l
+		}
+		l.RUnlock()
+	}
+}
+
+// dropLock retires key's lock entry. The caller must hold l exclusively:
+// any goroutine still blocked on l will acquire it after our unlock, fail
+// the identity revalidation, and retry on a fresh entry.
+func (s *Store) dropLock(key string, l *sync.RWMutex) {
+	s.mu.Lock()
+	if s.locks[key] == l {
+		delete(s.locks, key)
+	}
+	s.mu.Unlock()
+}
+
+// fileOpts bundles the store's filesystem seam and shard-read deadline
+// with one request's context for the shardfile layer.
+func (s *Store) fileOpts(ctx context.Context) shardfile.Opts {
+	return shardfile.Opts{Ctx: ctx, FS: s.cfg.FS, ShardReadTimeout: s.cfg.ShardReadTimeout}
+}
+
+// ctxErr reports a dead request context, wrapping its cause.
+func ctxErr(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("server: canceled: %w", context.Cause(ctx))
+	}
+	return nil
 }
 
 func (s *Store) loadMeta(key string) (ObjectMeta, error) {
@@ -277,14 +350,21 @@ func (s *Store) placement() []int {
 // point, and the old shards are deleted only after it lands — so at every
 // instant the object is fully the old version or fully the new one, for
 // concurrent readers and across crashes alike.
-func (s *Store) Put(name string, src io.Reader, size int64) (ObjectMeta, gemmec.StreamStats, error) {
+//
+// ctx bounds the whole write: when it dies (client disconnect, request
+// deadline, server drain) the encode pipeline stops between stripes, the
+// per-object lock is released, and every temporary shard file is removed —
+// a canceled Put leaves no trace.
+func (s *Store) Put(ctx context.Context, name string, src io.Reader, size int64) (ObjectMeta, gemmec.StreamStats, error) {
 	var st gemmec.StreamStats
 	if err := validateName(name); err != nil {
 		return ObjectMeta{}, st, err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return ObjectMeta{}, st, err
+	}
 	key := objKey(name)
-	l := s.lockFor(key)
-	l.Lock()
+	l := s.lockExclusive(key)
 	defer l.Unlock()
 	if err := s.ensureDirs(); err != nil {
 		return ObjectMeta{}, st, err
@@ -316,19 +396,26 @@ func (s *Store) Put(name string, src io.Reader, size int64) (ObjectMeta, gemmec.
 	}
 	paths := s.shardPaths(key, meta)
 	m, st, err := shardfile.WriteStreamPaths(paths, src, size,
-		s.cfg.K, s.cfg.R, s.cfg.UnitSize, s.cfg.Workers)
+		s.cfg.K, s.cfg.R, s.cfg.UnitSize, s.cfg.Workers, s.fileOpts(ctx))
 	if err != nil {
-		removeFiles(paths)
+		s.removeFiles(paths)
 		return ObjectMeta{}, st, err
+	}
+	if cerr := ctxErr(ctx); cerr != nil {
+		// The request died between the final stripe and the commit point.
+		// Committing would hand a canceled request a success nobody reads;
+		// honor the documented contract — a canceled Put leaves no trace.
+		s.removeFiles(paths)
+		return ObjectMeta{}, st, cerr
 	}
 	meta.Manifest = m
 	if err := s.saveMeta(key, meta); err != nil {
-		removeFiles(paths)
+		s.removeFiles(paths)
 		return ObjectMeta{}, st, err
 	}
 	// Committed: the previous generation's shards are garbage now. Best
 	// effort — anything a crash strands here is swept by the scrubber.
-	removeFiles(oldPaths)
+	s.removeFiles(oldPaths)
 	s.puts.Add(1)
 	s.bytesIn.Add(m.FileSize)
 	s.metrics.recordStream("put", st)
@@ -339,10 +426,12 @@ func (s *Store) Put(name string, src io.Reader, size int64) (ObjectMeta, gemmec.
 	return meta, st, nil
 }
 
-// removeFiles best-effort removes a shard path set.
-func removeFiles(paths []string) {
+// removeFiles best-effort removes a shard path set (through the store's
+// filesystem seam, so fault-injection tests observe the cleanup too).
+func (s *Store) removeFiles(paths []string) {
+	fsys := vfs.Or(s.cfg.FS)
 	for _, p := range paths {
-		os.Remove(p)
+		fsys.Remove(p)
 	}
 }
 
@@ -437,19 +526,25 @@ func (o *Object) Close() error {
 // gemmec.ErrCorruptShard when checksum failures contributed). The object
 // holds a shared lock until Close, so a concurrent scrub cannot rewrite
 // shards mid-stream.
-func (s *Store) OpenObject(name string) (*Object, error) {
+//
+// ctx is remembered by the object: the later Stream observes it between
+// stripes, so a dead request stops decoding, releases the lock on Close,
+// and frees the pipeline workers.
+func (s *Store) OpenObject(ctx context.Context, name string) (*Object, error) {
 	if err := validateName(name); err != nil {
 		return nil, err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	key := objKey(name)
-	l := s.lockFor(key)
-	l.RLock()
+	l := s.lockShared(key)
 	meta, err := s.loadMeta(key)
 	if err != nil {
 		l.RUnlock()
 		return nil, err
 	}
-	sr, err := shardfile.OpenStreamPaths(s.shardPaths(key, meta), meta.Manifest)
+	sr, err := shardfile.OpenStreamPaths(s.shardPaths(key, meta), meta.Manifest, s.fileOpts(ctx))
 	if err != nil {
 		l.RUnlock()
 		return nil, err
@@ -466,8 +561,8 @@ func (s *Store) OpenObject(name string) (*Object, error) {
 
 // Get streams object name to dst, returning its metadata and the shard
 // indices reconstructed around (nil when the read was clean).
-func (s *Store) Get(name string, dst io.Writer) (ObjectMeta, []int, error) {
-	o, err := s.OpenObject(name)
+func (s *Store) Get(ctx context.Context, name string, dst io.Writer) (ObjectMeta, []int, error) {
+	o, err := s.OpenObject(ctx, name)
 	if err != nil {
 		return ObjectMeta{}, nil, err
 	}
@@ -484,8 +579,7 @@ func (s *Store) Stat(name string) (ObjectMeta, error) {
 		return ObjectMeta{}, err
 	}
 	key := objKey(name)
-	l := s.lockFor(key)
-	l.RLock()
+	l := s.lockShared(key)
 	defer l.RUnlock()
 	return s.loadMeta(key)
 }
@@ -493,14 +587,18 @@ func (s *Store) Stat(name string) (ObjectMeta, error) {
 // Delete removes object name's shards and metadata. It also clears
 // objects whose metadata no longer parses or validates — the one state Put
 // refuses to touch — by sweeping every node directory for the key's shard
-// files, so broken objects have an exit that does not leak disk.
-func (s *Store) Delete(name string) error {
+// files, so broken objects have an exit that does not leak disk. A
+// successful delete also retires the object's lock entry, so the lock map
+// tracks the live catalog instead of every name ever stored.
+func (s *Store) Delete(ctx context.Context, name string) error {
 	if err := validateName(name); err != nil {
 		return err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	key := objKey(name)
-	l := s.lockFor(key)
-	l.Lock()
+	l := s.lockExclusive(key)
 	defer l.Unlock()
 	meta, err := s.loadMeta(key)
 	switch {
@@ -508,8 +606,11 @@ func (s *Store) Delete(name string) error {
 		if err := os.Remove(s.metaPath(key)); err != nil {
 			return err
 		}
-		removeFiles(s.shardPaths(key, meta)) // best effort; scrub sweeps strays
+		s.removeFiles(s.shardPaths(key, meta)) // best effort; scrub sweeps strays
 	case errors.Is(err, ErrObjectNotFound):
+		// Nothing stored under this name; retire the lock entry this very
+		// call materialized so failed deletes don't grow the map.
+		s.dropLock(key, l)
 		return err
 	default:
 		// Metadata too broken to locate the shards precisely: drop it and
@@ -519,6 +620,7 @@ func (s *Store) Delete(name string) error {
 		}
 		s.removeKeyShards(key)
 	}
+	s.dropLock(key, l)
 	s.deletes.Add(1)
 	return nil
 }
@@ -583,8 +685,7 @@ func (s *Store) StatAll() ([]ObjectMeta, error) {
 		if _, err := hex.DecodeString(key); err != nil {
 			continue
 		}
-		l := s.lockFor(key)
-		l.RLock()
+		l := s.lockShared(key)
 		meta, err := s.loadMeta(key)
 		l.RUnlock()
 		if err != nil {
@@ -599,14 +700,18 @@ func (s *Store) StatAll() ([]ObjectMeta, error) {
 // ScrubObject verifies object name's shards against the manifest checksums
 // and rebuilds any missing or corrupt shard in place (temp-file + rename),
 // returning the healed shard indices. The object is exclusively locked for
-// the duration.
-func (s *Store) ScrubObject(name string) ([]int, error) {
+// the duration. A canceled ctx stops the scrub between stripe rebuilds;
+// shards are healed whole (temp + rename), so cancellation never leaves a
+// torn shard behind.
+func (s *Store) ScrubObject(ctx context.Context, name string) ([]int, error) {
 	if err := validateName(name); err != nil {
 		return nil, err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	key := objKey(name)
-	l := s.lockFor(key)
-	l.Lock()
+	l := s.lockExclusive(key)
 	defer l.Unlock()
 	meta, err := s.loadMeta(key)
 	if err != nil {
@@ -615,7 +720,7 @@ func (s *Store) ScrubObject(name string) ([]int, error) {
 	if err := s.ensureDirs(); err != nil {
 		return nil, err
 	}
-	healed, err := shardfile.ScrubPaths(s.shardPaths(key, meta), meta.Manifest)
+	healed, err := shardfile.ScrubPaths(s.shardPaths(key, meta), meta.Manifest, s.fileOpts(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -652,8 +757,10 @@ func (r ScrubReport) ShardsHealed() int {
 func (r ScrubReport) Clean() bool { return len(r.Healed) == 0 && len(r.Errors) == 0 }
 
 // ScrubAll sweeps every object in the catalog once. It never fails as a
-// whole: per-object failures are collected in the report.
-func (s *Store) ScrubAll() ScrubReport {
+// whole: per-object failures are collected in the report — except
+// cancellation: when ctx dies mid-sweep the remaining objects are left
+// for the next cycle rather than recorded as scrub errors.
+func (s *Store) ScrubAll(ctx context.Context) ScrubReport {
 	start := time.Now()
 	rep := ScrubReport{}
 	names, err := s.List()
@@ -665,9 +772,15 @@ func (s *Store) ScrubAll() ScrubReport {
 		return rep
 	}
 	for _, name := range names {
+		if ctx.Err() != nil {
+			break
+		}
 		rep.Objects++
-		healed, err := s.ScrubObject(name)
+		healed, err := s.ScrubObject(ctx, name)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				break
+			}
 			if rep.Errors == nil {
 				rep.Errors = map[string]string{}
 			}
@@ -682,7 +795,9 @@ func (s *Store) ScrubAll() ScrubReport {
 			rep.Healed[name] = healed
 		}
 	}
-	rep.OrphansRemoved = s.sweepOrphans()
+	if ctx.Err() == nil {
+		rep.OrphansRemoved = s.sweepOrphans(ctx)
+	}
 	s.scrubCycles.Add(1)
 	done := time.Now()
 	s.metrics.recordScrub(rep, done.Sub(start), done)
@@ -696,7 +811,7 @@ func (s *Store) ScrubAll() ScrubReport {
 // generation is never mistaken for garbage. Keys whose metadata exists but
 // fails to load are skipped entirely — their files may be the only
 // surviving copy of a repairable object.
-func (s *Store) sweepOrphans() int {
+func (s *Store) sweepOrphans(ctx context.Context) int {
 	byKey := map[string][]string{}
 	for i := 0; i < s.cfg.Nodes; i++ {
 		ents, err := os.ReadDir(s.nodeDir(i))
@@ -713,8 +828,10 @@ func (s *Store) sweepOrphans() int {
 	}
 	removed := 0
 	for key, files := range byKey {
-		l := s.lockFor(key)
-		l.Lock()
+		if ctx.Err() != nil {
+			break
+		}
+		l := s.lockExclusive(key)
 		meta, err := s.loadMeta(key)
 		if err == nil || errors.Is(err, ErrObjectNotFound) {
 			current := map[string]bool{}
@@ -723,10 +840,16 @@ func (s *Store) sweepOrphans() int {
 					current[p] = true
 				}
 			}
+			fsys := vfs.Or(s.cfg.FS)
 			for _, p := range files {
-				if !current[p] && os.Remove(p) == nil {
+				if !current[p] && fsys.Remove(p) == nil {
 					removed++
 				}
+			}
+			if errors.Is(err, ErrObjectNotFound) {
+				// No object, no files left: retire the lock entry the sweep
+				// itself materialized.
+				s.dropLock(key, l)
 			}
 		}
 		l.Unlock()

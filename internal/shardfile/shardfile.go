@@ -189,7 +189,7 @@ func LoadManifest(dir string) (Manifest, error) {
 // LoadShards reads every present shard; missing or wrong-size shard files
 // yield nil entries and are reported in missing.
 func LoadShards(dir string, m Manifest) (shards [][]byte, missing []int, err error) {
-	return loadShardsPaths(shardPaths(dir, m), m)
+	return loadShardsPaths(shardPaths(dir, m), m, Opts{})
 }
 
 // shardPaths expands the single-directory layout into explicit per-shard
@@ -202,7 +202,7 @@ func shardPaths(dir string, m Manifest) []string {
 	return paths
 }
 
-func loadShardsPaths(paths []string, m Manifest) (shards [][]byte, missing []int, err error) {
+func loadShardsPaths(paths []string, m Manifest, opt Opts) (shards [][]byte, missing []int, err error) {
 	if err := m.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -210,10 +210,14 @@ func loadShardsPaths(paths []string, m Manifest) (shards [][]byte, missing []int
 	if len(paths) != n {
 		return nil, nil, fmt.Errorf("shardfile: %d shard paths for k+r=%d", len(paths), n)
 	}
+	fsys := opt.fs()
 	shards = make([][]byte, n)
 	want := m.Stripes * m.UnitSize
 	for i := 0; i < n; i++ {
-		data, err := os.ReadFile(paths[i])
+		if err := opt.ctxErr(); err != nil {
+			return nil, nil, err
+		}
+		data, err := fsys.ReadFile(paths[i])
 		if err != nil || len(data) != want {
 			missing = append(missing, i)
 			continue
@@ -319,7 +323,7 @@ func Scrub(dir string) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ScrubPaths(shardPaths(dir, m), m)
+	return ScrubPaths(shardPaths(dir, m), m, Opts{})
 }
 
 // ScrubPaths is Scrub over an explicit shard-file path per unit (the
@@ -335,13 +339,17 @@ func Scrub(dir string) ([]int, error) {
 // applies per stripe rather than per shard — a set where more than r
 // shards each carry some rot still heals as long as no single stripe lost
 // more than r units. v1 manifests keep the whole-shard SHA-256 semantics.
-func ScrubPaths(paths []string, m Manifest) ([]int, error) {
-	shards, missing, err := loadShardsPaths(paths, m)
+//
+// A canceled opt.Ctx stops the scrub between shard loads and between
+// stripe rebuilds; because each heal is temp-file + rename, a canceled
+// scrub leaves every shard either untouched or fully healed, never torn.
+func ScrubPaths(paths []string, m Manifest, opt Opts) ([]int, error) {
+	shards, missing, err := loadShardsPaths(paths, m, opt)
 	if err != nil {
 		return nil, err
 	}
 	if m.StripeVerified() {
-		return scrubStripes(paths, m, shards, missing)
+		return scrubStripes(paths, m, shards, missing, opt)
 	}
 	bad := map[int]bool{}
 	for _, i := range missing {
@@ -372,6 +380,9 @@ func ScrubPaths(paths []string, m Manifest) ([]int, error) {
 		rebuilt[i] = make([]byte, 0, m.Stripes*m.UnitSize)
 	}
 	for s := 0; s < m.Stripes; s++ {
+		if err := opt.ctxErr(); err != nil {
+			return nil, err
+		}
 		units := make([][]byte, m.K+m.R)
 		for i, sd := range shards {
 			if sd != nil {
@@ -385,17 +396,21 @@ func ScrubPaths(paths []string, m Manifest) ([]int, error) {
 			rebuilt[i] = append(rebuilt[i], units[i]...)
 		}
 	}
+	fsys := opt.fs()
 	for _, i := range healed {
+		if err := opt.ctxErr(); err != nil {
+			return nil, err
+		}
 		if m.Checksums != nil && shardSum(rebuilt[i]) != m.Checksums[i] {
 			return nil, fmt.Errorf("shardfile: rebuilt shard %d fails its manifest checksum (manifest corrupt?): %w",
 				i, ecerr.ErrCorruptShard)
 		}
 		tmp := paths[i] + ".tmp"
-		if err := os.WriteFile(tmp, rebuilt[i], 0o644); err != nil {
+		if err := fsys.WriteFile(tmp, rebuilt[i], 0o644); err != nil {
 			return nil, err
 		}
-		if err := os.Rename(tmp, paths[i]); err != nil {
-			os.Remove(tmp)
+		if err := fsys.Rename(tmp, paths[i]); err != nil {
+			fsys.Remove(tmp)
 			return nil, err
 		}
 	}
@@ -405,7 +420,7 @@ func ScrubPaths(paths []string, m Manifest) ([]int, error) {
 // scrubStripes is the v2 scrub: locate damage per (shard, stripe) cell by
 // CRC32C, reconstruct only the damaged stripes, and rewrite only the
 // shards that carried damage (temp-file + rename, like the v1 path).
-func scrubStripes(paths []string, m Manifest, shards [][]byte, missing []int) ([]int, error) {
+func scrubStripes(paths []string, m Manifest, shards [][]byte, missing []int, opt Opts) ([]int, error) {
 	// damaged[i] is the per-stripe damage mask of shard i; nil means the
 	// shard is wholly clean. Missing shards get an all-damaged mask and a
 	// zeroed buffer to rebuild into.
@@ -442,6 +457,9 @@ func scrubStripes(paths []string, m Manifest, shards [][]byte, missing []int) ([
 	}
 	units := make([][]byte, m.K+m.R)
 	for s := 0; s < m.Stripes; s++ {
+		if err := opt.ctxErr(); err != nil {
+			return nil, err
+		}
 		stripeBad := false
 		for i := range shards {
 			if damaged[i] != nil && damaged[i][s] {
@@ -473,13 +491,17 @@ func scrubStripes(paths []string, m Manifest, shards [][]byte, missing []int) ([
 		healed = append(healed, i)
 	}
 	sortInts(healed)
+	fsys := opt.fs()
 	for _, i := range healed {
-		tmp := paths[i] + ".tmp"
-		if err := os.WriteFile(tmp, shards[i], 0o644); err != nil {
+		if err := opt.ctxErr(); err != nil {
 			return nil, err
 		}
-		if err := os.Rename(tmp, paths[i]); err != nil {
-			os.Remove(tmp)
+		tmp := paths[i] + ".tmp"
+		if err := fsys.WriteFile(tmp, shards[i], 0o644); err != nil {
+			return nil, err
+		}
+		if err := fsys.Rename(tmp, paths[i]); err != nil {
+			fsys.Remove(tmp)
 			return nil, err
 		}
 	}

@@ -3,6 +3,7 @@ package shardfile
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -12,9 +13,11 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"gemmec"
 	"gemmec/internal/ecerr"
+	"gemmec/internal/vfs"
 )
 
 // Streaming shard-set I/O: the same on-disk layout as Write/Read, produced
@@ -29,6 +32,44 @@ import (
 // manifest, verification and repair machinery.
 
 const streamBufSize = 1 << 20
+
+// Opts carries the cross-cutting knobs of the path-based streaming entry
+// points: request lifetime, filesystem seam, and the per-shard read
+// deadline. The zero value means "background context, real filesystem, no
+// deadline" — exactly the pre-Opts behavior.
+type Opts struct {
+	// Ctx bounds the operation: encode/decode pipelines observe it between
+	// stripes (see gemmec.WithStreamContext) and scrubbing checks it
+	// between stripe rebuilds. Nil means context.Background().
+	Ctx context.Context
+	// FS is the filesystem the shard files live on. Nil means the real
+	// one; tests substitute internal/faultfs to inject errors, torn
+	// writes, latency and stalls.
+	FS vfs.FS
+	// ShardReadTimeout, when positive, bounds every underlying shard read
+	// during decode: a read that exceeds it demotes that shard (cause
+	// "stall") and the stream completes degraded instead of hanging on a
+	// device that stopped answering. Zero disables the guard (and its
+	// extra per-refill copy).
+	ShardReadTimeout time.Duration
+}
+
+func (o Opts) context() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+func (o Opts) fs() vfs.FS { return vfs.Or(o.FS) }
+
+// ctxErr reports whether the Opts context is dead, wrapping its cause.
+func (o Opts) ctxErr() error {
+	if ctx := o.context(); ctx.Err() != nil {
+		return fmt.Errorf("shardfile: canceled: %w", context.Cause(ctx))
+	}
+	return nil
+}
 
 // stripeSummer accumulates the CRC32C of each UnitSize window of one shard
 // stream, folding the v2 manifest's stripe-sum computation into the encode
@@ -72,7 +113,7 @@ func WriteStream(dir string, src io.Reader, size int64, k, r, unitSize, workers 
 	for i := range paths {
 		paths[i] = ShardPath(dir, i)
 	}
-	m, st, err := WriteStreamPaths(paths, src, size, k, r, unitSize, workers)
+	m, st, err := WriteStreamPaths(paths, src, size, k, r, unitSize, workers, Opts{})
 	if err != nil {
 		return m, st, err
 	}
@@ -87,8 +128,10 @@ func WriteStream(dir string, src io.Reader, size int64, k, r, unitSize, workers 
 // pass size < 0 when the source length is unknown up front (e.g. a chunked
 // HTTP upload). Each shard is written via a temporary file and renamed into
 // place on success, so concurrent readers never observe a half-written
-// shard.
-func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize, workers int) (Manifest, gemmec.StreamStats, error) {
+// shard. A canceled opt.Ctx (client disconnect, deadline, drain) aborts
+// the encode between stripes and removes every temporary file — a
+// canceled write leaves nothing behind.
+func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize, workers int, opt Opts) (Manifest, gemmec.StreamStats, error) {
 	var st gemmec.StreamStats
 	m := Manifest{K: k, R: r, UnitSize: unitSize, FileSize: size}
 	if len(paths) != k+r {
@@ -98,7 +141,8 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 	if err != nil {
 		return m, st, err
 	}
-	files := make([]*os.File, k+r)
+	fsys := opt.fs()
+	files := make([]vfs.File, k+r)
 	bufs := make([]*bufio.Writer, k+r)
 	sums := make([]hash.Hash, k+r)
 	summers := make([]*stripeSummer, k+r)
@@ -109,13 +153,13 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 			if f != nil {
 				f.Close()
 				if !committed {
-					os.Remove(f.Name())
+					fsys.Remove(f.Name())
 				}
 			}
 		}
 	}()
 	for i := range writers {
-		f, err := os.Create(paths[i] + ".tmp")
+		f, err := fsys.Create(paths[i] + ".tmp")
 		if err != nil {
 			return m, st, err
 		}
@@ -133,7 +177,8 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 		src = bytes.NewReader(make([]byte, code.DataSize()))
 	}
 	n, err := code.EncodeStream(bufio.NewReaderSize(src, streamBufSize), writers,
-		gemmec.WithStreamWorkers(workers), gemmec.WithStreamStats(&st))
+		gemmec.WithStreamWorkers(workers), gemmec.WithStreamStats(&st),
+		gemmec.WithStreamContext(opt.context()))
 	if err != nil {
 		return m, st, err
 	}
@@ -172,7 +217,7 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 		return m, st, err
 	}
 	for i := range files {
-		if err := os.Rename(paths[i]+".tmp", paths[i]); err != nil {
+		if err := fsys.Rename(paths[i]+".tmp", paths[i]); err != nil {
 			return m, st, err
 		}
 		files[i] = nil
@@ -196,8 +241,10 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 // latter for response trailers.
 type StreamReader struct {
 	m        Manifest
+	opt      Opts
 	readers  []io.Reader
-	files    []*os.File
+	files    []vfs.File
+	guards   []*stallGuard
 	unusable []int
 	corrupt  []int
 	demoted  []gemmec.Demotion
@@ -225,10 +272,17 @@ func (sr *StreamReader) Demoted() []gemmec.Demotion { return sr.demoted }
 // losses immediately, mid-stream demotions once Decode has run.
 func (sr *StreamReader) Degraded() bool { return len(sr.unusable) > 0 }
 
-// Close releases the underlying shard files. It is safe to call after a
-// failed Decode and is idempotent.
+// Close releases the underlying shard files and lets any stall-guard pump
+// goroutines wind down. It is safe to call after a failed Decode and is
+// idempotent.
 func (sr *StreamReader) Close() error {
 	var first error
+	for _, g := range sr.guards {
+		if g != nil {
+			g.stop()
+		}
+	}
+	sr.guards = nil
 	for i, f := range sr.files {
 		if f != nil {
 			if err := f.Close(); err != nil && first == nil {
@@ -265,6 +319,11 @@ func (v *stripeVerifier) VerifyUnit(shard int, stripe int64, unit []byte) error 
 // demoted to erased and reconstructed around for the remaining stripes;
 // see Demoted. It may be called at most once; Close must still be called
 // after.
+//
+// The decode observes the Opts the reader was opened with: a canceled
+// Ctx stops the pipeline between stripes, and a positive ShardReadTimeout
+// demotes (cause "stall") any shard whose underlying read outlives the
+// deadline instead of letting it hang the stream.
 func (sr *StreamReader) Decode(dst io.Writer, workers int) (gemmec.StreamStats, error) {
 	var st gemmec.StreamStats
 	code, err := sr.m.Code()
@@ -272,7 +331,8 @@ func (sr *StreamReader) Decode(dst io.Writer, workers int) (gemmec.StreamStats, 
 		return st, err
 	}
 	out := bufio.NewWriterSize(dst, streamBufSize)
-	opts := []gemmec.StreamOption{gemmec.WithStreamWorkers(workers), gemmec.WithStreamStats(&st)}
+	opts := []gemmec.StreamOption{gemmec.WithStreamWorkers(workers), gemmec.WithStreamStats(&st),
+		gemmec.WithStreamContext(sr.opt.context())}
 	if sr.m.StripeVerified() {
 		opts = append(opts, gemmec.WithStreamVerifier(&stripeVerifier{sums: sr.m.StripeSums}))
 	}
@@ -323,23 +383,32 @@ func appendShard(set []int, i int) []int {
 // error wraps gemmec.ErrTooFewShards (and gemmec.ErrCorruptShard when
 // verification failures contributed), so callers classify "disk lied" vs
 // "disk lost" with errors.Is.
-func OpenStreamPaths(paths []string, m Manifest) (*StreamReader, error) {
+//
+// opt is remembered by the returned reader: its Ctx and ShardReadTimeout
+// govern the later Decode (see StreamReader.Decode), its FS is where the
+// shards are opened.
+func OpenStreamPaths(paths []string, m Manifest, opt Opts) (*StreamReader, error) {
 	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.ctxErr(); err != nil {
 		return nil, err
 	}
 	n := m.K + m.R
 	if len(paths) != n {
 		return nil, fmt.Errorf("shardfile: %d shard paths for k+r=%d", len(paths), n)
 	}
+	fsys := opt.fs()
 	sr := &StreamReader{
 		m:       m,
+		opt:     opt,
 		readers: make([]io.Reader, n),
-		files:   make([]*os.File, n),
+		files:   make([]vfs.File, n),
 	}
 	want := int64(m.Stripes) * int64(m.UnitSize)
 	corruptAt := make([]bool, n)
 	for i, p := range paths {
-		f, err := os.Open(p)
+		f, err := fsys.Open(p)
 		if err != nil {
 			continue // missing: files[i] stays nil
 		}
@@ -369,7 +438,7 @@ func OpenStreamPaths(paths []string, m Manifest) (*StreamReader, error) {
 				continue
 			}
 			wg.Add(1)
-			go func(i int, f *os.File) {
+			go func(i int, f vfs.File) {
 				defer wg.Done()
 				h := sha256.New()
 				if _, err := io.Copy(h, f); err != nil {
@@ -405,7 +474,15 @@ func OpenStreamPaths(paths []string, m Manifest) (*StreamReader, error) {
 			}
 			continue
 		}
-		sr.readers[i] = bufio.NewReaderSize(f, streamBufSize)
+		var rd io.Reader = f
+		if opt.ShardReadTimeout > 0 {
+			// The guard goes under bufio so its deadline and copy are paid
+			// once per streamBufSize refill, not once per unit.
+			g := newStallGuard(f, i, opt.ShardReadTimeout)
+			sr.guards = append(sr.guards, g)
+			rd = g
+		}
+		sr.readers[i] = bufio.NewReaderSize(rd, streamBufSize)
 	}
 	if usable := n - len(sr.unusable); usable < m.K {
 		sr.Close()
@@ -423,8 +500,8 @@ func OpenStreamPaths(paths []string, m Manifest) (*StreamReader, error) {
 // present shard against the manifest first (see OpenStreamPaths) and
 // reconstructing unusable shards' data on the fly. It returns the indices
 // of the shards it had to treat as erased and the pipeline stats.
-func ReadStreamPaths(paths []string, m Manifest, dst io.Writer, workers int) ([]int, gemmec.StreamStats, error) {
-	sr, err := OpenStreamPaths(paths, m)
+func ReadStreamPaths(paths []string, m Manifest, dst io.Writer, workers int, opt Opts) ([]int, gemmec.StreamStats, error) {
+	sr, err := OpenStreamPaths(paths, m, opt)
 	if err != nil {
 		return nil, gemmec.StreamStats{}, err
 	}
@@ -452,6 +529,6 @@ func ReadStream(dir string, dst io.Writer, workers int) (Manifest, []int, gemmec
 	for i := range paths {
 		paths[i] = ShardPath(dir, i)
 	}
-	bad, st, err := ReadStreamPaths(paths, m, dst, workers)
+	bad, st, err := ReadStreamPaths(paths, m, dst, workers, Opts{})
 	return m, bad, st, err
 }

@@ -198,7 +198,7 @@ func TestV2OpenSkipsPreRead(t *testing.T) {
 		t.Fatal("WriteStream did not emit a stripe-verified (v2) manifest")
 	}
 	corruptShardByte(t, dir, 2, int64(tunit)+13) // stripe 1 of shard 2
-	sr, err := OpenStreamPaths(shardPaths(dir, m), m)
+	sr, err := OpenStreamPaths(shardPaths(dir, m), m, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestMidStreamTruncationDemotes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sr, err := OpenStreamPaths(shardPaths(dir, m), m)
+	sr, err := OpenStreamPaths(shardPaths(dir, m), m, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestTooManyDemotionsFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sr, err := OpenStreamPaths(shardPaths(dir, m), m)
+	sr, err := OpenStreamPaths(shardPaths(dir, m), m, Opts{})
 	if err != nil {
 		t.Fatal(err) // open is clean: corruption is in-place
 	}
@@ -315,7 +315,7 @@ func TestV1ManifestBackCompat(t *testing.T) {
 		t.Fatal(err)
 	}
 	corruptShardByte(t, dir, 3, 7)
-	sr, err := OpenStreamPaths(shardPaths(dir, m), m)
+	sr, err := OpenStreamPaths(shardPaths(dir, m), m, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func TestV1ManifestBackCompat(t *testing.T) {
 	}
 
 	// v1 scrub: whole-shard granularity, heals in place.
-	healed, err := ScrubPaths(shardPaths(dir, m), m)
+	healed, err := ScrubPaths(shardPaths(dir, m), m, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +365,7 @@ func TestOpenStreamPathsReportsBeforeDecode(t *testing.T) {
 	if err := os.Remove(ShardPath(dir, 0)); err != nil {
 		t.Fatal(err)
 	}
-	sr, err := OpenStreamPaths(shardPaths(dir, m), m)
+	sr, err := OpenStreamPaths(shardPaths(dir, m), m, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,72 @@
+// Package vfs is the minimal filesystem seam the shard I/O paths go
+// through: just enough surface (open, create, rename, remove, whole-file
+// read/write) for internal/shardfile to stream shard sets and for
+// internal/faultfs to inject faults underneath it in tests. It sits at the
+// bottom of the dependency graph — no gemmec imports — so both the
+// production layers and the fault injector can share it without cycles.
+//
+// Only shard-file I/O is routed through the interface. Directory
+// management (MkdirAll, ReadDir, Glob) and object metadata stay on the os
+// package: the failure modes worth injecting — torn shard writes, rotten
+// reads, stalled disks — all live on the shard data path.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the per-file surface shard I/O needs: sequential reads and
+// writes, Seek (the v1 verify-then-rewind pass), and Stat for length
+// checks. *os.File satisfies it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Stat() (os.FileInfo, error)
+	Name() string
+}
+
+// FS opens, creates and renames files. Implementations must be safe for
+// concurrent use; OS is the default everywhere an FS is optional.
+type FS interface {
+	// Open opens the named file for reading.
+	Open(name string) (File, error)
+	// Create truncates or creates the named file for writing.
+	Create(name string) (File, error)
+	// Rename atomically moves oldpath to newpath (the commit point of
+	// every shard write in this repository).
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// ReadFile reads the whole named file.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes data to the named file, creating it if necessary.
+	WriteFile(name string, data []byte, perm os.FileMode) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) Rename(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}
+func (osFS) Remove(name string) error            { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+// Or returns fsys when non-nil and OS otherwise — the one-liner every
+// Opts-style consumer uses to default its FS field.
+func Or(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}

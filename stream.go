@@ -1,6 +1,7 @@
 package gemmec
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -37,6 +38,7 @@ type streamConfig struct {
 	pool    *StripePool
 	stats   *StreamStats
 	verify  UnitVerifier
+	ctx     context.Context
 }
 
 // StreamOption configures EncodeStream and DecodeStream. The zero-option
@@ -114,6 +116,25 @@ func WithStreamVerifier(v UnitVerifier) StreamOption {
 	}
 }
 
+// WithStreamContext cancels the stream when ctx does. The pipeline
+// observes the context between stripes: a canceled encode stops reading
+// and writing, a canceled decode stops reconstructing, all stage
+// goroutines return, and the call fails with an error wrapping
+// context.Cause(ctx) (so errors.Is against context.Canceled or
+// context.DeadlineExceeded works). This is how a server threads a
+// request's lifetime — client disconnect, per-request deadline, drain —
+// down into the coding engine instead of letting abandoned streams run to
+// completion. The default is context.Background(): never canceled.
+func WithStreamContext(ctx context.Context) StreamOption {
+	return func(c *streamConfig) error {
+		if ctx == nil {
+			return fmt.Errorf("gemmec: stream context is nil")
+		}
+		c.ctx = ctx
+		return nil
+	}
+}
+
 // NewStreamPool returns a stripe-buffer pool sized for this code's
 // streaming pipeline: each buffer holds a full stripe, the k data units
 // followed by the r parity units. Pass it to WithStreamPool.
@@ -141,7 +162,7 @@ func (c *Code) streamConfig(opts []StreamOption) (streamConfig, error) {
 }
 
 func (cfg streamConfig) pipeline() pipeline.Config {
-	return pipeline.Config{Workers: cfg.workers, Depth: cfg.depth, Pool: cfg.pool, Verify: cfg.verify}
+	return pipeline.Config{Workers: cfg.workers, Depth: cfg.depth, Pool: cfg.pool, Verify: cfg.verify, Ctx: cfg.ctx}
 }
 
 // EncodeStream reads src until EOF, erasure-codes it stripe by stripe, and
