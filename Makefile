@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot stress-fault bench bench-json ci
+.PHONY: all build vet test race race-hot stress-fault stress-load bench bench-json ci
 
 all: build
 
@@ -33,19 +33,29 @@ stress-fault:
 	$(GO) test -race -count=2 -run 'Fault|Stall|Torn|Cancel|Disconnect|Timeout|LockRace|MaxObjectSize|DeadContext' \
 		./internal/faultfs ./internal/shardfile ./internal/server .
 
+# Seeded heavy-traffic stress under -race: the shared scheduler's
+# fairness/shutdown paths, admission-control 429s, slab pack/unpack through
+# degraded reads and scrub, slow-GET vs PUT starvation, and the bounded
+# goroutine guarantee. Deterministic inputs, so failures replay locally.
+stress-load:
+	$(GO) test -race -count=2 -run 'Sched|Queue|Admission|Slab|Starve|BoundedGoroutines|Scheduler|Overload' \
+		./internal/sched ./internal/server .
+
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
 # Machine-readable bench trajectory: clean vs degraded decode GB/s and
-# time-to-first-byte across object sizes (BENCH_decode.json), plus the
-# serving path's PUT/GET latency percentiles clean vs degraded through the
-# full daemon stack (BENCH_server.json). BENCH_ARGS="-quick" shrinks both
-# for smoke runs.
+# time-to-first-byte across object sizes (BENCH_decode.json), the serving
+# path's PUT/GET latency percentiles clean vs degraded through the full
+# daemon stack (BENCH_server.json), and the heavy-traffic open-loop run —
+# sustained RPS, small/large tails, shed count, goroutine bound
+# (BENCH_load.json). BENCH_ARGS="-quick" shrinks all three for smoke runs.
 bench-json:
 	$(GO) run ./cmd/ecbench -exp decode-json -json BENCH_decode.json $(BENCH_ARGS)
 	$(GO) run ./cmd/ecbench -exp server-json -json BENCH_server.json $(BENCH_ARGS)
+	$(GO) run ./cmd/ecbench -exp load-json -json BENCH_load.json $(BENCH_ARGS)
 
 # The allocation guards on the streaming hot paths (TestStreamSteadyStateAllocs,
 # TestDecodeStreamSteadyStateAllocs) run as part of `test`, so `ci` gates on
 # both the encode and the verified-decode paths staying allocation-free.
-ci: build vet test race-hot stress-fault
+ci: build vet test race-hot stress-fault stress-load

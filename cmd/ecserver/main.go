@@ -53,7 +53,16 @@ func main() {
 	k := flag.Int("k", 4, "data shards per stripe")
 	r := flag.Int("r", 2, "parity shards per stripe")
 	unit := flag.Int("unit", gemmec.DefaultUnitSize, "shard unit size in bytes")
-	workers := flag.Int("stream-workers", 0, "encode/decode pipeline workers per request (0 = GOMAXPROCS, capped at 8)")
+	workers := flag.Int("workers", 0,
+		"size of the shared encode/decode worker pool every request's stripe work runs on (0 = GOMAXPROCS, capped at 8)")
+	maxQueue := flag.Int("max-queue", 0,
+		"max concurrently admitted streaming requests; past it PUT/GET are shed with 429 + Retry-After (0 = unbounded)")
+	slabThreshold := flag.Int64("slab-threshold", 0,
+		"pack PUTs at or below this many bytes into shared group-committed slabs instead of per-object shard sets (0 disables)")
+	slabWindow := flag.Duration("slab-window", 0,
+		"max latency a small PUT waits for its slab batch to commit (0 = 2ms)")
+	slabMaxBytes := flag.Int64("slab-max-bytes", 0,
+		"commit a slab batch early once its payload reaches this many bytes (0 = 4MiB)")
 	scrubEvery := flag.Duration("scrub-interval", time.Minute,
 		"target interval between background scrub sweeps, jittered +/-50% (0 disables the scrubber)")
 	drain := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
@@ -79,18 +88,23 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	store, err := server.Open(server.Config{
+	store, err := server.Open(server.StoreConfig{
 		Root:             *root,
 		Nodes:            *nodes,
 		K:                *k,
 		R:                *r,
 		UnitSize:         *unit,
 		Workers:          *workers,
+		MaxStreams:       *maxQueue,
+		SlabThreshold:    *slabThreshold,
+		SlabWindow:       *slabWindow,
+		SlabMaxBytes:     *slabMaxBytes,
 		ShardReadTimeout: *shardReadTimeout,
 	})
 	if err != nil {
 		logger.Fatalf("ecserver: %v", err)
 	}
+	defer store.Close()
 	metrics := server.NewMetrics(nil)
 	store.SetMetrics(metrics)
 	logger.Printf("ecserver: serving %s on %s (k=%d r=%d unit=%d, %d node dirs)",
@@ -102,18 +116,13 @@ func main() {
 		logger.Printf("ecserver: background scrubber every ~%v (jittered)", *scrubEvery)
 	}
 
-	opts := []server.HandlerOption{
-		server.WithMetrics(metrics),
-		server.WithSlowRequestThreshold(*slowReq),
-	}
-	if *reqTimeout > 0 {
-		opts = append(opts, server.WithRequestTimeout(*reqTimeout))
-	}
-	if *maxObject > 0 {
-		opts = append(opts, server.WithMaxObjectSize(*maxObject))
-	}
-	if scrubber != nil {
-		opts = append(opts, server.WithScrubber(scrubber))
+	hcfg := server.Config{
+		Logf:                 logger.Printf,
+		Metrics:              metrics,
+		Scrubber:             scrubber,
+		SlowRequestThreshold: *slowReq,
+		RequestTimeout:       *reqTimeout,
+		MaxObjectSize:        *maxObject,
 	}
 	if *accessLog {
 		dst := os.Stderr
@@ -125,7 +134,7 @@ func main() {
 			defer f.Close()
 			dst = f
 		}
-		opts = append(opts, server.WithAccessLog(obs.NewLogger(dst)))
+		hcfg.AccessLog = obs.NewLogger(dst)
 	}
 
 	if *debugAddr != "" {
@@ -154,7 +163,7 @@ func main() {
 	defer cancelBase()
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.NewHandler(store, logger.Printf, opts...),
+		Handler: server.NewHandler(store, hcfg),
 		// Slowloris guard: a connection that trickles its headers cannot
 		// pin a goroutine forever. WriteTimeout defaults to 0 because it
 		// would cap whole streaming GETs regardless of progress; the

@@ -43,13 +43,14 @@ func runServer(w io.Writer, cfg Config) error {
 	}
 	defer os.RemoveAll(root)
 
-	store, err := server.Open(server.Config{
+	store, err := server.Open(server.StoreConfig{
 		Root: root, Nodes: nodes, K: k, R: r, UnitSize: cfg.UnitSize,
 	})
 	if err != nil {
 		return err
 	}
-	ts := httptest.NewServer(server.NewHandler(store, nil))
+	defer store.Close()
+	ts := httptest.NewServer(server.NewHandler(store, server.Config{}))
 	defer ts.Close()
 	url := ts.URL + "/o/bench-object"
 

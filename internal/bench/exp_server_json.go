@@ -66,17 +66,18 @@ func runServerJSON(w io.Writer, cfg Config) error {
 	}
 	defer os.RemoveAll(root)
 
-	store, err := server.Open(server.Config{
+	store, err := server.Open(server.StoreConfig{
 		Root: root, Nodes: nodes, K: k, R: r, UnitSize: cfg.UnitSize,
 	})
 	if err != nil {
 		return err
 	}
+	defer store.Close()
 	// Metrics enabled, as in production: the latency this experiment
 	// reports includes whatever the instrumentation costs.
 	metrics := server.NewMetrics(nil)
 	store.SetMetrics(metrics)
-	ts := httptest.NewServer(server.NewHandler(store, nil, server.WithMetrics(metrics)))
+	ts := httptest.NewServer(server.NewHandler(store, server.Config{Metrics: metrics}))
 	defer ts.Close()
 	url := ts.URL + "/o/bench-object"
 

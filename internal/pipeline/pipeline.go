@@ -11,6 +11,16 @@
 //	writer  — scatters finished stripes to the k+r shard writers,
 //	          strictly in stripe order (sequence-numbered reordering)
 //
+// The kernel stage no longer owns its goroutines. Each stripe is
+// submitted as a task to an internal/sched scheduler — a bounded worker
+// pool with per-stream FIFO queues and fair round-robin dispatch — so a
+// server shares ONE pool across every concurrent stream instead of
+// spawning (and tearing down) a goroutine set per request. Config.Sched
+// selects the shared pool; without one, Workers > 1 builds a private
+// per-call scheduler (the legacy WithStreamWorkers behavior, preserved
+// exactly: shard output is byte-identical either way), and Workers == 1
+// keeps the fully serial, goroutine-free baseline loop.
+//
 // Decode runs the same ring in reverse: the reader gathers k+r shard
 // units per stripe (nil readers mark losses), optionally verifying each
 // unit against a per-stripe checksum as it lands (Config.Verify) and
@@ -35,6 +45,7 @@ import (
 	"time"
 
 	"gemmec/internal/ecerr"
+	"gemmec/internal/sched"
 	"gemmec/internal/stripe"
 )
 
@@ -65,7 +76,15 @@ type UnitVerifier interface {
 type Config struct {
 	// Workers is the number of concurrent kernel goroutines; 1 selects a
 	// fully serial loop with no goroutines at all (the baseline path).
+	// Ignored when Sched is set — the shared pool's size governs.
 	Workers int
+	// Sched, when non-nil, is the shared scheduler the kernel stage
+	// submits stripe tasks to. The run creates one stream queue on it and
+	// closes that queue before returning; the scheduler itself is a
+	// server-lifetime resource the caller owns. When nil and Workers > 1,
+	// a private scheduler is built for the call and torn down after — the
+	// legacy per-call pool.
+	Sched *sched.Scheduler
 	// Depth is the ring size: the maximum number of stripes in flight.
 	Depth int
 	// Pool supplies the ring's stripe buffers. Its geometry must be
@@ -173,6 +192,19 @@ func norm(c Codec, cfg Config) (Config, error) {
 	return cfg, nil
 }
 
+// ensureSched attaches a scheduler when the pipelined path needs one:
+// legacy Workers > 1 calls without a shared pool get a private per-call
+// scheduler, torn down by the returned stop func. Serial (Workers == 1,
+// no Sched) runs stay scheduler-free.
+func ensureSched(cfg Config) (Config, func()) {
+	if cfg.Sched != nil || cfg.Workers == 1 {
+		return cfg, func() {}
+	}
+	s := sched.New(sched.Config{Workers: cfg.Workers})
+	cfg.Sched = s
+	return cfg, s.Close
+}
+
 // ring draws Depth slots from the pool. release returns them.
 func ring(c Codec, cfg Config) ([]*slot, func(), error) {
 	slots := make([]*slot, cfg.Depth)
@@ -235,10 +267,15 @@ func Encode(c Codec, src io.Reader, shards []io.Writer, cfg Config) (int64, Stat
 	if cfg.Ctx.Err() != nil {
 		return 0, st, ctxErr(cfg.Ctx)
 	}
+	cfg, stopSched := ensureSched(cfg)
+	defer stopSched()
 	st.Workers, st.Depth = cfg.Workers, cfg.Depth
+	if cfg.Sched != nil {
+		st.Workers = cfg.Sched.Workers()
+	}
 	start := time.Now()
 	var total int64
-	if cfg.Workers == 1 {
+	if cfg.Sched == nil {
 		total, err = encodeSerial(c, src, shards, cfg, &st)
 	} else {
 		total, err = encodePipelined(c, src, shards, cfg, &st)
@@ -310,7 +347,6 @@ func encodePipelined(c Codec, src io.Reader, shards []io.Writer, cfg Config, st 
 	for _, s := range slots {
 		free <- s
 	}
-	jobs := make(chan job, cfg.Depth)
 	results := make(chan job, cfg.Depth)
 	f := newFailer()
 	// Cancellation rides the existing failure broadcast: the moment the
@@ -318,6 +354,13 @@ func encodePipelined(c Codec, src io.Reader, shards []io.Writer, cfg Config, st 
 	// nothing on the clean path (no goroutine until cancellation).
 	stop := context.AfterFunc(cfg.Ctx, func() { f.fail(ctxErr(cfg.Ctx)) })
 	defer stop()
+
+	// Kernel stage: one stream queue on the scheduler (shared or per-call;
+	// see ensureSched). At most Depth stripes are in flight — ring slots
+	// bound the submissions — so the results send inside a task never
+	// blocks a pool worker.
+	q := cfg.Sched.NewQueue()
+	defer q.Close()
 
 	// Reader: sequential by nature (src is a stream); owns total/readStall
 	// until the final wait establishes happens-before.
@@ -327,7 +370,8 @@ func encodePipelined(c Codec, src io.Reader, shards []io.Writer, cfg Config, st 
 	wgRead.Add(1)
 	go func() {
 		defer wgRead.Done()
-		defer close(jobs)
+		defer close(results)
+		defer q.Wait() // every submitted task finishes before results closes
 		for seq := int64(0); ; seq++ {
 			var s *slot
 			select {
@@ -351,35 +395,22 @@ func encodePipelined(c Codec, src io.Reader, shards []io.Writer, cfg Config, st 
 				f.fail(fmt.Errorf("gemmec: read source: %w", err))
 				return
 			}
-			jobs <- job{seq: seq, s: s, n: n}
-			if n < stripeBytes {
-				return
-			}
-		}
-	}()
-
-	// Encoder workers: the kernel stage, cfg.Workers stripes concurrently.
-	var wgEnc sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wgEnc.Add(1)
-		go func() {
-			defer wgEnc.Done()
-			for j := range jobs {
+			j := job{seq: seq, s: s, n: n}
+			q.Submit(func() {
 				if f.failed() {
-					continue // drain without encoding
+					return // drain without encoding
 				}
 				raw := j.s.buf.Raw()
 				if err := c.Encode(raw[:stripeBytes], raw[stripeBytes:(k+r)*unit]); err != nil {
 					f.fail(err)
-					continue
+					return
 				}
 				results <- j
+			})
+			if n < stripeBytes {
+				return
 			}
-		}()
-	}
-	go func() {
-		wgEnc.Wait()
-		close(results)
+		}
 	}()
 
 	// In-order writer (this goroutine): reorder by sequence number so shard
@@ -452,9 +483,14 @@ func Decode(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg Config) 
 	if cfg.Ctx.Err() != nil {
 		return st, ctxErr(cfg.Ctx)
 	}
+	cfg, stopSched := ensureSched(cfg)
+	defer stopSched()
 	st.Workers, st.Depth = cfg.Workers, cfg.Depth
+	if cfg.Sched != nil {
+		st.Workers = cfg.Sched.Workers()
+	}
 	start := time.Now()
-	if cfg.Workers == 1 {
+	if cfg.Sched == nil {
 		err = decodeSerial(c, shards, dst, size, cfg, &st)
 	} else {
 		err = decodePipelined(c, shards, dst, size, cfg, &st)
@@ -631,13 +667,18 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 	for _, s := range slots {
 		free <- s
 	}
-	jobs := make(chan job, cfg.Depth)
 	results := make(chan job, cfg.Depth)
 	f := newFailer()
 	// Cancellation latches into the failure broadcast exactly as a stage
 	// error would; the ring drains and Decode returns ctxErr.
 	stop := context.AfterFunc(cfg.Ctx, func() { f.fail(ctxErr(cfg.Ctx)) })
 	defer stop()
+
+	// Reconstruction stage: one stream queue on the scheduler. Only
+	// stripes with missing data units pay the kernel; surviving-stripe
+	// tasks pass straight through to the in-order writer.
+	q := cfg.Sched.NewQueue()
+	defer q.Close()
 
 	// Reader: gathers k+r units per stripe (sequential: shard readers are
 	// streams and must be consumed in stripe order). It owns the demoter —
@@ -650,7 +691,8 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 	wgRead.Add(1)
 	go func() {
 		defer wgRead.Done()
-		defer close(jobs)
+		defer close(results)
+		defer q.Wait() // every submitted task finishes before results closes
 		remaining := size
 		for seq := int64(0); seq < stripes; seq++ {
 			var s *slot
@@ -669,34 +711,20 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 				n = remaining
 			}
 			remaining -= n
-			jobs <- job{seq: seq, s: s, n: int(n), rebuild: rebuild}
-		}
-	}()
-
-	// Reconstruction workers: only stripes with missing data units pay the
-	// kernel; surviving-stripe jobs pass straight through.
-	var wgDec sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wgDec.Add(1)
-		go func() {
-			defer wgDec.Done()
-			for j := range jobs {
+			j := job{seq: seq, s: s, n: int(n), rebuild: rebuild}
+			q.Submit(func() {
 				if f.failed() {
-					continue
+					return
 				}
 				if j.rebuild {
 					if err := c.ReconstructData(j.s.work); err != nil {
 						f.fail(err)
-						continue
+						return
 					}
 				}
 				results <- j
-			}
-		}()
-	}
-	go func() {
-		wgDec.Wait()
-		close(results)
+			})
+		}
 	}()
 
 	// In-order writer.

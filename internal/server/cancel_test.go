@@ -306,7 +306,7 @@ func TestServerStalledShardServesDegraded(t *testing.T) {
 	ffs := faultfs.New(vfs.OS, 1,
 		faultfs.Rule{Op: faultfs.OpRead, Pattern: "*.shard_000", Stall: true})
 	t.Cleanup(ffs.ReleaseStalls)
-	s, err := Open(Config{
+	s, err := Open(StoreConfig{
 		Root:             t.TempDir(),
 		Nodes:            tnode,
 		K:                tk,
@@ -321,7 +321,7 @@ func TestServerStalledShardServesDegraded(t *testing.T) {
 	}
 	m := NewMetrics(nil)
 	s.SetMetrics(m)
-	ts := httptest.NewServer(NewHandler(s, t.Logf, WithMetrics(m)))
+	ts := httptest.NewServer(NewHandler(s, Config{Logf: t.Logf, Metrics: m}))
 	t.Cleanup(ts.Close)
 
 	const name = "stall-victim"

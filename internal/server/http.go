@@ -72,72 +72,145 @@ func (f Logf) printf(format string, args ...any) {
 	}
 }
 
-// HandlerOption configures optional handler behavior (metrics, access
-// logs, health wiring). The zero-option NewHandler is unchanged from
-// before observability existed.
+// Config configures the HTTP handler. The zero value serves: no metrics,
+// no access log, no timeouts, no size cap, default Retry-After.
+type Config struct {
+	// Logf receives operational log lines; nil silences them.
+	Logf Logf
+	// Metrics wires the metrics bundle into the request path and mounts
+	// its registry at GET /metricsz.
+	Metrics *Metrics
+	// Scrubber lets /healthz judge liveness by the scrub loop: the probe
+	// fails (503) once no sweep has completed within 3× the scrub
+	// interval. Without it /healthz degenerates to a bare process-up
+	// check.
+	Scrubber *Scrubber
+	// AccessLog emits one structured JSON line per request.
+	AccessLog *obs.Logger
+	// SlowRequestThreshold logs (via Logf) and counts requests slower
+	// than it. Zero disables the check.
+	SlowRequestThreshold time.Duration
+	// RequestTimeout bounds every request's context: a PUT or GET that
+	// has not finished within it is canceled mid-pipeline (the
+	// encode/decode stops between stripes, locks release, temp files are
+	// removed) and the client sees 504 — or a torn connection if the body
+	// had started. Zero disables the deadline; the context still dies
+	// when the client disconnects or the server drains.
+	RequestTimeout time.Duration
+	// MaxObjectSize rejects PUTs larger than it with 413. Declared
+	// oversize bodies (Content-Length) are refused before any shard I/O;
+	// chunked bodies are cut off by http.MaxBytesReader mid-stream, which
+	// aborts the encode and removes the temporary shard generation — an
+	// over-limit upload never leaves partial state. Zero means unlimited.
+	MaxObjectSize int64
+	// RetryAfter is the Retry-After header value, in seconds, on shed
+	// (429) responses. 0 selects 1.
+	RetryAfter int
+}
+
+// HandlerOption configures optional handler behavior for the deprecated
+// variadic constructor.
+//
+// Deprecated: populate Config and call NewHandler instead.
 type HandlerOption func(*handler)
 
-// WithMetrics wires the metrics bundle into the request path and mounts
-// its registry at GET /metricsz.
+// WithMetrics wires the metrics bundle into the request path.
+//
+// Deprecated: set Config.Metrics.
 func WithMetrics(m *Metrics) HandlerOption {
 	return func(h *handler) { h.metrics = m }
 }
 
-// WithScrubber lets /healthz judge liveness by the scrub loop: the probe
-// fails (503) once no sweep has completed within 3× the scrub interval.
-// Without it /healthz degenerates to a bare process-up check.
+// WithScrubber wires scrub-loop liveness into /healthz.
+//
+// Deprecated: set Config.Scrubber.
 func WithScrubber(sc *Scrubber) HandlerOption {
 	return func(h *handler) { h.scrubber = sc }
 }
 
 // WithAccessLog emits one structured JSON line per request to l.
+//
+// Deprecated: set Config.AccessLog.
 func WithAccessLog(l *obs.Logger) HandlerOption {
 	return func(h *handler) { h.accessLog = l }
 }
 
-// WithSlowRequestThreshold logs (via Logf) and counts requests slower
-// than d. Zero disables the check.
+// WithSlowRequestThreshold logs and counts requests slower than d.
+//
+// Deprecated: set Config.SlowRequestThreshold.
 func WithSlowRequestThreshold(d time.Duration) HandlerOption {
 	return func(h *handler) { h.slowReq = d }
 }
 
-// WithRequestTimeout bounds every request's context: a PUT or GET that
-// has not finished within d is canceled mid-pipeline (the encode/decode
-// stops between stripes, locks release, temp files are removed) and the
-// client sees 504 — or a torn connection if the body had started. Zero
-// disables the deadline; the context still dies when the client
-// disconnects or the server drains.
+// WithRequestTimeout bounds every request's context.
+//
+// Deprecated: set Config.RequestTimeout.
 func WithRequestTimeout(d time.Duration) HandlerOption {
 	return func(h *handler) { h.reqTimeout = d }
 }
 
-// WithMaxObjectSize rejects PUTs larger than n bytes with 413. Declared
-// oversize bodies (Content-Length) are refused before any shard I/O;
-// chunked bodies are cut off by http.MaxBytesReader mid-stream, which
-// aborts the encode and removes the temporary shard generation — an
-// over-limit upload never leaves partial state. Zero means unlimited.
+// WithMaxObjectSize rejects PUTs larger than n bytes with 413.
+//
+// Deprecated: set Config.MaxObjectSize.
 func WithMaxObjectSize(n int64) HandlerOption {
 	return func(h *handler) { h.maxObject = n }
 }
 
 // NewHandler serves store over HTTP.
-func NewHandler(store *Store, logf Logf, opts ...HandlerOption) http.Handler {
-	h := &handler{store: store, logf: logf}
-	for _, o := range opts {
-		o(h)
+//
+// Streaming routes (PUT and GET bodies) pass through admission control:
+// when the store's scheduler has MaxStreams configured and is full, the
+// request is shed with 429 and a Retry-After header instead of queueing
+// behind work the server cannot start. Probe and metadata routes —
+// /healthz, /metricsz, /statusz, /objects, HEAD — bypass the gate, so an
+// overloaded server still answers its health checks and scrapes.
+func NewHandler(store *Store, cfg Config) http.Handler {
+	h := &handler{
+		store:      store,
+		logf:       cfg.Logf,
+		metrics:    cfg.Metrics,
+		scrubber:   cfg.Scrubber,
+		accessLog:  cfg.AccessLog,
+		slowReq:    cfg.SlowRequestThreshold,
+		reqTimeout: cfg.RequestTimeout,
+		maxObject:  cfg.MaxObjectSize,
+		retryAfter: cfg.RetryAfter,
+	}
+	if h.retryAfter <= 0 {
+		h.retryAfter = 1
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("PUT /o/{name...}", h.wrap("put", h.put))
-	mux.HandleFunc("GET /o/{name...}", h.wrap("get", h.get))
-	mux.HandleFunc("DELETE /o/{name...}", h.wrap("delete", h.delete))
-	mux.HandleFunc("GET /objects", h.wrap("list", h.list))
-	mux.HandleFunc("POST /scrub", h.wrap("scrub", h.scrub))
-	mux.HandleFunc("GET /statusz", h.wrap("status", h.statusz))
-	mux.HandleFunc("GET /healthz", h.wrap("health", h.healthz))
+	mux.HandleFunc("PUT /o/{name...}", h.wrap("put", true, h.put))
+	mux.HandleFunc("GET /o/{name...}", h.wrap("get", true, h.get))
+	mux.HandleFunc("DELETE /o/{name...}", h.wrap("delete", false, h.delete))
+	mux.HandleFunc("GET /objects", h.wrap("list", false, h.list))
+	mux.HandleFunc("POST /scrub", h.wrap("scrub", false, h.scrub))
+	mux.HandleFunc("GET /statusz", h.wrap("status", false, h.statusz))
+	mux.HandleFunc("GET /healthz", h.wrap("health", false, h.healthz))
 	if h.metrics != nil {
 		mux.Handle("GET /metricsz", h.metrics.Registry.Handler())
 	}
 	return mux
+}
+
+// NewHandlerOptions is the pre-Config variadic constructor, kept so
+// existing callers compile unchanged.
+//
+// Deprecated: populate Config and call NewHandler instead.
+func NewHandlerOptions(store *Store, logf Logf, opts ...HandlerOption) http.Handler {
+	h := &handler{}
+	for _, o := range opts {
+		o(h)
+	}
+	return NewHandler(store, Config{
+		Logf:                 logf,
+		Metrics:              h.metrics,
+		Scrubber:             h.scrubber,
+		AccessLog:            h.accessLog,
+		SlowRequestThreshold: h.slowReq,
+		RequestTimeout:       h.reqTimeout,
+		MaxObjectSize:        h.maxObject,
+	})
 }
 
 type handler struct {
@@ -149,6 +222,7 @@ type handler struct {
 	slowReq    time.Duration
 	reqTimeout time.Duration
 	maxObject  int64
+	retryAfter int
 }
 
 // instrumented wraps the ResponseWriter to observe what the handler did:
@@ -203,7 +277,7 @@ func (iw *instrumented) Flush() {
 // mid-stream abort just long enough to record the request (status 499,
 // client saw a torn connection) and then re-panics so net/http still
 // kills the connection.
-func (h *handler) wrap(op string, fn http.HandlerFunc) http.HandlerFunc {
+func (h *handler) wrap(op string, gated bool, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		o := op
 		if o == "get" && r.Method == http.MethodHead {
@@ -313,6 +387,24 @@ func (h *handler) wrap(op string, fn http.HandlerFunc) http.HandlerFunc {
 				panic(pan)
 			}
 		}()
+		// Admission control: a streaming request past the scheduler's
+		// MaxStreams bound is shed here — cheap 429 with a Retry-After
+		// instead of a request that queues behind work the pool cannot
+		// start. HEAD reads no payload, so it rides free; the probe and
+		// metadata routes are not gated at all (a health check or metrics
+		// scrape must answer precisely when the server is saturated).
+		if gated && o != "head" {
+			sc := h.store.Scheduler()
+			if err := sc.Admit(); err != nil {
+				iw.Header().Set("Retry-After", strconv.Itoa(h.retryAfter))
+				if h.metrics != nil {
+					h.metrics.requestsShed.Inc()
+				}
+				http.Error(iw, err.Error(), http.StatusTooManyRequests)
+				return
+			}
+			defer sc.Release()
+		}
 		fn(iw, r)
 	}
 }
@@ -447,11 +539,11 @@ func (h *handler) put(w http.ResponseWriter, r *http.Request) {
 	}
 	if iw, ok := w.(*instrumented); ok {
 		iw.object = meta.Name
-		iw.objectBytes = meta.Manifest.FileSize
+		iw.objectBytes = meta.Size()
 	}
 	writeJSON(w, http.StatusCreated, putResponse{
 		Name:      meta.Name,
-		Size:      meta.Manifest.FileSize,
+		Size:      meta.Size(),
 		Stripes:   meta.Manifest.Stripes,
 		K:         meta.Manifest.K,
 		R:         meta.Manifest.R,
@@ -547,7 +639,7 @@ func (h *handler) list(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]listEntry, 0, len(metas))
 	for _, meta := range metas {
-		out = append(out, listEntry{Name: meta.Name, Size: meta.Manifest.FileSize, Stripes: meta.Manifest.Stripes})
+		out = append(out, listEntry{Name: meta.Name, Size: meta.Size(), Stripes: meta.Manifest.Stripes})
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -53,6 +53,13 @@ type Metrics struct {
 	slowRequests     *obs.Counter
 	requestsCanceled *obs.Counter
 	requestsTimeout  *obs.Counter
+
+	requestsShed *obs.Counter
+	schedWait    *obs.Histogram
+
+	slabPuts       *obs.Counter
+	slabFlushes    *obs.Counter
+	slabsReclaimed *obs.Counter
 }
 
 // NewMetrics registers the daemon's metric families on reg (a fresh
@@ -122,6 +129,19 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	m.requestsTimeout = reg.Counter("gemmec_http_requests_timeout_total",
 		"Requests killed by the -request-timeout deadline.")
 
+	m.requestsShed = reg.Counter("gemmec_http_requests_shed_total",
+		"Requests rejected by admission control (429 + Retry-After).")
+	m.schedWait = reg.Histogram("gemmec_sched_wait_seconds",
+		"Time stripe tasks spent queued in the shared scheduler before a worker picked them up.",
+		obs.LatencyBuckets)
+
+	m.slabPuts = reg.Counter("gemmec_slab_puts_total",
+		"PUTs served by the small-object packing fast path.")
+	m.slabFlushes = reg.Counter("gemmec_slab_flushes_total",
+		"Slab batches committed by the group-commit writer.")
+	m.slabsReclaimed = reg.Counter("gemmec_slabs_reclaimed_total",
+		"Dead slabs (no live members) reclaimed by scrub.")
+
 	reg.CounterFunc("gemmec_decoder_cache_hits_total",
 		"Compiled-decoder cache hits across all engines.",
 		func() float64 { return float64(core.ReadDecoderCacheCounters().Hits) })
@@ -135,8 +155,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	return m
 }
 
-// RegisterStore adds scrape-time gauges backed by st (object count). Call
-// once per store.
+// RegisterStore adds scrape-time gauges backed by st (object count,
+// scheduler occupancy). Call once per store.
 func (m *Metrics) RegisterStore(st *Store) {
 	if m == nil {
 		return
@@ -146,6 +166,25 @@ func (m *Metrics) RegisterStore(st *Store) {
 			names, _ := st.List()
 			return float64(len(names))
 		})
+	sc := st.Scheduler()
+	m.Registry.GaugeFunc("gemmec_sched_queue_depth",
+		"Stripe tasks queued in the shared scheduler right now.",
+		func() float64 { return float64(sc.QueueDepth()) })
+	m.Registry.GaugeFunc("gemmec_sched_admitted",
+		"Streaming requests currently holding an admission slot.",
+		func() float64 { return float64(sc.Admitted()) })
+	m.Registry.GaugeFunc("gemmec_sched_workers",
+		"Workers in the shared encode/decode pool.",
+		func() float64 { return float64(sc.Workers()) })
+}
+
+// ObserveSchedWait records one task's scheduler queue wait. Wired as the
+// scheduler's OnWait hook; nil-safe like every recording method.
+func (m *Metrics) ObserveSchedWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.schedWait.Observe(int64(d))
 }
 
 // opHistogram indexes a per-op histogram map, folding unknown ops into
@@ -186,6 +225,8 @@ func itoa3(code int) string {
 		return "404"
 	case 413:
 		return "413"
+	case 429:
+		return "429"
 	case 499:
 		return "499"
 	case 500:

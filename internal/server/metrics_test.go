@@ -27,7 +27,7 @@ func newMetricsServer(t *testing.T, opts ...HandlerOption) (*Store, *Metrics, *h
 	s := newTestStore(t)
 	m := NewMetrics(nil)
 	s.SetMetrics(m)
-	ts := httptest.NewServer(NewHandler(s, t.Logf, append([]HandlerOption{WithMetrics(m)}, opts...)...))
+	ts := httptest.NewServer(NewHandlerOptions(s, t.Logf, append([]HandlerOption{WithMetrics(m)}, opts...)...))
 	t.Cleanup(ts.Close)
 	return s, m, ts
 }
@@ -303,7 +303,7 @@ func TestHealthz(t *testing.T) {
 
 	sc := StartScrubber(s, 50*time.Millisecond, t.Logf)
 	defer sc.Stop()
-	ts2 := httptest.NewServer(NewHandler(s, t.Logf, WithScrubber(sc)))
+	ts2 := httptest.NewServer(NewHandler(s, Config{Logf: t.Logf, Scrubber: sc}))
 	defer ts2.Close()
 
 	get := func() (int, healthResponse) {

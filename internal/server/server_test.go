@@ -27,7 +27,7 @@ const (
 
 func newTestStore(t *testing.T) *Store {
 	t.Helper()
-	s, err := Open(Config{
+	s, err := Open(StoreConfig{
 		Root:     t.TempDir(),
 		Nodes:    tnode,
 		K:        tk,
@@ -38,6 +38,7 @@ func newTestStore(t *testing.T) *Store {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	return s
 }
 
@@ -137,7 +138,7 @@ func TestOverwriteKeepsPlacementAndData(t *testing.T) {
 // bytes survive, clean, with the old generation gone.
 func TestOverwriteAcrossGeometryChange(t *testing.T) {
 	root := t.TempDir()
-	s, err := Open(Config{Root: root, Nodes: 5, K: 3, R: 2, UnitSize: tunit, Workers: 1})
+	s, err := Open(StoreConfig{Root: root, Nodes: 5, K: 3, R: 2, UnitSize: tunit, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestOverwriteAcrossGeometryChange(t *testing.T) {
 		t.Fatalf("setup: old placement %v, want [2 3 4 0 1]", oldMeta.Placement)
 	}
 
-	s2, err := Open(Config{Root: root, Nodes: 5, K: 2, R: 2, UnitSize: tunit, Workers: 1})
+	s2, err := Open(StoreConfig{Root: root, Nodes: 5, K: 2, R: 2, UnitSize: tunit, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func corruptFile(t *testing.T, path string) {
 // read, then scrub heals everything and reports clean afterwards.
 func TestHTTPEndToEnd(t *testing.T) {
 	s := newTestStore(t)
-	ts := httptest.NewServer(NewHandler(s, t.Logf))
+	ts := httptest.NewServer(NewHandler(s, Config{Logf: t.Logf}))
 	defer ts.Close()
 	client := ts.Client()
 
@@ -468,7 +469,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 // body must still be byte-identical.
 func TestHTTPMidStreamDemotionTrailers(t *testing.T) {
 	s := newTestStore(t)
-	ts := httptest.NewServer(NewHandler(s, t.Logf))
+	ts := httptest.NewServer(NewHandler(s, Config{Logf: t.Logf}))
 	defer ts.Close()
 	client := ts.Client()
 
@@ -590,7 +591,7 @@ func jsonDecode(resp *http.Response, v any) error {
 
 func TestHTTPStatusCodes(t *testing.T) {
 	s := newTestStore(t)
-	ts := httptest.NewServer(NewHandler(s, t.Logf))
+	ts := httptest.NewServer(NewHandler(s, Config{Logf: t.Logf}))
 	defer ts.Close()
 	client := ts.Client()
 
@@ -722,7 +723,7 @@ func TestConcurrentTraffic(t *testing.T) {
 // placement past it.
 func TestReopen(t *testing.T) {
 	root := t.TempDir()
-	cfg := Config{Root: root, Nodes: tnode, K: tk, R: tr, UnitSize: tunit, Workers: 1}
+	cfg := StoreConfig{Root: root, Nodes: tnode, K: tk, R: tr, UnitSize: tunit, Workers: 1}
 	s, err := Open(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -42,8 +42,9 @@ var ErrBadObjectName = errors.New("server: bad object name")
 // shard suffix stays under common 255-byte filename limits.
 const maxNameLen = 100
 
-// Config sizes a store.
-type Config struct {
+// StoreConfig sizes a store. (It was named Config before the HTTP
+// layer's own Config existed; Open and Store.Config use this type.)
+type StoreConfig struct {
 	// Root is the directory holding the node directories and object
 	// metadata. Created if absent.
 	Root string
@@ -55,9 +56,32 @@ type Config struct {
 	// UnitSize is the shard unit size in bytes per stripe (0 selects
 	// gemmec.DefaultUnitSize).
 	UnitSize int
-	// Workers is the per-request stream worker count (0 selects the
-	// pipeline default: GOMAXPROCS capped at 8).
+	// Workers sizes the store's shared encode/decode scheduler: the ONE
+	// bounded pool of kernel goroutines every request's stripe work runs
+	// on (0 selects GOMAXPROCS capped at 8). Before the scheduler existed
+	// this was a per-request worker count; it is now a process resource.
 	Workers int
+	// MaxStreams bounds how many streaming requests may run concurrently:
+	// past it, admission fails with gemmec.ErrOverloaded and the HTTP
+	// layer sheds the request (429 + Retry-After). 0 disables shedding.
+	MaxStreams int
+	// Sched, when non-nil, is an externally owned scheduler to use
+	// instead of building one from Workers/MaxStreams (several stores in
+	// one process can share a pool). The store will not Close it.
+	Sched *gemmec.Scheduler
+	// SlabThreshold, when positive, turns on the small-object fast path:
+	// PUTs of known size at or below it are packed — group-committed —
+	// into one shared "slab" shard set instead of paying a full stripe,
+	// k+r shard files and an encode setup each. 0 stores every object in
+	// its own shard set.
+	SlabThreshold int64
+	// SlabWindow is how long the slab writer waits after the first
+	// pending small object before committing the batch (latency bound of
+	// the group commit). 0 selects 2ms.
+	SlabWindow time.Duration
+	// SlabMaxBytes caps one slab's payload: the batch commits early when
+	// it fills. 0 selects 4 MiB.
+	SlabMaxBytes int64
 	// FS is the filesystem shard I/O goes through. Nil means the real
 	// one; tests substitute internal/faultfs to inject read/write errors,
 	// torn writes, latency and stalls under the full serving path.
@@ -77,6 +101,11 @@ type Stats struct {
 	Gets           int64 `json:"gets"`
 	DegradedGets   int64 `json:"degraded_gets"`
 	Deletes        int64 `json:"deletes"`
+	SlabPuts       int64 `json:"slab_puts"`
+	SlabFlushes    int64 `json:"slab_flushes"`
+	SlabsReclaimed int64 `json:"slabs_reclaimed"`
+	RequestsShed   int64 `json:"requests_shed"`
+	SchedQueue     int   `json:"sched_queue_depth"`
 	ScrubCycles    int64 `json:"scrub_cycles"`
 	ShardsHealed   int64 `json:"shards_healed"`
 	OrphansRemoved int64 `json:"orphans_removed"`
@@ -103,23 +132,60 @@ type ObjectMeta struct {
 	// replace: the metadata rename is the commit point, and until it lands
 	// the previous generation remains fully intact on disk.
 	Gen int64 `json:"gen"`
+	// Slab, when non-nil, marks a packed small object: its bytes live
+	// inside a shared slab shard set instead of a dedicated one, and
+	// Manifest/Placement above are zero. Reads resolve the ref to the
+	// slab's own metadata and decode only the member's payload window.
+	Slab *SlabRef `json:"slab,omitempty"`
+}
+
+// Size returns the object's payload size in bytes, slab members included.
+func (m ObjectMeta) Size() int64 {
+	if m.Slab != nil {
+		return m.Slab.Size
+	}
+	return m.Manifest.FileSize
+}
+
+// SlabRef locates one packed object inside its slab.
+type SlabRef struct {
+	// Key is the slab's store key (a reserved non-hex name, so slabs are
+	// invisible to the object catalog).
+	Key string `json:"key"`
+	// Offset and Size give the member's payload window inside the slab.
+	Offset int64 `json:"offset"`
+	Size   int64 `json:"size"`
 }
 
 // Store is the on-disk erasure-coded object store the HTTP layer serves.
 // All methods are safe for concurrent use; operations on the same object
 // are serialized by a per-object lock (readers share).
 type Store struct {
-	cfg  Config
+	cfg  StoreConfig
 	code *gemmec.Code
+
+	// sched is the store's shared encode/decode pool; ownSched records
+	// whether Open built it (and Close must stop it) or the caller did.
+	sched    *gemmec.Scheduler
+	ownSched bool
+
+	// slab is the small-object group-commit writer, nil unless
+	// SlabThreshold > 0. slabSeq allocates slab keys.
+	slab    *slabWriter
+	slabSeq atomic.Int64
 
 	mu    sync.Mutex
 	rot   int // rotating placement offset, cluster-style
 	locks map[string]*sync.RWMutex
 
+	closeOnce sync.Once
+
 	puts, gets, degradedGets, deletes atomic.Int64
 	scrubCycles, shardsHealed         atomic.Int64
 	scrubErrors, orphansRemoved       atomic.Int64
 	bytesIn, bytesOut                 atomic.Int64
+	slabPuts, slabFlushes             atomic.Int64
+	slabsReclaimed                    atomic.Int64
 
 	// metrics, when set, mirrors the counters above into the /metricsz
 	// registry and adds what flat counters cannot carry (stall and size
@@ -134,8 +200,11 @@ func (s *Store) SetMetrics(m *Metrics) {
 	m.RegisterStore(s)
 }
 
-// Open opens (creating if necessary) the store rooted at cfg.Root.
-func Open(cfg Config) (*Store, error) {
+// Open opens (creating if necessary) the store rooted at cfg.Root. The
+// store owns background machinery — the shared scheduler (unless
+// cfg.Sched was supplied) and the slab writer — so pair every Open with
+// a Close.
+func Open(cfg StoreConfig) (*Store, error) {
 	if cfg.UnitSize == 0 {
 		cfg.UnitSize = gemmec.DefaultUnitSize
 	}
@@ -154,21 +223,66 @@ func Open(cfg Config) (*Store, error) {
 		}
 	}
 	s := &Store{cfg: cfg, code: code, locks: map[string]*sync.RWMutex{}}
+	s.sched = cfg.Sched
+	if s.sched == nil {
+		s.sched = gemmec.NewScheduler(gemmec.SchedulerConfig{
+			Workers:    cfg.Workers,
+			MaxStreams: cfg.MaxStreams,
+			OnWait:     s.observeSchedWait,
+		})
+		s.ownSched = true
+	}
 	if err := s.ensureDirs(); err != nil {
+		s.Close()
 		return nil, err
 	}
 	// Start the placement rotation where the existing population left off,
 	// so restarts keep spreading load instead of re-piling on node 0.
 	names, err := s.List()
 	if err != nil {
+		s.Close()
 		return nil, err
 	}
 	s.rot = len(names) % cfg.Nodes
+	if cfg.SlabThreshold > 0 {
+		if s.cfg.SlabWindow <= 0 {
+			s.cfg.SlabWindow = 2 * time.Millisecond
+		}
+		if s.cfg.SlabMaxBytes <= 0 {
+			s.cfg.SlabMaxBytes = 4 << 20
+		}
+		s.slabSeq.Store(s.maxSlabSeq())
+		s.slab = startSlabWriter(s)
+	}
 	return s, nil
 }
 
+// Close stops the store's background machinery: the slab writer (any
+// pending batch is committed first) and, when Open built it, the shared
+// scheduler. Idempotent.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		if s.slab != nil {
+			s.slab.stop()
+		}
+		if s.ownSched && s.sched != nil {
+			s.sched.Close()
+		}
+	})
+}
+
 // Config returns the store's configuration.
-func (s *Store) Config() Config { return s.cfg }
+func (s *Store) Config() StoreConfig { return s.cfg }
+
+// Scheduler returns the store's shared encode/decode pool — the HTTP
+// layer's admission gate.
+func (s *Store) Scheduler() *gemmec.Scheduler { return s.sched }
+
+// observeSchedWait is the scheduler's OnWait hook: it mirrors per-task
+// scheduler wait into the metrics histogram once metrics are attached.
+func (s *Store) observeSchedWait(d time.Duration) {
+	s.metrics.ObserveSchedWait(d)
+}
 
 // ensureDirs (re)creates the node and metadata directories. Called on Open
 // and before writes/scrubs so that an operator who nukes a whole node
@@ -278,7 +392,7 @@ func (s *Store) dropLock(key string, l *sync.RWMutex) {
 // fileOpts bundles the store's filesystem seam and shard-read deadline
 // with one request's context for the shardfile layer.
 func (s *Store) fileOpts(ctx context.Context) shardfile.Opts {
-	return shardfile.Opts{Ctx: ctx, FS: s.cfg.FS, ShardReadTimeout: s.cfg.ShardReadTimeout}
+	return shardfile.Opts{Ctx: ctx, FS: s.cfg.FS, ShardReadTimeout: s.cfg.ShardReadTimeout, Sched: s.sched}
 }
 
 // ctxErr reports a dead request context, wrapping its cause.
@@ -300,6 +414,14 @@ func (s *Store) loadMeta(key string) (ObjectMeta, error) {
 	}
 	if err := json.Unmarshal(b, &meta); err != nil {
 		return meta, fmt.Errorf("server: corrupt metadata for %s: %w", key, err)
+	}
+	if meta.Slab != nil {
+		// Packed member: no shard set of its own, just a window into a
+		// slab. The slab's metadata is validated when it is loaded.
+		if meta.Slab.Key == "" || meta.Slab.Offset < 0 || meta.Slab.Size < 0 {
+			return meta, fmt.Errorf("server: metadata for %s has invalid slab ref %+v", key, *meta.Slab)
+		}
+		return meta, nil
 	}
 	if err := meta.Manifest.Validate(); err != nil {
 		return meta, err
@@ -391,6 +513,19 @@ func (s *Store) Put(ctx context.Context, name string, src io.Reader, size int64)
 		// operator clear the object first (Delete handles this state).
 		return ObjectMeta{}, st, err
 	}
+	// Small-object fast path: at or below the slab threshold the object is
+	// group-committed into a shared slab instead of its own shard set. The
+	// PUT still blocks until the batch is durably committed; only the cost
+	// structure changes (one shard set per batch instead of per object).
+	if s.slab != nil && size >= 0 && size <= s.cfg.SlabThreshold {
+		data := make([]byte, size)
+		if _, err := io.ReadFull(src, data); err != nil {
+			return ObjectMeta{}, st, fmt.Errorf("server: reading object body: %w", err)
+		}
+		meta.Placement = nil // members have no shard set of their own
+		packed, err := s.putSlab(ctx, key, meta, oldPaths, data)
+		return packed, st, err
+	}
 	if meta.Placement == nil {
 		meta.Placement = s.placement()
 	}
@@ -465,10 +600,15 @@ type Object struct {
 	openDegraded bool
 	unlock       sync.Once
 	lock         *sync.RWMutex
+	// slabLock is held (shared) when the object is a packed slab member:
+	// sr then reads the slab's shard set and Stream decodes only the
+	// member's window. Lock order is member → slab, matching the flusher
+	// (which takes no member locks) and the slab scrubber (slab only).
+	slabLock *sync.RWMutex
 }
 
 // Size returns the object's payload size in bytes.
-func (o *Object) Size() int64 { return o.Meta.Manifest.FileSize }
+func (o *Object) Size() int64 { return o.Meta.Size() }
 
 // Degraded reports whether serving this object requires reconstruction.
 // After Stream it also covers shards demoted mid-decode.
@@ -488,7 +628,13 @@ func (o *Object) Demoted() []gemmec.Demotion { return o.sr.Demoted() }
 // shards on the fly and (for v2 manifests) verifying every unit's stripe
 // checksum in the same pass. It may be called at most once.
 func (o *Object) Stream(dst io.Writer) (gemmec.StreamStats, error) {
-	st, err := o.sr.Decode(dst, o.s.cfg.Workers)
+	var st gemmec.StreamStats
+	var err error
+	if o.Meta.Slab != nil {
+		st, err = o.sr.DecodeRange(dst, o.s.cfg.Workers, o.Meta.Slab.Offset, o.Meta.Slab.Size)
+	} else {
+		st, err = o.sr.Decode(dst, o.s.cfg.Workers)
+	}
 	o.s.metrics.recordStream("get", st)
 	if len(o.sr.Demoted()) > 0 && !o.openDegraded {
 		// The open looked clean but the decode had to reconstruct around a
@@ -500,19 +646,24 @@ func (o *Object) Stream(dst io.Writer) (gemmec.StreamStats, error) {
 		}
 	}
 	if err == nil {
-		o.s.bytesOut.Add(o.Meta.Manifest.FileSize)
-		o.s.metrics.recordObjectBytes("get", o.Meta.Manifest.FileSize)
+		o.s.bytesOut.Add(o.Size())
+		o.s.metrics.recordObjectBytes("get", o.Size())
 		if o.s.metrics != nil {
-			o.s.metrics.bytesOut.Add(o.Meta.Manifest.FileSize)
+			o.s.metrics.bytesOut.Add(o.Size())
 		}
 	}
 	return st, err
 }
 
-// Close releases the object's shard files and its read lock.
+// Close releases the object's shard files and its read lock(s).
 func (o *Object) Close() error {
 	err := o.sr.Close()
-	o.unlock.Do(o.lock.RUnlock)
+	o.unlock.Do(func() {
+		if o.slabLock != nil {
+			o.slabLock.RUnlock()
+		}
+		o.lock.RUnlock()
+	})
 	return err
 }
 
@@ -544,6 +695,9 @@ func (s *Store) OpenObject(ctx context.Context, name string) (*Object, error) {
 		l.RUnlock()
 		return nil, err
 	}
+	if meta.Slab != nil {
+		return s.openSlabMember(ctx, l, meta)
+	}
 	sr, err := shardfile.OpenStreamPaths(s.shardPaths(key, meta), meta.Manifest, s.fileOpts(ctx))
 	if err != nil {
 		l.RUnlock()
@@ -557,6 +711,39 @@ func (s *Store) OpenObject(ctx context.Context, name string) (*Object, error) {
 		}
 	}
 	return &Object{Meta: meta, s: s, sr: sr, openDegraded: sr.Degraded(), lock: l}, nil
+}
+
+// openSlabMember resolves a packed member's ref to its slab and opens the
+// slab's shard set for a windowed decode. memberLock is the member's
+// shared lock, already held; the slab's shared lock is taken second
+// (member → slab order) and both are released by Object.Close.
+func (s *Store) openSlabMember(ctx context.Context, memberLock *sync.RWMutex, meta ObjectMeta) (*Object, error) {
+	sl := s.lockShared(meta.Slab.Key)
+	fail := func(err error) (*Object, error) {
+		sl.RUnlock()
+		memberLock.RUnlock()
+		return nil, err
+	}
+	slabMeta, err := s.loadMeta(meta.Slab.Key)
+	if err != nil {
+		return fail(err)
+	}
+	if meta.Slab.Offset+meta.Slab.Size > slabMeta.Manifest.FileSize {
+		return fail(fmt.Errorf("server: %s: slab window [%d,+%d) exceeds slab %s payload of %d bytes",
+			meta.Name, meta.Slab.Offset, meta.Slab.Size, meta.Slab.Key, slabMeta.Manifest.FileSize))
+	}
+	sr, err := shardfile.OpenStreamPaths(s.shardPaths(meta.Slab.Key, slabMeta), slabMeta.Manifest, s.fileOpts(ctx))
+	if err != nil {
+		return fail(err)
+	}
+	s.gets.Add(1)
+	if sr.Degraded() {
+		s.degradedGets.Add(1)
+		if s.metrics != nil {
+			s.metrics.degradedGets.Inc()
+		}
+	}
+	return &Object{Meta: meta, s: s, sr: sr, openDegraded: sr.Degraded(), lock: memberLock, slabLock: sl}, nil
 }
 
 // Get streams object name to dst, returning its metadata and the shard
@@ -717,6 +904,11 @@ func (s *Store) ScrubObject(ctx context.Context, name string) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	if meta.Slab != nil {
+		// Packed members have no shard set of their own; the slab pass
+		// scrubs (and if dead, reclaims) the backing slab.
+		return nil, nil
+	}
 	if err := s.ensureDirs(); err != nil {
 		return nil, err
 	}
@@ -742,6 +934,9 @@ type ScrubReport struct {
 	// generations superseded by a committed overwrite, shards of deleted
 	// or never-committed objects, leftover temp files.
 	OrphansRemoved int `json:"orphans_removed,omitempty"`
+	// SlabsReclaimed counts packed-object slabs removed whole because no
+	// live member referenced them anymore.
+	SlabsReclaimed int `json:"slabs_reclaimed,omitempty"`
 }
 
 // ShardsHealed totals the rebuilt shards across the sweep.
@@ -793,6 +988,36 @@ func (s *Store) ScrubAll(ctx context.Context) ScrubReport {
 				rep.Healed = map[string][]int{}
 			}
 			rep.Healed[name] = healed
+		}
+	}
+	// Slab pass: heal damaged slabs like any object, and reclaim the ones
+	// no live member references anymore (the only way dead packed bytes
+	// leave the disk — slabs are immutable, member deletes just unlink).
+	for _, key := range s.listSlabKeys() {
+		if ctx.Err() != nil {
+			break
+		}
+		rep.Objects++
+		healed, reclaimed, err := s.scrubSlab(ctx, key)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				break
+			}
+			if rep.Errors == nil {
+				rep.Errors = map[string]string{}
+			}
+			rep.Errors[key] = err.Error()
+			s.scrubErrors.Add(1)
+			continue
+		}
+		if reclaimed {
+			rep.SlabsReclaimed++
+		}
+		if len(healed) > 0 {
+			if rep.Healed == nil {
+				rep.Healed = map[string][]int{}
+			}
+			rep.Healed[key] = healed
 		}
 	}
 	if ctx.Err() == nil {
@@ -867,6 +1092,11 @@ func (s *Store) Stats() Stats {
 		Gets:           s.gets.Load(),
 		DegradedGets:   s.degradedGets.Load(),
 		Deletes:        s.deletes.Load(),
+		SlabPuts:       s.slabPuts.Load(),
+		SlabFlushes:    s.slabFlushes.Load(),
+		SlabsReclaimed: s.slabsReclaimed.Load(),
+		RequestsShed:   s.sched.Shed(),
+		SchedQueue:     s.sched.QueueDepth(),
 		ScrubCycles:    s.scrubCycles.Load(),
 		ShardsHealed:   s.shardsHealed.Load(),
 		OrphansRemoved: s.orphansRemoved.Load(),
@@ -877,6 +1107,6 @@ func (s *Store) Stats() Stats {
 		DataShards:     s.cfg.K,
 		ParityShards:   s.cfg.R,
 		NodeDirs:       s.cfg.Nodes,
-		StreamWorkers:  s.cfg.Workers,
+		StreamWorkers:  s.sched.Workers(),
 	}
 }

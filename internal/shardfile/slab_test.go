@@ -1,0 +1,177 @@
+package shardfile
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"testing"
+
+	"gemmec"
+)
+
+// slabTestSet packs members into one shard set and returns its directory,
+// manifest, and the member payloads by name.
+func slabTestSet(t *testing.T, sizes []int) (string, Manifest, map[string][]byte) {
+	t.Helper()
+	dir := t.TempDir()
+	var payload []byte
+	var entries []SlabEntry
+	members := map[string][]byte{}
+	rng := rand.New(rand.NewSource(42))
+	for i, sz := range sizes {
+		b := make([]byte, sz)
+		rng.Read(b)
+		name := string(rune('a' + i))
+		entries = append(entries, SlabEntry{Name: name, Offset: int64(len(payload)), Size: int64(sz)})
+		members[name] = b
+		payload = append(payload, b...)
+	}
+	m, _, err := WriteStream(dir, bytes.NewReader(payload), int64(len(payload)), tk, tr, tunit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Slab = entries
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	return dir, m, members
+}
+
+// TestSlabMemberRoundTrip: every member of a packed shard set reads back
+// exactly through the DecodeRange window, healthy and degraded alike.
+func TestSlabMemberRoundTrip(t *testing.T) {
+	sizes := []int{100, 1, tunit, tk*tunit + 33, 0, 4096}
+	dir, m, members := slabTestSet(t, sizes)
+
+	check := func() {
+		t.Helper()
+		for _, e := range m.Slab {
+			sr, err := OpenStreamPaths(shardPaths(dir, m), m, Opts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := sr.DecodeRange(&buf, 2, e.Offset, e.Size); err != nil {
+				sr.Close()
+				t.Fatalf("member %q: %v", e.Name, err)
+			}
+			sr.Close()
+			if !bytes.Equal(buf.Bytes(), members[e.Name]) {
+				t.Fatalf("member %q: got %d bytes, want %d, content mismatch",
+					e.Name, buf.Len(), len(members[e.Name]))
+			}
+		}
+	}
+	check()
+
+	// Degraded: lose one data shard and one parity shard, members still read.
+	if err := os.Remove(ShardPath(dir, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(ShardPath(dir, tk)); err != nil {
+		t.Fatal(err)
+	}
+	check()
+
+	// Scrub heals the losses; members read clean again.
+	healed, err := Scrub(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(healed) != 2 {
+		t.Fatalf("Scrub healed %v, want shards 0 and %d", healed, tk)
+	}
+	check()
+}
+
+// TestSlabManifestValidate: slab entries must tile the payload exactly.
+func TestSlabManifestValidate(t *testing.T) {
+	base := Manifest{Version: ManifestV2, K: tk, R: tr, UnitSize: tunit, FileSize: 10, Stripes: 1,
+		StripeSums: func() [][]uint32 {
+			s := make([][]uint32, tk+tr)
+			for i := range s {
+				s[i] = make([]uint32, 1)
+			}
+			return s
+		}()}
+	good := base
+	good.Slab = []SlabEntry{{Name: "a", Offset: 0, Size: 4}, {Name: "b", Offset: 4, Size: 6}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, slab := range map[string][]SlabEntry{
+		"gap":       {{Name: "a", Offset: 0, Size: 4}, {Name: "b", Offset: 5, Size: 5}},
+		"short":     {{Name: "a", Offset: 0, Size: 4}},
+		"unnamed":   {{Name: "", Offset: 0, Size: 10}},
+		"negative":  {{Name: "a", Offset: 0, Size: -1}},
+		"misplaced": {{Name: "a", Offset: 1, Size: 9}},
+	} {
+		bad := base
+		bad.Slab = slab
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s slab validated", name)
+		}
+	}
+}
+
+// TestSlabFindEntry: lookup by member name.
+func TestSlabFindEntry(t *testing.T) {
+	m := Manifest{Slab: []SlabEntry{{Name: "a", Offset: 0, Size: 4}}}
+	if e, ok := m.FindSlabEntry("a"); !ok || e.Size != 4 {
+		t.Fatalf("FindSlabEntry(a) = %+v, %v", e, ok)
+	}
+	if _, ok := m.FindSlabEntry("zz"); ok {
+		t.Fatal("FindSlabEntry(zz) found a phantom member")
+	}
+}
+
+// TestDecodeRangeBounds: windows outside the payload are rejected.
+func TestDecodeRangeBounds(t *testing.T) {
+	dir, _ := writeStreamTestFile(t, 100)
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := OpenStreamPaths(shardPaths(dir, m), m, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	var buf bytes.Buffer
+	if _, err := sr.DecodeRange(&buf, 1, 50, 51); err == nil {
+		t.Fatal("out-of-range window decoded")
+	}
+}
+
+// TestStreamSchedulerOpt: the shared scheduler drives shardfile streams end
+// to end, producing the same bytes as the per-call worker pool.
+func TestStreamSchedulerOpt(t *testing.T) {
+	s := gemmec.NewScheduler(gemmec.SchedulerConfig{Workers: 2})
+	defer s.Close()
+	dir := t.TempDir()
+	raw := make([]byte, tk*tunit*2+99)
+	rand.New(rand.NewSource(9)).Read(raw)
+	paths := make([]string, tk+tr)
+	for i := range paths {
+		paths[i] = ShardPath(dir, i)
+	}
+	m, _, err := WriteStreamPaths(paths, bytes.NewReader(raw), int64(len(raw)), tk, tr, tunit, 4, Opts{Sched: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	bad, _, err := ReadStreamPaths(paths, m, &buf, 4, Opts{Sched: s})
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("read back: bad=%v err=%v", bad, err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("scheduler-driven stream round-trip mismatch")
+	}
+	if _, _, err := WriteStreamPaths(paths, bytes.NewReader(raw), int64(len(raw)), tk, tr, tunit, 4,
+		Opts{Sched: nil}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -52,6 +52,22 @@ type Opts struct {
 	// device that stopped answering. Zero disables the guard (and its
 	// extra per-refill copy).
 	ShardReadTimeout time.Duration
+	// Sched, when non-nil, runs the encode/decode kernel stage on this
+	// shared worker pool (gemmec.WithStreamScheduler) instead of spawning
+	// a per-call pool sized by the workers argument. This is how a server
+	// multiplexes every request's stripe work onto one bounded goroutine
+	// set; the workers argument is ignored when Sched is set.
+	Sched *gemmec.Scheduler
+}
+
+// streamOpts translates the worker knob into stream options: the shared
+// scheduler when Opts carries one, the legacy per-call worker pool
+// otherwise.
+func (o Opts) streamOpts(workers int) []gemmec.StreamOption {
+	if o.Sched != nil {
+		return []gemmec.StreamOption{gemmec.WithStreamScheduler(o.Sched)}
+	}
+	return []gemmec.StreamOption{gemmec.WithStreamWorkers(workers)} //nolint:staticcheck // legacy path kept for scheduler-less callers
 }
 
 func (o Opts) context() context.Context {
@@ -176,9 +192,9 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 	if size == 0 {
 		src = bytes.NewReader(make([]byte, code.DataSize()))
 	}
-	n, err := code.EncodeStream(bufio.NewReaderSize(src, streamBufSize), writers,
-		gemmec.WithStreamWorkers(workers), gemmec.WithStreamStats(&st),
-		gemmec.WithStreamContext(opt.context()))
+	encOpts := append(opt.streamOpts(workers),
+		gemmec.WithStreamStats(&st), gemmec.WithStreamContext(opt.context()))
+	n, err := code.EncodeStream(bufio.NewReaderSize(src, streamBufSize), writers, encOpts...)
 	if err != nil {
 		return m, st, err
 	}
@@ -325,23 +341,72 @@ func (v *stripeVerifier) VerifyUnit(shard int, stripe int64, unit []byte) error 
 // demotes (cause "stall") any shard whose underlying read outlives the
 // deadline instead of letting it hang the stream.
 func (sr *StreamReader) Decode(dst io.Writer, workers int) (gemmec.StreamStats, error) {
+	return sr.decodeSize(dst, workers, sr.m.FileSize)
+}
+
+// DecodeRange streams only payload bytes [off, off+length) to dst — the
+// read path for one member of a packed (slab) shard set, whose SlabEntry
+// gives the window. The decode stops at the last stripe the window
+// touches, so a member near the front of a large slab pays only a prefix
+// of the slab's decode work. Like Decode it may be called at most once.
+func (sr *StreamReader) DecodeRange(dst io.Writer, workers int, off, length int64) (gemmec.StreamStats, error) {
+	if off < 0 || length < 0 || off+length > sr.m.FileSize {
+		return gemmec.StreamStats{}, fmt.Errorf("shardfile: range [%d,%d) outside payload of %d bytes",
+			off, off+length, sr.m.FileSize)
+	}
+	return sr.decodeSize(&windowWriter{dst: dst, skip: off, n: length}, workers, off+length)
+}
+
+func (sr *StreamReader) decodeSize(dst io.Writer, workers int, size int64) (gemmec.StreamStats, error) {
 	var st gemmec.StreamStats
 	code, err := sr.m.Code()
 	if err != nil {
 		return st, err
 	}
 	out := bufio.NewWriterSize(dst, streamBufSize)
-	opts := []gemmec.StreamOption{gemmec.WithStreamWorkers(workers), gemmec.WithStreamStats(&st),
-		gemmec.WithStreamContext(sr.opt.context())}
+	opts := append(sr.opt.streamOpts(workers),
+		gemmec.WithStreamStats(&st), gemmec.WithStreamContext(sr.opt.context()))
 	if sr.m.StripeVerified() {
 		opts = append(opts, gemmec.WithStreamVerifier(&stripeVerifier{sums: sr.m.StripeSums}))
 	}
-	err = code.DecodeStream(sr.readers, out, sr.m.FileSize, opts...)
+	err = code.DecodeStream(sr.readers, out, size, opts...)
 	sr.recordDemotions(st.Demoted)
 	if err != nil {
 		return st, err
 	}
 	return st, out.Flush()
+}
+
+// windowWriter passes through only bytes [skip, skip+n) of the stream
+// written to it, discarding the rest — the trim that turns a slab-prefix
+// decode into one member's bytes.
+type windowWriter struct {
+	dst  io.Writer
+	skip int64 // bytes still to discard before the window
+	n    int64 // window bytes still to pass through
+}
+
+func (w *windowWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	if w.skip > 0 {
+		if int64(len(p)) <= w.skip {
+			w.skip -= int64(len(p))
+			return total, nil
+		}
+		p = p[w.skip:]
+		w.skip = 0
+	}
+	if w.n > 0 && len(p) > 0 {
+		take := int64(len(p))
+		if take > w.n {
+			take = w.n
+		}
+		if _, err := w.dst.Write(p[:take]); err != nil {
+			return 0, err
+		}
+		w.n -= take
+	}
+	return total, nil
 }
 
 // recordDemotions folds mid-stream demotions into the reader's unusable

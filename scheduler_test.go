@@ -1,0 +1,112 @@
+package gemmec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// encodeShards encodes src and returns the shard bytes, for comparing the
+// scheduler path against the serial baseline.
+func encodeShards(t *testing.T, c *Code, src []byte, opts ...StreamOption) [][]byte {
+	t.Helper()
+	sinks := make([]*bytes.Buffer, c.K()+c.R())
+	writers := make([]io.Writer, len(sinks))
+	for i := range sinks {
+		sinks[i] = &bytes.Buffer{}
+		writers[i] = sinks[i]
+	}
+	if _, err := c.EncodeStream(bytes.NewReader(src), writers, opts...); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, len(sinks))
+	for i, s := range sinks {
+		out[i] = s.Bytes()
+	}
+	return out
+}
+
+// TestSchedulerRoundTrip: streams on a shared scheduler round-trip through
+// losses and produce shard output byte-identical to the serial path.
+func TestSchedulerRoundTrip(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	s := NewScheduler(SchedulerConfig{Workers: 4})
+	defer s.Close()
+	stripe := c.DataSize()
+	for _, size := range []int{0, 1, c.UnitSize(), stripe - 1, stripe, stripe + 1, 3*stripe + 1234} {
+		streamRoundTrip(t, c, size, nil, WithStreamScheduler(s))
+		streamRoundTrip(t, c, size, []int{0, 5}, WithStreamScheduler(s))
+
+		src := make([]byte, size)
+		rand.New(rand.NewSource(int64(size))).Read(src)
+		serial := encodeShards(t, c, src, WithStreamWorkers(1))
+		shared := encodeShards(t, c, src, WithStreamScheduler(s))
+		for i := range serial {
+			if !bytes.Equal(serial[i], shared[i]) {
+				t.Fatalf("size=%d: shard %d differs between serial and scheduler paths", size, i)
+			}
+		}
+	}
+}
+
+// TestSchedulerSharedAcrossStreams: many concurrent streams multiplex onto
+// one pool. Primarily a -race target for the queue-per-stream design.
+func TestSchedulerSharedAcrossStreams(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	s := NewScheduler(SchedulerConfig{Workers: 4})
+	defer s.Close()
+	size := 3*c.DataSize() + 77
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			streamRoundTrip(t, c, size, []int{1}, WithStreamScheduler(s))
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSchedulerAdmission: the public Admit/Release surface sheds past
+// MaxStreams with an ErrOverloaded-classified error.
+func TestSchedulerAdmission(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 1, MaxStreams: 1})
+	defer s.Close()
+	if err := s.Admit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Admit(); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second Admit: got %v, want ErrOverloaded", err)
+	}
+	if got := s.Shed(); got != 1 {
+		t.Fatalf("Shed() = %d, want 1", got)
+	}
+	s.Release()
+	if err := s.Admit(); err != nil {
+		t.Fatalf("Admit after Release: %v", err)
+	}
+	s.Release()
+}
+
+// TestSchedulerNilOption: WithStreamScheduler(nil) is a configuration
+// error, reported before any I/O happens.
+func TestSchedulerNilOption(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	_, err := c.EncodeStream(bytes.NewReader(nil), make([]io.Writer, 0), WithStreamScheduler(nil))
+	if err == nil {
+		t.Fatal("EncodeStream with nil scheduler succeeded")
+	}
+}
+
+// TestSchedulerClosedStillCompletes: a stream attached to an
+// already-closed scheduler falls back to synchronous execution instead of
+// hanging — the shutdown guarantee Close documents.
+func TestSchedulerClosedStillCompletes(t *testing.T) {
+	c := newSmall(t, 4, 2)
+	s := NewScheduler(SchedulerConfig{Workers: 2})
+	s.Close()
+	streamRoundTrip(t, c, 2*c.DataSize()+5, []int{0}, WithStreamScheduler(s))
+}

@@ -35,11 +35,14 @@ type UnitVerifier = pipeline.UnitVerifier
 type streamConfig struct {
 	workers int
 	depth   int
+	sched   *Scheduler
 	pool    *StripePool
 	stats   *StreamStats
 	verify  UnitVerifier
 	ctx     context.Context
 }
+
+var errNilScheduler = fmt.Errorf("gemmec: stream scheduler is nil")
 
 // StreamOption configures EncodeStream and DecodeStream. The zero-option
 // call form uses the defaults documented on each option.
@@ -48,6 +51,14 @@ type StreamOption func(*streamConfig) error
 // WithStreamWorkers sets how many stripes are encoded (or reconstructed)
 // concurrently. 1 selects the serial path (no goroutines). The default is
 // GOMAXPROCS capped at 8.
+//
+// Deprecated: worker count is a process resource, not a stream detail.
+// With n > 1 the stream builds a private per-call scheduler (a pool that
+// lives and dies with the call) — exactly the setup/teardown cost and
+// CPU oversubscription WithStreamScheduler exists to amortize. Share one
+// NewScheduler pool across streams instead; WithStreamWorkers is ignored
+// when a scheduler is attached. Zero-option calls and n == 1 (the serial
+// path) behave byte-identically to previous releases and stay supported.
 func WithStreamWorkers(n int) StreamOption {
 	return func(c *streamConfig) error {
 		if n < 1 {
@@ -61,6 +72,11 @@ func WithStreamWorkers(n int) StreamOption {
 // WithStreamDepth sets the pipeline depth: the maximum number of stripe
 // buffers in flight between the reader and the in-order writer. It is
 // clamped up to the worker count. The default is twice the worker count.
+//
+// Deprecated: depth still works — it bounds the stream's stripe ring
+// under WithStreamScheduler too — but tuning it per call predates the
+// shared-scheduler API and the default is right in practice. Kept as a
+// compatibility shim alongside WithStreamWorkers.
 func WithStreamDepth(n int) StreamOption {
 	return func(c *streamConfig) error {
 		if n < 1 {
@@ -162,7 +178,11 @@ func (c *Code) streamConfig(opts []StreamOption) (streamConfig, error) {
 }
 
 func (cfg streamConfig) pipeline() pipeline.Config {
-	return pipeline.Config{Workers: cfg.workers, Depth: cfg.depth, Pool: cfg.pool, Verify: cfg.verify, Ctx: cfg.ctx}
+	pc := pipeline.Config{Workers: cfg.workers, Depth: cfg.depth, Pool: cfg.pool, Verify: cfg.verify, Ctx: cfg.ctx}
+	if cfg.sched != nil {
+		pc.Sched = cfg.sched.s
+	}
+	return pc
 }
 
 // EncodeStream reads src until EOF, erasure-codes it stripe by stripe, and
