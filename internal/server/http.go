@@ -400,7 +400,11 @@ func (h *handler) wrap(op string, gated bool, fn http.HandlerFunc) http.HandlerF
 				if h.metrics != nil {
 					h.metrics.requestsShed.Inc()
 				}
-				http.Error(iw, err.Error(), http.StatusTooManyRequests)
+				// The admission error's detail (admitted-stream and queue
+				// counts) is server-internal state — operators read it off
+				// /statusz and /metricsz; clients get a stable, opaque
+				// message.
+				http.Error(iw, "overloaded, retry later", http.StatusTooManyRequests)
 				return
 			}
 			defer sc.Release()

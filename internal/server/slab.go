@@ -36,7 +36,10 @@ import (
 // (non-hex, so slabs never appear in the object catalog). Deleting or
 // overwriting a member only rewrites the member's metadata; the slab
 // keeps the dead bytes until the scrubber observes that no live member
-// references it and reclaims the whole slab (store.scrubSlab).
+// references it and reclaims the whole slab (store.scrubSlab). A freshly
+// flushed slab is pinned (Store.pendingSlabs) until every batch member
+// has committed its member metadata, so the scrubber cannot reclaim a
+// slab in the window between the slab commit and the first references.
 //
 // Lock order is member → slab, everywhere: a member read holds the member
 // lock, then takes the slab's read lock. The flusher locks only the fresh
@@ -54,11 +57,15 @@ type slabResult struct {
 }
 
 // slabReq is one small object waiting to be packed. done is buffered so
-// the flusher never blocks on an abandoned waiter.
+// the flusher never blocks on an abandoned waiter. settled is closed by
+// the waiter on every exit from putSlab after a successful submit —
+// member metadata committed, commit failed, or request abandoned — and
+// gates the unpinning of the slab (see flushBatch).
 type slabReq struct {
-	key  string
-	data []byte
-	done chan slabResult
+	key     string
+	data    []byte
+	done    chan slabResult
+	settled chan struct{}
 }
 
 // slabWriter is the store's group-commit engine: one goroutine, one
@@ -171,6 +178,14 @@ func (w *slabWriter) flushBatch(batch []*slabReq) {
 		payload = append(payload, r.data...)
 	}
 	key := fmt.Sprintf("slab_%d", s.slabSeq.Add(1))
+	// Pin the slab before its metadata can become visible on disk: between
+	// the slab commit below and each waiter's own member-metadata commit
+	// (putSlab, after hearing back), a scrub sweep would see a slab with
+	// zero live references and reclaim it — then the PUTs would commit
+	// member metadata pointing at deleted shards and acknowledge lost
+	// data. The pin makes scrubSlab skip the slab until every batch member
+	// has settled.
+	s.pinSlab(key)
 	l := s.lockExclusive(key)
 	err := func() error {
 		defer l.Unlock()
@@ -202,8 +217,8 @@ func (w *slabWriter) flushBatch(batch []*slabReq) {
 	}()
 	if err == nil {
 		s.slabFlushes.Add(1)
-		if s.metrics != nil {
-			s.metrics.slabFlushes.Inc()
+		if mt := s.m(); mt != nil {
+			mt.slabFlushes.Inc()
 		}
 	}
 	off := int64(0)
@@ -215,6 +230,46 @@ func (w *slabWriter) flushBatch(batch []*slabReq) {
 		off += int64(len(r.data))
 		r.done <- res
 	}
+	if err != nil {
+		// Nothing committed: the key never became visible, so unpin now.
+		s.unpinSlab(key)
+		return
+	}
+	// Lift the pin only once every waiter has settled — including waiters
+	// that abandoned the batch on cancellation (their settled channel is
+	// closed by putSlab's defer, and their window simply stays dead until
+	// a later sweep reclaims it). Done off the flusher goroutine so a slow
+	// member commit never stalls the next batch.
+	go func() {
+		for _, r := range batch {
+			<-r.settled
+		}
+		s.unpinSlab(key)
+	}()
+}
+
+// pinSlab marks key ineligible for scrub reclamation (see flushBatch).
+func (s *Store) pinSlab(key string) {
+	s.mu.Lock()
+	s.pendingSlabs[key] = struct{}{}
+	s.mu.Unlock()
+}
+
+// unpinSlab lifts the pin; slab keys are never reused (slabSeq is
+// monotonic and restarts resume past the highest committed key), so a
+// key unpins exactly once and can never be re-pinned.
+func (s *Store) unpinSlab(key string) {
+	s.mu.Lock()
+	delete(s.pendingSlabs, key)
+	s.mu.Unlock()
+}
+
+// slabPinned reports whether key's batch is still settling.
+func (s *Store) slabPinned(key string) bool {
+	s.mu.Lock()
+	_, ok := s.pendingSlabs[key]
+	s.mu.Unlock()
+	return ok
 }
 
 // maxSlabSeq scans the metadata directory for the highest committed slab
@@ -265,10 +320,14 @@ func (s *Store) listSlabKeys() []string {
 // generation and oldPaths the previous generation's shard files, exactly
 // like the direct path.
 func (s *Store) putSlab(ctx context.Context, key string, meta ObjectMeta, oldPaths []string, data []byte) (ObjectMeta, error) {
-	req := &slabReq{key: key, data: data, done: make(chan slabResult, 1)}
+	req := &slabReq{key: key, data: data, done: make(chan slabResult, 1), settled: make(chan struct{})}
 	if err := s.slab.submit(ctx, req); err != nil {
 		return ObjectMeta{}, err
 	}
+	// Once submitted, the flusher pins the batch's slab until every member
+	// settles; signal ours on every exit path — member metadata committed,
+	// commit failed, or request abandoned below.
+	defer close(req.settled)
 	var res slabResult
 	select {
 	case res = <-req.done:
@@ -297,10 +356,11 @@ func (s *Store) putSlab(ctx context.Context, key string, meta ObjectMeta, oldPat
 	s.puts.Add(1)
 	s.slabPuts.Add(1)
 	s.bytesIn.Add(res.ref.Size)
-	s.metrics.recordObjectBytes("put", res.ref.Size)
-	if s.metrics != nil {
-		s.metrics.bytesIn.Add(res.ref.Size)
-		s.metrics.slabPuts.Inc()
+	mt := s.m()
+	mt.recordObjectBytes("put", res.ref.Size)
+	if mt != nil {
+		mt.bytesIn.Add(res.ref.Size)
+		mt.slabPuts.Inc()
 	}
 	return meta, nil
 }
@@ -313,6 +373,14 @@ func (s *Store) putSlab(ctx context.Context, key string, meta ObjectMeta, oldPat
 // would invert the member→slab lock order a packed GET relies on.
 // Reclaimed reports whether the slab was removed.
 func (s *Store) scrubSlab(ctx context.Context, key string) (healed []int, reclaimed bool, err error) {
+	if s.slabPinned(key) {
+		// Freshly flushed: the batch's PUTs have not all committed their
+		// member metadata yet, so "no live references" here would be
+		// indistinguishable from "references still in flight" — reclaiming
+		// would delete shards the PUTs are about to acknowledge. Skip the
+		// whole slab; the next sweep sees it settled.
+		return nil, false, nil
+	}
 	l := s.lockExclusive(key)
 	defer l.Unlock()
 	meta, err := s.loadMeta(key)
@@ -335,15 +403,17 @@ func (s *Store) scrubSlab(ctx context.Context, key string) (healed []int, reclai
 		// Every window is dead (members deleted or overwritten): the slab
 		// is pure garbage. A concurrent packed GET cannot be using it —
 		// it would hold its member's lock, making that member's metadata
-		// (which we just read) still point here.
+		// (which we just read) still point here. An in-flight packed PUT
+		// cannot be about to reference it either: its batch's slab stays
+		// pinned (checked above) until every member metadata has committed.
 		if err := os.Remove(s.metaPath(key)); err != nil {
 			return nil, false, err
 		}
 		s.removeFiles(s.shardPaths(key, meta))
 		s.dropLock(key, l)
 		s.slabsReclaimed.Add(1)
-		if s.metrics != nil {
-			s.metrics.slabsReclaimed.Inc()
+		if mt := s.m(); mt != nil {
+			mt.slabsReclaimed.Inc()
 		}
 		return nil, true, nil
 	}

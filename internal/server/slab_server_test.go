@@ -183,6 +183,101 @@ func TestSlabPackUnpack(t *testing.T) {
 	}
 }
 
+// TestScrubSkipsPinnedSlab pins down the slab-commit race the scrubber
+// must not lose: between a batch's slab commit and its members' own
+// metadata commits, the slab has zero on-disk references, and a sweep in
+// that window must skip it (pinned) rather than reclaim it out from
+// under PUTs that are about to be acknowledged.
+func TestScrubSkipsPinnedSlab(t *testing.T) {
+	s := newSlabStore(t, 1024)
+	ctx := context.Background()
+
+	data := []byte("pinned")
+	mustPut(t, s, "member", data)
+	meta, err := s.Stat("member")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Slab == nil {
+		t.Fatal("member not packed")
+	}
+	key := meta.Slab.Key
+
+	// Recreate the commit window: slab on disk, no member metadata
+	// referencing it. From the scrubber's view this is indistinguishable
+	// from a dead slab — only the pin says the references are in flight.
+	if err := s.Delete(ctx, "member"); err != nil {
+		t.Fatal(err)
+	}
+	s.pinSlab(key)
+	if _, reclaimed, err := s.scrubSlab(ctx, key); err != nil || reclaimed {
+		t.Fatalf("scrub of pinned slab: reclaimed=%v err=%v", reclaimed, err)
+	}
+	if _, err := os.Stat(s.metaPath(key)); err != nil {
+		t.Fatalf("pinned slab metadata gone: %v", err)
+	}
+	s.unpinSlab(key)
+	if _, reclaimed, err := s.scrubSlab(ctx, key); err != nil || !reclaimed {
+		t.Fatalf("scrub of settled dead slab: reclaimed=%v err=%v", reclaimed, err)
+	}
+}
+
+// TestSlabPutScrubRace races packed PUTs against continuous scrub sweeps:
+// every acknowledged PUT must read back byte-identical afterwards, i.e. no
+// sweep may have reclaimed a slab whose batch was still committing member
+// metadata (the window TestScrubSkipsPinnedSlab isolates).
+func TestSlabPutScrubRace(t *testing.T) {
+	s := newSlabStore(t, 1024)
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var scrubWG sync.WaitGroup
+	scrubWG.Add(1)
+	go func() {
+		defer scrubWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.ScrubAll(ctx)
+			}
+		}
+	}()
+
+	const writers, puts = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < puts; i++ {
+				name := fmt.Sprintf("race-%d-%d", w, i)
+				data := randBytes(int64(w*1000+i), 64+i)
+				if _, _, err := s.Put(ctx, name, bytes.NewReader(data), int64(len(data))); err != nil {
+					t.Errorf("put %s: %v", name, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrubWG.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < puts; i++ {
+			name := fmt.Sprintf("race-%d-%d", w, i)
+			got, _ := mustGet(t, s, name)
+			if !bytes.Equal(got, randBytes(int64(w*1000+i), 64+i)) {
+				t.Fatalf("%s: content mismatch after scrub race", name)
+			}
+		}
+	}
+}
+
 // TestSlabOverHTTP drives packed objects through the real handler: PUT,
 // GET (body + X-Gemmec-Size), HEAD Content-Length, catalog size, DELETE.
 func TestSlabOverHTTP(t *testing.T) {

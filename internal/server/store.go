@@ -177,6 +177,13 @@ type Store struct {
 	mu    sync.Mutex
 	rot   int // rotating placement offset, cluster-style
 	locks map[string]*sync.RWMutex
+	// pendingSlabs pins freshly flushed slabs (guarded by mu): a slab key
+	// is pinned before its metadata commits and unpinned only after every
+	// batch member has settled — committed its own member metadata or
+	// abandoned the request — so the scrubber never mistakes "references
+	// still in flight" for "no live references" and reclaims a slab whose
+	// PUTs are about to be acknowledged.
+	pendingSlabs map[string]struct{}
 
 	closeOnce sync.Once
 
@@ -189,16 +196,24 @@ type Store struct {
 
 	// metrics, when set, mirrors the counters above into the /metricsz
 	// registry and adds what flat counters cannot carry (stall and size
-	// histograms, demotion causes). Nil disables recording.
-	metrics *Metrics
+	// histograms, demotion causes). Atomic because background readers (the
+	// scheduler's OnWait hook, the slab writer) start in Open and may
+	// observe work before SetMetrics runs; nil disables recording.
+	metrics atomic.Pointer[Metrics]
 }
 
-// SetMetrics attaches the observability bundle. Call before serving
-// traffic; the store does not synchronize the pointer itself.
+// SetMetrics attaches the observability bundle. Safe to call at any
+// point relative to serving traffic; work recorded before attachment is
+// simply not mirrored into the registry.
 func (s *Store) SetMetrics(m *Metrics) {
-	s.metrics = m
+	s.metrics.Store(m)
 	m.RegisterStore(s)
 }
+
+// m returns the attached metrics bundle, nil until SetMetrics. Every
+// *Metrics method is nil-receiver safe; only direct counter field access
+// needs the nil check.
+func (s *Store) m() *Metrics { return s.metrics.Load() }
 
 // Open opens (creating if necessary) the store rooted at cfg.Root. The
 // store owns background machinery — the shared scheduler (unless
@@ -222,7 +237,7 @@ func Open(cfg StoreConfig) (*Store, error) {
 			cfg.Workers = 8
 		}
 	}
-	s := &Store{cfg: cfg, code: code, locks: map[string]*sync.RWMutex{}}
+	s := &Store{cfg: cfg, code: code, locks: map[string]*sync.RWMutex{}, pendingSlabs: map[string]struct{}{}}
 	s.sched = cfg.Sched
 	if s.sched == nil {
 		s.sched = gemmec.NewScheduler(gemmec.SchedulerConfig{
@@ -281,7 +296,7 @@ func (s *Store) Scheduler() *gemmec.Scheduler { return s.sched }
 // observeSchedWait is the scheduler's OnWait hook: it mirrors per-task
 // scheduler wait into the metrics histogram once metrics are attached.
 func (s *Store) observeSchedWait(d time.Duration) {
-	s.metrics.ObserveSchedWait(d)
+	s.m().ObserveSchedWait(d)
 }
 
 // ensureDirs (re)creates the node and metadata directories. Called on Open
@@ -553,10 +568,11 @@ func (s *Store) Put(ctx context.Context, name string, src io.Reader, size int64)
 	s.removeFiles(oldPaths)
 	s.puts.Add(1)
 	s.bytesIn.Add(m.FileSize)
-	s.metrics.recordStream("put", st)
-	s.metrics.recordObjectBytes("put", m.FileSize)
-	if s.metrics != nil {
-		s.metrics.bytesIn.Add(m.FileSize)
+	mt := s.m()
+	mt.recordStream("put", st)
+	mt.recordObjectBytes("put", m.FileSize)
+	if mt != nil {
+		mt.bytesIn.Add(m.FileSize)
 	}
 	return meta, st, nil
 }
@@ -635,21 +651,22 @@ func (o *Object) Stream(dst io.Writer) (gemmec.StreamStats, error) {
 	} else {
 		st, err = o.sr.Decode(dst, o.s.cfg.Workers)
 	}
-	o.s.metrics.recordStream("get", st)
+	mt := o.s.m()
+	mt.recordStream("get", st)
 	if len(o.sr.Demoted()) > 0 && !o.openDegraded {
 		// The open looked clean but the decode had to reconstruct around a
 		// mid-stream failure: that is a degraded read, even though we only
 		// learned it after the headers went out.
 		o.s.degradedGets.Add(1)
-		if o.s.metrics != nil {
-			o.s.metrics.degradedGets.Inc()
+		if mt != nil {
+			mt.degradedGets.Inc()
 		}
 	}
 	if err == nil {
 		o.s.bytesOut.Add(o.Size())
-		o.s.metrics.recordObjectBytes("get", o.Size())
-		if o.s.metrics != nil {
-			o.s.metrics.bytesOut.Add(o.Size())
+		mt.recordObjectBytes("get", o.Size())
+		if mt != nil {
+			mt.bytesOut.Add(o.Size())
 		}
 	}
 	return st, err
@@ -706,8 +723,8 @@ func (s *Store) OpenObject(ctx context.Context, name string) (*Object, error) {
 	s.gets.Add(1)
 	if sr.Degraded() {
 		s.degradedGets.Add(1)
-		if s.metrics != nil {
-			s.metrics.degradedGets.Inc()
+		if mt := s.m(); mt != nil {
+			mt.degradedGets.Inc()
 		}
 	}
 	return &Object{Meta: meta, s: s, sr: sr, openDegraded: sr.Degraded(), lock: l}, nil
@@ -739,8 +756,8 @@ func (s *Store) openSlabMember(ctx context.Context, memberLock *sync.RWMutex, me
 	s.gets.Add(1)
 	if sr.Degraded() {
 		s.degradedGets.Add(1)
-		if s.metrics != nil {
-			s.metrics.degradedGets.Inc()
+		if mt := s.m(); mt != nil {
+			mt.degradedGets.Inc()
 		}
 	}
 	return &Object{Meta: meta, s: s, sr: sr, openDegraded: sr.Degraded(), lock: memberLock, slabLock: sl}, nil
@@ -963,7 +980,7 @@ func (s *Store) ScrubAll(ctx context.Context) ScrubReport {
 		rep.Errors = map[string]string{"<catalog>": err.Error()}
 		s.scrubErrors.Add(1)
 		done := time.Now()
-		s.metrics.recordScrub(rep, done.Sub(start), done)
+		s.m().recordScrub(rep, done.Sub(start), done)
 		return rep
 	}
 	for _, name := range names {
@@ -1025,7 +1042,7 @@ func (s *Store) ScrubAll(ctx context.Context) ScrubReport {
 	}
 	s.scrubCycles.Add(1)
 	done := time.Now()
-	s.metrics.recordScrub(rep, done.Sub(start), done)
+	s.m().recordScrub(rep, done.Sub(start), done)
 	return rep
 }
 
