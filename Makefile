@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot stress-fault stress-load bench bench-json ci
+.PHONY: all build vet test race race-hot stress-fault stress-load stress-cluster bench bench-json ci
 
 all: build
 
@@ -41,6 +41,17 @@ stress-load:
 	$(GO) test -race -count=2 -run 'Sched|Queue|Admission|Slab|Starve|BoundedGoroutines|Scheduler|Overload' \
 		./internal/sched ./internal/server .
 
+# Seeded multi-peer cluster drill under -race: quorum writes abandoned
+# cleanly across a partition fired mid-PUT (no committed metadata, no
+# orphaned shards), slow/torn peers demoted mid-stream, degraded reads
+# over real peer HTTP, and rebuild-to-empty-node byte-identity — plus the
+# admission-control 429 guarantee in gateway mode. Fault injection is
+# deterministic (FaultTransport rules, seeded payloads), so a failure
+# here replays locally byte for byte.
+stress-cluster:
+	$(GO) test -race -count=2 -run 'TestCluster|TestQuorum|TestTorn|TestGateway|TestPeerAPIAuth|TestFault|TestPlacement' \
+		./internal/server ./internal/peer
+
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
@@ -49,13 +60,16 @@ bench:
 # path's PUT/GET latency percentiles clean vs degraded through the full
 # daemon stack (BENCH_server.json), and the heavy-traffic open-loop run —
 # sustained RPS, small/large tails, shed count, goroutine bound
-# (BENCH_load.json). BENCH_ARGS="-quick" shrinks all three for smoke runs.
+# (BENCH_load.json), and the networked 3-peer cluster's gateway latency +
+# rebuild MB/s (BENCH_cluster.json). BENCH_ARGS="-quick" shrinks all four
+# for smoke runs.
 bench-json:
 	$(GO) run ./cmd/ecbench -exp decode-json -json BENCH_decode.json $(BENCH_ARGS)
 	$(GO) run ./cmd/ecbench -exp server-json -json BENCH_server.json $(BENCH_ARGS)
 	$(GO) run ./cmd/ecbench -exp load-json -json BENCH_load.json $(BENCH_ARGS)
+	$(GO) run ./cmd/ecbench -exp cluster-json -json BENCH_cluster.json $(BENCH_ARGS)
 
 # The allocation guards on the streaming hot paths (TestStreamSteadyStateAllocs,
 # TestDecodeStreamSteadyStateAllocs) run as part of `test`, so `ci` gates on
 # both the encode and the verified-decode paths staying allocation-free.
-ci: build vet test race-hot stress-fault stress-load
+ci: build vet test race-hot stress-fault stress-load stress-cluster

@@ -38,6 +38,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -275,6 +276,43 @@ func httpError(op string, resp *http.Response) error {
 	return fmt.Errorf("%s: server returned %s: %s", op, resp.Status, strings.TrimSpace(string(body)))
 }
 
+// doRetry429 runs build to make a fresh request and sends it, honoring
+// admission-control shedding: a 429 response is retried up to retries
+// times, sleeping whatever the server's Retry-After header asks (default
+// 1s) between attempts. Only 429 is retried here — transport errors and
+// other statuses keep their original fail-fast behavior — and build runs
+// once per attempt so a retried PUT re-reads its (rewound) body.
+func doRetry429(ctx context.Context, retries int, build func() (*http.Request, error)) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= retries {
+			return resp, nil
+		}
+		delay := time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+				delay = time.Duration(secs) * time.Second
+			}
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+		resp.Body.Close()
+		fmt.Fprintf(os.Stderr, "eccli: server overloaded (429), retrying in %v (attempt %d of %d)\n",
+			delay, attempt+1, retries)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
 // putResponse mirrors the server's PUT reply; Stats carries the encode
 // pipeline's accounting for -v.
 type putResponse struct {
@@ -298,6 +336,8 @@ func cmdPut(args []string) error {
 	in := fs.String("in", "", "input file (default: stdin)")
 	verbose := fs.Bool("v", false, "print the server's stream statistics to stderr")
 	timeout := fs.Duration("timeout", 0, "abort the upload after this long (0 = no deadline; Ctrl-C always cancels)")
+	retries := fs.Int("retries", 3,
+		"retry a 429-shed request this many times, honoring the server's Retry-After (stdin uploads never retry: the body cannot be replayed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -307,10 +347,10 @@ func cmdPut(args []string) error {
 	}
 	ctx, cancel := cliContext(*timeout)
 	defer cancel()
-	var src io.Reader = os.Stdin
+	var f *os.File
 	size := int64(-1)
 	if *in != "" {
-		f, err := os.Open(*in)
+		f, err = os.Open(*in)
 		if err != nil {
 			return err
 		}
@@ -319,14 +359,26 @@ func cmdPut(args []string) error {
 		if err != nil {
 			return err
 		}
-		src, size = f, fi.Size()
+		size = fi.Size()
+	} else {
+		// A stdin body cannot be rewound for a second attempt.
+		*retries = 0
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, src)
-	if err != nil {
-		return err
-	}
-	req.ContentLength = size
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := doRetry429(ctx, *retries, func() (*http.Request, error) {
+		src := io.Reader(os.Stdin)
+		if f != nil {
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				return nil, err
+			}
+			src = f
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, src)
+		if err != nil {
+			return nil, err
+		}
+		req.ContentLength = size
+		return req, nil
+	})
 	if err != nil {
 		return fmt.Errorf("put: %w", err)
 	}
@@ -360,6 +412,8 @@ func cmdGet(args []string) error {
 	out := fs.String("out", "", "output file (default: stdout)")
 	verbose := fs.Bool("v", false, "print the stream's trailer statistics (stalls, demotions) to stderr")
 	timeout := fs.Duration("timeout", 0, "abort the download after this long (0 = no deadline; Ctrl-C always cancels)")
+	retries := fs.Int("retries", 3,
+		"retry a 429-shed request this many times, honoring the server's Retry-After")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -369,11 +423,9 @@ func cmdGet(args []string) error {
 	}
 	ctx, cancel := cliContext(*timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := doRetry429(ctx, *retries, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	})
 	if err != nil {
 		return fmt.Errorf("get: %w", err)
 	}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gemmec/internal/obs"
+	"gemmec/internal/peer"
+	"gemmec/internal/server"
+)
+
+// clusterOpts carries the flag values cluster mode consumes.
+type clusterOpts struct {
+	addr, root                string
+	k, r, unit                int
+	workers, maxQueue         int
+	peers, peersFile          string
+	peerID                    int
+	secret                    string
+	writeQuorum               int
+	rebuildNode               int
+	scrubEvery                time.Duration
+	drain                     time.Duration
+	debugAddr                 string
+	slowReq                   time.Duration
+	accessLog                 bool
+	accessLogFile             string
+	reqTimeout                time.Duration
+	maxObject                 int64
+	readHeaderTimeout         time.Duration
+	idleTimeout, writeTimeout time.Duration
+}
+
+// clusterMain runs ecserver as one member of a networked cluster: a peer
+// (serving the internal shard-transfer API from its local shard store)
+// and a gateway (serving the client object API by striping shards across
+// the ring). With -rebuild-node it instead performs one rebuild of the
+// named member and exits.
+func clusterMain(logger *log.Logger, o clusterOpts) {
+	var (
+		members []peer.Member
+		err     error
+	)
+	if o.peersFile != "" {
+		members, err = peer.LoadMembers(o.peersFile)
+	} else {
+		members, err = peer.ParseMembers(o.peers)
+	}
+	if err != nil {
+		logger.Fatalf("ecserver: %v", err)
+	}
+	ring, err := peer.NewRing(members)
+	if err != nil {
+		logger.Fatalf("ecserver: %v", err)
+	}
+	self, ok := ring.Member(o.peerID)
+	if !ok {
+		logger.Fatalf("ecserver: -peer-id %d is not in the membership (have %d members)", o.peerID, ring.Len())
+	}
+	if o.secret == "" {
+		logger.Printf("ecserver: WARNING: cluster mode without -cluster-secret — the internal peer API is unauthenticated")
+	}
+
+	// A one-shot rebuild (-rebuild-node) is a coordinator, not a member:
+	// it owns no shard data, so every member — including the one named by
+	// -peer-id — is reached over HTTP and -root is never opened. A serving
+	// process short-circuits its own member through the local store.
+	var (
+		ps         *server.PeerStore
+		transports = make(map[int]peer.Transport, ring.Len())
+		clients    []*peer.Client
+	)
+	if o.rebuildNode < 0 {
+		ps, err = server.OpenPeerStore(o.root)
+		if err != nil {
+			logger.Fatalf("ecserver: %v", err)
+		}
+	}
+	for _, m := range ring.Members() {
+		if ps != nil && m.ID == self.ID {
+			transports[m.ID] = server.NewLocalTransport(ps)
+			continue
+		}
+		c := peer.NewClient(m, peer.ClientConfig{Secret: o.secret})
+		clients = append(clients, c)
+		transports[m.ID] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	gw, err := server.NewGateway(server.GatewayConfig{
+		Ring:        ring,
+		Transports:  transports,
+		SelfID:      self.ID,
+		K:           o.k,
+		R:           o.r,
+		UnitSize:    o.unit,
+		Workers:     o.workers,
+		MaxStreams:  o.maxQueue,
+		WriteQuorum: o.writeQuorum,
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("ecserver: %v", err)
+	}
+	defer gw.Close()
+
+	if o.rebuildNode >= 0 {
+		// One-shot recovery: reconstruct every shard the named member should
+		// hold, push them to its current address, print the stats, exit.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		logger.Printf("ecserver: rebuilding member %d across %d members...", o.rebuildNode, ring.Len())
+		st, err := gw.RebuildNode(ctx, o.rebuildNode)
+		if err != nil {
+			logger.Fatalf("ecserver: rebuild: %v", err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(st) //nolint:errcheck
+		logger.Printf("ecserver: rebuilt %d shard(s) across %d object(s): %d bytes read, %d written (amplification %.2f)",
+			st.ShardsRebuilt, st.Objects, st.BytesRead, st.BytesWritten, st.Amplification())
+		if len(st.Errors) > 0 {
+			logger.Fatalf("ecserver: rebuild left %d object(s) unrepaired", len(st.Errors))
+		}
+		return
+	}
+
+	metrics := server.NewMetrics(nil)
+	gw.SetMetrics(metrics)
+	logger.Printf("ecserver: cluster member %d (of %d) gateway on %s (k=%d r=%d unit=%d, write quorum k+%d)",
+		self.ID, ring.Len(), o.addr, o.k, o.r, o.unit, o.writeQuorum)
+
+	var scrubber *server.Scrubber
+	if o.scrubEvery > 0 {
+		scrubber = server.StartScrubber(gw, o.scrubEvery, logger.Printf)
+		logger.Printf("ecserver: background cluster repair sweep every ~%v (jittered)", o.scrubEvery)
+	}
+
+	hcfg := server.Config{
+		Logf:                 logger.Printf,
+		Metrics:              metrics,
+		Scrubber:             scrubber,
+		SlowRequestThreshold: o.slowReq,
+		RequestTimeout:       o.reqTimeout,
+		MaxObjectSize:        o.maxObject,
+	}
+	if o.accessLog {
+		dst := os.Stderr
+		if o.accessLogFile != "" {
+			f, err := os.OpenFile(o.accessLogFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				logger.Fatalf("ecserver: %v", err)
+			}
+			defer f.Close()
+			dst = f
+		}
+		hcfg.AccessLog = obs.NewLogger(dst)
+	}
+
+	if o.debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/metricsz", metrics.Registry.Handler())
+		go func() {
+			logger.Printf("ecserver: debug mux (pprof, metricsz) on %s", o.debugAddr)
+			if err := http.ListenAndServe(o.debugAddr, dbg); err != nil {
+				logger.Printf("ecserver: debug mux: %v", err)
+			}
+		}()
+	}
+
+	// One listener carries both roles: the peer API under /internal/ (other
+	// members' shard traffic) and the client object API everywhere else.
+	mux := http.NewServeMux()
+	mux.Handle("/internal/", server.NewPeerAPI(ps, o.secret, logger.Printf))
+	mux.Handle("/", server.NewBackendHandler(gw, hcfg))
+
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	srv := &http.Server{
+		Addr:              o.addr,
+		Handler:           mux,
+		ReadHeaderTimeout: o.readHeaderTimeout,
+		IdleTimeout:       o.idleTimeout,
+		WriteTimeout:      o.writeTimeout,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		logger.Fatalf("ecserver: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("ecserver: shutting down, draining in-flight requests (timeout %v)", o.drain)
+	dctx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("ecserver: drain incomplete (%v), canceling in-flight requests", err)
+		cancelBase()
+		srv.Close()
+	}
+	if scrubber != nil {
+		scrubber.Stop()
+	}
+	gst, _ := gw.StatusSnapshot().(server.GatewayStats)
+	pst := ps.Stats()
+	fmt.Fprintf(os.Stderr,
+		"ecserver: exiting — member %d: %d puts, %d gets (%d degraded), %d quorum failures; peer store: %d shard puts, %d shard gets\n",
+		self.ID, gst.Puts, gst.Gets, gst.DegradedGets, gst.QuorumFailures, pst.ShardPuts, pst.ShardGets)
+}

@@ -19,6 +19,17 @@
 // GET /metricsz (Prometheus text format). SIGINT/SIGTERM drain in-flight
 // requests and the in-flight scrub sweep before exiting.
 //
+// Cluster mode (-peers or -peers-file) turns N ecserver processes into
+// one erasure-coded cluster of real networked peers: every process
+// stores individual shards for the ring (the /internal/ shard-transfer
+// API, authenticated by -cluster-secret) and any of them serves as a
+// client-facing gateway, striping each object's k+r shards across
+// distinct members. Writes commit on a k+(-write-quorum) shard-ack
+// quorum and are abandoned cleanly otherwise; reads fetch surviving
+// shards from live peers and reconstruct transparently; a lost member is
+// restored with -rebuild-node (or POST /rebuild/{id}). A three-peer
+// walkthrough lives in the README's Cluster section.
+//
 // Observability: every request gets an X-Gemmec-Request-Id and a JSON
 // access-log line on stderr (silence with -access-log=false or redirect
 // with -access-log-file); requests slower than -slow-request are called
@@ -85,9 +96,33 @@ func main() {
 		"how long an idle keep-alive connection is held open (0 disables)")
 	writeTimeout := flag.Duration("write-timeout", 0,
 		"hard cap on writing one whole response; 0 (default) leaves large streaming GETs unbounded — prefer -request-timeout")
+	peers := flag.String("peers", "",
+		"cluster membership as id=url pairs (\"0=http://a:8080,1=http://b:8080,...\"); enables cluster mode")
+	peersFile := flag.String("peers-file", "",
+		"file with one id=url member per line (# comments); enables cluster mode")
+	peerID := flag.Int("peer-id", -1, "this process's member id in the cluster (required with -peers/-peers-file)")
+	clusterSecret := flag.String("cluster-secret", "",
+		"shared secret authenticating the internal peer API (empty disables auth — trusted networks only)")
+	writeQuorum := flag.Int("write-quorum", 1,
+		"q in the k+q shard acks a cluster PUT needs to commit (clamped to [0, r])")
+	rebuildNode := flag.Int("rebuild-node", -1,
+		"rebuild every shard this member id should hold, print the stats, and exit (cluster mode only; runs as a coordinator over HTTP — -root is not used)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *peers != "" || *peersFile != "" {
+		clusterMain(logger, clusterOpts{
+			addr: *addr, root: *root, k: *k, r: *r, unit: *unit,
+			workers: *workers, maxQueue: *maxQueue,
+			peers: *peers, peersFile: *peersFile, peerID: *peerID,
+			secret: *clusterSecret, writeQuorum: *writeQuorum, rebuildNode: *rebuildNode,
+			scrubEvery: *scrubEvery, drain: *drain, debugAddr: *debugAddr,
+			slowReq: *slowReq, accessLog: *accessLog, accessLogFile: *accessLogFile,
+			reqTimeout: *reqTimeout, maxObject: *maxObject,
+			readHeaderTimeout: *readHeaderTimeout, idleTimeout: *idleTimeout, writeTimeout: *writeTimeout,
+		})
+		return
+	}
 	store, err := server.Open(server.StoreConfig{
 		Root:             *root,
 		Nodes:            *nodes,

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gemmec/internal/peer"
+	"gemmec/internal/server"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "cluster-json",
+		Paper: "§8 future work (integrate into real storage systems): the networked-cluster serving path",
+		Title: "Networked 3-peer cluster: gateway PUT/GET/degraded-GET latency, node-rebuild MB/s",
+		Run:   runClusterJSON,
+	})
+}
+
+// clusterJSONReport is the machine-readable result emitted to
+// Config.JSONPath (BENCH_cluster.json): latency percentiles through the
+// full networked gateway path — HTTP object API in front, real peer HTTP
+// shard transfers behind — plus the throughput and amplification of a
+// whole-node rebuild.
+type clusterJSONReport struct {
+	Experiment  string `json:"experiment"`
+	Peers       int    `json:"peers"`
+	K           int    `json:"k"`
+	R           int    `json:"r"`
+	WriteQuorum int    `json:"write_quorum"`
+	UnitSize    int    `json:"unit_size"`
+	ObjectBytes int    `json:"object_bytes"`
+	Samples     int    `json:"samples"`
+
+	PutP50Ms float64 `json:"put_p50_ms"`
+	PutP99Ms float64 `json:"put_p99_ms"`
+	GetP50Ms float64 `json:"get_p50_ms"`
+	GetP99Ms float64 `json:"get_p99_ms"`
+	// Degraded GETs run with one peer's shard store wiped: every stripe
+	// reconstructs one remote shard.
+	DegradedGetP50Ms float64 `json:"degraded_get_p50_ms"`
+	DegradedGetP99Ms float64 `json:"degraded_get_p99_ms"`
+
+	// One full -rebuild-node recovery of the wiped member.
+	RebuildObjects      int     `json:"rebuild_objects"`
+	RebuildShards       int     `json:"rebuild_shards"`
+	RebuildMBps         float64 `json:"rebuild_mbps"`
+	RepairAmplification float64 `json:"repair_amplification"`
+	RebuildBytesWritten int64   `json:"rebuild_bytes_written"`
+	RebuildWallTimeMs   float64 `json:"rebuild_wall_time_ms"`
+}
+
+// runClusterJSON measures the distributed serving path end to end: a
+// 3-peer cluster of in-process PeerStores behind real HTTP peer APIs,
+// fronted by a gateway reached over HTTP. PUT latency includes the
+// quorum fan-out (k+r shard uploads plus metadata broadcast); degraded
+// GET includes remote reconstruction; the rebuild figure is the MB/s at
+// which a wiped member's shards are regenerated from its peers.
+func runClusterJSON(w io.Writer, cfg Config) error {
+	const (
+		peers, k, r = 3, 2, 1
+		quorum      = 1 // commit at k+1 = all shards: strongest write, worst case
+		stripes     = 16
+	)
+	samples := cfg.LatencySamples
+	if samples <= 0 {
+		samples = 50
+	}
+	root, err := os.MkdirTemp("", "gemmec-bench-cluster")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	const secret = "bench-cluster-secret"
+	members := make([]peer.Member, peers)
+	stores := make([]*server.PeerStore, peers)
+	for i := 0; i < peers; i++ {
+		ps, err := server.OpenPeerStore(filepath.Join(root, fmt.Sprintf("peer%d", i)))
+		if err != nil {
+			return err
+		}
+		stores[i] = ps
+		srv := httptest.NewServer(server.NewPeerAPI(ps, secret, nil))
+		defer srv.Close()
+		members[i] = peer.Member{ID: i, Addr: srv.URL}
+	}
+	ring, err := peer.NewRing(members)
+	if err != nil {
+		return err
+	}
+	transports := map[int]peer.Transport{0: server.NewLocalTransport(stores[0])}
+	for i := 1; i < peers; i++ {
+		c := peer.NewClient(members[i], peer.ClientConfig{Secret: secret})
+		defer c.Close()
+		transports[i] = c
+	}
+	gw, err := server.NewGateway(server.GatewayConfig{
+		Ring: ring, Transports: transports, SelfID: 0,
+		K: k, R: r, UnitSize: cfg.UnitSize, WriteQuorum: quorum,
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	ts := httptest.NewServer(server.NewBackendHandler(gw, server.Config{}))
+	defer ts.Close()
+	url := ts.URL + "/o/bench-object"
+
+	payload := RandomBytes(cfg.Seed, stripes*k*cfg.UnitSize)
+	put := func() error {
+		req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.ContentLength = int64(len(payload))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("put: status %s", resp.Status)
+		}
+		return nil
+	}
+	get := func() error {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			return fmt.Errorf("get: status %s", resp.Status)
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+
+	putLats, err := Latencies(samples, put)
+	if err != nil {
+		return err
+	}
+	getLats, err := Latencies(samples, get)
+	if err != nil {
+		return err
+	}
+
+	// Wipe one remote member's shard store: every stripe now reconstructs
+	// that member's shard from the survivors.
+	const victim = 1
+	if err := stores[victim].WipeShards(); err != nil {
+		return err
+	}
+	degLats, err := Latencies(samples, get)
+	if err != nil {
+		return err
+	}
+
+	// Whole-node rebuild of the wiped member, timed wall-clock.
+	rebStart := time.Now()
+	rst, err := gw.RebuildNode(context.Background(), victim)
+	if err != nil {
+		return err
+	}
+	rebWall := time.Since(rebStart)
+	if len(rst.Errors) > 0 {
+		return fmt.Errorf("rebuild left %d object(s) unrepaired", len(rst.Errors))
+	}
+	rebMBps := float64(rst.BytesWritten) / rebWall.Seconds() / 1e6
+
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	rep := clusterJSONReport{
+		Experiment:          "cluster-json",
+		Peers:               peers,
+		K:                   k,
+		R:                   r,
+		WriteQuorum:         quorum,
+		UnitSize:            cfg.UnitSize,
+		ObjectBytes:         len(payload),
+		Samples:             samples,
+		PutP50Ms:            ms(Percentile(putLats, 50)),
+		PutP99Ms:            ms(Percentile(putLats, 99)),
+		GetP50Ms:            ms(Percentile(getLats, 50)),
+		GetP99Ms:            ms(Percentile(getLats, 99)),
+		DegradedGetP50Ms:    ms(Percentile(degLats, 50)),
+		DegradedGetP99Ms:    ms(Percentile(degLats, 99)),
+		RebuildObjects:      rst.Objects,
+		RebuildShards:       rst.ShardsRebuilt,
+		RebuildMBps:         rebMBps,
+		RepairAmplification: rst.Amplification(),
+		RebuildBytesWritten: rst.BytesWritten,
+		RebuildWallTimeMs:   ms(rebWall),
+	}
+
+	t := NewTable(fmt.Sprintf("E-CLUSTER-JSON: 3-peer networked gateway (k=%d, r=%d, quorum k+%d, %d B object, %d samples)",
+		k, r, quorum, len(payload), samples),
+		"operation", "p50", "p99")
+	rowf := func(name string, lats []time.Duration) {
+		t.AddF(name, Percentile(lats, 50).Round(10*time.Microsecond).String(),
+			Percentile(lats, 99).Round(10*time.Microsecond).String())
+	}
+	rowf("put (quorum fan-out over HTTP)", putLats)
+	rowf("get (clean, remote shards)", getLats)
+	rowf("get (degraded, 1 peer wiped)", degLats)
+	t.Note("rebuild: %d shard(s) across %d object(s) at %.1f MB/s, repair amplification %.1fx",
+		rst.ShardsRebuilt, rst.Objects, rebMBps, rst.Amplification())
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+
+	if cfg.JSONPath != "" {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}

@@ -1,8 +1,8 @@
 package bench
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"io"

@@ -1,0 +1,1171 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gemmec"
+	"gemmec/internal/peer"
+	"gemmec/internal/shardfile"
+)
+
+// ErrWriteQuorum reports a PUT that could not land k+q shard acks: the
+// generation was abandoned (acked shards deleted, no metadata written)
+// and the object remains whatever it was before. Clients see 503 — the
+// cluster may heal and the write can be retried.
+var ErrWriteQuorum = errors.New("server: write quorum not reached")
+
+// gwStreamBuf matches the shardfile layer's stream buffer size so one
+// pipe handoff carries many units, not one syscall-sized dribble each.
+const gwStreamBuf = 1 << 20
+
+// rollbackTimeout bounds the cleanup work a failed or canceled PUT does
+// with a fresh context — the request's own context is typically already
+// dead by the time rollback runs.
+const rollbackTimeout = 15 * time.Second
+
+// GatewayConfig sizes a Gateway.
+type GatewayConfig struct {
+	// Ring is the cluster's static membership and placement function.
+	Ring *peer.Ring
+	// Transports maps member ID to its transport. Every ring member needs
+	// one; the gateway's own member should be a local transport (direct
+	// PeerStore access, no loopback socket).
+	Transports map[int]peer.Transport
+	// SelfID is this gateway's own member ID — the first stop for
+	// metadata reads.
+	SelfID int
+	// K and R are the code geometry; Ring must have at least K+R members.
+	K, R int
+	// UnitSize is the shard unit size (0 selects gemmec.DefaultUnitSize).
+	UnitSize int
+	// Workers sizes the shared encode/decode scheduler when Sched is nil
+	// (0 selects GOMAXPROCS capped at 8).
+	Workers int
+	// MaxStreams bounds concurrently admitted streaming requests (0
+	// disables shedding) — the same admission contract Store has.
+	MaxStreams int
+	// Sched, when non-nil, is an externally owned scheduler to share.
+	Sched *gemmec.Scheduler
+	// WriteQuorum is q in the commit rule "k+q shard acks": a PUT commits
+	// once k+q of its k+r shard uploads acked and abandons the generation
+	// otherwise. Clamped to [0, R]; 0 keeps only decodability, R demands
+	// every shard. Default (when 0 is passed as the zero value, the
+	// clamp keeps it 0) — callers wanting durability margin pass 1..R.
+	WriteQuorum int
+	// Logf receives operational log lines; nil silences them.
+	Logf Logf
+}
+
+// Gateway is the cluster-facing object backend: it accepts the same
+// client PUT/GET/DELETE surface as Store but fans every object's k+r
+// shards out to the ring's members over peer transports. Writes are
+// quorum-committed (k+q acks, abandoned otherwise), reads fetch
+// surviving shards from live peers and reconstruct through the shared
+// scheduler pipeline, and RebuildNode restores everything a lost member
+// held. One Gateway serves one process; any member can run one, since
+// placement is deterministic and metadata is replicated to all members.
+type Gateway struct {
+	cfg    GatewayConfig
+	code   *gemmec.Code
+	quorum int // shard acks required: k + clamped q
+
+	sched    *gemmec.Scheduler
+	ownSched bool
+
+	mu    sync.Mutex
+	locks map[string]*sync.RWMutex
+
+	puts, gets, degradedGets, deletes atomic.Int64
+	bytesIn, bytesOut                 atomic.Int64
+	quorumFailures                    atomic.Int64
+	rebuilds, shardsRebuilt           atomic.Int64
+	repairBytesRead                   atomic.Int64
+	repairBytesWritten                atomic.Int64
+
+	metrics atomic.Pointer[Metrics]
+
+	closeOnce sync.Once
+}
+
+// NewGateway builds a gateway over cfg's ring and transports.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if cfg.Ring == nil {
+		return nil, fmt.Errorf("server: gateway needs a ring")
+	}
+	if cfg.UnitSize == 0 {
+		cfg.UnitSize = gemmec.DefaultUnitSize
+	}
+	code, err := gemmec.New(cfg.K, cfg.R, gemmec.WithUnitSize(cfg.UnitSize))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Ring.Len() < cfg.K+cfg.R {
+		return nil, fmt.Errorf("server: %d members cannot hold k+r=%d shards in distinct failure domains",
+			cfg.Ring.Len(), cfg.K+cfg.R)
+	}
+	for _, m := range cfg.Ring.Members() {
+		if cfg.Transports[m.ID] == nil {
+			return nil, fmt.Errorf("server: no transport for member %d", m.ID)
+		}
+	}
+	if cfg.WriteQuorum < 0 {
+		cfg.WriteQuorum = 0
+	}
+	if cfg.WriteQuorum > cfg.R {
+		cfg.WriteQuorum = cfg.R
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		if cfg.Workers > 8 {
+			cfg.Workers = 8
+		}
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		code:   code,
+		quorum: cfg.K + cfg.WriteQuorum,
+		locks:  map[string]*sync.RWMutex{},
+	}
+	g.sched = cfg.Sched
+	if g.sched == nil {
+		g.sched = gemmec.NewScheduler(gemmec.SchedulerConfig{
+			Workers:    cfg.Workers,
+			MaxStreams: cfg.MaxStreams,
+			OnWait:     func(d time.Duration) { g.m().ObserveSchedWait(d) },
+		})
+		g.ownSched = true
+	}
+	return g, nil
+}
+
+// Close stops the gateway's scheduler when it owns one. Idempotent.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() {
+		if g.ownSched && g.sched != nil {
+			g.sched.Close()
+		}
+	})
+}
+
+// Scheduler returns the gateway's shared encode/decode pool — the HTTP
+// layer's admission gate, exactly as for Store.
+func (g *Gateway) Scheduler() *gemmec.Scheduler { return g.sched }
+
+// SetMetrics attaches the observability bundle.
+func (g *Gateway) SetMetrics(m *Metrics) {
+	g.metrics.Store(m)
+	m.RegisterGateway(g)
+}
+
+func (g *Gateway) m() *Metrics { return g.metrics.Load() }
+
+// lockFor returns key's gateway-local lock. Unlike Store the entries are
+// never retired: the gateway's map tracks keys this process served, and
+// correctness only needs mutual exclusion per key within one gateway
+// (cross-gateway coordination is by generation numbers, not locks).
+func (g *Gateway) lockFor(key string) *sync.RWMutex {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	l, ok := g.locks[key]
+	if !ok {
+		l = &sync.RWMutex{}
+		g.locks[key] = l
+	}
+	return l
+}
+
+func (g *Gateway) transport(id int) peer.Transport { return g.cfg.Transports[id] }
+
+// healthy reports the transport-level health hint for member id.
+func (g *Gateway) healthy(id int) bool {
+	type h interface{ Healthy() bool }
+	if hc, ok := g.cfg.Transports[id].(h); ok {
+		return hc.Healthy()
+	}
+	return true
+}
+
+// readMetaRaw fetches and parses the freshest reachable metadata replica
+// for key: self first (the common case — every committed write put one
+// there), then the other members in ID order. Because metadata commits
+// require a majority, any reachable majority includes at least one
+// replica of the latest committed generation; replicas carry the
+// generation, so the highest one wins.
+func (g *Gateway) readMetaRaw(ctx context.Context, key string) ([]byte, ObjectMeta, error) {
+	order := []int{g.cfg.SelfID}
+	for _, m := range g.cfg.Ring.Members() {
+		if m.ID != g.cfg.SelfID {
+			order = append(order, m.ID)
+		}
+	}
+	var (
+		bestRaw  []byte
+		bestMeta ObjectMeta
+		found    bool
+		lastErr  error
+	)
+	for _, id := range order {
+		tr := g.transport(id)
+		if tr == nil {
+			continue
+		}
+		raw, err := tr.GetMeta(ctx, key)
+		if err != nil {
+			if !errors.Is(err, peer.ErrMetaNotFound) {
+				lastErr = err
+			}
+			continue
+		}
+		var meta ObjectMeta
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			lastErr = fmt.Errorf("server: corrupt metadata replica for %s on member %d: %w", key, id, err)
+			continue
+		}
+		if err := meta.Manifest.Validate(); err != nil {
+			lastErr = err
+			continue
+		}
+		if len(meta.Placement) != meta.Manifest.K+meta.Manifest.R {
+			lastErr = fmt.Errorf("server: metadata for %s places %d shards, manifest wants %d",
+				key, len(meta.Placement), meta.Manifest.K+meta.Manifest.R)
+			continue
+		}
+		if !found || meta.Gen > bestMeta.Gen {
+			bestRaw, bestMeta, found = raw, meta, true
+			if id == g.cfg.SelfID {
+				// Self replica is current under single-gateway operation;
+				// stop here instead of paying a fan-out on every read.
+				break
+			}
+		}
+	}
+	if !found {
+		if lastErr != nil {
+			return nil, ObjectMeta{}, lastErr
+		}
+		return nil, ObjectMeta{}, ErrObjectNotFound
+	}
+	return bestRaw, bestMeta, nil
+}
+
+// Put streams src into the cluster as object name: the body is encoded
+// once through the shared scheduler while k+r uploader goroutines stream
+// each shard to its placed member. The write commits — metadata is
+// broadcast and acknowledged by a member majority — only when at least
+// k+WriteQuorum shard uploads acked; otherwise the generation is
+// abandoned: acked shards are deleted and no metadata changes, so a
+// failed PUT leaves the object exactly as it was.
+func (g *Gateway) Put(ctx context.Context, name string, src io.Reader, size int64) (ObjectMeta, gemmec.StreamStats, error) {
+	var st gemmec.StreamStats
+	if err := validateName(name); err != nil {
+		return ObjectMeta{}, st, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return ObjectMeta{}, st, err
+	}
+	key := objKey(name)
+	l := g.lockFor(key)
+	l.Lock()
+	defer l.Unlock()
+
+	n := g.cfg.K + g.cfg.R
+	placement, err := g.cfg.Ring.Placement(key, n)
+	if err != nil {
+		return ObjectMeta{}, st, err
+	}
+	meta := ObjectMeta{Name: name, Gen: 1, Placement: placement}
+	oldRaw, old, oldErr := g.readMetaRaw(ctx, key)
+	hasOld := oldErr == nil
+	if hasOld {
+		meta.Gen = old.Gen + 1
+	}
+	gen := uint64(meta.Gen)
+
+	// Shard fan-out: the encode pipeline writes each shard into a pipe; an
+	// uploader goroutine per shard streams the pipe to the placed member.
+	// A failed uploader keeps draining its pipe so the encode — and with
+	// it the surviving shards — never blocks on the dead one.
+	prs := make([]*io.PipeReader, n)
+	pws := make([]*io.PipeWriter, n)
+	bufs := make([]*bufio.Writer, n)
+	summers := make([]*shardfile.ShardSummer, n)
+	writers := make([]io.Writer, n)
+	upErrs := make([]error, n)
+	for i := 0; i < n; i++ {
+		prs[i], pws[i] = io.Pipe()
+		bufs[i] = bufio.NewWriterSize(pws[i], gwStreamBuf)
+		summers[i] = shardfile.NewShardSummer(g.cfg.UnitSize)
+		writers[i] = io.MultiWriter(bufs[i], summers[i])
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := g.transport(placement[i]).PutShard(ctx, key, gen, i, -1, prs[i])
+			if err != nil {
+				upErrs[i] = err
+				// Drain to EOF (or pipe error) so the encoder's writes to
+				// this shard never block; the bytes go nowhere, the
+				// surviving k+r-1 uploads continue.
+				io.Copy(io.Discard, prs[i]) //nolint:errcheck
+			}
+			prs[i].Close()
+		}(i)
+	}
+
+	abort := func(encErr error) {
+		for i := range pws {
+			pws[i].CloseWithError(encErr)
+		}
+		wg.Wait()
+		g.rollbackShards(key, gen, placement, upErrs)
+	}
+
+	encSrc := src
+	if size == 0 {
+		// An empty object still gets one all-zero stripe, matching the
+		// shardfile layer's at-least-one-stripe invariant.
+		encSrc = bytes.NewReader(make([]byte, g.code.DataSize()))
+	}
+	encOpts := []gemmec.StreamOption{
+		gemmec.WithStreamScheduler(g.sched),
+		gemmec.WithStreamStats(&st),
+		gemmec.WithStreamContext(ctx),
+	}
+	nRead, encErr := g.code.EncodeStream(bufio.NewReaderSize(encSrc, gwStreamBuf), writers, encOpts...)
+	if encErr == nil && size > 0 && nRead != size {
+		encErr = fmt.Errorf("server: source is %d bytes, expected %d", nRead, size)
+	}
+	if encErr == nil && st.Stripes == 0 {
+		// Unknown-size source that turned out empty: emit the all-zero
+		// stripe now (zero data implies zero parity for a linear code).
+		zero := make([]byte, g.cfg.UnitSize)
+		for i := range writers {
+			if _, err := writers[i].Write(zero); err != nil {
+				encErr = err
+				break
+			}
+		}
+	}
+	if encErr != nil {
+		abort(encErr)
+		return ObjectMeta{}, st, encErr
+	}
+	for i := range bufs {
+		if err := bufs[i].Flush(); err != nil && upErrs[i] == nil {
+			upErrs[i] = err
+		}
+		pws[i].Close()
+	}
+	wg.Wait()
+
+	acks := 0
+	var firstUpErr error
+	for _, e := range upErrs {
+		if e == nil {
+			acks++
+		} else if firstUpErr == nil {
+			firstUpErr = e
+		}
+	}
+	if acks < g.quorum {
+		g.rollbackShards(key, gen, placement, upErrs)
+		g.quorumFailures.Add(1)
+		return ObjectMeta{}, st, fmt.Errorf("%w: %d of %d shard acks (need %d): %v",
+			ErrWriteQuorum, acks, n, g.quorum, firstUpErr)
+	}
+	if cerr := ctxErr(ctx); cerr != nil {
+		// Dead between the final shard ack and the commit: honor the
+		// canceled-Put-leaves-no-trace contract.
+		g.rollbackShards(key, gen, placement, upErrs)
+		return ObjectMeta{}, st, cerr
+	}
+
+	m := shardfile.Manifest{
+		Version:  shardfile.ManifestV2,
+		K:        g.cfg.K,
+		R:        g.cfg.R,
+		UnitSize: g.cfg.UnitSize,
+		FileSize: size,
+		Stripes:  int(st.Stripes),
+	}
+	if size < 0 {
+		m.FileSize = nRead
+	}
+	if size == 0 {
+		m.FileSize = 0
+	}
+	if m.Stripes == 0 {
+		m.Stripes = 1
+	}
+	m.Checksums = make([]string, n)
+	m.StripeSums = make([][]uint32, n)
+	for i, s := range summers {
+		m.Checksums[i] = s.SumSHA256()
+		m.StripeSums[i] = s.StripeSums()
+	}
+	if err := m.Validate(); err != nil {
+		g.rollbackShards(key, gen, placement, upErrs)
+		return ObjectMeta{}, st, err
+	}
+	meta.Manifest = m
+
+	if err := g.commitMeta(ctx, key, meta, oldRaw, hasOld, placement, upErrs); err != nil {
+		g.quorumFailures.Add(1)
+		return ObjectMeta{}, st, err
+	}
+
+	// Committed. The previous generation's shards are garbage now; clean
+	// them best-effort with a fresh context (repair sweeps catch strays).
+	if hasOld {
+		cctx, cancel := context.WithTimeout(context.Background(), rollbackTimeout)
+		for i, member := range old.Placement {
+			if tr := g.transport(member); tr != nil {
+				tr.DeleteShard(cctx, key, uint64(old.Gen), i) //nolint:errcheck
+			}
+		}
+		cancel()
+	}
+	g.puts.Add(1)
+	g.bytesIn.Add(m.FileSize)
+	mt := g.m()
+	mt.recordStream("put", st)
+	mt.recordObjectBytes("put", m.FileSize)
+	if mt != nil {
+		mt.bytesIn.Add(m.FileSize)
+	}
+	return meta, st, nil
+}
+
+// rollbackShards deletes the shards of an abandoned generation from every
+// member that acked one, under a fresh bounded context (the request's is
+// usually already dead when rollback runs).
+func (g *Gateway) rollbackShards(key string, gen uint64, placement []int, upErrs []error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rollbackTimeout)
+	defer cancel()
+	for i, member := range placement {
+		if upErrs[i] != nil {
+			continue // nothing landed there
+		}
+		if err := g.transport(member).DeleteShard(ctx, key, gen, i); err != nil {
+			g.cfg.Logf.printf("ecserver: rollback of %s.g%d shard %d on member %d failed: %v",
+				key, gen, i, member, err)
+		}
+	}
+}
+
+// commitMeta broadcasts the new metadata to every ring member and
+// requires a majority of acks — the commit point of a cluster write. On
+// a failed commit the write is unwound: the new generation's shards are
+// deleted, and members that already took the new metadata are restored
+// to the previous document (or cleared entirely for a fresh object), so
+// no committed state changes.
+func (g *Gateway) commitMeta(ctx context.Context, key string, meta ObjectMeta, oldRaw []byte, hasOld bool, placement []int, upErrs []error) error {
+	raw, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		g.rollbackShards(key, uint64(meta.Gen), placement, upErrs)
+		return err
+	}
+	members := g.cfg.Ring.Members()
+	ackErrs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i, id int) {
+			defer wg.Done()
+			ackErrs[i] = g.transport(id).PutMeta(ctx, key, raw)
+		}(i, m.ID)
+	}
+	wg.Wait()
+	acks := 0
+	var firstErr error
+	for _, e := range ackErrs {
+		if e == nil {
+			acks++
+		} else if firstErr == nil {
+			firstErr = e
+		}
+	}
+	if acks > len(members)/2 {
+		return nil
+	}
+	// Commit failed: unwind. Members that took the new document get the
+	// old one back (fresh objects get cleared), then the new generation's
+	// shards go.
+	cctx, cancel := context.WithTimeout(context.Background(), rollbackTimeout)
+	defer cancel()
+	for i, m := range members {
+		if ackErrs[i] != nil {
+			continue
+		}
+		tr := g.transport(m.ID)
+		if hasOld {
+			tr.PutMeta(cctx, key, oldRaw) //nolint:errcheck
+		} else {
+			tr.DeleteObject(cctx, key) //nolint:errcheck
+		}
+	}
+	g.rollbackShards(key, uint64(meta.Gen), placement, upErrs)
+	return fmt.Errorf("%w: metadata acknowledged by %d of %d members (need majority): %v",
+		ErrWriteQuorum, acks, len(members), firstErr)
+}
+
+// appendShard adds shard i to a sorted set of shard indices, once.
+func appendShard(set []int, i int) []int {
+	for _, v := range set {
+		if v == i {
+			return set
+		}
+	}
+	set = append(set, i)
+	sort.Ints(set)
+	return set
+}
+
+// gatewayObject is an opened cluster object mid-read — the remote
+// analogue of Object, implementing ObjectStream over per-peer shard
+// streams instead of local files.
+type gatewayObject struct {
+	g    *Gateway
+	meta ObjectMeta
+
+	readers  []io.Reader
+	closers  []io.ReadCloser
+	unusable []int
+	demoted  []gemmec.Demotion
+	openBad  int
+
+	unlock sync.Once
+	lock   *sync.RWMutex
+}
+
+func (o *gatewayObject) Name() string { return o.meta.Name }
+func (o *gatewayObject) Size() int64  { return o.meta.Size() }
+
+func (o *gatewayObject) Degraded() bool { return len(o.unusable) > 0 }
+
+func (o *gatewayObject) Unusable() []int { return o.unusable }
+
+func (o *gatewayObject) Demoted() []gemmec.Demotion { return o.demoted }
+
+// Stream decodes the object to dst, reconstructing the missing shards'
+// data and verifying every unit's stripe CRC inside the decode pass. A
+// shard whose remote stream dies or rots mid-body is demoted and
+// reconstructed around, exactly like a local shard file would be.
+func (o *gatewayObject) Stream(dst io.Writer) (gemmec.StreamStats, error) {
+	var st gemmec.StreamStats
+	code, err := o.meta.Manifest.Code()
+	if err != nil {
+		return st, err
+	}
+	out := bufio.NewWriterSize(dst, gwStreamBuf)
+	opts := []gemmec.StreamOption{
+		gemmec.WithStreamScheduler(o.g.sched),
+		gemmec.WithStreamStats(&st),
+	}
+	if o.meta.Manifest.StripeVerified() {
+		opts = append(opts, gemmec.WithStreamVerifier(shardfile.NewStripeVerifier(o.meta.Manifest)))
+	}
+	err = code.DecodeStream(o.readers, out, o.meta.Manifest.FileSize, opts...)
+	for _, d := range st.Demoted {
+		o.demoted = append(o.demoted, d)
+		o.unusable = appendShard(o.unusable, d.Shard)
+	}
+	mt := o.g.m()
+	mt.recordStream("get", st)
+	if len(st.Demoted) > 0 && o.openBad == 0 {
+		o.g.degradedGets.Add(1)
+		if mt != nil {
+			mt.degradedGets.Inc()
+		}
+	}
+	if err != nil {
+		return st, err
+	}
+	if err := out.Flush(); err != nil {
+		return st, err
+	}
+	o.g.bytesOut.Add(o.Size())
+	mt.recordObjectBytes("get", o.Size())
+	if mt != nil {
+		mt.bytesOut.Add(o.Size())
+	}
+	return st, nil
+}
+
+func (o *gatewayObject) Close() error {
+	for i, c := range o.closers {
+		if c != nil {
+			c.Close()
+			o.closers[i] = nil
+		}
+	}
+	o.unlock.Do(func() { o.lock.RUnlock() })
+	return nil
+}
+
+// Open opens object name for a (possibly degraded) cluster read: the
+// shard streams are fetched from their placed members in parallel, and
+// any member that is down, missing the shard, or serving the wrong
+// length is marked unusable for reconstruction. If fewer than k streams
+// open, the error wraps gemmec.ErrTooFewShards.
+func (g *Gateway) Open(ctx context.Context, name string) (ObjectStream, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	key := objKey(name)
+	l := g.lockFor(key)
+	l.RLock()
+	_, meta, err := g.readMetaRaw(ctx, key)
+	if err != nil {
+		l.RUnlock()
+		return nil, err
+	}
+	n := meta.Manifest.K + meta.Manifest.R
+	want := int64(meta.Manifest.Stripes) * int64(meta.Manifest.UnitSize)
+	o := &gatewayObject{
+		g:       g,
+		meta:    meta,
+		readers: make([]io.Reader, n),
+		closers: make([]io.ReadCloser, n),
+		lock:    l,
+	}
+	var wg sync.WaitGroup
+	bad := make([]bool, n)
+	for i := 0; i < n; i++ {
+		tr := g.transport(meta.Placement[i])
+		if tr == nil {
+			bad[i] = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, tr peer.Transport) {
+			defer wg.Done()
+			rc, size, err := tr.GetShard(ctx, key, uint64(meta.Gen), i)
+			if err != nil {
+				bad[i] = true
+				return
+			}
+			if size >= 0 && size != want {
+				// Truncated or stale shard: erased, not trusted.
+				rc.Close()
+				bad[i] = true
+				return
+			}
+			o.closers[i] = rc
+			o.readers[i] = bufio.NewReaderSize(rc, gwStreamBuf)
+		}(i, tr)
+	}
+	wg.Wait()
+	for i := range bad {
+		if bad[i] {
+			o.unusable = appendShard(o.unusable, i)
+		}
+	}
+	o.openBad = len(o.unusable)
+	if usable := n - o.openBad; usable < meta.Manifest.K {
+		o.Close()
+		return nil, fmt.Errorf("server: only %d of %d shards reachable (missing %v), need k=%d: %w",
+			usable, n, o.unusable, meta.Manifest.K, gemmec.ErrTooFewShards)
+	}
+	g.gets.Add(1)
+	if o.openBad > 0 {
+		g.degradedGets.Add(1)
+		if mt := g.m(); mt != nil {
+			mt.degradedGets.Inc()
+		}
+	}
+	return o, nil
+}
+
+// Delete removes object name cluster-wide: every member drops its shards
+// and metadata replica. Like the write path it needs a member majority to
+// acknowledge — a delete only a minority saw would resurrect on the next
+// metadata read.
+func (g *Gateway) Delete(ctx context.Context, name string) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	key := objKey(name)
+	l := g.lockFor(key)
+	l.Lock()
+	defer l.Unlock()
+	if _, _, err := g.readMetaRaw(ctx, key); err != nil {
+		return err
+	}
+	members := g.cfg.Ring.Members()
+	ackErrs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i, id int) {
+			defer wg.Done()
+			ackErrs[i] = g.transport(id).DeleteObject(ctx, key)
+		}(i, m.ID)
+	}
+	wg.Wait()
+	acks := 0
+	var firstErr error
+	for _, e := range ackErrs {
+		if e == nil {
+			acks++
+		} else if firstErr == nil {
+			firstErr = e
+		}
+	}
+	if acks <= len(members)/2 {
+		return fmt.Errorf("server: delete acknowledged by %d of %d members (need majority): %w",
+			acks, len(members), firstErr)
+	}
+	g.deletes.Add(1)
+	return nil
+}
+
+// StatAll returns the metadata of every object the cluster holds. Keys
+// are the union of every reachable member's replica set — a commit only
+// needs a majority, and a one-shot rebuild coordinator starts from an
+// empty local store, so no single member's list is authoritative. The
+// listing fails only if every member is unreachable.
+func (g *Gateway) StatAll() ([]ObjectMeta, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rollbackTimeout)
+	defer cancel()
+	var (
+		keySet  = make(map[string]struct{})
+		listErr error
+		listed  int
+	)
+	for _, m := range g.cfg.Ring.Members() {
+		ks, err := g.transport(m.ID).ListMeta(ctx)
+		if err != nil {
+			listErr = err
+			continue
+		}
+		listed++
+		for _, k := range ks {
+			keySet[k] = struct{}{}
+		}
+	}
+	if listed == 0 {
+		return nil, fmt.Errorf("server: no member answered the metadata listing: %w", listErr)
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	metas := make([]ObjectMeta, 0, len(keys))
+	for _, key := range keys {
+		_, meta, err := g.readMetaRaw(ctx, key)
+		if err != nil {
+			continue // broken objects spoil repair sweeps, not listings
+		}
+		metas = append(metas, meta)
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].Name < metas[j].Name })
+	return metas, nil
+}
+
+// GatewayStats is the gateway's /statusz document.
+type GatewayStats struct {
+	Objects             int     `json:"objects"`
+	Members             int     `json:"members"`
+	SelfID              int     `json:"self_id"`
+	WriteQuorum         int     `json:"write_quorum"`
+	Puts                int64   `json:"puts"`
+	Gets                int64   `json:"gets"`
+	DegradedGets        int64   `json:"degraded_gets"`
+	Deletes             int64   `json:"deletes"`
+	QuorumFailures      int64   `json:"quorum_failures"`
+	Rebuilds            int64   `json:"rebuilds"`
+	ShardsRebuilt       int64   `json:"shards_rebuilt"`
+	RepairBytesRead     int64   `json:"repair_bytes_read"`
+	RepairBytesWritten  int64   `json:"repair_bytes_written"`
+	RepairAmplification float64 `json:"repair_amplification"`
+	RequestsShed        int64   `json:"requests_shed"`
+	SchedQueue          int     `json:"sched_queue_depth"`
+	BytesIn             int64   `json:"bytes_in"`
+	BytesOut            int64   `json:"bytes_out"`
+	UnitSize            int     `json:"unit_size"`
+	DataShards          int     `json:"k"`
+	ParityShards        int     `json:"r"`
+	StreamWorkers       int     `json:"stream_workers"`
+}
+
+// RepairAmplification returns cumulative repair-traffic amplification:
+// bytes read from survivors per byte of shard rebuilt. The canonical EC
+// repair cost — k units read for every unit restored when rebuilding one
+// shard — makes k the expected steady-state value.
+func (g *Gateway) RepairAmplification() float64 {
+	w := g.repairBytesWritten.Load()
+	if w == 0 {
+		return 0
+	}
+	return float64(g.repairBytesRead.Load()) / float64(w)
+}
+
+// StatusSnapshot implements Backend for /statusz.
+func (g *Gateway) StatusSnapshot() any {
+	objects := 0
+	if metas, err := g.StatAll(); err == nil {
+		objects = len(metas)
+	}
+	return GatewayStats{
+		Objects:             objects,
+		Members:             g.cfg.Ring.Len(),
+		SelfID:              g.cfg.SelfID,
+		WriteQuorum:         g.cfg.WriteQuorum,
+		Puts:                g.puts.Load(),
+		Gets:                g.gets.Load(),
+		DegradedGets:        g.degradedGets.Load(),
+		Deletes:             g.deletes.Load(),
+		QuorumFailures:      g.quorumFailures.Load(),
+		Rebuilds:            g.rebuilds.Load(),
+		ShardsRebuilt:       g.shardsRebuilt.Load(),
+		RepairBytesRead:     g.repairBytesRead.Load(),
+		RepairBytesWritten:  g.repairBytesWritten.Load(),
+		RepairAmplification: g.RepairAmplification(),
+		RequestsShed:        g.sched.Shed(),
+		SchedQueue:          g.sched.QueueDepth(),
+		BytesIn:             g.bytesIn.Load(),
+		BytesOut:            g.bytesOut.Load(),
+		UnitSize:            g.cfg.UnitSize,
+		DataShards:          g.cfg.K,
+		ParityShards:        g.cfg.R,
+		StreamWorkers:       g.sched.Workers(),
+	}
+}
+
+// ScrubAll sweeps the cluster catalog once from this gateway: every
+// object's shards are stat-checked on their placed members, and any
+// missing or wrong-length shard is rebuilt from k survivors and pushed
+// back — the networked version of the local scrub-and-heal loop.
+func (g *Gateway) ScrubAll(ctx context.Context) ScrubReport {
+	start := time.Now()
+	rep := ScrubReport{}
+	metas, err := g.StatAll()
+	if err != nil {
+		rep.Errors = map[string]string{"<catalog>": err.Error()}
+		done := time.Now()
+		g.m().recordScrub(rep, done.Sub(start), done)
+		return rep
+	}
+	for _, meta := range metas {
+		if ctx.Err() != nil {
+			break
+		}
+		rep.Objects++
+		targets := g.damagedShards(ctx, meta)
+		if len(targets) == 0 {
+			continue
+		}
+		if err := g.rebuildObjectShards(ctx, meta, targets); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				break
+			}
+			if rep.Errors == nil {
+				rep.Errors = map[string]string{}
+			}
+			rep.Errors[meta.Name] = err.Error()
+			continue
+		}
+		if rep.Healed == nil {
+			rep.Healed = map[string][]int{}
+		}
+		rep.Healed[meta.Name] = targets
+	}
+	done := time.Now()
+	g.m().recordScrub(rep, done.Sub(start), done)
+	return rep
+}
+
+// damagedShards stats every shard of meta on its placed member and
+// returns the indices that are missing or the wrong length.
+func (g *Gateway) damagedShards(ctx context.Context, meta ObjectMeta) []int {
+	want := int64(meta.Manifest.Stripes) * int64(meta.Manifest.UnitSize)
+	var targets []int
+	for i, member := range meta.Placement {
+		tr := g.transport(member)
+		if tr == nil {
+			continue // unknown member: nothing to push a repair to
+		}
+		size, err := tr.StatShard(ctx, objKey(meta.Name), uint64(meta.Gen), i)
+		if errors.Is(err, peer.ErrShardNotFound) || (err == nil && size != want) {
+			targets = append(targets, i)
+		}
+		// An unreachable member is not "damaged": pushing a rebuilt shard
+		// there would fail too. RebuildNode handles replaced members.
+	}
+	return targets
+}
+
+// RebuildStats accounts one RebuildNode run.
+type RebuildStats struct {
+	Member        int               `json:"member"`
+	Objects       int               `json:"objects"`
+	ShardsRebuilt int               `json:"shards_rebuilt"`
+	BytesRead     int64             `json:"bytes_read"`
+	BytesWritten  int64             `json:"bytes_written"`
+	Errors        map[string]string `json:"errors,omitempty"`
+}
+
+// Amplification returns the run's repair traffic amplification: survivor
+// bytes read per byte rebuilt (k for single-shard repairs).
+func (st RebuildStats) Amplification() float64 {
+	if st.BytesWritten == 0 {
+		return 0
+	}
+	return float64(st.BytesRead) / float64(st.BytesWritten)
+}
+
+// RebuildNode reconstructs every shard that member id holds under the
+// cluster's placement and pushes it to the member's current address —
+// the recovery path after a node lost its disk (or was replaced by an
+// empty machine at the same ID). Metadata replicas are pushed first, so
+// a rebuilt member can immediately serve as a gateway. Shards already
+// present and correctly sized are skipped, making the operation
+// idempotent and resumable.
+func (g *Gateway) RebuildNode(ctx context.Context, id int) (RebuildStats, error) {
+	st := RebuildStats{Member: id}
+	if _, ok := g.cfg.Ring.Member(id); !ok {
+		return st, fmt.Errorf("server: member %d not in the ring", id)
+	}
+	target := g.transport(id)
+	if target == nil {
+		return st, fmt.Errorf("server: no transport for member %d", id)
+	}
+	metas, err := g.StatAll()
+	if err != nil {
+		return st, err
+	}
+	for _, meta := range metas {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		key := objKey(meta.Name)
+		raw, _, err := g.readMetaRaw(ctx, key)
+		if err == nil {
+			if err := target.PutMeta(ctx, key, raw); err != nil {
+				return st, fmt.Errorf("server: pushing metadata for %s to member %d: %w", meta.Name, id, err)
+			}
+		}
+		want := int64(meta.Manifest.Stripes) * int64(meta.Manifest.UnitSize)
+		var targets []int
+		for i, member := range meta.Placement {
+			if member != id {
+				continue
+			}
+			if size, err := target.StatShard(ctx, key, uint64(meta.Gen), i); err == nil && size == want {
+				continue // already there, intact
+			}
+			targets = append(targets, i)
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		st.Objects++
+		if err := g.rebuildObjectShards(ctx, meta, targets); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return st, err
+			}
+			if st.Errors == nil {
+				st.Errors = map[string]string{}
+			}
+			st.Errors[meta.Name] = err.Error()
+			continue
+		}
+		st.ShardsRebuilt += len(targets)
+		st.BytesRead += int64(meta.Manifest.K) * want
+		st.BytesWritten += int64(len(targets)) * want
+	}
+	g.rebuilds.Add(1)
+	return st, nil
+}
+
+// rebuildObjectShards reconstructs meta's shards at the target indices
+// from k surviving shards and streams each rebuilt shard to its placed
+// member. Survivor units are CRC-verified as they are read, so a rotten
+// survivor fails the rebuild loudly instead of poisoning the rebuilt
+// shard. Repair traffic (k units read per stripe, one unit written per
+// target) is accounted in the gateway's repair counters.
+func (g *Gateway) rebuildObjectShards(ctx context.Context, meta ObjectMeta, targets []int) error {
+	key := objKey(meta.Name)
+	m := meta.Manifest
+	n := m.K + m.R
+	unit := m.UnitSize
+	want := int64(m.Stripes) * int64(unit)
+	code, err := m.Code()
+	if err != nil {
+		return err
+	}
+	isTarget := make([]bool, n)
+	for _, t := range targets {
+		if t < 0 || t >= n {
+			return fmt.Errorf("server: rebuild target %d out of range", t)
+		}
+		isTarget[t] = true
+	}
+
+	// Open exactly k survivor streams — the canonical repair read cost.
+	// Healthy members first so a flapping peer doesn't stall the rebuild.
+	type src struct {
+		idx int
+		rd  io.Reader
+		rc  io.ReadCloser
+	}
+	var srcs []src
+	defer func() {
+		for _, s := range srcs {
+			s.rc.Close()
+		}
+	}()
+	for pass := 0; pass < 2 && len(srcs) < m.K; pass++ {
+		for i := 0; i < n && len(srcs) < m.K; i++ {
+			if isTarget[i] {
+				continue
+			}
+			if pass == 0 && !g.healthy(meta.Placement[i]) {
+				continue
+			}
+			already := false
+			for _, s := range srcs {
+				if s.idx == i {
+					already = true
+					break
+				}
+			}
+			if already {
+				continue
+			}
+			tr := g.transport(meta.Placement[i])
+			if tr == nil {
+				continue
+			}
+			rc, size, err := tr.GetShard(ctx, key, uint64(meta.Gen), i)
+			if err != nil {
+				continue
+			}
+			if size >= 0 && size != want {
+				rc.Close()
+				continue
+			}
+			srcs = append(srcs, src{idx: i, rd: bufio.NewReaderSize(rc, gwStreamBuf), rc: rc})
+		}
+	}
+	if len(srcs) < m.K {
+		return fmt.Errorf("server: only %d survivor shards reachable, need k=%d: %w",
+			len(srcs), m.K, gemmec.ErrTooFewShards)
+	}
+
+	// Uploaders for the rebuilt shards, fed stripe by stripe.
+	prs := make(map[int]*io.PipeReader, len(targets))
+	pws := make(map[int]*io.PipeWriter, len(targets))
+	outs := make(map[int]*bufio.Writer, len(targets))
+	upErrs := make(map[int]*error, len(targets))
+	var wg sync.WaitGroup
+	for _, t := range targets {
+		pr, pw := io.Pipe()
+		prs[t], pws[t] = pr, pw
+		outs[t] = bufio.NewWriterSize(pw, gwStreamBuf)
+		var upErr error
+		upErrs[t] = &upErr
+		wg.Add(1)
+		go func(t int, pr *io.PipeReader, dst *error) {
+			defer wg.Done()
+			err := g.transport(meta.Placement[t]).PutShard(ctx, key, uint64(meta.Gen), t, want, pr)
+			if err != nil {
+				*dst = err
+				io.Copy(io.Discard, pr) //nolint:errcheck
+			}
+			pr.Close()
+		}(t, pr, &upErr)
+	}
+	finish := func(failErr error) {
+		for _, t := range targets {
+			if failErr != nil {
+				pws[t].CloseWithError(failErr)
+			} else {
+				pws[t].Close()
+			}
+		}
+		wg.Wait()
+	}
+
+	units := make([][]byte, n)
+	srcBufs := make(map[int][]byte, len(srcs))
+	for _, s := range srcs {
+		srcBufs[s.idx] = make([]byte, unit)
+	}
+	for stripe := 0; stripe < m.Stripes; stripe++ {
+		if err := ctx.Err(); err != nil {
+			finish(err)
+			return err
+		}
+		for i := range units {
+			units[i] = nil
+		}
+		for _, s := range srcs {
+			buf := srcBufs[s.idx]
+			if _, err := io.ReadFull(s.rd, buf); err != nil {
+				err = fmt.Errorf("server: survivor shard %d died at stripe %d: %w", s.idx, stripe, err)
+				finish(err)
+				return err
+			}
+			if m.StripeVerified() && !shardfile.VerifyUnitSum(m, s.idx, stripe, buf) {
+				err := fmt.Errorf("server: survivor shard %d stripe %d fails CRC32C: %w",
+					s.idx, stripe, gemmec.ErrCorruptShard)
+				finish(err)
+				return err
+			}
+			units[s.idx] = buf
+		}
+		if err := code.Reconstruct(units); err != nil {
+			finish(err)
+			return fmt.Errorf("server: stripe %d: %w", stripe, err)
+		}
+		for _, t := range targets {
+			if m.StripeVerified() && !shardfile.VerifyUnitSum(m, t, stripe, units[t]) {
+				err := fmt.Errorf("server: rebuilt shard %d stripe %d fails its manifest checksum (survivors inconsistent?): %w",
+					t, stripe, gemmec.ErrCorruptShard)
+				finish(err)
+				return err
+			}
+			if _, err := outs[t].Write(units[t]); err != nil {
+				finish(err)
+				return err
+			}
+		}
+		g.repairBytesRead.Add(int64(m.K) * int64(unit))
+		g.repairBytesWritten.Add(int64(len(targets)) * int64(unit))
+	}
+	for _, t := range targets {
+		if err := outs[t].Flush(); err != nil {
+			finish(err)
+			return err
+		}
+	}
+	finish(nil)
+	for _, t := range targets {
+		if err := *upErrs[t]; err != nil {
+			return fmt.Errorf("server: pushing rebuilt shard %d to member %d: %w", t, meta.Placement[t], err)
+		}
+	}
+	g.shardsRebuilt.Add(int64(len(targets)))
+	return nil
+}

@@ -1,0 +1,789 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gemmec/internal/peer"
+)
+
+// testClusterSecret authenticates the test rigs' internal traffic.
+const testClusterSecret = "tok-cluster-test"
+
+// httpCluster is a real networked cluster for e2e tests: every member is
+// a PeerStore behind an httptest server running NewPeerAPI, reached over
+// actual peer.Client HTTP transports (except the gateway's own member,
+// which uses the local transport exactly as cmd/ecserver wires it).
+type httpCluster struct {
+	gw     *Gateway
+	stores []*PeerStore
+	peers  []*httptest.Server
+	api    *httptest.Server // client-facing gateway handler
+}
+
+func newHTTPCluster(t *testing.T, n, k, r, q, unit int, hcfg Config) *httpCluster {
+	t.Helper()
+	c := &httpCluster{}
+	members := make([]peer.Member, n)
+	for i := 0; i < n; i++ {
+		ps, err := OpenPeerStore(filepath.Join(t.TempDir(), fmt.Sprintf("peer%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.stores = append(c.stores, ps)
+		srv := httptest.NewServer(NewPeerAPI(ps, testClusterSecret, t.Logf))
+		t.Cleanup(srv.Close)
+		c.peers = append(c.peers, srv)
+		members[i] = peer.Member{ID: i, Addr: srv.URL}
+	}
+	ring, err := peer.NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transports := map[int]peer.Transport{0: NewLocalTransport(c.stores[0])}
+	for i := 1; i < n; i++ {
+		cl := peer.NewClient(members[i], peer.ClientConfig{
+			Secret: testClusterSecret, OpTimeout: 2 * time.Second, DownCooldown: 10 * time.Millisecond,
+		})
+		t.Cleanup(cl.Close)
+		transports[i] = cl
+	}
+	c.gw, err = NewGateway(GatewayConfig{
+		Ring: ring, Transports: transports, SelfID: 0,
+		K: k, R: r, UnitSize: unit, Workers: 2, WriteQuorum: q, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.gw.Close)
+	c.api = httptest.NewServer(NewBackendHandler(c.gw, hcfg))
+	t.Cleanup(c.api.Close)
+	return c
+}
+
+func (c *httpCluster) put(t *testing.T, name string, body []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, c.api.URL+"/o/"+name, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = int64(len(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("PUT %s: %s: %s", name, resp.Status, b)
+	}
+	io.Copy(io.Discard, resp.Body)
+}
+
+func (c *httpCluster) get(t *testing.T, name string) ([]byte, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(c.api.URL + "/o/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %s: %s", name, resp.Status, b)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s body: %v", name, err)
+	}
+	return b, resp
+}
+
+// TestClusterPutGetRoundTrip is the basic contract: an object PUT through
+// the gateway is striped across real networked peers and comes back
+// byte-identical, clean (not degraded), and listed in the catalog.
+func TestClusterPutGetRoundTrip(t *testing.T) {
+	c := newHTTPCluster(t, 3, 2, 1, 1, 1024, Config{Logf: t.Logf})
+	want := randBytes(1, 100_000)
+	c.put(t, "obj", want)
+
+	// Every member holds exactly one shard of the object (k+r=3 across 3
+	// members) plus a metadata replica.
+	key := hex.EncodeToString([]byte("obj"))
+	for i, ps := range c.stores {
+		if _, err := ps.GetMeta(key); err != nil {
+			t.Fatalf("member %d has no metadata replica: %v", i, err)
+		}
+		st := ps.Stats()
+		if st.ShardPuts != 1 {
+			t.Fatalf("member %d took %d shard puts, want 1", i, st.ShardPuts)
+		}
+	}
+
+	got, resp := c.get(t, "obj")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(want))
+	}
+	if resp.Header.Get("X-Gemmec-Degraded") != "false" {
+		t.Fatalf("clean read marked degraded: %q", resp.Header.Get("X-Gemmec-Degraded"))
+	}
+
+	lresp, err := http.Get(c.api.URL + "/objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var list []struct {
+		Name string `json:"name"`
+		Size int64  `json:"size"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "obj" || list[0].Size != int64(len(want)) {
+		t.Fatalf("catalog = %+v, want [{obj %d}]", list, len(want))
+	}
+}
+
+// TestClusterDegradedReadAfterPeerLoss is the acceptance drill: PUT
+// through the gateway, destroy one peer's shard data, and GET must still
+// return byte-identical data with X-Gemmec-Degraded: true.
+func TestClusterDegradedReadAfterPeerLoss(t *testing.T) {
+	c := newHTTPCluster(t, 3, 2, 1, 1, 1024, Config{Logf: t.Logf})
+	want := randBytes(2, 150_000)
+	c.put(t, "obj", want)
+
+	// Peer 2 loses its disk.
+	if err := c.stores[2].WipeShards(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, resp := c.get(t, "obj")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("degraded read mismatch: got %d bytes, want %d", len(got), len(want))
+	}
+	if resp.Header.Get("X-Gemmec-Degraded") != "true" {
+		t.Fatal("read after shard loss not marked degraded")
+	}
+	if c.gw.degradedGets.Load() == 0 {
+		t.Fatal("degraded read not counted")
+	}
+}
+
+// TestClusterDegradedReadDeadPeer kills a peer's HTTP server outright —
+// connection refused, not just missing files — and the gateway must
+// still serve the object.
+func TestClusterDegradedReadDeadPeer(t *testing.T) {
+	c := newHTTPCluster(t, 4, 2, 2, 0, 1024, Config{Logf: t.Logf})
+	want := randBytes(3, 80_000)
+	c.put(t, "obj", want)
+
+	c.peers[3].Close() // the process is gone, not just its disk
+
+	got, resp := c.get(t, "obj")
+	if !bytes.Equal(got, want) {
+		t.Fatal("read with a dead peer returned wrong bytes")
+	}
+	// Degradation depends on whether the dead member held one of this
+	// object's shards; either way the bytes must be right. If it did, the
+	// header must say so.
+	key := hex.EncodeToString([]byte("obj"))
+	_, meta, err := c.gw.readMetaRaw(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds := false
+	for _, m := range meta.Placement {
+		if m == 3 {
+			holds = true
+		}
+	}
+	if holds && resp.Header.Get("X-Gemmec-Degraded") != "true" {
+		t.Fatal("read missing a dead member's shard not marked degraded")
+	}
+}
+
+// TestClusterRebuildNode wipes a peer and rebuilds it: every shard the
+// member held must come back byte-identical (verified against the
+// manifest's SHA-256), with canonical k× repair amplification, and the
+// repair counters must show up in /metricsz.
+func TestClusterRebuildNode(t *testing.T) {
+	metrics := NewMetrics(nil)
+	c := newHTTPCluster(t, 3, 2, 1, 1, 1024, Config{Logf: t.Logf, Metrics: metrics})
+	c.gw.SetMetrics(metrics)
+
+	objs := map[string][]byte{
+		"alpha": randBytes(10, 120_000),
+		"beta":  randBytes(11, 64_000),
+		"gamma": randBytes(12, 3_000),
+	}
+	for name, body := range objs {
+		c.put(t, name, body)
+	}
+
+	victim := 1
+	if err := c.stores[victim].WipeShards(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.gw.RebuildNode(context.Background(), victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Errors) > 0 {
+		t.Fatalf("rebuild errors: %v", st.Errors)
+	}
+	if st.ShardsRebuilt == 0 {
+		t.Fatal("rebuild restored nothing")
+	}
+	if got, want := st.Amplification(), 2.0; got != want {
+		t.Fatalf("repair amplification = %v, want %v (k reads per shard rebuilt)", got, want)
+	}
+
+	// Every shard the victim should hold is back, byte-identical to the
+	// manifest's recorded checksum.
+	restored := 0
+	for name := range objs {
+		key := hex.EncodeToString([]byte(name))
+		_, meta, err := c.gw.readMetaRaw(context.Background(), key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, member := range meta.Placement {
+			if member != victim {
+				continue
+			}
+			rc, _, err := c.stores[victim].GetShard(key, uint64(meta.Gen), i)
+			if err != nil {
+				t.Fatalf("%s shard %d not restored on member %d: %v", name, i, victim, err)
+			}
+			h := sha256.New()
+			io.Copy(h, rc) //nolint:errcheck
+			rc.Close()
+			if got := hex.EncodeToString(h.Sum(nil)); got != meta.Manifest.Checksums[i] {
+				t.Fatalf("%s shard %d rebuilt with wrong bytes", name, i)
+			}
+			restored++
+		}
+	}
+	if restored != st.ShardsRebuilt {
+		t.Fatalf("rebuilt %d shards, stats claim %d", restored, st.ShardsRebuilt)
+	}
+
+	// A second rebuild is an idempotent no-op.
+	st2, err := c.gw.RebuildNode(context.Background(), victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ShardsRebuilt != 0 {
+		t.Fatalf("second rebuild redid %d shards, want 0", st2.ShardsRebuilt)
+	}
+
+	// Reads are clean again.
+	for name, want := range objs {
+		got, resp := c.get(t, name)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s corrupted by rebuild", name)
+		}
+		if resp.Header.Get("X-Gemmec-Degraded") != "false" {
+			t.Fatalf("%s still degraded after rebuild", name)
+		}
+	}
+
+	// Repair traffic is visible on /metricsz.
+	mresp, err := http.Get(c.api.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	exposition, _ := io.ReadAll(mresp.Body)
+	for _, fam := range []string{
+		"gemmec_repair_bytes_read_total", "gemmec_repair_bytes_written_total",
+		"gemmec_repair_amplification", "gemmec_rebuild_shards_total",
+	} {
+		if !strings.Contains(string(exposition), fam) {
+			t.Errorf("/metricsz missing %s", fam)
+		}
+	}
+	if !strings.Contains(string(exposition), "gemmec_repair_amplification 2") {
+		t.Error("/metricsz does not report the k=2 repair amplification")
+	}
+}
+
+// TestClusterRebuildViaHTTP drives the same recovery through the
+// operator-facing POST /rebuild/{id} route.
+func TestClusterRebuildViaHTTP(t *testing.T) {
+	c := newHTTPCluster(t, 3, 2, 1, 1, 1024, Config{Logf: t.Logf})
+	want := randBytes(20, 50_000)
+	c.put(t, "obj", want)
+	if err := c.stores[2].WipeShards(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(c.api.URL+"/rebuild/2", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /rebuild/2: %s: %s", resp.Status, b)
+	}
+	var st RebuildStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Member != 2 || st.ShardsRebuilt == 0 {
+		t.Fatalf("rebuild stats = %+v", st)
+	}
+	got, gresp := c.get(t, "obj")
+	if !bytes.Equal(got, want) || gresp.Header.Get("X-Gemmec-Degraded") != "false" {
+		t.Fatal("object not clean after HTTP rebuild")
+	}
+}
+
+// TestClusterEmptyAndOverwrite covers the two metadata edge cases: empty
+// objects round-trip, and overwrites bump the generation and reap the
+// superseded generation's shards on every member.
+func TestClusterEmptyAndOverwrite(t *testing.T) {
+	c := newHTTPCluster(t, 3, 2, 1, 1, 1024, Config{Logf: t.Logf})
+	c.put(t, "obj", nil)
+	got, _ := c.get(t, "obj")
+	if len(got) != 0 {
+		t.Fatalf("empty object came back with %d bytes", len(got))
+	}
+
+	want := randBytes(30, 10_000)
+	c.put(t, "obj", want)
+	got, _ = c.get(t, "obj")
+	if !bytes.Equal(got, want) {
+		t.Fatal("overwrite lost bytes")
+	}
+
+	key := hex.EncodeToString([]byte("obj"))
+	_, meta, err := c.gw.readMetaRaw(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Gen != 2 {
+		t.Fatalf("gen after overwrite = %d, want 2", meta.Gen)
+	}
+	// The gen-1 shards are garbage and must be gone everywhere.
+	for i, ps := range c.stores {
+		matches, _ := filepath.Glob(filepath.Join(ps.shardDir(), key+".g1.*"))
+		if len(matches) > 0 {
+			t.Fatalf("member %d still holds superseded generation files: %v", i, matches)
+		}
+	}
+
+	if err := c.gw.Delete(context.Background(), "obj"); err != nil {
+		t.Fatal(err)
+	}
+	for i, ps := range c.stores {
+		ents, _ := os.ReadDir(ps.shardDir())
+		if len(ents) > 0 {
+			t.Fatalf("member %d still holds shard files after delete", i)
+		}
+		if _, err := ps.GetMeta(key); !errors.Is(err, peer.ErrMetaNotFound) {
+			t.Fatalf("member %d still holds metadata after delete", i)
+		}
+	}
+}
+
+// TestPeerAPIAuth proves the cluster secret gates every internal route
+// with a definitive (non-retried) error.
+func TestPeerAPIAuth(t *testing.T) {
+	ps, err := OpenPeerStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewPeerAPI(ps, "right-secret", t.Logf))
+	defer srv.Close()
+
+	bad := peer.NewClient(peer.Member{ID: 0, Addr: srv.URL}, peer.ClientConfig{Secret: "wrong"})
+	defer bad.Close()
+	ctx := context.Background()
+	if err := bad.Ping(ctx); !errors.Is(err, peer.ErrUnauthorized) {
+		t.Fatalf("wrong secret ping = %v, want ErrUnauthorized", err)
+	}
+	if err := bad.PutShard(ctx, "6f", 1, 0, -1, strings.NewReader("x")); !errors.Is(err, peer.ErrUnauthorized) {
+		t.Fatalf("wrong secret put = %v, want ErrUnauthorized", err)
+	}
+
+	good := peer.NewClient(peer.Member{ID: 0, Addr: srv.URL}, peer.ClientConfig{Secret: "right-secret"})
+	defer good.Close()
+	if err := good.Ping(ctx); err != nil {
+		t.Fatalf("right secret ping = %v", err)
+	}
+}
+
+// faultCluster is the deterministic in-process rig: every member is a
+// PeerStore behind a FaultTransport-wrapped local transport, so
+// partition and torn-transfer scenarios replay identically under -race.
+type faultCluster struct {
+	gw     *Gateway
+	stores []*PeerStore
+	faults []*peer.FaultTransport
+}
+
+func newFaultCluster(t *testing.T, n, k, r, q, unit int) *faultCluster {
+	t.Helper()
+	c := &faultCluster{}
+	members := make([]peer.Member, n)
+	transports := map[int]peer.Transport{}
+	for i := 0; i < n; i++ {
+		ps, err := OpenPeerStore(filepath.Join(t.TempDir(), fmt.Sprintf("peer%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.stores = append(c.stores, ps)
+		ft := peer.NewFaultTransport(NewLocalTransport(ps))
+		c.faults = append(c.faults, ft)
+		transports[i] = ft
+		members[i] = peer.Member{ID: i, Addr: fmt.Sprintf("http://member-%d", i)}
+	}
+	ring, err := peer.NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.gw, err = NewGateway(GatewayConfig{
+		Ring: ring, Transports: transports, SelfID: 0,
+		K: k, R: r, UnitSize: unit, Workers: 2, WriteQuorum: q, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.gw.Close)
+	return c
+}
+
+// assertNoTrace asserts a failed write left nothing anywhere: no
+// metadata replica and no shard files on any member.
+func (c *faultCluster) assertNoTrace(t *testing.T, key string) {
+	t.Helper()
+	for i, ps := range c.stores {
+		if _, err := ps.GetMeta(key); !errors.Is(err, peer.ErrMetaNotFound) {
+			t.Fatalf("member %d holds metadata for an abandoned write (err=%v)", i, err)
+		}
+		ents, _ := os.ReadDir(ps.shardDir())
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), key+".") {
+				t.Fatalf("member %d holds orphaned shard file %s from an abandoned write", i, e.Name())
+			}
+		}
+	}
+}
+
+// TestQuorumWriteAbandonedOnPartition is the write-safety acceptance
+// test: with write quorum k+1 and a partitioned member, a PUT must fail
+// with ErrWriteQuorum and leave no committed metadata and no orphaned
+// shards anywhere — the failed write is invisible.
+func TestQuorumWriteAbandonedOnPartition(t *testing.T) {
+	c := newFaultCluster(t, 3, 2, 1, 1, 1024) // quorum = k+1 = all 3 members
+	c.faults[2].Partition()
+
+	_, _, err := c.gw.Put(context.Background(), "obj", bytes.NewReader(randBytes(40, 50_000)), 50_000)
+	if !errors.Is(err, ErrWriteQuorum) {
+		t.Fatalf("partitioned PUT = %v, want ErrWriteQuorum", err)
+	}
+	if c.gw.quorumFailures.Load() != 1 {
+		t.Fatal("quorum failure not counted")
+	}
+	c.assertNoTrace(t, objKey("obj"))
+
+	// The cluster heals; the same write now lands and reads back.
+	c.faults[2].Heal()
+	want := randBytes(41, 50_000)
+	if _, _, err := c.gw.Put(context.Background(), "obj", bytes.NewReader(want), int64(len(want))); err != nil {
+		t.Fatal(err)
+	}
+	o, err := c.gw.Open(context.Background(), "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	var buf bytes.Buffer
+	if _, err := o.Stream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("post-heal write reads back wrong")
+	}
+}
+
+// TestQuorumZeroToleratesDeadPeerAndScrubHeals: with write quorum k (q=0)
+// a PUT succeeds despite a partitioned member; the missing shard is
+// served degraded, and once the partition heals the cluster repair sweep
+// (ScrubAll) rebuilds it in place.
+func TestQuorumZeroToleratesDeadPeerAndScrubHeals(t *testing.T) {
+	c := newFaultCluster(t, 3, 2, 1, 0, 1024) // quorum = k = 2
+	c.faults[1].Partition()
+
+	want := randBytes(50, 80_000)
+	meta, _, err := c.gw.Put(context.Background(), "obj", bytes.NewReader(want), int64(len(want)))
+	if err != nil {
+		t.Fatalf("PUT with one dead member under q=0 = %v", err)
+	}
+
+	victimShard := -1
+	for i, m := range meta.Placement {
+		if m == 1 {
+			victimShard = i
+		}
+	}
+	if victimShard < 0 {
+		t.Fatal("placement skipped the partitioned member — test geometry broken")
+	}
+
+	o, err := c.gw.Open(context.Background(), "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := o.Stream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("degraded read under q=0 wrong")
+	}
+	if !o.Degraded() {
+		t.Fatal("read missing the dead member's shard not degraded")
+	}
+
+	c.faults[1].Heal()
+	rep := c.gw.ScrubAll(context.Background())
+	if len(rep.Errors) > 0 {
+		t.Fatalf("scrub errors: %v", rep.Errors)
+	}
+	if got := rep.Healed["obj"]; len(got) != 1 || got[0] != victimShard {
+		t.Fatalf("scrub healed %v, want [%d]", got, victimShard)
+	}
+	o2, err := c.gw.Open(context.Background(), "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o2.Close()
+	if o2.Degraded() {
+		t.Fatal("object still degraded after scrub heal")
+	}
+}
+
+// TestQuorumConcurrentPartitionRace hammers the quorum path with
+// concurrent writes while a member flaps — the -race drill for the
+// fan-out bookkeeping. Every PUT must either commit (and read back
+// byte-identical) or fail with ErrWriteQuorum leaving no trace.
+func TestQuorumConcurrentPartitionRace(t *testing.T) {
+	c := newFaultCluster(t, 3, 2, 1, 1, 1024)
+	c.faults[2].Partition()
+
+	const writers = 8
+	var wg sync.WaitGroup
+	results := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("obj-%d", w)
+			body := randBytes(int64(60+w), 20_000)
+			_, _, results[w] = c.gw.Put(context.Background(), name, bytes.NewReader(body), int64(len(body)))
+		}(w)
+	}
+	// Heal mid-burst so some writes see the partition and some don't.
+	time.Sleep(5 * time.Millisecond)
+	c.faults[2].Heal()
+	wg.Wait()
+
+	for w := 0; w < writers; w++ {
+		name := fmt.Sprintf("obj-%d", w)
+		if results[w] != nil {
+			if !errors.Is(results[w], ErrWriteQuorum) {
+				t.Fatalf("%s failed with %v, want ErrWriteQuorum", name, results[w])
+			}
+			c.assertNoTrace(t, objKey(name))
+			continue
+		}
+		o, err := c.gw.Open(context.Background(), name)
+		if err != nil {
+			t.Fatalf("committed %s does not open: %v", name, err)
+		}
+		var buf bytes.Buffer
+		_, err = o.Stream(&buf)
+		o.Close()
+		if err != nil {
+			t.Fatalf("committed %s does not stream: %v", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), randBytes(int64(60+w), 20_000)) {
+			t.Fatalf("committed %s reads back wrong", name)
+		}
+	}
+}
+
+// TestTornDownloadDemotesMidStream arms a torn-transfer fault on one
+// shard download: the stream dies partway through the body, and the
+// verifying decode must demote that shard and reconstruct the rest of
+// the object byte-identically.
+func TestTornDownloadDemotesMidStream(t *testing.T) {
+	c := newFaultCluster(t, 3, 2, 1, 1, 1024)
+	want := randBytes(70, 200_000) // ~98 stripes of 2 KiB data each
+	if _, _, err := c.gw.Put(context.Background(), "obj", bytes.NewReader(want), int64(len(want))); err != nil {
+		t.Fatal(err)
+	}
+	key := objKey("obj")
+	_, meta, err := c.gw.readMetaRaw(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear member placement[0]'s download after 8 units.
+	victim := meta.Placement[0]
+	c.faults[victim].AddRule(peer.FaultRule{Op: peer.OpGetShard, TornAfter: 8 * 1024})
+
+	o, err := c.gw.Open(context.Background(), "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if o.Degraded() {
+		t.Fatal("degraded before the stream even started — torn fault fired early")
+	}
+	var buf bytes.Buffer
+	if _, err := o.Stream(&buf); err != nil {
+		t.Fatalf("stream with torn shard source = %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("torn mid-stream read returned wrong bytes")
+	}
+	if len(o.Demoted()) == 0 || !o.Degraded() {
+		t.Fatalf("torn shard not demoted (demoted=%v degraded=%v)", o.Demoted(), o.Degraded())
+	}
+}
+
+// TestTornUploadAbortsAtomically arms a torn-transfer fault on one shard
+// upload: the receiving peer sees the source die mid-stream and must
+// leave no partial shard file; with quorum k+1 unreachable the whole
+// write unwinds.
+func TestTornUploadAbortsAtomically(t *testing.T) {
+	c := newFaultCluster(t, 3, 2, 1, 1, 1024)
+	c.faults[2].AddRule(peer.FaultRule{Op: peer.OpPutShard, TornAfter: 2048})
+
+	_, _, err := c.gw.Put(context.Background(), "obj", bytes.NewReader(randBytes(80, 100_000)), 100_000)
+	if !errors.Is(err, ErrWriteQuorum) {
+		t.Fatalf("torn-upload PUT = %v, want ErrWriteQuorum", err)
+	}
+	c.assertNoTrace(t, objKey("obj"))
+}
+
+// TestGatewayAdmissionShedding proves PR 6's bounded-concurrency
+// contract holds in gateway mode: with MaxStreams 1 and a PUT parked in
+// the only slot, the next streaming request is shed with 429 and a
+// Retry-After header while /healthz keeps answering.
+func TestGatewayAdmissionShedding(t *testing.T) {
+	c := &httpCluster{}
+	members := make([]peer.Member, 3)
+	transports := map[int]peer.Transport{}
+	for i := 0; i < 3; i++ {
+		ps, err := OpenPeerStore(filepath.Join(t.TempDir(), fmt.Sprintf("peer%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.stores = append(c.stores, ps)
+		transports[i] = NewLocalTransport(ps)
+		members[i] = peer.Member{ID: i, Addr: fmt.Sprintf("http://member-%d", i)}
+	}
+	ring, err := peer.NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.gw, err = NewGateway(GatewayConfig{
+		Ring: ring, Transports: transports, SelfID: 0,
+		K: 2, R: 1, UnitSize: 1024, Workers: 2, MaxStreams: 1, WriteQuorum: 1, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.gw.Close)
+	c.api = httptest.NewServer(NewBackendHandler(c.gw, Config{Logf: t.Logf, RetryAfter: 7}))
+	t.Cleanup(c.api.Close)
+
+	// Park a PUT in the only admission slot: its body never finishes until
+	// we close the pipe.
+	pr, pw := io.Pipe()
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodPut, c.api.URL+"/o/slow", pr)
+		close(started)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	<-started
+	pw.Write(randBytes(90, 4096)) // ensure the handler has admitted and is reading
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(c.api.URL + "/o/other")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if ra := resp.Header.Get("Retry-After"); ra != "7" {
+				t.Fatalf("Retry-After = %q, want 7", ra)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("second stream never shed (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Probes bypass the gate even while saturated.
+	hresp, err := http.Get(c.api.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz gated: %s", hresp.Status)
+	}
+
+	pw.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if c.gw.Scheduler().Shed() == 0 {
+		t.Fatal("shed requests not counted")
+	}
+}
+
+// TestGatewayStatusSnapshot sanity-checks the /statusz document fields
+// the README points operators at.
+func TestGatewayStatusSnapshot(t *testing.T) {
+	c := newHTTPCluster(t, 3, 2, 1, 1, 1024, Config{Logf: t.Logf})
+	c.put(t, "obj", randBytes(100, 10_000))
+	st, ok := c.gw.StatusSnapshot().(GatewayStats)
+	if !ok {
+		t.Fatalf("StatusSnapshot returned %T", c.gw.StatusSnapshot())
+	}
+	if st.Objects != 1 || st.Puts != 1 || st.Members != 3 || st.WriteQuorum != 1 || st.DataShards != 2 {
+		t.Fatalf("snapshot = %+v", st)
+	}
+}

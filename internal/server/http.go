@@ -156,17 +156,29 @@ func WithMaxObjectSize(n int64) HandlerOption {
 	return func(h *handler) { h.maxObject = n }
 }
 
-// NewHandler serves store over HTTP.
+// NewHandler serves store over HTTP. It is NewBackendHandler fixed to
+// the local single-node Store — the signature every pre-cluster caller
+// compiled against.
+func NewHandler(store *Store, cfg Config) http.Handler {
+	return NewBackendHandler(store, cfg)
+}
+
+// NewBackendHandler serves any Backend — the local Store or the cluster
+// Gateway — over the daemon's client HTTP surface.
 //
 // Streaming routes (PUT and GET bodies) pass through admission control:
-// when the store's scheduler has MaxStreams configured and is full, the
+// when the backend's scheduler has MaxStreams configured and is full, the
 // request is shed with 429 and a Retry-After header instead of queueing
 // behind work the server cannot start. Probe and metadata routes —
 // /healthz, /metricsz, /statusz, /objects, HEAD — bypass the gate, so an
 // overloaded server still answers its health checks and scrapes.
-func NewHandler(store *Store, cfg Config) http.Handler {
+//
+// When the backend also implements Rebuilder (the Gateway does), POST
+// /rebuild/{id} triggers a full rebuild of cluster member id and returns
+// the RebuildStats document.
+func NewBackendHandler(backend Backend, cfg Config) http.Handler {
 	h := &handler{
-		store:      store,
+		store:      backend,
 		logf:       cfg.Logf,
 		metrics:    cfg.Metrics,
 		scrubber:   cfg.Scrubber,
@@ -187,6 +199,9 @@ func NewHandler(store *Store, cfg Config) http.Handler {
 	mux.HandleFunc("POST /scrub", h.wrap("scrub", false, h.scrub))
 	mux.HandleFunc("GET /statusz", h.wrap("status", false, h.statusz))
 	mux.HandleFunc("GET /healthz", h.wrap("health", false, h.healthz))
+	if _, ok := backend.(Rebuilder); ok {
+		mux.HandleFunc("POST /rebuild/{id}", h.wrap("scrub", false, h.rebuild))
+	}
 	if h.metrics != nil {
 		mux.Handle("GET /metricsz", h.metrics.Registry.Handler())
 	}
@@ -214,7 +229,7 @@ func NewHandlerOptions(store *Store, logf Logf, opts ...HandlerOption) http.Hand
 }
 
 type handler struct {
-	store      *Store
+	store      Backend
 	logf       Logf
 	metrics    *Metrics
 	scrubber   *Scrubber
@@ -433,6 +448,10 @@ func errStatus(err error) int {
 		// The bytes exist but cannot currently be served; repair may
 		// restore them, so signal a retryable service condition.
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrWriteQuorum):
+		// The write was cleanly abandoned — nothing committed — and the
+		// cluster may heal, so the client should retry, not give up.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, gemmec.ErrShardStreams), errors.Is(err, gemmec.ErrShardCount),
 		errors.Is(err, gemmec.ErrShardSize):
 		return http.StatusInternalServerError
@@ -570,7 +589,7 @@ func shardList(bad []int) string {
 
 func (h *handler) get(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	o, err := h.store.OpenObject(r.Context(), name)
+	o, err := h.store.Open(r.Context(), name)
 	if err != nil {
 		h.fail(w, r, err)
 		return
@@ -599,7 +618,7 @@ func (h *handler) get(w http.ResponseWriter, r *http.Request) {
 		panic(http.ErrAbortHandler)
 	}
 	if iw, ok := w.(*instrumented); ok {
-		iw.object = o.Meta.Name
+		iw.object = o.Name()
 		iw.objectBytes = o.Size()
 		iw.degraded = o.Degraded()
 		iw.demoted = len(o.Demoted())
@@ -657,7 +676,31 @@ func (h *handler) scrub(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) statusz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, h.store.Stats())
+	writeJSON(w, http.StatusOK, h.store.StatusSnapshot())
+}
+
+// rebuild serves POST /rebuild/{id}: reconstruct every shard cluster
+// member {id} should hold and push them to it. Only mounted when the
+// backend implements Rebuilder.
+func (h *handler) rebuild(w http.ResponseWriter, r *http.Request) {
+	rb, ok := h.store.(Rebuilder)
+	if !ok {
+		http.Error(w, "backend cannot rebuild members", http.StatusNotImplemented)
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "bad member id", http.StatusBadRequest)
+		return
+	}
+	st, err := rb.RebuildNode(r.Context(), id)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	h.logf.printf("ecserver: rebuild of member %d: %d shard(s) across %d object(s), %d bytes read, %d written",
+		id, st.ShardsRebuilt, st.Objects, st.BytesRead, st.BytesWritten)
+	writeJSON(w, http.StatusOK, st)
 }
 
 // healthResponse is the JSON body of /healthz.

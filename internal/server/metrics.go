@@ -178,6 +178,50 @@ func (m *Metrics) RegisterStore(st *Store) {
 		func() float64 { return float64(sc.Workers()) })
 }
 
+// RegisterGateway adds scrape-time families backed by g: cluster repair
+// traffic (bytes read from survivors, bytes of shard rebuilt, and their
+// ratio — the repair amplification, k in the canonical single-shard
+// case), rebuild runs, quorum failures, and scheduler occupancy. Call
+// once per gateway (Gateway.SetMetrics does).
+func (m *Metrics) RegisterGateway(g *Gateway) {
+	if m == nil {
+		return
+	}
+	m.Registry.CounterFunc("gemmec_repair_bytes_read_total",
+		"Survivor shard bytes read by repair and rebuild.",
+		func() float64 { return float64(g.repairBytesRead.Load()) })
+	m.Registry.CounterFunc("gemmec_repair_bytes_written_total",
+		"Rebuilt shard bytes written by repair and rebuild.",
+		func() float64 { return float64(g.repairBytesWritten.Load()) })
+	m.Registry.GaugeFunc("gemmec_repair_amplification",
+		"Cumulative repair traffic amplification: survivor bytes read per byte rebuilt.",
+		g.RepairAmplification)
+	m.Registry.CounterFunc("gemmec_rebuild_runs_total",
+		"Completed RebuildNode runs.",
+		func() float64 { return float64(g.rebuilds.Load()) })
+	m.Registry.CounterFunc("gemmec_rebuild_shards_total",
+		"Shards rebuilt by repair sweeps and node rebuilds.",
+		func() float64 { return float64(g.shardsRebuilt.Load()) })
+	m.Registry.CounterFunc("gemmec_quorum_failures_total",
+		"Writes abandoned for missing their shard-ack or metadata quorum.",
+		func() float64 { return float64(g.quorumFailures.Load()) })
+	m.Registry.GaugeFunc("gemmec_objects", "Objects in the catalog.",
+		func() float64 {
+			metas, _ := g.StatAll()
+			return float64(len(metas))
+		})
+	sc := g.Scheduler()
+	m.Registry.GaugeFunc("gemmec_sched_queue_depth",
+		"Stripe tasks queued in the shared scheduler right now.",
+		func() float64 { return float64(sc.QueueDepth()) })
+	m.Registry.GaugeFunc("gemmec_sched_admitted",
+		"Streaming requests currently holding an admission slot.",
+		func() float64 { return float64(sc.Admitted()) })
+	m.Registry.GaugeFunc("gemmec_sched_workers",
+		"Workers in the shared encode/decode pool.",
+		func() float64 { return float64(sc.Workers()) })
+}
+
 // ObserveSchedWait records one task's scheduler queue wait. Wired as the
 // scheduler's OnWait hook; nil-safe like every recording method.
 func (m *Metrics) ObserveSchedWait(d time.Duration) {

@@ -1,9 +1,9 @@
 package server
 
 import (
-	"context"
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -137,15 +137,15 @@ func TestMetricszExposition(t *testing.T) {
 
 	samples := scrape(t, ts)
 	for sample, want := range map[string]float64{
-		`gemmec_http_requests_total{code="201",op="put"}`: 1,
-		`gemmec_http_requests_total{code="200",op="get"}`: 2,
-		`gemmec_degraded_gets_total`:                      1,
-		`gemmec_demotions_total{cause="crc"}`:             1,
-		`gemmec_demotions_total{cause="truncation"}`:      0,
-		`gemmec_scrub_cycles_total`:                       1,
-		`gemmec_objects`:                                  1,
-		`gemmec_http_get_ttfb_seconds_count`:              2,
-		`gemmec_pipeline_stall_seconds_count{op="put",stage="read"}`: 1,
+		`gemmec_http_requests_total{code="201",op="put"}`:             1,
+		`gemmec_http_requests_total{code="200",op="get"}`:             2,
+		`gemmec_degraded_gets_total`:                                  1,
+		`gemmec_demotions_total{cause="crc"}`:                         1,
+		`gemmec_demotions_total{cause="truncation"}`:                  0,
+		`gemmec_scrub_cycles_total`:                                   1,
+		`gemmec_objects`:                                              1,
+		`gemmec_http_get_ttfb_seconds_count`:                          2,
+		`gemmec_pipeline_stall_seconds_count{op="put",stage="read"}`:  1,
 		`gemmec_pipeline_stall_seconds_count{op="get",stage="write"}`: 2,
 	} {
 		if got, ok := samples[sample]; !ok {

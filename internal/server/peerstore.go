@@ -1,0 +1,329 @@
+package server
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"gemmec/internal/peer"
+)
+
+// PeerStore is the peer role's local shard storage: the flat
+// (key, generation, shard-index) → file layout behind the internal
+// shard-transfer API. Unlike Store — which owns whole objects and
+// stripes them across its node directories — a PeerStore holds whatever
+// individual shards the cluster's placement assigned this member, plus a
+// replica of every object's metadata (the gateway broadcasts metadata to
+// all members so any of them can serve as gateway after a failure).
+//
+// All writes are atomic (temp file + rename): a torn upload — the wire
+// analogue of PR 5's torn chunked body — aborts and leaves nothing, so a
+// shard file either exists whole or not at all. Keys are validated as
+// hex strings before touching the filesystem, which both rejects path
+// traversal and keeps the namespace aligned with Store.objKey.
+type PeerStore struct {
+	root string
+
+	shardPuts, shardGets atomic.Int64
+	bytesIn, bytesOut    atomic.Int64
+}
+
+// OpenPeerStore opens (creating if necessary) the peer shard store
+// rooted at root. Shards live under root/shards, metadata replicas under
+// root/clustermeta.
+func OpenPeerStore(root string) (*PeerStore, error) {
+	ps := &PeerStore{root: root}
+	if err := os.MkdirAll(ps.shardDir(), 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(ps.metaDir(), 0o755); err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+func (ps *PeerStore) shardDir() string { return filepath.Join(ps.root, "shards") }
+func (ps *PeerStore) metaDir() string  { return filepath.Join(ps.root, "clustermeta") }
+
+func (ps *PeerStore) shardPath(key string, gen uint64, idx int) string {
+	return filepath.Join(ps.shardDir(), fmt.Sprintf("%s.g%d.shard_%03d", key, gen, idx))
+}
+
+func (ps *PeerStore) metaPath(key string) string {
+	return filepath.Join(ps.metaDir(), key+".json")
+}
+
+// validPeerKey accepts only store object keys: non-empty hex strings.
+// Everything else — path separators, dots, reserved slab names — is
+// rejected before any path is formed.
+func validPeerKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("%w: empty key", ErrBadObjectName)
+	}
+	if _, err := hex.DecodeString(key); err != nil {
+		return fmt.Errorf("%w: %q is not a hex object key", ErrBadObjectName, key)
+	}
+	return nil
+}
+
+// PutShard atomically stores one shard body. An error from body (torn
+// upload) aborts: the temp file is removed and any previous copy of the
+// shard is untouched.
+func (ps *PeerStore) PutShard(key string, gen uint64, idx int, body io.Reader) (int64, error) {
+	if err := validPeerKey(key); err != nil {
+		return 0, err
+	}
+	if idx < 0 || idx > 999 {
+		return 0, fmt.Errorf("%w: shard index %d out of range", ErrBadObjectName, idx)
+	}
+	if err := os.MkdirAll(ps.shardDir(), 0o755); err != nil {
+		return 0, err
+	}
+	dst := ps.shardPath(key, gen, idx)
+	tmp := dst + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(f, body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, dst)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	ps.shardPuts.Add(1)
+	ps.bytesIn.Add(n)
+	return n, nil
+}
+
+// GetShard opens one shard for reading.
+func (ps *PeerStore) GetShard(key string, gen uint64, idx int) (io.ReadCloser, int64, error) {
+	if err := validPeerKey(key); err != nil {
+		return nil, 0, err
+	}
+	f, err := os.Open(ps.shardPath(key, gen, idx))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, peer.ErrShardNotFound
+		}
+		return nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	ps.shardGets.Add(1)
+	ps.bytesOut.Add(fi.Size())
+	return f, fi.Size(), nil
+}
+
+// StatShard reports one shard's size.
+func (ps *PeerStore) StatShard(key string, gen uint64, idx int) (int64, error) {
+	if err := validPeerKey(key); err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(ps.shardPath(key, gen, idx))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, peer.ErrShardNotFound
+		}
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// DeleteShard removes one shard generation; missing is not an error.
+func (ps *PeerStore) DeleteShard(key string, gen uint64, idx int) error {
+	if err := validPeerKey(key); err != nil {
+		return err
+	}
+	err := os.Remove(ps.shardPath(key, gen, idx))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// DeleteObject removes every shard of every generation of key plus the
+// metadata replica. The "." after the hex key cannot occur inside
+// another hex key, so the glob never matches a different object.
+func (ps *PeerStore) DeleteObject(key string) error {
+	if err := validPeerKey(key); err != nil {
+		return err
+	}
+	matches, _ := filepath.Glob(filepath.Join(ps.shardDir(), key+".g*"))
+	for _, p := range matches {
+		os.Remove(p)
+	}
+	err := os.Remove(ps.metaPath(key))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// PutMeta atomically replaces the metadata replica for key.
+func (ps *PeerStore) PutMeta(key string, meta []byte) error {
+	if err := validPeerKey(key); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(ps.metaDir(), 0o755); err != nil {
+		return err
+	}
+	tmp := ps.metaPath(key) + ".tmp"
+	if err := os.WriteFile(tmp, meta, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, ps.metaPath(key)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// GetMeta fetches the metadata replica for key.
+func (ps *PeerStore) GetMeta(key string) ([]byte, error) {
+	if err := validPeerKey(key); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(ps.metaPath(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, peer.ErrMetaNotFound
+	}
+	return b, err
+}
+
+// ListMeta returns every metadata key the peer holds, sorted.
+func (ps *PeerStore) ListMeta() ([]string, error) {
+	ents, err := os.ReadDir(ps.metaDir())
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var keys []string
+	for _, e := range ents {
+		key, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok {
+			continue
+		}
+		if validPeerKey(key) != nil {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// WipeShards removes every shard file the peer holds (metadata replicas
+// stay) — the "node lost its disk" drill that -rebuild-node recovers
+// from, used by tests and the README walkthrough.
+func (ps *PeerStore) WipeShards() error {
+	if err := os.RemoveAll(ps.shardDir()); err != nil {
+		return err
+	}
+	return os.MkdirAll(ps.shardDir(), 0o755)
+}
+
+// PeerStoreStats is a snapshot of the peer role's counters.
+type PeerStoreStats struct {
+	ShardPuts int64 `json:"shard_puts"`
+	ShardGets int64 `json:"shard_gets"`
+	BytesIn   int64 `json:"shard_bytes_in"`
+	BytesOut  int64 `json:"shard_bytes_out"`
+}
+
+// Stats snapshots the peer store's counters.
+func (ps *PeerStore) Stats() PeerStoreStats {
+	return PeerStoreStats{
+		ShardPuts: ps.shardPuts.Load(),
+		ShardGets: ps.shardGets.Load(),
+		BytesIn:   ps.bytesIn.Load(),
+		BytesOut:  ps.bytesOut.Load(),
+	}
+}
+
+// localTransport adapts a PeerStore into a peer.Transport so a gateway
+// reaches its own member's shards directly — no loopback socket, no
+// serialization — while the rest of the code path stays identical to the
+// remote case. It is also the substrate fault-injection tests wrap: a
+// peer.FaultTransport around a localTransport gives wire-fault semantics
+// with in-process determinism.
+type localTransport struct{ ps *PeerStore }
+
+// NewLocalTransport returns a Transport serving ps directly.
+func NewLocalTransport(ps *PeerStore) peer.Transport { return localTransport{ps} }
+
+func (t localTransport) PutShard(ctx context.Context, key string, gen uint64, idx int, size int64, body io.Reader) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_, err := t.ps.PutShard(key, gen, idx, body)
+	return err
+}
+
+func (t localTransport) GetShard(ctx context.Context, key string, gen uint64, idx int) (io.ReadCloser, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return t.ps.GetShard(key, gen, idx)
+}
+
+func (t localTransport) StatShard(ctx context.Context, key string, gen uint64, idx int) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return t.ps.StatShard(key, gen, idx)
+}
+
+func (t localTransport) DeleteShard(ctx context.Context, key string, gen uint64, idx int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return t.ps.DeleteShard(key, gen, idx)
+}
+
+func (t localTransport) DeleteObject(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return t.ps.DeleteObject(key)
+}
+
+func (t localTransport) PutMeta(ctx context.Context, key string, meta []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return t.ps.PutMeta(key, meta)
+}
+
+func (t localTransport) GetMeta(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.ps.GetMeta(key)
+}
+
+func (t localTransport) ListMeta(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.ps.ListMeta()
+}
+
+func (t localTransport) Ping(ctx context.Context) error { return ctx.Err() }

@@ -15,7 +15,7 @@ import (
 // point, because every heal is whole-shard temp-file + rename, so a
 // canceled sweep leaves shards either untouched or fully healed.
 type Scrubber struct {
-	store    *Store
+	store    Backend
 	interval time.Duration
 	logf     Logf
 	kick     chan struct{}
@@ -31,9 +31,11 @@ type Scrubber struct {
 	lastDone atomic.Int64
 }
 
-// StartScrubber launches the background scrub loop. interval must be
-// positive; each sleep is drawn uniformly from [interval/2, 3*interval/2).
-func StartScrubber(store *Store, interval time.Duration, logf Logf) *Scrubber {
+// StartScrubber launches the background scrub loop over any Backend —
+// the local Store's verify-and-heal sweep, or the Gateway's cluster-wide
+// stat-and-rebuild sweep. interval must be positive; each sleep is drawn
+// uniformly from [interval/2, 3*interval/2).
+func StartScrubber(store Backend, interval time.Duration, logf Logf) *Scrubber {
 	sc := &Scrubber{
 		store:    store,
 		interval: interval,

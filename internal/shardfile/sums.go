@@ -1,0 +1,68 @@
+package shardfile
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+	"hash/crc32"
+
+	"gemmec"
+)
+
+// This file exports the manifest checksum machinery — the stripe-sum
+// accumulator the encode path folds into its writers and the unit
+// verifier the decode path hangs on WithStreamVerifier — for callers
+// that stream shards somewhere other than local files. The networked
+// gateway (internal/server) encodes into per-peer upload streams and
+// decodes from per-peer download streams, but its manifests must stay
+// byte-compatible with the ones WriteStreamPaths produces, so the
+// computations live here, next to the manifest format they define.
+
+// ShardSummer accumulates one shard stream's manifest checksums as the
+// bytes flow past: the whole-shard SHA-256 and the per-UnitSize CRC32C
+// stripe sums, handling arbitrary write fragmentation. It never fails, so
+// it composes into io.MultiWriter without disturbing the primary sink.
+type ShardSummer struct {
+	sha    hash.Hash
+	stripe stripeSummer
+	n      int64
+}
+
+// NewShardSummer returns a summer for one shard of a unitSize-unit code.
+func NewShardSummer(unitSize int) *ShardSummer {
+	return &ShardSummer{sha: sha256.New(), stripe: stripeSummer{unit: unitSize}}
+}
+
+// Write folds p into both checksums.
+func (s *ShardSummer) Write(p []byte) (int, error) {
+	s.sha.Write(p)
+	s.stripe.Write(p) //nolint:errcheck // never fails
+	s.n += int64(len(p))
+	return len(p), nil
+}
+
+// Len returns the bytes written so far.
+func (s *ShardSummer) Len() int64 { return s.n }
+
+// SumSHA256 returns the shard's hex SHA-256 — the Manifest.Checksums
+// entry. Call after the final Write.
+func (s *ShardSummer) SumSHA256() string { return hex.EncodeToString(s.sha.Sum(nil)) }
+
+// StripeSums returns the per-unit CRC32C column — the Manifest.StripeSums
+// entry. Call after the final Write; partial trailing units (which a
+// well-formed shard stream never has) are not summed.
+func (s *ShardSummer) StripeSums() []uint32 { return s.stripe.sums }
+
+// NewStripeVerifier returns the unit verifier enforcing m's stripe sums,
+// for decodes that read shards from sources OpenStreamPaths does not
+// manage (remote peers). m must be stripe-verified (v2).
+func NewStripeVerifier(m Manifest) gemmec.UnitVerifier {
+	return &stripeVerifier{sums: m.StripeSums}
+}
+
+// VerifyUnitSum checks one unit against m's recorded CRC32C — the
+// building block repair paths use when reading survivor shards unit by
+// unit outside a decode pipeline.
+func VerifyUnitSum(m Manifest, shard int, stripe int, unit []byte) bool {
+	return crc32.Checksum(unit, castagnoli) == m.StripeSums[shard][stripe]
+}

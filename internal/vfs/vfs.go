@@ -56,7 +56,7 @@ func (osFS) Create(name string) (File, error) { return os.Create(name) }
 func (osFS) Rename(oldpath, newpath string) error {
 	return os.Rename(oldpath, newpath)
 }
-func (osFS) Remove(name string) error            { return os.Remove(name) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
 func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
 func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
 	return os.WriteFile(name, data, perm)
