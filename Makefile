@@ -49,7 +49,7 @@ stress-load:
 # deterministic (FaultTransport rules, seeded payloads), so a failure
 # here replays locally byte for byte.
 stress-cluster:
-	$(GO) test -race -count=2 -run 'TestCluster|TestQuorum|TestTorn|TestGateway|TestPeerAPIAuth|TestFault|TestPlacement' \
+	$(GO) test -race -count=2 -run 'TestCluster|TestQuorum|TestTorn|TestGateway|TestPeerAPIAuth|TestFault|TestPlacement|TestDelete|TestReadMeta|TestPutShard' \
 		./internal/server ./internal/peer
 
 bench:

@@ -139,6 +139,8 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 		if strings.Contains(req.URL.Path, "/internal/meta/") {
 			err = ErrMetaNotFound
 		}
+	case resp.StatusCode == http.StatusConflict:
+		err = ErrShardExists
 	case resp.StatusCode == http.StatusForbidden || resp.StatusCode == http.StatusUnauthorized:
 		err = ErrUnauthorized
 	default:

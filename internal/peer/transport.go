@@ -14,6 +14,11 @@ var (
 	// ErrShardNotFound reports that the peer is reachable but does not
 	// hold the requested shard (generation).
 	ErrShardNotFound = errors.New("peer: shard not found")
+	// ErrShardExists reports that the peer already holds a shard at the
+	// requested (key, generation, index). Shard writes are first-writer-
+	// wins: two gateways racing the same generation cannot interleave
+	// bytes, the loser's upload is rejected whole.
+	ErrShardExists = errors.New("peer: shard already exists")
 	// ErrMetaNotFound reports that the peer holds no metadata replica for
 	// the key.
 	ErrMetaNotFound = errors.New("peer: metadata not found")
@@ -38,7 +43,11 @@ var (
 // integrity metadata.
 type Transport interface {
 	// PutShard streams one shard body to the peer. The write is atomic on
-	// the peer: a torn upload leaves nothing behind.
+	// the peer — a torn upload leaves nothing behind — and first-writer-
+	// wins: if the (key, gen, idx) shard already exists the call fails
+	// with ErrShardExists instead of overwriting, so two writers racing
+	// the same generation cannot mix bodies. Repair paths that replace a
+	// damaged shard delete it first.
 	PutShard(ctx context.Context, key string, gen uint64, idx int, size int64, body io.Reader) error
 	// GetShard opens one shard for reading. The caller must close the
 	// returned reader. size is the shard's on-disk length.

@@ -196,64 +196,95 @@ func (g *Gateway) healthy(id int) bool {
 	return true
 }
 
-// readMetaRaw fetches and parses the freshest reachable metadata replica
-// for key: self first (the common case — every committed write put one
-// there), then the other members in ID order. Because metadata commits
-// require a majority, any reachable majority includes at least one
-// replica of the latest committed generation; replicas carry the
-// generation, so the highest one wins.
+// parseMetaReplica decodes and sanity-checks one member's metadata
+// replica. Tombstones carry no manifest or placement, so only live
+// documents get the geometry checks.
+func parseMetaReplica(key string, id int, raw []byte) (ObjectMeta, error) {
+	var meta ObjectMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return ObjectMeta{}, fmt.Errorf("server: corrupt metadata replica for %s on member %d: %w", key, id, err)
+	}
+	if meta.Deleted {
+		return meta, nil
+	}
+	if err := meta.Manifest.Validate(); err != nil {
+		return ObjectMeta{}, err
+	}
+	if len(meta.Placement) != meta.Manifest.K+meta.Manifest.R {
+		return ObjectMeta{}, fmt.Errorf("server: metadata for %s places %d shards, manifest wants %d",
+			key, len(meta.Placement), meta.Manifest.K+meta.Manifest.R)
+	}
+	return meta, nil
+}
+
+// readMetaRaw fetches and parses the freshest metadata replica for key
+// visible to a member majority: all members are queried in parallel, and
+// the highest generation among a responding majority wins. The majority
+// is what makes the freshness argument sound — a metadata commit is
+// acked (durably) by a majority, any two majorities intersect, so the
+// responders always include at least one replica of the latest committed
+// generation. A gateway that was down during commits therefore cannot
+// serve its own stale replica. Tombstoned objects are returned as-is;
+// callers decide whether a tombstone means "not found" (reads) or "the
+// current generation" (writes).
 func (g *Gateway) readMetaRaw(ctx context.Context, key string) ([]byte, ObjectMeta, error) {
-	order := []int{g.cfg.SelfID}
-	for _, m := range g.cfg.Ring.Members() {
-		if m.ID != g.cfg.SelfID {
-			order = append(order, m.ID)
-		}
+	members := g.cfg.Ring.Members()
+	type reply struct {
+		id  int
+		raw []byte
+		err error
+	}
+	ch := make(chan reply, len(members))
+	for _, m := range members {
+		go func(id int) {
+			tr := g.transport(id)
+			if tr == nil {
+				ch <- reply{id: id, err: fmt.Errorf("%w: no transport for member %d", peer.ErrUnavailable, id)}
+				return
+			}
+			raw, err := tr.GetMeta(ctx, key)
+			ch <- reply{id: id, raw: raw, err: err}
+		}(m.ID)
 	}
 	var (
-		bestRaw  []byte
-		bestMeta ObjectMeta
-		found    bool
-		lastErr  error
+		bestRaw   []byte
+		bestMeta  ObjectMeta
+		found     bool
+		lastErr   error
+		responded int
 	)
-	for _, id := range order {
-		tr := g.transport(id)
-		if tr == nil {
-			continue
-		}
-		raw, err := tr.GetMeta(ctx, key)
-		if err != nil {
-			if !errors.Is(err, peer.ErrMetaNotFound) {
-				lastErr = err
+	need := len(members)/2 + 1
+	for i := 0; i < len(members) && responded < need; i++ {
+		r := <-ch
+		if r.err != nil {
+			if errors.Is(r.err, peer.ErrMetaNotFound) {
+				responded++ // a definitive "I hold nothing" counts
+			} else {
+				lastErr = r.err
 			}
 			continue
 		}
-		var meta ObjectMeta
-		if err := json.Unmarshal(raw, &meta); err != nil {
-			lastErr = fmt.Errorf("server: corrupt metadata replica for %s on member %d: %w", key, id, err)
-			continue
-		}
-		if err := meta.Manifest.Validate(); err != nil {
+		meta, err := parseMetaReplica(key, r.id, r.raw)
+		if err != nil {
+			// The member answered; its replica is just rotten. It counts
+			// toward the majority but contributes no document.
+			responded++
 			lastErr = err
 			continue
 		}
-		if len(meta.Placement) != meta.Manifest.K+meta.Manifest.R {
-			lastErr = fmt.Errorf("server: metadata for %s places %d shards, manifest wants %d",
-				key, len(meta.Placement), meta.Manifest.K+meta.Manifest.R)
-			continue
-		}
+		responded++
 		if !found || meta.Gen > bestMeta.Gen {
-			bestRaw, bestMeta, found = raw, meta, true
-			if id == g.cfg.SelfID {
-				// Self replica is current under single-gateway operation;
-				// stop here instead of paying a fan-out on every read.
-				break
-			}
+			bestRaw, bestMeta, found = r.raw, meta, true
 		}
 	}
-	if !found {
-		if lastErr != nil {
-			return nil, ObjectMeta{}, lastErr
+	if responded < need {
+		if lastErr == nil {
+			lastErr = peer.ErrUnavailable
 		}
+		return nil, ObjectMeta{}, fmt.Errorf("server: metadata for %s readable on only %d of %d members (need majority): %w",
+			key, responded, len(members), lastErr)
+	}
+	if !found {
 		return nil, ObjectMeta{}, ErrObjectNotFound
 	}
 	return bestRaw, bestMeta, nil
@@ -286,8 +317,17 @@ func (g *Gateway) Put(ctx context.Context, name string, src io.Reader, size int6
 	}
 	meta := ObjectMeta{Name: name, Gen: 1, Placement: placement}
 	oldRaw, old, oldErr := g.readMetaRaw(ctx, key)
+	if oldErr != nil && !errors.Is(oldErr, ErrObjectNotFound) {
+		// Without a majority read the next generation cannot be computed
+		// safely — guessing Gen 1 here would let a stale higher-generation
+		// replica shadow this write forever. Fail; the client retries.
+		return ObjectMeta{}, st, fmt.Errorf("server: cannot establish current generation for %s: %w", name, oldErr)
+	}
 	hasOld := oldErr == nil
 	if hasOld {
+		// Monotonic over everything ever seen, tombstones included:
+		// delete/recreate keeps counting upward, so no old replica can
+		// outrank a newly committed generation.
 		meta.Gen = old.Gen + 1
 	}
 	gen := uint64(meta.Gen)
@@ -363,13 +403,20 @@ func (g *Gateway) Put(ctx context.Context, name string, src io.Reader, size int6
 		abort(encErr)
 		return ObjectMeta{}, st, encErr
 	}
+	// Flush errors land in their own slice: uploader goroutine i may still
+	// be running here and write upErrs[i] concurrently, so upErrs is only
+	// touched again after wg.Wait() establishes the happens-before edge.
+	flushErrs := make([]error, n)
 	for i := range bufs {
-		if err := bufs[i].Flush(); err != nil && upErrs[i] == nil {
-			upErrs[i] = err
-		}
+		flushErrs[i] = bufs[i].Flush()
 		pws[i].Close()
 	}
 	wg.Wait()
+	for i, e := range flushErrs {
+		if e != nil && upErrs[i] == nil {
+			upErrs[i] = e
+		}
+	}
 
 	acks := 0
 	var firstUpErr error
@@ -429,7 +476,8 @@ func (g *Gateway) Put(ctx context.Context, name string, src io.Reader, size int6
 
 	// Committed. The previous generation's shards are garbage now; clean
 	// them best-effort with a fresh context (repair sweeps catch strays).
-	if hasOld {
+	// A tombstone predecessor has no shards, only a generation number.
+	if hasOld && !old.Deleted {
 		cctx, cancel := context.WithTimeout(context.Background(), rollbackTimeout)
 		for i, member := range old.Placement {
 			if tr := g.transport(member); tr != nil {
@@ -636,6 +684,10 @@ func (g *Gateway) Open(ctx context.Context, name string) (ObjectStream, error) {
 		l.RUnlock()
 		return nil, err
 	}
+	if meta.Deleted {
+		l.RUnlock()
+		return nil, fmt.Errorf("%w: %s (deleted)", ErrObjectNotFound, name)
+	}
 	n := meta.Manifest.K + meta.Manifest.R
 	want := int64(meta.Manifest.Stripes) * int64(meta.Manifest.UnitSize)
 	o := &gatewayObject{
@@ -693,10 +745,17 @@ func (g *Gateway) Open(ctx context.Context, name string) (ObjectStream, error) {
 	return o, nil
 }
 
-// Delete removes object name cluster-wide: every member drops its shards
-// and metadata replica. Like the write path it needs a member majority to
-// acknowledge — a delete only a minority saw would resurrect on the next
-// metadata read.
+// Delete removes object name cluster-wide. The commit point is a
+// tombstone: a metadata document at Gen = old.Gen+1 with the Deleted
+// flag, broadcast like any write and requiring a member majority — NOT
+// the removal of metadata. Removing replicas outright would let a member
+// partitioned during the delete resurrect the object when it returns
+// (its surviving replica would be the highest generation anywhere), and
+// a recreate would restart at Gen 1 underneath that stale replica.
+// With a tombstone the generation counter stays monotonic, the stale
+// replica is outranked forever, and the scrub sweep reaps the tombstone
+// once every member has acknowledged it. Shards of the deleted
+// generation are reclaimed best-effort here and by scrub afterwards.
 func (g *Gateway) Delete(ctx context.Context, name string) error {
 	if err := validateName(name); err != nil {
 		return err
@@ -708,7 +767,16 @@ func (g *Gateway) Delete(ctx context.Context, name string) error {
 	l := g.lockFor(key)
 	l.Lock()
 	defer l.Unlock()
-	if _, _, err := g.readMetaRaw(ctx, key); err != nil {
+	oldRaw, old, err := g.readMetaRaw(ctx, key)
+	if err != nil {
+		return err
+	}
+	if old.Deleted {
+		return fmt.Errorf("%w: %s (already deleted)", ErrObjectNotFound, name)
+	}
+	tomb := ObjectMeta{Name: name, Gen: old.Gen + 1, Deleted: true}
+	raw, err := json.MarshalIndent(tomb, "", "  ")
+	if err != nil {
 		return err
 	}
 	members := g.cfg.Ring.Members()
@@ -718,7 +786,7 @@ func (g *Gateway) Delete(ctx context.Context, name string) error {
 		wg.Add(1)
 		go func(i, id int) {
 			defer wg.Done()
-			ackErrs[i] = g.transport(id).DeleteObject(ctx, key)
+			ackErrs[i] = g.transport(id).PutMeta(ctx, key, raw)
 		}(i, m.ID)
 	}
 	wg.Wait()
@@ -732,21 +800,93 @@ func (g *Gateway) Delete(ctx context.Context, name string) error {
 		}
 	}
 	if acks <= len(members)/2 {
-		return fmt.Errorf("server: delete acknowledged by %d of %d members (need majority): %w",
-			acks, len(members), firstErr)
+		// Unwind members that already took the tombstone so a failed delete
+		// does not leave the object half-visible.
+		cctx, cancel := context.WithTimeout(context.Background(), rollbackTimeout)
+		defer cancel()
+		for i, m := range members {
+			if ackErrs[i] == nil {
+				g.transport(m.ID).PutMeta(cctx, key, oldRaw) //nolint:errcheck
+			}
+		}
+		return fmt.Errorf("%w: delete acknowledged by %d of %d members (need majority): %v",
+			ErrWriteQuorum, acks, len(members), firstErr)
+	}
+	// Committed. Reclaim the deleted generation's shards best-effort with
+	// a fresh context; the tombstone reaper catches anything missed.
+	cctx, cancel := context.WithTimeout(context.Background(), rollbackTimeout)
+	defer cancel()
+	for i, member := range old.Placement {
+		if tr := g.transport(member); tr != nil {
+			tr.DeleteShard(cctx, key, uint64(old.Gen), i) //nolint:errcheck
+		}
 	}
 	g.deletes.Add(1)
 	return nil
 }
 
-// StatAll returns the metadata of every object the cluster holds. Keys
-// are the union of every reachable member's replica set — a commit only
-// needs a majority, and a one-shot rebuild coordinator starts from an
-// empty local store, so no single member's list is authoritative. The
-// listing fails only if every member is unreachable.
-func (g *Gateway) StatAll() ([]ObjectMeta, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), rollbackTimeout)
-	defer cancel()
+// reapTombstone retires key's tombstone once it is safe: every ring
+// member must either hold the tombstone (or something newer) or hold no
+// replica at all, so no member can resurrect an older generation after
+// the tombstone is gone. Members holding older documents are healed by
+// pushing the tombstone to them first. Returns true once the tombstone
+// (and any straggler shard files) have been removed everywhere; false
+// with a nil error when a newer generation superseded the tombstone or a
+// member is unknown, false with the blocking error when a member could
+// not be confirmed.
+func (g *Gateway) reapTombstone(ctx context.Context, tomb ObjectMeta) (bool, error) {
+	key := objKey(tomb.Name)
+	raw, err := json.MarshalIndent(tomb, "", "  ")
+	if err != nil {
+		return false, err
+	}
+	members := g.cfg.Ring.Members()
+	for _, m := range members {
+		tr := g.transport(m.ID)
+		if tr == nil {
+			return false, nil
+		}
+		mraw, err := tr.GetMeta(ctx, key)
+		if errors.Is(err, peer.ErrMetaNotFound) {
+			continue // nothing there to resurrect
+		}
+		if err != nil {
+			return false, err // unreachable: the tombstone must stay
+		}
+		meta, perr := parseMetaReplica(key, m.ID, mraw)
+		if perr == nil {
+			if meta.Gen > tomb.Gen {
+				return false, nil // superseded by a live recreate (or newer tombstone)
+			}
+			if meta.Gen == tomb.Gen && meta.Deleted {
+				continue // tombstone already replicated here
+			}
+		}
+		// Older (or corrupt) replica: overwrite it with the tombstone so
+		// this member acks before anything is reaped.
+		if err := tr.PutMeta(ctx, key, raw); err != nil {
+			return false, err
+		}
+	}
+	// Every member confirmed. DeleteObject drops the tombstone replica and
+	// every lingering shard generation; it is idempotent, so a member that
+	// fails here simply keeps its tombstone until the next sweep.
+	var firstErr error
+	for _, m := range members {
+		if err := g.transport(m.ID).DeleteObject(ctx, key); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr == nil, firstErr
+}
+
+// catalog returns the freshest metadata of every key any reachable
+// member lists, tombstones included. Keys are the union of every
+// reachable member's replica set — a commit only needs a majority, and a
+// one-shot rebuild coordinator starts from an empty local store, so no
+// single member's list is authoritative. The listing fails only if every
+// member is unreachable.
+func (g *Gateway) catalog(ctx context.Context) ([]ObjectMeta, error) {
 	var (
 		keySet  = make(map[string]struct{})
 		listErr error
@@ -779,6 +919,25 @@ func (g *Gateway) StatAll() ([]ObjectMeta, error) {
 		metas = append(metas, meta)
 	}
 	sort.Slice(metas, func(i, j int) bool { return metas[i].Name < metas[j].Name })
+	return metas, nil
+}
+
+// StatAll returns the metadata of every live object the cluster holds.
+// Tombstones are cluster-internal bookkeeping, not objects; they never
+// reach client-visible listings.
+func (g *Gateway) StatAll() ([]ObjectMeta, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rollbackTimeout)
+	defer cancel()
+	all, err := g.catalog(ctx)
+	if err != nil {
+		return nil, err
+	}
+	metas := all[:0]
+	for _, m := range all {
+		if !m.Deleted {
+			metas = append(metas, m)
+		}
+	}
 	return metas, nil
 }
 
@@ -855,11 +1014,13 @@ func (g *Gateway) StatusSnapshot() any {
 // ScrubAll sweeps the cluster catalog once from this gateway: every
 // object's shards are stat-checked on their placed members, and any
 // missing or wrong-length shard is rebuilt from k survivors and pushed
-// back — the networked version of the local scrub-and-heal loop.
+// back — the networked version of the local scrub-and-heal loop. The
+// sweep also retires delete tombstones once every member has
+// acknowledged them (see reapTombstone).
 func (g *Gateway) ScrubAll(ctx context.Context) ScrubReport {
 	start := time.Now()
 	rep := ScrubReport{}
-	metas, err := g.StatAll()
+	metas, err := g.catalog(ctx)
 	if err != nil {
 		rep.Errors = map[string]string{"<catalog>": err.Error()}
 		done := time.Now()
@@ -869,6 +1030,15 @@ func (g *Gateway) ScrubAll(ctx context.Context) ScrubReport {
 	for _, meta := range metas {
 		if ctx.Err() != nil {
 			break
+		}
+		if meta.Deleted {
+			if _, err := g.reapTombstone(ctx, meta); err != nil {
+				if rep.Errors == nil {
+					rep.Errors = map[string]string{}
+				}
+				rep.Errors[meta.Name] = fmt.Sprintf("tombstone not reaped: %v", err)
+			}
+			continue
 		}
 		rep.Objects++
 		targets := g.damagedShards(ctx, meta)
@@ -950,7 +1120,10 @@ func (g *Gateway) RebuildNode(ctx context.Context, id int) (RebuildStats, error)
 	if target == nil {
 		return st, fmt.Errorf("server: no transport for member %d", id)
 	}
-	metas, err := g.StatAll()
+	// Tombstones are part of the catalog here on purpose: a rebuilt member
+	// gets delete tombstones replicated too, so it cannot resurrect an
+	// object whose delete it missed while it was down.
+	metas, err := g.catalog(ctx)
 	if err != nil {
 		return st, err
 	}
@@ -1088,7 +1261,14 @@ func (g *Gateway) rebuildObjectShards(ctx context.Context, meta ObjectMeta, targ
 		wg.Add(1)
 		go func(t int, pr *io.PipeReader, dst *error) {
 			defer wg.Done()
-			err := g.transport(meta.Placement[t]).PutShard(ctx, key, uint64(meta.Gen), t, want, pr)
+			tr := g.transport(meta.Placement[t])
+			// The target is damaged by selection (missing or wrong length)
+			// and shard writes are first-writer-wins, so clear any remnant
+			// before streaming the replacement.
+			err := tr.DeleteShard(ctx, key, uint64(meta.Gen), t)
+			if err == nil {
+				err = tr.PutShard(ctx, key, uint64(meta.Gen), t, want, pr)
+			}
 			if err != nil {
 				*dst = err
 				io.Copy(io.Discard, pr) //nolint:errcheck

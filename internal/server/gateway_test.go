@@ -391,14 +391,233 @@ func TestClusterEmptyAndOverwrite(t *testing.T) {
 	if err := c.gw.Delete(context.Background(), "obj"); err != nil {
 		t.Fatal(err)
 	}
+	// Delete commits a tombstone, not a removal: every member keeps a
+	// generation-3 Deleted document (so no stale replica can resurrect the
+	// object), the shards are reclaimed, and clients see 404.
 	for i, ps := range c.stores {
 		ents, _ := os.ReadDir(ps.shardDir())
 		if len(ents) > 0 {
 			t.Fatalf("member %d still holds shard files after delete", i)
 		}
-		if _, err := ps.GetMeta(key); !errors.Is(err, peer.ErrMetaNotFound) {
-			t.Fatalf("member %d still holds metadata after delete", i)
+		raw, err := ps.GetMeta(key)
+		if err != nil {
+			t.Fatalf("member %d lost its metadata replica instead of holding the tombstone: %v", i, err)
 		}
+		var tomb ObjectMeta
+		if err := json.Unmarshal(raw, &tomb); err != nil {
+			t.Fatal(err)
+		}
+		if !tomb.Deleted || tomb.Gen != 3 {
+			t.Fatalf("member %d replica = gen %d deleted=%v, want gen 3 tombstone", i, tomb.Gen, tomb.Deleted)
+		}
+	}
+	if _, err := c.gw.Open(context.Background(), "obj"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("open after delete = %v, want ErrObjectNotFound", err)
+	}
+	if metas, err := c.gw.StatAll(); err != nil || len(metas) != 0 {
+		t.Fatalf("tombstone leaked into the listing: %v %v", metas, err)
+	}
+
+	// With every member holding the tombstone, the scrub sweep reaps it.
+	if rep := c.gw.ScrubAll(context.Background()); len(rep.Errors) > 0 {
+		t.Fatalf("scrub errors: %v", rep.Errors)
+	}
+	for i, ps := range c.stores {
+		if _, err := ps.GetMeta(key); !errors.Is(err, peer.ErrMetaNotFound) {
+			t.Fatalf("member %d still holds metadata after tombstone reap (err=%v)", i, err)
+		}
+	}
+}
+
+// TestDeleteTombstonePreventsResurrection is the regression drill for
+// the delete-resurrection bug: a member partitioned during a delete must
+// not resurrect the object when it returns, and a recreate must continue
+// the generation counter above the tombstone instead of restarting at 1
+// (where the returning member's stale replica would shadow it forever).
+func TestDeleteTombstonePreventsResurrection(t *testing.T) {
+	c := newFaultCluster(t, 3, 2, 1, 0, 1024)
+	key := objKey("obj")
+	if _, _, err := c.gw.Put(context.Background(), "obj", bytes.NewReader(randBytes(200, 30_000)), 30_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Member 2 is partitioned while the delete commits: it keeps its gen-1
+	// live replica (and shard) while members 0 and 1 take the tombstone.
+	c.faults[2].Partition()
+	if err := c.gw.Delete(context.Background(), "obj"); err != nil {
+		t.Fatalf("delete with a majority reachable = %v", err)
+	}
+
+	// While the member is still gone, the tombstone must not be reaped.
+	c.gw.ScrubAll(context.Background())
+	if raw, err := c.stores[0].GetMeta(key); err != nil {
+		t.Fatalf("tombstone reaped with a member unreachable: %v", err)
+	} else {
+		var m ObjectMeta
+		if json.Unmarshal(raw, &m) != nil || !m.Deleted {
+			t.Fatalf("member 0 replica is not a tombstone: %s", raw)
+		}
+	}
+
+	// The partitioned member returns with the highest *live* generation
+	// anywhere — but the tombstone outranks it, so the object stays gone.
+	c.faults[2].Heal()
+	if _, err := c.gw.Open(context.Background(), "obj"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("deleted object resurrected by returning member: %v", err)
+	}
+
+	// A recreate continues the counter above the tombstone (gen 3), so the
+	// returning member's gen-1 replica can never shadow it.
+	want := randBytes(201, 20_000)
+	meta, _, err := c.gw.Put(context.Background(), "obj", bytes.NewReader(want), int64(len(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Gen != 3 {
+		t.Fatalf("recreate gen = %d, want 3 (monotonic over the tombstone)", meta.Gen)
+	}
+	o, err := c.gw.Open(context.Background(), "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	var buf bytes.Buffer
+	if _, err := o.Stream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("recreated object reads back wrong")
+	}
+}
+
+// TestDeleteWithoutQuorumUnwinds: a delete that cannot reach a member
+// majority must fail with ErrWriteQuorum and leave the object fully
+// readable — the tombstone taken by a minority is rolled back.
+func TestDeleteWithoutQuorumUnwinds(t *testing.T) {
+	c := newFaultCluster(t, 3, 2, 1, 0, 1024)
+	want := randBytes(210, 40_000)
+	if _, _, err := c.gw.Put(context.Background(), "obj", bytes.NewReader(want), int64(len(want))); err != nil {
+		t.Fatal(err)
+	}
+	// Metadata reads still work; only the tombstone broadcast fails on a
+	// majority of members.
+	c.faults[1].AddRule(peer.FaultRule{Op: peer.OpPutMeta, Err: peer.ErrUnavailable})
+	c.faults[2].AddRule(peer.FaultRule{Op: peer.OpPutMeta, Err: peer.ErrUnavailable})
+	if err := c.gw.Delete(context.Background(), "obj"); !errors.Is(err, ErrWriteQuorum) {
+		t.Fatalf("minority delete = %v, want ErrWriteQuorum", err)
+	}
+	c.faults[1].RemoveRules()
+	c.faults[2].RemoveRules()
+	// The unwind restored member 0's live document — no tombstone anywhere.
+	raw, err := c.stores[0].GetMeta(objKey("obj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m ObjectMeta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Deleted || m.Gen != 1 {
+		t.Fatalf("failed delete left member 0 at gen %d deleted=%v, want the gen-1 live document", m.Gen, m.Deleted)
+	}
+	o, err := c.gw.Open(context.Background(), "obj")
+	if err != nil {
+		t.Fatalf("object unreadable after failed delete: %v", err)
+	}
+	defer o.Close()
+	var buf bytes.Buffer
+	if _, err := o.Stream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("failed delete corrupted the object")
+	}
+}
+
+// TestReadMetaMajorityOverStaleSelf: a gateway whose own replica missed
+// commits (it was down) must serve the majority's generation, not
+// short-circuit on the stale self copy.
+func TestReadMetaMajorityOverStaleSelf(t *testing.T) {
+	c := newFaultCluster(t, 3, 2, 1, 1, 1024)
+	key := objKey("obj")
+	if _, _, err := c.gw.Put(context.Background(), "obj", bytes.NewReader(randBytes(220, 10_000)), 10_000); err != nil {
+		t.Fatal(err)
+	}
+	staleRaw, err := c.stores[0].GetMeta(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := randBytes(221, 10_000)
+	if _, _, err := c.gw.Put(context.Background(), "obj", bytes.NewReader(want), int64(len(want))); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the gateway's member having missed the second commit.
+	if err := c.stores[0].PutMeta(key, staleRaw); err != nil {
+		t.Fatal(err)
+	}
+	_, meta, err := c.gw.readMetaRaw(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Gen != 2 {
+		t.Fatalf("majority read returned gen %d, want 2 (self replica is stale at gen 1)", meta.Gen)
+	}
+	// And the degraded-by-metadata read still returns the committed bytes.
+	o, err := c.gw.Open(context.Background(), "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	var buf bytes.Buffer
+	if _, err := o.Stream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("stale self replica won over the majority")
+	}
+}
+
+// TestPutShardFirstWriterWins pins the shard-write conflict contract:
+// the same (key, gen, idx) cannot be written twice, locally or over the
+// wire (409 → peer.ErrShardExists), so two gateways racing one
+// generation can never interleave bytes from two bodies in one shard.
+func TestPutShardFirstWriterWins(t *testing.T) {
+	ps, err := OpenPeerStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := []byte("first writer body")
+	if _, err := ps.PutShard("6f", 1, 0, bytes.NewReader(first)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.PutShard("6f", 1, 0, strings.NewReader("second writer")); !errors.Is(err, peer.ErrShardExists) {
+		t.Fatalf("second write = %v, want ErrShardExists", err)
+	}
+	rc, _, err := ps.GetShard("6f", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(rc)
+	rc.Close()
+	if !bytes.Equal(got, first) {
+		t.Fatalf("loser overwrote the shard: %q", got)
+	}
+
+	// Same contract over the HTTP transport.
+	srv := httptest.NewServer(NewPeerAPI(ps, testClusterSecret, t.Logf))
+	defer srv.Close()
+	cl := peer.NewClient(peer.Member{ID: 0, Addr: srv.URL}, peer.ClientConfig{Secret: testClusterSecret})
+	defer cl.Close()
+	ctx := context.Background()
+	if err := cl.PutShard(ctx, "6f", 1, 0, -1, strings.NewReader("third writer")); !errors.Is(err, peer.ErrShardExists) {
+		t.Fatalf("HTTP second write = %v, want ErrShardExists", err)
+	}
+	// Deleting first (the repair path) makes the slot writable again.
+	if err := cl.DeleteShard(ctx, "6f", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.PutShard(ctx, "6f", 1, 0, -1, bytes.NewReader(first)); err != nil {
+		t.Fatalf("write after delete = %v", err)
 	}
 }
 

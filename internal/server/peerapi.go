@@ -92,6 +92,8 @@ func (a *peerAPI) fail(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, peer.ErrShardNotFound), errors.Is(err, peer.ErrMetaNotFound):
 		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, peer.ErrShardExists):
+		http.Error(w, err.Error(), http.StatusConflict)
 	case errors.Is(err, ErrBadObjectName):
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	default:

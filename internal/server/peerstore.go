@@ -73,9 +73,29 @@ func validPeerKey(key string) error {
 	return nil
 }
 
+// syncDir fsyncs a directory so a just-committed rename/link inside it
+// survives power loss — without it an acked shard upload could vanish in
+// a crash, silently voiding the quorum's durability accounting.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // PutShard atomically stores one shard body. An error from body (torn
 // upload) aborts: the temp file is removed and any previous copy of the
-// shard is untouched.
+// shard is untouched. The write is crash-durable before it acks (fsync
+// of both the file and the directory) and first-writer-wins: an already
+// existing (key, gen, idx) rejects with peer.ErrShardExists, so two
+// gateways racing the same generation land two disjoint whole-shard
+// sets instead of interleaving bytes in one file. Each upload streams
+// into its own unique temp file for the same reason.
 func (ps *PeerStore) PutShard(key string, gen uint64, idx int, body io.Reader) (int64, error) {
 	if err := validPeerKey(key); err != nil {
 		return 0, err
@@ -87,20 +107,35 @@ func (ps *PeerStore) PutShard(key string, gen uint64, idx int, body io.Reader) (
 		return 0, err
 	}
 	dst := ps.shardPath(key, gen, idx)
-	tmp := dst + ".tmp"
-	f, err := os.Create(tmp)
+	if _, err := os.Lstat(dst); err == nil {
+		// Cheap early reject before streaming the body; the Link below is
+		// the authoritative race-free check.
+		return 0, fmt.Errorf("%w: %s gen %d shard %d", peer.ErrShardExists, key, gen, idx)
+	}
+	f, err := os.CreateTemp(ps.shardDir(), filepath.Base(dst)+".tmp*")
 	if err != nil {
 		return 0, err
 	}
+	tmp := f.Name()
 	n, err := io.Copy(f, body)
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, dst)
+		// Link, not rename: fails with EEXIST if a concurrent writer got
+		// there first, which is exactly the first-writer-wins contract.
+		if err = os.Link(tmp, dst); errors.Is(err, os.ErrExist) {
+			err = fmt.Errorf("%w: %s gen %d shard %d", peer.ErrShardExists, key, gen, idx)
+		}
 	}
+	os.Remove(tmp)
 	if err != nil {
-		os.Remove(tmp)
+		return 0, err
+	}
+	if err := syncDir(ps.shardDir()); err != nil {
 		return 0, err
 	}
 	ps.shardPuts.Add(1)
@@ -175,7 +210,12 @@ func (ps *PeerStore) DeleteObject(key string) error {
 	return nil
 }
 
-// PutMeta atomically replaces the metadata replica for key.
+// PutMeta atomically replaces the metadata replica for key. Unlike
+// shards, metadata is last-write-wins (the gateway's generation numbers
+// order concurrent documents), so this is a plain durable rename: fsync
+// of the temp file before the rename and of the directory after, because
+// a metadata commit ack that a crash can undo would break the majority-
+// read freshness argument.
 func (ps *PeerStore) PutMeta(key string, meta []byte) error {
 	if err := validPeerKey(key); err != nil {
 		return err
@@ -183,15 +223,26 @@ func (ps *PeerStore) PutMeta(key string, meta []byte) error {
 	if err := os.MkdirAll(ps.metaDir(), 0o755); err != nil {
 		return err
 	}
-	tmp := ps.metaPath(key) + ".tmp"
-	if err := os.WriteFile(tmp, meta, 0o644); err != nil {
+	f, err := os.CreateTemp(ps.metaDir(), key+".json.tmp*")
+	if err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, ps.metaPath(key)); err != nil {
+	tmp := f.Name()
+	_, err = f.Write(meta)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, ps.metaPath(key))
+	}
+	if err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	return syncDir(ps.metaDir())
 }
 
 // GetMeta fetches the metadata replica for key.

@@ -137,6 +137,13 @@ type ObjectMeta struct {
 	// Manifest/Placement above are zero. Reads resolve the ref to the
 	// slab's own metadata and decode only the member's payload window.
 	Slab *SlabRef `json:"slab,omitempty"`
+	// Deleted marks a cluster tombstone: the object was deleted at this
+	// generation. Tombstones keep the generation counter monotonic across
+	// delete/recreate and stop a partitioned member's stale replica from
+	// resurrecting the object; the scrub sweep reaps them once every
+	// member holds (or has dropped) the tombstone. Manifest/Placement are
+	// zero. Local (non-cluster) stores never set this.
+	Deleted bool `json:"deleted,omitempty"`
 }
 
 // Size returns the object's payload size in bytes, slab members included.
