@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot stress-fault stress-load stress-cluster bench bench-json ci
+.PHONY: all build vet test race race-hot stress-fault stress-load stress-cluster bench bench-json bench-smoke ci
 
 all: build
 
@@ -23,7 +23,7 @@ race:
 # PUT/GET/scrub paths and the streaming pipeline) get a -race pass on every
 # CI run; `make race` remains the full-tree version.
 race-hot:
-	$(GO) test -race ./internal/server ./internal/pipeline
+	$(GO) test -race ./internal/server ./internal/pipeline ./internal/tuned
 
 # Short seeded fault/cancellation stress: the faultfs-driven tests (injected
 # errors, stalls, torn writes), the client-disconnect/timeout e2e tests and
@@ -69,7 +69,21 @@ bench-json:
 	$(GO) run ./cmd/ecbench -exp load-json -json BENCH_load.json $(BENCH_ARGS)
 	$(GO) run ./cmd/ecbench -exp cluster-json -json BENCH_cluster.json $(BENCH_ARGS)
 
+# Smoke pass over every bench-json experiment at the quick profile: the
+# gate is that each experiment RUNS to completion (including the tuner
+# retune-and-swap inside server-json), not what numbers it prints. Output
+# lands in a throwaway directory so checked-in BENCH_*.json stay the
+# paper-scale results from `make bench-json`.
+bench-smoke:
+	rm -rf .bench-smoke && mkdir -p .bench-smoke
+	$(GO) run ./cmd/ecbench -exp decode-json -quick -json .bench-smoke/decode.json
+	$(GO) run ./cmd/ecbench -exp server-json -quick -json .bench-smoke/server.json
+	$(GO) run ./cmd/ecbench -exp load-json -quick -json .bench-smoke/load.json
+	$(GO) run ./cmd/ecbench -exp cluster-json -quick -json .bench-smoke/cluster.json
+	rm -rf .bench-smoke
+
 # The allocation guards on the streaming hot paths (TestStreamSteadyStateAllocs,
-# TestDecodeStreamSteadyStateAllocs) run as part of `test`, so `ci` gates on
-# both the encode and the verified-decode paths staying allocation-free.
-ci: build vet test race-hot stress-fault stress-load stress-cluster
+# TestDecodeStreamSteadyStateAllocs and the full-server
+# TestServerSteadyStateAllocs) run as part of `test`, so `ci` gates on the
+# encode, verified-decode and daemon PUT/GET paths staying allocation-free.
+ci: build vet test race-hot stress-fault stress-load stress-cluster bench-smoke

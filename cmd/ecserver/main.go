@@ -90,6 +90,14 @@ func main() {
 		"reject PUT bodies larger than this many bytes with 413 (0 = unlimited)")
 	shardReadTimeout := flag.Duration("shard-read-timeout", 0,
 		"per-shard read deadline during GETs: a shard stalling past this is demoted and the read completes degraded (0 disables)")
+	tuneCache := flag.String("tune-cache", "",
+		"autotuner cache file: learned kernel schedules are loaded at boot and persisted after every background retune and on shutdown (empty = in-memory only)")
+	tuneTrials := flag.Int("tune-trials", 16,
+		"schedule-search budget per background retune of a hot stripe geometry (0 disables the serving-loop autotuner)")
+	tuneIdle := flag.Duration("tune-idle", 0,
+		"how long the encode/decode scheduler must sit idle before a background retune may start (0 = 100ms)")
+	decoderCache := flag.Int("decoder-cache", 0,
+		"max compiled decoders cached per code, LRU-evicted (0 = library default of 16)")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second,
 		"how long a connection may take to send its request headers (slowloris guard; 0 disables)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute,
@@ -135,11 +143,18 @@ func main() {
 		SlabWindow:       *slabWindow,
 		SlabMaxBytes:     *slabMaxBytes,
 		ShardReadTimeout: *shardReadTimeout,
+		DecoderCache:     *decoderCache,
+		TuneCache:        *tuneCache,
+		TuneTrials:       *tuneTrials,
+		TuneIdle:         *tuneIdle,
 	})
 	if err != nil {
 		logger.Fatalf("ecserver: %v", err)
 	}
 	defer store.Close()
+	if *tuneTrials > 0 {
+		logger.Printf("ecserver: serving-loop autotuner on (trials=%d, cache=%q)", *tuneTrials, *tuneCache)
+	}
 	metrics := server.NewMetrics(nil)
 	store.SetMetrics(metrics)
 	logger.Printf("ecserver: serving %s on %s (k=%d r=%d unit=%d, %d node dirs)",

@@ -6,12 +6,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gemmec/internal/server"
@@ -62,11 +64,35 @@ type loadJSONReport struct {
 	RequestsShed int64 `json:"requests_shed"`
 	SlabPuts     int64 `json:"slab_puts"`
 	SlabFlushes  int64 `json:"slab_flushes"`
-	// GoroutinePeak bounds the process under load; SchedWorkers is the
-	// fixed kernel pool all stripe work ran on.
-	GoroutinePeak  int `json:"goroutine_peak"`
-	SchedWorkers   int `json:"sched_workers"`
-	SchedQueuePeak int `json:"sched_queue_peak"`
+	// GoroutinePeak is the whole process under load. The split below
+	// attributes it: ClientGoroutinePeak is the in-process load generator
+	// (open-loop/burst workers plus their HTTP transport read/write loops,
+	// two per open connection, counted client-side at dial time);
+	// ServerGoroutinePeak is everything else — the fixed kernel worker
+	// pool (SchedWorkers) plus per-connection serving machinery (one
+	// net/http conn handler and one pipeline in-order writer per in-flight
+	// stream), which scales with concurrent connections, not with stripes.
+	// Before the split the headline number lumped the load generator in
+	// with the server, making a single-digit worker pool look like
+	// thousands of serving goroutines.
+	GoroutinePeak       int `json:"goroutine_peak"`
+	ServerGoroutinePeak int `json:"server_goroutine_peak"`
+	ClientGoroutinePeak int `json:"client_goroutine_peak"`
+	SchedWorkers        int `json:"sched_workers"`
+	SchedQueuePeak      int `json:"sched_queue_peak"`
+}
+
+// countedConn decrements its counter exactly once on Close, keeping the
+// client-side connection count honest against double closes.
+type countedConn struct {
+	net.Conn
+	n    *atomic.Int64
+	once sync.Once
+}
+
+func (c *countedConn) Close() error {
+	c.once.Do(func() { c.n.Add(-1) })
+	return c.Conn.Close()
 }
 
 // runLoadJSON drives the daemon with an open-loop mixed workload — small
@@ -117,12 +143,39 @@ func runLoadJSON(w io.Writer, cfg Config) error {
 	defer store.Close()
 	metrics := server.NewMetrics(nil)
 	store.SetMetrics(metrics)
+	// Goroutine attribution: clientGo counts the load generator's worker
+	// goroutines; openConns counts the client transport's live connections
+	// (each costing it a read and a write loop), tracked on the client side
+	// of the dial so a connection is attributed the moment its transport
+	// goroutines exist — not when the server's accept loop gets to it.
+	// Everything else sampled in the process is the serving stack.
+	var clientGo, openConns atomic.Int64
 	ts := httptest.NewServer(server.NewHandler(store, server.Config{Metrics: metrics}))
 	defer ts.Close()
+	dialer := &net.Dialer{}
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        burst,
 		MaxIdleConnsPerHost: burst,
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			c, err := dialer.DialContext(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			openConns.Add(1)
+			return &countedConn{Conn: c, n: &openConns}, nil
+		},
 	}}
+	// clientWorker wraps a load-generator goroutine body so the sampler can
+	// subtract it from the process total.
+	clientWorker := func(wg *sync.WaitGroup, fn func()) {
+		wg.Add(1)
+		clientGo.Add(1)
+		go func() {
+			defer clientGo.Add(-1)
+			defer wg.Done()
+			fn()
+		}()
+	}
 
 	// Populate: smallCount packed objects (256..smallMax bytes) and one
 	// large object per GET stream class.
@@ -131,16 +184,14 @@ func runLoadJSON(w io.Writer, cfg Config) error {
 	var wg sync.WaitGroup
 	errs := make(chan error, smallCount+1)
 	for i := 0; i < smallCount; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		clientWorker(&wg, func() {
 			size := 256 + (i*293)%(smallMax-256)
 			data := RandomBytes(int64(i), size)
 			name := fmt.Sprintf("small-%03d", i)
 			if _, _, err := store.Put(ctx, name, bytes.NewReader(data), int64(len(data))); err != nil {
 				errs <- fmt.Errorf("populate %s: %w", name, err)
 			}
-		}()
+		})
 	}
 	wg.Wait()
 	if _, _, err := store.Put(ctx, "large-0",
@@ -208,8 +259,9 @@ func runLoadJSON(w io.Writer, cfg Config) error {
 		offeredRPS = 20
 	}
 
-	// Background samplers: goroutine count and scheduler queue depth.
-	goroutinePeak, queuePeak := runtime.NumGoroutine(), 0
+	// Background samplers: goroutine counts (split server vs load
+	// generator) and scheduler queue depth.
+	goroutinePeak, serverPeak, clientPeak, queuePeak := runtime.NumGoroutine(), 0, 0, 0
 	sampleStop := make(chan struct{})
 	sampleDone := make(chan struct{})
 	go func() {
@@ -220,8 +272,16 @@ func runLoadJSON(w io.Writer, cfg Config) error {
 				return
 			default:
 			}
-			if n := runtime.NumGoroutine(); n > goroutinePeak {
-				goroutinePeak = n
+			total := runtime.NumGoroutine()
+			clients := int(clientGo.Load() + 2*openConns.Load())
+			if total > goroutinePeak {
+				goroutinePeak = total
+			}
+			if clients > clientPeak {
+				clientPeak = clients
+			}
+			if srv := total - clients; srv > serverPeak {
+				serverPeak = srv
 			}
 			if d := store.Scheduler().QueueDepth(); d > queuePeak {
 				queuePeak = d
@@ -243,9 +303,7 @@ func runLoadJSON(w io.Writer, cfg Config) error {
 	start := time.Now()
 	var lg sync.WaitGroup
 	for i := 0; i < arrivals; i++ {
-		lg.Add(1)
-		go func() {
-			defer lg.Done()
+		clientWorker(&lg, func() {
 			when := start.Add(time.Duration(i) * interval)
 			time.Sleep(time.Until(when))
 			var s sample
@@ -263,7 +321,7 @@ func runLoadJSON(w io.Writer, cfg Config) error {
 			}
 			s.lat = time.Since(when)
 			results <- s
-		}()
+		})
 	}
 	lg.Wait()
 	elapsed := time.Since(start)
@@ -298,9 +356,7 @@ func runLoadJSON(w io.Writer, cfg Config) error {
 	gate := make(chan struct{})
 	berrs := make(chan error, burst)
 	for i := 0; i < burst; i++ {
-		bg.Add(1)
-		go func() {
-			defer bg.Done()
+		clientWorker(&bg, func() {
 			<-gate
 			t0 := time.Now()
 			code, err := get(fmt.Sprintf("small-%03d", i%smallCount))
@@ -315,7 +371,7 @@ func runLoadJSON(w io.Writer, cfg Config) error {
 			} else {
 				burstLats = append(burstLats, time.Since(t0))
 			}
-		}()
+		})
 	}
 	close(gate)
 	bg.Wait()
@@ -358,9 +414,11 @@ func runLoadJSON(w io.Writer, cfg Config) error {
 		RequestsShed:     st.RequestsShed,
 		SlabPuts:         st.SlabPuts,
 		SlabFlushes:      st.SlabFlushes,
-		GoroutinePeak:    goroutinePeak,
-		SchedWorkers:     st.StreamWorkers,
-		SchedQueuePeak:   queuePeak,
+		GoroutinePeak:       goroutinePeak,
+		ServerGoroutinePeak: serverPeak,
+		ClientGoroutinePeak: clientPeak,
+		SchedWorkers:        st.StreamWorkers,
+		SchedQueuePeak:      queuePeak,
 	}
 
 	t := NewTable(fmt.Sprintf(
@@ -376,8 +434,9 @@ func runLoadJSON(w io.Writer, cfg Config) error {
 		fmt.Sprintf("%.2f / %.2f / %.2f ms", rep.BurstP50Ms, rep.BurstP99Ms, rep.BurstP999Ms))
 	t.AddF("requests shed (429)", fmt.Sprintf("%d server / %d burst-observed", rep.RequestsShed, rep.BurstShed))
 	t.AddF("slab puts / flushes", fmt.Sprintf("%d / %d", rep.SlabPuts, rep.SlabFlushes))
-	t.AddF("goroutine peak", fmt.Sprintf("%d (pool %d workers, queue peak %d)",
-		rep.GoroutinePeak, rep.SchedWorkers, rep.SchedQueuePeak))
+	t.AddF("goroutine peak", fmt.Sprintf("%d total (server %d, load gen %d; pool %d workers, queue peak %d)",
+		rep.GoroutinePeak, rep.ServerGoroutinePeak, rep.ClientGoroutinePeak,
+		rep.SchedWorkers, rep.SchedQueuePeak))
 	if err := t.Fprint(w); err != nil {
 		return err
 	}

@@ -65,6 +65,9 @@ type Options struct {
 	Workers int
 	// Seed makes tuning deterministic; 0 uses a fixed default.
 	Seed int64
+	// MaxCachedDecoders bounds the per-engine compiled-decoder LRU.
+	// 0 selects DefaultMaxCachedDecoders (16).
+	MaxCachedDecoders int
 }
 
 // Engine encodes and reconstructs one (k, r, w, unitSize) configuration.
@@ -79,11 +82,19 @@ type Engine struct {
 	coding   *matrix.Matrix
 	gen      *matrix.Matrix
 	bm       *bitmatrix.BitMatrix
-	params   autotune.Params
 	tuneRes  *autotune.Result // non-nil when construction tuned
+	workers  int              // Options.Workers as given (0 = default)
 
-	enc  *autotune.Compiled
-	aBuf te.Buffer
+	// enc is the live compiled encode executor. It is swapped atomically by
+	// Reschedule — the generation scheme the serving-loop autotuner relies
+	// on: in-flight Encode calls that already loaded the pointer finish on
+	// the old executor (its kernel, packed mask and schedule travel
+	// together), while the next stripe picks up the new one. generation
+	// counts completed swaps.
+	enc        atomic.Pointer[encoder]
+	generation atomic.Int64
+
+	maxDecoders int // decoder-LRU bound; Options.MaxCachedDecoders or default
 
 	mu         sync.Mutex
 	decoders   map[string]*list.Element // pattern key -> LRU element (*decoderEntry)
@@ -91,13 +102,25 @@ type Engine struct {
 	updaters   map[int]*updater
 }
 
-// maxCachedDecoders bounds the per-engine decoder cache. Each entry pins a
-// compiled kernel plus a packed bitmatrix operand, and the number of
-// distinct erasure patterns is combinatorial in k and r, so an unbounded
-// map is a memory leak on long-lived engines that see churning failure
-// sets. 16 covers every single- and double-erasure pattern of common
-// geometries; colder patterns recompile on re-entry (LRU eviction).
-const maxCachedDecoders = 16
+// encoder bundles one compiled encode executor with the operands that only
+// make sense together: the kernel, the packed bitmatrix it was prebound to,
+// and the schedule it realizes. Engine.enc swaps whole encoders atomically
+// so a half-updated (kernel from one schedule, params from another) state
+// is unrepresentable.
+type encoder struct {
+	comp   *autotune.Compiled
+	aBuf   te.Buffer
+	params autotune.Params
+}
+
+// DefaultMaxCachedDecoders bounds the per-engine decoder cache when
+// Options.MaxCachedDecoders is zero. Each entry pins a compiled kernel plus
+// a packed bitmatrix operand, and the number of distinct erasure patterns
+// is combinatorial in k and r, so an unbounded map is a memory leak on
+// long-lived engines that see churning failure sets. 16 covers every
+// single- and double-erasure pattern of common geometries; colder patterns
+// recompile on re-entry (LRU eviction).
+const DefaultMaxCachedDecoders = 16
 
 type decoder struct {
 	comp *autotune.Compiled
@@ -164,43 +187,69 @@ func New(k, r, unitSize int, opts Options) (*Engine, error) {
 		gen:      gen,
 		bm:       bitmatrix.FromGF(coding),
 		decoders: map[string]*list.Element{},
+		workers:  opts.Workers,
 	}
 	e.decoderLRU = list.New()
+	e.maxDecoders = opts.MaxCachedDecoders
+	if e.maxDecoders <= 0 {
+		e.maxDecoders = DefaultMaxCachedDecoders
+	}
 
 	m, kDim, n := l.ParityPlanes(), l.DataPlanes(), l.PlaneSize/8
-	if err := e.resolveParams(m, kDim, n, opts); err != nil {
-		return nil, err
-	}
-	comp, err := autotune.Compile(m, kDim, n, e.params)
+	params, err := e.resolveParams(m, kDim, n, opts)
 	if err != nil {
-		return nil, fmt.Errorf("core: compile encode kernel: %w", err)
-	}
-	if opts.Workers > 0 {
-		comp.Kernel.SetWorkers(opts.Workers)
-	}
-	e.enc = comp
-	e.aBuf = te.NewBuffer(comp.A)
-	if err := te.PackMask(e.aBuf, m, kDim, e.bm.At); err != nil {
 		return nil, err
 	}
-	if err := comp.Kernel.PrebindMask(e.aBuf); err != nil {
+	if err := e.install(params); err != nil {
 		return nil, err
 	}
 	return e, nil
 }
 
+// install compiles params into a fresh encoder (kernel + packed mask) and
+// publishes it as the live executor. Used at construction and by
+// Reschedule; everything heavy happens before the single atomic store.
+func (e *Engine) install(params autotune.Params) error {
+	m, kDim, n := e.shape()
+	comp, err := autotune.Compile(m, kDim, n, params)
+	if err != nil {
+		return fmt.Errorf("core: compile encode kernel: %w", err)
+	}
+	if e.workers > 0 {
+		comp.Kernel.SetWorkers(e.workers)
+	}
+	aBuf := te.NewBuffer(comp.A)
+	if err := te.PackMask(aBuf, m, kDim, e.bm.At); err != nil {
+		return err
+	}
+	if err := comp.Kernel.PrebindMask(aBuf); err != nil {
+		return err
+	}
+	e.enc.Store(&encoder{comp: comp, aBuf: aBuf, params: params})
+	return nil
+}
+
+// shape returns the encode GEMM dimensions (parity planes x data planes x
+// words per plane).
+func (e *Engine) shape() (m, kDim, n int) {
+	return e.layout.ParityPlanes(), e.layout.DataPlanes(), e.layout.PlaneSize / 8
+}
+
+// Shape exposes the encode GEMM dimensions for tuning-cache keys and
+// tuner construction outside the package.
+func (e *Engine) Shape() (m, kDim, n int) { return e.shape() }
+
 // resolveParams picks the schedule: explicit > cache > tuned > default.
-func (e *Engine) resolveParams(m, kDim, n int, opts Options) error {
+func (e *Engine) resolveParams(m, kDim, n int, opts Options) (autotune.Params, error) {
 	space, err := autotune.NewSpace(m, kDim, n)
 	if err != nil {
-		return err
+		return autotune.Params{}, err
 	}
 	if opts.Params != nil {
 		if !space.Contains(*opts.Params) {
-			return fmt.Errorf("core: schedule %v is not legal for shape %dx%dx%d", *opts.Params, m, kDim, n)
+			return autotune.Params{}, fmt.Errorf("core: schedule %v is not legal for shape %dx%dx%d", *opts.Params, m, kDim, n)
 		}
-		e.params = *opts.Params
-		return nil
+		return *opts.Params, nil
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -209,16 +258,14 @@ func (e *Engine) resolveParams(m, kDim, n int, opts Options) error {
 	key := autotune.Key(m, kDim, n, workers)
 	if opts.Cache != nil {
 		if rec, ok := opts.Cache.Get(key); ok && space.Contains(rec.Params) {
-			e.params = rec.Params
-			return nil
+			return rec.Params, nil
 		}
 	}
 	if opts.TuneTrials <= 0 && opts.Cache != nil {
 		// No budget to tune: transfer the nearest tuned shape if one exists.
 		if rec, ok := opts.Cache.NearestShape(m, kDim, n); ok {
 			if p := space.Nearest(rec.Params); space.Contains(p) {
-				e.params = p
-				return nil
+				return p, nil
 			}
 		}
 	}
@@ -229,13 +276,12 @@ func (e *Engine) resolveParams(m, kDim, n int, opts Options) error {
 		}
 		tuner, err := autotune.NewTuner(m, kDim, n, e.bm.At, seed)
 		if err != nil {
-			return err
+			return autotune.Params{}, err
 		}
 		res, err := tuner.Tune(opts.TuneStrategy, opts.TuneTrials)
 		if err != nil {
-			return err
+			return autotune.Params{}, err
 		}
-		e.params = res.Best
 		e.tuneRes = res
 		if opts.Cache != nil {
 			opts.Cache.Put(key, autotune.Record{
@@ -243,10 +289,62 @@ func (e *Engine) resolveParams(m, kDim, n int, opts Options) error {
 				Params: res.Best, Elapsed: res.BestTime, Trials: len(res.History),
 			})
 		}
-		return nil
+		return res.Best, nil
 	}
-	e.params = DefaultParams(space)
+	return DefaultParams(space), nil
+}
+
+// Reschedule hot-swaps the compiled encode executor to p, which must be a
+// legal schedule for the engine's shape. The swap is a single atomic
+// pointer store: concurrent Encode calls that already loaded the old
+// executor finish on it unharmed, subsequent calls use the new one, and no
+// caller ever observes a half-built state. Cached decoders stay valid — a
+// schedule changes only how fast the GEMM runs, never what it computes —
+// but new decode compiles pick up the new schedule. Returns with the
+// generation counter bumped on success.
+func (e *Engine) Reschedule(p autotune.Params) error {
+	m, kDim, n := e.shape()
+	space, err := autotune.NewSpace(m, kDim, n)
+	if err != nil {
+		return err
+	}
+	if !space.Contains(p) {
+		return fmt.Errorf("core: schedule %v is not legal for shape %dx%dx%d", p, m, kDim, n)
+	}
+	if err := e.install(p); err != nil {
+		return err
+	}
+	e.generation.Add(1)
 	return nil
+}
+
+// Generation returns how many times the encode executor has been hot-
+// swapped since construction (0 = still on the construction-time schedule).
+func (e *Engine) Generation() int64 { return e.generation.Load() }
+
+// NewTuner returns an autotuner for this engine's encode shape and
+// bitmatrix, seeded deterministically (seed 0 selects a fixed default).
+// The serving loop uses it to search schedules offline and feed the best
+// back through Reschedule.
+func (e *Engine) NewTuner(seed int64) (*autotune.Tuner, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	m, kDim, n := e.shape()
+	return autotune.NewTuner(m, kDim, n, e.bm.At, seed)
+}
+
+// TuneKey returns the autotune cache key for this engine's shape at the
+// given worker budget (0 = the space's MaxWorkers, matching what New
+// consults at construction).
+func (e *Engine) TuneKey(workers int) string {
+	m, kDim, n := e.shape()
+	if workers <= 0 {
+		if space, err := autotune.NewSpace(m, kDim, n); err == nil {
+			workers = space.MaxWorkers
+		}
+	}
+	return autotune.Key(m, kDim, n, workers)
 }
 
 // DefaultParams is the pretuned schedule shipped for machines that have not
@@ -287,8 +385,8 @@ func (e *Engine) W() int { return e.w }
 // UnitSize returns the configured unit size in bytes.
 func (e *Engine) UnitSize() int { return e.unitSize }
 
-// Params returns the schedule the engine compiled.
-func (e *Engine) Params() autotune.Params { return e.params }
+// Params returns the schedule of the live encode executor.
+func (e *Engine) Params() autotune.Params { return e.enc.Load().params }
 
 // TuneResult returns the tuning history when construction autotuned, else
 // nil.
@@ -306,16 +404,17 @@ func (e *Engine) Layout() bitmatrix.Layout { return e.layout }
 func (e *Engine) LoweredIR() (string, error) {
 	// Re-derive the schedule (Compile does not retain it) and lower it for
 	// printing, mirroring how autotune.Compile realizes the parameters.
+	params := e.Params()
 	_, _, c := te.ECComputeDecl(e.layout.ParityPlanes(), e.layout.DataPlanes(), e.layout.PlaneSize/8)
 	s := te.CreateSchedule(c)
 	axes := s.Leaf()
 	i, j, rk := axes[0], axes[1], axes[2]
 	word := j
 	var jo *te.IterVar
-	if e.params.BlockWords < e.layout.PlaneSize/8 {
+	if params.BlockWords < e.layout.PlaneSize/8 {
 		var ji *te.IterVar
 		var err error
-		jo, ji, err = s.Split(j, e.params.BlockWords)
+		jo, ji, err = s.Split(j, params.BlockWords)
 		if err != nil {
 			return "", err
 		}
@@ -324,8 +423,8 @@ func (e *Engine) LoweredIR() (string, error) {
 	if err := s.Vectorize(word); err != nil {
 		return "", err
 	}
-	if e.params.Fanin > 1 {
-		_, ki, err := s.Split(rk, e.params.Fanin)
+	if params.Fanin > 1 {
+		_, ki, err := s.Split(rk, params.Fanin)
 		if err != nil {
 			return "", err
 		}
@@ -333,7 +432,7 @@ func (e *Engine) LoweredIR() (string, error) {
 			return "", err
 		}
 	}
-	if !e.params.RowsOuter && jo != nil {
+	if !params.RowsOuter && jo != nil {
 		if err := s.Reorder(jo, i); err != nil {
 			return "", err
 		}
@@ -355,7 +454,10 @@ func (e *Engine) Encode(data, parity []byte) error {
 	if err := e.layout.CheckParity(parity); err != nil {
 		return err
 	}
-	return e.enc.Kernel.ExecBufs(e.aBuf, te.Buffer(data), te.Buffer(parity))
+	// One atomic load pins this stripe to a coherent (kernel, mask,
+	// schedule) triple even if a Reschedule lands mid-stream.
+	enc := e.enc.Load()
+	return enc.comp.Kernel.ExecBufs(enc.aBuf, te.Buffer(data), te.Buffer(parity))
 }
 
 // EncodeUnits encodes from k scattered unit buffers by first gathering them
@@ -463,7 +565,7 @@ func (e *Engine) reconstruct(units [][]byte, dataOnly bool) error {
 
 // decoderFor returns (building and caching as needed) the compiled decode
 // kernel for an erasure pattern. The cache is a bounded LRU of
-// maxCachedDecoders entries, and matrix inversion + kernel compilation run
+// MaxCachedDecoders entries, and matrix inversion + kernel compilation run
 // outside the engine lock: a miss never stalls concurrent hits on other
 // patterns (a decoding stream must not freeze because a second stream
 // just hit a novel failure set). Two goroutines missing on the same
@@ -502,7 +604,7 @@ func (e *Engine) decoderFor(survivors, lost []int) (*decoder, error) {
 	// The encode schedule's block size always divides N here (same N), but
 	// fanin legality depends only on kDim, also unchanged. Parallel axis
 	// "rows" may exceed the smaller M; that is fine (ranges clamp).
-	comp, err := autotune.Compile(m, kDim, n, e.params)
+	comp, err := autotune.Compile(m, kDim, n, e.Params())
 	if err != nil {
 		return nil, fmt.Errorf("core: compile decode kernel: %w", err)
 	}
@@ -523,7 +625,7 @@ func (e *Engine) decoderFor(survivors, lost []int) (*decoder, error) {
 		return el.Value.(*decoderEntry).d, nil
 	}
 	e.decoders[key] = e.decoderLRU.PushFront(&decoderEntry{key: key, d: d})
-	for e.decoderLRU.Len() > maxCachedDecoders {
+	for e.decoderLRU.Len() > e.maxDecoders {
 		old := e.decoderLRU.Back()
 		e.decoderLRU.Remove(old)
 		delete(e.decoders, old.Value.(*decoderEntry).key)
@@ -533,11 +635,9 @@ func (e *Engine) decoderFor(survivors, lost []int) (*decoder, error) {
 }
 
 // Decoder-cache traffic counters. Package-level rather than per-Engine
-// because the serving path constructs a fresh Code (and Engine) per
-// request from each object's manifest — per-engine counters would die with
-// the request, while process-lifetime totals are what a metrics scrape
-// wants. The decoders themselves stay per-engine; only the accounting is
-// global.
+// because engines can be short-lived (ad-hoc Codes built from a manifest)
+// while a metrics scrape wants process-lifetime totals. The decoders
+// themselves stay per-engine; only the accounting is global.
 var cacheHits, cacheMisses, cacheEvictions atomic.Int64
 
 // DecoderCacheCounters is a snapshot of process-lifetime decoder-cache
@@ -560,13 +660,16 @@ func ReadDecoderCacheCounters() DecoderCacheCounters {
 }
 
 // CachedDecoders returns how many erasure patterns currently have compiled
-// decoders resident (at most maxCachedDecoders; LRU-evicted patterns are
+// decoders resident (at most MaxCachedDecoders; LRU-evicted patterns are
 // not counted).
 func (e *Engine) CachedDecoders() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.decoders)
 }
+
+// MaxCachedDecoders returns the engine's decoder-cache bound.
+func (e *Engine) MaxCachedDecoders() int { return e.maxDecoders }
 
 func patternKey(survivors, lost []int) string {
 	s := append([]int(nil), survivors...)

@@ -36,7 +36,7 @@ func (e *Engine) updaterFor(u int) (*updater, error) {
 	n := e.layout.PlaneSize / 8
 	// The unit-update GEMM has a tiny reduction axis (w), so reuse the
 	// engine's schedule with the fanin clamped to a legal divisor of w.
-	p := e.params
+	p := e.Params()
 	for p.Fanin > 1 && kDim%p.Fanin != 0 {
 		p.Fanin /= 2
 	}

@@ -143,18 +143,22 @@ type Stats struct {
 	Demoted []ecerr.Demotion
 }
 
-// slot is one ring entry: a pooled stripe buffer plus the per-slot unit
-// pointer table decode workers hand to ReconstructData.
+// slot is one ring entry: a pooled stripe buffer, the per-slot unit
+// pointer table decode workers hand to ReconstructData, the metadata of
+// the stripe currently occupying the slot, and one preallocated kernel
+// task bound to the slot. Carrying the stripe state in the slot (instead
+// of a per-stripe job struct captured by a fresh closure) is what keeps
+// the pipelined paths allocation-free per stripe: the reader writes
+// seq/n/rebuild before submitting s.run, and the channel/scheduler
+// handoffs order those writes against the task and the in-order writer.
 type slot struct {
 	buf  *stripe.Buffer
 	work [][]byte
-}
 
-type job struct {
 	seq     int64
-	s       *slot
-	n       int  // payload bytes this stripe carries
-	rebuild bool // decode: some data unit of this stripe is missing
+	n       int    // payload bytes this stripe carries
+	rebuild bool   // decode: some data unit of this stripe is missing
+	run     func() // kernel task; built once per run at ring setup
 }
 
 // ctxErr wraps a context's cancellation cause into the stream error the
@@ -344,11 +348,25 @@ func encodePipelined(c Codec, src io.Reader, shards []io.Writer, cfg Config, st 
 	defer release()
 
 	free := make(chan *slot, cfg.Depth)
+	results := make(chan *slot, cfg.Depth)
+	f := newFailer()
+	// One encode task per ring slot, built before traffic: the reader only
+	// stamps seq/n and submits, so steady-state stripes allocate nothing.
 	for _, s := range slots {
+		s := s
+		s.run = func() {
+			if f.failed() {
+				return // drain without encoding
+			}
+			raw := s.buf.Raw()
+			if err := c.Encode(raw[:stripeBytes], raw[stripeBytes:(k+r)*unit]); err != nil {
+				f.fail(err)
+				return
+			}
+			results <- s
+		}
 		free <- s
 	}
-	results := make(chan job, cfg.Depth)
-	f := newFailer()
 	// Cancellation rides the existing failure broadcast: the moment the
 	// context dies, every stage sees f.done and drains. AfterFunc costs
 	// nothing on the clean path (no goroutine until cancellation).
@@ -395,18 +413,8 @@ func encodePipelined(c Codec, src io.Reader, shards []io.Writer, cfg Config, st 
 				f.fail(fmt.Errorf("gemmec: read source: %w", err))
 				return
 			}
-			j := job{seq: seq, s: s, n: n}
-			q.Submit(func() {
-				if f.failed() {
-					return // drain without encoding
-				}
-				raw := j.s.buf.Raw()
-				if err := c.Encode(raw[:stripeBytes], raw[stripeBytes:(k+r)*unit]); err != nil {
-					f.fail(err)
-					return
-				}
-				results <- j
-			})
+			s.seq, s.n = seq, n
+			q.Submit(s.run)
 			if n < stripeBytes {
 				return
 			}
@@ -416,18 +424,18 @@ func encodePipelined(c Codec, src io.Reader, shards []io.Writer, cfg Config, st 
 	// In-order writer (this goroutine): reorder by sequence number so shard
 	// output is byte-identical to the serial path regardless of worker
 	// completion order.
-	pending := map[int64]job{}
+	pending := make(map[int64]*slot, cfg.Depth)
 	var next int64
 	for {
 		t0 := time.Now()
-		j, ok := <-results
+		s, ok := <-results
 		st.EncodeStall += time.Since(t0)
 		if !ok {
 			break
 		}
-		pending[j.seq] = j
+		pending[s.seq] = s
 		for {
-			jj, ok := pending[next]
+			ss, ok := pending[next]
 			if !ok {
 				break
 			}
@@ -435,7 +443,7 @@ func encodePipelined(c Codec, src io.Reader, shards []io.Writer, cfg Config, st 
 			next++
 			if !f.failed() {
 				t1 := time.Now()
-				werr := writeStripe(shards, jj.s.buf.Raw(), k, r, unit)
+				werr := writeStripe(shards, ss.buf.Raw(), k, r, unit)
 				st.WriteStall += time.Since(t1)
 				if werr != nil {
 					f.fail(werr)
@@ -444,7 +452,7 @@ func encodePipelined(c Codec, src io.Reader, shards []io.Writer, cfg Config, st 
 					st.BytesOut += int64((k + r) * unit)
 				}
 			}
-			free <- jj.s // cap == Depth: never blocks
+			free <- ss // cap == Depth: never blocks
 		}
 	}
 	wgRead.Wait()
@@ -664,11 +672,26 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 	defer release()
 
 	free := make(chan *slot, cfg.Depth)
+	results := make(chan *slot, cfg.Depth)
+	f := newFailer()
+	// One reconstruction task per ring slot, built before traffic (see the
+	// encode path): steady-state stripes submit a prebuilt closure.
 	for _, s := range slots {
+		s := s
+		s.run = func() {
+			if f.failed() {
+				return
+			}
+			if s.rebuild {
+				if err := c.ReconstructData(s.work); err != nil {
+					f.fail(err)
+					return
+				}
+			}
+			results <- s
+		}
 		free <- s
 	}
-	results := make(chan job, cfg.Depth)
-	f := newFailer()
 	// Cancellation latches into the failure broadcast exactly as a stage
 	// error would; the ring drains and Decode returns ctxErr.
 	stop := context.AfterFunc(cfg.Ctx, func() { f.fail(ctxErr(cfg.Ctx)) })
@@ -711,35 +734,24 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 				n = remaining
 			}
 			remaining -= n
-			j := job{seq: seq, s: s, n: int(n), rebuild: rebuild}
-			q.Submit(func() {
-				if f.failed() {
-					return
-				}
-				if j.rebuild {
-					if err := c.ReconstructData(j.s.work); err != nil {
-						f.fail(err)
-						return
-					}
-				}
-				results <- j
-			})
+			s.seq, s.n, s.rebuild = seq, int(n), rebuild
+			q.Submit(s.run)
 		}
 	}()
 
 	// In-order writer.
-	pending := map[int64]job{}
+	pending := make(map[int64]*slot, cfg.Depth)
 	var next int64
 	for {
 		t0 := time.Now()
-		j, ok := <-results
+		s, ok := <-results
 		st.EncodeStall += time.Since(t0)
 		if !ok {
 			break
 		}
-		pending[j.seq] = j
+		pending[s.seq] = s
 		for {
-			jj, ok := pending[next]
+			ss, ok := pending[next]
 			if !ok {
 				break
 			}
@@ -747,16 +759,16 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 			next++
 			if !f.failed() {
 				t1 := time.Now()
-				werr := emitStripe(dst, jj.s.work, k, unit, int64(jj.n))
+				werr := emitStripe(dst, ss.work, k, unit, int64(ss.n))
 				st.WriteStall += time.Since(t1)
 				if werr != nil {
 					f.fail(werr)
 				} else {
 					st.Stripes++
-					st.BytesOut += int64(jj.n)
+					st.BytesOut += int64(ss.n)
 				}
 			}
-			free <- jj.s
+			free <- ss
 		}
 	}
 	wgRead.Wait()

@@ -178,6 +178,39 @@ func (m *Metrics) RegisterStore(st *Store) {
 		func() float64 { return float64(sc.Workers()) })
 }
 
+// RegisterTuner adds the background autotuner's scrape-time families: the
+// cumulative totals below plus, via the code registry's own attachment,
+// the per-shape hot-shape table (gemmec_tuner_shape_requests_total,
+// _generation, _predicted_gbps, _measured_gbps — one labeled series per
+// geometry, appearing as shapes do). Called by Store.SetMetrics; the
+// totals are skipped when the tuner is off (TuneTrials == 0) so scrapes
+// don't advertise a loop that isn't running.
+func (m *Metrics) RegisterTuner(st *Store) {
+	if m == nil {
+		return
+	}
+	st.Codes().AttachObs(m.Registry)
+	t := st.Tuner()
+	if t == nil {
+		return
+	}
+	m.Registry.CounterFunc("gemmec_tuner_runs_total",
+		"Completed background retunes (tune-measure-swap cycles).",
+		func() float64 { return float64(t.Runs()) })
+	m.Registry.CounterFunc("gemmec_tuner_generations_total",
+		"Executor generations installed into the live path, summed over geometries.",
+		func() float64 { return float64(t.Generations()) })
+	m.Registry.CounterFunc("gemmec_tuner_swaps_total",
+		"Retunes whose winning schedule differed from the live one.",
+		func() float64 { return float64(t.Swaps()) })
+	m.Registry.CounterFunc("gemmec_tuner_trials_total",
+		"Schedule points measured across all background retunes.",
+		func() float64 { return float64(t.Trials()) })
+	m.Registry.CounterFunc("gemmec_tuner_skipped_busy_total",
+		"Tuner ticks that found the scheduler busy and stood down.",
+		func() float64 { return float64(t.SkippedBusy()) })
+}
+
 // RegisterGateway adds scrape-time families backed by g: cluster repair
 // traffic (bytes read from survivors, bytes of shard rebuilt, and their
 // ratio — the repair amplification, k in the canonical single-shard

@@ -409,6 +409,7 @@ func (s *Store) scrubSlab(ctx context.Context, key string) (healed []int, reclai
 		if err := os.Remove(s.metaPath(key)); err != nil {
 			return nil, false, err
 		}
+		s.dropMetaCache(key)
 		s.removeFiles(s.shardPaths(key, meta))
 		s.dropLock(key, l)
 		s.slabsReclaimed.Add(1)

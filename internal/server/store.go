@@ -12,6 +12,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/hex"
 	"encoding/json"
@@ -29,6 +30,7 @@ import (
 
 	"gemmec"
 	"gemmec/internal/shardfile"
+	"gemmec/internal/tuned"
 	"gemmec/internal/vfs"
 )
 
@@ -91,6 +93,23 @@ type StoreConfig struct {
 	// (cause "stall") and the object is served degraded instead of the
 	// request hanging on a dead disk. Zero disables the guard.
 	ShardReadTimeout time.Duration
+	// DecoderCache bounds each code's compiled-decoder LRU (0 selects the
+	// library default of gemmec/internal/core.DefaultMaxCachedDecoders).
+	DecoderCache int
+	// TuneCache, when non-empty, is the autotuner cache file: learned
+	// schedules are loaded from it at open and persisted back after every
+	// background retune and on Close, so restarts keep their tuning.
+	TuneCache string
+	// TuneTrials is the per-retune schedule-search budget of the background
+	// serving-loop autotuner. 0 disables the tuner entirely (the default,
+	// so embedders opt in; cmd/ecserver enables it).
+	TuneTrials int
+	// TuneIdle is how long the store's scheduler must sit idle before a
+	// background retune may start (0 selects 100ms).
+	TuneIdle time.Duration
+	// TuneInterval is the tuner's poll cadence (0 selects 1s). Exposed
+	// mainly so tests and benches can tighten the loop.
+	TuneInterval time.Duration
 }
 
 // Stats is a snapshot of the store's cumulative counters, served by the
@@ -117,6 +136,10 @@ type Stats struct {
 	ParityShards   int   `json:"r"`
 	NodeDirs       int   `json:"nodes"`
 	StreamWorkers  int   `json:"stream_workers"`
+	// TunerRuns / TunerGenerations are the background autotuner's completed
+	// retunes and installed executor generations (0 when the tuner is off).
+	TunerRuns        int64 `json:"tuner_runs"`
+	TunerGenerations int64 `json:"tuner_generations"`
 }
 
 // ObjectMeta is the per-object metadata persisted under meta/: the
@@ -171,6 +194,14 @@ type Store struct {
 	cfg  StoreConfig
 	code *gemmec.Code
 
+	// codes shares one compiled code and one stripe-buffer pool per stripe
+	// geometry across all requests (shardfile.Opts.Source), and feeds the
+	// background tuner its hot-shape traffic counts.
+	codes *tuned.Registry
+	// tuner is the background tune-measure-swap loop, nil unless
+	// cfg.TuneTrials > 0.
+	tuner *tuned.Tuner
+
 	// sched is the store's shared encode/decode pool; ownSched records
 	// whether Open built it (and Close must stop it) or the caller did.
 	sched    *gemmec.Scheduler
@@ -184,6 +215,13 @@ type Store struct {
 	mu    sync.Mutex
 	rot   int // rotating placement offset, cluster-style
 	locks map[string]*sync.RWMutex
+	// metaCache holds parsed object metadata keyed by store key, validated
+	// against the meta file's (size, mtime) on every hit, so steady-state
+	// GETs skip the per-request ReadFile + JSON parse (whose allocations
+	// scale with stripe count). Guarded by mu; invalidated wherever this
+	// process writes or removes a meta file, and self-invalidating against
+	// out-of-band edits via the stat check.
+	metaCache map[string]metaCacheEntry
 	// pendingSlabs pins freshly flushed slabs (guarded by mu): a slab key
 	// is pinned before its metadata commits and unpinned only after every
 	// batch member has settled — committed its own member metadata or
@@ -215,6 +253,7 @@ type Store struct {
 func (s *Store) SetMetrics(m *Metrics) {
 	s.metrics.Store(m)
 	m.RegisterStore(s)
+	m.RegisterTuner(s)
 }
 
 // m returns the attached metrics bundle, nil until SetMetrics. Every
@@ -230,10 +269,6 @@ func Open(cfg StoreConfig) (*Store, error) {
 	if cfg.UnitSize == 0 {
 		cfg.UnitSize = gemmec.DefaultUnitSize
 	}
-	code, err := gemmec.New(cfg.K, cfg.R, gemmec.WithUnitSize(cfg.UnitSize))
-	if err != nil {
-		return nil, err
-	}
 	if cfg.Nodes < cfg.K+cfg.R {
 		return nil, fmt.Errorf("server: %d node dirs cannot hold k+r=%d shards in distinct failure domains",
 			cfg.Nodes, cfg.K+cfg.R)
@@ -244,7 +279,11 @@ func Open(cfg StoreConfig) (*Store, error) {
 			cfg.Workers = 8
 		}
 	}
-	s := &Store{cfg: cfg, code: code, locks: map[string]*sync.RWMutex{}, pendingSlabs: map[string]struct{}{}}
+	s := &Store{
+		cfg: cfg, locks: map[string]*sync.RWMutex{},
+		pendingSlabs: map[string]struct{}{},
+		metaCache:    map[string]metaCacheEntry{},
+	}
 	s.sched = cfg.Sched
 	if s.sched == nil {
 		s.sched = gemmec.NewScheduler(gemmec.SchedulerConfig{
@@ -254,6 +293,24 @@ func Open(cfg StoreConfig) (*Store, error) {
 		})
 		s.ownSched = true
 	}
+	// One registry shares the compiled code and stripe pool per geometry
+	// across every request, and carries the traffic counts the background
+	// tuner ranks shapes by. The tuner gates on the scheduler's idle window
+	// so trials never compete with live stripe work.
+	s.codes = tuned.NewRegistry(tuned.Config{
+		TuneCache:    cfg.TuneCache,
+		DecoderCache: cfg.DecoderCache,
+		Trials:       cfg.TuneTrials,
+		MinIdle:      cfg.TuneIdle,
+		Interval:     cfg.TuneInterval,
+		IdleFor:      s.sched.IdleFor,
+	})
+	code, err := s.codes.Code(cfg.K, cfg.R, cfg.UnitSize)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.code = code
 	if err := s.ensureDirs(); err != nil {
 		s.Close()
 		return nil, err
@@ -276,6 +333,10 @@ func Open(cfg StoreConfig) (*Store, error) {
 		s.slabSeq.Store(s.maxSlabSeq())
 		s.slab = startSlabWriter(s)
 	}
+	// Background serving-loop autotuner (nil unless TuneTrials > 0): waits
+	// for an idle window, retunes the hottest geometry, hot-swaps the
+	// executor, persists the learned schedule to TuneCache.
+	s.tuner = tuned.StartTuner(s.codes)
 	return s, nil
 }
 
@@ -284,6 +345,9 @@ func Open(cfg StoreConfig) (*Store, error) {
 // scheduler. Idempotent.
 func (s *Store) Close() {
 	s.closeOnce.Do(func() {
+		if s.tuner != nil {
+			s.tuner.Stop() // waits out an in-flight retune, saves the cache
+		}
 		if s.slab != nil {
 			s.slab.stop()
 		}
@@ -299,6 +363,13 @@ func (s *Store) Config() StoreConfig { return s.cfg }
 // Scheduler returns the store's shared encode/decode pool — the HTTP
 // layer's admission gate.
 func (s *Store) Scheduler() *gemmec.Scheduler { return s.sched }
+
+// Tuner returns the background serving-loop autotuner, nil unless the
+// store was opened with TuneTrials > 0.
+func (s *Store) Tuner() *tuned.Tuner { return s.tuner }
+
+// Codes returns the store's shared per-geometry code registry.
+func (s *Store) Codes() *tuned.Registry { return s.codes }
 
 // observeSchedWait is the scheduler's OnWait hook: it mirrors per-task
 // scheduler wait into the metrics histogram once metrics are attached.
@@ -414,7 +485,7 @@ func (s *Store) dropLock(key string, l *sync.RWMutex) {
 // fileOpts bundles the store's filesystem seam and shard-read deadline
 // with one request's context for the shardfile layer.
 func (s *Store) fileOpts(ctx context.Context) shardfile.Opts {
-	return shardfile.Opts{Ctx: ctx, FS: s.cfg.FS, ShardReadTimeout: s.cfg.ShardReadTimeout, Sched: s.sched}
+	return shardfile.Opts{Ctx: ctx, FS: s.cfg.FS, ShardReadTimeout: s.cfg.ShardReadTimeout, Sched: s.sched, Source: s.codes}
 }
 
 // ctxErr reports a dead request context, wrapping its cause.
@@ -425,9 +496,62 @@ func ctxErr(ctx context.Context) error {
 	return nil
 }
 
+// metaCacheMax bounds the parsed-metadata cache; past it an arbitrary
+// entry is evicted (the cache is a parse-avoidance layer, not a working
+// set guarantee — a miss just re-reads the file).
+const metaCacheMax = 4096
+
+type metaCacheEntry struct {
+	meta ObjectMeta
+	size int64
+	mod  time.Time
+}
+
+// cachedMeta returns key's parsed metadata when the cache entry still
+// matches the file's current identity.
+func (s *Store) cachedMeta(key string, fi os.FileInfo) (ObjectMeta, bool) {
+	s.mu.Lock()
+	e, ok := s.metaCache[key]
+	s.mu.Unlock()
+	if !ok || e.size != fi.Size() || !e.mod.Equal(fi.ModTime()) {
+		return ObjectMeta{}, false
+	}
+	return e.meta, true
+}
+
+func (s *Store) cacheMeta(key string, meta ObjectMeta, fi os.FileInfo) {
+	s.mu.Lock()
+	if len(s.metaCache) >= metaCacheMax {
+		for k := range s.metaCache {
+			delete(s.metaCache, k)
+			break
+		}
+	}
+	s.metaCache[key] = metaCacheEntry{meta: meta, size: fi.Size(), mod: fi.ModTime()}
+	s.mu.Unlock()
+}
+
+func (s *Store) dropMetaCache(key string) {
+	s.mu.Lock()
+	delete(s.metaCache, key)
+	s.mu.Unlock()
+}
+
 func (s *Store) loadMeta(key string) (ObjectMeta, error) {
 	var meta ObjectMeta
-	b, err := os.ReadFile(s.metaPath(key))
+	path := s.metaPath(key)
+	fi, err := os.Stat(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			s.dropMetaCache(key)
+			return meta, ErrObjectNotFound
+		}
+		return meta, err
+	}
+	if m, ok := s.cachedMeta(key, fi); ok {
+		return m, nil
+	}
+	b, err := os.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return meta, ErrObjectNotFound
@@ -443,6 +567,7 @@ func (s *Store) loadMeta(key string) (ObjectMeta, error) {
 		if meta.Slab.Key == "" || meta.Slab.Offset < 0 || meta.Slab.Size < 0 {
 			return meta, fmt.Errorf("server: metadata for %s has invalid slab ref %+v", key, *meta.Slab)
 		}
+		s.cacheMeta(key, meta, fi)
 		return meta, nil
 	}
 	if err := meta.Manifest.Validate(); err != nil {
@@ -452,21 +577,53 @@ func (s *Store) loadMeta(key string) (ObjectMeta, error) {
 		return meta, fmt.Errorf("server: metadata for %s places %d shards, manifest wants %d",
 			key, len(meta.Placement), meta.Manifest.K+meta.Manifest.R)
 	}
+	// Cache only fully validated metadata, keyed by the pre-read stat: if
+	// the file is replaced between the stat and the read we cache the new
+	// bytes under the old identity, so the next stat misses and reparses —
+	// a stale miss, never a stale hit.
+	s.cacheMeta(key, meta, fi)
 	return meta, nil
 }
 
+// metaEncoder pairs a reusable output buffer with a json.Encoder bound to
+// it. Pooled as a unit because the encoder's indentation scratch lives
+// inside it: a fresh Encoder per commit would regrow that scratch to the
+// metadata's size every PUT, an allocation cost that scales with stripe
+// count.
+type metaEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var metaEncPool = sync.Pool{New: func() any {
+	m := &metaEncoder{}
+	m.enc = json.NewEncoder(&m.buf)
+	m.enc.SetIndent("", "  ")
+	return m
+}}
+
 func (s *Store) saveMeta(key string, meta ObjectMeta) error {
-	b, err := json.MarshalIndent(meta, "", "  ")
-	if err != nil {
+	me := metaEncPool.Get().(*metaEncoder)
+	defer metaEncPool.Put(me)
+	me.buf.Reset()
+	if err := me.enc.Encode(meta); err != nil {
 		return err
 	}
 	tmp := s.metaPath(key) + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+	if err := os.WriteFile(tmp, me.buf.Bytes(), 0o644); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, s.metaPath(key)); err != nil {
 		os.Remove(tmp)
+		s.dropMetaCache(key)
 		return err
+	}
+	// Refresh the parse cache with what we just committed (writers hold
+	// the object lock, so the stat observes our own rename).
+	if fi, err := os.Stat(s.metaPath(key)); err == nil {
+		s.cacheMeta(key, meta, fi)
+	} else {
+		s.dropMetaCache(key)
 	}
 	return nil
 }
@@ -817,6 +974,7 @@ func (s *Store) Delete(ctx context.Context, name string) error {
 		if err := os.Remove(s.metaPath(key)); err != nil {
 			return err
 		}
+		s.dropMetaCache(key)
 		s.removeFiles(s.shardPaths(key, meta)) // best effort; scrub sweeps strays
 	case errors.Is(err, ErrObjectNotFound):
 		// Nothing stored under this name; retire the lock entry this very
@@ -829,6 +987,7 @@ func (s *Store) Delete(ctx context.Context, name string) error {
 		if rmErr := os.Remove(s.metaPath(key)); rmErr != nil {
 			return rmErr
 		}
+		s.dropMetaCache(key)
 		s.removeKeyShards(key)
 	}
 	s.dropLock(key, l)
@@ -1110,7 +1269,14 @@ func (s *Store) sweepOrphans(ctx context.Context) int {
 // Stats snapshots the store's counters.
 func (s *Store) Stats() Stats {
 	names, _ := s.List()
+	var tunerRuns, tunerGens int64
+	if s.tuner != nil {
+		ts := s.tuner.Stats()
+		tunerRuns, tunerGens = ts.Runs, ts.Generations
+	}
 	return Stats{
+		TunerRuns:        tunerRuns,
+		TunerGenerations: tunerGens,
 		Objects:        len(names),
 		Puts:           s.puts.Load(),
 		Gets:           s.gets.Load(),

@@ -58,16 +58,49 @@ type Opts struct {
 	// multiplexes every request's stripe work onto one bounded goroutine
 	// set; the workers argument is ignored when Sched is set.
 	Sched *gemmec.Scheduler
+	// Source, when non-nil, supplies shared per-geometry coding state: the
+	// compiled *gemmec.Code and the stripe-buffer pool for (k, r, unitSize).
+	// Without it every call compiles a fresh code and allocates a fresh
+	// ring — correct, but the per-request constant a server wants amortized
+	// to zero. internal/tuned's Registry is the serving implementation; it
+	// also makes the codes hot-swappable by the background autotuner.
+	Source CodeSource
+}
+
+// CodeSource supplies shared coding state per stripe geometry. A source
+// must return the same Code for the same geometry across calls (that is
+// the point — engine, decoder cache and tuned schedule are reused), and
+// its StripePool must match (k+r) x unitSize.
+type CodeSource interface {
+	StreamCode(k, r, unitSize int) (*gemmec.Code, error)
+	StreamPool(k, r, unitSize int) (*gemmec.StripePool, error)
+}
+
+// code returns the shared code for the geometry when a Source is attached,
+// otherwise a freshly built one.
+func (o Opts) code(k, r, unitSize int) (*gemmec.Code, error) {
+	if o.Source != nil {
+		return o.Source.StreamCode(k, r, unitSize)
+	}
+	return gemmec.New(k, r, gemmec.WithUnitSize(unitSize))
 }
 
 // streamOpts translates the worker knob into stream options: the shared
-// scheduler when Opts carries one, the legacy per-call worker pool
-// otherwise.
-func (o Opts) streamOpts(workers int) []gemmec.StreamOption {
+// scheduler when Opts carries one (legacy per-call worker pool otherwise),
+// plus the shared stripe pool when a Source supplies one.
+func (o Opts) streamOpts(k, r, unitSize, workers int) []gemmec.StreamOption {
+	opts := make([]gemmec.StreamOption, 0, 4)
 	if o.Sched != nil {
-		return []gemmec.StreamOption{gemmec.WithStreamScheduler(o.Sched)}
+		opts = append(opts, gemmec.WithStreamScheduler(o.Sched))
+	} else {
+		opts = append(opts, gemmec.WithStreamWorkers(workers)) //nolint:staticcheck // legacy path kept for scheduler-less callers
 	}
-	return []gemmec.StreamOption{gemmec.WithStreamWorkers(workers)} //nolint:staticcheck // legacy path kept for scheduler-less callers
+	if o.Source != nil {
+		if p, err := o.Source.StreamPool(k, r, unitSize); err == nil && p != nil {
+			opts = append(opts, gemmec.WithStreamPool(p))
+		}
+	}
+	return opts
 }
 
 func (o Opts) context() context.Context {
@@ -85,6 +118,45 @@ func (o Opts) ctxErr() error {
 		return fmt.Errorf("shardfile: canceled: %w", context.Cause(ctx))
 	}
 	return nil
+}
+
+// Pools for the per-request streaming state whose size does not depend on
+// the object: 1 MiB bufio buffers (k+r+1 of them per request — by far the
+// largest per-request allocation) and SHA-256 digests. Pooling them turns
+// the request-setup cost from "allocate ~7 MiB" into a few pointer swaps
+// once the pools are warm.
+var (
+	bufWriterPool = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, streamBufSize) }}
+	bufReaderPool = sync.Pool{New: func() any { return bufio.NewReaderSize(eofReader{}, streamBufSize) }}
+	sha256Pool    = sync.Pool{New: func() any { return sha256.New() }}
+)
+
+// eofReader is the parked source of pooled bufio.Readers: a pooled reader
+// never holds a reference to a caller's file or socket.
+type eofReader struct{}
+
+func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+func getBufWriter(w io.Writer) *bufio.Writer {
+	bw := bufWriterPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return bw
+}
+
+func putBufWriter(bw *bufio.Writer) {
+	bw.Reset(io.Discard) // drop buffered bytes and the sink reference
+	bufWriterPool.Put(bw)
+}
+
+func getBufReader(r io.Reader) *bufio.Reader {
+	br := bufReaderPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+func putBufReader(br *bufio.Reader) {
+	br.Reset(eofReader{})
+	bufReaderPool.Put(br)
 }
 
 // stripeSummer accumulates the CRC32C of each UnitSize window of one shard
@@ -115,6 +187,26 @@ func (w *stripeSummer) Write(p []byte) (int, error) {
 		}
 	}
 	return total, nil
+}
+
+// shardSink is one shard's write fan-out: the gathered equivalent of
+// io.MultiWriter(bufio, sha256, stripeSummer). Each pipeline write lands
+// in all three consumers from a single method body — no interface
+// dispatch loop, no per-call multiWriter allocation — and only the disk
+// write can fail (the hashing sinks are infallible by construction).
+type shardSink struct {
+	w   *bufio.Writer
+	sha hash.Hash
+	sum stripeSummer
+}
+
+func (s *shardSink) Write(p []byte) (int, error) {
+	if _, err := s.w.Write(p); err != nil {
+		return 0, err
+	}
+	s.sha.Write(p) //nolint:errcheck // hash.Hash.Write never fails
+	s.sum.Write(p) //nolint:errcheck // stripeSummer.Write never fails
+	return len(p), nil
 }
 
 // WriteStream encodes src (size bytes long) into a k+r shard set under
@@ -153,15 +245,13 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 	if len(paths) != k+r {
 		return m, st, fmt.Errorf("shardfile: %d shard paths for k+r=%d", len(paths), k+r)
 	}
-	code, err := gemmec.New(k, r, gemmec.WithUnitSize(unitSize))
+	code, err := opt.code(k, r, unitSize)
 	if err != nil {
 		return m, st, err
 	}
 	fsys := opt.fs()
 	files := make([]vfs.File, k+r)
-	bufs := make([]*bufio.Writer, k+r)
-	sums := make([]hash.Hash, k+r)
-	summers := make([]*stripeSummer, k+r)
+	sinks := make([]shardSink, k+r)
 	writers := make([]io.Writer, k+r)
 	committed := false
 	defer func() {
@@ -173,17 +263,36 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 				}
 			}
 		}
+		for i := range sinks {
+			if sinks[i].w != nil {
+				putBufWriter(sinks[i].w)
+			}
+			if sinks[i].sha != nil {
+				sinks[i].sha.Reset()
+				sha256Pool.Put(sinks[i].sha)
+			}
+		}
 	}()
+	// Known size means known stripe count: size the per-shard stripe-sum
+	// slices up front so the summers never grow mid-stream.
+	sumCap := 1
+	if size > 0 {
+		stripeBytes := int64(k) * int64(unitSize)
+		sumCap = int((size + stripeBytes - 1) / stripeBytes)
+	}
 	for i := range writers {
 		f, err := fsys.Create(paths[i] + ".tmp")
 		if err != nil {
 			return m, st, err
 		}
 		files[i] = f
-		bufs[i] = bufio.NewWriterSize(f, streamBufSize)
-		sums[i] = sha256.New()
-		summers[i] = &stripeSummer{unit: unitSize}
-		writers[i] = io.MultiWriter(bufs[i], sums[i], summers[i])
+		sinks[i] = shardSink{
+			w:   getBufWriter(f),
+			sha: sha256Pool.Get().(hash.Hash),
+			sum: stripeSummer{unit: unitSize, sums: make([]uint32, 0, sumCap)},
+		}
+		sinks[i].sha.Reset()
+		writers[i] = &sinks[i]
 	}
 
 	// An empty file still gets one (all-zero) stripe, matching Write's
@@ -192,9 +301,11 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 	if size == 0 {
 		src = bytes.NewReader(make([]byte, code.DataSize()))
 	}
-	encOpts := append(opt.streamOpts(workers),
+	encOpts := append(opt.streamOpts(k, r, unitSize, workers),
 		gemmec.WithStreamStats(&st), gemmec.WithStreamContext(opt.context()))
-	n, err := code.EncodeStream(bufio.NewReaderSize(src, streamBufSize), writers, encOpts...)
+	in := getBufReader(src)
+	n, err := code.EncodeStream(in, writers, encOpts...)
+	putBufReader(in)
 	if err != nil {
 		return m, st, err
 	}
@@ -220,14 +331,14 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 	m.Checksums = make([]string, k+r)
 	m.StripeSums = make([][]uint32, k+r)
 	for i := range files {
-		if err := bufs[i].Flush(); err != nil {
+		if err := sinks[i].w.Flush(); err != nil {
 			return m, st, err
 		}
 		if err := files[i].Close(); err != nil {
 			return m, st, err
 		}
-		m.Checksums[i] = hex.EncodeToString(sums[i].Sum(nil))
-		m.StripeSums[i] = summers[i].sums
+		m.Checksums[i] = hex.EncodeToString(sinks[i].sha.Sum(nil))
+		m.StripeSums[i] = sinks[i].sum.sums
 	}
 	if err := m.Validate(); err != nil {
 		return m, st, err
@@ -259,6 +370,7 @@ type StreamReader struct {
 	m        Manifest
 	opt      Opts
 	readers  []io.Reader
+	bufrs    []*bufio.Reader // pooled; returned to bufReaderPool on Close
 	files    []vfs.File
 	guards   []*stallGuard
 	unusable []int
@@ -299,6 +411,10 @@ func (sr *StreamReader) Close() error {
 		}
 	}
 	sr.guards = nil
+	for _, br := range sr.bufrs {
+		putBufReader(br)
+	}
+	sr.bufrs = nil
 	for i, f := range sr.files {
 		if f != nil {
 			if err := f.Close(); err != nil && first == nil {
@@ -359,12 +475,13 @@ func (sr *StreamReader) DecodeRange(dst io.Writer, workers int, off, length int6
 
 func (sr *StreamReader) decodeSize(dst io.Writer, workers int, size int64) (gemmec.StreamStats, error) {
 	var st gemmec.StreamStats
-	code, err := sr.m.Code()
+	code, err := sr.opt.code(sr.m.K, sr.m.R, sr.m.UnitSize)
 	if err != nil {
 		return st, err
 	}
-	out := bufio.NewWriterSize(dst, streamBufSize)
-	opts := append(sr.opt.streamOpts(workers),
+	out := getBufWriter(dst)
+	defer putBufWriter(out)
+	opts := append(sr.opt.streamOpts(sr.m.K, sr.m.R, sr.m.UnitSize, workers),
 		gemmec.WithStreamStats(&st), gemmec.WithStreamContext(sr.opt.context()))
 	if sr.m.StripeVerified() {
 		opts = append(opts, gemmec.WithStreamVerifier(&stripeVerifier{sums: sr.m.StripeSums}))
@@ -547,7 +664,9 @@ func OpenStreamPaths(paths []string, m Manifest, opt Opts) (*StreamReader, error
 			sr.guards = append(sr.guards, g)
 			rd = g
 		}
-		sr.readers[i] = bufio.NewReaderSize(rd, streamBufSize)
+		br := getBufReader(rd)
+		sr.bufrs = append(sr.bufrs, br)
+		sr.readers[i] = br
 	}
 	if usable := n - len(sr.unusable); usable < m.K {
 		sr.Close()
