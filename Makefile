@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot stress-fault stress-load stress-cluster bench bench-json bench-smoke ci
+.PHONY: all build vet test race race-hot stress-fault stress-load stress-cluster stress-obs bench bench-json bench-smoke ci
 
 all: build
 
@@ -52,6 +52,14 @@ stress-cluster:
 	$(GO) test -race -count=2 -run 'TestCluster|TestQuorum|TestTorn|TestGateway|TestPeerAPIAuth|TestFault|TestPlacement|TestDelete|TestReadMeta|TestPutShard' \
 		./internal/server ./internal/peer
 
+# Observability drill under -race: the flight recorder's concurrent
+# scrape-vs-finish paths, tail-retention and wire round-trip properties,
+# cross-peer trace propagation through a real 3-peer HTTP cluster, and
+# the member-labeled peer metrics fed by the client observer hooks.
+stress-obs:
+	$(GO) test -race -count=2 -run 'Trace|Tracez|Span|Waterfall|Retention|RingEviction|PeerMetrics|WireRoundTrip|NilSafety' \
+		./internal/obs ./internal/server ./internal/peer
+
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
@@ -86,4 +94,4 @@ bench-smoke:
 # TestDecodeStreamSteadyStateAllocs and the full-server
 # TestServerSteadyStateAllocs) run as part of `test`, so `ci` gates on the
 # encode, verified-decode and daemon PUT/GET paths staying allocation-free.
-ci: build vet test race-hot stress-fault stress-load stress-cluster bench-smoke
+ci: build vet test race-hot stress-fault stress-load stress-cluster stress-obs bench-smoke

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"gemmec"
+	"gemmec/internal/obs"
 	"gemmec/internal/shardfile"
 )
 
@@ -396,6 +397,7 @@ func cmdPut(args []string) error {
 		if id := resp.Header.Get("X-Gemmec-Request-Id"); id != "" {
 			fmt.Fprintf(os.Stderr, "eccli: request id %s\n", id)
 		}
+		printTraceURL(*server, resp)
 		if st := pr.Stats; st != nil {
 			fmt.Fprintf(os.Stderr,
 				"eccli: server encode: %d stripes in %s (read stall %s, encode stall %s, write stall %s)\n",
@@ -477,6 +479,7 @@ func cmdGet(args []string) error {
 		if id := resp.Header.Get("X-Gemmec-Request-Id"); id != "" {
 			fmt.Fprintf(os.Stderr, "eccli: request id %s\n", id)
 		}
+		printTraceURL(*server, resp)
 		fmt.Fprintf(os.Stderr,
 			"eccli: server decode: %s stripes (read stall %s, decode stall %s, write stall %s)\n",
 			orDash(resp.Trailer.Get("X-Gemmec-Stripes")),
@@ -491,6 +494,18 @@ func cmdGet(args []string) error {
 		fmt.Fprintf(os.Stderr, "got %d bytes to %s\n", n, *out)
 	}
 	return nil
+}
+
+// printTraceURL points -v output at the server's recorded span waterfall
+// when this request was traced (the server sets X-Gemmec-Trace only on
+// requests it head-sampled into the /tracez flight recorder).
+func printTraceURL(server string, resp *http.Response) {
+	id := resp.Header.Get(obs.TraceHeader)
+	if id == "" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "eccli: trace %s/tracez?trace=%s\n",
+		strings.TrimRight(server, "/"), id)
 }
 
 // orDash substitutes "-" for trailer values an older server did not send.

@@ -11,6 +11,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -37,6 +38,7 @@ type clusterOpts struct {
 	accessLogFile             string
 	reqTimeout                time.Duration
 	maxObject                 int64
+	traceSample, traceRing    int
 	readHeaderTimeout         time.Duration
 	idleTimeout, writeTimeout time.Duration
 }
@@ -141,6 +143,15 @@ func clusterMain(logger *log.Logger, o clusterOpts) {
 
 	metrics := server.NewMetrics(nil)
 	gw.SetMetrics(metrics)
+	obs.RegisterBuildInfo(metrics.Registry,
+		obs.L("mode", "cluster"), obs.L("member", strconv.Itoa(self.ID)),
+		obs.L("k", strconv.Itoa(o.k)), obs.L("r", strconv.Itoa(o.r)),
+		obs.L("unit", strconv.Itoa(o.unit)))
+	tracer := obs.NewRecorder(obs.RecorderConfig{
+		Capacity:    o.traceRing,
+		SampleEvery: o.traceSample,
+		Slow:        o.slowReq,
+	})
 	logger.Printf("ecserver: cluster member %d (of %d) gateway on %s (k=%d r=%d unit=%d, write quorum k+%d)",
 		self.ID, ring.Len(), o.addr, o.k, o.r, o.unit, o.writeQuorum)
 
@@ -153,6 +164,7 @@ func clusterMain(logger *log.Logger, o clusterOpts) {
 	hcfg := server.Config{
 		Logf:                 logger.Printf,
 		Metrics:              metrics,
+		Tracer:               tracer,
 		Scrubber:             scrubber,
 		SlowRequestThreshold: o.slowReq,
 		RequestTimeout:       o.reqTimeout,
@@ -179,8 +191,9 @@ func clusterMain(logger *log.Logger, o clusterOpts) {
 		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dbg.Handle("/metricsz", metrics.Registry.Handler())
+		dbg.Handle("/tracez", tracer.Handler())
 		go func() {
-			logger.Printf("ecserver: debug mux (pprof, metricsz) on %s", o.debugAddr)
+			logger.Printf("ecserver: debug mux (pprof, metricsz, tracez) on %s", o.debugAddr)
 			if err := http.ListenAndServe(o.debugAddr, dbg); err != nil {
 				logger.Printf("ecserver: debug mux: %v", err)
 			}

@@ -33,9 +33,12 @@
 // Observability: every request gets an X-Gemmec-Request-Id and a JSON
 // access-log line on stderr (silence with -access-log=false or redirect
 // with -access-log-file); requests slower than -slow-request are called
-// out; -debug-addr starts a second listener carrying net/http/pprof —
-// kept off the data-plane address so profiling endpoints are never
-// reachable from the object port.
+// out; 1 in -trace-sample requests (plus every errored or slow one) is
+// recorded as a span waterfall in the /tracez flight recorder, with
+// cross-peer spans merged in over X-Gemmec-Trace in cluster mode;
+// -debug-addr starts a second listener carrying net/http/pprof — kept
+// off the data-plane address so profiling endpoints are never reachable
+// from the object port.
 package main
 
 import (
@@ -49,6 +52,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -81,6 +85,10 @@ func main() {
 		"listen address for the debug mux (net/http/pprof); empty disables it")
 	slowReq := flag.Duration("slow-request", time.Second,
 		"log and count requests slower than this (0 disables the check)")
+	traceSample := flag.Int("trace-sample", 16,
+		"head-sample 1 in N requests into the /tracez flight recorder; errored and slow requests are always kept (0 disables head sampling)")
+	traceRing := flag.Int("trace-ring", 512,
+		"how many finished request traces the /tracez flight recorder retains")
 	accessLog := flag.Bool("access-log", true, "emit one JSON access-log line per request")
 	accessLogFile := flag.String("access-log-file", "",
 		"append access-log lines to this file instead of stderr")
@@ -127,6 +135,7 @@ func main() {
 			scrubEvery: *scrubEvery, drain: *drain, debugAddr: *debugAddr,
 			slowReq: *slowReq, accessLog: *accessLog, accessLogFile: *accessLogFile,
 			reqTimeout: *reqTimeout, maxObject: *maxObject,
+			traceSample: *traceSample, traceRing: *traceRing,
 			readHeaderTimeout: *readHeaderTimeout, idleTimeout: *idleTimeout, writeTimeout: *writeTimeout,
 		})
 		return
@@ -157,6 +166,15 @@ func main() {
 	}
 	metrics := server.NewMetrics(nil)
 	store.SetMetrics(metrics)
+	obs.RegisterBuildInfo(metrics.Registry,
+		obs.L("mode", "single"),
+		obs.L("k", strconv.Itoa(*k)), obs.L("r", strconv.Itoa(*r)),
+		obs.L("unit", strconv.Itoa(*unit)))
+	tracer := obs.NewRecorder(obs.RecorderConfig{
+		Capacity:    *traceRing,
+		SampleEvery: *traceSample,
+		Slow:        *slowReq,
+	})
 	logger.Printf("ecserver: serving %s on %s (k=%d r=%d unit=%d, %d node dirs)",
 		*root, *addr, *k, *r, *unit, *nodes)
 
@@ -169,6 +187,7 @@ func main() {
 	hcfg := server.Config{
 		Logf:                 logger.Printf,
 		Metrics:              metrics,
+		Tracer:               tracer,
 		Scrubber:             scrubber,
 		SlowRequestThreshold: *slowReq,
 		RequestTimeout:       *reqTimeout,
@@ -198,8 +217,9 @@ func main() {
 		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dbg.Handle("/metricsz", metrics.Registry.Handler())
+		dbg.Handle("/tracez", tracer.Handler())
 		go func() {
-			logger.Printf("ecserver: debug mux (pprof, metricsz) on %s", *debugAddr)
+			logger.Printf("ecserver: debug mux (pprof, metricsz, tracez) on %s", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
 				logger.Printf("ecserver: debug mux: %v", err)
 			}

@@ -1,0 +1,34 @@
+package obs
+
+// Process identity gauges: gemmec_build_info carries the facts a scrape
+// needs to interpret the rest of the series (Go version, GOMAXPROCS,
+// whatever deployment labels the caller adds — geometry defaults, mode),
+// and gemmec_process_start_time_seconds lets dashboards compute uptime
+// and detect restarts without host access.
+
+import (
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// processStart is captured once at init so the start-time gauge is
+// immune to later wall-clock steps changing its meaning mid-flight.
+var processStart = time.Now()
+
+// RegisterBuildInfo registers the constant gemmec_build_info gauge
+// (value 1; identity lives in the labels) plus the process start-time
+// gauge. extra labels come from the caller — geometry defaults, serving
+// mode — and ride alongside the built-in go_version/gomaxprocs pair.
+func RegisterBuildInfo(r *Registry, extra ...Label) {
+	labels := append([]Label{
+		L("go_version", runtime.Version()),
+		L("gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0))),
+	}, extra...)
+	r.Gauge("gemmec_build_info",
+		"Constant 1; build and runtime identity carried in the labels.",
+		labels...).Set(1)
+	r.GaugeFunc("gemmec_process_start_time_seconds",
+		"Unix time the process started, for uptime and restart detection.",
+		func() float64 { return float64(processStart.UnixNano()) / 1e9 })
+}

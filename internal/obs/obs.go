@@ -343,14 +343,31 @@ func formatFloat(v float64) string {
 // WritePrometheus renders every registered family in Prometheus text
 // exposition format (version 0.0.4). Values are read atomically; the
 // output is a consistent-enough snapshot under concurrent traffic.
+//
+// The registry lock covers only the structural snapshot, not rendering:
+// scrape-time fn callbacks may re-enter the registry (the gateway's
+// catalog gauge walks peer clients whose observer hooks record request
+// counters), which would deadlock if the lock were held across them.
+// Families and series are append-only, so slice-header copies taken
+// under the lock stay valid; series registered mid-render simply appear
+// in the next scrape.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, f := range r.families {
+	type famSnap struct {
+		f      *family
+		series []*series
+	}
+	fams := make([]famSnap, len(r.families))
+	for i, f := range r.families {
+		fams[i] = famSnap{f: f, series: f.series[:len(f.series):len(f.series)]}
+	}
+	r.mu.Unlock()
+	for _, fs := range fams {
+		f := fs.f
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
 			return err
 		}
-		for _, s := range f.series {
+		for _, s := range fs.series {
 			if err := writeSeries(w, f, s); err != nil {
 				return err
 			}

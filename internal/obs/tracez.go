@@ -1,0 +1,142 @@
+package obs
+
+// /tracez: the flight recorder's HTTP surface. The list view is a JSON
+// array of trace summaries (newest first); `?trace=<id>` or
+// `?req=<request-id>` selects one trace and returns the full span table
+// plus a pre-rendered text waterfall, so "paste the request ID from a
+// failing eccli call" is the whole debugging workflow.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// tracezSummary is one row of the /tracez list view.
+type tracezSummary struct {
+	ID     string  `json:"id"`
+	ReqID  string  `json:"request_id"`
+	Op     string  `json:"op"`
+	Status int     `json:"status"`
+	Kept   string  `json:"kept"`
+	Start  string  `json:"start"`
+	DurMs  float64 `json:"duration_ms"`
+	Spans  int     `json:"spans"`
+}
+
+type tracezList struct {
+	Started  uint64          `json:"traces_started"`
+	Retained uint64          `json:"traces_retained"`
+	Traces   []tracezSummary `json:"traces"`
+}
+
+type tracezDetail struct {
+	Trace     *TraceRecord `json:"trace"`
+	Waterfall []string     `json:"waterfall"`
+}
+
+// Handler serves the flight recorder.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		key := req.URL.Query().Get("trace")
+		if key == "" {
+			key = req.URL.Query().Get("req")
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if key == "" {
+			started, retained := r.Stats()
+			list := tracezList{Started: started, Retained: retained, Traces: []tracezSummary{}}
+			for _, tr := range r.Snapshot() {
+				list.Traces = append(list.Traces, tracezSummary{
+					ID:     tr.ID,
+					ReqID:  tr.ReqID,
+					Op:     tr.Op,
+					Status: tr.Status,
+					Kept:   tr.Kept,
+					Start:  tr.Start.Format("2006-01-02T15:04:05.000Z07:00"),
+					DurMs:  tr.DurMs,
+					Spans:  len(tr.Spans),
+				})
+			}
+			enc.Encode(list) //nolint:errcheck // client gone; nothing to do
+			return
+		}
+		tr := r.Find(key)
+		if tr == nil {
+			http.Error(w, `{"error":"trace not found"}`, http.StatusNotFound)
+			return
+		}
+		enc.Encode(tracezDetail{Trace: tr, Waterfall: Waterfall(tr)}) //nolint:errcheck
+	})
+}
+
+// Waterfall renders a trace as indented text bars on a shared time
+// axis — one line per span, children under parents, remote spans tagged
+// with their member — the "where did this request spend its 40ms" view.
+func Waterfall(tr *TraceRecord) []string {
+	if tr == nil {
+		return nil
+	}
+	total := tr.DurMs
+	if total <= 0 {
+		total = 0.001
+	}
+	// Order spans depth-first so children print under their parents.
+	children := make(map[int][]int)
+	for i, s := range tr.Spans {
+		children[s.Parent] = append(children[s.Parent], i)
+	}
+	for _, c := range children {
+		sort.Slice(c, func(a, b int) bool {
+			if tr.Spans[c[a]].StartMs != tr.Spans[c[b]].StartMs {
+				return tr.Spans[c[a]].StartMs < tr.Spans[c[b]].StartMs
+			}
+			return c[a] < c[b]
+		})
+	}
+	const width = 40
+	lines := []string{fmt.Sprintf("%s %s status=%d %.3fms trace=%s req=%s",
+		strings.ToUpper(tr.Op), tr.Kept, tr.Status, tr.DurMs, tr.ID, tr.ReqID)}
+	var walk func(idx, depth int)
+	walk = func(idx, depth int) {
+		s := tr.Spans[idx]
+		from := int(s.StartMs / total * width)
+		to := int((s.StartMs + s.DurMs) / total * width)
+		if from > width-1 {
+			from = width - 1
+		}
+		if to <= from {
+			to = from + 1
+		}
+		if to > width {
+			to = width
+		}
+		bar := strings.Repeat(".", from) + strings.Repeat("#", to-from) + strings.Repeat(" ", width-to)
+		name := strings.Repeat("  ", depth) + s.Name
+		tags := ""
+		if s.Member >= 0 {
+			tags += fmt.Sprintf(" m%d", s.Member)
+		}
+		if s.Remote {
+			tags += " remote"
+		}
+		if s.Err {
+			tags += " ERR"
+		}
+		if s.Arg != 0 {
+			tags += fmt.Sprintf(" arg=%d", s.Arg)
+		}
+		lines = append(lines, fmt.Sprintf("%9.3f %9.3f |%s| %s%s", s.StartMs, s.DurMs, bar, name, tags))
+		for _, c := range children[idx] {
+			walk(c, depth+1)
+		}
+	}
+	for _, root := range children[-1] {
+		walk(root, 0)
+	}
+	return lines
+}

@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// finishOne runs a minimal traced request against rec and returns its
+// trace ID string.
+func finishOne(rec *Recorder, op string, status int, sleep time.Duration) string {
+	t := rec.Start(op, "req-"+op)
+	sp := t.StartSpan("work")
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	var err error
+	if status >= 400 {
+		err = errors.New("boom")
+	}
+	sp.End(err)
+	id := t.IDString()
+	rec.Finish(t, status)
+	return id
+}
+
+// TestTailRetention is the flight-recorder property: with head sampling
+// off, an errored trace and a slow trace survive an arbitrarily long run
+// of fast successes, because fast successes are never retained at all.
+func TestTailRetention(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Capacity: 8, SampleEvery: 0, Slow: 20 * time.Millisecond})
+
+	errID := finishOne(rec, "put", 500, 0)
+	slowID := finishOne(rec, "get", 200, 30*time.Millisecond)
+	for i := 0; i < 10*8; i++ { // 10x the ring of clean fast traffic
+		finishOne(rec, "get", 200, 0)
+	}
+
+	started, retained := rec.Stats()
+	if started != 82 {
+		t.Fatalf("started = %d, want 82", started)
+	}
+	if retained != 2 {
+		t.Fatalf("retained = %d, want 2 (error + slow only)", retained)
+	}
+	er := rec.Find(errID)
+	if er == nil || er.Kept != "error" || er.Status != 500 {
+		t.Fatalf("errored trace not retained as kept=error: %+v", er)
+	}
+	if !er.Spans[0].Err {
+		t.Fatalf("errored span not marked: %+v", er.Spans[0])
+	}
+	sl := rec.Find(slowID)
+	if sl == nil || sl.Kept != "slow" {
+		t.Fatalf("slow trace not retained as kept=slow: %+v", sl)
+	}
+	if sl.DurMs < 20 {
+		t.Fatalf("slow trace duration %.3fms, want >= 20ms", sl.DurMs)
+	}
+	// Find by request ID joins the access log to the recorder.
+	if rec.Find("req-put") != er {
+		t.Fatalf("Find by request id did not return the errored trace")
+	}
+}
+
+// TestRingEviction: head-sampling everything, the fixed ring keeps the
+// newest Capacity traces and Snapshot returns them newest first.
+func TestRingEviction(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Capacity: 4, SampleEvery: 1})
+	var ids []string
+	for i := 0; i < 7; i++ {
+		ids = append(ids, finishOne(rec, "get", 200, 0))
+	}
+	snap := rec.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(snap))
+	}
+	for i, tr := range snap {
+		want := ids[len(ids)-1-i]
+		if tr.ID != want {
+			t.Fatalf("snapshot[%d].ID = %s, want %s (newest first)", i, tr.ID, want)
+		}
+	}
+	if rec.Find(ids[0]) != nil {
+		t.Fatalf("oldest trace still findable after eviction")
+	}
+}
+
+// TestWireRoundTrip drives the cross-peer propagation path in-process:
+// header encode → parse on the "peer", remote span encode → merge back.
+func TestWireRoundTrip(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Capacity: 4, SampleEvery: 1})
+	tr := rec.Start("put", "req-wire")
+	parent := tr.StartSpan("gw.encode")
+
+	wire := tr.WireHeader(parent)
+	info := ParseTraceHeader(wire)
+	if !info.Valid || !info.Sampled {
+		t.Fatalf("ParseTraceHeader(%q) = %+v, want valid+sampled", wire, info)
+	}
+	if got := formatID(info.ID); got != tr.IDString() {
+		t.Fatalf("trace ID over the wire: got %s, want %s", got, tr.IDString())
+	}
+	if info.Parent != 0 {
+		t.Fatalf("parent index over the wire: got %d, want 0", info.Parent)
+	}
+	for _, bad := range []string{"", "zz", "abcd-0-1", wire + "-x", strings.Repeat("g", 16) + "-0-1"} {
+		if ParseTraceHeader(bad).Valid {
+			t.Fatalf("ParseTraceHeader(%q) reported valid", bad)
+		}
+	}
+
+	// Peer side: two spans, one errored, one starting "before" the trace
+	// (clock skew) — the merge clamps it to offset zero.
+	now := time.Now()
+	resp := EncodeRemoteSpan("shard.write", now, 5*time.Millisecond, false) + ";" +
+		EncodeRemoteSpan("shard.stat", now.Add(-time.Hour), time.Millisecond, true) + ";" +
+		"garbage,entry"
+	tr.AddRemoteSpans(2, parent, resp)
+	parent.End(nil)
+	rec.Finish(tr, 201)
+
+	got := rec.Find("req-wire")
+	if got == nil {
+		t.Fatal("sampled trace not retained")
+	}
+	var remote []SpanRecord
+	for _, s := range got.Spans {
+		if s.Remote {
+			remote = append(remote, s)
+		}
+	}
+	if len(remote) != 2 {
+		t.Fatalf("merged %d remote spans, want 2: %+v", len(remote), got.Spans)
+	}
+	for _, s := range remote {
+		if s.Member != 2 || s.Parent != 0 {
+			t.Fatalf("remote span not attributed to member 2 under parent 0: %+v", s)
+		}
+	}
+	if remote[0].Name != "shard.write" || remote[0].Err {
+		t.Fatalf("first remote span wrong: %+v", remote[0])
+	}
+	if remote[1].Name != "shard.stat" || !remote[1].Err {
+		t.Fatalf("second remote span wrong: %+v", remote[1])
+	}
+	if remote[1].StartMs != 0 {
+		t.Fatalf("skewed remote start not clamped: %.3f", remote[1].StartMs)
+	}
+}
+
+// TestSpanOverflow: the 65th span of a trace drops silently — no panic,
+// no growth — and the retained record holds exactly maxSpans spans.
+func TestSpanOverflow(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Capacity: 2, SampleEvery: 1})
+	tr := rec.Start("put", "req-over")
+	for i := 0; i < maxSpans+16; i++ {
+		sp := tr.StartSpan("s")
+		sp.SetArg(int64(i))
+		sp.Stalls(time.Microsecond, 0, 0) // extra interval spans past the cap
+		sp.End(nil)
+	}
+	rec.Finish(tr, 200)
+	got := rec.Find("req-over")
+	if got == nil || len(got.Spans) != maxSpans {
+		t.Fatalf("overflowed trace has %d spans, want %d", len(got.Spans), maxSpans)
+	}
+}
+
+// TestNilSafety: every tracing entry point must be a no-op on nil
+// receivers — that is the entire "tracing disabled" configuration.
+func TestNilSafety(t *testing.T) {
+	var rec *Recorder
+	tr := rec.Start("get", "x")
+	if tr != nil {
+		t.Fatal("nil recorder issued a trace")
+	}
+	sp := tr.StartSpan("a")
+	sp.End(nil)
+	sp.SetMember(1)
+	sp.SetArg(2)
+	sp.Stalls(1, 2, 3)
+	sp.StartChild("b").End(nil)
+	tr.AddRemoteSpans(0, sp, "x,1,2,0")
+	if tr.WireHeader(sp) != "" || tr.IDString() != "" || tr.Sampled() {
+		t.Fatal("nil trace leaked state")
+	}
+	rec.Finish(tr, 200)
+	if s := rec.Snapshot(); s != nil {
+		t.Fatalf("nil recorder snapshot: %v", s)
+	}
+}
+
+// TestUnsampledAllocs is the hot-path guard: once the pool is warm, an
+// unsampled, unretained request's full trace lifecycle — Start, a span
+// with annotations, End, Finish — allocates nothing.
+func TestUnsampledAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rec := NewRecorder(RecorderConfig{Capacity: 8, SampleEvery: 0})
+	for i := 0; i < 4; i++ { // warm the pool
+		finishOne(rec, "get", 200, 0)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		tr := rec.Start("get", "req")
+		sp := tr.StartSpan("admit")
+		sp.End(nil)
+		c := tr.StartSpan("gw.open")
+		c.SetArg(4)
+		c.Stalls(time.Microsecond, time.Microsecond, 0)
+		c.End(nil)
+		rec.Finish(tr, 200)
+	})
+	if avg > 0 {
+		t.Fatalf("unsampled request trace averaged %.2f allocs, want 0", avg)
+	}
+}
+
+// TestTracezConcurrentScrape is the race drill: writers finishing traces
+// of every retention class while scrapers hammer the list and detail
+// views. Run under -race via `make stress-obs`.
+func TestTracezConcurrentScrape(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Capacity: 16, SampleEvery: 3, Slow: time.Millisecond})
+	h := rec.Handler()
+
+	const writers, scrapers, iters = 4, 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				status := 200
+				if i%7 == 0 {
+					status = 500
+				}
+				finishOne(rec, fmt.Sprintf("op%d", w), status, 0)
+			}
+		}(w)
+	}
+	scrapeErr := make(chan error, scrapers)
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rw := httptest.NewRecorder()
+				h.ServeHTTP(rw, httptest.NewRequest("GET", "/tracez", nil))
+				var list tracezList
+				if err := json.Unmarshal(rw.Body.Bytes(), &list); err != nil {
+					scrapeErr <- fmt.Errorf("list view: %v", err)
+					return
+				}
+				if len(list.Traces) == 0 {
+					continue
+				}
+				rw = httptest.NewRecorder()
+				h.ServeHTTP(rw, httptest.NewRequest("GET", "/tracez?trace="+list.Traces[0].ID, nil))
+				if rw.Code == 200 {
+					var det tracezDetail
+					if err := json.Unmarshal(rw.Body.Bytes(), &det); err != nil {
+						scrapeErr <- fmt.Errorf("detail view: %v", err)
+						return
+					}
+					if len(det.Waterfall) == 0 {
+						scrapeErr <- fmt.Errorf("detail view without waterfall")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(scrapeErr)
+	if err := <-scrapeErr; err != nil {
+		t.Fatal(err)
+	}
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/tracez?trace=deadbeefdeadbeef", nil))
+	if rw.Code != 404 {
+		t.Fatalf("unknown trace returned %d, want 404", rw.Code)
+	}
+}
+
+// TestWaterfall checks the rendered text view: header line, parent/child
+// indentation, member and error tags on the bar lines.
+func TestWaterfall(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Capacity: 2, SampleEvery: 1})
+	tr := rec.Start("put", "req-wf")
+	root := tr.StartSpan("gw.encode")
+	root.SetArg(7)
+	now := time.Now()
+	tr.AddRemoteSpans(3, root, EncodeRemoteSpan("shard.write", now, time.Millisecond, true))
+	root.End(nil)
+	rec.Finish(tr, 201)
+
+	lines := Waterfall(rec.Find("req-wf"))
+	if len(lines) != 3 {
+		t.Fatalf("waterfall has %d lines, want 3:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	if !strings.HasPrefix(lines[0], "PUT sampled status=201") {
+		t.Fatalf("header line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "gw.encode") || !strings.Contains(lines[1], "arg=7") {
+		t.Fatalf("root line: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "  shard.write") ||
+		!strings.Contains(lines[2], "m3") ||
+		!strings.Contains(lines[2], "remote") ||
+		!strings.Contains(lines[2], "ERR") {
+		t.Fatalf("child line missing indent/member/remote/ERR tags: %q", lines[2])
+	}
+	if Waterfall(nil) != nil {
+		t.Fatal("Waterfall(nil) != nil")
+	}
+}

@@ -11,7 +11,58 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"gemmec/internal/obs"
 )
+
+// Operation names for metrics and trace spans — one per Transport method.
+const (
+	opPutShard  = "put_shard"
+	opGetShard  = "get_shard"
+	opStatShard = "stat_shard"
+	opDelete    = "delete"
+	opPutMeta   = "put_meta"
+	opGetMeta   = "get_meta"
+	opListMeta  = "list_meta"
+	opPing      = "ping"
+)
+
+// spanName maps an op to its trace-span name. Returning interned
+// constants (not "peer."+op) keeps the traced hot path allocation-free.
+func spanName(op string) string {
+	switch op {
+	case opPutShard:
+		return "peer.put_shard"
+	case opGetShard:
+		return "peer.get_shard"
+	case opStatShard:
+		return "peer.stat_shard"
+	case opDelete:
+		return "peer.delete"
+	case opPutMeta:
+		return "peer.put_meta"
+	case opListMeta:
+		return "peer.list_meta"
+	case opPing:
+		return "peer.ping"
+	default:
+		return "peer.op"
+	}
+}
+
+// Observer receives per-request and health-transition events from a
+// Client — the hook the gateway uses to feed peer metrics without the
+// peer package importing the metrics registry. Both callbacks must be
+// safe for concurrent use; either may be nil.
+type Observer struct {
+	// OnRequest fires once per HTTP attempt with the operation, the
+	// response status (0 for a transport-level failure) and the attempt
+	// latency.
+	OnRequest func(member Member, op string, code int, d time.Duration)
+	// OnDown fires on each healthy→down transition (not on every failure
+	// while already down).
+	OnDown func(member Member)
+}
 
 // SecretHeader carries the shared cluster secret on every internal
 // request. Peers with an empty secret accept any value (auth disabled —
@@ -73,6 +124,12 @@ type Client struct {
 	// downUntil is a unix-nano deadline before which the peer is presumed
 	// unhealthy. 0 = healthy.
 	downUntil atomic.Int64
+	// obsv is the installed Observer (nil until SetObserver).
+	obsv atomic.Pointer[Observer]
+	// Coarse lifetime counters, exported for /statusz.
+	requests atomic.Int64
+	failures atomic.Int64
+	downs    atomic.Int64
 }
 
 var _ Transport = (*Client)(nil)
@@ -107,10 +164,44 @@ func (c *Client) Healthy() bool {
 }
 
 func (c *Client) markDown() {
-	c.downUntil.Store(time.Now().Add(c.cfg.DownCooldown).UnixNano())
+	now := time.Now()
+	was := c.downUntil.Swap(now.Add(c.cfg.DownCooldown).UnixNano())
+	if was <= now.UnixNano() {
+		// healthy → down transition (not a repeat failure inside an
+		// existing cooldown): count it and tell the observer.
+		c.downs.Add(1)
+		if o := c.obsv.Load(); o != nil && o.OnDown != nil {
+			o.OnDown(c.member)
+		}
+	}
 }
 
 func (c *Client) markUp() { c.downUntil.Store(0) }
+
+// SetObserver installs the event hook (nil uninstalls). Safe to call
+// concurrently with in-flight requests.
+func (c *Client) SetObserver(o *Observer) { c.obsv.Store(o) }
+
+// Requests returns the lifetime HTTP attempt count to this peer.
+func (c *Client) Requests() int64 { return c.requests.Load() }
+
+// Failures returns lifetime attempts that failed at the transport or
+// with a 5xx — the "this peer is hurting" counter for /statusz.
+func (c *Client) Failures() int64 { return c.failures.Load() }
+
+// DownTransitions returns lifetime healthy→down transitions.
+func (c *Client) DownTransitions() int64 { return c.downs.Load() }
+
+// observe records one attempt's outcome locally and to the Observer.
+func (c *Client) observe(op string, code int, d time.Duration) {
+	c.requests.Add(1)
+	if code == 0 || code >= 500 {
+		c.failures.Add(1)
+	}
+	if o := c.obsv.Load(); o != nil && o.OnRequest != nil {
+		o.OnRequest(c.member, op, code, d)
+	}
+}
 
 func (c *Client) shardURL(key string, gen uint64, idx int) string {
 	return fmt.Sprintf("%s/internal/shard/%s/%d/%d", c.member.Addr, url.PathEscape(key), gen, idx)
@@ -123,16 +214,42 @@ func (c *Client) metaURL(key string) string {
 // do issues one request, classifying transport failures as
 // ErrUnavailable and updating health. The response is returned with a
 // non-error status only; error statuses are drained, closed and mapped.
-func (c *Client) do(req *http.Request) (*http.Response, error) {
+//
+// This is the single choke point for peer observability: every attempt
+// records a member-tagged trace span (injecting the trace header so the
+// remote PeerAPI can attach its own child spans, merged back here from
+// the response) and reports (op, status, latency) to the Observer.
+//
+// Exception: get_meta records no span. The gateway's majority metadata
+// read returns at quorum with straggler GetMeta goroutines still in
+// flight, which would race span recording against the pooled trace's
+// recycling; the gateway wraps the whole quorum read in one synchronous
+// span instead.
+func (c *Client) do(req *http.Request, op string) (*http.Response, error) {
 	req.Header.Set(SecretHeader, c.cfg.Secret)
+	var sp obs.Span
+	tr := obs.TraceFromContext(req.Context())
+	if tr != nil && op != opGetMeta {
+		sp = tr.StartSpan(spanName(op))
+		sp.SetMember(c.member.ID)
+		req.Header.Set(obs.TraceHeader, tr.WireHeader(sp))
+	}
+	start := time.Now()
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		c.markDown()
+		c.observe(op, 0, time.Since(start))
+		sp.End(err)
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.member.Addr, err)
+	}
+	c.observe(op, resp.StatusCode, time.Since(start))
+	if tr != nil && op != opGetMeta {
+		tr.AddRemoteSpans(c.member.ID, sp, resp.Header.Get(obs.TraceSpansHeader))
 	}
 	switch {
 	case resp.StatusCode < 300:
 		c.markUp()
+		sp.End(nil)
 		return resp, nil
 	case resp.StatusCode == http.StatusNotFound:
 		err = ErrShardNotFound
@@ -147,6 +264,7 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 		c.markDown()
 		err = fmt.Errorf("%w: %s: http %d", ErrUnavailable, c.member.Addr, resp.StatusCode)
 	}
+	sp.End(err)
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
 	resp.Body.Close()
 	return nil, err
@@ -155,7 +273,7 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 // doRetry runs an idempotent control operation with OpTimeout per attempt
 // and bounded backoff across attempts. Only ErrUnavailable is retried:
 // not-found and unauthorized are definitive answers.
-func (c *Client) doRetry(ctx context.Context, build func(ctx context.Context) (*http.Request, error), handle func(*http.Response) error) error {
+func (c *Client) doRetry(ctx context.Context, op string, build func(ctx context.Context) (*http.Request, error), handle func(*http.Response) error) error {
 	var last error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
@@ -179,7 +297,7 @@ func (c *Client) doRetry(ctx context.Context, build func(ctx context.Context) (*
 			if err != nil {
 				return err
 			}
-			resp, err := c.do(req)
+			resp, err := c.do(req, op)
 			if err != nil {
 				return err
 			}
@@ -212,7 +330,7 @@ func (c *Client) PutShard(ctx context.Context, key string, gen uint64, idx int, 
 	if size >= 0 {
 		req.ContentLength = size
 	}
-	resp, err := c.do(req)
+	resp, err := c.do(req, opPutShard)
 	if err != nil {
 		return err
 	}
@@ -229,7 +347,7 @@ func (c *Client) GetShard(ctx context.Context, key string, gen uint64, idx int) 
 	if err != nil {
 		return nil, 0, err
 	}
-	resp, err := c.do(req)
+	resp, err := c.do(req, opGetShard)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -239,7 +357,7 @@ func (c *Client) GetShard(ctx context.Context, key string, gen uint64, idx int) 
 // StatShard reports a shard's size via HEAD.
 func (c *Client) StatShard(ctx context.Context, key string, gen uint64, idx int) (int64, error) {
 	var size int64
-	err := c.doRetry(ctx,
+	err := c.doRetry(ctx, opStatShard,
 		func(ctx context.Context) (*http.Request, error) {
 			return http.NewRequestWithContext(ctx, http.MethodHead, c.shardURL(key, gen, idx), nil)
 		},
@@ -265,7 +383,7 @@ func (c *Client) DeleteObject(ctx context.Context, key string) error {
 }
 
 func (c *Client) deleteURL(ctx context.Context, u string) error {
-	err := c.doRetry(ctx,
+	err := c.doRetry(ctx, opDelete,
 		func(ctx context.Context) (*http.Request, error) {
 			return http.NewRequestWithContext(ctx, http.MethodDelete, u, nil)
 		},
@@ -278,7 +396,7 @@ func (c *Client) deleteURL(ctx context.Context, u string) error {
 
 // PutMeta atomically replaces the metadata replica for key.
 func (c *Client) PutMeta(ctx context.Context, key string, meta []byte) error {
-	return c.doRetry(ctx,
+	return c.doRetry(ctx, opPutMeta,
 		func(ctx context.Context) (*http.Request, error) {
 			req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.metaURL(key), strings.NewReader(string(meta)))
 			if err != nil {
@@ -293,7 +411,7 @@ func (c *Client) PutMeta(ctx context.Context, key string, meta []byte) error {
 // GetMeta fetches the metadata replica for key.
 func (c *Client) GetMeta(ctx context.Context, key string) ([]byte, error) {
 	var out []byte
-	err := c.doRetry(ctx,
+	err := c.doRetry(ctx, opGetMeta,
 		func(ctx context.Context) (*http.Request, error) {
 			return http.NewRequestWithContext(ctx, http.MethodGet, c.metaURL(key), nil)
 		},
@@ -311,7 +429,7 @@ func (c *Client) GetMeta(ctx context.Context, key string) ([]byte, error) {
 // ListMeta returns every metadata key the peer holds, one per line.
 func (c *Client) ListMeta(ctx context.Context) ([]string, error) {
 	var keys []string
-	err := c.doRetry(ctx,
+	err := c.doRetry(ctx, opListMeta,
 		func(ctx context.Context) (*http.Request, error) {
 			return http.NewRequestWithContext(ctx, http.MethodGet, c.member.Addr+"/internal/meta", nil)
 		},
@@ -333,7 +451,7 @@ func (c *Client) ListMeta(ctx context.Context) ([]string, error) {
 
 // Ping checks liveness and secret agreement.
 func (c *Client) Ping(ctx context.Context) error {
-	return c.doRetry(ctx,
+	return c.doRetry(ctx, opPing,
 		func(ctx context.Context) (*http.Request, error) {
 			return http.NewRequestWithContext(ctx, http.MethodGet, c.member.Addr+"/internal/ping", nil)
 		},

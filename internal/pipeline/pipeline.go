@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -48,6 +49,15 @@ import (
 	"gemmec/internal/sched"
 	"gemmec/internal/stripe"
 )
+
+// readLabelCtx carries the pprof labels for the per-stream reader
+// goroutines (source/shard I/O plus verification). Built once so
+// attaching labels on the hot path is a pointer store, not an
+// allocation; kernel time is labeled separately by the scheduler's
+// workers (op=sched).
+var readLabelCtx = func() context.Context {
+	return pprof.WithLabels(context.Background(), pprof.Labels("op", "pipeline", "stage", "read"))
+}()
 
 // Codec is the coding subset the pipeline drives. The public *gemmec.Code
 // satisfies it.
@@ -390,6 +400,9 @@ func encodePipelined(c Codec, src io.Reader, shards []io.Writer, cfg Config, st 
 		defer wgRead.Done()
 		defer close(results)
 		defer q.Wait() // every submitted task finishes before results closes
+		// Label context precomputed at package init: attaching it is a
+		// pointer store, keeping the per-call reader allocation-free.
+		pprof.SetGoroutineLabels(readLabelCtx)
 		for seq := int64(0); ; seq++ {
 			var s *slot
 			select {
@@ -716,6 +729,7 @@ func decodePipelined(c Codec, shards []io.Reader, dst io.Writer, size int64, cfg
 		defer wgRead.Done()
 		defer close(results)
 		defer q.Wait() // every submitted task finishes before results closes
+		pprof.SetGoroutineLabels(readLabelCtx)
 		remaining := size
 		for seq := int64(0); seq < stripes; seq++ {
 			var s *slot

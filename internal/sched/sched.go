@@ -30,9 +30,11 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 )
@@ -299,6 +301,15 @@ func (s *Scheduler) pop() (q *Queue, t task, ok bool) {
 
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
+	// The label is applied once per worker goroutine, so CPU profiles
+	// attribute all pooled encode/decode kernel time to the scheduler
+	// rather than smearing it across whichever requests happened to
+	// enqueue the stripes.
+	pprof.Do(context.Background(), pprof.Labels("op", "sched", "stage", "worker"),
+		func(context.Context) { s.run() })
+}
+
+func (s *Scheduler) run() {
 	s.mu.Lock()
 	for {
 		q, t, ok := s.pop()

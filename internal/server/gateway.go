@@ -14,7 +14,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"runtime/pprof"
+
 	"gemmec"
+	"gemmec/internal/obs"
 	"gemmec/internal/peer"
 	"gemmec/internal/shardfile"
 )
@@ -306,8 +309,10 @@ func (g *Gateway) Put(ctx context.Context, name string, src io.Reader, size int6
 		return ObjectMeta{}, st, err
 	}
 	key := objKey(name)
+	lsp := obs.StartSpan(ctx, "store.lock")
 	l := g.lockFor(key)
 	l.Lock()
+	lsp.End(nil)
 	defer l.Unlock()
 
 	n := g.cfg.K + g.cfg.R
@@ -316,7 +321,12 @@ func (g *Gateway) Put(ctx context.Context, name string, src io.Reader, size int6
 		return ObjectMeta{}, st, err
 	}
 	meta := ObjectMeta{Name: name, Gen: 1, Placement: placement}
+	// One synchronous span for the whole majority read; peer.Client
+	// deliberately records nothing for get_meta (its straggler goroutines
+	// outlive this call — see readMetaRaw).
+	msp := obs.StartSpan(ctx, "meta.read")
 	oldRaw, old, oldErr := g.readMetaRaw(ctx, key)
+	msp.End(nil)
 	if oldErr != nil && !errors.Is(oldErr, ErrObjectNotFound) {
 		// Without a majority read the next generation cannot be computed
 		// safely — guessing Gen 1 here would let a stale higher-generation
@@ -384,6 +394,11 @@ func (g *Gateway) Put(ctx context.Context, name string, src io.Reader, size int6
 		gemmec.WithStreamStats(&st),
 		gemmec.WithStreamContext(ctx),
 	}
+	// The span covers encode + shard upload: it closes only after every
+	// uploader is joined, so its children (per-peer peer.put_shard spans
+	// and the remote shard.write spans they merge back) sit inside it and
+	// the straggler member is the longest bar.
+	esp := obs.StartSpan(ctx, "gw.encode")
 	nRead, encErr := g.code.EncodeStream(bufio.NewReaderSize(encSrc, gwStreamBuf), writers, encOpts...)
 	if encErr == nil && size > 0 && nRead != size {
 		encErr = fmt.Errorf("server: source is %d bytes, expected %d", nRead, size)
@@ -400,7 +415,9 @@ func (g *Gateway) Put(ctx context.Context, name string, src io.Reader, size int6
 		}
 	}
 	if encErr != nil {
-		abort(encErr)
+		abort(encErr) // joins the uploaders; the span may close after it
+		esp.Stalls(st.ReadStall, st.EncodeStall, st.WriteStall)
+		esp.End(encErr)
 		return ObjectMeta{}, st, encErr
 	}
 	// Flush errors land in their own slice: uploader goroutine i may still
@@ -412,6 +429,9 @@ func (g *Gateway) Put(ctx context.Context, name string, src io.Reader, size int6
 		pws[i].Close()
 	}
 	wg.Wait()
+	esp.SetArg(st.Stripes)
+	esp.Stalls(st.ReadStall, st.EncodeStall, st.WriteStall)
+	esp.End(nil)
 	for i, e := range flushErrs {
 		if e != nil && upErrs[i] == nil {
 			upErrs[i] = e
@@ -469,7 +489,10 @@ func (g *Gateway) Put(ctx context.Context, name string, src io.Reader, size int6
 	}
 	meta.Manifest = m
 
-	if err := g.commitMeta(ctx, key, meta, oldRaw, hasOld, placement, upErrs); err != nil {
+	csp := obs.StartSpan(ctx, "meta.commit")
+	err = g.commitMeta(ctx, key, meta, oldRaw, hasOld, placement, upErrs)
+	csp.End(err)
+	if err != nil {
 		g.quorumFailures.Add(1)
 		return ObjectMeta{}, st, err
 	}
@@ -595,6 +618,10 @@ type gatewayObject struct {
 	demoted  []gemmec.Demotion
 	openBad  int
 
+	// trace is the request trace captured at Open time; Stream has no
+	// context parameter, so the decode span records through it.
+	trace *obs.Trace
+
 	unlock sync.Once
 	lock   *sync.RWMutex
 }
@@ -626,7 +653,11 @@ func (o *gatewayObject) Stream(dst io.Writer) (gemmec.StreamStats, error) {
 	if o.meta.Manifest.StripeVerified() {
 		opts = append(opts, gemmec.WithStreamVerifier(shardfile.NewStripeVerifier(o.meta.Manifest)))
 	}
+	sp := o.trace.StartSpan("gw.decode")
 	err = code.DecodeStream(o.readers, out, o.meta.Manifest.FileSize, opts...)
+	sp.SetArg(st.Stripes)
+	sp.Stalls(st.ReadStall, st.EncodeStall, st.WriteStall)
+	sp.End(err)
 	for _, d := range st.Demoted {
 		o.demoted = append(o.demoted, d)
 		o.unusable = appendShard(o.unusable, d.Shard)
@@ -677,9 +708,13 @@ func (g *Gateway) Open(ctx context.Context, name string) (ObjectStream, error) {
 		return nil, err
 	}
 	key := objKey(name)
+	lsp := obs.StartSpan(ctx, "store.lock")
 	l := g.lockFor(key)
 	l.RLock()
+	lsp.End(nil)
+	msp := obs.StartSpan(ctx, "meta.read")
 	_, meta, err := g.readMetaRaw(ctx, key)
+	msp.End(nil)
 	if err != nil {
 		l.RUnlock()
 		return nil, err
@@ -695,8 +730,12 @@ func (g *Gateway) Open(ctx context.Context, name string) (ObjectStream, error) {
 		meta:    meta,
 		readers: make([]io.Reader, n),
 		closers: make([]io.ReadCloser, n),
+		trace:   obs.TraceFromContext(ctx),
 		lock:    l,
 	}
+	// Covers the parallel shard-stream opens; the per-peer get_shard
+	// child spans (joined by wg.Wait below) show who was slow to answer.
+	osp := obs.StartSpan(ctx, "gw.open")
 	var wg sync.WaitGroup
 	bad := make([]bool, n)
 	for i := 0; i < n; i++ {
@@ -724,6 +763,7 @@ func (g *Gateway) Open(ctx context.Context, name string) (ObjectStream, error) {
 		}(i, tr)
 	}
 	wg.Wait()
+	osp.End(nil)
 	for i := range bad {
 		if bad[i] {
 			o.unusable = appendShard(o.unusable, i)
@@ -965,6 +1005,20 @@ type GatewayStats struct {
 	DataShards          int     `json:"k"`
 	ParityShards        int     `json:"r"`
 	StreamWorkers       int     `json:"stream_workers"`
+	// Peers carries one row per HTTP peer transport — health and coarse
+	// traffic counters as seen from this gateway.
+	Peers []PeerStatus `json:"peers,omitempty"`
+}
+
+// PeerStatus is one peer's health and traffic as observed by this
+// gateway's client (local transports have no row — there is no wire).
+type PeerStatus struct {
+	Member          int    `json:"member"`
+	Addr            string `json:"addr"`
+	Healthy         bool   `json:"healthy"`
+	Requests        int64  `json:"requests"`
+	Failures        int64  `json:"failures"`
+	DownTransitions int64  `json:"down_transitions"`
 }
 
 // RepairAmplification returns cumulative repair-traffic amplification:
@@ -985,6 +1039,22 @@ func (g *Gateway) StatusSnapshot() any {
 	if metas, err := g.StatAll(); err == nil {
 		objects = len(metas)
 	}
+	var peers []PeerStatus
+	for id, tr := range g.cfg.Transports {
+		c, ok := tr.(*peer.Client)
+		if !ok {
+			continue
+		}
+		peers = append(peers, PeerStatus{
+			Member:          id,
+			Addr:            c.Member().Addr,
+			Healthy:         c.Healthy(),
+			Requests:        c.Requests(),
+			Failures:        c.Failures(),
+			DownTransitions: c.DownTransitions(),
+		})
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Member < peers[j].Member })
 	return GatewayStats{
 		Objects:             objects,
 		Members:             g.cfg.Ring.Len(),
@@ -1008,6 +1078,7 @@ func (g *Gateway) StatusSnapshot() any {
 		DataShards:          g.cfg.K,
 		ParityShards:        g.cfg.R,
 		StreamWorkers:       g.sched.Workers(),
+		Peers:               peers,
 	}
 }
 
@@ -1112,6 +1183,17 @@ func (st RebuildStats) Amplification() float64 {
 // present and correctly sized are skipped, making the operation
 // idempotent and resumable.
 func (g *Gateway) RebuildNode(ctx context.Context, id int) (RebuildStats, error) {
+	// Labeled so a CPU profile taken during a rebuild attributes the
+	// reconstruction decode work to the rebuild, not to client traffic.
+	var st RebuildStats
+	var err error
+	pprof.Do(ctx, pprof.Labels("op", "rebuild"), func(ctx context.Context) {
+		st, err = g.rebuildNode(ctx, id)
+	})
+	return st, err
+}
+
+func (g *Gateway) rebuildNode(ctx context.Context, id int) (RebuildStats, error) {
 	st := RebuildStats{Member: id}
 	if _, ok := g.cfg.Ring.Member(id); !ok {
 		return st, fmt.Errorf("server: member %d not in the ring", id)

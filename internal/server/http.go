@@ -80,6 +80,11 @@ type Config struct {
 	// Metrics wires the metrics bundle into the request path and mounts
 	// its registry at GET /metricsz.
 	Metrics *Metrics
+	// Tracer wires the request-tracing flight recorder into the request
+	// path and mounts it at GET /tracez. Every request records spans;
+	// tail-based retention (see obs.RecorderConfig) decides which traces
+	// the ring keeps. Nil disables tracing entirely.
+	Tracer *obs.Recorder
 	// Scrubber lets /healthz judge liveness by the scrub loop: the probe
 	// fails (503) once no sweep has completed within 3× the scrub
 	// interval. Without it /healthz degenerates to a bare process-up
@@ -181,6 +186,7 @@ func NewBackendHandler(backend Backend, cfg Config) http.Handler {
 		store:      backend,
 		logf:       cfg.Logf,
 		metrics:    cfg.Metrics,
+		tracer:     cfg.Tracer,
 		scrubber:   cfg.Scrubber,
 		accessLog:  cfg.AccessLog,
 		slowReq:    cfg.SlowRequestThreshold,
@@ -204,6 +210,9 @@ func NewBackendHandler(backend Backend, cfg Config) http.Handler {
 	}
 	if h.metrics != nil {
 		mux.Handle("GET /metricsz", h.metrics.Registry.Handler())
+	}
+	if h.tracer != nil {
+		mux.Handle("GET /tracez", h.tracer.Handler())
 	}
 	return mux
 }
@@ -232,6 +241,7 @@ type handler struct {
 	store      Backend
 	logf       Logf
 	metrics    *Metrics
+	tracer     *obs.Recorder
 	scrubber   *Scrubber
 	accessLog  *obs.Logger
 	slowReq    time.Duration
@@ -305,6 +315,17 @@ func (h *handler) wrap(op string, gated bool, fn http.HandlerFunc) http.HandlerF
 		}
 		id := obs.NextRequestID()
 		w.Header().Set("X-Gemmec-Request-Id", id)
+		// Start the request's trace and thread it down through the
+		// context. Sampled requests advertise their trace ID so a client
+		// (eccli -v) can paste it straight into /tracez; errored and slow
+		// requests are retained regardless, findable by request ID.
+		tr := h.tracer.Start(o, id)
+		if tr != nil {
+			if tr.Sampled() {
+				w.Header().Set(obs.TraceHeader, tr.IDString())
+			}
+			r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+		}
 		iw := &instrumented{ResponseWriter: w, start: time.Now()}
 		if h.metrics != nil {
 			h.metrics.inFlight.Add(1)
@@ -398,6 +419,10 @@ func (h *handler) wrap(op string, gated bool, fn http.HandlerFunc) http.HandlerF
 				}
 				h.accessLog.Log("access", fields)
 			}
+			// Safe here: every goroutine that records spans is joined
+			// before the handler body returns (the gateway waits its
+			// uploader/fetcher fan-outs), so the trace is quiescent.
+			h.tracer.Finish(tr, status)
 			if pan != nil {
 				panic(pan)
 			}
@@ -410,7 +435,10 @@ func (h *handler) wrap(op string, gated bool, fn http.HandlerFunc) http.HandlerF
 		// scrape must answer precisely when the server is saturated).
 		if gated && o != "head" {
 			sc := h.store.Scheduler()
-			if err := sc.Admit(); err != nil {
+			asp := tr.StartSpan("admit")
+			err := sc.Admit()
+			asp.End(err)
+			if err != nil {
 				iw.Header().Set("Retry-After", strconv.Itoa(h.retryAfter))
 				if h.metrics != nil {
 					h.metrics.requestsShed.Inc()

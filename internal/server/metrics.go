@@ -1,12 +1,14 @@
 package server
 
 import (
+	"strconv"
 	"time"
 
 	"gemmec"
 	"gemmec/internal/core"
 	"gemmec/internal/ecerr"
 	"gemmec/internal/obs"
+	"gemmec/internal/peer"
 )
 
 // ops is the fixed label set for per-operation request metrics. Every
@@ -253,6 +255,42 @@ func (m *Metrics) RegisterGateway(g *Gateway) {
 	m.Registry.GaugeFunc("gemmec_sched_workers",
 		"Workers in the shared encode/decode pool.",
 		func() float64 { return float64(sc.Workers()) })
+
+	// Peer transport observability: each HTTP peer client feeds the
+	// member-labeled request counter and latency histogram plus the
+	// healthy→down transition counter through its Observer hook. Local
+	// (in-process) transports carry no wire and get no series.
+	for id, tr := range g.cfg.Transports {
+		c, ok := tr.(*peer.Client)
+		if !ok {
+			continue
+		}
+		member := strconv.Itoa(id)
+		hist := m.Registry.Histogram("gemmec_peer_request_seconds",
+			"Internal peer request latency by member (per HTTP attempt).",
+			obs.LatencyBuckets, obs.L("member", member))
+		down := m.Registry.Counter("gemmec_peer_down_total",
+			"Healthy-to-down health transitions observed for the member.",
+			obs.L("member", member))
+		c.SetObserver(&peer.Observer{
+			OnRequest: func(_ peer.Member, op string, code int, d time.Duration) {
+				m.Registry.Counter("gemmec_peer_requests_total",
+					"Internal peer API requests by member, operation and status (code 0: transport failure).",
+					obs.L("member", member), obs.L("op", op), obs.L("code", peerCode(code))).Inc()
+				hist.Observe(int64(d))
+			},
+			OnDown: func(peer.Member) { down.Inc() },
+		})
+	}
+}
+
+// peerCode renders a peer attempt's status for the code label; 0 means
+// the request never got an HTTP status (dial/transport failure).
+func peerCode(code int) string {
+	if code == 0 {
+		return "0"
+	}
+	return itoa3(code)
 }
 
 // ObserveSchedWait records one task's scheduler queue wait. Wired as the

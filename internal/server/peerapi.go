@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
+	"gemmec/internal/obs"
 	"gemmec/internal/peer"
 )
 
@@ -70,6 +72,28 @@ func (a *peerAPI) auth(fn http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// remoteSpan times the peer-side work of one internal request and, when
+// the caller propagated a trace (obs.TraceHeader present), returns it in
+// the response's TraceSpansHeader so the gateway merges it into the
+// parent trace as this member's child span. Usage:
+//
+//	done := remoteSpan(w, r, "shard.write")
+//	err := ...the store call...
+//	done(err)
+//
+// done must run before the status or body is written — response headers
+// are immutable after that.
+func remoteSpan(w http.ResponseWriter, r *http.Request, name string) func(err error) {
+	if r.Header.Get(obs.TraceHeader) == "" {
+		return func(error) {}
+	}
+	start := time.Now()
+	return func(err error) {
+		w.Header().Set(obs.TraceSpansHeader,
+			obs.EncodeRemoteSpan(name, start, time.Since(start), err != nil))
+	}
+}
+
 // shardParams parses the {key}/{gen}/{idx} path values; a false return
 // means the response is already written.
 func (a *peerAPI) shardParams(w http.ResponseWriter, r *http.Request) (string, uint64, int, bool) {
@@ -107,7 +131,10 @@ func (a *peerAPI) putShard(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if _, err := a.ps.PutShard(key, gen, idx, r.Body); err != nil {
+	done := remoteSpan(w, r, "shard.write")
+	_, err := a.ps.PutShard(key, gen, idx, r.Body)
+	done(err)
+	if err != nil {
 		// A torn upload (body error) aborted atomically; the sender is
 		// likely gone, but answer truthfully for the ones still listening.
 		a.fail(w, r, err)
@@ -122,7 +149,9 @@ func (a *peerAPI) getShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.Method == http.MethodHead {
+		done := remoteSpan(w, r, "shard.stat")
 		size, err := a.ps.StatShard(key, gen, idx)
+		done(err)
 		if err != nil {
 			a.fail(w, r, err)
 			return
@@ -131,7 +160,12 @@ func (a *peerAPI) getShard(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 		return
 	}
+	// The span covers locating and opening the shard; the body copy
+	// streams after headers are flushed, so it cannot be in the span —
+	// the client side's peer.get_shard span carries the transfer time.
+	done := remoteSpan(w, r, "shard.read")
 	body, size, err := a.ps.GetShard(key, gen, idx)
+	done(err)
 	if err != nil {
 		a.fail(w, r, err)
 		return
@@ -171,8 +205,11 @@ func (a *peerAPI) putMeta(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := a.ps.PutMeta(r.PathValue("key"), b); err != nil {
-		a.fail(w, r, err)
+	done := remoteSpan(w, r, "meta.put")
+	perr := a.ps.PutMeta(r.PathValue("key"), b)
+	done(perr)
+	if perr != nil {
+		a.fail(w, r, perr)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"math/rand"
+	"runtime/pprof"
 	"sync/atomic"
 	"time"
 )
@@ -92,7 +93,12 @@ func (sc *Scrubber) loop() {
 		case <-sc.kick:
 		case <-timer.C:
 		}
-		rep := sc.store.ScrubAll(sc.ctx)
+		// Labeled so CPU profiles split scrub decode/repair work from
+		// client traffic.
+		var rep ScrubReport
+		pprof.Do(sc.ctx, pprof.Labels("op", "scrub"), func(ctx context.Context) {
+			rep = sc.store.ScrubAll(ctx)
+		})
 		sc.lastDone.Store(time.Now().UnixNano())
 		if healed := rep.ShardsHealed(); healed > 0 {
 			sc.logf.printf("ecserver: scrub healed %d shard(s) across %d object(s)", healed, len(rep.Healed))

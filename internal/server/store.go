@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"gemmec"
+	"gemmec/internal/obs"
 	"gemmec/internal/shardfile"
 	"gemmec/internal/tuned"
 	"gemmec/internal/vfs"
@@ -665,7 +666,9 @@ func (s *Store) Put(ctx context.Context, name string, src io.Reader, size int64)
 		return ObjectMeta{}, st, err
 	}
 	key := objKey(name)
+	lsp := obs.StartSpan(ctx, "store.lock")
 	l := s.lockExclusive(key)
+	lsp.End(nil)
 	defer l.Unlock()
 	if err := s.ensureDirs(); err != nil {
 		return ObjectMeta{}, st, err
@@ -723,7 +726,10 @@ func (s *Store) Put(ctx context.Context, name string, src io.Reader, size int64)
 		return ObjectMeta{}, st, cerr
 	}
 	meta.Manifest = m
-	if err := s.saveMeta(key, meta); err != nil {
+	csp := obs.StartSpan(ctx, "meta.commit")
+	err = s.saveMeta(key, meta)
+	csp.End(err)
+	if err != nil {
 		s.removeFiles(paths)
 		return ObjectMeta{}, st, err
 	}
@@ -870,7 +876,9 @@ func (s *Store) OpenObject(ctx context.Context, name string) (*Object, error) {
 		return nil, err
 	}
 	key := objKey(name)
+	lsp := obs.StartSpan(ctx, "store.lock")
 	l := s.lockShared(key)
+	lsp.End(nil)
 	meta, err := s.loadMeta(key)
 	if err != nil {
 		l.RUnlock()

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gemmec/internal/obs"
+)
+
+// benchGet drives clean GETs of one striped object through h.
+func benchGet(b *testing.B, h http.Handler) {
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	body := randBytes(11, 16*tk*tunit)
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/o/obj", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.ContentLength = int64(len(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("PUT: %s", resp.Status)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(ts.URL + "/o/obj")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkServerGet/BenchmarkServerGetTraced isolate the per-request
+// cost of the tracing middleware: same store, same handler stack, the
+// only difference is the flight recorder at production-default sampling.
+func BenchmarkServerGet(b *testing.B) {
+	s := newTestStoreB(b)
+	benchGet(b, NewHandler(s, Config{}))
+}
+
+func BenchmarkServerGetTraced(b *testing.B) {
+	s := newTestStoreB(b)
+	rec := obs.NewRecorder(obs.RecorderConfig{SampleEvery: 16})
+	benchGet(b, NewHandler(s, Config{Tracer: rec}))
+}
+
+func newTestStoreB(b *testing.B) *Store {
+	b.Helper()
+	s, err := Open(StoreConfig{
+		Root: b.TempDir(), Nodes: tnode, K: tk, R: tr, UnitSize: tunit, Workers: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	return s
+}

@@ -17,6 +17,7 @@ import (
 
 	"gemmec"
 	"gemmec/internal/ecerr"
+	"gemmec/internal/obs"
 	"gemmec/internal/vfs"
 )
 
@@ -304,7 +305,11 @@ func WriteStreamPaths(paths []string, src io.Reader, size int64, k, r, unitSize,
 	encOpts := append(opt.streamOpts(k, r, unitSize, workers),
 		gemmec.WithStreamStats(&st), gemmec.WithStreamContext(opt.context()))
 	in := getBufReader(src)
+	sp := obs.StartSpan(opt.context(), "shardfile.encode")
 	n, err := code.EncodeStream(in, writers, encOpts...)
+	sp.SetArg(st.Stripes)
+	sp.Stalls(st.ReadStall, st.EncodeStall, st.WriteStall)
+	sp.End(err)
 	putBufReader(in)
 	if err != nil {
 		return m, st, err
@@ -486,7 +491,11 @@ func (sr *StreamReader) decodeSize(dst io.Writer, workers int, size int64) (gemm
 	if sr.m.StripeVerified() {
 		opts = append(opts, gemmec.WithStreamVerifier(&stripeVerifier{sums: sr.m.StripeSums}))
 	}
+	sp := obs.StartSpan(sr.opt.context(), "shardfile.decode")
 	err = code.DecodeStream(sr.readers, out, size, opts...)
+	sp.SetArg(st.Stripes)
+	sp.Stalls(st.ReadStall, st.EncodeStall, st.WriteStall)
+	sp.End(err)
 	sr.recordDemotions(st.Demoted)
 	if err != nil {
 		return st, err
@@ -570,6 +579,13 @@ func appendShard(set []int, i int) []int {
 // govern the later Decode (see StreamReader.Decode), its FS is where the
 // shards are opened.
 func OpenStreamPaths(paths []string, m Manifest, opt Opts) (*StreamReader, error) {
+	sp := obs.StartSpan(opt.context(), "shardfile.open")
+	sr, err := openStreamPaths(paths, m, opt)
+	sp.End(err)
+	return sr, err
+}
+
+func openStreamPaths(paths []string, m Manifest, opt Opts) (*StreamReader, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}

@@ -4,6 +4,10 @@
 // is a sequence of puts, gets, node failures and rebuilds; the replayer
 // keeps a shadow copy of every object so each read doubles as an
 // end-to-end correctness check of the erasure-coding path under churn.
+//
+// Despite the name, this package is workload *replay*, not request
+// tracing: per-request span tracing (the /tracez flight recorder and the
+// X-Gemmec-Trace wire headers) lives in internal/obs.
 package trace
 
 import (

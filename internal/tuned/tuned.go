@@ -27,8 +27,10 @@
 package tuned
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -412,6 +414,14 @@ func (t *Tuner) next() *entry {
 // The seed varies with the run count so repeated tunes of one shape do
 // not replay the same search.
 func (t *Tuner) tune(e *entry) {
+	// Labeled with the geometry so a CPU profile during a retune shows
+	// which shape's search burned the time.
+	pprof.Do(context.Background(),
+		pprof.Labels("op", "retune", "geometry", fmt.Sprintf("k%d_r%d_u%d", e.geo.k, e.geo.r, e.geo.unit)),
+		func(context.Context) { t.tuneLabeled(e) })
+}
+
+func (t *Tuner) tuneLabeled(e *entry) {
 	seed := t.cfg.Seed
 	if seed == 0 {
 		seed = 1
