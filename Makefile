@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot stress-fault stress-load stress-cluster stress-obs bench bench-json bench-smoke ci
+.PHONY: all build vet test race race-hot stress-fault stress-load stress-cluster stress-obs stress-range bench bench-json bench-smoke ci
 
 all: build
 
@@ -60,6 +60,16 @@ stress-obs:
 	$(GO) test -race -count=2 -run 'Trace|Tracez|Span|Waterfall|Retention|RingEviction|PeerMetrics|WireRoundTrip|NilSafety' \
 		./internal/obs ./internal/server ./internal/peer
 
+# Range/patch drill under -race: stripe-seeking DecodeRange at every
+# boundary class (healthy, degraded, slab members, adversarial bounds),
+# the HTTP Range surface (206/200/416 taxonomy), and the PATCH commit
+# protocol — in-place XOR parity updates crosschecked byte-identical
+# against full re-encodes, crash-injected journal replay, stale-journal
+# discard, and the cluster's read-modify-write fallback.
+stress-range:
+	$(GO) test -race -count=2 -run 'Range|Patch|WindowWriter' \
+		./internal/shardfile ./internal/server
+
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
@@ -76,6 +86,7 @@ bench-json:
 	$(GO) run ./cmd/ecbench -exp server-json -json BENCH_server.json $(BENCH_ARGS)
 	$(GO) run ./cmd/ecbench -exp load-json -json BENCH_load.json $(BENCH_ARGS)
 	$(GO) run ./cmd/ecbench -exp cluster-json -json BENCH_cluster.json $(BENCH_ARGS)
+	$(GO) run ./cmd/ecbench -exp range-json -json BENCH_range.json $(BENCH_ARGS)
 
 # Smoke pass over every bench-json experiment at the quick profile: the
 # gate is that each experiment RUNS to completion (including the tuner
@@ -88,10 +99,11 @@ bench-smoke:
 	$(GO) run ./cmd/ecbench -exp server-json -quick -json .bench-smoke/server.json
 	$(GO) run ./cmd/ecbench -exp load-json -quick -json .bench-smoke/load.json
 	$(GO) run ./cmd/ecbench -exp cluster-json -quick -json .bench-smoke/cluster.json
+	$(GO) run ./cmd/ecbench -exp range-json -quick -json .bench-smoke/range.json
 	rm -rf .bench-smoke
 
 # The allocation guards on the streaming hot paths (TestStreamSteadyStateAllocs,
 # TestDecodeStreamSteadyStateAllocs and the full-server
 # TestServerSteadyStateAllocs) run as part of `test`, so `ci` gates on the
 # encode, verified-decode and daemon PUT/GET paths staying allocation-free.
-ci: build vet test race-hot stress-fault stress-load stress-cluster stress-obs bench-smoke
+ci: build vet test race-hot stress-fault stress-load stress-cluster stress-obs stress-range bench-smoke

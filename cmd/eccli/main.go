@@ -29,6 +29,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -68,6 +69,10 @@ func main() {
 		err = cmdPut(os.Args[2:])
 	case "get":
 		err = cmdGet(os.Args[2:])
+	case "patch":
+		err = cmdPatch(os.Args[2:], false)
+	case "append":
+		err = cmdPatch(os.Args[2:], true)
 	default:
 		usage()
 	}
@@ -78,7 +83,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: eccli {encode|repair|verify|scrub|decode|put|get} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: eccli {encode|repair|verify|scrub|decode|put|get|patch|append} [flags]")
 	os.Exit(2)
 }
 
@@ -413,6 +418,8 @@ func cmdGet(args []string) error {
 	name := fs.String("name", "", "object name")
 	out := fs.String("out", "", "output file (default: stdout)")
 	verbose := fs.Bool("v", false, "print the stream's trailer statistics (stalls, demotions) to stderr")
+	rng := fs.String("range", "",
+		"byte range to fetch: \"a-b\" (inclusive), \"a-\" (from a to end) or \"-n\" (final n bytes); sent as an HTTP Range request")
 	timeout := fs.Duration("timeout", 0, "abort the download after this long (0 = no deadline; Ctrl-C always cancels)")
 	retries := fs.Int("retries", 3,
 		"retry a 429-shed request this many times, honoring the server's Retry-After")
@@ -426,14 +433,27 @@ func cmdGet(args []string) error {
 	ctx, cancel := cliContext(*timeout)
 	defer cancel()
 	resp, err := doRetry429(ctx, *retries, func() (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, err
+		}
+		if *rng != "" {
+			req.Header.Set("Range", "bytes="+*rng)
+		}
+		return req, nil
 	})
 	if err != nil {
 		return fmt.Errorf("get: %w", err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	// A ranged request normally answers 206; a server without range
+	// support answers 200 with the full body, which is still a correct
+	// (if bigger) response, so both are accepted.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
 		return httpError("get", resp)
+	}
+	if *rng != "" && resp.StatusCode == http.StatusOK {
+		fmt.Fprintln(os.Stderr, "eccli: server ignored the range request; fetching the whole object")
 	}
 	dst := io.Writer(os.Stdout)
 	var f *os.File
@@ -480,6 +500,9 @@ func cmdGet(args []string) error {
 			fmt.Fprintf(os.Stderr, "eccli: request id %s\n", id)
 		}
 		printTraceURL(*server, resp)
+		if cr := resp.Header.Get("Content-Range"); cr != "" {
+			fmt.Fprintf(os.Stderr, "eccli: served %s\n", cr)
+		}
 		fmt.Fprintf(os.Stderr,
 			"eccli: server decode: %s stripes (read stall %s, decode stall %s, write stall %s)\n",
 			orDash(resp.Trailer.Get("X-Gemmec-Stripes")),
@@ -492,6 +515,113 @@ func cmdGet(args []string) error {
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "got %d bytes to %s\n", n, *out)
+	}
+	return nil
+}
+
+// patchResponse mirrors the server's PATCH reply.
+type patchResponse struct {
+	Name           string `json:"name"`
+	Size           int64  `json:"size"`
+	Length         int    `json:"length"`
+	Stripes        int    `json:"stripes"`
+	Offset         int64  `json:"offset"`
+	InPlace        bool   `json:"in_place"`
+	TouchedStripes int    `json:"touched_stripes"`
+	DataBytes      int64  `json:"data_bytes"`
+	ParityBytes    int64  `json:"parity_bytes"`
+	Fallback       string `json:"fallback"`
+}
+
+// cmdPatch implements both the patch verb (splice bytes at -at) and the
+// append verb (add bytes at the end). The body is read fully up front:
+// PATCH bodies are small writes by design (the server bounds them), and
+// the length is needed for the Content-Range header anyway.
+func cmdPatch(args []string, appendMode bool) error {
+	verb := "patch"
+	if appendMode {
+		verb = "append"
+	}
+	fs := flag.NewFlagSet(verb, flag.ExitOnError)
+	server := fs.String("server", "", "ecserver base URL")
+	name := fs.String("name", "", "object name")
+	in := fs.String("in", "", "input file (default: stdin)")
+	var at *int64
+	if !appendMode {
+		at = fs.Int64("at", -1, "byte offset to splice the body at (required; may not exceed the object's size)")
+	}
+	verbose := fs.Bool("v", false, "print the server's patch accounting to stderr")
+	timeout := fs.Duration("timeout", 0, "abort after this long (0 = no deadline; Ctrl-C always cancels)")
+	retries := fs.Int("retries", 3,
+		"retry a 429-shed request this many times, honoring the server's Retry-After")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u, err := objectURL(*server, *name)
+	if err != nil {
+		return fmt.Errorf("%s: %w", verb, err)
+	}
+	if !appendMode && *at < 0 {
+		return fmt.Errorf("patch: -at required (use the append verb to write at the end)")
+	}
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	data, err := io.ReadAll(src)
+	if err != nil {
+		return fmt.Errorf("%s: reading input: %w", verb, err)
+	}
+	if len(data) == 0 && !appendMode {
+		return fmt.Errorf("patch: empty input")
+	}
+	ctx, cancel := cliContext(*timeout)
+	defer cancel()
+	resp, err := doRetry429(ctx, *retries, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPatch, u, bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		req.ContentLength = int64(len(data))
+		if appendMode {
+			req.Header.Set("X-Gemmec-Append", "true")
+		} else {
+			req.Header.Set("Content-Range", fmt.Sprintf("bytes %d-%d/*", *at, *at+int64(len(data))-1))
+		}
+		return req, nil
+	})
+	if err != nil {
+		return fmt.Errorf("%s: %w", verb, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(verb, resp)
+	}
+	var pr patchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return fmt.Errorf("%s: cannot parse response: %w", verb, err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	switch {
+	case pr.Fallback != "":
+		fmt.Printf("%sed %q: %d bytes at offset %d (object re-encoded: %s fallback), now %d bytes\n",
+			verb, *name, pr.Length, pr.Offset, pr.Fallback, pr.Size)
+	default:
+		fmt.Printf("%sed %q: %d bytes at offset %d in place (%d of %d stripes touched), now %d bytes\n",
+			verb, *name, pr.Length, pr.Offset, pr.TouchedStripes, pr.Stripes, pr.Size)
+	}
+	if *verbose {
+		if id := resp.Header.Get("X-Gemmec-Request-Id"); id != "" {
+			fmt.Fprintf(os.Stderr, "eccli: request id %s\n", id)
+		}
+		printTraceURL(*server, resp)
+		fmt.Fprintf(os.Stderr, "eccli: server wrote %d data + %d parity bytes\n",
+			pr.DataBytes, pr.ParityBytes)
 	}
 	return nil
 }

@@ -193,6 +193,8 @@ func fmtBytes(n int64) string {
 		return fmt.Sprintf("%d GiB", n>>30)
 	case n >= 1<<20 && n%(1<<20) == 0:
 		return fmt.Sprintf("%d MiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%d KiB", n>>10)
 	default:
 		return fmt.Sprintf("%d B", n)
 	}

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gemmec/internal/shardfile"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "range-json",
+		Paper: "§8 integration: range reads and XOR-patched small writes",
+		Title: "Range path: tail-64KiB GET vs full decode, 64KiB PATCH vs full re-encode",
+		Run:   runRangeJSON,
+	})
+}
+
+// rangeJSONReport is the machine-readable result the CI trend tooling
+// consumes (BENCH_range.json).
+type rangeJSONReport struct {
+	Experiment string         `json:"experiment"`
+	K          int            `json:"k"`
+	R          int            `json:"r"`
+	UnitSize   int            `json:"unit_size"`
+	Workers    int            `json:"workers"`
+	WindowSize int            `json:"window_size"`
+	Sizes      []rangeJSONRow `json:"sizes"`
+}
+
+type rangeJSONRow struct {
+	ObjectBytes     int64   `json:"object_bytes"`
+	FullGetMs       float64 `json:"full_get_ms"`
+	RangeGetMs      float64 `json:"range_get_ms"`
+	CoveringStripes int64   `json:"covering_stripes"`
+	PatchMs         float64 `json:"patch_ms"`
+	PatchBytes      int64   `json:"patch_bytes"`
+	ReencodeMs      float64 `json:"reencode_ms"`
+	ReencodeBytes   int64   `json:"reencode_bytes"`
+}
+
+// runRangeJSON measures the two halves of the small-I/O story against
+// their whole-object baselines, across object sizes:
+//
+//   - Ranged GET: decoding the final 64 KiB through the stripe-seeking
+//     DecodeRange vs decoding the whole object. A healthy range path
+//     keeps the tail read O(covering stripes) — flat in object size —
+//     while the full decode grows linearly.
+//   - PATCH: splicing 64 KiB mid-object via PlanPatch/ApplyPatch (the
+//     XOR parity update) vs re-encoding the whole object. The patch
+//     writes only the touched stripes' data and parity units; the
+//     re-encode writes size*(k+r)/k bytes no matter how small the edit.
+//
+// With Config.JSONPath set the table is also written as JSON for trend
+// tooling (BENCH_range.json).
+func runRangeJSON(w io.Writer, cfg Config) error {
+	k, r, workers := 4, 2, 4
+	const window = 64 << 10
+	sizes := cfg.DecodeSizes
+	if len(sizes) == 0 {
+		sizes = []int64{1 << 20, 64 << 20, 1 << 30}
+	}
+	block := RandomBytes(cfg.Seed, 4<<20)
+	patchData := RandomBytes(cfg.Seed+1, window)
+	stripeBytes := int64(k) * int64(cfg.UnitSize)
+
+	rep := rangeJSONReport{Experiment: "range-json", K: k, R: r, UnitSize: cfg.UnitSize, Workers: workers, WindowSize: window}
+	t := NewTable("E-RANGE-JSON: tail-64KiB GET and mid-object 64KiB PATCH vs whole-object baselines (k=4, r=2)",
+		"object", "full GET", "tail GET", "stripes", "patch", "patch B", "re-encode", "re-encode B")
+
+	for _, size := range sizes {
+		if size < window {
+			continue
+		}
+		dir, err := os.MkdirTemp("", "gemmec-bench-range-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		src := &repeatReader{block: block, left: size}
+		m, _, err := shardfile.WriteStream(dir, src, size, k, r, cfg.UnitSize, workers)
+		if err != nil {
+			return err
+		}
+		paths := make([]string, k+r)
+		for i := range paths {
+			paths[i] = shardfile.ShardPath(dir, i)
+		}
+
+		full, err := Measure("full-get", int(size), cfg.MinTime, func() error {
+			sr, err := shardfile.OpenStreamPaths(paths, m, shardfile.Opts{})
+			if err != nil {
+				return err
+			}
+			defer sr.Close()
+			_, err = sr.Decode(io.Discard, workers)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+
+		// Tail read: the last window bytes, the worst case for a
+		// sequential decoder and the best case for a stripe seek.
+		off := size - window
+		ranged, err := Measure("range-get", window, cfg.MinTime, func() error {
+			sr, err := shardfile.OpenStreamPaths(paths, m, shardfile.Opts{})
+			if err != nil {
+				return err
+			}
+			defer sr.Close()
+			_, err = sr.DecodeRange(io.Discard, workers, off, window)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		covering := (size-1)/stripeBytes - off/stripeBytes + 1
+
+		// Patch mid-object. Each op replans against the manifest the
+		// previous apply produced, so stripe sums always match what is
+		// on disk — the same plan/apply sequence the daemon runs.
+		cur := m
+		var patchBytes int64
+		patchOff := (size / 2 / stripeBytes) * stripeBytes // stripe-aligned mid-object
+		patch, err := Measure("patch", window, cfg.MinTime, func() error {
+			p, err := shardfile.PlanPatch(paths, cur, patchOff, patchData, shardfile.Opts{})
+			if err != nil {
+				return err
+			}
+			if err := shardfile.ApplyPatch(paths, p, shardfile.Opts{}); err != nil {
+				return err
+			}
+			cur = p.Manifest
+			patchBytes = p.WriteBytes()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		// The baseline a patch-less library pays for the same edit: a
+		// full re-encode of the object (the write half of RMW).
+		reencodeBytes := size / int64(k) * int64(k+r)
+		reencode, err := Measure("re-encode", int(size), cfg.MinTime, func() error {
+			src := &repeatReader{block: block, left: size}
+			_, _, err := shardfile.WriteStream(dir, src, size, k, r, cfg.UnitSize, workers)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+
+		rep.Sizes = append(rep.Sizes, rangeJSONRow{
+			ObjectBytes:     size,
+			FullGetMs:       ms(full.PerOp()),
+			RangeGetMs:      ms(ranged.PerOp()),
+			CoveringStripes: covering,
+			PatchMs:         ms(patch.PerOp()),
+			PatchBytes:      patchBytes,
+			ReencodeMs:      ms(reencode.PerOp()),
+			ReencodeBytes:   reencodeBytes,
+		})
+		t.AddF(fmtBytes(size),
+			full.PerOp().Round(10*time.Microsecond).String(),
+			ranged.PerOp().Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%d", covering),
+			patch.PerOp().Round(10*time.Microsecond).String(),
+			fmtBytes(patchBytes),
+			reencode.PerOp().Round(10*time.Microsecond).String(),
+			fmtBytes(reencodeBytes))
+		os.RemoveAll(dir)
+	}
+
+	if err := t.Fprint(w); err != nil {
+		return err
+	}
+	if cfg.JSONPath != "" {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

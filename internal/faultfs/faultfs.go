@@ -204,6 +204,23 @@ func (f *FS) Open(name string) (vfs.File, error) {
 	return &faultFile{File: file, fs: f, name: name}, nil
 }
 
+// OpenRW opens for in-place read/write (the stripe-patch path). It arms
+// OpOpen rules at open time; once open, the returned file routes reads
+// through OpRead rules and writes through OpWrite rules (including
+// TornAfter — a patch torn mid-stripe), same as Create-d files.
+func (f *FS) OpenRW(name string) (vfs.File, error) {
+	if r := f.fire(OpOpen, name); r != nil {
+		if err := f.apply(r); err != nil {
+			return nil, &os.PathError{Op: "open", Path: name, Err: err}
+		}
+	}
+	file, err := f.inner.OpenRW(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, name: name}, nil
+}
+
 func (f *FS) Create(name string) (vfs.File, error) {
 	if r := f.fire(OpCreate, name); r != nil {
 		if err := f.apply(r); err != nil {

@@ -208,6 +208,25 @@ func (f *FaultTransport) GetShard(ctx context.Context, key string, gen uint64, i
 	return rc, size, nil
 }
 
+// GetShardRange shares get-shard fault rules with GetShard: a rule on
+// OpGetShard fires for both, so partition and torn-download scenarios
+// cover ranged reads without separate plumbing. TornAfter counts bytes
+// of the window, not of the whole shard.
+func (f *FaultTransport) GetShardRange(ctx context.Context, key string, gen uint64, idx int, off, length int64) (io.ReadCloser, int64, error) {
+	torn, err := f.gate(ctx, OpGetShard, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	rc, size, err := f.inner.GetShardRange(ctx, key, gen, idx, off, length)
+	if err != nil {
+		return nil, 0, err
+	}
+	if torn > 0 {
+		return &tornBody{tornReader{r: rc, remain: torn}, rc}, size, nil
+	}
+	return rc, size, nil
+}
+
 func (f *FaultTransport) StatShard(ctx context.Context, key string, gen uint64, idx int) (int64, error) {
 	if _, err := f.gate(ctx, OpStatShard, key); err != nil {
 		return 0, err

@@ -133,6 +133,22 @@ func (m *memTransport) GetShard(ctx context.Context, key string, gen uint64, idx
 	return io.NopCloser(strings.NewReader(string(b))), int64(len(b)), nil
 }
 
+func (m *memTransport) GetShardRange(ctx context.Context, key string, gen uint64, idx int, off, length int64) (io.ReadCloser, int64, error) {
+	b, ok := m.shards[skey(key, gen, idx)]
+	if !ok {
+		return nil, 0, ErrShardNotFound
+	}
+	if off > int64(len(b)) {
+		off = int64(len(b))
+	}
+	end := off + length
+	if end > int64(len(b)) {
+		end = int64(len(b))
+	}
+	win := b[off:end]
+	return io.NopCloser(strings.NewReader(string(win))), int64(len(win)), nil
+}
+
 func (m *memTransport) StatShard(ctx context.Context, key string, gen uint64, idx int) (int64, error) {
 	b, ok := m.shards[skey(key, gen, idx)]
 	if !ok {

@@ -52,6 +52,14 @@ type Transport interface {
 	// GetShard opens one shard for reading. The caller must close the
 	// returned reader. size is the shard's on-disk length.
 	GetShard(ctx context.Context, key string, gen uint64, idx int) (body io.ReadCloser, size int64, err error)
+	// GetShardRange opens bytes [off, off+length) of one shard — the
+	// transfer behind ranged object reads, where each peer ships only the
+	// stripes covering the requested window. size is the byte count the
+	// body will actually carry; a shard shorter than off+length serves
+	// what exists (possibly zero bytes), and the caller — which computed
+	// the window from the manifest — treats a short answer as a damaged
+	// shard. The caller must close the returned reader.
+	GetShardRange(ctx context.Context, key string, gen uint64, idx int, off, length int64) (body io.ReadCloser, size int64, err error)
 	// StatShard reports a shard's size without transferring it.
 	StatShard(ctx context.Context, key string, gen uint64, idx int) (size int64, err error)
 	// DeleteShard removes one shard generation. Missing shards are not an

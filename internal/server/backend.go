@@ -56,13 +56,45 @@ type Rebuilder interface {
 	RebuildNode(ctx context.Context, memberID int) (RebuildStats, error)
 }
 
+// RangedStream is an ObjectStream opened over a byte window: Stream
+// serves only that window, and Range reports it resolved (the HTTP
+// layer's Content-Range). Size still reports the whole object.
+type RangedStream interface {
+	ObjectStream
+	Range() (off, length int64)
+}
+
+// RangeOpener is implemented by backends that can open a byte window of
+// an object without decoding the rest; the handler honors HTTP Range
+// requests when it sees one. off == -1 requests the final length bytes
+// (suffix range); length == -1 requests from off to the end. An
+// unsatisfiable window fails with a *RangeError (HTTP 416).
+type RangeOpener interface {
+	OpenRange(ctx context.Context, name string, off, length int64) (RangedStream, error)
+}
+
+// Patcher is implemented by backends that can splice bytes into a stored
+// object; the handler mounts PATCH /o/{name} when it sees one. off == -1
+// appends. The backend decides per object whether the write lands
+// stripe-granularly in place or as a read-modify-write (PatchStats says
+// which).
+type Patcher interface {
+	Patch(ctx context.Context, name string, data []byte, off int64) (ObjectMeta, PatchStats, error)
+}
+
 var (
-	_ Backend   = (*Store)(nil)
-	_ Backend   = (*Gateway)(nil)
-	_ Rebuilder = (*Gateway)(nil)
+	_ Backend     = (*Store)(nil)
+	_ Backend     = (*Gateway)(nil)
+	_ Rebuilder   = (*Gateway)(nil)
+	_ RangeOpener = (*Store)(nil)
+	_ Patcher     = (*Store)(nil)
+	_ RangeOpener = (*Gateway)(nil)
+	_ Patcher     = (*Gateway)(nil)
 
 	_ ObjectStream = (*Object)(nil)
 	_ ObjectStream = (*gatewayObject)(nil)
+	_ RangedStream = (*Object)(nil)
+	_ RangedStream = (*gatewayObject)(nil)
 )
 
 // Name implements ObjectStream for the local store's Object.
@@ -72,6 +104,15 @@ func (o *Object) Name() string { return o.Meta.Name }
 // return would otherwise become a non-nil interface on error).
 func (s *Store) Open(ctx context.Context, name string) (ObjectStream, error) {
 	o, err := s.OpenObject(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// OpenRange adapts OpenObjectRange to the RangeOpener interface.
+func (s *Store) OpenRange(ctx context.Context, name string, off, length int64) (RangedStream, error) {
+	o, err := s.OpenObjectRange(ctx, name, off, length)
 	if err != nil {
 		return nil, err
 	}

@@ -90,6 +90,7 @@ type Gateway struct {
 	locks map[string]*sync.RWMutex
 
 	puts, gets, degradedGets, deletes atomic.Int64
+	rangeGets, patches                atomic.Int64
 	bytesIn, bytesOut                 atomic.Int64
 	quorumFailures                    atomic.Int64
 	rebuilds, shardsRebuilt           atomic.Int64
@@ -301,12 +302,11 @@ func (g *Gateway) readMetaRaw(ctx context.Context, key string) ([]byte, ObjectMe
 // abandoned: acked shards are deleted and no metadata changes, so a
 // failed PUT leaves the object exactly as it was.
 func (g *Gateway) Put(ctx context.Context, name string, src io.Reader, size int64) (ObjectMeta, gemmec.StreamStats, error) {
-	var st gemmec.StreamStats
 	if err := validateName(name); err != nil {
-		return ObjectMeta{}, st, err
+		return ObjectMeta{}, gemmec.StreamStats{}, err
 	}
 	if err := ctxErr(ctx); err != nil {
-		return ObjectMeta{}, st, err
+		return ObjectMeta{}, gemmec.StreamStats{}, err
 	}
 	key := objKey(name)
 	lsp := obs.StartSpan(ctx, "store.lock")
@@ -314,7 +314,14 @@ func (g *Gateway) Put(ctx context.Context, name string, src io.Reader, size int6
 	l.Lock()
 	lsp.End(nil)
 	defer l.Unlock()
+	return g.putLocked(ctx, key, name, src, size)
+}
 
+// putLocked is Put after the key lock: generation discovery, encode
+// fan-out, quorum accounting and the metadata commit. Factored out so
+// Patch can run a read-modify-write under one lock acquisition.
+func (g *Gateway) putLocked(ctx context.Context, key, name string, src io.Reader, size int64) (ObjectMeta, gemmec.StreamStats, error) {
+	var st gemmec.StreamStats
 	n := g.cfg.K + g.cfg.R
 	placement, err := g.cfg.Ring.Placement(key, n)
 	if err != nil {
@@ -622,8 +629,20 @@ type gatewayObject struct {
 	// context parameter, so the decode span records through it.
 	trace *obs.Trace
 
+	// Ranged reads: the per-peer streams start at stripe base and Stream
+	// serves only payload bytes [rangeOff, rangeOff+rangeLen). winSize is
+	// the decode length in payload bytes counted from stripe base.
+	ranged             bool
+	rangeOff, rangeLen int64
+	base               int64
+	winSize            int64
+
+	// quiet suppresses client-facing read metrics — set on the internal
+	// decode feeding a Patch read-modify-write, which is not a GET.
+	quiet bool
+
 	unlock sync.Once
-	lock   *sync.RWMutex
+	lock   *sync.RWMutex // nil when the caller already holds the key lock
 }
 
 func (o *gatewayObject) Name() string { return o.meta.Name }
@@ -634,6 +653,15 @@ func (o *gatewayObject) Degraded() bool { return len(o.unusable) > 0 }
 func (o *gatewayObject) Unusable() []int { return o.unusable }
 
 func (o *gatewayObject) Demoted() []gemmec.Demotion { return o.demoted }
+
+// Range reports the resolved byte window a ranged open serves — the
+// whole object for a plain Open.
+func (o *gatewayObject) Range() (off, length int64) {
+	if !o.ranged {
+		return 0, o.Size()
+	}
+	return o.rangeOff, o.rangeLen
+}
 
 // Stream decodes the object to dst, reconstructing the missing shards'
 // data and verifying every unit's stripe CRC inside the decode pass. A
@@ -650,23 +678,47 @@ func (o *gatewayObject) Stream(dst io.Writer) (gemmec.StreamStats, error) {
 		gemmec.WithStreamScheduler(o.g.sched),
 		gemmec.WithStreamStats(&st),
 	}
+	// A ranged open's peer streams begin at stripe base, so the decode is
+	// windowed: size counts from base, the verifier checks the pipeline's
+	// stripe i against manifest stripe base+i, and a WindowWriter trims
+	// the first stripe's prefix and stops the pipeline at the window's
+	// last byte (ErrWindowDone is the early-stop, not a failure).
+	var sink io.Writer = out
+	var win *shardfile.WindowWriter
+	size := o.meta.Manifest.FileSize
+	if o.ranged {
+		stripeBytes := int64(o.meta.Manifest.K) * int64(o.meta.Manifest.UnitSize)
+		win = shardfile.NewWindowWriter(out, o.rangeOff-o.base*stripeBytes, o.rangeLen)
+		sink = win
+		size = o.winSize
+	}
 	if o.meta.Manifest.StripeVerified() {
-		opts = append(opts, gemmec.WithStreamVerifier(shardfile.NewStripeVerifier(o.meta.Manifest)))
+		opts = append(opts, gemmec.WithStreamVerifier(shardfile.NewStripeVerifierAt(o.meta.Manifest, o.base)))
 	}
 	sp := o.trace.StartSpan("gw.decode")
-	err = code.DecodeStream(o.readers, out, o.meta.Manifest.FileSize, opts...)
+	err = code.DecodeStream(o.readers, sink, size, opts...)
+	if err != nil && errors.Is(err, shardfile.ErrWindowDone) {
+		err = nil
+	}
+	if err == nil && win != nil && win.Remaining() > 0 {
+		err = fmt.Errorf("server: range decode ended %d bytes short of [off=%d,len=%d)",
+			win.Remaining(), o.rangeOff, o.rangeLen)
+	}
 	sp.SetArg(st.Stripes)
 	sp.Stalls(st.ReadStall, st.EncodeStall, st.WriteStall)
 	sp.End(err)
 	for _, d := range st.Demoted {
+		d.Stripe += o.base // pipeline stripes → manifest stripes
 		o.demoted = append(o.demoted, d)
 		o.unusable = appendShard(o.unusable, d.Shard)
 	}
 	mt := o.g.m()
-	mt.recordStream("get", st)
+	if !o.quiet {
+		mt.recordStream("get", st)
+	}
 	if len(st.Demoted) > 0 && o.openBad == 0 {
 		o.g.degradedGets.Add(1)
-		if mt != nil {
+		if mt != nil && !o.quiet {
 			mt.degradedGets.Inc()
 		}
 	}
@@ -676,10 +728,19 @@ func (o *gatewayObject) Stream(dst io.Writer) (gemmec.StreamStats, error) {
 	if err := out.Flush(); err != nil {
 		return st, err
 	}
-	o.g.bytesOut.Add(o.Size())
-	mt.recordObjectBytes("get", o.Size())
-	if mt != nil {
-		mt.bytesOut.Add(o.Size())
+	n := o.Size()
+	if o.ranged {
+		n = o.rangeLen
+	}
+	o.g.bytesOut.Add(n)
+	if !o.quiet {
+		mt.recordObjectBytes("get", n)
+	}
+	if mt != nil && !o.quiet {
+		mt.bytesOut.Add(n)
+		if o.ranged {
+			mt.recordRange(n)
+		}
 	}
 	return st, nil
 }
@@ -691,7 +752,11 @@ func (o *gatewayObject) Close() error {
 			o.closers[i] = nil
 		}
 	}
-	o.unlock.Do(func() { o.lock.RUnlock() })
+	o.unlock.Do(func() {
+		if o.lock != nil {
+			o.lock.RUnlock()
+		}
+	})
 	return nil
 }
 
@@ -723,8 +788,90 @@ func (g *Gateway) Open(ctx context.Context, name string) (ObjectStream, error) {
 		l.RUnlock()
 		return nil, fmt.Errorf("%w: %s (deleted)", ErrObjectNotFound, name)
 	}
-	n := meta.Manifest.K + meta.Manifest.R
 	want := int64(meta.Manifest.Stripes) * int64(meta.Manifest.UnitSize)
+	o, err := g.openShards(ctx, meta, l, 0, want)
+	if err != nil {
+		return nil, err
+	}
+	g.gets.Add(1)
+	if o.openBad > 0 {
+		g.degradedGets.Add(1)
+		if mt := g.m(); mt != nil {
+			mt.degradedGets.Inc()
+		}
+	}
+	return o, nil
+}
+
+// OpenRange opens bytes [off, off+length) of object name for a cluster
+// read, fetching from each placed member only the byte window of its
+// shard that covers the range — shard I/O and wire traffic are both
+// O(stripes covering the range), not O(object). The off/length
+// conventions and error contract match Store.OpenObjectRange: off == -1
+// is a suffix request, length == -1 runs to the end, and an
+// unsatisfiable window fails with a *RangeError.
+func (g *Gateway) OpenRange(ctx context.Context, name string, off, length int64) (RangedStream, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	key := objKey(name)
+	lsp := obs.StartSpan(ctx, "store.lock")
+	l := g.lockFor(key)
+	l.RLock()
+	lsp.End(nil)
+	msp := obs.StartSpan(ctx, "meta.read")
+	_, meta, err := g.readMetaRaw(ctx, key)
+	msp.End(nil)
+	if err != nil {
+		l.RUnlock()
+		return nil, err
+	}
+	if meta.Deleted {
+		l.RUnlock()
+		return nil, fmt.Errorf("%w: %s (deleted)", ErrObjectNotFound, name)
+	}
+	off, length, err = resolveRange(off, length, meta.Size())
+	if err != nil {
+		l.RUnlock()
+		return nil, err
+	}
+	m := meta.Manifest
+	stripeBytes := int64(m.K) * int64(m.UnitSize)
+	base := off / stripeBytes
+	last := (off + length - 1) / stripeBytes
+	o, err := g.openShards(ctx, meta, l, base*int64(m.UnitSize), (last-base+1)*int64(m.UnitSize))
+	if err != nil {
+		return nil, err
+	}
+	o.ranged, o.rangeOff, o.rangeLen = true, off, length
+	o.base = base
+	o.winSize = off + length - base*stripeBytes
+	g.gets.Add(1)
+	g.rangeGets.Add(1)
+	if o.openBad > 0 {
+		g.degradedGets.Add(1)
+		if mt := g.m(); mt != nil {
+			mt.degradedGets.Inc()
+		}
+	}
+	return o, nil
+}
+
+// openShards fetches bytes [shardOff, shardOff+shardLen) of every shard
+// of meta from its placed member in parallel and assembles the
+// gatewayObject (shardOff 0 with shardLen covering the whole shard uses
+// the plain whole-shard transfer). Members that are down, missing the
+// shard, or serving the wrong length are marked unusable; if fewer than
+// k streams open the error wraps gemmec.ErrTooFewShards. l may be nil
+// when the caller already holds the key lock (Patch's internal decode);
+// otherwise it is the held read lock, released by Close or on error.
+func (g *Gateway) openShards(ctx context.Context, meta ObjectMeta, l *sync.RWMutex, shardOff, shardLen int64) (*gatewayObject, error) {
+	key := objKey(meta.Name)
+	n := meta.Manifest.K + meta.Manifest.R
+	full := shardOff == 0 && shardLen == int64(meta.Manifest.Stripes)*int64(meta.Manifest.UnitSize)
 	o := &gatewayObject{
 		g:       g,
 		meta:    meta,
@@ -747,12 +894,21 @@ func (g *Gateway) Open(ctx context.Context, name string) (ObjectStream, error) {
 		wg.Add(1)
 		go func(i int, tr peer.Transport) {
 			defer wg.Done()
-			rc, size, err := tr.GetShard(ctx, key, uint64(meta.Gen), i)
+			var (
+				rc   io.ReadCloser
+				size int64
+				err  error
+			)
+			if full {
+				rc, size, err = tr.GetShard(ctx, key, uint64(meta.Gen), i)
+			} else {
+				rc, size, err = tr.GetShardRange(ctx, key, uint64(meta.Gen), i, shardOff, shardLen)
+			}
 			if err != nil {
 				bad[i] = true
 				return
 			}
-			if size >= 0 && size != want {
+			if size >= 0 && size != shardLen {
 				// Truncated or stale shard: erased, not trusted.
 				rc.Close()
 				bad[i] = true
@@ -775,14 +931,98 @@ func (g *Gateway) Open(ctx context.Context, name string) (ObjectStream, error) {
 		return nil, fmt.Errorf("server: only %d of %d shards reachable (missing %v), need k=%d: %w",
 			usable, n, o.unusable, meta.Manifest.K, gemmec.ErrTooFewShards)
 	}
-	g.gets.Add(1)
-	if o.openBad > 0 {
-		g.degradedGets.Add(1)
-		if mt := g.m(); mt != nil {
-			mt.degradedGets.Inc()
-		}
-	}
 	return o, nil
+}
+
+// Patch splices data into object name at byte offset off (off == -1
+// appends), as a cluster-wide read-modify-write: the old payload is
+// decoded from the ring, spliced, and re-encoded through the normal
+// quorum-committed Put under one key lock. Unlike Store there is no
+// XOR-patched in-place path — cluster shards are first-writer-wins per
+// generation, so an in-place overwrite would break the torn-upload
+// atomicity contract; PatchStats reports the rmw fallback instead.
+func (g *Gateway) Patch(ctx context.Context, name string, data []byte, off int64) (ObjectMeta, PatchStats, error) {
+	var ps PatchStats
+	if err := validateName(name); err != nil {
+		return ObjectMeta{}, ps, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return ObjectMeta{}, ps, err
+	}
+	key := objKey(name)
+	lsp := obs.StartSpan(ctx, "store.lock")
+	l := g.lockFor(key)
+	l.Lock()
+	lsp.End(nil)
+	defer l.Unlock()
+	msp := obs.StartSpan(ctx, "meta.read")
+	_, old, err := g.readMetaRaw(ctx, key)
+	msp.End(nil)
+	if err != nil {
+		return ObjectMeta{}, ps, err
+	}
+	if old.Deleted {
+		return ObjectMeta{}, ps, fmt.Errorf("%w: %s (deleted)", ErrObjectNotFound, name)
+	}
+	size := old.Size()
+	if off < 0 {
+		off = size // append
+	}
+	if off > size {
+		return ObjectMeta{}, ps, fmt.Errorf("server: patch at offset %d beyond object of %d bytes: %w",
+			off, size, &RangeError{Size: size})
+	}
+	ps.Offset = off
+	if len(data) == 0 {
+		ps.InPlace = true // nothing to write; the object is untouched
+		return old, ps, nil
+	}
+	ps.Fallback = "rmw"
+	newSize := size
+	if end := off + int64(len(data)); end > newSize {
+		newSize = end
+	}
+
+	// Decode the old payload through a pipe and splice data over bytes
+	// [off, off+len(data)) on the way into the re-encode. The producer
+	// opens its own shard streams lock-free — this goroutine holds the
+	// key lock already.
+	pr, pw := io.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pw.CloseWithError(g.decodeInto(ctx, old, pw))
+	}()
+	src := io.MultiReader(
+		io.LimitReader(pr, off),
+		bytes.NewReader(data),
+		&skipReader{r: pr, skip: int64(len(data))},
+	)
+	meta, _, err := g.putLocked(ctx, key, name, src, newSize)
+	pr.Close()
+	<-done
+	if err != nil {
+		return ObjectMeta{}, ps, err
+	}
+	g.patches.Add(1)
+	if mt := g.m(); mt != nil {
+		mt.recordPatch(ps)
+	}
+	return meta, ps, nil
+}
+
+// decodeInto streams meta's whole payload to dst without taking the key
+// lock or touching client-read metrics — the read half of Patch's
+// read-modify-write.
+func (g *Gateway) decodeInto(ctx context.Context, meta ObjectMeta, dst io.Writer) error {
+	o, err := g.openShards(ctx, meta, nil, 0, int64(meta.Manifest.Stripes)*int64(meta.Manifest.UnitSize))
+	if err != nil {
+		return err
+	}
+	defer o.Close()
+	o.quiet = true
+	_, err = o.Stream(dst)
+	return err
 }
 
 // Delete removes object name cluster-wide. The commit point is a
@@ -989,6 +1229,8 @@ type GatewayStats struct {
 	WriteQuorum         int     `json:"write_quorum"`
 	Puts                int64   `json:"puts"`
 	Gets                int64   `json:"gets"`
+	RangeGets           int64   `json:"range_gets"`
+	Patches             int64   `json:"patches"`
 	DegradedGets        int64   `json:"degraded_gets"`
 	Deletes             int64   `json:"deletes"`
 	QuorumFailures      int64   `json:"quorum_failures"`
@@ -1062,6 +1304,8 @@ func (g *Gateway) StatusSnapshot() any {
 		WriteQuorum:         g.cfg.WriteQuorum,
 		Puts:                g.puts.Load(),
 		Gets:                g.gets.Load(),
+		RangeGets:           g.rangeGets.Load(),
+		Patches:             g.patches.Load(),
 		DegradedGets:        g.degradedGets.Load(),
 		Deletes:             g.deletes.Load(),
 		QuorumFailures:      g.quorumFailures.Load(),

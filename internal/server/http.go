@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"encoding/json"
@@ -24,7 +25,15 @@ const statusClientClosedRequest = 499
 // HTTP surface of the daemon. Objects live under /o/<name>:
 //
 //	PUT    /o/<name>   store the request body as <name> (streaming encode)
-//	GET    /o/<name>   stream the object back (degraded reads transparent)
+//	GET    /o/<name>   stream the object back (degraded reads transparent);
+//	                   a single bytes Range header is honored (206 +
+//	                   Content-Range, decoding only the covering stripes;
+//	                   416 when no requested byte exists; multi-range or
+//	                   malformed headers are ignored per RFC 9110)
+//	PATCH  /o/<name>   splice the body into the object at the offset named
+//	                   by Content-Range ("bytes <off>-<end>/*") or append
+//	                   it (X-Gemmec-Append: true); small writes rewrite
+//	                   only the touched stripes, XOR-patching their parity
 //	HEAD   /o/<name>   metadata + degradation headers, no body
 //	DELETE /o/<name>   remove the object
 //	GET    /objects    JSON catalog listing
@@ -108,6 +117,11 @@ type Config struct {
 	// aborts the encode and removes the temporary shard generation — an
 	// over-limit upload never leaves partial state. Zero means unlimited.
 	MaxObjectSize int64
+	// MaxPatchSize rejects PATCH bodies larger than it with 413. PATCH
+	// bodies are buffered whole (the stripe planner needs the full splice
+	// before it touches a shard), so this bound is always enforced; 0
+	// selects 8 MiB. A splice bigger than this should be a PUT anyway.
+	MaxPatchSize int64
 	// RetryAfter is the Retry-After header value, in seconds, on shed
 	// (429) responses. 0 selects 1.
 	RetryAfter int
@@ -192,14 +206,21 @@ func NewBackendHandler(backend Backend, cfg Config) http.Handler {
 		slowReq:    cfg.SlowRequestThreshold,
 		reqTimeout: cfg.RequestTimeout,
 		maxObject:  cfg.MaxObjectSize,
+		maxPatch:   cfg.MaxPatchSize,
 		retryAfter: cfg.RetryAfter,
 	}
 	if h.retryAfter <= 0 {
 		h.retryAfter = 1
 	}
+	if h.maxPatch <= 0 {
+		h.maxPatch = 8 << 20
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /o/{name...}", h.wrap("put", true, h.put))
 	mux.HandleFunc("GET /o/{name...}", h.wrap("get", true, h.get))
+	if _, ok := backend.(Patcher); ok {
+		mux.HandleFunc("PATCH /o/{name...}", h.wrap("patch", true, h.patch))
+	}
 	mux.HandleFunc("DELETE /o/{name...}", h.wrap("delete", false, h.delete))
 	mux.HandleFunc("GET /objects", h.wrap("list", false, h.list))
 	mux.HandleFunc("POST /scrub", h.wrap("scrub", false, h.scrub))
@@ -247,6 +268,7 @@ type handler struct {
 	slowReq    time.Duration
 	reqTimeout time.Duration
 	maxObject  int64
+	maxPatch   int64
 	retryAfter int
 }
 
@@ -470,8 +492,12 @@ func errStatus(err error) int {
 		return statusClientClosedRequest
 	case errors.Is(err, ErrObjectNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, ErrBadObjectName):
+	case errors.Is(err, ErrBadObjectName), errors.Is(err, ErrBadPatchRange):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrRangeNotSatisfiable):
+		// A PATCH offset past the end of the object (the GET path answers
+		// its own 416 so it can attach Content-Range: bytes */size).
+		return http.StatusRequestedRangeNotSatisfiable
 	case errors.Is(err, gemmec.ErrTooFewShards), errors.Is(err, gemmec.ErrCorruptShard):
 		// The bytes exist but cannot currently be served; repair may
 		// restore them, so signal a retryable service condition.
@@ -615,11 +641,85 @@ func shardList(bad []int) string {
 	return s
 }
 
-func (h *handler) get(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	o, err := h.store.Open(r.Context(), name)
+// parseRangeHeader parses a Range header value into the OpenRange
+// convention: off == -1 requests the final length bytes (suffix form
+// "-n"), length == -1 requests from off to the end ("a-"). ok == false
+// means the header must be ignored and the full body served — RFC 9110
+// treats unknown units, multi-range lists and malformed values as "not
+// applicable", never as errors.
+func parseRangeHeader(v string) (off, length int64, ok bool) {
+	spec, found := strings.CutPrefix(v, "bytes=")
+	if !found {
+		return 0, 0, false
+	}
+	if strings.Contains(spec, ",") {
+		return 0, 0, false // multi-range: serve the full body instead
+	}
+	first, last, found := strings.Cut(strings.TrimSpace(spec), "-")
+	if !found {
+		return 0, 0, false
+	}
+	if first == "" { // "-n": the final n bytes
+		n, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || n < 0 {
+			return 0, 0, false
+		}
+		return -1, n, true
+	}
+	a, err := strconv.ParseInt(first, 10, 64)
+	if err != nil || a < 0 {
+		return 0, 0, false
+	}
+	if last == "" { // "a-": from a to the end
+		return a, -1, true
+	}
+	b, err := strconv.ParseInt(last, 10, 64)
+	if err != nil || b < a {
+		return 0, 0, false
+	}
+	return a, b - a + 1, true
+}
+
+// openForGet opens the object, honoring a well-formed single bytes Range
+// header when the backend can seek. ranged reports whether the response
+// must be a 206. A nil stream with handled == true means the response
+// (416 or an error) was already written.
+func (h *handler) openForGet(w http.ResponseWriter, r *http.Request, name string) (o ObjectStream, ranged bool, handled bool) {
+	hv := r.Header.Get("Range")
+	ro, seekable := h.store.(RangeOpener)
+	if seekable {
+		w.Header().Set("Accept-Ranges", "bytes")
+	}
+	// HEAD ignores Range (RFC 9110 allows it; our HEAD describes the
+	// whole object). Anything unparseable falls through to a full 200.
+	if hv != "" && seekable && r.Method != http.MethodHead {
+		if off, length, ok := parseRangeHeader(hv); ok {
+			rs, err := ro.OpenRange(r.Context(), name, off, length)
+			var re *RangeError
+			switch {
+			case errors.As(err, &re):
+				w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", re.Size))
+				http.Error(w, err.Error(), http.StatusRequestedRangeNotSatisfiable)
+				return nil, false, true
+			case err != nil:
+				h.fail(w, r, err)
+				return nil, false, true
+			}
+			return rs, true, false
+		}
+	}
+	full, err := h.store.Open(r.Context(), name)
 	if err != nil {
 		h.fail(w, r, err)
+		return nil, false, true
+	}
+	return full, false, false
+}
+
+func (h *handler) get(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	o, ranged, handled := h.openForGet(w, r, name)
+	if handled {
 		return
 	}
 	defer o.Close()
@@ -635,9 +735,20 @@ func (h *handler) get(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Length", strconv.FormatInt(o.Size(), 10))
 		return
 	}
+	bodyLen := o.Size()
+	if ranged {
+		off, length := o.(RangedStream).Range()
+		bodyLen = length
+		w.Header().Set("Content-Range",
+			fmt.Sprintf("bytes %d-%d/%d", off, off+length-1, o.Size()))
+	}
 	// The body streams chunked (no Content-Length) so the final
 	// degradation state — which may grow mid-stream as the verifying
-	// decode demotes shards — can ride the trailers.
+	// decode demotes shards — can ride the trailers (set via
+	// http.TrailerPrefix, which needs no pre-declaration).
+	if ranged {
+		w.WriteHeader(http.StatusPartialContent)
+	}
 	st, err := o.Stream(w)
 	if err != nil {
 		// Headers are gone; abort the connection so the client sees a
@@ -647,7 +758,7 @@ func (h *handler) get(w http.ResponseWriter, r *http.Request) {
 	}
 	if iw, ok := w.(*instrumented); ok {
 		iw.object = o.Name()
-		iw.objectBytes = o.Size()
+		iw.objectBytes = bodyLen
 		iw.degraded = o.Degraded()
 		iw.demoted = len(o.Demoted())
 		iw.reconstructed = len(o.Unusable())
@@ -665,6 +776,110 @@ func (h *handler) get(w http.ResponseWriter, r *http.Request) {
 	if n := len(st.Demoted); n > 0 {
 		w.Header().Set(http.TrailerPrefix+"X-Gemmec-Demoted", strconv.Itoa(n))
 	}
+}
+
+// patchResponse is the JSON body of a successful PATCH.
+type patchResponse struct {
+	Name    string `json:"name"`
+	Size    int64  `json:"size"`
+	Length  int    `json:"length"`
+	Stripes int    `json:"stripes"`
+	PatchStats
+}
+
+// parsePatchOffset resolves where a PATCH body lands: "X-Gemmec-Append:
+// true" appends; otherwise "Content-Range: bytes <first>-<last>/<size|*>"
+// names the offset (only <first> positions the write; <last>, when
+// given, must agree with the body length).
+func parsePatchOffset(r *http.Request) (int64, error) {
+	if v := r.Header.Get("X-Gemmec-Append"); v != "" {
+		app, err := strconv.ParseBool(v)
+		if err != nil {
+			return 0, fmt.Errorf("server: bad X-Gemmec-Append %q: %w", v, ErrBadPatchRange)
+		}
+		if app {
+			return -1, nil
+		}
+	}
+	v := r.Header.Get("Content-Range")
+	if v == "" {
+		return 0, fmt.Errorf("server: PATCH needs Content-Range (bytes <off>-<end>/*) or X-Gemmec-Append: true: %w", ErrBadPatchRange)
+	}
+	spec, found := strings.CutPrefix(v, "bytes ")
+	if !found {
+		return 0, fmt.Errorf("server: bad Content-Range %q (want bytes <off>-<end>/*): %w", v, ErrBadPatchRange)
+	}
+	rng, _, found := strings.Cut(spec, "/")
+	if !found {
+		return 0, fmt.Errorf("server: bad Content-Range %q (missing /): %w", v, ErrBadPatchRange)
+	}
+	first, last, found := strings.Cut(strings.TrimSpace(rng), "-")
+	if !found {
+		return 0, fmt.Errorf("server: bad Content-Range %q: %w", v, ErrBadPatchRange)
+	}
+	off, err := strconv.ParseInt(first, 10, 64)
+	if err != nil || off < 0 {
+		return 0, fmt.Errorf("server: bad Content-Range offset %q: %w", first, ErrBadPatchRange)
+	}
+	if last != "" && r.ContentLength >= 0 {
+		end, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || end < off {
+			return 0, fmt.Errorf("server: bad Content-Range end %q: %w", last, ErrBadPatchRange)
+		}
+		if end-off+1 != r.ContentLength {
+			return 0, fmt.Errorf("server: Content-Range %q spans %d bytes but body is %d: %w",
+				v, end-off+1, r.ContentLength, ErrBadPatchRange)
+		}
+	}
+	return off, nil
+}
+
+// ErrBadPatchRange marks a PATCH whose positioning headers are absent or
+// malformed (400) — unlike GET's Range, which is advisory and ignorable,
+// a write must know exactly where it lands.
+var ErrBadPatchRange = errors.New("server: bad patch range")
+
+func (h *handler) patch(w http.ResponseWriter, r *http.Request) {
+	p, ok := h.store.(Patcher)
+	if !ok { // route is only mounted for Patcher backends; belt and braces
+		http.Error(w, "backend cannot patch objects", http.StatusNotImplemented)
+		return
+	}
+	name := r.PathValue("name")
+	off, err := parsePatchOffset(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if r.ContentLength > h.maxPatch {
+		h.fail(w, r, &http.MaxBytesError{Limit: h.maxPatch})
+		return
+	}
+	// The splice is buffered whole: the stripe planner reads old units
+	// and XOR-patches parity before any byte lands, so it needs the full
+	// window up front. MaxBytesReader turns an over-limit chunked body
+	// into a 413 before the store is touched.
+	data, err := io.ReadAll(&tornBodyGuard{r: http.MaxBytesReader(w, r.Body, h.maxPatch)})
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	meta, ps, err := p.Patch(r.Context(), name, data, off)
+	if err != nil {
+		h.fail(w, r, err)
+		return
+	}
+	if iw, ok := w.(*instrumented); ok {
+		iw.object = meta.Name
+		iw.objectBytes = int64(len(data))
+	}
+	writeJSON(w, http.StatusOK, patchResponse{
+		Name:       meta.Name,
+		Size:       meta.Size(),
+		Length:     len(data),
+		Stripes:    meta.Manifest.Stripes,
+		PatchStats: ps,
+	})
 }
 
 func (h *handler) delete(w http.ResponseWriter, r *http.Request) {

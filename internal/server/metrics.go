@@ -14,7 +14,7 @@ import (
 // ops is the fixed label set for per-operation request metrics. Every
 // request is attributed to exactly one of these; pre-registering the full
 // set keeps the per-request record path to handle lookups plus atomic adds.
-var ops = []string{"put", "get", "head", "delete", "list", "scrub", "status", "health", "metrics", "other"}
+var ops = []string{"put", "get", "head", "patch", "delete", "list", "scrub", "status", "health", "metrics", "other"}
 
 // stages mirror pipeline.Stats stall attribution: where a streaming
 // request's wall time went when it was not doing GEMM.
@@ -62,6 +62,14 @@ type Metrics struct {
 	slabPuts       *obs.Counter
 	slabFlushes    *obs.Counter
 	slabsReclaimed *obs.Counter
+
+	rangeGets  *obs.Counter
+	rangeBytes *obs.Counter
+
+	patches        *obs.Counter
+	patchFallbacks *obs.Counter
+	patchStripes   *obs.Counter
+	patchBytes     map[string]*obs.Counter // by kind (data/parity)
 }
 
 // NewMetrics registers the daemon's metric families on reg (a fresh
@@ -136,6 +144,24 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	m.schedWait = reg.Histogram("gemmec_sched_wait_seconds",
 		"Time stripe tasks spent queued in the shared scheduler before a worker picked them up.",
 		obs.LatencyBuckets)
+
+	m.rangeGets = reg.Counter("gemmec_range_gets_total",
+		"GETs served as ranged reads (decoding only the covering stripes).")
+	m.rangeBytes = reg.Counter("gemmec_range_bytes_total",
+		"Payload bytes served by ranged GETs.")
+
+	m.patches = reg.Counter("gemmec_patches_total",
+		"PATCH requests committed (in place or via read-modify-write).")
+	m.patchFallbacks = reg.Counter("gemmec_patch_fallbacks_total",
+		"PATCHes that fell back to a full read-modify-write (slab members, v1 manifests, degraded sets).")
+	m.patchStripes = reg.Counter("gemmec_patch_stripes_total",
+		"Stripes rewritten in place by PATCH.")
+	m.patchBytes = map[string]*obs.Counter{}
+	for _, kind := range []string{"data", "parity"} {
+		m.patchBytes[kind] = reg.Counter("gemmec_patch_bytes_total",
+			"Shard bytes written in place by PATCH, by kind (parity bytes are XOR-patched, not re-encoded).",
+			obs.L("kind", kind))
+	}
 
 	m.slabPuts = reg.Counter("gemmec_slab_puts_total",
 		"PUTs served by the small-object packing fast path.")
@@ -385,6 +411,30 @@ func (m *Metrics) recordObjectBytes(op string, n int64) {
 	if h, ok := m.objectBytes[op]; ok {
 		h.Observe(n)
 	}
+}
+
+// recordRange records one completed ranged GET of n payload bytes.
+func (m *Metrics) recordRange(n int64) {
+	if m == nil {
+		return
+	}
+	m.rangeGets.Inc()
+	m.rangeBytes.Add(n)
+}
+
+// recordPatch folds one committed PATCH into the patch metrics.
+func (m *Metrics) recordPatch(ps PatchStats) {
+	if m == nil {
+		return
+	}
+	m.patches.Inc()
+	if ps.Fallback != "" {
+		m.patchFallbacks.Inc()
+		return
+	}
+	m.patchStripes.Add(int64(ps.TouchedStripes))
+	m.patchBytes["data"].Add(ps.DataBytes)
+	m.patchBytes["parity"].Add(ps.ParityBytes)
 }
 
 // recordScrub folds one completed sweep into the scrub metrics.

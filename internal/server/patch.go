@@ -1,0 +1,503 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gemmec/internal/ecerr"
+	"gemmec/internal/obs"
+	"gemmec/internal/shardfile"
+)
+
+// Ranged reads and stripe-granular small writes.
+//
+// OpenObjectRange serves an HTTP Range request by decoding only the
+// stripes covering the window (shardfile.StreamReader.DecodeRange seeks
+// every shard reader to the first covering stripe), so a 64 KiB tail read
+// of a gigabyte object costs a handful of stripes of shard I/O, not the
+// whole object.
+//
+// Patch is the write-side dual: a small overwrite or append re-encodes
+// only the touched stripes, XOR-patching their parity units from the data
+// delta (shardfile.PlanPatch / core.Engine.UpdateParity) instead of
+// re-encoding the object. The commit protocol keeps the object
+// crash-atomic without a new shard generation:
+//
+//  1. plan     — pure read: verified old units -> writes + new manifest
+//  2. journal  — the plan is persisted at meta/<key>.patch (tmp + rename,
+//     the durability point; failure before it aborts with the old object
+//     fully intact)
+//  3. apply    — in-place idempotent shard-file writes
+//  4. commit   — the metadata rename publishes the new manifest
+//  5. clear    — the journal is removed
+//
+// A crash between 2 and 5 leaves the journal behind; recoverPatches
+// (store open and every scrub sweep) replays it — apply is idempotent and
+// the journal carries the full write list — rolling the patch forward.
+// Journals are generation-guarded: one that no longer matches the live
+// object (overwritten, deleted, repacked) is discarded instead.
+//
+// Shard sets that cannot be patched in place — packed slab members,
+// legacy v1 manifests, sets with unreadable or rotten units — fall back
+// to a full read-modify-write through the regular Put commit path (new
+// generation, metadata rename, old shards removed after commit).
+
+// ErrRangeNotSatisfiable reports a requested byte range no part of which
+// exists — the HTTP layer's 416.
+var ErrRangeNotSatisfiable = errors.New("server: requested range not satisfiable")
+
+// RangeError is an unsatisfiable range carrying the object's size, so the
+// HTTP layer can answer with "Content-Range: bytes */<size>" per RFC 9110.
+type RangeError struct{ Size int64 }
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("server: requested range not satisfiable (object is %d bytes)", e.Size)
+}
+
+func (e *RangeError) Unwrap() error { return ErrRangeNotSatisfiable }
+
+// resolveRange resolves an (off, length) range request against an object
+// of size bytes, in the OpenRange convention: off == -1 requests the
+// final length bytes (an RFC 9110 suffix range), length == -1 requests
+// everything from off to the end, and a length overshooting the end is
+// clamped. The resolved window is never empty; a request no byte of which
+// exists fails with a *RangeError.
+func resolveRange(off, length, size int64) (int64, int64, error) {
+	switch {
+	case size == 0:
+		// No bytes exist, so no range over them is satisfiable.
+		return 0, 0, &RangeError{Size: size}
+	case off < 0: // suffix: the final length bytes
+		if length <= 0 {
+			return 0, 0, &RangeError{Size: size}
+		}
+		if length > size {
+			length = size
+		}
+		return size - length, length, nil
+	case off >= size:
+		return 0, 0, &RangeError{Size: size}
+	case length < 0 || length > size-off:
+		return off, size - off, nil
+	default:
+		if length == 0 {
+			return 0, 0, &RangeError{Size: size}
+		}
+		return off, length, nil
+	}
+}
+
+// OpenObjectRange opens byte window [off, off+length) of object name for
+// streaming: Stream then decodes only the stripes covering the window.
+// off == -1 selects the final length bytes, length == -1 everything from
+// off to the end (the two open-ended Range header forms). An
+// unsatisfiable window fails with a *RangeError wrapping
+// ErrRangeNotSatisfiable. Everything else matches OpenObject: shared
+// lock until Close, degraded opens transparent, slab members resolved.
+func (s *Store) OpenObjectRange(ctx context.Context, name string, off, length int64) (*Object, error) {
+	o, err := s.OpenObject(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	ro, rn, err := resolveRange(off, length, o.Size())
+	if err != nil {
+		o.Close()
+		return nil, err
+	}
+	o.ranged, o.rangeOff, o.rangeLen = true, ro, rn
+	s.rangeGets.Add(1)
+	return o, nil
+}
+
+// Range reports the byte window Stream will serve: the resolved request
+// window for ranged opens, the whole payload otherwise.
+func (o *Object) Range() (off, length int64) {
+	if !o.ranged {
+		return 0, o.Size()
+	}
+	return o.rangeOff, o.rangeLen
+}
+
+// PatchStats describes how a Patch landed.
+type PatchStats struct {
+	// Offset is the resolved payload offset the patch was applied at
+	// (appends resolve to the pre-patch size).
+	Offset int64 `json:"offset"`
+	// InPlace reports the stripe-granular path: only the touched stripes'
+	// data units and their XOR-patched parity units were rewritten.
+	InPlace bool `json:"in_place"`
+	// TouchedStripes / DataBytes / ParityBytes account the in-place write
+	// set (zero for fallbacks).
+	TouchedStripes int   `json:"touched_stripes,omitempty"`
+	DataBytes      int64 `json:"data_bytes,omitempty"`
+	ParityBytes    int64 `json:"parity_bytes,omitempty"`
+	// Fallback names why the patch fell back to read-modify-write:
+	// "slab" (packed member) or "unsupported" (v1 manifest, degraded or
+	// rotten units). Empty when InPlace.
+	Fallback string `json:"fallback,omitempty"`
+}
+
+// WriteBytes is the shard bytes the in-place patch wrote.
+func (ps PatchStats) WriteBytes() int64 { return ps.DataBytes + ps.ParityBytes }
+
+// patchJournal is the durable redo record of an in-place patch: the
+// post-patch metadata and the exact shard-file writes. Written to
+// meta/<key>.patch before any shard byte changes; replayed by
+// recoverPatches when a crash strands it.
+type patchJournal struct {
+	Key string `json:"key"`
+	// Gen is the generation the writes target. The patch commits in
+	// place — same generation, same shard paths — so a journal is valid
+	// exactly while the live object still sits at this generation.
+	Gen    int64                  `json:"gen"`
+	Meta   ObjectMeta             `json:"meta"`
+	Writes []shardfile.ShardWrite `json:"writes"`
+}
+
+func (s *Store) patchJournalPath(key string) string {
+	return filepath.Join(s.metaDir(), key+".patch")
+}
+
+// clearPatchJournal best-effort removes key's patch journal. Called
+// wherever the object moves past the generation a stranded journal could
+// target — successful patch commit, overwrite, delete — so stale
+// journals cannot outlive the state they describe.
+func (s *Store) clearPatchJournal(key string) {
+	os.Remove(s.patchJournalPath(key))
+	os.Remove(s.patchJournalPath(key) + ".tmp")
+}
+
+// Patch splices data into object name at payload byte off; off == -1
+// appends. The object may grow (never shrink). When the shard set
+// supports it the write is stripe-granular and in place — only the
+// touched data units and their XOR-patched parity units are rewritten,
+// journaled first so a crash mid-apply rolls forward — otherwise
+// (slab members, v1 manifests, degraded sets) it degrades to a full
+// read-modify-write overwrite. Either way the metadata rename is the
+// commit point: concurrent readers and crashes see the whole old object
+// or the whole new one, never a splice in progress.
+func (s *Store) Patch(ctx context.Context, name string, data []byte, off int64) (ObjectMeta, PatchStats, error) {
+	var ps PatchStats
+	if err := validateName(name); err != nil {
+		return ObjectMeta{}, ps, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return ObjectMeta{}, ps, err
+	}
+	key := objKey(name)
+	lsp := obs.StartSpan(ctx, "store.lock")
+	l := s.lockExclusive(key)
+	lsp.End(nil)
+	defer l.Unlock()
+	if err := s.ensureDirs(); err != nil {
+		return ObjectMeta{}, ps, err
+	}
+	old, err := s.loadMeta(key)
+	if err != nil {
+		return ObjectMeta{}, ps, err
+	}
+	if old.Deleted {
+		return ObjectMeta{}, ps, ErrObjectNotFound
+	}
+	size := old.Size()
+	if off < 0 {
+		off = size // append
+	}
+	if off > size {
+		return ObjectMeta{}, ps, fmt.Errorf("server: patch offset %d beyond object size: %w",
+			off, &RangeError{Size: size})
+	}
+	ps.Offset = off
+	if len(data) == 0 {
+		ps.InPlace = true
+		return old, ps, nil
+	}
+
+	if old.Slab == nil {
+		paths := s.shardPaths(key, old)
+		psp := obs.StartSpan(ctx, "patch.plan")
+		plan, perr := shardfile.PlanPatch(paths, old.Manifest, off, data, s.fileOpts(ctx))
+		psp.End(perr)
+		if perr == nil {
+			meta := old
+			meta.Manifest = plan.Manifest
+			if err := s.commitPatch(ctx, key, meta, paths, plan); err != nil {
+				return ObjectMeta{}, ps, err
+			}
+			ps.InPlace = true
+			ps.TouchedStripes = plan.TouchedStripes
+			ps.DataBytes, ps.ParityBytes = plan.DataBytes, plan.ParityBytes
+			s.patches.Add(1)
+			s.bytesIn.Add(int64(len(data)))
+			if mt := s.m(); mt != nil {
+				mt.recordPatch(ps)
+				mt.bytesIn.Add(int64(len(data)))
+			}
+			return meta, ps, nil
+		}
+		if !errors.Is(perr, shardfile.ErrPatchUnsupported) {
+			return ObjectMeta{}, ps, perr
+		}
+		ps.Fallback = fallbackReason(perr)
+	} else {
+		ps.Fallback = "slab"
+	}
+	// Read-modify-write fallback: decode, splice, re-encode through the
+	// regular Put commit path (new generation; slab members are promoted
+	// out of — or repacked into — a slab by the same size rules as PUT).
+	meta, err := s.patchRMW(ctx, key, old, off, data)
+	if err != nil {
+		return ObjectMeta{}, ps, err
+	}
+	s.patches.Add(1)
+	s.patchFallbacks.Add(1)
+	if mt := s.m(); mt != nil {
+		mt.recordPatch(ps)
+	}
+	return meta, ps, nil
+}
+
+// fallbackReason classifies why PlanPatch refused, for the fallback label.
+func fallbackReason(err error) string {
+	if errors.Is(err, ecerr.ErrCorruptShard) || errors.Is(err, ecerr.ErrShardTruncated) {
+		return "degraded"
+	}
+	return "unsupported"
+}
+
+// applyOpts is fileOpts without the request context: once a patch is
+// journaled it must roll forward — a client disconnect mid-apply must not
+// strand half-applied stripes for recovery to redo later when redoing
+// them now is cheaper and keeps the object readable.
+func (s *Store) applyOpts() shardfile.Opts {
+	return shardfile.Opts{FS: s.cfg.FS, Sched: s.sched, Source: s.codes}
+}
+
+// commitPatch runs steps 2–5 of the patch protocol: journal the plan
+// durably, apply it in place, commit the metadata, clear the journal. A
+// failure before the journal rename aborts cleanly (nothing on disk
+// changed); after it, the patch is retried once and otherwise left for
+// recoverPatches to roll forward.
+func (s *Store) commitPatch(ctx context.Context, key string, meta ObjectMeta, paths []string, plan *shardfile.Patch) error {
+	rec := patchJournal{Key: key, Gen: meta.Gen, Meta: meta, Writes: plan.Writes}
+	b, err := json.Marshal(&rec)
+	if err != nil {
+		return err
+	}
+	jp := s.patchJournalPath(key)
+	if err := os.WriteFile(jp+".tmp", b, 0o644); err != nil {
+		return err
+	}
+	jsp := obs.StartSpan(ctx, "patch.journal")
+	err = os.Rename(jp+".tmp", jp)
+	jsp.End(err)
+	if err != nil {
+		os.Remove(jp + ".tmp")
+		return err
+	}
+	asp := obs.StartSpan(ctx, "patch.apply")
+	err = shardfile.ApplyPatch(paths, plan, s.applyOpts())
+	asp.End(err)
+	if err == nil {
+		csp := obs.StartSpan(ctx, "meta.commit")
+		err = s.saveMeta(key, meta)
+		csp.End(err)
+	}
+	if err != nil {
+		// The journal is durable, so roll forward: one immediate replay;
+		// a persistent failure leaves the journal for recovery (store
+		// open or the next scrub sweep) and reports the original error.
+		if rerr := s.replayPatch(key, rec); rerr != nil {
+			return fmt.Errorf("server: patch of %s journaled but not applied (recovery will replay): %w", key, err)
+		}
+		return nil
+	}
+	os.Remove(jp)
+	return nil
+}
+
+// replayPatch re-applies a journaled patch and commits its metadata,
+// clearing the journal on success. ApplyPatch is idempotent, so replaying
+// over fully- or partially-applied shards converges.
+func (s *Store) replayPatch(key string, rec patchJournal) error {
+	plan := &shardfile.Patch{Manifest: rec.Meta.Manifest, Writes: rec.Writes}
+	if err := shardfile.ApplyPatch(s.shardPaths(key, rec.Meta), plan, s.applyOpts()); err != nil {
+		return err
+	}
+	if err := s.saveMeta(key, rec.Meta); err != nil {
+		return err
+	}
+	os.Remove(s.patchJournalPath(key))
+	return nil
+}
+
+// recoverPatches scans the metadata directory for stranded patch journals
+// and rolls each forward (or discards it when stale). Runs at store open —
+// before any request can observe a half-applied patch — and at the start
+// of every scrub sweep. Returns how many journals were replayed.
+func (s *Store) recoverPatches(ctx context.Context) int {
+	ents, err := os.ReadDir(s.metaDir())
+	if err != nil {
+		return 0
+	}
+	replayed := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".patch.tmp") {
+			// Never renamed, so never durable: the patch that wrote it
+			// failed before its commit protocol began.
+			os.Remove(filepath.Join(s.metaDir(), e.Name()))
+			continue
+		}
+		key, ok := strings.CutSuffix(e.Name(), ".patch")
+		if !ok {
+			continue
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		l := s.lockExclusive(key)
+		if s.replayJournal(key) {
+			replayed++
+		}
+		l.Unlock()
+	}
+	return replayed
+}
+
+// replayJournal loads key's journal and replays it when it still applies:
+// the object exists, is not a tombstone or slab member, and sits at the
+// generation the journal targets. Anything else means the journal lost a
+// race it cannot win (the object was overwritten, deleted or repacked
+// after the journal landed), so it is discarded. Caller holds the
+// object's exclusive lock.
+func (s *Store) replayJournal(key string) bool {
+	jp := s.patchJournalPath(key)
+	b, err := os.ReadFile(jp)
+	if err != nil {
+		return false
+	}
+	var rec patchJournal
+	if err := json.Unmarshal(b, &rec); err != nil || rec.Meta.Manifest.Validate() != nil {
+		os.Remove(jp)
+		return false
+	}
+	cur, err := s.loadMeta(key)
+	if err != nil || cur.Deleted || cur.Slab != nil || cur.Gen != rec.Gen {
+		os.Remove(jp)
+		return false
+	}
+	if err := s.replayPatch(key, rec); err != nil {
+		s.scrubErrors.Add(1)
+		return false
+	}
+	return true
+}
+
+// patchRMW is the read-modify-write fallback: stream the old payload
+// through a pipe, splice the patch bytes over [off, off+len(data)), and
+// re-encode the result via the regular Put commit path. The producer
+// decodes the old generation's shard files directly (the caller already
+// holds the object's exclusive lock; OpenObject would deadlock on it) or,
+// for slab members, the member window of the backing slab under its
+// shared lock (member → slab order, matching openSlabMember).
+func (s *Store) patchRMW(ctx context.Context, key string, old ObjectMeta, off int64, data []byte) (ObjectMeta, error) {
+	newSize := old.Size()
+	if end := off + int64(len(data)); end > newSize {
+		newSize = end
+	}
+	meta := ObjectMeta{Name: old.Name, Gen: old.Gen + 1}
+	var oldPaths []string
+	if old.Slab == nil {
+		oldPaths = s.shardPaths(key, old)
+		if s.placementUsable(old.Placement) {
+			meta.Placement = old.Placement
+		}
+	}
+	pr, pw := io.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var err error
+		if old.Slab != nil {
+			err = s.decodeSlabMember(ctx, old, pw)
+		} else {
+			err = s.decodeOldGen(ctx, key, old, pw)
+		}
+		pw.CloseWithError(err)
+	}()
+	// old[0:off] ++ data ++ old[off+len(data):] — exactly newSize bytes.
+	src := io.MultiReader(
+		io.LimitReader(pr, off),
+		bytes.NewReader(data),
+		&skipReader{r: pr, skip: int64(len(data))},
+	)
+	meta, _, err := s.putLocked(ctx, key, meta, oldPaths, src, newSize)
+	pr.Close() // stop the producer if the encode quit early
+	<-done
+	if err != nil {
+		return ObjectMeta{}, err
+	}
+	return meta, nil
+}
+
+// decodeOldGen streams the committed payload of a dedicated shard set.
+func (s *Store) decodeOldGen(ctx context.Context, key string, meta ObjectMeta, dst io.Writer) error {
+	sr, err := shardfile.OpenStreamPaths(s.shardPaths(key, meta), meta.Manifest, s.fileOpts(ctx))
+	if err != nil {
+		return err
+	}
+	defer sr.Close()
+	_, err = sr.Decode(dst, s.cfg.Workers)
+	return err
+}
+
+// decodeSlabMember streams a packed member's payload window out of its
+// backing slab, holding the slab's shared lock for the duration.
+func (s *Store) decodeSlabMember(ctx context.Context, meta ObjectMeta, dst io.Writer) error {
+	sl := s.lockShared(meta.Slab.Key)
+	defer sl.RUnlock()
+	slabMeta, err := s.loadMeta(meta.Slab.Key)
+	if err != nil {
+		return err
+	}
+	sr, err := shardfile.OpenStreamPaths(s.shardPaths(meta.Slab.Key, slabMeta), slabMeta.Manifest, s.fileOpts(ctx))
+	if err != nil {
+		return err
+	}
+	defer sr.Close()
+	_, err = sr.DecodeRange(dst, s.cfg.Workers, meta.Slab.Offset, meta.Slab.Size)
+	return err
+}
+
+// skipReader discards the first skip bytes of r — the old bytes the patch
+// overwrote — and passes the rest through. EOF inside the skip window is
+// clean: the patch grew the object past the old end.
+type skipReader struct {
+	r    io.Reader
+	skip int64
+}
+
+func (d *skipReader) Read(p []byte) (int, error) {
+	for d.skip > 0 {
+		n := int64(len(p))
+		if n > d.skip {
+			n = d.skip
+		}
+		m, err := d.r.Read(p[:n])
+		d.skip -= int64(m)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				d.skip = 0
+			}
+			return 0, err
+		}
+	}
+	return d.r.Read(p)
+}

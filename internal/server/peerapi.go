@@ -3,6 +3,7 @@ package server
 import (
 	"crypto/subtle"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -17,7 +18,7 @@ import (
 // every peer.Client speaks:
 //
 //	PUT    /internal/shard/{key}/{gen}/{idx}   store one shard (atomic)
-//	GET    /internal/shard/{key}/{gen}/{idx}   stream one shard
+//	GET    /internal/shard/{key}/{gen}/{idx}   stream one shard (Range → 206 window)
 //	HEAD   /internal/shard/{key}/{gen}/{idx}   size only (X-Gemmec-Shard-Size)
 //	DELETE /internal/shard/{key}/{gen}/{idx}   drop one shard generation
 //	DELETE /internal/object/{key}              drop all shards + meta replica
@@ -160,6 +161,15 @@ func (a *peerAPI) getShard(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 		return
 	}
+	// A Range header narrows the transfer to the requested shard window —
+	// the wire behind ranged object reads, where a gateway fetches only
+	// the stripes covering the client's byte range. An unparseable Range
+	// falls back to the full shard (the client trims the window itself),
+	// so correctness never depends on this path.
+	if off, length, ok := parseRangeHeader(r.Header.Get("Range")); ok && r.Method != http.MethodHead {
+		a.getShardRange(w, r, key, gen, idx, off, length)
+		return
+	}
 	// The span covers locating and opening the shard; the body copy
 	// streams after headers are flushed, so it cannot be in the span —
 	// the client side's peer.get_shard span carries the transfer time.
@@ -173,6 +183,48 @@ func (a *peerAPI) getShard(w http.ResponseWriter, r *http.Request) {
 	defer body.Close()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	io.Copy(w, body) //nolint:errcheck // receiver gone; nothing to do
+}
+
+// getShardRange serves one shard window as a 206. The suffix (off == -1)
+// and open-ended (length == -1) range forms are resolved against the
+// shard's size; windows beyond the shard are clamped to what exists —
+// the peer API's caller verifies lengths against the manifest, so a
+// short answer is its signal, not an error here.
+func (a *peerAPI) getShardRange(w http.ResponseWriter, r *http.Request, key string, gen uint64, idx int, off, length int64) {
+	done := remoteSpan(w, r, "shard.read")
+	size, err := a.ps.StatShard(key, gen, idx)
+	if err != nil {
+		done(err)
+		a.fail(w, r, err)
+		return
+	}
+	if off < 0 { // suffix form: final length bytes
+		off = size - length
+		if off < 0 {
+			off = 0
+		}
+		length = size - off
+	}
+	if length < 0 || length > size-off {
+		length = size - off
+		if length < 0 {
+			length = 0
+		}
+	}
+	body, n, err := a.ps.GetShardRange(key, gen, idx, off, length)
+	done(err)
+	if err != nil {
+		a.fail(w, r, err)
+		return
+	}
+	defer body.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	if n > 0 {
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", off, off+n-1, size))
+	}
+	w.WriteHeader(http.StatusPartialContent)
 	io.Copy(w, body) //nolint:errcheck // receiver gone; nothing to do
 }
 

@@ -165,6 +165,55 @@ func (ps *PeerStore) GetShard(key string, gen uint64, idx int) (io.ReadCloser, i
 	return f, fi.Size(), nil
 }
 
+// rangeFile is an opened shard window: a LimitReader over a seeked file
+// that still closes the file underneath.
+type rangeFile struct {
+	io.Reader
+	f *os.File
+}
+
+func (r *rangeFile) Close() error { return r.f.Close() }
+
+// GetShardRange opens bytes [off, off+length) of one shard. The window
+// is clamped to what the file holds — a shard shorter than the request
+// serves what exists (possibly nothing) and the caller, which computed
+// the window from the manifest, detects the shortfall from the returned
+// size. Only the window's bytes are read from disk: the file is seeked,
+// never scanned.
+func (ps *PeerStore) GetShardRange(key string, gen uint64, idx int, off, length int64) (io.ReadCloser, int64, error) {
+	if err := validPeerKey(key); err != nil {
+		return nil, 0, err
+	}
+	if off < 0 || length < 0 {
+		return nil, 0, fmt.Errorf("%w: negative shard range", ErrBadObjectName)
+	}
+	f, err := os.Open(ps.shardPath(key, gen, idx))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, peer.ErrShardNotFound
+		}
+		return nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if off > fi.Size() {
+		off = fi.Size()
+	}
+	if length > fi.Size()-off {
+		length = fi.Size() - off
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	ps.shardGets.Add(1)
+	ps.bytesOut.Add(length)
+	return &rangeFile{Reader: io.LimitReader(f, length), f: f}, length, nil
+}
+
 // StatShard reports one shard's size.
 func (ps *PeerStore) StatShard(key string, gen uint64, idx int) (int64, error) {
 	if err := validPeerKey(key); err != nil {
@@ -333,6 +382,13 @@ func (t localTransport) GetShard(ctx context.Context, key string, gen uint64, id
 		return nil, 0, err
 	}
 	return t.ps.GetShard(key, gen, idx)
+}
+
+func (t localTransport) GetShardRange(ctx context.Context, key string, gen uint64, idx int, off, length int64) (io.ReadCloser, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return t.ps.GetShardRange(key, gen, idx, off, length)
 }
 
 func (t localTransport) StatShard(ctx context.Context, key string, gen uint64, idx int) (int64, error) {

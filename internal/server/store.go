@@ -121,6 +121,9 @@ type Stats struct {
 	Gets           int64 `json:"gets"`
 	DegradedGets   int64 `json:"degraded_gets"`
 	Deletes        int64 `json:"deletes"`
+	RangeGets      int64 `json:"range_gets"`
+	Patches        int64 `json:"patches"`
+	PatchFallbacks int64 `json:"patch_fallbacks"`
 	SlabPuts       int64 `json:"slab_puts"`
 	SlabFlushes    int64 `json:"slab_flushes"`
 	SlabsReclaimed int64 `json:"slabs_reclaimed"`
@@ -239,6 +242,8 @@ type Store struct {
 	bytesIn, bytesOut                 atomic.Int64
 	slabPuts, slabFlushes             atomic.Int64
 	slabsReclaimed                    atomic.Int64
+	rangeGets, patches                atomic.Int64
+	patchFallbacks                    atomic.Int64
 
 	// metrics, when set, mirrors the counters above into the /metricsz
 	// registry and adds what flat counters cannot carry (stall and size
@@ -324,6 +329,9 @@ func Open(cfg StoreConfig) (*Store, error) {
 		return nil, err
 	}
 	s.rot = len(names) % cfg.Nodes
+	// Roll forward any patch journal a crash stranded, before a single
+	// request can observe the half-applied stripes it describes.
+	s.recoverPatches(context.Background())
 	if cfg.SlabThreshold > 0 {
 		if s.cfg.SlabWindow <= 0 {
 			s.cfg.SlabWindow = 2 * time.Millisecond
@@ -695,6 +703,15 @@ func (s *Store) Put(ctx context.Context, name string, src io.Reader, size int64)
 		// operator clear the object first (Delete handles this state).
 		return ObjectMeta{}, st, err
 	}
+	return s.putLocked(ctx, key, meta, oldPaths, src, size)
+}
+
+// putLocked is Put's encode-and-commit tail, shared with the patch
+// read-modify-write fallback. The caller holds key's exclusive lock and
+// has already resolved meta (generation, reusable placement) and the old
+// generation's shard paths.
+func (s *Store) putLocked(ctx context.Context, key string, meta ObjectMeta, oldPaths []string, src io.Reader, size int64) (ObjectMeta, gemmec.StreamStats, error) {
+	var st gemmec.StreamStats
 	// Small-object fast path: at or below the slab threshold the object is
 	// group-committed into a shared slab instead of its own shard set. The
 	// PUT still blocks until the batch is durably committed; only the cost
@@ -706,6 +723,9 @@ func (s *Store) Put(ctx context.Context, name string, src io.Reader, size int64)
 		}
 		meta.Placement = nil // members have no shard set of their own
 		packed, err := s.putSlab(ctx, key, meta, oldPaths, data)
+		if err == nil {
+			s.clearPatchJournal(key)
+		}
 		return packed, st, err
 	}
 	if meta.Placement == nil {
@@ -733,8 +753,10 @@ func (s *Store) Put(ctx context.Context, name string, src io.Reader, size int64)
 		s.removeFiles(paths)
 		return ObjectMeta{}, st, err
 	}
-	// Committed: the previous generation's shards are garbage now. Best
-	// effort — anything a crash strands here is swept by the scrubber.
+	// Committed: the previous generation's shards are garbage now, and any
+	// stranded patch journal targets a generation that no longer exists.
+	// Best effort — anything a crash strands here is swept by the scrubber.
+	s.clearPatchJournal(key)
 	s.removeFiles(oldPaths)
 	s.puts.Add(1)
 	s.bytesIn.Add(m.FileSize)
@@ -791,6 +813,12 @@ type Object struct {
 	// member's window. Lock order is member → slab, matching the flusher
 	// (which takes no member locks) and the slab scrubber (slab only).
 	slabLock *sync.RWMutex
+	// ranged marks an OpenObjectRange open: Stream serves only payload
+	// window [rangeOff, rangeOff+rangeLen), decoding just the covering
+	// stripes (for slab members the window is additionally rebased by the
+	// member's offset inside the slab).
+	ranged             bool
+	rangeOff, rangeLen int64
 }
 
 // Size returns the object's payload size in bytes.
@@ -816,9 +844,16 @@ func (o *Object) Demoted() []gemmec.Demotion { return o.sr.Demoted() }
 func (o *Object) Stream(dst io.Writer) (gemmec.StreamStats, error) {
 	var st gemmec.StreamStats
 	var err error
-	if o.Meta.Slab != nil {
+	switch {
+	case o.ranged:
+		off := o.rangeOff
+		if o.Meta.Slab != nil {
+			off += o.Meta.Slab.Offset
+		}
+		st, err = o.sr.DecodeRange(dst, o.s.cfg.Workers, off, o.rangeLen)
+	case o.Meta.Slab != nil:
 		st, err = o.sr.DecodeRange(dst, o.s.cfg.Workers, o.Meta.Slab.Offset, o.Meta.Slab.Size)
-	} else {
+	default:
 		st, err = o.sr.Decode(dst, o.s.cfg.Workers)
 	}
 	mt := o.s.m()
@@ -833,10 +868,17 @@ func (o *Object) Stream(dst io.Writer) (gemmec.StreamStats, error) {
 		}
 	}
 	if err == nil {
-		o.s.bytesOut.Add(o.Size())
-		mt.recordObjectBytes("get", o.Size())
+		n := o.Size()
+		if o.ranged {
+			n = o.rangeLen
+		}
+		o.s.bytesOut.Add(n)
+		mt.recordObjectBytes("get", n)
 		if mt != nil {
-			mt.bytesOut.Add(o.Size())
+			mt.bytesOut.Add(n)
+			if o.ranged {
+				mt.recordRange(n)
+			}
 		}
 	}
 	return st, err
@@ -983,6 +1025,7 @@ func (s *Store) Delete(ctx context.Context, name string) error {
 			return err
 		}
 		s.dropMetaCache(key)
+		s.clearPatchJournal(key)
 		s.removeFiles(s.shardPaths(key, meta)) // best effort; scrub sweeps strays
 	case errors.Is(err, ErrObjectNotFound):
 		// Nothing stored under this name; retire the lock entry this very
@@ -996,6 +1039,7 @@ func (s *Store) Delete(ctx context.Context, name string) error {
 			return rmErr
 		}
 		s.dropMetaCache(key)
+		s.clearPatchJournal(key)
 		s.removeKeyShards(key)
 	}
 	s.dropLock(key, l)
@@ -1128,6 +1172,9 @@ type ScrubReport struct {
 	// SlabsReclaimed counts packed-object slabs removed whole because no
 	// live member referenced them anymore.
 	SlabsReclaimed int `json:"slabs_reclaimed,omitempty"`
+	// PatchesRecovered counts stranded patch journals rolled forward by
+	// the sweep (a crash between a patch's journal and its commit).
+	PatchesRecovered int `json:"patches_recovered,omitempty"`
 }
 
 // ShardsHealed totals the rebuilt shards across the sweep.
@@ -1149,6 +1196,11 @@ func (r ScrubReport) Clean() bool { return len(r.Healed) == 0 && len(r.Errors) =
 func (s *Store) ScrubAll(ctx context.Context) ScrubReport {
 	start := time.Now()
 	rep := ScrubReport{}
+	// Patch journals first: a stranded journal means some object's shard
+	// files may hold half-applied stripes whose sums the committed
+	// manifest does not describe; rolling it forward before the per-object
+	// pass keeps the scrub from "healing" a patch mid-flight.
+	rep.PatchesRecovered = s.recoverPatches(ctx)
 	names, err := s.List()
 	if err != nil {
 		rep.Errors = map[string]string{"<catalog>": err.Error()}
@@ -1285,26 +1337,29 @@ func (s *Store) Stats() Stats {
 	return Stats{
 		TunerRuns:        tunerRuns,
 		TunerGenerations: tunerGens,
-		Objects:        len(names),
-		Puts:           s.puts.Load(),
-		Gets:           s.gets.Load(),
-		DegradedGets:   s.degradedGets.Load(),
-		Deletes:        s.deletes.Load(),
-		SlabPuts:       s.slabPuts.Load(),
-		SlabFlushes:    s.slabFlushes.Load(),
-		SlabsReclaimed: s.slabsReclaimed.Load(),
-		RequestsShed:   s.sched.Shed(),
-		SchedQueue:     s.sched.QueueDepth(),
-		ScrubCycles:    s.scrubCycles.Load(),
-		ShardsHealed:   s.shardsHealed.Load(),
-		OrphansRemoved: s.orphansRemoved.Load(),
-		ScrubErrors:    s.scrubErrors.Load(),
-		BytesIn:        s.bytesIn.Load(),
-		BytesOut:       s.bytesOut.Load(),
-		UnitSize:       s.cfg.UnitSize,
-		DataShards:     s.cfg.K,
-		ParityShards:   s.cfg.R,
-		NodeDirs:       s.cfg.Nodes,
-		StreamWorkers:  s.sched.Workers(),
+		Objects:          len(names),
+		Puts:             s.puts.Load(),
+		Gets:             s.gets.Load(),
+		DegradedGets:     s.degradedGets.Load(),
+		Deletes:          s.deletes.Load(),
+		RangeGets:        s.rangeGets.Load(),
+		Patches:          s.patches.Load(),
+		PatchFallbacks:   s.patchFallbacks.Load(),
+		SlabPuts:         s.slabPuts.Load(),
+		SlabFlushes:      s.slabFlushes.Load(),
+		SlabsReclaimed:   s.slabsReclaimed.Load(),
+		RequestsShed:     s.sched.Shed(),
+		SchedQueue:       s.sched.QueueDepth(),
+		ScrubCycles:      s.scrubCycles.Load(),
+		ShardsHealed:     s.shardsHealed.Load(),
+		OrphansRemoved:   s.orphansRemoved.Load(),
+		ScrubErrors:      s.scrubErrors.Load(),
+		BytesIn:          s.bytesIn.Load(),
+		BytesOut:         s.bytesOut.Load(),
+		UnitSize:         s.cfg.UnitSize,
+		DataShards:       s.cfg.K,
+		ParityShards:     s.cfg.R,
+		NodeDirs:         s.cfg.Nodes,
+		StreamWorkers:    s.sched.Workers(),
 	}
 }

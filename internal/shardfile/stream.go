@@ -434,10 +434,16 @@ func (sr *StreamReader) Close() error {
 // stripeVerifier checks units against the manifest's CRC32C stripe sums
 // as the decode pipeline gathers them. The clean path allocates nothing —
 // one table-driven CRC per unit, no hashing state — which is what keeps
-// steady-state DecodeStream inside the allocation guard.
-type stripeVerifier struct{ sums [][]uint32 }
+// steady-state DecodeStream inside the allocation guard. base offsets the
+// pipeline's stripe numbers into the manifest for range decodes that start
+// mid-object (stripe 0 of the pipeline is manifest stripe base).
+type stripeVerifier struct {
+	sums [][]uint32
+	base int64
+}
 
 func (v *stripeVerifier) VerifyUnit(shard int, stripe int64, unit []byte) error {
+	stripe += v.base
 	if stripe >= int64(len(v.sums[shard])) {
 		return fmt.Errorf("shardfile: shard %d stripe %d beyond manifest's %d stripes: %w (%w)",
 			shard, stripe, len(v.sums[shard]), ecerr.ErrShardTruncated, ecerr.ErrCorruptShard)
@@ -466,19 +472,80 @@ func (sr *StreamReader) Decode(dst io.Writer, workers int) (gemmec.StreamStats, 
 }
 
 // DecodeRange streams only payload bytes [off, off+length) to dst — the
-// read path for one member of a packed (slab) shard set, whose SlabEntry
-// gives the window. The decode stops at the last stripe the window
-// touches, so a member near the front of a large slab pays only a prefix
-// of the slab's decode work. Like Decode it may be called at most once.
+// read path for ranged GETs and for one member of a packed (slab) shard
+// set, whose SlabEntry gives the window. The decode is stripe-seeking on
+// both ends: every usable shard file is positioned at the first stripe
+// the window touches (one Seek, no prefix reads) and the pipeline stops
+// at the last covering stripe, so the shard I/O is O(stripes covering the
+// range) regardless of where the window falls in the object. Like Decode
+// it may be called at most once.
+//
+// The bounds check is deliberately written without computing off+length:
+// for adversarial values near MaxInt64 the sum wraps negative and would
+// pass a naive `off+length > FileSize` comparison.
 func (sr *StreamReader) DecodeRange(dst io.Writer, workers int, off, length int64) (gemmec.StreamStats, error) {
-	if off < 0 || length < 0 || off+length > sr.m.FileSize {
-		return gemmec.StreamStats{}, fmt.Errorf("shardfile: range [%d,%d) outside payload of %d bytes",
-			off, off+length, sr.m.FileSize)
+	if off < 0 || length < 0 || off > sr.m.FileSize || length > sr.m.FileSize-off {
+		return gemmec.StreamStats{}, fmt.Errorf("shardfile: range [off=%d,len=%d) outside payload of %d bytes",
+			off, length, sr.m.FileSize)
 	}
-	return sr.decodeSize(&windowWriter{dst: dst, skip: off, n: length}, workers, off+length)
+	if length == 0 {
+		return gemmec.StreamStats{}, nil
+	}
+	stripeBytes := int64(sr.m.K) * int64(sr.m.UnitSize)
+	base := off / stripeBytes
+	if err := sr.seekToStripe(base); err != nil {
+		return gemmec.StreamStats{}, err
+	}
+	w := NewWindowWriter(dst, off-base*stripeBytes, length)
+	st, err := sr.decodeFrom(w, workers, base, off+length-base*stripeBytes)
+	if err != nil && errors.Is(err, ErrWindowDone) {
+		// The window closed before the pipeline drained its final stripes —
+		// the early-stop worked, the caller has every requested byte.
+		err = nil
+	}
+	if err == nil && w.Remaining() > 0 {
+		err = fmt.Errorf("shardfile: range decode ended %d bytes short of [off=%d,len=%d)", w.Remaining(), off, length)
+	}
+	return st, err
+}
+
+// seekToStripe positions every usable shard file at the start of manifest
+// stripe `base` (byte base*UnitSize of each shard file). It must run
+// before any decode reads: the pooled bufio layers and the stall-guard
+// pumps are both lazy, so repositioning the files underneath them is
+// safe. A shard whose Seek fails is dropped from the read set (decode
+// reconstructs around it) rather than served from the wrong offset.
+func (sr *StreamReader) seekToStripe(base int64) error {
+	if base == 0 {
+		return nil
+	}
+	target := base * int64(sr.m.UnitSize)
+	for i, f := range sr.files {
+		if f == nil {
+			continue
+		}
+		if _, err := f.Seek(target, io.SeekStart); err != nil {
+			sr.readers[i] = nil
+			sr.unusable = appendShard(sr.unusable, i)
+		}
+	}
+	if usable := sr.m.K + sr.m.R - len(sr.unusable); usable < sr.m.K {
+		return fmt.Errorf("shardfile: only %d of %d shards seekable, need k=%d: %w",
+			usable, sr.m.K+sr.m.R, sr.m.K, gemmec.ErrTooFewShards)
+	}
+	return nil
 }
 
 func (sr *StreamReader) decodeSize(dst io.Writer, workers int, size int64) (gemmec.StreamStats, error) {
+	return sr.decodeFrom(dst, workers, 0, size)
+}
+
+// decodeFrom runs the decode pipeline over `size` payload bytes starting
+// at manifest stripe `base` (the shard readers must already be positioned
+// there — see seekToStripe). Stripe numbers reported by the pipeline are
+// rebased into manifest coordinates for both verification and demotion
+// records.
+func (sr *StreamReader) decodeFrom(dst io.Writer, workers int, base, size int64) (gemmec.StreamStats, error) {
 	var st gemmec.StreamStats
 	code, err := sr.opt.code(sr.m.K, sr.m.R, sr.m.UnitSize)
 	if err != nil {
@@ -489,13 +556,16 @@ func (sr *StreamReader) decodeSize(dst io.Writer, workers int, size int64) (gemm
 	opts := append(sr.opt.streamOpts(sr.m.K, sr.m.R, sr.m.UnitSize, workers),
 		gemmec.WithStreamStats(&st), gemmec.WithStreamContext(sr.opt.context()))
 	if sr.m.StripeVerified() {
-		opts = append(opts, gemmec.WithStreamVerifier(&stripeVerifier{sums: sr.m.StripeSums}))
+		opts = append(opts, gemmec.WithStreamVerifier(&stripeVerifier{sums: sr.m.StripeSums, base: base}))
 	}
 	sp := obs.StartSpan(sr.opt.context(), "shardfile.decode")
 	err = code.DecodeStream(sr.readers, out, size, opts...)
 	sp.SetArg(st.Stripes)
 	sp.Stalls(st.ReadStall, st.EncodeStall, st.WriteStall)
 	sp.End(err)
+	for i := range st.Demoted {
+		st.Demoted[i].Stripe += base
+	}
 	sr.recordDemotions(st.Demoted)
 	if err != nil {
 		return st, err
@@ -503,16 +573,37 @@ func (sr *StreamReader) decodeSize(dst io.Writer, workers int, size int64) (gemm
 	return st, out.Flush()
 }
 
-// windowWriter passes through only bytes [skip, skip+n) of the stream
-// written to it, discarding the rest — the trim that turns a slab-prefix
-// decode into one member's bytes.
-type windowWriter struct {
+// ErrWindowDone terminates a range decode the moment the window's last
+// byte has been written: WindowWriter returns it once the window closes,
+// the pipeline's write stage treats it like any write failure and stops,
+// and DecodeRange recognizes it as success. Without it a decode whose
+// size overshoots the window (a caller that did not trim size to the last
+// covering stripe) would stream — and reconstruct, and verify — every
+// byte to the end of the object just to discard it. Exported (with
+// WindowWriter) for callers that run DecodeStream over a window
+// themselves — the cluster gateway's ranged remote reads.
+var ErrWindowDone = errors.New("shardfile: range window complete")
+
+// WindowWriter passes through only bytes [skip, skip+length) of the
+// stream written to it, discarding bytes before the window and stopping
+// the producer (via ErrWindowDone) once the window is full.
+type WindowWriter struct {
 	dst  io.Writer
 	skip int64 // bytes still to discard before the window
 	n    int64 // window bytes still to pass through
 }
 
-func (w *windowWriter) Write(p []byte) (int, error) {
+// NewWindowWriter returns a writer forwarding bytes [skip, skip+length)
+// of whatever is written through it to dst.
+func NewWindowWriter(dst io.Writer, skip, length int64) *WindowWriter {
+	return &WindowWriter{dst: dst, skip: skip, n: length}
+}
+
+// Remaining reports how many window bytes have not yet been written — a
+// decode that ends cleanly with Remaining() > 0 came up short.
+func (w *WindowWriter) Remaining() int64 { return w.n }
+
+func (w *WindowWriter) Write(p []byte) (int, error) {
 	total := len(p)
 	if w.skip > 0 {
 		if int64(len(p)) <= w.skip {
@@ -531,6 +622,11 @@ func (w *windowWriter) Write(p []byte) (int, error) {
 			return 0, err
 		}
 		w.n -= take
+	}
+	if w.n == 0 {
+		// Window complete: accept the tail bytes of this write (they are
+		// legitimately discarded) but stop the producer.
+		return total, ErrWindowDone
 	}
 	return total, nil
 }

@@ -60,6 +60,15 @@ func NewStripeVerifier(m Manifest) gemmec.UnitVerifier {
 	return &stripeVerifier{sums: m.StripeSums}
 }
 
+// NewStripeVerifierAt is NewStripeVerifier for a decode that starts at
+// manifest stripe base instead of stripe 0 — the pipeline's stripe i is
+// checked against m's stripe base+i. This is the verifier behind ranged
+// remote reads, where each peer stream begins at the first stripe
+// covering the requested window.
+func NewStripeVerifierAt(m Manifest, base int64) gemmec.UnitVerifier {
+	return &stripeVerifier{sums: m.StripeSums, base: base}
+}
+
 // VerifyUnitSum checks one unit against m's recorded CRC32C — the
 // building block repair paths use when reading survivor shards unit by
 // unit outside a decode pipeline.

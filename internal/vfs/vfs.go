@@ -33,6 +33,11 @@ type File interface {
 type FS interface {
 	// Open opens the named file for reading.
 	Open(name string) (File, error)
+	// OpenRW opens the named existing file for reading and writing
+	// without truncating it — the seek-and-overwrite surface of the
+	// stripe-patching small-write path, which rewrites only the touched
+	// stripe offsets of a committed shard file.
+	OpenRW(name string) (File, error)
 	// Create truncates or creates the named file for writing.
 	Create(name string) (File, error)
 	// Rename atomically moves oldpath to newpath (the commit point of
@@ -52,6 +57,7 @@ var OS FS = osFS{}
 type osFS struct{}
 
 func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) OpenRW(name string) (File, error) { return os.OpenFile(name, os.O_RDWR, 0) }
 func (osFS) Create(name string) (File, error) { return os.Create(name) }
 func (osFS) Rename(oldpath, newpath string) error {
 	return os.Rename(oldpath, newpath)
